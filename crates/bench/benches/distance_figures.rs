@@ -1,0 +1,35 @@
+//! Figures 11–16 and 22–24 — average travel distance and its relative
+//! deviation under the three sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpta_bench::{bench_instance, print_figures};
+use dpta_core::{Method, RunParams};
+use dpta_workloads::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn distance_engines(c: &mut Criterion) {
+    print_figures(&[
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig22", "fig23", "fig24",
+    ]);
+
+    let params = RunParams::default();
+    let mut group = c.benchmark_group("distance_engines");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for dataset in [Dataset::Chengdu, Dataset::Normal, Dataset::Uniform] {
+        let inst = bench_instance(dataset, 11);
+        for method in [Method::Pdce, Method::Dce] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), dataset.name()),
+                &inst,
+                |b, inst| b.iter(|| black_box(method.run(black_box(inst), &params))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, distance_engines);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 17 / Figure 25 — the PPCF vs non-PPCF ablation, plus an
+//! ablation of the engine knobs the paper leaves ambiguous (proposal
+//! accounting and CEA fallback; see DESIGN.md §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpta_bench::{bench_instance, print_figures};
+use dpta_core::config::{CeaFallback, ProposalAccounting};
+use dpta_core::{Method, RunParams};
+use dpta_workloads::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn ppcf_ablation(c: &mut Criterion) {
+    print_figures(&["fig17", "fig25"]);
+
+    let params = RunParams::default();
+    let mut group = c.benchmark_group("ppcf_ablation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for dataset in [Dataset::Chengdu, Dataset::Normal] {
+        let inst = bench_instance(dataset, 17);
+        for method in [
+            Method::Puce,
+            Method::PuceNppcf,
+            Method::Pdce,
+            Method::PdceNppcf,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), dataset.name()),
+                &inst,
+                |b, inst| b.iter(|| black_box(method.run(black_box(inst), &params))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// DESIGN.md §2 ablation: the two readings of Eq. 2's proposal
+/// accounting and of CEA's loser fallback.
+fn knob_ablation(c: &mut Criterion) {
+    let inst = bench_instance(Dataset::Chengdu, 23);
+    let mut group = c.benchmark_group("knob_ablation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for accounting in [ProposalAccounting::PerTask, ProposalAccounting::Cumulative] {
+        for fallback in [CeaFallback::CrossRound, CeaFallback::WithinRound] {
+            let params = RunParams { accounting, fallback, ..RunParams::default() };
+            group.bench_with_input(
+                BenchmarkId::new(
+                    "PUCE",
+                    format!("{accounting:?}/{fallback:?}"),
+                ),
+                &inst,
+                |b, inst| b.iter(|| black_box(Method::Puce.run(black_box(inst), &params))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ppcf_ablation, knob_ablation);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Microbenches of the substrates the assignment loops lean on:
+//! PCF/PPCF evaluation, MLE effective pairs, grid range queries,
+//! Hungarian matching, and CEA conflict resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpta_dp::{pcf, ppcf, ReleaseSet};
+use dpta_matching::cea::{conflict_elimination, CeaFallback};
+use dpta_matching::hungarian::max_weight_matching;
+use dpta_spatial::{Circle, GridIndex, Point};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn compare_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare_functions");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("pcf_distinct_eps", |b| {
+        b.iter(|| black_box(pcf(black_box(0.8), black_box(1.1), 0.7, 1.6)))
+    });
+    group.bench_function("pcf_equal_eps", |b| {
+        b.iter(|| black_box(pcf(black_box(0.8), black_box(1.1), 1.0, 1.0)))
+    });
+    group.bench_function("ppcf", |b| {
+        b.iter(|| black_box(ppcf(black_box(0.8), black_box(1.1), 1.0)))
+    });
+    group.finish();
+}
+
+fn effective_pair(c: &mut Criterion) {
+    let pairs: Vec<(f64, f64)> = (0..7)
+        .map(|k| (1.0 + 0.01 * k as f64, 0.5 + 0.15 * k as f64))
+        .collect();
+    let mut group = c.benchmark_group("mle");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("mle_effective_pair_z7", |b| {
+        b.iter(|| {
+            let set = ReleaseSet::from_pairs(black_box(&pairs));
+            black_box(set.effective())
+        })
+    });
+    group.finish();
+}
+
+fn grid_queries(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let points: Vec<Point> = (0..100_000)
+        .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect();
+    let idx = GridIndex::build_for_radius(&points, 1.4);
+    let mut buf = Vec::new();
+    let mut group = c.benchmark_group("grid");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("grid_circle_query_100k_r1.4", |b| {
+        b.iter(|| {
+            let center = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            idx.query_circle_into(&Circle::new(center, 1.4), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.finish();
+}
+
+fn hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for n in [20usize, 60] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let w: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(max_weight_matching(n, n, |i, j| Some(w[i * n + j])))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cea(c: &mut Criterion) {
+    #[derive(Clone, Copy)]
+    struct Cand(usize, f64);
+    let mut rng = StdRng::seed_from_u64(3);
+    let n_workers = 80usize;
+    let rows: Vec<Vec<Cand>> = (0..40)
+        .map(|_| {
+            let mut row: Vec<Cand> = Vec::new();
+            for w in 0..n_workers {
+                if rng.gen_bool(0.2) {
+                    row.push(Cand(w, rng.gen_range(0.0..5.0)));
+                }
+            }
+            row.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            row
+        })
+        .collect();
+    let prob = |a: &Cand, b: &Cand| if a.1 < b.1 { 1.0 } else { 0.0 };
+    let mut group = c.benchmark_group("cea");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("within_round_40x80", |b| {
+        b.iter(|| {
+            black_box(conflict_elimination(
+                black_box(&rows),
+                n_workers,
+                |c: &Cand| c.0,
+                prob,
+                CeaFallback::WithinRound,
+            ))
+        })
+    });
+    group.bench_function("cross_round_40x80", |b| {
+        b.iter(|| {
+            black_box(conflict_elimination(
+                black_box(&rows),
+                n_workers,
+                |c: &Cand| c.0,
+                prob,
+                CeaFallback::CrossRound,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compare_functions, effective_pair, grid_queries, hungarian, cea);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4 / Figure 18 — running time vs worker ratio.
+//!
+//! The timed bodies measure each method's assignment time on a
+//! default-parameter batch; the full swept series (the figure itself)
+//! is printed once at startup via the experiments runner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpta_bench::{bench_options, print_figures};
+use dpta_core::{Method, RunParams};
+use dpta_workloads::{Dataset, Scenario};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn time_vs_ratio(c: &mut Criterion) {
+    print_figures(&["fig04", "fig18"]);
+
+    let params = RunParams::default();
+    for dataset in [Dataset::Chengdu, Dataset::Normal, Dataset::Uniform] {
+        let mut group = c.benchmark_group(format!("fig04_time/{dataset}"));
+        group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+        for ratio in [1.0, 2.0, 3.0] {
+            let sc = Scenario {
+                dataset,
+                worker_task_ratio: ratio,
+                batch_size: bench_options().batch_size(),
+                n_batches: 1,
+                ..Scenario::default()
+            };
+            let inst = sc.batches().remove(0);
+            for method in [Method::Puce, Method::Pdce, Method::Pgt, Method::Grd] {
+                group.bench_with_input(
+                    BenchmarkId::new(method.name(), format!("ratio{ratio}")),
+                    &inst,
+                    |b, inst| b.iter(|| black_box(method.run(black_box(inst), &params))),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, time_vs_ratio);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figures 5–10 and 19–21 — average utility and its relative deviation
+//! under the task-value, worker-range and worker-ratio sweeps.
+//!
+//! Criterion times the utility-objective engines on each data set; the
+//! swept utility series themselves are printed once at startup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpta_bench::{bench_instance, print_figures};
+use dpta_core::{Method, RunParams};
+use dpta_workloads::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn utility_engines(c: &mut Criterion) {
+    print_figures(&[
+        "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig19", "fig20", "fig21",
+    ]);
+
+    let params = RunParams::default();
+    let mut group = c.benchmark_group("utility_engines");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for dataset in [Dataset::Chengdu, Dataset::Normal, Dataset::Uniform] {
+        let inst = bench_instance(dataset, 5);
+        for method in [Method::Puce, Method::Uce, Method::Pgt, Method::Gt] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), dataset.name()),
+                &inst,
+                |b, inst| b.iter(|| black_box(method.run(black_box(inst), &params))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, utility_engines);
+criterion_main!(benches);

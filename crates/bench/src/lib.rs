@@ -1,0 +1,53 @@
+//! Shared helpers for the Criterion benches (the benches themselves
+//! live under `benches/`, one per paper figure group).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dpta_core::RunParams;
+use dpta_experiments::report::render_figure;
+use dpta_experiments::{figures, runner, RunOptions};
+use dpta_workloads::{Dataset, Scenario};
+
+/// The small-but-meaningful scale used inside timed benchmark bodies.
+pub fn bench_options() -> RunOptions {
+    RunOptions {
+        scale: 0.1, // 100-task batches
+        n_batches: 1,
+        params: RunParams::default(),
+        n_seeds: 1,
+        parallel: false, // timings must not depend on thread scheduling
+    }
+}
+
+/// A single default-parameter instance of `dataset` at bench scale,
+/// ready to feed a method under test.
+pub fn bench_instance(dataset: Dataset, extra_seed: u64) -> dpta_core::Instance {
+    let opts = bench_options();
+    let sc = Scenario {
+        dataset,
+        batch_size: opts.batch_size(),
+        n_batches: 1,
+        seed: opts.params.seed ^ extra_seed,
+        ..Scenario::default()
+    };
+    sc.batches().remove(0)
+}
+
+/// Regenerates and prints the series of the given figures (the rows the
+/// paper plots), so `cargo bench` output doubles as the reproduction
+/// log. Runs once per bench binary, at reduced scale.
+pub fn print_figures(ids: &[&str]) {
+    let opts = RunOptions {
+        scale: 0.1,
+        n_batches: 1,
+        params: RunParams::default(),
+        n_seeds: 1,
+        parallel: true,
+    };
+    for id in ids {
+        let spec = figures::find(id).expect("figure id in registry");
+        let out = runner::run_figure(&spec, &opts);
+        eprintln!("{}", render_figure(&out));
+    }
+}

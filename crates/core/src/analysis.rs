@@ -1,0 +1,170 @@
+//! Game-theoretic analysis: the potential function of Theorem VI.1 and
+//! the price-of-anarchy / price-of-stability bounds of Theorem VI.3.
+
+use crate::board::Board;
+use crate::config::EngineConfig;
+use crate::model::Instance;
+
+/// The potential `Φ(st)` of the PAA-TA game (proof of Theorem VI.1):
+///
+/// `Φ = Σ_i Σ_j s_{i,j}·(v_i − f_d(d̃_{i,j})) − Σ_i Σ_j f_p(b_{i,j}·ε_{i,j})`
+///
+/// evaluated on the *public* board state — effective obfuscated
+/// distances and published budgets. Because `f_p` is linear
+/// (Definition 4), the second sum collapses to
+/// `f_p(Σ_j spent_total(j))`.
+pub fn potential(inst: &Instance, board: &Board, cfg: &EngineConfig) -> f64 {
+    let fp = |e: f64| if cfg.private { cfg.beta * e } else { 0.0 };
+    let mut phi = 0.0;
+    for (i, w) in board.alloc().iter().enumerate() {
+        if let Some(j) = *w {
+            let pair = board
+                .effective(i, j)
+                .expect("allocated pair must have published releases");
+            phi += inst.task_value(i) - cfg.alpha * pair.distance;
+        }
+    }
+    for j in 0..board.n_workers() {
+        phi -= fp(board.spent_total(j));
+    }
+    phi
+}
+
+/// The Theorem VI.3 bounds on the expected price of anarchy / stability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameQualityBounds {
+    /// Lower bound on EPoA: `Σ_i U⁺_min(i) / Σ_i U⁺_max(i)`;
+    /// `None` when the denominator is zero (no worker can profitably
+    /// serve any task even in the best case).
+    pub epoa_lower: Option<f64>,
+    /// Upper bound on EPoS (always 1 per the theorem).
+    pub epos_upper: f64,
+}
+
+/// Computes the Theorem VI.3 bounds for an instance.
+///
+/// Per the theorem's definitions:
+/// * `U^L_j(i) = v_i − f_d(d_{i,j}) − f_p(Σ_{t_k∈R_j} sum(ε_{k,j}))` —
+///   the worker's utility in the worst case where his entire budget
+///   vector toward every reachable task has been spent;
+/// * `U^H_j(i) = v_i − f_d(d_{i,j}) − f_p(min(ε_{i,j}))` — the best case
+///   where only the cheapest single slot toward `t_i` is spent;
+/// * `U⁺_min(i)` = the smallest positive `U^L_j(i)` over workers
+///   reaching `t_i` (0 when none is positive);
+/// * `U⁺_max(i)` = the largest `U^H_j(i)` when positive (0 otherwise).
+pub fn game_quality_bounds(inst: &Instance, cfg: &EngineConfig) -> GameQualityBounds {
+    let fp = |e: f64| if cfg.private { cfg.beta * e } else { 0.0 };
+    let m = inst.n_tasks();
+    let mut u_min = vec![f64::INFINITY; m];
+    let mut u_max = vec![f64::NEG_INFINITY; m];
+
+    for j in 0..inst.n_workers() {
+        let worst_spend: f64 = inst
+            .reach(j)
+            .iter()
+            .map(|&i| inst.budget(i, j).expect("reachable").total())
+            .sum();
+        for &i in inst.reach(j) {
+            let base = inst.task_value(i) - cfg.alpha * inst.distance(i, j);
+            let budgets = inst.budget(i, j).expect("reachable");
+            let min_slot = budgets
+                .slots()
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let u_l = base - fp(worst_spend);
+            let u_h = base - fp(if min_slot.is_finite() { min_slot } else { 0.0 });
+            if u_l > 0.0 && u_l < u_min[i] {
+                u_min[i] = u_l;
+            }
+            if u_h > u_max[i] {
+                u_max[i] = u_h;
+            }
+        }
+    }
+
+    let num: f64 = u_min.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).sum();
+    let den: f64 = u_max.iter().map(|&v| if v > 0.0 { v } else { 0.0 }).sum();
+    GameQualityBounds {
+        epoa_lower: (den > 0.0).then_some(num / den),
+        epos_upper: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Task, Worker};
+    use dpta_dp::BudgetVector;
+    use dpta_spatial::{DistanceMatrix, Point};
+
+    fn tiny_instance() -> Instance {
+        let dist = DistanceMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        Instance::from_distance_matrix(
+            vec![Task::new(Point::ORIGIN, 5.0), Task::new(Point::ORIGIN, 5.0)],
+            vec![Worker::new(Point::ORIGIN, 3.0), Worker::new(Point::ORIGIN, 3.0)],
+            dist,
+            |_, _| BudgetVector::new(vec![0.5, 1.0]),
+        )
+    }
+
+    #[test]
+    fn potential_of_empty_board_is_zero() {
+        let inst = tiny_instance();
+        let cfg = EngineConfig::default();
+        let board = Board::new(2, 2);
+        assert_eq!(potential(&inst, &board, &cfg), 0.0);
+    }
+
+    #[test]
+    fn potential_counts_matches_and_spend() {
+        let inst = tiny_instance();
+        let cfg = EngineConfig::default();
+        let mut board = Board::new(2, 2);
+        board.publish(0, 0, 1.2, 0.5);
+        board.set_winner(0, Some(0));
+        // Φ = (5 − 1.2) − 0.5 = 3.3
+        assert!((potential(&inst, &board, &cfg) - 3.3).abs() < 1e-12);
+        // Unmatched publications still cost.
+        board.publish(1, 1, 1.4, 1.0);
+        assert!((potential(&inst, &board, &cfg) - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_private_potential_ignores_spend() {
+        let inst = tiny_instance();
+        let cfg = EngineConfig { private: false, ..EngineConfig::default() };
+        let mut board = Board::new(2, 2);
+        board.publish(0, 0, 1.0, 0.5);
+        board.set_winner(0, Some(0));
+        assert!((potential(&inst, &board, &cfg) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_sane() {
+        let inst = tiny_instance();
+        let cfg = EngineConfig::default();
+        let b = game_quality_bounds(&inst, &cfg);
+        assert_eq!(b.epos_upper, 1.0);
+        let epoa = b.epoa_lower.expect("profitable pairs exist");
+        assert!(epoa > 0.0 && epoa <= 1.0, "epoa = {epoa}");
+        // Hand check: per worker, worst spend = (0.5+1.0)*2 = 3.0.
+        // U^L for (t0,w0) = 5 − 1 − 3 = 1; (t0,w1) = 5 − 2 − 3 = 0 (not > 0).
+        // So U+min(t0) = 1; symmetric for t1 => numerator 2.
+        // U^H best = 5 − 1 − 0.5 = 3.5 per task => denominator 7.
+        assert!((epoa - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_with_no_profitable_pairs() {
+        let dist = DistanceMatrix::from_rows(&[&[10.0]]);
+        let inst = Instance::from_distance_matrix(
+            vec![Task::new(Point::ORIGIN, 1.0)],
+            vec![Worker::new(Point::ORIGIN, 20.0)],
+            dist,
+            |_, _| BudgetVector::new(vec![1.0]),
+        );
+        let b = game_quality_bounds(&inst, &EngineConfig::default());
+        assert_eq!(b.epoa_lower, None);
+    }
+}

@@ -1,0 +1,208 @@
+//! The trilateration adversary the paper's conclusion warns about.
+//!
+//! "If the service area of a worker is small enough and the quantity of
+//! tasks in this area is large enough, attackers can locate the
+//! worker's position through trilateration" — Section VIII. Task
+//! locations are public and every effective obfuscated distance is on
+//! the board, so a curious observer can fit the worker's location by
+//! weighted non-linear least squares over the anchors:
+//!
+//! `min_p Σ_k w_k · (|p − a_k| − d̃_k)²`,
+//!
+//! solved here with a damped Gauss–Newton iteration from the weighted
+//! anchor centroid. The `attack_surface` example and the tests use this
+//! to quantify how localisation error shrinks as a worker publishes
+//! toward more tasks — turning the paper's qualitative warning into a
+//! measurement.
+
+use crate::board::Board;
+use crate::model::Instance;
+use dpta_spatial::Point;
+
+/// One anchored distance observation: a public task location plus the
+/// worker's current effective obfuscated distance toward it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Task (anchor) location — public knowledge.
+    pub anchor: Point,
+    /// Observed distance (the effective obfuscated distance `d̃`);
+    /// negative reports are clamped to 0 during fitting.
+    pub distance: f64,
+    /// Fit weight; the effective privacy budget `ε̃` is the natural
+    /// choice (higher budget ⇒ less noise ⇒ more trustworthy).
+    pub weight: f64,
+}
+
+/// Weighted Gauss–Newton trilateration. Returns `None` for fewer than
+/// three observations (two range anchors leave a mirror ambiguity).
+pub fn trilaterate(observations: &[Observation], max_iter: usize) -> Option<Point> {
+    if observations.len() < 3 {
+        return None;
+    }
+    for o in observations {
+        assert!(
+            o.anchor.is_finite() && o.distance.is_finite(),
+            "observations must be finite: {o:?}"
+        );
+        assert!(o.weight.is_finite() && o.weight > 0.0, "weights must be > 0");
+    }
+
+    // Start at the weighted anchor centroid.
+    let wsum: f64 = observations.iter().map(|o| o.weight).sum();
+    let mut p = observations
+        .iter()
+        .fold(Point::ORIGIN, |acc, o| acc + o.anchor * o.weight)
+        / wsum;
+
+    for _ in 0..max_iter {
+        // Normal equations of the linearised residuals: (JᵀWJ)·Δ = −JᵀWr.
+        let (mut a11, mut a12, mut a22) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut b1, mut b2) = (0.0f64, 0.0f64);
+        for o in observations {
+            let diff = p - o.anchor;
+            let dist = diff.norm().max(1e-9);
+            let r = dist - o.distance.max(0.0);
+            let (jx, jy) = (diff.x / dist, diff.y / dist);
+            a11 += o.weight * jx * jx;
+            a12 += o.weight * jx * jy;
+            a22 += o.weight * jy * jy;
+            b1 += o.weight * jx * r;
+            b2 += o.weight * jy * r;
+        }
+        // Tikhonov ridge keeps collinear anchor sets solvable.
+        let ridge = 1e-9 * wsum;
+        let (a11, a22) = (a11 + ridge, a22 + ridge);
+        let det = a11 * a22 - a12 * a12;
+        if det.abs() < 1e-18 {
+            break;
+        }
+        let dx = (-b1 * a22 + b2 * a12) / det;
+        let dy = (-b2 * a11 + b1 * a12) / det;
+        p = Point::new(p.x + dx, p.y + dy);
+        if dx.hypot(dy) < 1e-10 {
+            break;
+        }
+    }
+    p.is_finite().then_some(p)
+}
+
+/// Collects the attack surface a worker has exposed on the board: one
+/// observation per task he has published toward, anchored at the task's
+/// public location, valued at the current effective pair.
+pub fn worker_observations(inst: &Instance, board: &Board, worker: usize) -> Vec<Observation> {
+    inst.reach(worker)
+        .iter()
+        .filter_map(|&i| {
+            board.effective(i, worker).map(|e| Observation {
+                anchor: inst.tasks()[i].location,
+                distance: e.distance,
+                weight: e.epsilon,
+            })
+        })
+        .collect()
+}
+
+/// Runs the trilateration attack against one worker and reports the
+/// localisation error in km, or `None` when the board exposes fewer
+/// than three anchors for him.
+pub fn localization_error(inst: &Instance, board: &Board, worker: usize) -> Option<f64> {
+    let obs = worker_observations(inst, board, worker);
+    let estimate = trilaterate(&obs, 100)?;
+    Some(estimate.distance(&inst.workers()[worker].location))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn obs(x: f64, y: f64, d: f64) -> Observation {
+        Observation { anchor: Point::new(x, y), distance: d, weight: 1.0 }
+    }
+
+    #[test]
+    fn exact_distances_recover_the_location() {
+        let truth = Point::new(1.5, -0.8);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+            Point::new(5.0, 5.0),
+        ];
+        let observations: Vec<Observation> = anchors
+            .iter()
+            .map(|a| Observation { anchor: *a, distance: truth.distance(a), weight: 1.0 })
+            .collect();
+        let got = trilaterate(&observations, 100).unwrap();
+        assert!(got.distance(&truth) < 1e-6, "got {got:?}");
+    }
+
+    #[test]
+    fn fewer_than_three_anchors_is_ambiguous() {
+        assert!(trilaterate(&[obs(0.0, 0.0, 1.0)], 100).is_none());
+        assert!(trilaterate(&[obs(0.0, 0.0, 1.0), obs(2.0, 0.0, 1.0)], 100).is_none());
+    }
+
+    #[test]
+    fn collinear_anchors_do_not_crash() {
+        // Anchors on a line: the perpendicular component is ambiguous,
+        // but the solver must return something finite near the line.
+        let observations = [obs(0.0, 0.0, 1.0), obs(2.0, 0.0, 1.0), obs(4.0, 0.0, 3.0)];
+        let got = trilaterate(&observations, 100).unwrap();
+        assert!(got.is_finite());
+    }
+
+    #[test]
+    fn weights_pull_toward_trustworthy_anchors() {
+        // Two consistent high-weight anchors + one wildly wrong
+        // low-weight anchor: the estimate should stay near the truth.
+        let truth = Point::new(1.0, 1.0);
+        let good1 = Observation { anchor: Point::new(0.0, 0.0), distance: truth.norm(), weight: 10.0 };
+        let good2 = Observation { anchor: Point::new(3.0, 0.0), distance: truth.distance(&Point::new(3.0, 0.0)), weight: 10.0 };
+        let good3 = Observation { anchor: Point::new(0.0, 3.0), distance: truth.distance(&Point::new(0.0, 3.0)), weight: 10.0 };
+        let bad = Observation { anchor: Point::new(-5.0, -5.0), distance: 20.0, weight: 0.01 };
+        let got = trilaterate(&[good1, good2, good3, bad], 200).unwrap();
+        assert!(got.distance(&truth) < 0.15, "got {got:?}");
+    }
+
+    #[test]
+    fn more_anchors_reduce_noisy_localisation_error() {
+        // Statistical: with Laplace-noised distances, the median error
+        // over trials should fall as the anchor count rises 4 -> 32.
+        let mut rng = StdRng::seed_from_u64(17);
+        let truth = Point::new(2.0, 3.0);
+        let mut median_err = |n_anchors: usize| -> f64 {
+            let mut errs: Vec<f64> = (0..40)
+                .map(|_| {
+                    let observations: Vec<Observation> = (0..n_anchors)
+                        .map(|_| {
+                            let a = Point::new(rng.gen_range(-5.0..9.0), rng.gen_range(-4.0..10.0));
+                            let noise: f64 = {
+                                // Laplace(0, 1/2) via inverse CDF.
+                                let u: f64 = rng.gen_range(-0.5..0.5);
+                                -0.5 * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+                            };
+                            Observation { anchor: a, distance: truth.distance(&a) + noise, weight: 1.0 }
+                        })
+                        .collect();
+                    trilaterate(&observations, 100).unwrap().distance(&truth)
+                })
+                .collect();
+            errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            errs[errs.len() / 2]
+        };
+        let few = median_err(4);
+        let many = median_err(32);
+        assert!(
+            many < few,
+            "error should shrink with more anchors: 4 -> {few:.3}, 32 -> {many:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be > 0")]
+    fn zero_weight_panics() {
+        let o = Observation { anchor: Point::ORIGIN, distance: 1.0, weight: 0.0 };
+        let _ = trilaterate(&[o, o, o], 10);
+    }
+}

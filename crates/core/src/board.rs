@@ -1,0 +1,259 @@
+//! The untrusted server's public board.
+//!
+//! Everything on the board is, by the paper's threat model (Section I),
+//! visible to every worker: the full release history `(d̂, ε)` of every
+//! (task, worker) pair, the derived effective distance-budget pairs,
+//! the current allocation list `AL`, and — for auditing — per-worker
+//! privacy ledgers. Real distances never enter this structure.
+
+use crate::model::Instance;
+use dpta_dp::{EffectivePair, PrivacyLedger, Release, ReleaseSet};
+use dpta_matching::Assignment;
+use std::collections::HashMap;
+
+/// Ledger key for a whole-location release (the Geo-I baseline
+/// publishes one obfuscated *location* instead of per-task distances).
+pub const LOCATION_RELEASE: u32 = u32::MAX;
+
+/// Public protocol state shared by the server and all workers.
+#[derive(Debug, Clone)]
+pub struct Board {
+    n_tasks: usize,
+    n_workers: usize,
+    releases: HashMap<(usize, usize), ReleaseSet>,
+    /// `alloc[i]` — current winner of task `i` (the paper's `AL`).
+    alloc: Vec<Option<usize>>,
+    /// Reverse map: the task currently held by each worker.
+    held: Vec<Option<usize>>,
+    ledgers: Vec<PrivacyLedger>,
+    /// Cached `Σ_i b_{i,j}·ε_{i,j}` per worker.
+    spent_total: Vec<f64>,
+    publications: usize,
+}
+
+impl Board {
+    /// Fresh board for an `m × n` instance.
+    pub fn new(n_tasks: usize, n_workers: usize) -> Self {
+        Board {
+            n_tasks,
+            n_workers,
+            releases: HashMap::new(),
+            alloc: vec![None; n_tasks],
+            held: vec![None; n_workers],
+            ledgers: vec![PrivacyLedger::new(); n_workers],
+            spent_total: vec![0.0; n_workers],
+            publications: 0,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Publishes a new obfuscated distance for (task, worker): appends
+    /// to the pair's release set, charges the worker's ledger, and
+    /// refreshes the effective pair.
+    pub fn publish(&mut self, task: usize, worker: usize, value: f64, epsilon: f64) {
+        assert!(task < self.n_tasks && worker < self.n_workers);
+        self.releases
+            .entry((task, worker))
+            .or_default()
+            .push(Release { value, epsilon });
+        self.ledgers[worker].record(task as u32, epsilon);
+        self.spent_total[worker] += epsilon;
+        self.publications += 1;
+    }
+
+    /// Charges a whole-location release (Geo-I baseline): the budget is
+    /// ledgered under [`LOCATION_RELEASE`] and counts toward the
+    /// worker's total spend, but no per-task distance release exists.
+    pub fn charge_location(&mut self, worker: usize, epsilon: f64) {
+        assert!(worker < self.n_workers);
+        self.ledgers[worker].record(LOCATION_RELEASE, epsilon);
+        self.spent_total[worker] += epsilon;
+        self.publications += 1;
+    }
+
+    /// Number of releases published toward (task, worker) — equals the
+    /// number of consumed budget slots, since a slot is charged exactly
+    /// when published.
+    pub fn used_slots(&self, task: usize, worker: usize) -> usize {
+        self.releases.get(&(task, worker)).map_or(0, ReleaseSet::len)
+    }
+
+    /// The pair's release history.
+    pub fn releases(&self, task: usize, worker: usize) -> Option<&ReleaseSet> {
+        self.releases.get(&(task, worker))
+    }
+
+    /// The current effective distance-budget pair `(d̃, ε̃)`.
+    pub fn effective(&self, task: usize, worker: usize) -> Option<EffectivePair> {
+        self.releases.get(&(task, worker)).and_then(ReleaseSet::effective)
+    }
+
+    /// Budget published by `worker` toward `task`: `b_{i,j}·ε_{i,j}`.
+    pub fn spent_on(&self, task: usize, worker: usize) -> f64 {
+        self.releases
+            .get(&(task, worker))
+            .map_or(0.0, ReleaseSet::spent_epsilon)
+    }
+
+    /// Budget published by `worker` across all tasks:
+    /// `Σ_i b_{i,j}·ε_{i,j}`.
+    pub fn spent_total(&self, worker: usize) -> f64 {
+        self.spent_total[worker]
+    }
+
+    /// The worker's privacy ledger (Theorem V.2 accounting).
+    pub fn ledger(&self, worker: usize) -> &PrivacyLedger {
+        &self.ledgers[worker]
+    }
+
+    /// Total number of publications on the board.
+    pub fn publications(&self) -> usize {
+        self.publications
+    }
+
+    /// Current winner of `task`.
+    pub fn winner(&self, task: usize) -> Option<usize> {
+        self.alloc[task]
+    }
+
+    /// Task currently held by `worker`.
+    pub fn task_of(&self, worker: usize) -> Option<usize> {
+        self.held[worker]
+    }
+
+    /// The allocation list `AL`.
+    pub fn alloc(&self) -> &[Option<usize>] {
+        &self.alloc
+    }
+
+    /// Rebinds `task` to `winner` (or clears it), keeping both directions
+    /// of the allocation consistent. Freeing the previous winner and
+    /// displacing the new winner's previous task are handled here so the
+    /// engines cannot desynchronise the two maps.
+    pub fn set_winner(&mut self, task: usize, winner: Option<usize>) {
+        if let Some(old) = self.alloc[task] {
+            self.held[old] = None;
+        }
+        self.alloc[task] = winner;
+        if let Some(w) = winner {
+            if let Some(prev_task) = self.held[w] {
+                self.alloc[prev_task] = None;
+            }
+            self.held[w] = Some(task);
+        }
+    }
+
+    /// Snapshot of the allocation as an [`Assignment`].
+    pub fn assignment(&self) -> Assignment {
+        let mut a = Assignment::new(self.n_tasks, self.n_workers);
+        for (t, w) in self.alloc.iter().enumerate() {
+            if let Some(w) = *w {
+                a.assign(t, w);
+            }
+        }
+        a.check_consistent();
+        a
+    }
+
+    /// Asserts the Theorem V.2 / VI.4 bound for every worker: the
+    /// ledgered LDP level equals `r_j · Σ_{t_i} b_{i,j}·ε_{i,j}` and
+    /// never exceeds the worst case `r_j · Σ_{t_i∈R_j} Σ_u ε⁽ᵘ⁾_{i,j}`.
+    /// Returns the per-worker ledgered levels.
+    pub fn verify_privacy_bounds(&self, inst: &Instance) -> Vec<f64> {
+        (0..self.n_workers)
+            .map(|j| {
+                let r = inst.workers()[j].radius;
+                let actual = self.ledgers[j].ldp_bound(r);
+                let worst: f64 = inst
+                    .reach(j)
+                    .iter()
+                    .map(|&i| inst.budget(i, j).expect("reachable pair has budgets").total())
+                    .sum::<f64>()
+                    * r;
+                assert!(
+                    actual <= worst + 1e-9,
+                    "worker {j}: ledgered LDP {actual} exceeds worst case {worst}"
+                );
+                // Publications may only target reachable tasks (a
+                // whole-location release has no task).
+                for t in self.ledgers[j].tasks() {
+                    assert!(
+                        t == LOCATION_RELEASE || inst.in_reach(t as usize, j),
+                        "worker {j} published toward unreachable task {t}"
+                    );
+                }
+                actual
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_updates_slots_spend_and_effective() {
+        let mut b = Board::new(2, 2);
+        assert_eq!(b.used_slots(0, 1), 0);
+        assert!(b.effective(0, 1).is_none());
+        b.publish(0, 1, 5.5, 4.6);
+        assert_eq!(b.used_slots(0, 1), 1);
+        assert_eq!(b.effective(0, 1).unwrap().distance, 5.5);
+        assert!((b.spent_on(0, 1) - 4.6).abs() < 1e-12);
+        b.publish(1, 1, 3.0, 0.4);
+        assert!((b.spent_total(1) - 5.0).abs() < 1e-12);
+        assert_eq!(b.publications(), 2);
+        assert_eq!(b.spent_total(0), 0.0);
+    }
+
+    #[test]
+    fn set_winner_keeps_directions_consistent() {
+        let mut b = Board::new(2, 2);
+        b.set_winner(0, Some(1));
+        assert_eq!(b.winner(0), Some(1));
+        assert_eq!(b.task_of(1), Some(0));
+        // Worker 1 moves to task 1: task 0 must be freed automatically.
+        b.set_winner(1, Some(1));
+        assert_eq!(b.winner(0), None);
+        assert_eq!(b.task_of(1), Some(1));
+        // Replace winner of task 1: worker 1 freed.
+        b.set_winner(1, Some(0));
+        assert_eq!(b.task_of(1), None);
+        assert_eq!(b.task_of(0), Some(1));
+        // Clearing.
+        b.set_winner(1, None);
+        assert_eq!(b.task_of(0), None);
+        b.assignment().check_consistent();
+    }
+
+    #[test]
+    fn assignment_snapshot_matches_alloc() {
+        let mut b = Board::new(3, 3);
+        b.set_winner(0, Some(2));
+        b.set_winner(2, Some(0));
+        let a = b.assignment();
+        assert_eq!(a.pairs().collect::<Vec<_>>(), vec![(0, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn ledger_tracks_publications_per_worker() {
+        let mut b = Board::new(2, 1);
+        b.publish(0, 0, 1.0, 0.5);
+        b.publish(0, 0, 0.9, 0.7);
+        b.publish(1, 0, 2.0, 0.3);
+        let l = b.ledger(0);
+        assert_eq!(l.publications(), 3);
+        assert!((l.spent_on(0) - 1.2).abs() < 1e-12);
+        assert!((l.ldp_bound(2.0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Algorithm configuration knobs and their paper-faithful defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// What the conflict-elimination engine optimises (the only difference
+/// between PUCE and PDCE per Section VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximise the PA-TA utility (PUCE / UCE).
+    Utility,
+    /// Minimise travel distance (PDCE / DCE — Wang et al. \[3\] altered
+    /// to respect service areas).
+    Distance,
+}
+
+/// Which comparison function gates a proposal against the incumbent
+/// winner in Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareMode {
+    /// The paper's design: a PPCF gate on the worker's *real* distance
+    /// plus a PCF gate on his obfuscated one (lines 12 and 14).
+    Ppcf,
+    /// The `-nppcf` ablation of Section VII-D.4: the PPCF gate is
+    /// replaced by a PCF gate on the obfuscated value.
+    PcfOnly,
+}
+
+/// How the privacy cost inside a *proposal decision* is accounted.
+///
+/// Equation 2 sums `f_p` over all tasks, but the paper's worked example
+/// (Tables IV–V) computes each proposal's utility from the budget spent
+/// on *that* task only; `PerTask` reproduces the example exactly and is
+/// the default. `Cumulative` applies Equation 2 literally. The
+/// *reported* measure of Section VII-C always uses the cumulative
+/// Definition-5 cost regardless of this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProposalAccounting {
+    /// Proposal utility charges only the budget spent toward the task
+    /// under consideration (matches Tables IV–V).
+    PerTask,
+    /// Proposal utility charges the worker's entire published budget
+    /// (Equation 2 read literally).
+    Cumulative,
+}
+
+pub use dpta_matching::cea::CeaFallback;
+
+/// Full configuration of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Optimisation objective.
+    pub objective: Objective,
+    /// PPCF vs non-PPCF gating.
+    pub compare: CompareMode,
+    /// Proposal-utility accounting.
+    pub accounting: ProposalAccounting,
+    /// CEA fallback style.
+    pub fallback: CeaFallback,
+    /// `f_d` slope α (Table X uses 1).
+    pub alpha: f64,
+    /// `f_p` slope β (Table X uses 1); ignored when `private == false`.
+    pub beta: f64,
+    /// Whether distances are obfuscated and privacy cost charged; the
+    /// non-private baselines (UCE/DCE/GT) set this to `false`.
+    pub private: bool,
+    /// Defensive cap on protocol rounds; the algorithms terminate by
+    /// budget exhaustion long before this, and hitting it panics.
+    pub max_rounds: usize,
+    /// When true, the game engine computes the potential `Φ` after every
+    /// accepted move, records it in the move trace, and asserts the
+    /// exact-potential identity of Theorem VI.1 (`ΔΦ = UT`). Costs
+    /// O(m + n) per move; enabled by the convergence tests and the
+    /// `game_convergence` example, off by default.
+    pub track_potential: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            objective: Objective::Utility,
+            compare: CompareMode::Ppcf,
+            accounting: ProposalAccounting::PerTask,
+            fallback: CeaFallback::CrossRound,
+            alpha: 1.0,
+            beta: 1.0,
+            private: true,
+            max_rounds: 100_000,
+            track_potential: false,
+        }
+    }
+}
+
+/// Run-level parameters shared by every method (seed + value-function
+/// slopes + the engine knobs above).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunParams {
+    /// Master seed for the deterministic noise source.
+    pub seed: u64,
+    /// `f_d` slope α.
+    pub alpha: f64,
+    /// `f_p` slope β.
+    pub beta: f64,
+    /// Proposal-utility accounting (see [`ProposalAccounting`]).
+    pub accounting: ProposalAccounting,
+    /// CEA fallback style (see [`CeaFallback`]).
+    pub fallback: CeaFallback,
+    /// Defensive round cap.
+    pub max_rounds: usize,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            seed: 42,
+            alpha: 1.0,
+            beta: 1.0,
+            accounting: ProposalAccounting::PerTask,
+            fallback: CeaFallback::CrossRound,
+            max_rounds: 100_000,
+        }
+    }
+}
+
+impl RunParams {
+    /// Convenience: the default parameters with a different seed.
+    pub fn with_seed(seed: u64) -> Self {
+        RunParams { seed, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_x() {
+        let p = RunParams::default();
+        assert_eq!(p.alpha, 1.0);
+        assert_eq!(p.beta, 1.0);
+        assert_eq!(p.accounting, ProposalAccounting::PerTask);
+        assert_eq!(p.fallback, CeaFallback::CrossRound);
+        let c = EngineConfig::default();
+        assert_eq!(c.objective, Objective::Utility);
+        assert_eq!(c.compare, CompareMode::Ppcf);
+        assert!(c.private);
+    }
+
+    #[test]
+    fn with_seed_overrides_only_seed() {
+        let p = RunParams::with_seed(7);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.alpha, RunParams::default().alpha);
+    }
+}

@@ -1,0 +1,88 @@
+//! One-shot baselines: GRD (global greedy), the exact Hungarian optimum
+//! (Section V intro), and the obfuscated-Hungarian strawman the paper
+//! dismisses ("a direct method ... collecting all workers' proposals
+//! ... and using the Hungarian algorithm", Section V).
+
+use crate::board::Board;
+use crate::config::EngineConfig;
+use crate::engine::Ctx;
+use crate::model::Instance;
+use crate::outcome::RunOutcome;
+use dpta_dp::NoiseSource;
+use dpta_matching::greedy::{greedy_max_weight, Edge};
+use dpta_matching::hungarian::max_weight_matching;
+
+/// The non-private utility of pair (i, j): `v_i − f_d(d_{i,j})`.
+fn pair_utility(inst: &Instance, cfg: &EngineConfig, task: usize, worker: usize) -> f64 {
+    inst.task_value(task) - cfg.alpha * inst.distance(task, worker)
+}
+
+fn outcome_from_assignment(
+    inst: &Instance,
+    assignment: dpta_matching::Assignment,
+) -> RunOutcome {
+    let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+    for (t, w) in assignment.pairs() {
+        board.set_winner(t, Some(w));
+    }
+    RunOutcome { assignment, board, rounds: 1, moves: Vec::new() }
+}
+
+/// GRD (Table IX): greedily pick the highest-utility feasible pair among
+/// free tasks and workers; pairs with non-positive utility stay
+/// unmatched (matching the PA-TA objective's option of `s_{i,j} = 0`).
+pub fn run_grd(inst: &Instance, cfg: &EngineConfig) -> RunOutcome {
+    let mut edges = Vec::with_capacity(inst.feasible_pairs());
+    for j in 0..inst.n_workers() {
+        for &i in inst.reach(j) {
+            edges.push(Edge { task: i, worker: j, weight: pair_utility(inst, cfg, i, j) });
+        }
+    }
+    let assignment = greedy_max_weight(inst.n_tasks(), inst.n_workers(), &edges, 0.0);
+    outcome_from_assignment(inst, assignment)
+}
+
+/// The exact optimum of the non-private assignment problem via the
+/// Hungarian algorithm — the upper baseline the heuristics chase.
+pub fn run_optimal(inst: &Instance, cfg: &EngineConfig) -> RunOutcome {
+    let assignment = max_weight_matching(inst.n_tasks(), inst.n_workers(), |i, j| {
+        inst.in_reach(i, j).then(|| pair_utility(inst, cfg, i, j))
+    });
+    outcome_from_assignment(inst, assignment)
+}
+
+/// The "direct method" of Section V: every worker publishes his
+/// first-slot obfuscated distance toward every reachable task, then the
+/// server runs the Hungarian algorithm on the estimated utilities
+/// `v_i − f_d(d̃_{i,j}) − f_p(ε⁽¹⁾_{i,j})`.
+///
+/// The paper rejects this design because comparing *sums* of obfuscated
+/// distances "needs complex comparisons and has low accuracy", and
+/// because every worker leaks a full round of budget up front; this
+/// implementation exists so that the claim is measurable (O((m+n)³),
+/// use on batch-scale instances only).
+pub fn run_obfuscated_optimal(
+    inst: &Instance,
+    cfg: &EngineConfig,
+    noise: &dyn NoiseSource,
+) -> RunOutcome {
+    let ctx = Ctx::new(inst, cfg, noise);
+    let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+    for j in 0..inst.n_workers() {
+        for &i in inst.reach(j) {
+            let p = ctx
+                .prospective(&board, i, j)
+                .expect("fresh board: slot 0 must be available");
+            board.publish(i, j, p.d_hat, p.epsilon);
+        }
+    }
+    let assignment = max_weight_matching(inst.n_tasks(), inst.n_workers(), |i, j| {
+        board.effective(i, j).map(|e| {
+            inst.task_value(i) - ctx.fd(e.distance) - ctx.fp(e.epsilon)
+        })
+    });
+    for (t, w) in assignment.pairs() {
+        board.set_winner(t, Some(w));
+    }
+    RunOutcome { assignment, board, rounds: 1, moves: Vec::new() }
+}

@@ -1,0 +1,260 @@
+//! The conflict-elimination protocol — Algorithms 1 (WorkerProposal),
+//! 2 (WinnerChosen) and 3 (PUCE main loop) of the paper.
+//!
+//! One engine covers four Table IX methods through [`EngineConfig`]:
+//!
+//! | method | objective | compare | private |
+//! |---|---|---|---|
+//! | PUCE | Utility | Ppcf | yes |
+//! | PUCE-nppcf | Utility | PcfOnly | yes |
+//! | PDCE | Distance | Ppcf | yes |
+//! | PDCE-nppcf | Distance | PcfOnly | yes |
+//! | UCE | Utility | — | no |
+//! | DCE | Distance | — | no |
+//!
+//! Non-private runs use zero noise and zero privacy cost, under which
+//! every probabilistic gate degenerates to the exact comparison.
+//!
+//! ### Protocol round (batch style, Section III)
+//!
+//! 1. Every not-winning worker scans the tasks in his service area
+//!    (Algorithm 1). A proposal must pass: budget not exhausted; for the
+//!    utility objective, positive prospective utility (line 7); and when
+//!    the task has an incumbent winner, the PPCF gate on the worker's
+//!    real distance (line 12) and the PCF gate on his new effective
+//!    distance (line 14), both against the incumbent's effective
+//!    distance shifted per Equation 4. Passing proposals are *published*
+//!    (the budget slot is charged) and enter the candidate list `CL`.
+//! 2. The server merges each candidate set with the incumbent, sorts by
+//!    estimated utility (via the Eq. 4 PCF order, which for Laplace
+//!    noise coincides with sorting by `v_i − f_d(d̃) − f_p(spent)`), and
+//!    runs CEA to resolve winner conflicts (Algorithm 2).
+//! 3. Rounds repeat until a round produces no proposals (Algorithm 3).
+//!
+//! Termination: every round that does not halt publishes at least one
+//! release, and the total number of budget slots is finite.
+
+use crate::board::Board;
+use crate::config::{CompareMode, EngineConfig, Objective, ProposalAccounting};
+use crate::engine::Ctx;
+use crate::model::Instance;
+use crate::outcome::RunOutcome;
+use dpta_dp::{pcf, ppcf, EffectivePair, NoiseSource};
+use dpta_matching::cea::conflict_elimination;
+
+/// One entry of the candidate list / competing table: a worker together
+/// with his current effective distance-budget pair and the sort key
+/// (estimated utility, or negated effective distance for the distance
+/// objective — higher key is always better).
+#[derive(Debug, Clone, Copy)]
+struct CtEntry {
+    worker: usize,
+    pair: EffectivePair,
+    key: f64,
+}
+
+/// Runs the conflict-elimination protocol from an empty board.
+pub fn run(inst: &Instance, cfg: &EngineConfig, noise: &dyn NoiseSource) -> RunOutcome {
+    run_from(inst, cfg, noise, Board::new(inst.n_tasks(), inst.n_workers()))
+}
+
+/// Runs the protocol from a pre-populated board (used by warm-start
+/// tests and the batch runner's carry-over mode).
+pub fn run_from(
+    inst: &Instance,
+    cfg: &EngineConfig,
+    noise: &dyn NoiseSource,
+    mut board: Board,
+) -> RunOutcome {
+    assert_eq!(board.n_tasks(), inst.n_tasks());
+    assert_eq!(board.n_workers(), inst.n_workers());
+    let ctx = Ctx::new(inst, cfg, noise);
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        assert!(
+            rounds <= cfg.max_rounds,
+            "CE engine exceeded max_rounds = {} — this indicates a \
+             non-terminating configuration bug",
+            cfg.max_rounds
+        );
+        let cl = worker_proposals(&ctx, &mut board);
+        if !winner_chosen(&ctx, &mut board, cl) {
+            break;
+        }
+    }
+    RunOutcome {
+        assignment: board.assignment(),
+        board,
+        rounds,
+        moves: Vec::new(),
+    }
+}
+
+/// Algorithm 1 — WorkerProposal. Publishes every passing proposal and
+/// returns the candidate list `CL` (per task, in worker order).
+fn worker_proposals(ctx: &Ctx<'_>, board: &mut Board) -> Vec<Vec<CtEntry>> {
+    let inst = ctx.inst;
+    let cfg = ctx.cfg;
+    let mut cl: Vec<Vec<CtEntry>> = vec![Vec::new(); inst.n_tasks()];
+
+    for j in 0..inst.n_workers() {
+        if board.task_of(j).is_some() {
+            continue; // only not-winning workers propose
+        }
+        for &i in inst.reach(j) {
+            let Some(p) = ctx.prospective(board, i, j) else {
+                continue; // line 4: privacy budget exhausted
+            };
+
+            // Line 6–8: prospective utility must be positive (utility
+            // objective only — PDCE optimises distance and has no such
+            // gate).
+            if cfg.objective == Objective::Utility {
+                let spent = proposal_spend(cfg, board, i, j);
+                let u = inst.task_value(i) - ctx.fd(inst.distance(i, j)) - ctx.fp(spent + p.epsilon);
+                if u <= 0.0 {
+                    continue;
+                }
+            }
+
+            // Lines 9–15: utility comparison against the incumbent.
+            if let Some(w) = board.winner(i) {
+                let we = board
+                    .effective(i, w)
+                    .expect("incumbent winner must have published releases");
+                // Equation 4: shift the incumbent's effective distance by
+                // f_d⁻¹(V_j) − f_d⁻¹(V_w); V = v_i − f_p(spend) contains
+                // only public quantities. Zero for the distance objective.
+                let shift = match cfg.objective {
+                    Objective::Utility => {
+                        let v_j = inst.task_value(i)
+                            - ctx.fp(proposal_spend(cfg, board, i, j) + p.epsilon);
+                        let v_w = inst.task_value(i) - ctx.fp(proposal_spend(cfg, board, i, w));
+                        ctx.fd_inv(v_j) - ctx.fd_inv(v_w)
+                    }
+                    Objective::Distance => 0.0,
+                };
+                let d_prime = we.distance + shift;
+
+                // Line 12: PPCF gate on the real distance (or its PCF
+                // replacement in the -nppcf ablation).
+                let gate1 = match cfg.compare {
+                    CompareMode::Ppcf => ppcf(inst.distance(i, j), d_prime, we.epsilon),
+                    CompareMode::PcfOnly => {
+                        pcf(p.effective.distance, d_prime, p.effective.epsilon, we.epsilon)
+                    }
+                };
+                if gate1 <= 0.5 {
+                    continue;
+                }
+                // Line 14: PCF gate on the new effective distance.
+                if pcf(p.effective.distance, d_prime, p.effective.epsilon, we.epsilon) <= 0.5 {
+                    continue;
+                }
+            }
+
+            // Line 16: publish and enter the candidate list.
+            board.publish(i, j, p.d_hat, p.epsilon);
+            let pair = board
+                .effective(i, j)
+                .expect("just published, effective pair must exist");
+            debug_assert_eq!(pair, p.effective);
+            cl[i].push(CtEntry { worker: j, pair, key: f64::NAN });
+        }
+    }
+    cl
+}
+
+/// The privacy spend entering a proposal decision, per the configured
+/// accounting (see [`ProposalAccounting`]).
+fn proposal_spend(cfg: &EngineConfig, board: &Board, task: usize, worker: usize) -> f64 {
+    match cfg.accounting {
+        ProposalAccounting::PerTask => board.spent_on(task, worker),
+        ProposalAccounting::Cumulative => board.spent_total(worker),
+    }
+}
+
+/// Algorithm 2 — WinnerChosen. Returns `false` iff every candidate set
+/// is empty (the halt condition of Algorithm 3).
+fn winner_chosen(ctx: &Ctx<'_>, board: &mut Board, mut cl: Vec<Vec<CtEntry>>) -> bool {
+    let inst = ctx.inst;
+    let cfg = ctx.cfg;
+    if cl.iter().all(Vec::is_empty) {
+        return false;
+    }
+
+    // Build the competing table: candidates ∪ incumbent, keyed and
+    // sorted best-first (lines 5–11).
+    let mut task_ids: Vec<usize> = Vec::new();
+    let mut rows: Vec<Vec<CtEntry>> = Vec::new();
+    for (i, cl_row) in cl.iter_mut().enumerate() {
+        if cl_row.is_empty() {
+            continue; // lines 6–7: AL[i] stays AL'[i]
+        }
+        let mut row = std::mem::take(cl_row);
+        if let Some(w) = board.winner(i) {
+            let pair = board
+                .effective(i, w)
+                .expect("incumbent winner must have published releases");
+            row.push(CtEntry { worker: w, pair, key: f64::NAN });
+        }
+        for e in &mut row {
+            e.key = entry_key(ctx, board, i, e);
+        }
+        row.sort_by(|a, b| {
+            b.key
+                .partial_cmp(&a.key)
+                .expect("finite sort keys")
+                .then(a.worker.cmp(&b.worker))
+        });
+        task_ids.push(i);
+        rows.push(row);
+    }
+
+    // Line 12: CEA over the competing table. The pairwise comparator is
+    // the Eq. 4 PCF order on transformed distances.
+    let alpha_inv = |v: f64| ctx.fd_inv(v);
+    let resolved = conflict_elimination(
+        &rows,
+        inst.n_workers(),
+        |e: &CtEntry| e.worker,
+        |a: &CtEntry, b: &CtEntry| match cfg.objective {
+            Objective::Utility => pcf(
+                a.pair.distance,
+                a.pair.distance + alpha_inv(a.key - b.key),
+                a.pair.epsilon,
+                b.pair.epsilon,
+            ),
+            Objective::Distance => {
+                pcf(a.pair.distance, b.pair.distance, a.pair.epsilon, b.pair.epsilon)
+            }
+        },
+        cfg.fallback,
+    );
+
+    for (r, &i) in task_ids.iter().enumerate() {
+        if let Some(k) = resolved[r] {
+            let w_new = rows[r][k].worker;
+            if board.winner(i) != Some(w_new) {
+                board.set_winner(i, Some(w_new));
+            }
+        }
+        // `None` (conflict loser or exhausted row): the incumbent — if
+        // any — keeps the task.
+    }
+    true
+}
+
+/// Sort key: estimated utility `v_i − f_d(d̃) − f_p(spend)` for the
+/// utility objective, negated effective distance for the distance
+/// objective. Every input is public (board) information.
+fn entry_key(ctx: &Ctx<'_>, board: &Board, task: usize, e: &CtEntry) -> f64 {
+    match ctx.cfg.objective {
+        Objective::Utility => {
+            let spent = proposal_spend(ctx.cfg, board, task, e.worker);
+            ctx.inst.task_value(task) - ctx.fd(e.pair.distance) - ctx.fp(spent)
+        }
+        Objective::Distance => -e.pair.distance,
+    }
+}

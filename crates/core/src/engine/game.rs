@@ -1,0 +1,134 @@
+//! The game-theoretic protocol — Algorithm 4 (PGT) and its non-private
+//! version GT.
+//!
+//! Workers take turns playing best responses in the strategic game
+//! `G = <W, S, UT>` of Section VI. A worker's move utility toward task
+//! `i₂` (Equation 5) decomposes into the three utility changes of
+//! Section VI-A:
+//!
+//! * winning change `ΔU^W = v_{i₂} − f_d(d̃^{new}_{i₂,j}) − f_p(ε^{new})`,
+//! * defeated change `ΔU^D = −v_{i₂} + f_d(d̃_{i₂,win})` for the current
+//!   winner of `i₂` (when one exists),
+//! * abandoned change `ΔU^A = −v_{i₁} + f_d(d̃_{i₁,j})` for the task the
+//!   mover currently holds (when any).
+//!
+//! A move is published only when `UT > 0`; failed evaluations publish
+//! neither the new obfuscated distance nor the budget (the "green"
+//! entries of Table VIII). PAA-TA is an exact potential game
+//! (Theorem VI.1): every accepted move increases
+//! `Φ = Σ_i s_{i,j}(v_i − f_d(d̃_{i,j})) − Σ f_p(b·ε)` by exactly `UT`,
+//! which the engine asserts when potential tracking is on.
+//!
+//! Termination: each accepted move publishes a release (finite slots)
+//! and strictly increases Φ; the loop halts on the first full pass with
+//! no accepted move — a pure Nash equilibrium of the approximate game
+//! (Theorem VI.2 bounds the rounds by the scaled optimal potential).
+
+use crate::analysis::potential;
+use crate::board::Board;
+use crate::config::EngineConfig;
+use crate::engine::Ctx;
+use crate::model::Instance;
+use crate::outcome::{MoveRecord, RunOutcome};
+use dpta_dp::NoiseSource;
+
+/// Runs the game protocol from an empty board.
+pub fn run(inst: &Instance, cfg: &EngineConfig, noise: &dyn NoiseSource) -> RunOutcome {
+    run_from(inst, cfg, noise, Board::new(inst.n_tasks(), inst.n_workers()))
+}
+
+/// Runs the game protocol from a pre-populated board (warm start).
+pub fn run_from(
+    inst: &Instance,
+    cfg: &EngineConfig,
+    noise: &dyn NoiseSource,
+    mut board: Board,
+) -> RunOutcome {
+    assert_eq!(board.n_tasks(), inst.n_tasks());
+    assert_eq!(board.n_workers(), inst.n_workers());
+    let ctx = Ctx::new(inst, cfg, noise);
+    let mut moves: Vec<MoveRecord> = Vec::new();
+    let mut rounds = 0usize;
+
+    loop {
+        rounds += 1;
+        assert!(
+            rounds <= cfg.max_rounds,
+            "game engine exceeded max_rounds = {} — this indicates a \
+             non-terminating configuration bug",
+            cfg.max_rounds
+        );
+        let mut any_move = false;
+
+        for j in 0..inst.n_workers() {
+            let held = board.task_of(j);
+
+            // Line 6: best response over R_j \ {current task}.
+            let mut best: Option<(f64, usize, f64, f64)> = None; // (UT, task, d̂, ε)
+            for &i in inst.reach(j) {
+                if held == Some(i) {
+                    continue;
+                }
+                let Some(p) = ctx.prospective(&board, i, j) else {
+                    continue; // budget exhausted toward this task
+                };
+                let mut ut = inst.task_value(i) - ctx.fd(p.effective.distance) - ctx.fp(p.epsilon);
+                if let Some(w) = board.winner(i) {
+                    let we = board
+                        .effective(i, w)
+                        .expect("winner must have published releases");
+                    ut += -inst.task_value(i) + ctx.fd(we.distance);
+                }
+                if let Some(i1) = held {
+                    let own = board
+                        .effective(i1, j)
+                        .expect("held task must have published releases");
+                    ut += -inst.task_value(i1) + ctx.fd(own.distance);
+                }
+                if best.is_none_or(|(b, ..)| ut > b) {
+                    best = Some((ut, i, p.d_hat, p.epsilon));
+                }
+            }
+
+            // Lines 7–15: publish and update the allocation when the best
+            // response strictly improves.
+            if let Some((ut, i, d_hat, eps)) = best {
+                if ut > 0.0 {
+                    let phi_before = cfg
+                        .track_potential
+                        .then(|| potential(inst, &board, cfg));
+                    board.publish(i, j, d_hat, eps);
+                    board.set_winner(i, Some(j)); // frees j's old task & displaces the old winner
+                    any_move = true;
+                    let phi_after = cfg.track_potential.then(|| {
+                        let phi = potential(inst, &board, cfg);
+                        let delta = phi - phi_before.expect("tracked");
+                        assert!(
+                            (delta - ut).abs() < 1e-6,
+                            "exact-potential identity violated: ΔΦ = {delta}, UT = {ut}"
+                        );
+                        phi
+                    });
+                    moves.push(MoveRecord {
+                        worker: j,
+                        from: held,
+                        to: i,
+                        utility_change: ut,
+                        potential: phi_after,
+                    });
+                }
+            }
+        }
+
+        if !any_move {
+            break; // pure Nash equilibrium of the approximate game
+        }
+    }
+
+    RunOutcome {
+        assignment: board.assignment(),
+        board,
+        rounds,
+        moves,
+    }
+}

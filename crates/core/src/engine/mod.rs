@@ -1,0 +1,15 @@
+//! The three algorithm engines.
+//!
+//! * [`ce`] — the conflict-elimination protocol (Algorithms 1–3),
+//!   parameterised into PUCE / PDCE / UCE / DCE and the nppcf ablations;
+//! * [`game`] — the best-response potential-game protocol (Algorithm 4),
+//!   parameterised into PGT / GT;
+//! * [`baseline`] — the one-shot GRD greedy and the Hungarian optimum.
+
+pub mod baseline;
+pub mod ce;
+mod ctx;
+pub mod game;
+pub mod location;
+
+pub(crate) use ctx::Ctx;

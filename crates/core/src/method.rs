@@ -1,0 +1,247 @@
+//! The Table IX method registry: every solution the paper evaluates,
+//! plus the Hungarian optimum, behind a single [`Method::run`] entry
+//! point.
+
+use crate::config::{CompareMode, EngineConfig, Objective, RunParams};
+use crate::engine::{baseline, ce, game, location};
+use crate::model::Instance;
+use crate::outcome::RunOutcome;
+use dpta_dp::SeededNoise;
+use serde::{Deserialize, Serialize};
+
+/// The methods of Table IX (private, non-private, and non-PPCF
+/// versions), plus the exact Hungarian baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Private Utility Conflict-Elimination (this paper, Section V).
+    Puce,
+    /// PUCE with the PPCF gate replaced by PCF (Section VII-D.4).
+    PuceNppcf,
+    /// Private Distance Conflict-Elimination (Wang et al. \[3\], altered
+    /// per Section VII-B).
+    Pdce,
+    /// PDCE without the PPCF gate.
+    PdceNppcf,
+    /// Private Game Theoretic approach (this paper, Section VI).
+    Pgt,
+    /// Non-private Utility Conflict-Elimination.
+    Uce,
+    /// Non-private Distance Conflict-Elimination.
+    Dce,
+    /// Non-private Game Theory.
+    Gt,
+    /// Non-private global greedy.
+    Grd,
+    /// Exact non-private optimum (Hungarian / Kuhn–Munkres).
+    Optimal,
+    /// One-shot Geo-Indistinguishability baseline: a single planar-
+    /// Laplace location release instead of dynamic distance releases
+    /// (related work \[2\]/\[18\]; see `engine::location`).
+    GeoI,
+    /// The Section V strawman: Hungarian on first-slot obfuscated
+    /// distances after every worker proposes everywhere.
+    ObfuscatedOptimal,
+}
+
+impl Method {
+    /// Every implemented method.
+    pub fn all() -> [Method; 12] {
+        [
+            Method::Puce,
+            Method::PuceNppcf,
+            Method::Pdce,
+            Method::PdceNppcf,
+            Method::Pgt,
+            Method::Uce,
+            Method::Dce,
+            Method::Gt,
+            Method::Grd,
+            Method::Optimal,
+            Method::GeoI,
+            Method::ObfuscatedOptimal,
+        ]
+    }
+
+    /// The seven methods plotted in Figures 4–16 of the paper.
+    pub fn paper_main_set() -> [Method; 7] {
+        [
+            Method::Puce,
+            Method::Pdce,
+            Method::Pgt,
+            Method::Uce,
+            Method::Dce,
+            Method::Gt,
+            Method::Grd,
+        ]
+    }
+
+    /// The four methods of the PPCF ablation (Figure 17).
+    pub fn ppcf_ablation_set() -> [Method; 4] {
+        [Method::Puce, Method::Pdce, Method::PuceNppcf, Method::PdceNppcf]
+    }
+
+    /// Display name as used in the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Puce => "PUCE",
+            Method::PuceNppcf => "PUCE-nppcf",
+            Method::Pdce => "PDCE",
+            Method::PdceNppcf => "PDCE-nppcf",
+            Method::Pgt => "PGT",
+            Method::Uce => "UCE",
+            Method::Dce => "DCE",
+            Method::Gt => "GT",
+            Method::Grd => "GRD",
+            Method::Optimal => "OPT",
+            Method::GeoI => "GEO-I",
+            Method::ObfuscatedOptimal => "P-OPT",
+        }
+    }
+
+    /// Whether the method obfuscates distances and pays privacy cost.
+    pub fn is_private(&self) -> bool {
+        matches!(
+            self,
+            Method::Puce
+                | Method::PuceNppcf
+                | Method::Pdce
+                | Method::PdceNppcf
+                | Method::Pgt
+                | Method::GeoI
+                | Method::ObfuscatedOptimal
+        )
+    }
+
+    /// The non-private counterpart used for the relative-deviation
+    /// measures of Section VII-C (`None` for already-non-private
+    /// methods).
+    pub fn non_private_counterpart(&self) -> Option<Method> {
+        match self {
+            Method::Puce | Method::PuceNppcf => Some(Method::Uce),
+            Method::Pdce | Method::PdceNppcf => Some(Method::Dce),
+            Method::Pgt => Some(Method::Gt),
+            Method::GeoI => Some(Method::Grd),
+            Method::ObfuscatedOptimal => Some(Method::Optimal),
+            _ => None,
+        }
+    }
+
+    /// The engine configuration this method runs under.
+    pub fn engine_config(&self, params: &RunParams) -> EngineConfig {
+        let base = EngineConfig {
+            alpha: params.alpha,
+            beta: params.beta,
+            accounting: params.accounting,
+            fallback: params.fallback,
+            max_rounds: params.max_rounds,
+            ..EngineConfig::default()
+        };
+        match self {
+            Method::Puce => EngineConfig {
+                objective: Objective::Utility,
+                compare: CompareMode::Ppcf,
+                private: true,
+                ..base
+            },
+            Method::PuceNppcf => EngineConfig {
+                objective: Objective::Utility,
+                compare: CompareMode::PcfOnly,
+                private: true,
+                ..base
+            },
+            Method::Pdce => EngineConfig {
+                objective: Objective::Distance,
+                compare: CompareMode::Ppcf,
+                private: true,
+                ..base
+            },
+            Method::PdceNppcf => EngineConfig {
+                objective: Objective::Distance,
+                compare: CompareMode::PcfOnly,
+                private: true,
+                ..base
+            },
+            Method::Uce => EngineConfig {
+                objective: Objective::Utility,
+                private: false,
+                ..base
+            },
+            Method::Dce => EngineConfig {
+                objective: Objective::Distance,
+                private: false,
+                ..base
+            },
+            Method::Pgt | Method::GeoI | Method::ObfuscatedOptimal => {
+                EngineConfig { private: true, ..base }
+            }
+            Method::Gt | Method::Grd | Method::Optimal => {
+                EngineConfig { private: false, ..base }
+            }
+        }
+    }
+
+    /// Runs the method on an instance.
+    pub fn run(&self, inst: &Instance, params: &RunParams) -> RunOutcome {
+        let cfg = self.engine_config(params);
+        let noise = SeededNoise::new(params.seed);
+        match self {
+            Method::Puce
+            | Method::PuceNppcf
+            | Method::Pdce
+            | Method::PdceNppcf
+            | Method::Uce
+            | Method::Dce => ce::run(inst, &cfg, &noise),
+            Method::Pgt | Method::Gt => game::run(inst, &cfg, &noise),
+            Method::Grd => baseline::run_grd(inst, &cfg),
+            Method::Optimal => baseline::run_optimal(inst, &cfg),
+            Method::GeoI => location::run_geoi(inst, &cfg, &noise),
+            Method::ObfuscatedOptimal => {
+                baseline::run_obfuscated_optimal(inst, &cfg, &noise)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        assert_eq!(Method::all().len(), 12);
+        assert_eq!(Method::paper_main_set().len(), 7);
+        for m in Method::all() {
+            assert!(!m.name().is_empty());
+            if let Some(np) = m.non_private_counterpart() {
+                assert!(m.is_private());
+                assert!(!np.is_private());
+            }
+        }
+        assert_eq!(Method::Puce.non_private_counterpart(), Some(Method::Uce));
+        assert_eq!(Method::Pdce.non_private_counterpart(), Some(Method::Dce));
+        assert_eq!(Method::Pgt.non_private_counterpart(), Some(Method::Gt));
+        assert_eq!(Method::Grd.non_private_counterpart(), None);
+    }
+
+    #[test]
+    fn engine_configs_match_table_ix() {
+        let p = RunParams::default();
+        let puce = Method::Puce.engine_config(&p);
+        assert_eq!(puce.objective, Objective::Utility);
+        assert_eq!(puce.compare, CompareMode::Ppcf);
+        assert!(puce.private);
+        let pdce = Method::Pdce.engine_config(&p);
+        assert_eq!(pdce.objective, Objective::Distance);
+        assert!(pdce.private);
+        let nppcf = Method::PuceNppcf.engine_config(&p);
+        assert_eq!(nppcf.compare, CompareMode::PcfOnly);
+        assert!(!Method::Uce.engine_config(&p).private);
+        assert!(!Method::Gt.engine_config(&p).private);
+    }
+}

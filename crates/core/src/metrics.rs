@@ -1,0 +1,239 @@
+//! The evaluation measures of Section VII-C.
+//!
+//! * **Average utility** `U_AVG = Σ_{(i,j)∈M} U_j(i) / |M|`, where the
+//!   utility of a matched pair uses the *real* distance and the
+//!   worker's *cumulative* published privacy cost (Equation 2 /
+//!   Definition 5) — regardless of the per-proposal accounting knob.
+//! * **Average travel distance** `D_AVG = Σ_{(i,j)∈M} d_{i,j} / |M|`.
+//! * **Relative deviations** between a private solution and its
+//!   non-private counterpart:
+//!   `U_RD = (U_NP − U_P)/U_NP` and `D_RD = (D_P − D_NP)/D_NP`.
+
+use crate::model::Instance;
+use crate::outcome::RunOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate measures of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measures {
+    /// Matched pairs `|M|`.
+    pub matched: usize,
+    /// `Σ U_j(i)` over matched pairs.
+    pub total_utility: f64,
+    /// `Σ d_{i,j}` (real distances) over matched pairs.
+    pub total_distance: f64,
+    /// Total published privacy budget across all workers.
+    pub total_epsilon: f64,
+    /// Publications made during the run.
+    pub publications: usize,
+    /// Protocol rounds.
+    pub rounds: usize,
+}
+
+impl Measures {
+    /// `U_AVG`; zero when nothing matched.
+    pub fn avg_utility(&self) -> f64 {
+        if self.matched == 0 {
+            0.0
+        } else {
+            self.total_utility / self.matched as f64
+        }
+    }
+
+    /// `D_AVG`; zero when nothing matched.
+    pub fn avg_distance(&self) -> f64 {
+        if self.matched == 0 {
+            0.0
+        } else {
+            self.total_distance / self.matched as f64
+        }
+    }
+
+    /// Merges per-batch measures into a whole-run aggregate
+    /// (Section VII-B runs each data set as a sequence of batches).
+    pub fn merge(&mut self, other: &Measures) {
+        self.matched += other.matched;
+        self.total_utility += other.total_utility;
+        self.total_distance += other.total_distance;
+        self.total_epsilon += other.total_epsilon;
+        self.publications += other.publications;
+        self.rounds += other.rounds;
+    }
+
+    /// The all-zero aggregate (identity for [`Measures::merge`]).
+    pub fn zero() -> Measures {
+        Measures {
+            matched: 0,
+            total_utility: 0.0,
+            total_distance: 0.0,
+            total_epsilon: 0.0,
+            publications: 0,
+            rounds: 0,
+        }
+    }
+}
+
+/// Evaluates a finished run against the ground-truth instance.
+///
+/// `alpha`/`beta` are the `f_d`/`f_p` slopes; pass `private = false` to
+/// score a non-private method (whose utility has no privacy term).
+pub fn measure(
+    inst: &Instance,
+    outcome: &RunOutcome,
+    alpha: f64,
+    beta: f64,
+    private: bool,
+) -> Measures {
+    let mut total_utility = 0.0;
+    let mut total_distance = 0.0;
+    let mut matched = 0usize;
+    for (i, j) in outcome.assignment.pairs() {
+        let d = inst.distance(i, j);
+        let privacy_cost = if private {
+            beta * outcome.board.spent_total(j)
+        } else {
+            0.0
+        };
+        total_utility += inst.task_value(i) - alpha * d - privacy_cost;
+        total_distance += d;
+        matched += 1;
+    }
+    let total_epsilon = (0..inst.n_workers())
+        .map(|j| outcome.board.spent_total(j))
+        .sum();
+    Measures {
+        matched,
+        total_utility,
+        total_distance,
+        total_epsilon,
+        publications: outcome.publications(),
+        rounds: outcome.rounds,
+    }
+}
+
+/// `U_RD = (U_NP − U_P) / U_NP`; zero when the non-private utility is
+/// zero (nothing matched in the reference run).
+pub fn relative_deviation_utility(non_private: &Measures, private_: &Measures) -> f64 {
+    let u_np = non_private.avg_utility();
+    if u_np == 0.0 {
+        0.0
+    } else {
+        (u_np - private_.avg_utility()) / u_np
+    }
+}
+
+/// `D_RD = (D_P − D_NP) / D_NP`; zero when the non-private distance is
+/// zero.
+pub fn relative_deviation_distance(non_private: &Measures, private_: &Measures) -> f64 {
+    let d_np = non_private.avg_distance();
+    if d_np == 0.0 {
+        0.0
+    } else {
+        (private_.avg_distance() - d_np) / d_np
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Board;
+    use crate::model::{Task, Worker};
+    use dpta_dp::BudgetVector;
+    use dpta_spatial::{DistanceMatrix, Point};
+
+    fn instance() -> Instance {
+        let dist = DistanceMatrix::from_rows(&[&[1.0, 3.0], &[2.0, 1.5]]);
+        Instance::from_distance_matrix(
+            vec![Task::new(Point::ORIGIN, 5.0), Task::new(Point::ORIGIN, 4.0)],
+            vec![Worker::new(Point::ORIGIN, 10.0), Worker::new(Point::ORIGIN, 10.0)],
+            dist,
+            |_, _| BudgetVector::new(vec![1.0]),
+        )
+    }
+
+    fn outcome_with(inst: &Instance, pairs: &[(usize, usize)], spends: &[(usize, usize, f64)]) -> RunOutcome {
+        let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+        for &(i, j, eps) in spends {
+            board.publish(i, j, 0.0, eps);
+        }
+        for &(t, w) in pairs {
+            board.set_winner(t, Some(w));
+        }
+        RunOutcome {
+            assignment: board.assignment(),
+            board,
+            rounds: 3,
+            moves: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measures_private_run() {
+        let inst = instance();
+        // t0:w0 (d=1), t1:w1 (d=1.5); w0 spent 0.5, w1 spent 0.25+0.25.
+        let out = outcome_with(
+            &inst,
+            &[(0, 0), (1, 1)],
+            &[(0, 0, 0.5), (0, 1, 0.25), (1, 1, 0.25)],
+        );
+        let m = measure(&inst, &out, 1.0, 1.0, true);
+        assert_eq!(m.matched, 2);
+        // U = (5 − 1 − 0.5) + (4 − 1.5 − 0.5) = 3.5 + 2.0 = 5.5
+        assert!((m.total_utility - 5.5).abs() < 1e-12);
+        assert!((m.avg_utility() - 2.75).abs() < 1e-12);
+        assert!((m.total_distance - 2.5).abs() < 1e-12);
+        assert!((m.avg_distance() - 1.25).abs() < 1e-12);
+        assert!((m.total_epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(m.publications, 3);
+    }
+
+    #[test]
+    fn measures_non_private_ignore_spend() {
+        let inst = instance();
+        let out = outcome_with(&inst, &[(0, 0)], &[(0, 0, 3.0)]);
+        let m = measure(&inst, &out, 1.0, 1.0, false);
+        assert!((m.total_utility - 4.0).abs() < 1e-12); // 5 − 1
+    }
+
+    #[test]
+    fn alpha_beta_scale() {
+        let inst = instance();
+        let out = outcome_with(&inst, &[(0, 0)], &[(0, 0, 2.0)]);
+        let m = measure(&inst, &out, 2.0, 0.5, true);
+        // 5 − 2·1 − 0.5·2 = 2
+        assert!((m.total_utility - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_match_measures_are_zero() {
+        let inst = instance();
+        let out = outcome_with(&inst, &[], &[]);
+        let m = measure(&inst, &out, 1.0, 1.0, true);
+        assert_eq!(m.matched, 0);
+        assert_eq!(m.avg_utility(), 0.0);
+        assert_eq!(m.avg_distance(), 0.0);
+    }
+
+    #[test]
+    fn relative_deviations() {
+        let np = Measures { matched: 2, total_utility: 8.0, total_distance: 2.0, ..Measures::zero() };
+        let p = Measures { matched: 2, total_utility: 6.0, total_distance: 3.0, ..Measures::zero() };
+        assert!((relative_deviation_utility(&np, &p) - 0.25).abs() < 1e-12);
+        assert!((relative_deviation_distance(&np, &p) - 0.5).abs() < 1e-12);
+        let empty = Measures::zero();
+        assert_eq!(relative_deviation_utility(&empty, &p), 0.0);
+        assert_eq!(relative_deviation_distance(&empty, &p), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Measures { matched: 1, total_utility: 2.0, total_distance: 1.0, total_epsilon: 0.5, publications: 3, rounds: 2 };
+        let b = Measures { matched: 2, total_utility: 4.0, total_distance: 3.0, total_epsilon: 1.5, publications: 5, rounds: 4 };
+        a.merge(&b);
+        assert_eq!(a.matched, 3);
+        assert!((a.total_utility - 6.0).abs() < 1e-12);
+        assert!((a.avg_utility() - 2.0).abs() < 1e-12);
+        assert_eq!(a.publications, 8);
+        assert_eq!(a.rounds, 6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Spatial tasks and spatial workers (Definitions 1 and 2).
+
+use dpta_spatial::{Circle, Point};
+use serde::{Deserialize, Serialize};
+
+/// A spatial task `t_i` with location `l_i` and inherent value `v_i`
+/// (Definition 1). A worker gains `v_i` revenue by serving it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task location.
+    pub location: Point,
+    /// Task value `v_i`; must be finite and non-negative.
+    pub value: f64,
+}
+
+impl Task {
+    /// Creates a task, validating the value.
+    pub fn new(location: Point, value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "task value must be finite and >= 0, got {value}"
+        );
+        Task { location, value }
+    }
+}
+
+/// A spatial worker `w_j` with location `l_j` and service radius `r_j`
+/// (Definition 2); the worker proposes only to tasks inside the circle
+/// `A_j` of radius `r_j` around `l_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Worker location.
+    pub location: Point,
+    /// Service radius `r_j` in km ("worker range" in the experiments).
+    pub radius: f64,
+}
+
+impl Worker {
+    /// Creates a worker, validating the radius.
+    pub fn new(location: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "worker radius must be finite and >= 0, got {radius}"
+        );
+        Worker { location, radius }
+    }
+
+    /// The worker's service area `A_j`.
+    pub fn service_area(&self) -> Circle {
+        Circle::new(self.location, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_construction() {
+        let t = Task::new(Point::new(1.0, 2.0), 4.5);
+        assert_eq!(t.value, 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "task value")]
+    fn negative_task_value_panics() {
+        let _ = Task::new(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn worker_service_area() {
+        let w = Worker::new(Point::new(3.0, 4.0), 1.4);
+        let a = w.service_area();
+        assert!(a.contains(&Point::new(3.0, 5.0)));
+        assert!(!a.contains(&Point::new(3.0, 5.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker radius")]
+    fn nan_radius_panics() {
+        let _ = Worker::new(Point::ORIGIN, f64::NAN);
+    }
+}

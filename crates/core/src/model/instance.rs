@@ -1,0 +1,330 @@
+//! A PA-TA problem instance: tasks, workers, distances, service-area
+//! reach sets `R_j`, and privacy budget vectors `ε_{i,j}`.
+
+use crate::model::{Task, Worker};
+use dpta_dp::BudgetVector;
+use dpta_spatial::{DistanceMatrix, GridIndex};
+
+/// How pair distances are stored.
+///
+/// Geometric instances (the normal case) derive `d_{i,j}` from the
+/// entity locations on demand — O(m+n) memory instead of the O(m·n)
+/// dense matrix, which matters at the paper's 1000×3000 batch sizes.
+/// Table-based instances (the paper's worked examples) carry the dense
+/// matrix they were built from.
+#[derive(Debug, Clone)]
+enum DistanceStore {
+    Geometric,
+    Dense(DistanceMatrix),
+}
+
+/// One batch's worth of the PA-TA problem (Definition 5).
+///
+/// Holds the real (secret) distances — the algorithms only consult them
+/// through the worker-side code paths, never through the server board —
+/// together with the public structure: who can reach what, and which
+/// budget vector each feasible pair owns.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    tasks: Vec<Task>,
+    workers: Vec<Worker>,
+    store: DistanceStore,
+    /// `reach[j]` = the paper's `R_j`: task indices within `r_j` of
+    /// worker `j`, ascending.
+    reach: Vec<Vec<usize>>,
+    /// `budgets[j][k]` is the budget vector for task `reach[j][k]`.
+    budgets: Vec<Vec<BudgetVector>>,
+}
+
+impl Instance {
+    /// Builds an instance from entity locations; distances are Euclidean
+    /// and `R_j = {i : d_{i,j} <= r_j}`. Service areas are resolved with
+    /// a uniform grid index over the task locations, so construction is
+    /// O(m + n + feasible pairs) instead of O(m·n). `budget_fn(i, j)`
+    /// supplies the budget vector for each feasible pair.
+    pub fn from_locations(
+        tasks: Vec<Task>,
+        workers: Vec<Worker>,
+        mut budget_fn: impl FnMut(usize, usize) -> BudgetVector,
+    ) -> Self {
+        let task_locs: Vec<_> = tasks.iter().map(|t| t.location).collect();
+        let max_radius = workers
+            .iter()
+            .map(|w| w.radius)
+            .fold(0.0f64, f64::max)
+            .max(1e-6);
+        let index = GridIndex::build_for_radius(&task_locs, max_radius);
+
+        let mut reach = Vec::with_capacity(workers.len());
+        let mut budgets = Vec::with_capacity(workers.len());
+        let mut buf = Vec::new();
+        for (j, w) in workers.iter().enumerate() {
+            index.query_circle_into(&w.service_area(), &mut buf);
+            let mut b = Vec::with_capacity(buf.len());
+            for &i in &buf {
+                b.push(budget_fn(i, j));
+            }
+            reach.push(buf.clone());
+            budgets.push(b);
+        }
+        Instance {
+            tasks,
+            workers,
+            store: DistanceStore::Geometric,
+            reach,
+            budgets,
+        }
+    }
+
+    /// Builds an instance from an explicit distance matrix (rows =
+    /// tasks, columns = workers) — used to replay the paper's worked
+    /// examples, whose inputs are distance tables rather than geometry.
+    pub fn from_distance_matrix(
+        tasks: Vec<Task>,
+        workers: Vec<Worker>,
+        dist: DistanceMatrix,
+        mut budget_fn: impl FnMut(usize, usize) -> BudgetVector,
+    ) -> Self {
+        assert_eq!(dist.tasks(), tasks.len(), "distance matrix rows != tasks");
+        assert_eq!(dist.workers(), workers.len(), "distance matrix cols != workers");
+        let mut reach = Vec::with_capacity(workers.len());
+        let mut budgets = Vec::with_capacity(workers.len());
+        for (j, w) in workers.iter().enumerate() {
+            let mut r = Vec::new();
+            let mut b = Vec::new();
+            for i in 0..tasks.len() {
+                if dist.get(i, j) <= w.radius {
+                    r.push(i);
+                    b.push(budget_fn(i, j));
+                }
+            }
+            reach.push(r);
+            budgets.push(b);
+        }
+        Instance {
+            tasks,
+            workers,
+            store: DistanceStore::Dense(dist),
+            reach,
+            budgets,
+        }
+    }
+
+    /// The tasks of this instance.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The workers of this instance.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Number of tasks `m`.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of workers `n`.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The real distance `d_{i,j}` (secret worker-side knowledge).
+    #[inline]
+    pub fn distance(&self, task: usize, worker: usize) -> f64 {
+        match &self.store {
+            DistanceStore::Geometric => self.tasks[task]
+                .location
+                .distance(&self.workers[worker].location),
+            DistanceStore::Dense(m) => m.get(task, worker),
+        }
+    }
+
+    /// The task value `v_i`.
+    #[inline]
+    pub fn task_value(&self, task: usize) -> f64 {
+        self.tasks[task].value
+    }
+
+    /// The paper's `R_j`: tasks inside worker `j`'s service area,
+    /// ascending by task index.
+    pub fn reach(&self, worker: usize) -> &[usize] {
+        &self.reach[worker]
+    }
+
+    /// Whether task `i` is inside worker `j`'s service area.
+    pub fn in_reach(&self, task: usize, worker: usize) -> bool {
+        self.reach[worker].binary_search(&task).is_ok()
+    }
+
+    /// The budget vector `ε_{i,j}` for a feasible pair; `None` when the
+    /// task is outside the worker's service area.
+    pub fn budget(&self, task: usize, worker: usize) -> Option<&BudgetVector> {
+        self.reach[worker]
+            .binary_search(&task)
+            .ok()
+            .map(|k| &self.budgets[worker][k])
+    }
+
+    /// Total number of feasible (task, worker) pairs.
+    pub fn feasible_pairs(&self) -> usize {
+        self.reach.iter().map(Vec::len).sum()
+    }
+
+    /// Average number of tasks per worker service area — the data-set
+    /// density statistic the paper uses to explain PGT's behaviour
+    /// (Section VII-D.2).
+    pub fn mean_tasks_in_range(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.feasible_pairs() as f64 / self.workers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpta_spatial::Point;
+    use proptest::prelude::*;
+
+    fn budget(_i: usize, _j: usize) -> BudgetVector {
+        BudgetVector::new(vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn reach_from_locations() {
+        let tasks = vec![
+            Task::new(Point::new(0.0, 0.0), 1.0),
+            Task::new(Point::new(5.0, 0.0), 1.0),
+        ];
+        let workers = vec![
+            Worker::new(Point::new(0.0, 1.0), 2.0), // reaches t0 only
+            Worker::new(Point::new(2.5, 0.0), 3.0), // reaches both
+        ];
+        let inst = Instance::from_locations(tasks, workers, budget);
+        assert_eq!(inst.reach(0), &[0]);
+        assert_eq!(inst.reach(1), &[0, 1]);
+        assert!(inst.in_reach(0, 0));
+        assert!(!inst.in_reach(1, 0));
+        assert!(inst.budget(1, 0).is_none());
+        assert!(inst.budget(1, 1).is_some());
+        assert_eq!(inst.feasible_pairs(), 3);
+        assert!((inst.mean_tasks_in_range() - 1.5).abs() < 1e-12);
+        // Geometric distances come straight from the locations.
+        assert!((inst.distance(1, 1) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table_iii_reach_matches_table_iv_pairs() {
+        // Table III distances with service areas 15, 15, 10 must produce
+        // exactly the seven matchable pairs of Table IV.
+        let dist = DistanceMatrix::from_rows(&[
+            &[12.2, 5.0, 9.43],
+            &[3.61, 10.44, 18.25],
+            &[17.12, 12.21, 7.28],
+        ]);
+        let tasks = vec![
+            Task::new(Point::ORIGIN, 12.4),
+            Task::new(Point::ORIGIN, 11.0),
+            Task::new(Point::ORIGIN, 13.0),
+        ];
+        let workers = vec![
+            Worker::new(Point::ORIGIN, 15.0),
+            Worker::new(Point::ORIGIN, 15.0),
+            Worker::new(Point::ORIGIN, 10.0),
+        ];
+        let inst = Instance::from_distance_matrix(tasks, workers, dist, budget);
+        assert_eq!(inst.reach(0), &[0, 1]); // w1: t1, t2
+        assert_eq!(inst.reach(1), &[0, 1, 2]); // w2: all
+        assert_eq!(inst.reach(2), &[0, 2]); // w3: t1, t3
+        assert_eq!(inst.feasible_pairs(), 7);
+    }
+
+    #[test]
+    fn boundary_task_is_in_reach() {
+        let dist = DistanceMatrix::from_rows(&[&[2.0]]);
+        let inst = Instance::from_distance_matrix(
+            vec![Task::new(Point::ORIGIN, 1.0)],
+            vec![Worker::new(Point::ORIGIN, 2.0)],
+            dist,
+            budget,
+        );
+        assert!(inst.in_reach(0, 0)); // d == r counts (A_j is closed)
+    }
+
+    #[test]
+    #[should_panic(expected = "distance matrix rows")]
+    fn mismatched_matrix_panics() {
+        let dist = DistanceMatrix::from_rows(&[&[1.0]]);
+        let _ = Instance::from_distance_matrix(
+            vec![],
+            vec![Worker::new(Point::ORIGIN, 1.0)],
+            dist,
+            budget,
+        );
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_locations(vec![], vec![], budget);
+        assert_eq!(inst.n_tasks(), 0);
+        assert_eq!(inst.n_workers(), 0);
+        assert_eq!(inst.mean_tasks_in_range(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn grid_backed_reach_equals_brute_force(
+            task_pts in proptest::collection::vec((0.0f64..20.0, 0.0f64..20.0), 0..40),
+            worker_pts in proptest::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.2f64..5.0), 1..25),
+        ) {
+            let tasks: Vec<Task> = task_pts
+                .iter()
+                .map(|&(x, y)| Task::new(Point::new(x, y), 1.0))
+                .collect();
+            let workers: Vec<Worker> = worker_pts
+                .iter()
+                .map(|&(x, y, r)| Worker::new(Point::new(x, y), r))
+                .collect();
+            let inst = Instance::from_locations(tasks.clone(), workers.clone(), budget);
+            for (j, w) in workers.iter().enumerate() {
+                let brute: Vec<usize> = tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.location.distance_sq(&w.location) <= w.radius * w.radius)
+                    .map(|(i, _)| i)
+                    .collect();
+                prop_assert_eq!(inst.reach(j), &brute[..], "worker {}", j);
+            }
+        }
+
+        #[test]
+        fn geometric_distance_matches_dense_matrix(
+            task_pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..10),
+            worker_pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..10),
+        ) {
+            let tasks: Vec<Task> = task_pts
+                .iter()
+                .map(|&(x, y)| Task::new(Point::new(x, y), 1.0))
+                .collect();
+            let workers: Vec<Worker> = worker_pts
+                .iter()
+                .map(|&(x, y)| Worker::new(Point::new(x, y), 100.0))
+                .collect();
+            let dense = DistanceMatrix::compute(
+                &tasks.iter().map(|t| t.location).collect::<Vec<_>>(),
+                &workers.iter().map(|w| w.location).collect::<Vec<_>>(),
+            );
+            let geo = Instance::from_locations(tasks.clone(), workers.clone(), budget);
+            let tab = Instance::from_distance_matrix(tasks, workers, dense, budget);
+            for i in 0..geo.n_tasks() {
+                for j in 0..geo.n_workers() {
+                    prop_assert!((geo.distance(i, j) - tab.distance(i, j)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The Distance Value Function `f_d` (Definition 3) and Privacy Budget
+//! Value Function `f_p` (Definition 4).
+//!
+//! `f_d` converts travel distance into value cost; it must be monotone
+//! with `f_d(0)=0`, and PUCE's utility→distance transformation (Eq. 4)
+//! additionally needs its inverse. `f_p` converts privacy budget into
+//! value cost; Definition 4 requires additivity
+//! (`f_p(ε₁)+f_p(ε₂)=f_p(ε₁+ε₂)`), which forces it to be linear — the
+//! paper states `f_p` *is* linear and uses `f_d(x)=αx`, `f_p(x)=βx`
+//! with `α=β=1` in the experiments.
+
+/// A distance value function `f_d` with an inverse (needed by Eq. 4).
+pub trait DistanceValue {
+    /// `f_d(d)` — the value cost of travelling distance `d`.
+    fn value(&self, d: f64) -> f64;
+    /// `f_d⁻¹(v)` — the distance whose value cost is `v`.
+    fn inverse(&self, v: f64) -> f64;
+}
+
+/// A privacy budget value function `f_p` (linear by Definition 4).
+pub trait PrivacyValue {
+    /// `f_p(ε)` — the value cost of leaking budget `ε`.
+    fn value(&self, eps: f64) -> f64;
+}
+
+/// The linear value function `x ↦ c·x` used throughout the paper's
+/// evaluation (`α` for `f_d`, `β` for `f_p`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearValue(pub f64);
+
+impl LinearValue {
+    /// Creates the function, validating the coefficient.
+    pub fn new(coefficient: f64) -> Self {
+        assert!(
+            coefficient.is_finite() && coefficient >= 0.0,
+            "value coefficient must be finite and >= 0, got {coefficient}"
+        );
+        LinearValue(coefficient)
+    }
+}
+
+impl DistanceValue for LinearValue {
+    #[inline]
+    fn value(&self, d: f64) -> f64 {
+        self.0 * d
+    }
+
+    #[inline]
+    fn inverse(&self, v: f64) -> f64 {
+        assert!(self.0 > 0.0, "f_d with zero slope has no inverse");
+        v / self.0
+    }
+}
+
+impl PrivacyValue for LinearValue {
+    #[inline]
+    fn value(&self, eps: f64) -> f64 {
+        self.0 * eps
+    }
+}
+
+/// The degenerate `f_p ≡ 0` used by the non-private baselines (UCE,
+/// DCE, GT, GRD), whose utility ignores privacy cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroValue;
+
+impl PrivacyValue for ZeroValue {
+    #[inline]
+    fn value(&self, _eps: f64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_value_and_inverse() {
+        let f = LinearValue::new(2.0);
+        assert_eq!(DistanceValue::value(&f, 3.0), 6.0);
+        assert_eq!(f.inverse(6.0), 3.0);
+        assert_eq!(DistanceValue::value(&f, 0.0), 0.0); // f_d(0) = 0
+    }
+
+    #[test]
+    fn zero_value_is_always_zero() {
+        assert_eq!(ZeroValue.value(100.0), 0.0);
+        assert_eq!(ZeroValue.value(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_slope_inverse_panics() {
+        let _ = LinearValue::new(0.0).inverse(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient")]
+    fn negative_coefficient_panics() {
+        let _ = LinearValue::new(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn definition_4_additivity(c in 0.0f64..10.0, a in 0.0f64..10.0, b in 0.0f64..10.0) {
+            let f = LinearValue::new(c);
+            let lhs = PrivacyValue::value(&f, a) + PrivacyValue::value(&f, b);
+            let rhs = PrivacyValue::value(&f, a + b);
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+
+        #[test]
+        fn inverse_roundtrip(c in 0.01f64..10.0, d in 0.0f64..100.0) {
+            let f = LinearValue::new(c);
+            prop_assert!((f.inverse(DistanceValue::value(&f, d)) - d).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The result of one algorithm run.
+
+use crate::board::Board;
+use dpta_matching::Assignment;
+
+/// One accepted best-response move of the game engine (Algorithm 4),
+/// recorded for convergence analysis and the Theorem VI.1 tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveRecord {
+    /// The moving worker.
+    pub worker: usize,
+    /// The task he held before the move, if any.
+    pub from: Option<usize>,
+    /// The task he won.
+    pub to: usize,
+    /// The move's utility `UT⁽ᵏ⁾_j` (Equation 5), always > 0.
+    pub utility_change: f64,
+    /// The potential `Φ` after the move, when potential tracking is
+    /// enabled (see [`crate::config::EngineConfig::track_potential`]).
+    pub potential: Option<f64>,
+}
+
+/// Everything a run produces: the final matching, the full public board
+/// (for privacy auditing and effective-pair inspection), and the
+/// protocol trace.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The final task-worker matching `TWM`.
+    pub assignment: Assignment,
+    /// The server board at termination.
+    pub board: Board,
+    /// Protocol rounds executed (outer-loop iterations).
+    pub rounds: usize,
+    /// Accepted moves, in order (game engine only; empty for the
+    /// conflict-elimination engine and the one-shot baselines).
+    pub moves: Vec<MoveRecord>,
+}
+
+impl RunOutcome {
+    /// Total obfuscated-distance publications across the run.
+    pub fn publications(&self) -> usize {
+        self.board.publications()
+    }
+}

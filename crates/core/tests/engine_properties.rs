@@ -1,0 +1,310 @@
+//! Cross-cutting engine properties on randomized instances: validity,
+//! determinism, termination, privacy accounting, and the expected
+//! dominance relations between methods.
+
+use dpta_core::config::{CeaFallback, ProposalAccounting, RunParams};
+use dpta_core::metrics::measure;
+use dpta_core::{Instance, Method, Task, Worker};
+use dpta_dp::BudgetVector;
+use dpta_spatial::Point;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random PA-TA instance in a `side × side` km frame.
+fn random_instance(
+    seed: u64,
+    n_tasks: usize,
+    n_workers: usize,
+    side: f64,
+    radius: f64,
+    task_value: f64,
+    z: usize,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|_| {
+            Task::new(
+                Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+                task_value,
+            )
+        })
+        .collect();
+    let workers: Vec<Worker> = (0..n_workers)
+        .map(|_| {
+            Worker::new(
+                Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+                radius,
+            )
+        })
+        .collect();
+    let mut brng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    Instance::from_locations(tasks, workers, |_i, _j| {
+        BudgetVector::new((0..z).map(|_| brng.gen_range(0.5..1.75)).collect())
+    })
+}
+
+fn default_instance(seed: u64) -> Instance {
+    random_instance(seed, 40, 80, 10.0, 1.4, 4.5, 7)
+}
+
+#[test]
+fn all_methods_produce_valid_assignments() {
+    let inst = default_instance(1);
+    let params = RunParams::default();
+    for m in Method::all() {
+        let out = m.run(&inst, &params);
+        out.assignment.check_consistent();
+        // Matched pairs must respect service areas.
+        for (i, j) in out.assignment.pairs() {
+            assert!(inst.in_reach(i, j), "{m}: pair ({i},{j}) out of range");
+        }
+        // Privacy accounting holds for every method (trivially for
+        // non-private ones, which publish zero-noise releases).
+        out.board.verify_privacy_bounds(&inst);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_given_seed() {
+    let inst = default_instance(2);
+    let params = RunParams::with_seed(77);
+    for m in Method::all() {
+        let a = m.run(&inst, &params);
+        let b = m.run(&inst, &params);
+        assert_eq!(a.assignment, b.assignment, "{m} is not deterministic");
+        assert_eq!(a.publications(), b.publications());
+        assert_eq!(a.rounds, b.rounds);
+    }
+}
+
+#[test]
+fn different_seeds_change_private_outcomes_only() {
+    let inst = default_instance(3);
+    let a = RunParams::with_seed(1);
+    let b = RunParams::with_seed(2);
+    // Non-private methods ignore the noise seed entirely.
+    for m in [Method::Uce, Method::Dce, Method::Gt, Method::Grd, Method::Optimal] {
+        assert_eq!(
+            m.run(&inst, &a).assignment,
+            m.run(&inst, &b).assignment,
+            "{m} must not depend on the seed"
+        );
+    }
+}
+
+#[test]
+fn optimal_dominates_every_non_private_method_on_utility() {
+    for seed in [5, 6, 7] {
+        let inst = default_instance(seed);
+        let params = RunParams::default();
+        let opt = measure(&inst, &Method::Optimal.run(&inst, &params), 1.0, 1.0, false);
+        for m in [Method::Uce, Method::Dce, Method::Gt, Method::Grd] {
+            let got = measure(&inst, &m.run(&inst, &params), 1.0, 1.0, false);
+            assert!(
+                got.total_utility <= opt.total_utility + 1e-9,
+                "seed {seed}: {m} utility {} beats optimal {}",
+                got.total_utility,
+                opt.total_utility
+            );
+        }
+    }
+}
+
+#[test]
+fn dce_minimises_distance_better_than_uce_on_average() {
+    // The distance-objective CE should not travel farther than the
+    // utility-objective CE when averaged over several instances
+    // (per-instance inversions are possible; Figures 11–16 report the
+    // aggregate relationship).
+    let params = RunParams::default();
+    let (mut d_dce, mut d_uce, mut n) = (0.0, 0.0, 0);
+    for seed in 10..16 {
+        let inst = default_instance(seed);
+        let dce = measure(&inst, &Method::Dce.run(&inst, &params), 1.0, 1.0, false);
+        let uce = measure(&inst, &Method::Uce.run(&inst, &params), 1.0, 1.0, false);
+        if dce.matched > 0 && uce.matched > 0 {
+            d_dce += dce.avg_distance();
+            d_uce += uce.avg_distance();
+            n += 1;
+        }
+    }
+    assert!(n >= 3, "not enough populated instances");
+    assert!(
+        d_dce <= d_uce + 1e-9,
+        "avg distance DCE {d_dce} should not exceed UCE {d_uce}"
+    );
+}
+
+#[test]
+fn non_private_beats_private_on_utility_in_aggregate() {
+    // Relative deviation of utility is positive in the paper's plots:
+    // obfuscation and privacy cost can only hurt. Check the aggregate
+    // over several seeds for the CE family.
+    let params = RunParams::default();
+    let (mut up, mut unp) = (0.0, 0.0);
+    for seed in 20..26 {
+        let inst = default_instance(seed);
+        up += measure(&inst, &Method::Puce.run(&inst, &params), 1.0, 1.0, true).total_utility;
+        unp += measure(&inst, &Method::Uce.run(&inst, &params), 1.0, 1.0, false).total_utility;
+    }
+    assert!(
+        unp >= up,
+        "non-private UCE total utility {unp} must be >= private PUCE {up}"
+    );
+}
+
+#[test]
+fn publications_never_exceed_total_budget_slots() {
+    let inst = default_instance(30);
+    let params = RunParams::default();
+    let max_slots: usize = (0..inst.n_workers())
+        .map(|j| {
+            inst.reach(j)
+                .iter()
+                .map(|&i| inst.budget(i, j).unwrap().len())
+                .sum::<usize>()
+        })
+        .sum();
+    for m in [Method::Puce, Method::Pdce, Method::Pgt] {
+        let out = m.run(&inst, &params);
+        assert!(
+            out.publications() <= max_slots,
+            "{m} published {} > {max_slots}",
+            out.publications()
+        );
+        // And per pair, never more than Z releases.
+        for j in 0..inst.n_workers() {
+            for &i in inst.reach(j) {
+                assert!(out.board.used_slots(i, j) <= inst.budget(i, j).unwrap().len());
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_instances() {
+    let params = RunParams::default();
+    // Empty.
+    let empty = Instance::from_locations(vec![], vec![], |_, _| {
+        BudgetVector::new(vec![1.0])
+    });
+    for m in Method::all() {
+        let out = m.run(&empty, &params);
+        assert!(out.assignment.is_empty(), "{m} on empty instance");
+    }
+    // Workers that reach nothing.
+    let unreachable = Instance::from_locations(
+        vec![Task::new(Point::new(0.0, 0.0), 4.5)],
+        vec![Worker::new(Point::new(100.0, 100.0), 1.0)],
+        |_, _| BudgetVector::new(vec![1.0]),
+    );
+    for m in Method::all() {
+        let out = m.run(&unreachable, &params);
+        assert!(out.assignment.is_empty(), "{m} with unreachable task");
+        assert_eq!(out.publications(), 0, "{m} must not publish out of range");
+    }
+    // A task whose value cannot cover the distance: utility methods
+    // leave it unmatched.
+    let unprofitable = Instance::from_locations(
+        vec![Task::new(Point::new(0.0, 0.0), 0.5)],
+        vec![Worker::new(Point::new(1.0, 0.0), 2.0)],
+        |_, _| BudgetVector::new(vec![1.0]),
+    );
+    for m in [Method::Puce, Method::Uce, Method::Grd, Method::Optimal, Method::Pgt, Method::Gt] {
+        let out = m.run(&unprofitable, &params);
+        assert!(out.assignment.is_empty(), "{m} must skip unprofitable task");
+    }
+}
+
+#[test]
+fn single_pair_happy_path() {
+    let params = RunParams::default();
+    let inst = Instance::from_locations(
+        vec![Task::new(Point::new(0.0, 0.0), 10.0)],
+        vec![Worker::new(Point::new(0.5, 0.0), 2.0)],
+        |_, _| BudgetVector::new(vec![1.0, 1.0]),
+    );
+    for m in Method::all() {
+        let out = m.run(&inst, &params);
+        assert_eq!(
+            out.assignment.worker_of(0),
+            Some(0),
+            "{m} must match the single profitable pair"
+        );
+    }
+}
+
+#[test]
+fn accounting_and_fallback_knobs_change_behaviour_but_stay_valid() {
+    let inst = default_instance(40);
+    for accounting in [ProposalAccounting::PerTask, ProposalAccounting::Cumulative] {
+        for fallback in [CeaFallback::CrossRound, CeaFallback::WithinRound] {
+            let params = RunParams { accounting, fallback, ..RunParams::default() };
+            for m in [Method::Puce, Method::Pdce] {
+                let out = m.run(&inst, &params);
+                out.assignment.check_consistent();
+                out.board.verify_privacy_bounds(&inst);
+                for (i, j) in out.assignment.pairs() {
+                    assert!(inst.in_reach(i, j));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cumulative_accounting_publishes_no_more_than_per_task() {
+    // Charging the whole ledger in each proposal decision makes workers
+    // strictly more conservative.
+    let mut per_task = 0usize;
+    let mut cumulative = 0usize;
+    for seed in 50..55 {
+        let inst = default_instance(seed);
+        let a = RunParams { accounting: ProposalAccounting::PerTask, ..RunParams::default() };
+        let b = RunParams { accounting: ProposalAccounting::Cumulative, ..RunParams::default() };
+        per_task += Method::Puce.run(&inst, &a).publications();
+        cumulative += Method::Puce.run(&inst, &b).publications();
+    }
+    assert!(
+        cumulative <= per_task,
+        "cumulative accounting published {cumulative} > per-task {per_task}"
+    );
+}
+
+#[test]
+fn pgt_moves_all_have_positive_utility_and_monotone_potential() {
+    let inst = default_instance(60);
+    let cfg = dpta_core::config::EngineConfig {
+        track_potential: true,
+        ..Method::Pgt.engine_config(&RunParams::default())
+    };
+    let noise = dpta_dp::SeededNoise::new(42);
+    let out = dpta_core::engine::game::run(&inst, &cfg, &noise);
+    assert!(!out.moves.is_empty(), "expected at least one move");
+    let mut last = f64::NEG_INFINITY;
+    for m in &out.moves {
+        assert!(m.utility_change > 0.0);
+        let p = m.potential.unwrap();
+        assert!(p > last, "potential must strictly increase");
+        last = p;
+    }
+}
+
+#[test]
+fn grd_matches_hungarian_on_conflict_free_instances() {
+    // When every worker reaches exactly one task and vice versa, greedy
+    // and optimal coincide.
+    let tasks: Vec<Task> = (0..5)
+        .map(|k| Task::new(Point::new(10.0 * k as f64, 0.0), 4.5))
+        .collect();
+    let workers: Vec<Worker> = (0..5)
+        .map(|k| Worker::new(Point::new(10.0 * k as f64 + 0.3, 0.0), 1.0))
+        .collect();
+    let inst = Instance::from_locations(tasks, workers, |_, _| {
+        BudgetVector::new(vec![1.0])
+    });
+    let params = RunParams::default();
+    let grd = Method::Grd.run(&inst, &params);
+    let opt = Method::Optimal.run(&inst, &params);
+    assert_eq!(grd.assignment, opt.assignment);
+    assert_eq!(grd.assignment.len(), 5);
+}

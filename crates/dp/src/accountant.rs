@@ -1,0 +1,120 @@
+//! Per-worker privacy accounting (Theorems V.2 and VI.4).
+//!
+//! The paper proves PUCE and PGT each satisfy
+//! `(Σ_{t_i ∈ R_j} b_{i,j}·ε_{i,j}·r_j)`-local differential privacy for
+//! every worker `w_j`: each published obfuscated distance `d̂` with
+//! budget `ε` contributes `ε · r_j`, because two neighbouring worker
+//! locations inside the service area change any task distance by at most
+//! `r_j`. The ledger simply tracks every publication and evaluates that
+//! bound, so tests and examples can assert the theorem against the
+//! actual protocol trace.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Ledger of one worker's published privacy budgets, keyed by task.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyLedger {
+    per_task: BTreeMap<u32, Vec<f64>>,
+}
+
+impl PrivacyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one publication toward `task` with budget `epsilon`.
+    pub fn record(&mut self, task: u32, epsilon: f64) {
+        crate::validate_epsilon(epsilon);
+        self.per_task.entry(task).or_default().push(epsilon);
+    }
+
+    /// Number of publications recorded in total.
+    pub fn publications(&self) -> usize {
+        self.per_task.values().map(Vec::len).sum()
+    }
+
+    /// Total published budget toward one task: `b_{i,j} · ε_{i,j}`.
+    pub fn spent_on(&self, task: u32) -> f64 {
+        self.per_task.get(&task).map_or(0.0, |v| v.iter().sum())
+    }
+
+    /// Total published budget across all tasks: `Σ_i b_{i,j}·ε_{i,j}`.
+    pub fn total_epsilon(&self) -> f64 {
+        self.per_task.values().flatten().sum()
+    }
+
+    /// The local-DP level of Theorems V.2 / VI.4 for a worker with
+    /// service radius `radius`: `Σ_{t_i∈R_j} b_{i,j}·ε_{i,j}·r_j`.
+    pub fn ldp_bound(&self, radius: f64) -> f64 {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "service radius must be finite and >= 0, got {radius}"
+        );
+        self.total_epsilon() * radius
+    }
+
+    /// Tasks with at least one publication, ascending.
+    pub fn tasks(&self) -> impl Iterator<Item = u32> + '_ {
+        self.per_task.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_ledger_has_zero_bound() {
+        let l = PrivacyLedger::new();
+        assert_eq!(l.total_epsilon(), 0.0);
+        assert_eq!(l.ldp_bound(2.0), 0.0);
+        assert_eq!(l.publications(), 0);
+    }
+
+    #[test]
+    fn bound_is_radius_times_total() {
+        let mut l = PrivacyLedger::new();
+        l.record(0, 0.5);
+        l.record(0, 0.75);
+        l.record(3, 1.0);
+        assert!((l.total_epsilon() - 2.25).abs() < 1e-15);
+        assert!((l.ldp_bound(1.4) - 2.25 * 1.4).abs() < 1e-12);
+        assert!((l.spent_on(0) - 1.25).abs() < 1e-15);
+        assert_eq!(l.spent_on(7), 0.0);
+        assert_eq!(l.publications(), 3);
+        assert_eq!(l.tasks().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy budget must be finite")]
+    fn rejects_invalid_budget() {
+        PrivacyLedger::new().record(0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "service radius")]
+    fn rejects_negative_radius() {
+        let mut l = PrivacyLedger::new();
+        l.record(0, 1.0);
+        let _ = l.ldp_bound(-0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn total_is_sum_of_per_task(
+            records in proptest::collection::vec((0u32..8, 0.05f64..3.0), 0..40)
+        ) {
+            let mut l = PrivacyLedger::new();
+            for &(t, e) in &records {
+                l.record(t, e);
+            }
+            let direct: f64 = records.iter().map(|&(_, e)| e).sum();
+            prop_assert!((l.total_epsilon() - direct).abs() < 1e-9);
+            let by_task: f64 = (0..8).map(|t| l.spent_on(t)).sum();
+            prop_assert!((by_task - direct).abs() < 1e-9);
+        }
+    }
+}

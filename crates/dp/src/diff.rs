@@ -1,0 +1,206 @@
+//! Closed-form distribution of the difference of two independent
+//! zero-mean Laplace random variables.
+//!
+//! `Z = η_y − η_x` with `η_x ~ Lap(0, 1/ε_x)` and `η_y ~ Lap(0, 1/ε_y)`
+//! is exactly the quantity the Probability Compare Function integrates
+//! over (Lemma X.1 in the paper's appendix):
+//! `PCF(d̂_x, d̂_y, ε_x, ε_y) = Pr[Z < d̂_y − d̂_x]`.
+//!
+//! For `ε_x ≠ ε_y` the density is
+//! `f(z) = ε_x ε_y (ε_x e^{−ε_y|z|} − ε_y e^{−ε_x|z|}) / (2(ε_x² − ε_y²))`
+//! with survival (z ≥ 0)
+//! `S(z) = (ε_x² e^{−ε_y z} − ε_y² e^{−ε_x z}) / (2(ε_x² − ε_y²))`,
+//! matching the derivative `∂F/∂s` computed in the proof of Theorem V.1.
+//! For `ε_x = ε_y = ε` the limits are
+//! `f(z) = (ε/4)(1 + ε|z|) e^{−ε|z|}` and `S(z) = e^{−εz}(2 + εz)/4`.
+
+use crate::validate_epsilon;
+
+/// Relative tolerance below which two budgets are treated as equal and
+/// the numerically stable equal-ε branch is used.
+const EQUAL_EPS_REL_TOL: f64 = 1e-9;
+
+/// Distribution of `η_y − η_x` for independent zero-mean Laplace noise
+/// with budgets `ε_x`, `ε_y`. Symmetric about zero and symmetric in the
+/// unordered pair `{ε_x, ε_y}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceDiff {
+    eps_x: f64,
+    eps_y: f64,
+}
+
+impl LaplaceDiff {
+    /// Creates the distribution; both budgets must be finite and positive.
+    pub fn new(eps_x: f64, eps_y: f64) -> Self {
+        LaplaceDiff {
+            eps_x: validate_epsilon(eps_x),
+            eps_y: validate_epsilon(eps_y),
+        }
+    }
+
+    fn budgets_equal(&self) -> bool {
+        let m = self.eps_x.max(self.eps_y);
+        (self.eps_x - self.eps_y).abs() <= EQUAL_EPS_REL_TOL * m
+    }
+
+    /// Probability density at `z`.
+    pub fn pdf(&self, z: f64) -> f64 {
+        let a = z.abs();
+        if self.budgets_equal() {
+            let e = 0.5 * (self.eps_x + self.eps_y);
+            0.25 * e * (1.0 + e * a) * (-e * a).exp()
+        } else {
+            let (ex, ey) = (self.eps_x, self.eps_y);
+            ex * ey * (ex * (-ey * a).exp() - ey * (-ex * a).exp())
+                / (2.0 * (ex * ex - ey * ey))
+        }
+    }
+
+    /// Survival function `Pr[Z > z]`.
+    pub fn sf(&self, z: f64) -> f64 {
+        if z < 0.0 {
+            return 1.0 - self.sf(-z);
+        }
+        if self.budgets_equal() {
+            let e = 0.5 * (self.eps_x + self.eps_y);
+            (-e * z).exp() * (2.0 + e * z) / 4.0
+        } else {
+            let (ex, ey) = (self.eps_x, self.eps_y);
+            (ex * ex * (-ey * z).exp() - ey * ey * (-ex * z).exp())
+                / (2.0 * (ex * ex - ey * ey))
+        }
+    }
+
+    /// Cumulative distribution `Pr[Z <= z]`.
+    #[inline]
+    pub fn cdf(&self, z: f64) -> f64 {
+        1.0 - self.sf(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Laplace;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn numeric_sf(d: &LaplaceDiff, z: f64) -> f64 {
+        // Integrate the pdf on [z, z + 40/min_eps] by trapezoid.
+        let span = 40.0 / d.eps_x.min(d.eps_y);
+        let n = 400_000usize;
+        let h = span / n as f64;
+        let mut sum = 0.5 * (d.pdf(z) + d.pdf(z + span));
+        for i in 1..n {
+            sum += d.pdf(z + i as f64 * h);
+        }
+        sum * h
+    }
+
+    #[test]
+    fn sf_at_zero_is_half() {
+        for (ex, ey) in [(1.0, 1.0), (0.3, 2.0), (5.0, 0.1)] {
+            let d = LaplaceDiff::new(ex, ey);
+            assert!((d.sf(0.0) - 0.5).abs() < 1e-12, "ex={ex} ey={ey}");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_integration_distinct() {
+        let d = LaplaceDiff::new(0.7, 1.9);
+        for z in [0.0, 0.2, 1.0, 3.0] {
+            let num = numeric_sf(&d, z);
+            assert!(
+                (d.sf(z) - num).abs() < 1e-5,
+                "z={z}: closed={} numeric={num}",
+                d.sf(z)
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_integration_equal() {
+        let d = LaplaceDiff::new(1.3, 1.3);
+        for z in [0.0, 0.5, 2.0] {
+            let num = numeric_sf(&d, z);
+            assert!((d.sf(z) - num).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn near_equal_budgets_are_stable() {
+        // The distinct-ε formula divides by (ε_x² − ε_y²); make sure the
+        // equal-branch cutover keeps values sane near the diagonal.
+        let exact = LaplaceDiff::new(1.0, 1.0);
+        for delta in [1e-12, 1e-10, 1e-7, 1e-5] {
+            let d = LaplaceDiff::new(1.0, 1.0 + delta);
+            for z in [0.1, 1.0, 4.0] {
+                assert!(
+                    (d.sf(z) - exact.sf(z)).abs() < 1e-4,
+                    "delta={delta} z={z}: {} vs {}",
+                    d.sf(z),
+                    exact.sf(z)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let d = LaplaceDiff::new(0.8, 2.5);
+        let lx = Laplace::mechanism(0.8);
+        let ly = Laplace::mechanism(2.5);
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 400_000;
+        for z in [-1.0, 0.0, 0.5, 2.0] {
+            let mut hits = 0u32;
+            for _ in 0..n {
+                let nx = lx.sample_from_uniform(rng.gen_range(1e-12..1.0 - 1e-12));
+                let ny = ly.sample_from_uniform(rng.gen_range(1e-12..1.0 - 1e-12));
+                if ny - nx > z {
+                    hits += 1;
+                }
+            }
+            let mc = hits as f64 / n as f64;
+            assert!((d.sf(z) - mc).abs() < 5e-3, "z={z}: closed={} mc={mc}", d.sf(z));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pdf_nonnegative_and_symmetric(
+            ex in 0.05f64..5.0, ey in 0.05f64..5.0, z in -20.0f64..20.0
+        ) {
+            let d = LaplaceDiff::new(ex, ey);
+            prop_assert!(d.pdf(z) >= 0.0);
+            prop_assert!((d.pdf(z) - d.pdf(-z)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn sf_is_monotone_decreasing(
+            ex in 0.05f64..5.0, ey in 0.05f64..5.0,
+            a in -10.0f64..10.0, b in -10.0f64..10.0
+        ) {
+            let d = LaplaceDiff::new(ex, ey);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(d.sf(lo) >= d.sf(hi) - 1e-12);
+        }
+
+        #[test]
+        fn symmetric_in_budget_order(
+            ex in 0.05f64..5.0, ey in 0.05f64..5.0, z in -10.0f64..10.0
+        ) {
+            let d1 = LaplaceDiff::new(ex, ey);
+            let d2 = LaplaceDiff::new(ey, ex);
+            prop_assert!((d1.sf(z) - d2.sf(z)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn point_symmetry_of_cdf(
+            ex in 0.05f64..5.0, ey in 0.05f64..5.0, z in -10.0f64..10.0
+        ) {
+            let d = LaplaceDiff::new(ex, ey);
+            prop_assert!((d.cdf(z) + d.cdf(-z) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Geo-Indistinguishability: the planar Laplace mechanism of Andrés et
+//! al. (CCS 2013), which the paper discusses as the main alternative
+//! location-protection model (Section II, \[18\]).
+//!
+//! Where the paper's scheme releases *obfuscated distances*, Geo-I
+//! releases an *obfuscated location*: `z = x + noise` with the noise
+//! drawn from the planar Laplace density `∝ ε²/(2π)·e^{−ε|z−x|}`,
+//! giving `ε·d(x, y)`-indistinguishability between any two locations.
+//! The workspace uses it for the `GEO-I` one-shot baseline
+//! (`dpta_core::Method::GeoI`) that the distance-release protocols are
+//! compared against.
+//!
+//! Sampling the radial component needs the inverse of the Gamma(2)
+//! CDF, `C_ε(r) = 1 − (1 + εr)·e^{−εr}`, whose closed form runs through
+//! the lower branch of the Lambert W function:
+//! `C_ε^{-1}(p) = −(1/ε)·(W_{−1}((p−1)/e) + 1)` — implemented here from
+//! scratch with a Halley iteration.
+
+use crate::validate_epsilon;
+
+/// Lower branch `W_{−1}` of the Lambert W function on `[−1/e, 0)`.
+///
+/// Solves `w·e^w = x` with `w <= −1`. Panics outside the domain.
+/// Accuracy is ~1e-12 across the domain (see tests).
+pub fn lambert_w_m1(x: f64) -> f64 {
+    let inv_e = -(-1.0f64).exp(); // −1/e
+    assert!(
+        (inv_e..0.0).contains(&x),
+        "W_-1 domain is [-1/e, 0), got {x}"
+    );
+    if x == inv_e {
+        return -1.0;
+    }
+    // Initial guess. Near the branch point use the square-root series
+    // w ≈ −1 − s − s²/3 with s = sqrt(2(1 + e·x)); near zero use the
+    // asymptotic w ≈ ln(−x) − ln(−ln(−x)).
+    let mut w = if x > -0.25 {
+        let l1 = (-x).ln();
+        let l2 = (-l1).ln();
+        l1 - l2
+    } else {
+        let s = (2.0 * (1.0 + std::f64::consts::E * x)).sqrt();
+        -1.0 - s - s * s / 3.0
+    };
+    // Halley iteration on f(w) = w·e^w − x.
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        if f == 0.0 {
+            break;
+        }
+        let w1 = w + 1.0;
+        let step = f / (ew * w1 - (w + 2.0) * f / (2.0 * w1));
+        let next = w - step;
+        if (next - w).abs() <= 1e-15 * w.abs().max(1.0) {
+            w = next;
+            break;
+        }
+        w = next;
+    }
+    w
+}
+
+/// The planar (polar) Laplace mechanism with privacy level `ε` per km.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanarLaplace {
+    epsilon: f64,
+}
+
+impl PlanarLaplace {
+    /// Creates the mechanism; `ε` must be finite and positive.
+    pub fn new(epsilon: f64) -> Self {
+        PlanarLaplace { epsilon: validate_epsilon(epsilon) }
+    }
+
+    /// The privacy level.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Radial CDF `Pr[R <= r] = 1 − (1 + εr)·e^{−εr}`.
+    pub fn radial_cdf(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        let er = self.epsilon * r;
+        1.0 - (1.0 + er) * (-er).exp()
+    }
+
+    /// Inverse radial CDF via `W_{−1}` (Andrés et al., Eq. for
+    /// `C_ε^{-1}`). `p` must lie in `[0, 1)`.
+    pub fn radial_quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0,1), got {p}");
+        if p == 0.0 {
+            return 0.0;
+        }
+        let arg = (p - 1.0) / std::f64::consts::E;
+        -(lambert_w_m1(arg) + 1.0) / self.epsilon
+    }
+
+    /// Draws a planar noise vector from two uniforms in `[0, 1)`:
+    /// `u_r` drives the radius, `u_theta` the angle. Returns `(dx, dy)`.
+    pub fn sample_from_uniforms(&self, u_r: f64, u_theta: f64) -> (f64, f64) {
+        let r = self.radial_quantile(u_r.clamp(0.0, 1.0 - 1e-12));
+        let theta = u_theta * std::f64::consts::TAU;
+        (r * theta.cos(), r * theta.sin())
+    }
+
+    /// Density of reporting `z` when the true point is `x`, as a
+    /// function of their Euclidean distance `d`.
+    pub fn pdf_at_distance(&self, d: f64) -> f64 {
+        let e = self.epsilon;
+        e * e / std::f64::consts::TAU * (-e * d.abs()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn lambert_w_known_values() {
+        // W_{-1}(-1/e) = -1.
+        let inv_e = -(-1.0f64).exp();
+        assert!((lambert_w_m1(inv_e) + 1.0).abs() < 1e-9);
+        // W_{-1}(-0.1) ≈ -3.577152063957297 (reference value).
+        assert!((lambert_w_m1(-0.1) + 3.577152063957297).abs() < 1e-10);
+        // W_{-1}(-0.2) ≈ -2.542641357773526.
+        assert!((lambert_w_m1(-0.2) + 2.542641357773526).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn lambert_w_rejects_positive() {
+        let _ = lambert_w_m1(0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn lambert_w_inverts_w_exp_w(w in -30.0f64..-1.0) {
+            let x = w * w.exp();
+            // x can underflow to -0.0 for very negative w; skip those.
+            prop_assume!(x < 0.0 && x >= -(-1.0f64).exp());
+            let got = lambert_w_m1(x);
+            prop_assert!((got - w).abs() < 1e-8 * w.abs(), "w={w} got={got}");
+        }
+
+        #[test]
+        fn radial_quantile_inverts_cdf(eps in 0.1f64..5.0, p in 0.001f64..0.999) {
+            let m = PlanarLaplace::new(eps);
+            let r = m.radial_quantile(p);
+            prop_assert!(r >= 0.0);
+            prop_assert!((m.radial_cdf(r) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn geo_indistinguishability_bound(
+            eps in 0.1f64..3.0,
+            dx in 0.0f64..3.0,  // distance from z to x
+            dy in 0.0f64..3.0,  // distance from z to y
+        ) {
+            // pdf(z|x)/pdf(z|y) = e^{ε(d(z,y) − d(z,x))} <= e^{ε·d(x,y)},
+            // and by the triangle inequality d(x,y) >= |d(z,x) − d(z,y)|.
+            let m = PlanarLaplace::new(eps);
+            let ratio = m.pdf_at_distance(dx) / m.pdf_at_distance(dy);
+            let d_xy_min = (dx - dy).abs();
+            prop_assert!(ratio <= (eps * d_xy_min).exp() * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn radial_distribution_matches_monte_carlo() {
+        let m = PlanarLaplace::new(1.4);
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 200_000;
+        let mut within_1 = 0u32;
+        let mut mean_r = 0.0;
+        for _ in 0..n {
+            let (dx, dy) = m.sample_from_uniforms(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let r = (dx * dx + dy * dy).sqrt();
+            mean_r += r;
+            if r <= 1.0 {
+                within_1 += 1;
+            }
+        }
+        mean_r /= n as f64;
+        // E[R] = 2/ε for the Gamma(2, 1/ε) radius.
+        assert!((mean_r - 2.0 / 1.4).abs() < 0.01, "mean radius {mean_r}");
+        let emp = within_1 as f64 / n as f64;
+        assert!((emp - m.radial_cdf(1.0)).abs() < 5e-3, "P[R<=1] {emp}");
+    }
+
+    #[test]
+    fn angle_is_uniform() {
+        let m = PlanarLaplace::new(1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut quadrant = [0u32; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            let (dx, dy) = m.sample_from_uniforms(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let q = match (dx >= 0.0, dy >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            };
+            quadrant[q] += 1;
+        }
+        for q in quadrant {
+            let frac = q as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.01, "quadrant fraction {frac}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The Laplace distribution and the Laplace mechanism.
+
+use crate::validate_epsilon;
+
+/// A Laplace distribution `Lap(location, scale)`.
+///
+/// The paper obfuscates a true distance `d` as `d̂ = d + Lap(0, 1/ε)`
+/// (Definition 6); [`Laplace::mechanism`] constructs exactly that noise
+/// distribution from a privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    location: f64,
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates `Lap(location, scale)`. Panics unless `scale` is finite
+    /// and strictly positive.
+    pub fn new(location: f64, scale: f64) -> Self {
+        assert!(
+            location.is_finite(),
+            "Laplace location must be finite, got {location}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Laplace scale must be finite and > 0, got {scale}"
+        );
+        Laplace { location, scale }
+    }
+
+    /// The zero-centred noise distribution of the Laplace mechanism with
+    /// privacy budget `epsilon` (unit ℓ1-sensitivity): `Lap(0, 1/ε)`.
+    pub fn mechanism(epsilon: f64) -> Self {
+        Laplace::new(0.0, 1.0 / validate_epsilon(epsilon))
+    }
+
+    /// Location parameter (mean and median).
+    #[inline]
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// Scale parameter `b`; the variance is `2b²`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Probability density at `x`.
+    #[inline]
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.location).abs() / self.scale;
+        (-z).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution `Pr[X <= x]`.
+    #[inline]
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.location) / self.scale;
+        if z >= 0.0 {
+            1.0 - 0.5 * (-z).exp()
+        } else {
+            0.5 * z.exp()
+        }
+    }
+
+    /// Survival function `Pr[X > x] = 1 − cdf(x)`, computed without the
+    /// cancellation of `1 - cdf` for large `x`.
+    #[inline]
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.location) / self.scale;
+        if z >= 0.0 {
+            0.5 * (-z).exp()
+        } else {
+            1.0 - 0.5 * z.exp()
+        }
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    #[inline]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile probability must be in (0, 1), got {p}"
+        );
+        let u = p - 0.5;
+        self.location - self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Draws a sample from a uniform `u ∈ (0, 1)` via the inverse CDF.
+    ///
+    /// Exposed this way (instead of taking an `Rng`) so the deterministic
+    /// [`NoiseSource`](crate::NoiseSource) can feed hashed uniforms.
+    #[inline]
+    pub fn sample_from_uniform(&self, u: f64) -> f64 {
+        self.quantile(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_location() {
+        let l = Laplace::new(2.0, 0.5);
+        assert!((l.pdf(2.0 + 0.7) - l.pdf(2.0 - 0.7)).abs() < 1e-15);
+        assert!(l.pdf(2.0) > l.pdf(2.1));
+        assert!((l.pdf(2.0) - 1.0).abs() < 1e-15); // 1/(2*0.5)
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        let l = Laplace::new(0.0, 1.0);
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((l.cdf(1.0) - (1.0 - 0.5 * (-1.0f64).exp())).abs() < 1e-15);
+        assert!((l.cdf(-1.0) - 0.5 * (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_sf_complement() {
+        let l = Laplace::new(-1.0, 2.0);
+        for x in [-10.0, -1.0, 0.0, 0.3, 5.0] {
+            assert!((l.cdf(x) + l.sf(x) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mechanism_has_scale_one_over_epsilon() {
+        let l = Laplace::mechanism(4.0);
+        assert_eq!(l.location(), 0.0);
+        assert_eq!(l.scale(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy budget must be finite")]
+    fn mechanism_rejects_zero_epsilon() {
+        let _ = Laplace::mechanism(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be finite")]
+    fn rejects_negative_scale() {
+        let _ = Laplace::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn quantile_median_is_location() {
+        let l = Laplace::new(3.5, 0.7);
+        assert!((l.quantile(0.5) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoidal integration over +-20 scales.
+        let l = Laplace::new(1.0, 0.8);
+        let (a, b, n) = (1.0 - 16.0, 1.0 + 16.0, 200_000);
+        let h = (b - a) / n as f64;
+        let mut sum = 0.5 * (l.pdf(a) + l.pdf(b));
+        for i in 1..n {
+            sum += l.pdf(a + i as f64 * h);
+        }
+        assert!((sum * h - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_mean_and_variance() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let l = Laplace::new(0.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = l.sample_from_uniform(rng.gen_range(1e-12..1.0 - 1e-12));
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 2.0 * 1.5 * 1.5).abs() < 0.1, "var {var}");
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf(p in 0.001f64..0.999, loc in -5.0f64..5.0, scale in 0.1f64..3.0) {
+            let l = Laplace::new(loc, scale);
+            prop_assert!((l.cdf(l.quantile(p)) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cdf_is_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0, scale in 0.1f64..3.0) {
+            let l = Laplace::new(0.0, scale);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(l.cdf(lo) <= l.cdf(hi) + 1e-15);
+        }
+
+        #[test]
+        fn dp_ratio_bound_holds(
+            eps in 0.1f64..3.0,
+            d1 in 0.0f64..2.0,
+            d2 in 0.0f64..2.0,
+            out in -5.0f64..5.0,
+        ) {
+            // Laplace mechanism ε-DP check on neighbouring values at
+            // distance |d1-d2| (sensitivity |d1-d2|): the density ratio at
+            // any output is bounded by exp(ε·|d1-d2|).
+            let m = Laplace::mechanism(eps);
+            let p1 = m.pdf(out - d1);
+            let p2 = m.pdf(out - d2);
+            let bound = (eps * (d1 - d2).abs()).exp();
+            prop_assert!(p1 <= p2 * bound * (1.0 + 1e-12));
+            prop_assert!(p2 <= p1 * bound * (1.0 + 1e-12));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Differential-privacy substrate for the DPTA workspace.
+//!
+//! Implements every privacy primitive the paper relies on:
+//!
+//! * [`Laplace`] — the Laplace distribution (pdf/cdf/quantile/sampling),
+//!   the noise model of Definition 6 and the Laplace mechanism of
+//!   Definition 11;
+//! * [`LaplaceDiff`] — the closed-form distribution of the difference of
+//!   two independent zero-mean Laplace variables, which is exactly what
+//!   the Probability Compare Function integrates (Lemma X.1);
+//! * [`pcf`] — the PCF of Wang et al. \[3\] (Definition 6);
+//! * [`ppcf`] — the paper's Partial Probability Compare Function
+//!   (Section V-A, Theorem V.1);
+//! * [`ReleaseSet`] / [`EffectivePair`] — maximum-likelihood estimation of
+//!   the *effective obfuscated distance* and *effective privacy budget*
+//!   from a worker's sequence of releases (Section V-A);
+//! * [`BudgetVector`] / [`BudgetState`] — the per-(task, worker) privacy
+//!   budget vectors `ε_{i,j}` and state vectors `b_{i,j}` of Definition 5;
+//! * [`PrivacyLedger`] — per-worker accounting of published budgets,
+//!   reproducing the `Σ_{t_i∈R_j} b_{i,j}·ε_{i,j}·r_j` local-DP bound of
+//!   Theorems V.2 / VI.4;
+//! * [`NoiseSource`] — deterministic noise derivation so that a proposal
+//!   evaluated locally and published later reveals exactly one draw.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accountant;
+mod budget;
+mod diff;
+mod geo;
+mod laplace;
+mod noise;
+mod pcf;
+mod ppcf;
+mod release;
+
+pub use accountant::PrivacyLedger;
+pub use budget::{BudgetState, BudgetVector};
+pub use diff::LaplaceDiff;
+pub use geo::{lambert_w_m1, PlanarLaplace};
+pub use laplace::Laplace;
+pub use noise::{NoiseSource, ScriptedNoise, SeededNoise};
+pub use pcf::pcf;
+pub use ppcf::ppcf;
+pub use release::{EffectivePair, Release, ReleaseSet};
+
+/// Validates a privacy budget: must be finite and strictly positive.
+///
+/// Every public entry point that accepts an `ε` funnels through this so a
+/// zero/negative/NaN budget fails loudly instead of silently producing a
+/// degenerate distribution.
+#[inline]
+pub fn validate_epsilon(epsilon: f64) -> f64 {
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "privacy budget must be finite and > 0, got {epsilon}"
+    );
+    epsilon
+}

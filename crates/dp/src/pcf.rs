@@ -1,0 +1,85 @@
+//! PCF — the Probability Compare Function of Wang et al. \[3\]
+//! (Definition 6 in the paper).
+
+use crate::LaplaceDiff;
+
+/// `PCF(d̂_x, d̂_y, ε_x, ε_y)` — the heuristic probability that the true
+/// value behind `d̂_x` is smaller than the true value behind `d̂_y`,
+/// treating the noises as if independent of the observations:
+///
+/// `d_x < d_y ⟺ d̂_x − η_x < d̂_y − η_y ⟺ η_y − η_x < d̂_y − d̂_x`,
+///
+/// so `PCF = Pr[η_y − η_x < d̂_y − d̂_x]`, evaluated in closed form via
+/// [`LaplaceDiff`]. By Lemma X.1, `PCF > 1/2 ⟺ d̂_x < d̂_y`, i.e. PCF
+/// ranks pairs exactly like the raw obfuscated values but additionally
+/// reports a confidence.
+pub fn pcf(d_hat_x: f64, d_hat_y: f64, eps_x: f64, eps_y: f64) -> f64 {
+    assert!(
+        d_hat_x.is_finite() && d_hat_y.is_finite(),
+        "obfuscated values must be finite (got {d_hat_x}, {d_hat_y})"
+    );
+    LaplaceDiff::new(eps_x, eps_y).cdf(d_hat_y - d_hat_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_observations_give_half() {
+        assert!((pcf(3.0, 3.0, 1.0, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_x1_threshold() {
+        // PCF > 1/2 iff the first obfuscated value is smaller.
+        assert!(pcf(1.0, 2.0, 0.7, 1.3) > 0.5);
+        assert!(pcf(2.0, 1.0, 0.7, 1.3) < 0.5);
+        assert!(pcf(1.0, 2.0, 5.0, 5.0) > 0.5);
+    }
+
+    #[test]
+    fn confidence_grows_with_gap_and_budget() {
+        // Wider gap => more confident.
+        assert!(pcf(0.0, 3.0, 1.0, 1.0) > pcf(0.0, 1.0, 1.0, 1.0));
+        // Larger budgets (less noise) => more confident for the same gap.
+        assert!(pcf(0.0, 1.0, 4.0, 4.0) > pcf(0.0, 1.0, 0.5, 0.5));
+    }
+
+    #[test]
+    fn works_with_negative_obfuscated_values() {
+        // Laplace noise can push a reported distance below zero; PCF must
+        // still behave.
+        assert!(pcf(-0.5, 0.5, 1.0, 1.0) > 0.5);
+        assert!((pcf(-0.5, 0.5, 1.0, 1.0) + pcf(0.5, -0.5, 1.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn antisymmetry(
+            a in -10.0f64..10.0, b in -10.0f64..10.0,
+            ex in 0.05f64..5.0, ey in 0.05f64..5.0
+        ) {
+            prop_assert!((pcf(a, b, ex, ey) + pcf(b, a, ey, ex) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn bounded_in_unit_interval(
+            a in -10.0f64..10.0, b in -10.0f64..10.0,
+            ex in 0.05f64..5.0, ey in 0.05f64..5.0
+        ) {
+            let v = pcf(a, b, ex, ey);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn monotone_in_second_argument(
+            a in -5.0f64..5.0, b1 in -5.0f64..5.0, b2 in -5.0f64..5.0,
+            ex in 0.05f64..5.0, ey in 0.05f64..5.0
+        ) {
+            let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+            prop_assert!(pcf(a, lo, ex, ey) <= pcf(a, hi, ex, ey) + 1e-12);
+        }
+    }
+}

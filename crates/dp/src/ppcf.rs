@@ -1,0 +1,119 @@
+//! PPCF — the paper's Partial Probability Compare Function (Section V-A).
+
+use crate::{Laplace, validate_epsilon};
+
+/// `PPCF(d_i, d̂_j, ε_j) = Pr[d_i < d_j]` where `d_i` is a *real* value
+/// known to the comparer and `d̂_j = d_j + Lap(0, 1/ε_j)` is an
+/// obfuscated one.
+///
+/// Since `d_i < d_j ⟺ η_j < d̂_j − d_i`, the probability is just the
+/// Laplace CDF at the observed gap. Equation 3 of the paper:
+/// `PPCF > 1/2 ⟺ d_i < d̂_j`.
+///
+/// Theorem V.1 proves PPCF is at least as reliable as PCF: when truly
+/// `d_x < d_y`, `Pr[PCF(d̂_x, d̂_y, ·) > ½] ≤ Pr[PPCF(d_x, d̂_y, ·) > ½]`
+/// — one side of the comparison carries no noise. The property test for
+/// that theorem lives in this module.
+pub fn ppcf(d_real: f64, d_hat: f64, eps: f64) -> f64 {
+    assert!(
+        d_real.is_finite() && d_hat.is_finite(),
+        "ppcf inputs must be finite (got {d_real}, {d_hat})"
+    );
+    Laplace::mechanism(validate_epsilon(eps)).cdf(d_hat - d_real)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcf;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn equation_3_threshold() {
+        // PPCF > 1/2 iff d_real < d_hat.
+        assert!(ppcf(1.0, 1.5, 0.8) > 0.5);
+        assert!(ppcf(1.5, 1.0, 0.8) < 0.5);
+        assert!((ppcf(2.0, 2.0, 0.8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_closed_form_value() {
+        // gap = 1, eps = 1: CDF of Lap(0,1) at 1 = 1 - e^{-1}/2.
+        let expected = 1.0 - 0.5 * (-1.0f64).exp();
+        assert!((ppcf(0.0, 1.0, 1.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_v1_ppcf_dominates_pcf_empirically() {
+        // For dx < dy, the probability that the comparison function ranks
+        // the pair correctly is at least as high for PPCF as for PCF.
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 60_000;
+        for (dx, dy, ex, ey) in [
+            (0.3, 0.9, 0.5, 0.5),
+            (0.3, 0.9, 2.0, 0.7),
+            (1.0, 1.2, 1.0, 3.0),
+            (0.0, 2.0, 0.2, 0.2),
+        ] {
+            let lx = Laplace::mechanism(ex);
+            let ly = Laplace::mechanism(ey);
+            let mut pcf_correct = 0u32;
+            let mut ppcf_correct = 0u32;
+            for _ in 0..trials {
+                let dhx = dx + lx.sample_from_uniform(rng.gen_range(1e-12..1.0 - 1e-12));
+                let dhy = dy + ly.sample_from_uniform(rng.gen_range(1e-12..1.0 - 1e-12));
+                if pcf(dhx, dhy, ex, ey) > 0.5 {
+                    pcf_correct += 1;
+                }
+                if ppcf(dx, dhy, ey) > 0.5 {
+                    ppcf_correct += 1;
+                }
+            }
+            // 3-sigma slack on the Monte-Carlo comparison.
+            let slack = 3.0 * (0.25 / trials as f64).sqrt() * trials as f64;
+            assert!(
+                ppcf_correct as f64 + slack >= pcf_correct as f64,
+                "dx={dx} dy={dy} ex={ex} ey={ey}: ppcf={ppcf_correct} pcf={pcf_correct}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_in_unit_interval(
+            d in -10.0f64..10.0, dh in -10.0f64..10.0, eps in 0.05f64..5.0
+        ) {
+            let v = ppcf(d, dh, eps);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn complement_identity(
+            d in -10.0f64..10.0, dh in -10.0f64..10.0, eps in 0.05f64..5.0
+        ) {
+            // Pr[d < d_j] + Pr[d > d_j] = 1 for continuous noise; reversing
+            // the roles flips the gap's sign.
+            let fwd = ppcf(d, dh, eps);
+            let mirrored = ppcf(-d, -dh, eps);
+            prop_assert!((fwd + mirrored - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn monotone_in_gap(
+            d in -5.0f64..5.0, dh1 in -5.0f64..5.0, dh2 in -5.0f64..5.0,
+            eps in 0.05f64..5.0
+        ) {
+            let (lo, hi) = if dh1 <= dh2 { (dh1, dh2) } else { (dh2, dh1) };
+            prop_assert!(ppcf(d, lo, eps) <= ppcf(d, hi, eps) + 1e-12);
+        }
+
+        #[test]
+        fn sharper_with_bigger_budget_when_gap_positive(
+            d in -5.0f64..5.0, gap in 0.01f64..5.0, e1 in 0.05f64..5.0, e2 in 0.05f64..5.0
+        ) {
+            let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+            prop_assert!(ppcf(d, d + gap, hi) >= ppcf(d, d + gap, lo) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Release sets and the MLE *effective obfuscated distance* /
+//! *effective privacy budget* (Section V-A of the paper).
+
+use crate::validate_epsilon;
+use serde::{Deserialize, Serialize};
+
+/// One published (obfuscated distance, privacy budget) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Release {
+    /// The obfuscated distance `d̂` (may be negative — Laplace noise is
+    /// unbounded).
+    pub value: f64,
+    /// The privacy budget `ε` spent on this release.
+    pub epsilon: f64,
+}
+
+/// The MLE estimate extracted from a release set: the paper's
+/// `(d̃, ε̃)` *effective distance-budget pair*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EffectivePair {
+    /// Effective obfuscated distance `d̃`.
+    pub distance: f64,
+    /// Effective privacy budget `ε̃` (the budget paired with `d̃`).
+    pub epsilon: f64,
+}
+
+/// A worker's set `DE = {(d̂_1, ε_1), …, (d̂_u, ε_u)}` of releases toward
+/// one task, with the cached effective pair.
+///
+/// The MLE of the true distance under Laplace noise maximises
+/// `Π_k (ε_k/2)·exp(−ε_k|d̂_k − d|)`, i.e. minimises `Σ_k ε_k·|d̂_k − d|`
+/// — a weighted-median problem whose minimiser is a point or a segment.
+/// Following the paper, the domain is restricted to the released values
+/// `DE.d̂` so the estimate is always one of the published points and
+/// therefore still supports PCF comparison with its paired `ε`.
+///
+/// **Tie-break.** When the restricted argmin is attained by several
+/// released values (the minimising segment of the unrestricted problem
+/// has released endpoints), we pick the candidate with the largest `ε`,
+/// then the latest release. This matches Table IV of the paper: after
+/// the third release of (t₁,w₁) the objective ties between 12.4 and
+/// 12.3 and the paper reports (12.3, 0.4) — the larger budget.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseSet {
+    releases: Vec<Release>,
+    effective: Option<EffectivePair>,
+}
+
+impl ReleaseSet {
+    /// Creates an empty release set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from `(value, epsilon)` pairs, in release order.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let mut s = Self::new();
+        for &(value, epsilon) in pairs {
+            s.push(Release { value, epsilon });
+        }
+        s
+    }
+
+    /// Publishes one more release and refreshes the effective pair.
+    pub fn push(&mut self, release: Release) {
+        assert!(release.value.is_finite(), "release value must be finite");
+        validate_epsilon(release.epsilon);
+        self.releases.push(release);
+        self.effective = Some(Self::mle(&self.releases));
+    }
+
+    /// Number of releases published so far.
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    /// The raw releases in publication order.
+    pub fn releases(&self) -> &[Release] {
+        &self.releases
+    }
+
+    /// Total budget spent on this task: `Σ_k ε_k`.
+    pub fn spent_epsilon(&self) -> f64 {
+        self.releases.iter().map(|r| r.epsilon).sum()
+    }
+
+    /// The current effective distance-budget pair, or `None` before any
+    /// release.
+    pub fn effective(&self) -> Option<EffectivePair> {
+        self.effective
+    }
+
+    /// Weighted-median MLE restricted to the released points, with the
+    /// larger-ε / later-release tie-break described on the type.
+    fn mle(releases: &[Release]) -> EffectivePair {
+        debug_assert!(!releases.is_empty());
+        let objective = |d: f64| -> f64 {
+            releases.iter().map(|r| r.epsilon * (r.value - d).abs()).sum()
+        };
+        let mut best: Option<(f64, usize)> = None; // (objective, index)
+        for (idx, cand) in releases.iter().enumerate() {
+            let obj = objective(cand.value);
+            let better = match best {
+                None => true,
+                Some((bobj, bidx)) => {
+                    let b = &releases[bidx];
+                    let scale = bobj.abs().max(obj.abs()).max(1.0);
+                    if (obj - bobj).abs() <= 1e-12 * scale {
+                        // Tie: prefer larger ε, then the later release.
+                        cand.epsilon > b.epsilon
+                            || ((cand.epsilon - b.epsilon).abs() <= f64::EPSILON * b.epsilon.abs()
+                                && idx > bidx)
+                    } else {
+                        obj < bobj
+                    }
+                }
+            };
+            if better {
+                best = Some((obj, idx));
+            }
+        }
+        let (_, idx) = best.expect("non-empty release set");
+        EffectivePair {
+            distance: releases[idx].value,
+            epsilon: releases[idx].epsilon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_mle_example() {
+        // Section V-A: DE = {(0.1,0.2),(0.2,0.9),(0.3,0.1)} => (0.2, 0.9).
+        let s = ReleaseSet::from_pairs(&[(0.1, 0.2), (0.2, 0.9), (0.3, 0.1)]);
+        let e = s.effective().unwrap();
+        assert_eq!(e.distance, 0.2);
+        assert_eq!(e.epsilon, 0.9);
+    }
+
+    #[test]
+    fn paper_table_iv_t1_w1_progression() {
+        // Releases (12.7,0.1), (12.4,0.3), (12.3,0.4): effective pair after
+        // each release per Table IV is (12.7,0.1), (12.4,0.3), (12.3,0.4).
+        let mut s = ReleaseSet::new();
+        s.push(Release { value: 12.7, epsilon: 0.1 });
+        assert_eq!(s.effective().unwrap().distance, 12.7);
+        s.push(Release { value: 12.4, epsilon: 0.3 });
+        assert_eq!(s.effective().unwrap().distance, 12.4);
+        s.push(Release { value: 12.3, epsilon: 0.4 });
+        // Objective ties between 12.4 and 12.3 (both 0.07); the larger-ε
+        // tie-break selects the paper's (12.3, 0.4).
+        let e = s.effective().unwrap();
+        assert_eq!(e.distance, 12.3);
+        assert_eq!(e.epsilon, 0.4);
+    }
+
+    #[test]
+    fn single_release_is_its_own_effective_pair() {
+        let s = ReleaseSet::from_pairs(&[(5.5, 4.6)]);
+        let e = s.effective().unwrap();
+        assert_eq!((e.distance, e.epsilon), (5.5, 4.6));
+    }
+
+    #[test]
+    fn empty_set_has_no_effective_pair() {
+        let s = ReleaseSet::new();
+        assert!(s.effective().is_none());
+        assert_eq!(s.spent_epsilon(), 0.0);
+    }
+
+    #[test]
+    fn spent_epsilon_accumulates() {
+        let s = ReleaseSet::from_pairs(&[(1.0, 0.5), (2.0, 0.25)]);
+        assert!((s.spent_epsilon() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dominant_weight_wins() {
+        // One high-budget release should dominate many low-budget ones.
+        let s = ReleaseSet::from_pairs(&[(0.0, 0.01), (0.1, 0.01), (9.0, 10.0), (0.2, 0.01)]);
+        assert_eq!(s.effective().unwrap().distance, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy budget must be finite")]
+    fn zero_budget_release_panics() {
+        let mut s = ReleaseSet::new();
+        s.push(Release { value: 1.0, epsilon: 0.0 });
+    }
+
+    proptest! {
+        #[test]
+        fn effective_minimises_weighted_l1_over_released_points(
+            pairs in proptest::collection::vec((-10.0f64..10.0, 0.05f64..5.0), 1..12)
+        ) {
+            let s = ReleaseSet::from_pairs(&pairs);
+            let e = s.effective().unwrap();
+            let obj = |d: f64| -> f64 {
+                pairs.iter().map(|&(v, w)| w * (v - d).abs()).sum()
+            };
+            let best = obj(e.distance);
+            for &(v, _) in &pairs {
+                prop_assert!(best <= obj(v) + 1e-9);
+            }
+            // The effective pair is one of the releases.
+            prop_assert!(pairs.iter().any(|&(v, w)| v == e.distance && w == e.epsilon));
+        }
+
+        #[test]
+        fn restricted_objective_close_to_unrestricted_weighted_median(
+            pairs in proptest::collection::vec((-10.0f64..10.0, 0.05f64..5.0), 1..12)
+        ) {
+            // The unrestricted minimiser is a weighted median of the
+            // released values, which *is* a released value; so restricting
+            // the domain must not change the optimum at all.
+            let s = ReleaseSet::from_pairs(&pairs);
+            let e = s.effective().unwrap();
+            let obj = |d: f64| -> f64 {
+                pairs.iter().map(|&(v, w)| w * (v - d).abs()).sum()
+            };
+            // Dense scan over the convex objective's breakpoints.
+            let best_unrestricted = pairs
+                .iter()
+                .map(|&(v, _)| obj(v))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((obj(e.distance) - best_unrestricted).abs() < 1e-9);
+        }
+    }
+}

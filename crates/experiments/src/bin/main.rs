@@ -1,0 +1,193 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! dpta-experiments --list
+//! dpta-experiments --figure fig07 --scale 0.3
+//! dpta-experiments --all --scale 0.1 --out results/ --verify
+//! ```
+
+use dpta_core::RunParams;
+use dpta_experiments::{expectations, figures, report, runner};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    figures: Vec<String>,
+    all: bool,
+    list: bool,
+    scale: f64,
+    batches: usize,
+    seeds: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    sequential: bool,
+    verify: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figures: Vec::new(),
+        all: false,
+        list: false,
+        scale: 0.25,
+        batches: 2,
+        seeds: 1,
+        seed: 42,
+        out: None,
+        sequential: false,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--figure" | "-f" => args.figures.push(next("--figure")?),
+            "--all" => args.all = true,
+            "--list" | "-l" => args.list = true,
+            "--scale" => {
+                args.scale = next("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--batches" => {
+                args.batches = next("--batches")?
+                    .parse()
+                    .map_err(|e| format!("bad --batches: {e}"))?
+            }
+            "--seeds" => {
+                args.seeds = next("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?
+            }
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--out" | "-o" => args.out = Some(PathBuf::from(next("--out")?)),
+            "--sequential" => args.sequential = true,
+            "--verify" => args.verify = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "dpta-experiments — regenerate the paper's tables and figures
+
+USAGE:
+  dpta-experiments [--figure figNN]... [--all] [options]
+
+OPTIONS:
+  -f, --figure <id>   run one experiment (repeatable); see --list
+      --all           run every experiment in the registry
+  -l, --list          list experiment ids and captions
+      --scale <f>     batch-size scale; 1.0 = the paper's 1000-task
+                      batches (default 0.25)
+      --batches <n>   batches per sweep point (default 2)
+      --seeds <n>     noise-seed replications per point (default 1)
+      --seed <n>      master seed (default 42)
+  -o, --out <dir>     write <id>.json and <id>.txt under <dir>
+      --sequential    disable batch-level parallelism
+      --verify        check the paper's qualitative claims and exit
+                      non-zero if any fails"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_help();
+            return ExitCode::from(2);
+        }
+    };
+
+    let registry = figures::registry();
+    if args.list {
+        for spec in &registry {
+            println!(
+                "{}  [{}]  {}",
+                spec.id,
+                spec.datasets
+                    .iter()
+                    .map(|d| d.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                spec.caption
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<_> = if args.all {
+        registry
+    } else if args.figures.is_empty() {
+        eprintln!("error: pass --figure <id>, --all or --list\n");
+        print_help();
+        return ExitCode::from(2);
+    } else {
+        let mut specs = Vec::new();
+        for id in &args.figures {
+            match figures::find(id) {
+                Some(s) => specs.push(s),
+                None => {
+                    eprintln!("error: unknown figure id {id} (try --list)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        specs
+    };
+
+    let opts = runner::RunOptions {
+        scale: args.scale,
+        n_batches: args.batches,
+        params: RunParams::with_seed(args.seed),
+        n_seeds: args.seeds,
+        parallel: !args.sequential,
+    };
+
+    let mut all_hold = true;
+    for spec in &selected {
+        eprintln!(
+            "running {} ({} x {} tasks/batch x {} batches)...",
+            spec.id,
+            spec.sweep.axis(),
+            opts.batch_size(),
+            opts.n_batches
+        );
+        let out = runner::run_figure(spec, &opts);
+        print!("{}", report::render_figure(&out));
+        if args.verify {
+            let claims = expectations::check(spec, &out);
+            print!("{}", expectations::render(&claims));
+            println!();
+            all_hold &= claims.iter().all(|c| c.holds);
+        }
+        if let Some(dir) = &args.out {
+            match report::write_json(&out, dir) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => {
+                    eprintln!("error writing results: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if args.verify && !all_hold {
+        eprintln!("some paper claims did not hold at this scale/seed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,198 @@
+//! The experiment registry: one entry per table/figure of the paper's
+//! evaluation, with the exact Table X sweeps.
+
+use dpta_core::Method;
+use dpta_workloads::Dataset;
+
+/// The parameter swept on a figure's x-axis (Table X).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sweep {
+    /// Worker-task ratio 1 → 3.
+    WorkerRatio,
+    /// Task value 1.5 → 7.5.
+    TaskValue,
+    /// Worker range 0.8 → 2.0 km.
+    WorkerRange,
+    /// Privacy budget groups [0.5,0.75] → [1.5,1.75] (Figure 17/25).
+    PrivacyBudget,
+}
+
+impl Sweep {
+    /// Axis label as used in the paper.
+    pub fn axis(&self) -> &'static str {
+        match self {
+            Sweep::WorkerRatio => "worker ratio",
+            Sweep::TaskValue => "task value",
+            Sweep::WorkerRange => "worker range",
+            Sweep::PrivacyBudget => "privacy budget",
+        }
+    }
+
+    /// The swept values (Table X rows; budget groups are labelled by
+    /// their midpoint like the paper's x-axis).
+    pub fn values(&self) -> Vec<f64> {
+        match self {
+            Sweep::WorkerRatio => vec![1.0, 1.5, 2.0, 2.5, 3.0],
+            Sweep::TaskValue => vec![1.5, 3.0, 4.5, 6.0, 7.5],
+            Sweep::WorkerRange => vec![0.8, 1.1, 1.4, 1.7, 2.0],
+            Sweep::PrivacyBudget => vec![0.625, 0.875, 1.125, 1.375, 1.625],
+        }
+    }
+
+    /// For the budget sweep, the group interval behind a swept value.
+    pub fn budget_group(x: f64) -> (f64, f64) {
+        (x - 0.125, x + 0.125)
+    }
+}
+
+/// What a figure panel reports (Section VII-C measures + running time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// Running time (ms) — Figure 4/18.
+    TimeMs,
+    /// Average utility `U_AVG`.
+    AvgUtility,
+    /// Relative deviation of utility `U_RD` (private methods only).
+    RdUtility,
+    /// Average travel distance `D_AVG` (km).
+    AvgDistance,
+    /// Relative deviation of distance `D_RD` (private methods only).
+    RdDistance,
+}
+
+impl MeasureKind {
+    /// Panel title as used in the paper's sub-captions.
+    pub fn title(&self) -> &'static str {
+        match self {
+            MeasureKind::TimeMs => "running time (ms)",
+            MeasureKind::AvgUtility => "average utility",
+            MeasureKind::RdUtility => "relative deviation of utility",
+            MeasureKind::AvgDistance => "average distance (km)",
+            MeasureKind::RdDistance => "relative deviation of distance",
+        }
+    }
+}
+
+/// Which Table IX methods a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodSet {
+    /// PUCE, PDCE, PGT, UCE, DCE, GT, GRD (Figures 4–16).
+    Main,
+    /// PUCE, PDCE, PUCE-nppcf, PDCE-nppcf (Figures 17/25).
+    PpcfAblation,
+}
+
+impl MethodSet {
+    /// The concrete methods.
+    pub fn methods(&self) -> Vec<Method> {
+        match self {
+            MethodSet::Main => Method::paper_main_set().to_vec(),
+            MethodSet::PpcfAblation => Method::ppcf_ablation_set().to_vec(),
+        }
+    }
+}
+
+/// One experiment: a paper figure (or appendix figure) to regenerate.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Experiment id, e.g. `fig07`.
+    pub id: &'static str,
+    /// The paper's caption, abbreviated.
+    pub caption: &'static str,
+    /// Data sets of the figure's panels.
+    pub datasets: &'static [Dataset],
+    /// Swept parameter.
+    pub sweep: Sweep,
+    /// Reported measures.
+    pub measures: &'static [MeasureKind],
+    /// Plotted methods.
+    pub methods: MethodSet,
+}
+
+use Dataset::{Chengdu, Normal, Uniform};
+use MeasureKind::{AvgDistance, AvgUtility, RdDistance, RdUtility, TimeMs};
+
+const UTILITY: &[MeasureKind] = &[AvgUtility, RdUtility];
+const DISTANCE: &[MeasureKind] = &[AvgDistance, RdDistance];
+
+/// Every experiment of the evaluation section and appendix D.
+pub fn registry() -> Vec<FigureSpec> {
+    vec![
+        FigureSpec { id: "fig04", caption: "impact of the worker ratio on the time cost", datasets: &[Chengdu, Normal], sweep: Sweep::WorkerRatio, measures: &[TimeMs], methods: MethodSet::Main },
+        FigureSpec { id: "fig05", caption: "impact of the task value on the utility (chengdu)", datasets: &[Chengdu], sweep: Sweep::TaskValue, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig06", caption: "impact of the task value on the utility (normal)", datasets: &[Normal], sweep: Sweep::TaskValue, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig07", caption: "impact of the worker range on the utility (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRange, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig08", caption: "impact of the worker range on the utility (normal)", datasets: &[Normal], sweep: Sweep::WorkerRange, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig09", caption: "impact of the worker ratio on the utility (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRatio, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig10", caption: "impact of the worker ratio on the utility (normal)", datasets: &[Normal], sweep: Sweep::WorkerRatio, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig11", caption: "impact of the task value on the distance (chengdu)", datasets: &[Chengdu], sweep: Sweep::TaskValue, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig12", caption: "impact of the task value on the distance (normal)", datasets: &[Normal], sweep: Sweep::TaskValue, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig13", caption: "impact of the worker range on the distance (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRange, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig14", caption: "impact of the worker range on the distance (normal)", datasets: &[Normal], sweep: Sweep::WorkerRange, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig15", caption: "impact of the worker ratio on the distance (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRatio, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig16", caption: "impact of the worker ratio on the distance (normal)", datasets: &[Normal], sweep: Sweep::WorkerRatio, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig17", caption: "impact of privacy on the utility (PPCF vs non-PPCF)", datasets: &[Chengdu, Normal], sweep: Sweep::PrivacyBudget, measures: &[AvgUtility], methods: MethodSet::PpcfAblation },
+        // Appendix D (uniform data set).
+        FigureSpec { id: "fig18", caption: "worker ratio vs time cost (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRatio, measures: &[TimeMs], methods: MethodSet::Main },
+        FigureSpec { id: "fig19", caption: "task value vs utility (uniform)", datasets: &[Uniform], sweep: Sweep::TaskValue, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig20", caption: "worker range vs utility (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRange, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig21", caption: "worker ratio vs utility (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRatio, measures: UTILITY, methods: MethodSet::Main },
+        FigureSpec { id: "fig22", caption: "task value vs distance (uniform)", datasets: &[Uniform], sweep: Sweep::TaskValue, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig23", caption: "worker range vs distance (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRange, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig24", caption: "worker ratio vs distance (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRatio, measures: DISTANCE, methods: MethodSet::Main },
+        FigureSpec { id: "fig25", caption: "privacy vs utility, PPCF ablation (uniform)", datasets: &[Uniform], sweep: Sweep::PrivacyBudget, measures: &[AvgUtility], methods: MethodSet::PpcfAblation },
+    ]
+}
+
+/// Looks an experiment up by id (case-insensitive).
+pub fn find(id: &str) -> Option<FigureSpec> {
+    let id = id.to_ascii_lowercase();
+    registry().into_iter().find(|f| f.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_evaluation_figure() {
+        let reg = registry();
+        assert_eq!(reg.len(), 22);
+        for k in 4..=25 {
+            let id = format!("fig{k:02}");
+            assert!(reg.iter().any(|f| f.id == id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn sweeps_match_table_x() {
+        assert_eq!(Sweep::WorkerRatio.values(), vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(Sweep::TaskValue.values(), vec![1.5, 3.0, 4.5, 6.0, 7.5]);
+        assert_eq!(Sweep::WorkerRange.values(), vec![0.8, 1.1, 1.4, 1.7, 2.0]);
+        // Budget groups reconstruct Table X's intervals.
+        let groups: Vec<(f64, f64)> = Sweep::PrivacyBudget
+            .values()
+            .into_iter()
+            .map(Sweep::budget_group)
+            .collect();
+        assert_eq!(groups[0], (0.5, 0.75));
+        assert_eq!(groups[4], (1.5, 1.75));
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("FIG07").is_some());
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn method_sets_match_table_ix() {
+        let main = MethodSet::Main.methods();
+        assert_eq!(main.len(), 7);
+        assert!(main.contains(&Method::Puce));
+        assert!(main.contains(&Method::Grd));
+        let ab = MethodSet::PpcfAblation.methods();
+        assert_eq!(ab.len(), 4);
+        assert!(ab.contains(&Method::PuceNppcf));
+    }
+}

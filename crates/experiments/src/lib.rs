@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation (Section VII).
+//!
+//! * [`figures`] — the registry mapping each paper figure (4–17 and the
+//!   appendix's 18–25) to a parameter sweep over Table X;
+//! * [`runner`] — executes a scenario × method grid over batches,
+//!   timing each method (Figure 4's measure) and aggregating the
+//!   Section VII-C measures;
+//! * [`report`] — ASCII tables mirroring the paper's series plus JSON
+//!   export;
+//! * [`expectations`] — the qualitative "shape" claims the paper makes
+//!   about each figure, as checkable predicates (used by integration
+//!   tests and EXPERIMENTS.md).
+//!
+//! Run `cargo run -p dpta-experiments --release -- --list` to see every
+//! experiment id.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expectations;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use figures::{registry, FigureSpec, MeasureKind, MethodSet, Sweep};
+pub use runner::{run_figure, FigureOutput, MethodResult, RunOptions, SweepPoint, Table};

@@ -1,0 +1,140 @@
+//! Rendering: ASCII tables mirroring the paper's series, and JSON
+//! export for downstream plotting.
+
+use crate::runner::{FigureOutput, Table};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders one panel as an aligned ASCII table.
+pub fn render_table(table: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {}", table.title);
+    let name_w = table
+        .rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain([table.x_label.len()])
+        .max()
+        .unwrap_or(8)
+        .max(6);
+    let col_w = 10usize;
+
+    let _ = write!(out, "{:<name_w$} |", table.x_label);
+    for x in &table.x_values {
+        let _ = write!(out, " {x:>col_w$}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{}-+{}",
+        "-".repeat(name_w),
+        "-".repeat((col_w + 1) * table.x_values.len())
+    );
+    for (name, series) in &table.rows {
+        let _ = write!(out, "{name:<name_w$} |");
+        for v in series {
+            let _ = write!(out, " {:>col_w$}", format_value(*v));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Compact numeric formatting: 4 significant-ish digits, no trailing
+/// noise.
+fn format_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.1 || a == 0.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a whole figure (caption + every panel).
+pub fn render_figure(fig: &FigureOutput) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", fig.id, fig.caption);
+    let _ = writeln!(out);
+    for t in &fig.tables {
+        out.push_str(&render_table(t));
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes a figure's raw sweep data as JSON next to the rendered text.
+/// Returns the JSON path.
+pub fn write_json(fig: &FigureOutput, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{}.json", fig.id));
+    std::fs::write(&json_path, serde_json::to_vec_pretty(fig)?)?;
+    let txt_path = dir.join(format!("{}.txt", fig.id));
+    std::fs::write(&txt_path, render_figure(fig))?;
+    Ok(json_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table {
+            title: "fig99 [chengdu] average utility".into(),
+            x_label: "worker range".into(),
+            x_values: vec!["0.8".into(), "1.4".into(), "2".into()],
+            rows: vec![
+                ("PUCE".into(), vec![3.5012, 3.102, 2.75]),
+                ("PGT".into(), vec![3.4, 3.3, 3.35]),
+            ],
+        }
+    }
+
+    #[test]
+    fn ascii_table_is_aligned_and_complete() {
+        let s = render_table(&sample_table());
+        assert!(s.contains("## fig99 [chengdu] average utility"));
+        assert!(s.contains("PUCE"));
+        assert!(s.contains("PGT"));
+        assert!(s.contains("3.501"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        // Rows align: same length for the two data lines.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(1234.56), "1235");
+        assert_eq!(format_value(56.78), "56.8");
+        assert_eq!(format_value(3.1417), "3.142");
+        assert_eq!(format_value(0.012345), "0.0123");
+        assert_eq!(format_value(0.0), "0.000");
+        assert_eq!(format_value(-2.5), "-2.500");
+        assert_eq!(format_value(f64::NAN), "-");
+    }
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let fig = FigureOutput {
+            id: "figtest".into(),
+            caption: "smoke".into(),
+            sweeps: vec![],
+            tables: vec![sample_table()],
+        };
+        let dir = std::env::temp_dir().join("dpta_report_test");
+        let path = write_json(&fig, &dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"figtest\""));
+        assert!(dir.join("figtest.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,364 @@
+//! Scenario execution: runs a method grid over a scenario's batches,
+//! timing each method and aggregating the Section VII-C measures.
+
+use crate::figures::{FigureSpec, MeasureKind, Sweep};
+use dpta_core::metrics::{
+    measure, relative_deviation_distance, relative_deviation_utility,
+};
+use dpta_core::{Instance, Measures, Method, RunParams};
+use dpta_workloads::{Dataset, Scenario};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Execution options shared by the CLI, tests and benches.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Scales the per-batch task count (1.0 = the paper's 1000-task
+    /// batches). Values below `20 / 1000` are clamped so instances stay
+    /// non-trivial.
+    pub scale: f64,
+    /// Batches per sweep point.
+    pub n_batches: usize,
+    /// Algorithm parameters (seed, α, β, accounting, fallback).
+    pub params: RunParams,
+    /// Noise-seed replications per batch: measures are merged across
+    /// `n_seeds` independent noise draws (the data set stays fixed) and
+    /// timings averaged, shrinking DP-noise variance in the series.
+    pub n_seeds: usize,
+    /// Run batches on worker threads (crossbeam scoped threads).
+    pub parallel: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scale: 1.0,
+            n_batches: 2,
+            params: RunParams::default(),
+            n_seeds: 1,
+            parallel: true,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Per-batch task count under this scale.
+    pub fn batch_size(&self) -> usize {
+        ((1000.0 * self.scale).round() as usize).max(20)
+    }
+}
+
+/// One method's aggregate over a scenario's batches.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodResult {
+    /// The method.
+    pub method: Method,
+    /// Measures merged across batches.
+    pub measures: Measures,
+    /// Total algorithm wall time across batches (instance generation
+    /// excluded) — the Figure 4 measure.
+    #[serde(with = "duration_ms")]
+    pub elapsed: Duration,
+}
+
+mod duration_ms {
+    use serde::Serializer;
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64() * 1e3)
+    }
+}
+
+/// One x-axis point of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// Per-method results at this point.
+    pub results: Vec<MethodResult>,
+}
+
+impl SweepPoint {
+    /// The result for `method`, if it was run.
+    pub fn result(&self, method: Method) -> Option<&MethodResult> {
+        self.results.iter().find(|r| r.method == method)
+    }
+}
+
+/// One rendered series table (a figure panel).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Panel title, e.g. `fig07(a) average utility — chengdu`.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// x-axis tick labels.
+    pub x_values: Vec<String>,
+    /// `(method name, series)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// A fully executed figure: raw sweep data per dataset plus the
+/// rendered panels.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureOutput {
+    /// Experiment id (`fig07`).
+    pub id: String,
+    /// Abbreviated caption.
+    pub caption: String,
+    /// Raw per-dataset sweeps: `(dataset, points)`.
+    pub sweeps: Vec<(Dataset, Vec<SweepPoint>)>,
+    /// Rendered panels in paper order.
+    pub tables: Vec<Table>,
+}
+
+/// Builds the scenario for one sweep point of a figure.
+pub fn scenario_for(spec: &FigureSpec, dataset: Dataset, x: f64, opts: &RunOptions) -> Scenario {
+    let mut sc = Scenario {
+        dataset,
+        batch_size: opts.batch_size(),
+        n_batches: opts.n_batches,
+        seed: opts.params.seed,
+        ..Scenario::default()
+    };
+    match spec.sweep {
+        Sweep::WorkerRatio => sc.worker_task_ratio = x,
+        Sweep::TaskValue => sc.task_value = x,
+        Sweep::WorkerRange => sc.worker_range = x,
+        Sweep::PrivacyBudget => sc.budget_range = Sweep::budget_group(x),
+    }
+    sc
+}
+
+/// Runs every method over every batch of a scenario, timing the
+/// algorithm only (instances are generated up front).
+pub fn run_scenario(
+    scenario: &Scenario,
+    methods: &[Method],
+    opts: &RunOptions,
+) -> Vec<MethodResult> {
+    let batches = scenario.batches();
+    methods
+        .iter()
+        .map(|&method| run_method(&batches, method, opts))
+        .collect()
+}
+
+fn run_method(batches: &[Instance], method: Method, opts: &RunOptions) -> MethodResult {
+    let n_seeds = opts.n_seeds.max(1);
+    let jobs: Vec<RunParams> = (0..n_seeds as u64)
+        .map(|s| RunParams {
+            seed: opts.params.seed.wrapping_add(s.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..opts.params
+        })
+        .collect();
+
+    let mut measures = Measures::zero();
+    let mut elapsed = Duration::ZERO;
+    for params in &jobs {
+        let per_batch: Vec<(Measures, Duration)> = if opts.parallel && batches.len() > 1 {
+            let mut slots: Vec<Option<(Measures, Duration)>> = vec![None; batches.len()];
+            crossbeam::thread::scope(|s| {
+                for (inst, slot) in batches.iter().zip(slots.iter_mut()) {
+                    s.spawn(move |_| {
+                        *slot = Some(run_batch(inst, method, params));
+                    });
+                }
+            })
+            .expect("batch worker panicked");
+            slots.into_iter().map(|s| s.expect("batch ran")).collect()
+        } else {
+            batches
+                .iter()
+                .map(|inst| run_batch(inst, method, params))
+                .collect()
+        };
+        for (m, d) in per_batch {
+            measures.merge(&m);
+            elapsed += d;
+        }
+    }
+    // Report the per-replication timing so Figure 4 stays comparable
+    // whatever `n_seeds` is.
+    MethodResult { method, measures, elapsed: elapsed / n_seeds as u32 }
+}
+
+fn run_batch(inst: &Instance, method: Method, params: &RunParams) -> (Measures, Duration) {
+    let start = Instant::now();
+    let outcome = method.run(inst, params);
+    let elapsed = start.elapsed();
+    let m = measure(inst, &outcome, params.alpha, params.beta, method.is_private());
+    (m, elapsed)
+}
+
+/// Executes a full figure: every dataset panel, every sweep point,
+/// every method; renders one table per (dataset, measure).
+pub fn run_figure(spec: &FigureSpec, opts: &RunOptions) -> FigureOutput {
+    let methods = spec.methods.methods();
+    let xs = spec.sweep.values();
+    let mut sweeps = Vec::new();
+    for &dataset in spec.datasets {
+        let points: Vec<SweepPoint> = xs
+            .iter()
+            .map(|&x| {
+                let sc = scenario_for(spec, dataset, x, opts);
+                SweepPoint { x, results: run_scenario(&sc, &methods, opts) }
+            })
+            .collect();
+        sweeps.push((dataset, points));
+    }
+
+    let mut tables = Vec::new();
+    for (dataset, points) in &sweeps {
+        for &mk in spec.measures {
+            tables.push(render_panel(spec, *dataset, mk, points));
+        }
+    }
+
+    FigureOutput {
+        id: spec.id.to_string(),
+        caption: spec.caption.to_string(),
+        sweeps,
+        tables,
+    }
+}
+
+/// Extracts one measure series per method into a [`Table`].
+fn render_panel(
+    spec: &FigureSpec,
+    dataset: Dataset,
+    mk: MeasureKind,
+    points: &[SweepPoint],
+) -> Table {
+    let methods = spec.methods.methods();
+    let mut rows = Vec::new();
+    for &method in &methods {
+        // Relative deviations are defined for private methods only.
+        if matches!(mk, MeasureKind::RdUtility | MeasureKind::RdDistance)
+            && method.non_private_counterpart().is_none()
+        {
+            continue;
+        }
+        let series: Vec<f64> = points
+            .iter()
+            .map(|p| measure_value(p, method, mk))
+            .collect();
+        rows.push((method.name().to_string(), series));
+    }
+    Table {
+        title: format!("{} [{}] {}", spec.id, dataset, mk.title()),
+        x_label: spec.sweep.axis().to_string(),
+        x_values: points.iter().map(|p| format_x(p.x)).collect(),
+        rows,
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Reads one measure for one method out of a sweep point.
+pub fn measure_value(point: &SweepPoint, method: Method, mk: MeasureKind) -> f64 {
+    let r = point.result(method).expect("method was run");
+    match mk {
+        MeasureKind::TimeMs => r.elapsed.as_secs_f64() * 1e3,
+        MeasureKind::AvgUtility => r.measures.avg_utility(),
+        MeasureKind::AvgDistance => r.measures.avg_distance(),
+        MeasureKind::RdUtility | MeasureKind::RdDistance => {
+            let np = method
+                .non_private_counterpart()
+                .expect("RD requires a private method");
+            let np_res = point
+                .result(np)
+                .unwrap_or_else(|| panic!("counterpart {np} missing from sweep"));
+            match mk {
+                MeasureKind::RdUtility => {
+                    relative_deviation_utility(&np_res.measures, &r.measures)
+                }
+                _ => relative_deviation_distance(&np_res.measures, &r.measures),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::find;
+
+    fn tiny_opts() -> RunOptions {
+        RunOptions {
+            scale: 0.06, // 60-task batches
+            n_batches: 2,
+            params: RunParams::default(),
+            n_seeds: 1,
+            parallel: true,
+        }
+    }
+
+    #[test]
+    fn scenario_for_applies_the_sweep() {
+        let spec = find("fig07").unwrap();
+        let sc = scenario_for(&spec, Dataset::Chengdu, 1.7, &tiny_opts());
+        assert_eq!(sc.worker_range, 1.7);
+        assert_eq!(sc.batch_size, 60);
+        let spec = find("fig17").unwrap();
+        let sc = scenario_for(&spec, Dataset::Normal, 0.625, &tiny_opts());
+        assert_eq!(sc.budget_range, (0.5, 0.75));
+    }
+
+    #[test]
+    fn run_figure_produces_panel_tables() {
+        let spec = find("fig09").unwrap();
+        // Shrink the sweep through a custom run: just assert structure on
+        // the real (small-scale) run.
+        let out = run_figure(&spec, &tiny_opts());
+        assert_eq!(out.id, "fig09");
+        assert_eq!(out.tables.len(), 2); // avg utility + RD utility
+        let avg = &out.tables[0];
+        assert_eq!(avg.x_values, vec!["1", "1.5", "2", "2.5", "3"]);
+        assert_eq!(avg.rows.len(), 7);
+        let rd = &out.tables[1];
+        assert_eq!(rd.rows.len(), 3); // PUCE, PDCE, PGT only
+        for (_, series) in &avg.rows {
+            assert_eq!(series.len(), 5);
+            assert!(series.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn seed_replication_merges_measures() {
+        let spec = find("fig05").unwrap();
+        let sc = scenario_for(&spec, Dataset::Chengdu, 4.5, &tiny_opts());
+        let one = run_scenario(&sc, &[Method::Puce], &tiny_opts());
+        let three = run_scenario(
+            &sc,
+            &[Method::Puce],
+            &RunOptions { n_seeds: 3, ..tiny_opts() },
+        );
+        // Three replications merge roughly three times the matches; the
+        // averaged measures stay on the same scale.
+        assert!(three[0].measures.matched >= 2 * one[0].measures.matched);
+        let a = one[0].measures.avg_utility();
+        let b = three[0].measures.avg_utility();
+        assert!((a - b).abs() < 1.0, "avg utilities {a} vs {b}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_measures() {
+        let spec = find("fig05").unwrap();
+        let sc = scenario_for(&spec, Dataset::Chengdu, 4.5, &tiny_opts());
+        let methods = [Method::Puce, Method::Pgt];
+        let par = run_scenario(&sc, &methods, &RunOptions { parallel: true, ..tiny_opts() });
+        let seq = run_scenario(&sc, &methods, &RunOptions { parallel: false, ..tiny_opts() });
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.measures, b.measures);
+        }
+    }
+}

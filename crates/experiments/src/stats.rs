@@ -1,0 +1,118 @@
+//! Small summary-statistics toolkit for experiment series: means,
+//! standard deviations, and the ratio summaries the paper reports
+//! ("PGT is 50–63% faster", "16% utility improvement on average").
+
+/// Mean of a sample; 0 for an empty one.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased (n−1) sample standard deviation; 0 for fewer than two
+/// observations.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Median (of a copy); 0 for an empty sample.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Element-wise percentage reduction of `new` relative to `old`:
+/// `(old − new) / old`, averaged over the series. This is how the
+/// paper summarises "PGT costs 52–63% less time than PDCE".
+///
+/// Returns `(min, mean, max)` over the positions where `old > 0`.
+pub fn reduction_band(old: &[f64], new: &[f64]) -> Option<(f64, f64, f64)> {
+    assert_eq!(old.len(), new.len(), "series lengths must match");
+    let reductions: Vec<f64> = old
+        .iter()
+        .zip(new)
+        .filter(|(o, _)| **o > 0.0)
+        .map(|(o, n)| (o - n) / o)
+        .collect();
+    if reductions.is_empty() {
+        return None;
+    }
+    let lo = reductions.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = reductions.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some((lo, mean(&reductions), hi))
+}
+
+/// Mean relative improvement of `new` over `old`: `(new − old) / old`,
+/// the paper's "improve 16% utility on average" summary. Positions with
+/// non-positive `old` are skipped.
+pub fn improvement_mean(old: &[f64], new: &[f64]) -> Option<f64> {
+    assert_eq!(old.len(), new.len(), "series lengths must match");
+    let imps: Vec<f64> = old
+        .iter()
+        .zip(new)
+        .filter(|(o, _)| **o > 0.0)
+        .map(|(o, n)| (n - o) / o)
+        .collect();
+    (!imps.is_empty()).then(|| mean(&imps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Sample std of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.1380899353).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn reduction_band_matches_paper_summary_style() {
+        // PDCE times 2.0, 4.0; PGT times 1.0, 1.6 => reductions 50%, 60%.
+        let (lo, m, hi) = reduction_band(&[2.0, 4.0], &[1.0, 1.6]).unwrap();
+        assert!((lo - 0.5).abs() < 1e-12);
+        assert!((hi - 0.6).abs() < 1e-12);
+        assert!((m - 0.55).abs() < 1e-12);
+        assert!(reduction_band(&[0.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn improvement_mean_skips_nonpositive_baselines() {
+        let imp = improvement_mean(&[2.0, 0.0, 4.0], &[2.4, 9.9, 4.4]).unwrap();
+        // (0.2 + 0.1) / 2 = 0.15.
+        assert!((imp - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_series_panic() {
+        let _ = reduction_band(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Unit tests of the claim checker against hand-built figure outputs:
+//! the checker must accept series shaped like the paper's plots and
+//! reject inverted ones.
+
+use dpta_core::{Measures, Method};
+use dpta_experiments::expectations::{check, render};
+use dpta_experiments::figures::find;
+use dpta_experiments::runner::{FigureOutput, MethodResult, SweepPoint};
+use dpta_workloads::Dataset;
+use std::time::Duration;
+
+/// Builds a sweep point where each method has the given (avg utility,
+/// avg distance, time ms) triple with one matched pair, so the measure
+/// extraction is the identity.
+fn point(x: f64, rows: &[(Method, f64, f64, f64)]) -> SweepPoint {
+    SweepPoint {
+        x,
+        results: rows
+            .iter()
+            .map(|&(method, utility, distance, ms)| MethodResult {
+                method,
+                measures: Measures {
+                    matched: 1,
+                    total_utility: utility,
+                    total_distance: distance,
+                    total_epsilon: 0.0,
+                    publications: 0,
+                    rounds: 1,
+                },
+                elapsed: Duration::from_secs_f64(ms / 1e3),
+            })
+            .collect(),
+    }
+}
+
+/// A paper-shaped fig04 (times growing with ratio, PGT under PDCE).
+fn fig04_output(invert: bool) -> FigureOutput {
+    let spec = find("fig04").unwrap();
+    let mk = |pgt_scale: f64| -> Vec<SweepPoint> {
+        [1.0, 1.5, 2.0, 2.5, 3.0]
+            .iter()
+            .map(|&x| {
+                let pdce_ms = 2.0 * x;
+                let pgt_ms = pdce_ms * pgt_scale;
+                point(
+                    x,
+                    &[
+                        (Method::Puce, 1.0, 1.0, 2.5 * x),
+                        (Method::Pdce, 1.0, 1.0, pdce_ms),
+                        (Method::Pgt, 1.0, 1.0, pgt_ms),
+                        (Method::Uce, 1.0, 1.0, 1.5 * x),
+                        (Method::Dce, 1.0, 1.0, 1.4 * x),
+                        (Method::Gt, 1.0, 1.0, 0.9 * x),
+                        (Method::Grd, 1.0, 1.0, 0.2 * x),
+                    ],
+                )
+            })
+            .collect()
+    };
+    let scale = if invert { 2.0 } else { 0.45 };
+    FigureOutput {
+        id: spec.id.to_string(),
+        caption: spec.caption.to_string(),
+        sweeps: vec![(Dataset::Chengdu, mk(scale)), (Dataset::Normal, mk(scale))],
+        tables: vec![],
+    }
+}
+
+#[test]
+fn paper_shaped_timing_passes() {
+    let spec = find("fig04").unwrap();
+    let claims = check(&spec, &fig04_output(false));
+    assert_eq!(claims.len(), 4); // 2 claims x 2 datasets
+    assert!(claims.iter().all(|c| c.holds), "{}", render(&claims));
+    // The detail must quote the paper-style reduction band.
+    assert!(claims[0].detail.contains("% cheaper"));
+}
+
+#[test]
+fn inverted_timing_fails() {
+    let spec = find("fig04").unwrap();
+    let claims = check(&spec, &fig04_output(true));
+    let faster: Vec<_> = claims
+        .iter()
+        .filter(|c| c.id.contains("pgt-faster"))
+        .collect();
+    assert_eq!(faster.len(), 2);
+    assert!(faster.iter().all(|c| !c.holds));
+}
+
+/// fig07-shaped data: utilities falling with range, PGT flattest.
+fn fig07_output(pgt_flat: bool) -> FigureOutput {
+    let spec = find("fig07").unwrap();
+    let points = [0.8, 1.1, 1.4, 1.7, 2.0]
+        .iter()
+        .enumerate()
+        .map(|(k, &x)| {
+            let k = k as f64;
+            let puce = 3.0 - 0.5 * k;
+            let pgt = if pgt_flat { 2.9 - 0.1 * k } else { 3.5 - 0.8 * k };
+            point(
+                x,
+                &[
+                    (Method::Puce, puce, 1.0, 1.0),
+                    (Method::Pdce, puce - 0.02, 1.0, 1.0),
+                    (Method::Pgt, pgt, 1.0, 1.0),
+                    (Method::Uce, 4.0 - 0.2 * k, 1.0, 1.0),
+                    (Method::Dce, 4.0 - 0.2 * k, 1.0, 1.0),
+                    (Method::Gt, 4.0 - 0.15 * k, 1.0, 1.0),
+                    (Method::Grd, 4.0 - 0.1 * k, 1.0, 1.0),
+                ],
+            )
+        })
+        .collect();
+    FigureOutput {
+        id: spec.id.to_string(),
+        caption: spec.caption.to_string(),
+        sweeps: vec![(Dataset::Chengdu, points)],
+        tables: vec![],
+    }
+}
+
+#[test]
+fn paper_shaped_range_sweep_passes_and_steep_pgt_fails() {
+    let spec = find("fig07").unwrap();
+    let good = check(&spec, &fig07_output(true));
+    assert!(good.iter().all(|c| c.holds), "{}", render(&good));
+
+    let bad = check(&spec, &fig07_output(false));
+    let slower: Vec<_> = bad
+        .iter()
+        .filter(|c| c.id.contains("pgt-decreases-slower"))
+        .collect();
+    assert_eq!(slower.len(), 1);
+    assert!(!slower[0].holds);
+}
+
+#[test]
+fn render_marks_pass_and_fail() {
+    let spec = find("fig04").unwrap();
+    let text = render(&check(&spec, &fig04_output(true)));
+    assert!(text.contains("[FAIL]"));
+    assert!(text.contains("[PASS]"));
+    assert!(text.contains("Sec. VII-D.1"));
+}

@@ -1,0 +1,176 @@
+//! One-to-one task↔worker assignments (Definition 8 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A one-to-one partial matching between `m` tasks and `n` workers.
+///
+/// Maintains both directions of the mapping and enforces the
+/// one-to-one-ness invariant of Definition 8 on every mutation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    task_to_worker: Vec<Option<usize>>,
+    worker_to_task: Vec<Option<usize>>,
+}
+
+impl Assignment {
+    /// An empty assignment over `m` tasks and `n` workers.
+    pub fn new(m: usize, n: usize) -> Self {
+        Assignment {
+            task_to_worker: vec![None; m],
+            worker_to_task: vec![None; n],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.task_to_worker.len()
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.worker_to_task.len()
+    }
+
+    /// The worker matched to `task`, if any.
+    #[inline]
+    pub fn worker_of(&self, task: usize) -> Option<usize> {
+        self.task_to_worker[task]
+    }
+
+    /// The task matched to `worker`, if any.
+    #[inline]
+    pub fn task_of(&self, worker: usize) -> Option<usize> {
+        self.worker_to_task[worker]
+    }
+
+    /// Matches `task` with `worker`. Panics if either side is already
+    /// matched — callers must [`unassign_task`](Self::unassign_task) /
+    /// [`unassign_worker`](Self::unassign_worker) first, which keeps
+    /// accidental double-bookings loud.
+    pub fn assign(&mut self, task: usize, worker: usize) {
+        assert!(
+            self.task_to_worker[task].is_none(),
+            "task {task} is already matched"
+        );
+        assert!(
+            self.worker_to_task[worker].is_none(),
+            "worker {worker} is already matched"
+        );
+        self.task_to_worker[task] = Some(worker);
+        self.worker_to_task[worker] = Some(task);
+    }
+
+    /// Releases `task` from its worker (no-op when unmatched); returns
+    /// the worker that was freed.
+    pub fn unassign_task(&mut self, task: usize) -> Option<usize> {
+        let w = self.task_to_worker[task].take();
+        if let Some(w) = w {
+            self.worker_to_task[w] = None;
+        }
+        w
+    }
+
+    /// Releases `worker` from its task (no-op when unmatched); returns
+    /// the task that was freed.
+    pub fn unassign_worker(&mut self, worker: usize) -> Option<usize> {
+        let t = self.worker_to_task[worker].take();
+        if let Some(t) = t {
+            self.task_to_worker[t] = None;
+        }
+        t
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.task_to_worker.iter().flatten().count()
+    }
+
+    /// Whether nothing is matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates matched `(task, worker)` pairs in task order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.task_to_worker
+            .iter()
+            .enumerate()
+            .filter_map(|(t, w)| w.map(|w| (t, w)))
+    }
+
+    /// Debug-checks that both directions agree; used by tests and the
+    /// algorithm drivers after each round.
+    pub fn check_consistent(&self) {
+        for (t, w) in self.pairs() {
+            assert_eq!(
+                self.worker_to_task[w],
+                Some(t),
+                "assignment directions disagree at task {t} / worker {w}"
+            );
+        }
+        for (w, t) in self.worker_to_task.iter().enumerate() {
+            if let Some(t) = t {
+                assert_eq!(
+                    self.task_to_worker[*t],
+                    Some(w),
+                    "assignment directions disagree at worker {w} / task {t}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut a = Assignment::new(3, 2);
+        a.assign(1, 0);
+        assert_eq!(a.worker_of(1), Some(0));
+        assert_eq!(a.task_of(0), Some(1));
+        assert_eq!(a.worker_of(0), None);
+        assert_eq!(a.len(), 1);
+        a.check_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "task 0 is already matched")]
+    fn double_assign_task_panics() {
+        let mut a = Assignment::new(1, 2);
+        a.assign(0, 0);
+        a.assign(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 0 is already matched")]
+    fn double_assign_worker_panics() {
+        let mut a = Assignment::new(2, 1);
+        a.assign(0, 0);
+        a.assign(1, 0);
+    }
+
+    #[test]
+    fn unassign_frees_both_sides() {
+        let mut a = Assignment::new(2, 2);
+        a.assign(0, 1);
+        assert_eq!(a.unassign_task(0), Some(1));
+        assert_eq!(a.worker_of(0), None);
+        assert_eq!(a.task_of(1), None);
+        assert!(a.is_empty());
+        // Re-assignment after unassign must work.
+        a.assign(0, 1);
+        assert_eq!(a.unassign_worker(1), Some(0));
+        assert!(a.is_empty());
+        assert_eq!(a.unassign_worker(1), None);
+    }
+
+    #[test]
+    fn pairs_iterates_in_task_order() {
+        let mut a = Assignment::new(4, 4);
+        a.assign(2, 0);
+        a.assign(0, 3);
+        assert_eq!(a.pairs().collect::<Vec<_>>(), vec![(0, 3), (2, 0)]);
+    }
+}

@@ -1,0 +1,398 @@
+//! CEA — the Conflict Elimination Algorithm of Wang et al. \[3\],
+//! reviewed in Section IV of the paper and used as the winner-selection
+//! subroutine of PUCE (Algorithm 2).
+//!
+//! Input: per-task candidate lists sorted best-first (in PUCE "best"
+//! means highest estimated utility; in PDCE/DCE smallest distance), and
+//! a probabilistic comparator `prob_better(a, b) = Pr[a preferable to b]`
+//! (PCF/PPCF on obfuscated values, or a 0/1 indicator on real ones).
+//!
+//! A *winner conflict* arises when several tasks point at the same
+//! worker. CEA resolves it with the max-regret rule derived from
+//! Equation 1 under the `D(a_{cu,1}) ≃ D(a_{cv,1})` approximation: the
+//! conflicted worker stays with the task whose **second choice is
+//! worst**, and the other conflicted tasks lose him.
+//!
+//! What happens to the losers is ambiguous in the paper, so both
+//! readings are implemented (see [`CeaFallback`]):
+//!
+//! * [`CeaFallback::CrossRound`] — losers get nothing this invocation
+//!   and re-compete in the next protocol round. This reproduces the
+//!   paper's Example 2 trace literally (t₂ ends round 1 unallocated).
+//! * [`CeaFallback::WithinRound`] — losers immediately fall to their
+//!   next candidate, cascading until conflict-free, the eager reading
+//!   of Section IV / Equation 1. On the paper's Table II this cascade
+//!   lands exactly on the introduction's improved assignment
+//!   {⟨t1,w2⟩, ⟨t2,w1⟩, ⟨t3,w3⟩} — see the tests.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Loser behaviour after a winner conflict (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CeaFallback {
+    /// Losers wait for the next protocol round (paper's Example 2).
+    CrossRound,
+    /// Losers cascade to their next candidates within this invocation
+    /// (eager Section IV reading).
+    WithinRound,
+}
+
+/// Resolves winner conflicts over per-task candidate lists.
+///
+/// * `rows[i]` — task `i`'s candidates, best first; a worker may appear
+///   in many rows but at most once per row.
+/// * `n_workers` — worker id upper bound.
+/// * `worker_of(c)` — the worker a candidate refers to.
+/// * `prob_better(a, b)` — probability that candidate `a` is preferable
+///   to candidate `b` (only consulted on *second choices* of distinct
+///   tasks, per the Section IV approximation).
+///
+/// Returns, per task, the index into its row of the winning candidate
+/// (`None` when the task won nothing). The result never assigns one
+/// worker to two tasks.
+pub fn conflict_elimination<T, W, P>(
+    rows: &[Vec<T>],
+    n_workers: usize,
+    worker_of: W,
+    prob_better: P,
+    fallback: CeaFallback,
+) -> Vec<Option<usize>>
+where
+    W: Fn(&T) -> usize,
+    P: Fn(&T, &T) -> f64,
+{
+    for (i, row) in rows.iter().enumerate() {
+        let mut seen = vec![false; n_workers];
+        for c in row {
+            let w = worker_of(c);
+            assert!(w < n_workers, "row {i} references worker {w} >= {n_workers}");
+            assert!(!seen[w], "row {i} lists worker {w} twice");
+            seen[w] = true;
+        }
+    }
+    match fallback {
+        CeaFallback::CrossRound => cross_round(rows, worker_of, prob_better),
+        CeaFallback::WithinRound => within_round(rows, n_workers, worker_of, prob_better),
+    }
+}
+
+/// Single pass on first choices; conflict losers get `None`.
+fn cross_round<T, W, P>(rows: &[Vec<T>], worker_of: W, prob_better: P) -> Vec<Option<usize>>
+where
+    W: Fn(&T) -> usize,
+    P: Fn(&T, &T) -> f64,
+{
+    let m = rows.len();
+    let mut resolved: Vec<Option<usize>> = vec![None; m];
+    let mut demand: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (t, row) in rows.iter().enumerate() {
+        if let Some(first) = row.first() {
+            demand.entry(worker_of(first)).or_default().push(t);
+        }
+    }
+    for (_, ts) in demand {
+        if ts.len() == 1 {
+            resolved[ts[0]] = Some(0);
+            continue;
+        }
+        // Max-regret tournament on the row-local second choices.
+        let keep = tournament(&ts, |t| rows[t].get(1), &prob_better);
+        resolved[keep] = Some(0);
+    }
+    resolved
+}
+
+/// Iterative cascade: losers advance to their next free candidate.
+fn within_round<T, W, P>(
+    rows: &[Vec<T>],
+    n_workers: usize,
+    worker_of: W,
+    prob_better: P,
+) -> Vec<Option<usize>>
+where
+    W: Fn(&T) -> usize,
+    P: Fn(&T, &T) -> f64,
+{
+    let m = rows.len();
+    let mut ptr: Vec<usize> = vec![0; m];
+    let mut resolved: Vec<Option<usize>> = vec![None; m];
+    let mut done: Vec<bool> = rows.iter().map(Vec::is_empty).collect();
+    let mut taken: Vec<bool> = vec![false; n_workers];
+
+    // The next candidate index at or after `from` whose worker is free.
+    let next_free = |task: usize, from: usize, taken: &[bool]| -> Option<usize> {
+        rows[task][from..]
+            .iter()
+            .position(|c| !taken[worker_of(c)])
+            .map(|off| from + off)
+    };
+
+    loop {
+        for t in 0..m {
+            if done[t] {
+                continue;
+            }
+            match next_free(t, ptr[t], &taken) {
+                Some(p) => ptr[t] = p,
+                None => done[t] = true,
+            }
+        }
+
+        let mut demand: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for t in 0..m {
+            if !done[t] {
+                demand.entry(worker_of(&rows[t][ptr[t]])).or_default().push(t);
+            }
+        }
+        if demand.is_empty() {
+            break;
+        }
+
+        let conflicts: Vec<(usize, Vec<usize>)> = demand
+            .iter()
+            .filter(|(_, ts)| ts.len() > 1)
+            .map(|(w, ts)| (*w, ts.clone()))
+            .collect();
+
+        if conflicts.is_empty() {
+            // Every pointed worker has exactly one suitor: commit them all.
+            for (w, ts) in demand {
+                let t = ts[0];
+                resolved[t] = Some(ptr[t]);
+                taken[w] = true;
+                done[t] = true;
+            }
+            break;
+        }
+
+        for (w, ts) in conflicts {
+            let keep = tournament(&ts, |t| next_free(t, ptr[t] + 1, &taken).map(|p| &rows[t][p]), &prob_better);
+            resolved[keep] = Some(ptr[keep]);
+            taken[w] = true;
+            done[keep] = true;
+            // Losers advance past `w` at the top of the next iteration.
+        }
+    }
+
+    resolved
+}
+
+/// Max-regret tournament: returns the task whose second choice is
+/// *worst* (a task with no second choice has infinite regret and wins
+/// outright; ties keep the earlier task for determinism).
+fn tournament<'a, T: 'a, S, P>(tasks: &[usize], second: S, prob_better: &P) -> usize
+where
+    S: Fn(usize) -> Option<&'a T>,
+    P: Fn(&T, &T) -> f64,
+{
+    let mut keep = tasks[0];
+    for &challenger in &tasks[1..] {
+        keep = match (second(keep), second(challenger)) {
+            (None, _) => keep,
+            (_, None) => challenger,
+            (Some(sk), Some(sc)) => {
+                // The challenger takes the worker only when its own
+                // fallback is strictly worse (Pr[challenger's second
+                // preferable] < 1/2).
+                if prob_better(sc, sk) < 0.5 {
+                    challenger
+                } else {
+                    keep
+                }
+            }
+        };
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Candidate carrying (worker, value); smaller value preferred.
+    #[derive(Debug, Clone, Copy)]
+    struct C(usize, f64);
+
+    fn run(rows: &[Vec<C>], n_workers: usize, fb: CeaFallback) -> Vec<Option<usize>> {
+        conflict_elimination(
+            rows,
+            n_workers,
+            |c: &C| c.0,
+            |a: &C, b: &C| {
+                if a.1 < b.1 {
+                    1.0
+                } else if a.1 > b.1 {
+                    0.0
+                } else {
+                    0.5
+                }
+            },
+            fb,
+        )
+    }
+
+    fn table_ii_rows() -> Vec<Vec<C>> {
+        vec![
+            vec![C(0, 9.06), C(1, 9.85), C(2, 12.04)], // t1: w1 w2 w3
+            vec![C(2, 2.09), C(0, 10.44), C(1, 12.59)], // t2: w3 w1 w2
+            vec![C(2, 2.00), C(1, 11.28), C(0, 18.87)], // t3: w3 w2 w1
+        ]
+    }
+
+    #[test]
+    fn paper_table_ii_within_round_trace() {
+        // Section IV resolves the w3 conflict toward t3 (C2), then the
+        // induced w1 conflict toward t2, landing on the introduction's
+        // final assignment {t1:w2, t2:w1, t3:w3}.
+        let rows = table_ii_rows();
+        let res = run(&rows, 3, CeaFallback::WithinRound);
+        let winners: Vec<usize> = res
+            .iter()
+            .enumerate()
+            .map(|(t, r)| rows[t][r.unwrap()].0)
+            .collect();
+        assert_eq!(winners, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn paper_table_ii_cross_round_stops_after_one_resolution() {
+        // Cross-round: t1 keeps its uncontested w1, the w3 conflict goes
+        // to t3 (whose fallback 11.28 > ... wait — regret rule keeps w3
+        // at the task whose second choice is *worst*: t2's second is
+        // 10.44, t3's is 11.28, so t3 keeps w3) and t2 gets nothing.
+        let rows = table_ii_rows();
+        let res = run(&rows, 3, CeaFallback::CrossRound);
+        assert_eq!(res[0], Some(0)); // t1: w1 (uncontested first choice)
+        assert_eq!(res[1], None); // t2 lost w3, waits for next round
+        assert_eq!(res[2], Some(0)); // t3: w3
+    }
+
+    #[test]
+    fn no_conflicts_assigns_everyone_their_first_choice() {
+        let rows = vec![vec![C(0, 1.0)], vec![C(1, 2.0)], vec![C(2, 3.0)]];
+        for fb in [CeaFallback::CrossRound, CeaFallback::WithinRound] {
+            assert_eq!(run(&rows, 3, fb), vec![Some(0), Some(0), Some(0)]);
+        }
+    }
+
+    #[test]
+    fn single_shared_worker_goes_to_one_task_only() {
+        let rows = vec![vec![C(0, 1.0)], vec![C(0, 2.0)]];
+        for fb in [CeaFallback::CrossRound, CeaFallback::WithinRound] {
+            let res = run(&rows, 1, fb);
+            // Neither task has a second choice: the earlier task keeps.
+            assert_eq!(res, vec![Some(0), None]);
+        }
+    }
+
+    #[test]
+    fn task_without_second_choice_wins_the_conflict() {
+        // t0 has a fallback, t1 does not: t1 must keep w0.
+        let rows = vec![vec![C(0, 1.0), C(1, 5.0)], vec![C(0, 1.5)]];
+        let res = run(&rows, 2, CeaFallback::WithinRound);
+        assert_eq!(res[1], Some(0)); // t1 keeps w0
+        assert_eq!(res[0], Some(1)); // t0 falls back to w1
+        let res = run(&rows, 2, CeaFallback::CrossRound);
+        assert_eq!(res[1], Some(0));
+        assert_eq!(res[0], None); // no within-round fallback
+    }
+
+    #[test]
+    fn max_regret_keeps_worker_at_task_with_worse_fallback() {
+        // Both want w0. t0's fallback is 10.0, t1's fallback is 2.0:
+        // t0 regrets more, so t0 keeps w0.
+        let rows = vec![vec![C(0, 1.0), C(1, 10.0)], vec![C(0, 1.0), C(2, 2.0)]];
+        let res = run(&rows, 3, CeaFallback::WithinRound);
+        assert_eq!(res[0], Some(0));
+        assert_eq!(res[1], Some(1)); // falls to w2
+        let res = run(&rows, 3, CeaFallback::CrossRound);
+        assert_eq!(res[0], Some(0));
+        assert_eq!(res[1], None);
+    }
+
+    #[test]
+    fn empty_rows_yield_none() {
+        let rows: Vec<Vec<C>> = vec![vec![], vec![C(0, 1.0)]];
+        for fb in [CeaFallback::CrossRound, CeaFallback::WithinRound] {
+            assert_eq!(run(&rows, 1, fb), vec![None, Some(0)]);
+        }
+    }
+
+    #[test]
+    fn cascading_conflicts_terminate_within_round() {
+        // All tasks share the same ranking over three workers.
+        let rows: Vec<Vec<C>> = (0..4)
+            .map(|_| vec![C(0, 1.0), C(1, 2.0), C(2, 3.0)])
+            .collect();
+        let res = run(&rows, 3, CeaFallback::WithinRound);
+        assert_eq!(res.iter().flatten().count(), 3); // all three workers placed
+        let mut seen = [false; 3];
+        for (t, r) in res.iter().enumerate() {
+            if let Some(k) = r {
+                let w = rows[t][*k].0;
+                assert!(!seen[w]);
+                seen[w] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cross_round_resolves_each_worker_once() {
+        let rows: Vec<Vec<C>> = (0..4)
+            .map(|_| vec![C(0, 1.0), C(1, 2.0), C(2, 3.0)])
+            .collect();
+        let res = run(&rows, 3, CeaFallback::CrossRound);
+        // Only the w0 conflict is resolved; one winner, three losers.
+        assert_eq!(res.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lists worker 0 twice")]
+    fn duplicate_worker_in_row_panics() {
+        let rows = vec![vec![C(0, 1.0), C(0, 2.0)]];
+        let _ = run(&rows, 1, CeaFallback::WithinRound);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn result_is_one_to_one_in_both_modes(
+            m in 1usize..7, n in 1usize..7,
+            vals in proptest::collection::vec(0.0f64..10.0, 49),
+            present in proptest::collection::vec(proptest::bool::weighted(0.7), 49),
+            mode in proptest::bool::ANY,
+        ) {
+            let rows: Vec<Vec<C>> = (0..m)
+                .map(|t| {
+                    let mut row: Vec<C> = (0..n)
+                        .filter(|w| present[t * 7 + w])
+                        .map(|w| C(w, vals[t * 7 + w]))
+                        .collect();
+                    row.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                    row
+                })
+                .collect();
+            let fb = if mode { CeaFallback::WithinRound } else { CeaFallback::CrossRound };
+            let res = run(&rows, n, fb);
+            let mut seen = vec![false; n];
+            for (t, r) in res.iter().enumerate() {
+                if let Some(k) = r {
+                    let w = rows[t][*k].0;
+                    prop_assert!(!seen[w], "worker {w} assigned twice");
+                    seen[w] = true;
+                }
+            }
+            if fb == CeaFallback::WithinRound {
+                // Every task with a non-empty row either wins some worker
+                // or all of its candidates were taken by someone else.
+                for (t, r) in res.iter().enumerate() {
+                    if r.is_none() && !rows[t].is_empty() {
+                        prop_assert!(rows[t].iter().all(|c| seen[c.0]));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Global greedy max-weight matching — the GRD baseline of Table IX.
+
+use crate::Assignment;
+
+/// A weighted candidate edge for [`greedy_max_weight`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Task index.
+    pub task: usize,
+    /// Worker index.
+    pub worker: usize,
+    /// Edge weight (utility of the pairing).
+    pub weight: f64,
+}
+
+/// Greedy matching: repeatedly picks the highest-weight edge whose two
+/// endpoints are both free, skipping edges with `weight <= min_weight`.
+///
+/// The paper's GRD "always greedily chooses the current best worker-task
+/// pair (with the highest utility)"; `min_weight = 0.0` reproduces the
+/// PA-TA convention that a pairing with non-positive utility is worse
+/// than no pairing. Ties are broken by `(task, worker)` index so runs
+/// are deterministic.
+pub fn greedy_max_weight(m: usize, n: usize, edges: &[Edge], min_weight: f64) -> Assignment {
+    let mut sorted: Vec<&Edge> = edges
+        .iter()
+        .filter(|e| e.weight.is_finite() && e.weight > min_weight)
+        .collect();
+    sorted.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .expect("finite weights")
+            .then(a.task.cmp(&b.task))
+            .then(a.worker.cmp(&b.worker))
+    });
+    let mut out = Assignment::new(m, n);
+    for e in sorted {
+        if out.worker_of(e.task).is_none() && out.task_of(e.worker).is_none() {
+            out.assign(e.task, e.worker);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn e(task: usize, worker: usize, weight: f64) -> Edge {
+        Edge { task, worker, weight }
+    }
+
+    #[test]
+    fn picks_heaviest_first() {
+        let edges = [e(0, 0, 3.0), e(0, 1, 4.0), e(1, 0, 3.0), e(1, 1, 1.0)];
+        let a = greedy_max_weight(2, 2, &edges, 0.0);
+        // Greedy takes (0,1)=4 then (1,0)=3; total 7 (optimum here too).
+        assert_eq!(a.worker_of(0), Some(1));
+        assert_eq!(a.worker_of(1), Some(0));
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_valid() {
+        // Classic trap: greedy takes 10 and blocks 9+9=18.
+        let edges = [e(0, 0, 10.0), e(0, 1, 9.0), e(1, 0, 9.0)];
+        let a = greedy_max_weight(2, 2, &edges, 0.0);
+        assert_eq!(a.worker_of(0), Some(0));
+        assert_eq!(a.worker_of(1), None);
+        a.check_consistent();
+    }
+
+    #[test]
+    fn threshold_filters_nonpositive_utilities() {
+        let edges = [e(0, 0, 0.0), e(1, 1, -2.0), e(1, 0, 0.5)];
+        let a = greedy_max_weight(2, 2, &edges, 0.0);
+        assert_eq!(a.pairs().collect::<Vec<_>>(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let edges = [e(1, 1, 2.0), e(0, 0, 2.0), e(0, 1, 2.0)];
+        let a = greedy_max_weight(2, 2, &edges, 0.0);
+        // Ties resolve by (task, worker): (0,0) first, then (1,1).
+        assert_eq!(a.worker_of(0), Some(0));
+        assert_eq!(a.worker_of(1), Some(1));
+    }
+
+    #[test]
+    fn empty_edges() {
+        assert!(greedy_max_weight(3, 3, &[], 0.0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn output_is_one_to_one_and_above_threshold(
+            m in 1usize..8, n in 1usize..8,
+            raw in proptest::collection::vec((0usize..8, 0usize..8, -3.0f64..5.0), 0..40),
+        ) {
+            let edges: Vec<Edge> = raw
+                .into_iter()
+                .filter(|&(t, w, _)| t < m && w < n)
+                .map(|(t, w, wt)| e(t, w, wt))
+                .collect();
+            let a = greedy_max_weight(m, n, &edges, 0.0);
+            a.check_consistent();
+            for (t, w) in a.pairs() {
+                prop_assert!(edges.iter().any(|x| x.task == t && x.worker == w && x.weight > 0.0));
+            }
+        }
+    }
+}

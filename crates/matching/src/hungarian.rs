@@ -1,0 +1,236 @@
+//! The Hungarian (Kuhn–Munkres) algorithm — exact maximum-weight
+//! bipartite matching in O((m+n)³).
+//!
+//! The paper cites Hungarian matching as the classical exact solution to
+//! the assignment problem (Section V); here it serves as the optimal
+//! baseline the heuristics are measured against and as an oracle for
+//! property tests. The implementation is the Jonker–Volgenant-style
+//! shortest-augmenting-path formulation with dual potentials.
+
+use crate::Assignment;
+
+/// Sentinel cost for infeasible pairs; large enough to never be chosen
+/// while keeping potential arithmetic well-conditioned.
+const BIG: f64 = 1e12;
+
+/// Maximum-weight matching where `profit(task, worker)` returns `None`
+/// for infeasible pairs (e.g. the task is outside the worker's service
+/// area). Pairs with negative profit are never matched — leaving a task
+/// unassigned contributes zero, mirroring the PA-TA objective where
+/// `s_{i,j} = 0` is always available.
+pub fn max_weight_matching<F>(m: usize, n: usize, profit: F) -> Assignment
+where
+    F: Fn(usize, usize) -> Option<f64>,
+{
+    if m == 0 || n == 0 {
+        return Assignment::new(m, n);
+    }
+    // Pad to a square instance of side m+n: real task i can match dummy
+    // column n+i at cost 0 (unassigned), and dummy rows absorb the real
+    // workers, so a perfect matching always exists and min-cost on
+    // negated profits == max-profit with optional assignment.
+    let s = m + n;
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < m && j < n {
+            match profit(i, j) {
+                Some(p) => {
+                    assert!(p.is_finite(), "profit({i},{j}) must be finite, got {p}");
+                    -p
+                }
+                None => BIG,
+            }
+        } else {
+            0.0
+        }
+    };
+
+    // e-maxx formulation, 1-indexed with column 0 as the virtual root.
+    let mut u = vec![0.0f64; s + 1];
+    let mut v = vec![0.0f64; s + 1];
+    let mut p = vec![0usize; s + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; s + 1];
+    for i in 1..=s {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; s + 1];
+        let mut used = vec![false; s + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=s {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=s {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the recorded path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut out = Assignment::new(m, n);
+    for (j, &i) in p.iter().enumerate().skip(1) {
+        if i >= 1 && i <= m && j <= n {
+            let (task, worker) = (i - 1, j - 1);
+            // Only keep genuinely profitable, feasible pairs.
+            if let Some(pr) = profit(task, worker) {
+                if pr >= 0.0 {
+                    out.assign(task, worker);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Total profit of `assignment` under `profit` (unmatched pairs add 0).
+pub fn matching_profit<F>(assignment: &Assignment, profit: F) -> f64
+where
+    F: Fn(usize, usize) -> Option<f64>,
+{
+    assignment
+        .pairs()
+        .map(|(t, w)| profit(t, w).expect("matched pair must be feasible"))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Exhaustive optimum over all partial matchings (for small m, n).
+    fn brute_force(m: usize, n: usize, profit: &dyn Fn(usize, usize) -> Option<f64>) -> f64 {
+        fn rec(
+            task: usize,
+            m: usize,
+            n: usize,
+            used: &mut Vec<bool>,
+            profit: &dyn Fn(usize, usize) -> Option<f64>,
+        ) -> f64 {
+            if task == m {
+                return 0.0;
+            }
+            // Option 1: leave the task unmatched.
+            let mut best = rec(task + 1, m, n, used, profit);
+            for w in 0..n {
+                if !used[w] {
+                    if let Some(p) = profit(task, w) {
+                        used[w] = true;
+                        let cand = p + rec(task + 1, m, n, used, profit);
+                        used[w] = false;
+                        best = best.max(cand);
+                    }
+                }
+            }
+            best
+        }
+        rec(0, m, n, &mut vec![false; n], profit)
+    }
+
+    #[test]
+    fn simple_square_instance() {
+        let w = [[3.0, 1.0], [1.0, 2.0]];
+        let a = max_weight_matching(2, 2, |i, j| Some(w[i][j]));
+        assert_eq!(a.worker_of(0), Some(0));
+        assert_eq!(a.worker_of(1), Some(1));
+        assert_eq!(matching_profit(&a, |i, j| Some(w[i][j])), 5.0);
+    }
+
+    #[test]
+    fn prefers_cross_assignment_when_better() {
+        let w = [[3.0, 4.0], [3.0, 1.0]];
+        let a = max_weight_matching(2, 2, |i, j| Some(w[i][j]));
+        assert_eq!(a.worker_of(0), Some(1));
+        assert_eq!(a.worker_of(1), Some(0));
+    }
+
+    #[test]
+    fn negative_profits_left_unmatched() {
+        let a = max_weight_matching(2, 2, |i, j| Some(if i == j { -1.0 } else { -2.0 }));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn infeasible_pairs_respected() {
+        // Only (0,1) and (1,0) feasible.
+        let a = max_weight_matching(2, 2, |i, j| (i != j).then_some(1.0));
+        assert_eq!(a.worker_of(0), Some(1));
+        assert_eq!(a.worker_of(1), Some(0));
+    }
+
+    #[test]
+    fn rectangular_more_workers() {
+        let w = [[1.0, 9.0, 2.0]];
+        let a = max_weight_matching(1, 3, |i, j| Some(w[i][j]));
+        assert_eq!(a.worker_of(0), Some(1));
+    }
+
+    #[test]
+    fn rectangular_more_tasks() {
+        let w = [[5.0], [7.0], [6.0]];
+        let a = max_weight_matching(3, 1, |i, j| Some(w[i][j]));
+        assert_eq!(a.worker_of(1), Some(0));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn empty_instances() {
+        assert!(max_weight_matching(0, 5, |_, _| Some(1.0)).is_empty());
+        assert!(max_weight_matching(5, 0, |_, _| Some(1.0)).is_empty());
+        assert!(max_weight_matching(0, 0, |_, _| Some(1.0)).is_empty());
+    }
+
+    #[test]
+    fn fully_infeasible_instance() {
+        let a = max_weight_matching(3, 3, |_, _| None);
+        assert!(a.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn matches_brute_force(
+            m in 1usize..5, n in 1usize..5,
+            weights in proptest::collection::vec(-5.0f64..5.0, 25),
+            feasible in proptest::collection::vec(proptest::bool::weighted(0.8), 25),
+        ) {
+            let profit = |i: usize, j: usize| -> Option<f64> {
+                feasible[i * 5 + j].then_some(weights[i * 5 + j])
+            };
+            let a = max_weight_matching(m, n, profit);
+            a.check_consistent();
+            let got = matching_profit(&a, profit);
+            let best = brute_force(m, n, &profit);
+            prop_assert!((got - best).abs() < 1e-6, "got {got}, optimum {best}");
+        }
+    }
+}

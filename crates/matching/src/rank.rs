@@ -1,0 +1,92 @@
+//! The distance rank matrix `A_{m×n}` of Section IV.
+//!
+//! `a_{i,k} = j` means worker `w_j` is the k-th nearest worker of task
+//! `t_i`. CEA (Section IV) is defined over this structure; our
+//! generalised CEA consumes per-task candidate lists directly, and this
+//! type is the canonical way to build them from raw distances.
+
+use dpta_spatial::DistanceMatrix;
+
+/// Per-task ranking of workers by ascending distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceRankMatrix {
+    /// `ranks[i][k]` = worker index that is the (k+1)-th nearest to task i.
+    ranks: Vec<Vec<usize>>,
+}
+
+impl DistanceRankMatrix {
+    /// Ranks every worker for every task by ascending distance; ties
+    /// break toward the lower worker index for determinism.
+    pub fn build(distances: &DistanceMatrix) -> Self {
+        let ranks = (0..distances.tasks())
+            .map(|i| {
+                let row = distances.row(i);
+                let mut order: Vec<usize> = (0..row.len()).collect();
+                order.sort_by(|&a, &b| {
+                    row[a]
+                        .partial_cmp(&row[b])
+                        .expect("distances must not be NaN")
+                        .then(a.cmp(&b))
+                });
+                order
+            })
+            .collect();
+        DistanceRankMatrix { ranks }
+    }
+
+    /// The worker at rank `k` (0-based) for `task`: the paper's
+    /// `a_{i,k+1}`.
+    pub fn worker_at(&self, task: usize, k: usize) -> usize {
+        self.ranks[task][k]
+    }
+
+    /// The full ranking for `task`, nearest first.
+    pub fn row(&self, task: usize) -> &[usize] {
+        &self.ranks[task]
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table II of the paper, built from its per-rank distances.
+    /// t1: w1(9.06) w2(9.85) w3(12.04); t2: w3(2.09) w1(10.44) w2(12.59);
+    /// t3: w3(2.00) w2(11.28) w1(18.87).
+    fn paper_distances() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
+            &[9.06, 9.85, 12.04],
+            &[10.44, 12.59, 2.09],
+            &[18.87, 11.28, 2.00],
+        ])
+    }
+
+    #[test]
+    fn paper_table_ii_ranks() {
+        let r = DistanceRankMatrix::build(&paper_distances());
+        assert_eq!(r.row(0), &[0, 1, 2]); // w1, w2, w3
+        assert_eq!(r.row(1), &[2, 0, 1]); // w3, w1, w2
+        assert_eq!(r.row(2), &[2, 1, 0]); // w3, w2, w1
+        assert_eq!(r.worker_at(1, 0), 2);
+        assert_eq!(r.tasks(), 3);
+    }
+
+    #[test]
+    fn ties_break_to_lower_worker_index() {
+        let d = DistanceMatrix::from_rows(&[&[1.0, 1.0, 0.5]]);
+        let r = DistanceRankMatrix::build(&d);
+        assert_eq!(r.row(0), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let d = DistanceMatrix::from_rows(&[]);
+        let r = DistanceRankMatrix::build(&d);
+        assert_eq!(r.tasks(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box `[min.x, max.x] × [min.y, max.y]`.
+///
+/// Used to describe data-set frames (e.g. the paper's 100×100 synthetic
+/// plane or the Chengdu UTM window) and as the coarse filter of the
+/// [`GridIndex`](crate::GridIndex).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Creates a box from two corners; panics if the box is inverted or
+    /// non-finite, which would silently corrupt grid-cell arithmetic.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "Aabb corners must be finite");
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "Aabb min must be <= max (got min={min:?}, max={max:?})"
+        );
+        Aabb { min, max }
+    }
+
+    /// Convenience constructor from scalar extents.
+    pub fn from_extents(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Aabb::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// The smallest box containing every point in `points`.
+    /// Returns `None` for an empty slice.
+    pub fn bounding(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let mut min = *first;
+        let mut max = *first;
+        for p in &points[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some(Aabb { min, max })
+    }
+
+    /// Box width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Box area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Whether `p` lies inside the box (inclusive of the boundary).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether the two boxes overlap (sharing a boundary counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Returns this box grown by `margin` on every side.
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        assert!(margin >= 0.0, "inflate margin must be non-negative");
+        Aabb::new(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        )
+    }
+
+    /// Clamps `p` to the closest point inside the box.
+    #[inline]
+    pub fn clamp(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit() -> Aabb {
+        Aabb::from_extents(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn contains_inclusive_boundary() {
+        let b = unit();
+        assert!(b.contains(&Point::new(0.0, 0.0)));
+        assert!(b.contains(&Point::new(1.0, 1.0)));
+        assert!(b.contains(&Point::new(0.5, 0.5)));
+        assert!(!b.contains(&Point::new(1.0001, 0.5)));
+        assert!(!b.contains(&Point::new(0.5, -0.0001)));
+    }
+
+    #[test]
+    #[should_panic(expected = "min must be <=")]
+    fn inverted_box_panics() {
+        let _ = Aabb::from_extents(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, 7.0),
+        ];
+        let b = Aabb::bounding(&pts).unwrap();
+        assert_eq!(b.min, Point::new(-2.0, 3.0));
+        assert_eq!(b.max, Point::new(1.0, 7.0));
+        assert!(Aabb::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let b = Aabb::from_extents(1.0, 2.0, 4.0, 8.0);
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.height(), 6.0);
+        assert_eq!(b.area(), 18.0);
+        assert_eq!(b.center(), Point::new(2.5, 5.0));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = unit();
+        assert!(a.intersects(&Aabb::from_extents(0.5, 0.5, 2.0, 2.0)));
+        assert!(a.intersects(&Aabb::from_extents(1.0, 0.0, 2.0, 1.0))); // touching edge
+        assert!(!a.intersects(&Aabb::from_extents(1.5, 1.5, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn inflate_and_clamp() {
+        let b = unit().inflate(0.5);
+        assert_eq!(b.min, Point::new(-0.5, -0.5));
+        assert_eq!(b.max, Point::new(1.5, 1.5));
+        assert_eq!(unit().clamp(&Point::new(3.0, -1.0)), Point::new(1.0, 0.0));
+        assert_eq!(unit().clamp(&Point::new(0.3, 0.4)), Point::new(0.3, 0.4));
+    }
+
+    proptest! {
+        #[test]
+        fn clamp_result_is_contained(px in -10.0f64..10.0, py in -10.0f64..10.0) {
+            let b = unit();
+            prop_assert!(b.contains(&b.clamp(&Point::new(px, py))));
+        }
+
+        #[test]
+        fn bounding_contains_all(
+            pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..50)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let b = Aabb::bounding(&pts).unwrap();
+            for p in &pts {
+                prop_assert!(b.contains(p));
+            }
+        }
+    }
+}

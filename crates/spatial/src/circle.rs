@@ -1,0 +1,113 @@
+//! Circular regions — worker service areas (Definition 2 of the paper).
+
+use crate::{Aabb, Point};
+use serde::{Deserialize, Serialize};
+
+/// A disc `{p : |p - center| <= radius}`.
+///
+/// In the paper each worker `w_j` serves only tasks inside the circle
+/// `A_j` centred at the worker's location with service radius `r_j`
+/// ("worker range" in the experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Disc centre.
+    pub center: Point,
+    /// Disc radius (km); must be non-negative and finite.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle, validating the radius.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and >= 0, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// Whether `p` lies inside the disc (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// The tight axis-aligned bounding box of the disc.
+    #[inline]
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::new(
+            Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        )
+    }
+
+    /// Disc area, `π r²`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Whether two discs overlap (boundary contact counts).
+    #[inline]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_sq(&other.center) <= r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let c = Circle::new(Point::new(1.0, 1.0), 2.0);
+        assert!(c.contains(&Point::new(3.0, 1.0))); // on boundary
+        assert!(c.contains(&Point::new(1.0, 1.0))); // centre
+        assert!(!c.contains(&Point::new(3.1, 1.0)));
+    }
+
+    #[test]
+    fn zero_radius_contains_only_center() {
+        let c = Circle::new(Point::new(0.5, 0.5), 0.0);
+        assert!(c.contains(&Point::new(0.5, 0.5)));
+        assert!(!c.contains(&Point::new(0.5, 0.5000001)));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be finite")]
+    fn negative_radius_panics() {
+        let _ = Circle::new(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let c = Circle::new(Point::new(2.0, -1.0), 1.5);
+        let b = c.bounding_box();
+        assert_eq!(b.min, Point::new(0.5, -2.5));
+        assert_eq!(b.max, Point::new(3.5, 0.5));
+    }
+
+    #[test]
+    fn intersects_circles() {
+        let a = Circle::new(Point::ORIGIN, 1.0);
+        assert!(a.intersects(&Circle::new(Point::new(2.0, 0.0), 1.0))); // tangent
+        assert!(!a.intersects(&Circle::new(Point::new(2.01, 0.0), 1.0)));
+        assert!(a.intersects(&Circle::new(Point::new(0.1, 0.1), 0.2))); // nested
+    }
+
+    proptest! {
+        #[test]
+        fn contained_points_are_in_bbox(
+            cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 0.0f64..5.0,
+            px in -20.0f64..20.0, py in -20.0f64..20.0,
+        ) {
+            let c = Circle::new(Point::new(cx, cy), r);
+            let p = Point::new(px, py);
+            if c.contains(&p) {
+                prop_assert!(c.bounding_box().contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Dense task×worker distance matrices.
+
+use crate::Point;
+
+/// A dense `m × n` matrix of Euclidean distances, row `i` = task `t_i`,
+/// column `j` = worker `w_j` — the `d_{i,j}` of the paper (Table I).
+///
+/// Per-batch instances are at most a few thousand on each side
+/// (Sec. VII-B splits orders into ≤1000-task batches), so a dense dump
+/// of all pair distances is both the fastest and the simplest layout for
+/// the inner loops of PUCE/PGT/CEA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    tasks: usize,
+    workers: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pair distances between `task_locs` and `worker_locs`.
+    pub fn compute(task_locs: &[Point], worker_locs: &[Point]) -> Self {
+        let tasks = task_locs.len();
+        let workers = worker_locs.len();
+        let mut data = Vec::with_capacity(tasks * workers);
+        for t in task_locs {
+            for w in worker_locs {
+                data.push(t.distance(w));
+            }
+        }
+        DistanceMatrix { tasks, workers, data }
+    }
+
+    /// Builds a matrix from raw row-major values (used by tests that
+    /// reproduce the paper's hand-written distance tables, e.g. Table III).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let tasks = rows.len();
+        let workers = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(tasks * workers);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                workers,
+                "row {i} has {} entries, expected {workers}",
+                row.len()
+            );
+            for &d in *row {
+                assert!(d.is_finite() && d >= 0.0, "distances must be finite and >= 0");
+                data.push(d);
+            }
+        }
+        DistanceMatrix { tasks, workers, data }
+    }
+
+    /// Number of tasks (rows).
+    #[inline]
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Number of workers (columns).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Distance `d_{i,j}` from task `i` to worker `j`.
+    #[inline]
+    pub fn get(&self, task: usize, worker: usize) -> f64 {
+        debug_assert!(task < self.tasks && worker < self.workers);
+        self.data[task * self.workers + worker]
+    }
+
+    /// All distances for task `i` as a slice indexed by worker.
+    #[inline]
+    pub fn row(&self, task: usize) -> &[f64] {
+        &self.data[task * self.workers..(task + 1) * self.workers]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_matches_pointwise() {
+        let tasks = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let workers = vec![Point::new(0.0, 3.0), Point::new(4.0, 0.0), Point::new(1.0, 0.0)];
+        let m = DistanceMatrix::compute(&tasks, &workers);
+        assert_eq!(m.tasks(), 2);
+        assert_eq!(m.workers(), 3);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert_eq!(m.row(0), &[3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        // Table III of the paper.
+        let m = DistanceMatrix::from_rows(&[
+            &[12.2, 5.0, 9.43],
+            &[3.61, 10.44, 18.25],
+            &[17.12, 12.21, 7.28],
+        ]);
+        assert_eq!(m.get(0, 0), 12.2);
+        assert_eq!(m.get(1, 0), 3.61);
+        assert_eq!(m.get(2, 2), 7.28);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has")]
+    fn ragged_rows_panic() {
+        let _ = DistanceMatrix::from_rows(&[&[1.0, 2.0], &[1.0]]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DistanceMatrix::compute(&[], &[]);
+        assert_eq!(m.tasks(), 0);
+        assert_eq!(m.workers(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Uniform-grid point index for circular range queries.
+//!
+//! Worker service areas are small relative to the data-set frame (range
+//! 0.8–2 km inside a ≥100 km frame in the paper's settings, Table X), so
+//! a uniform grid bucketing points by cell gives near-O(k) circular
+//! queries without the constant factors of tree indexes.
+
+use crate::{Aabb, Circle, Point};
+
+/// A static point index over a fixed set of points.
+///
+/// Build once per batch with [`GridIndex::build`], then answer service-area
+/// queries with [`GridIndex::query_circle`]. Point identity is the index
+/// into the slice passed at build time, so callers can map results back to
+/// tasks/workers without storing payloads in the index.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bounds: Aabb,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR-style layout: `cell_start[c]..cell_start[c+1]` indexes into
+    /// `entries` for cell `c`. Avoids a Vec-per-cell allocation storm.
+    cell_start: Vec<u32>,
+    entries: Vec<u32>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given `cell_size` (km).
+    ///
+    /// `cell_size` should be on the order of the typical query radius;
+    /// [`GridIndex::build_for_radius`] picks it automatically. Panics if
+    /// `cell_size` is not strictly positive or any point is non-finite.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be finite and > 0, got {cell_size}"
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point #{i} is not finite: {p:?}");
+        }
+        let bounds = Aabb::bounding(points)
+            .unwrap_or_else(|| Aabb::new(Point::ORIGIN, Point::ORIGIN));
+        // Grid dimensions, capped to keep memory proportional to the data.
+        let max_cells_per_axis = ((points.len().max(1) as f64).sqrt() as usize * 4).max(1);
+        let cols = ((bounds.width() / cell_size).ceil() as usize + 1).clamp(1, max_cells_per_axis);
+        let rows = ((bounds.height() / cell_size).ceil() as usize + 1).clamp(1, max_cells_per_axis);
+        // Recompute effective cell size from the clamped dimensions so the
+        // whole frame is always covered.
+        let eff_cell = (bounds.width() / cols as f64)
+            .max(bounds.height() / rows as f64)
+            .max(cell_size);
+
+        let n_cells = cols * rows;
+        let mut counts = vec![0u32; n_cells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - bounds.min.x) / eff_cell) as usize).min(cols - 1);
+            let cy = (((p.y - bounds.min.y) / eff_cell) as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..n_cells {
+            counts[c + 1] += counts[c];
+        }
+        let mut entries = vec![0u32; points.len()];
+        let mut cursor = counts.clone();
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        GridIndex {
+            bounds,
+            cell_size: eff_cell,
+            cols,
+            rows,
+            cell_start: counts,
+            entries,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Builds an index sized for circular queries of roughly `radius` km.
+    pub fn build_for_radius(points: &[Point], radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be finite and > 0, got {radius}"
+        );
+        Self::build(points, radius)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in build order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Collects the indices of all points inside `circle` into `out`
+    /// (cleared first). Results are sorted ascending so downstream
+    /// algorithms iterate tasks in a stable order.
+    pub fn query_circle_into(&self, circle: &Circle, out: &mut Vec<usize>) {
+        out.clear();
+        if self.points.is_empty() {
+            return;
+        }
+        let bb = circle.bounding_box();
+        if !bb.intersects(&self.bounds) {
+            return;
+        }
+        let clamp_cell = |v: f64, max: usize| -> usize {
+            if v <= 0.0 {
+                0
+            } else {
+                (v as usize).min(max - 1)
+            }
+        };
+        let cx0 = clamp_cell((bb.min.x - self.bounds.min.x) / self.cell_size, self.cols);
+        let cx1 = clamp_cell((bb.max.x - self.bounds.min.x) / self.cell_size, self.cols);
+        let cy0 = clamp_cell((bb.min.y - self.bounds.min.y) / self.cell_size, self.rows);
+        let cy1 = clamp_cell((bb.max.y - self.bounds.min.y) / self.cell_size, self.rows);
+        let r_sq = circle.radius * circle.radius;
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = cy * self.cols + cx;
+                let lo = self.cell_start[c] as usize;
+                let hi = self.cell_start[c + 1] as usize;
+                for &idx in &self.entries[lo..hi] {
+                    let p = &self.points[idx as usize];
+                    if circle.center.distance_sq(p) <= r_sq {
+                        out.push(idx as usize);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`query_circle_into`](Self::query_circle_into).
+    pub fn query_circle(&self, circle: &Circle) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.query_circle_into(circle, &mut out);
+        out
+    }
+
+    /// Index of the nearest point to `from`, or `None` if empty.
+    /// Ties are broken toward the smaller index for determinism.
+    pub fn nearest(&self, from: &Point) -> Option<usize> {
+        // Expanding ring search over grid cells; falls back to a full scan
+        // only when the ring has exhausted the grid.
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in self.points.iter().enumerate() {
+            let d = from.distance_sq(p);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_force(points: &[Point], circle: &Circle) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| circle.contains(p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = GridIndex::build(&[], 1.0);
+        assert!(idx.is_empty());
+        assert!(idx.query_circle(&Circle::new(Point::ORIGIN, 10.0)).is_empty());
+        assert_eq!(idx.nearest(&Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let idx = GridIndex::build(&[Point::new(5.0, 5.0)], 1.0);
+        assert_eq!(idx.query_circle(&Circle::new(Point::new(5.2, 5.0), 0.5)), vec![0]);
+        assert!(idx.query_circle(&Circle::new(Point::new(9.0, 9.0), 0.5)).is_empty());
+        assert_eq!(idx.nearest(&Point::ORIGIN), Some(0));
+    }
+
+    #[test]
+    fn identical_points_all_returned() {
+        let pts = vec![Point::new(1.0, 1.0); 7];
+        let idx = GridIndex::build(&pts, 0.5);
+        let res = idx.query_circle(&Circle::new(Point::new(1.0, 1.0), 0.1));
+        assert_eq!(res, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let points: Vec<Point> = (0..2000)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let idx = GridIndex::build_for_radius(&points, 1.4);
+        for _ in 0..50 {
+            let c = Circle::new(
+                Point::new(rng.gen_range(-5.0..105.0), rng.gen_range(-5.0..105.0)),
+                rng.gen_range(0.1..8.0),
+            );
+            assert_eq!(idx.query_circle(&c), brute_force(&points, &c));
+        }
+    }
+
+    #[test]
+    fn query_outside_bounds_is_empty() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let idx = GridIndex::build(&points, 1.0);
+        assert!(idx
+            .query_circle(&Circle::new(Point::new(100.0, 100.0), 2.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn reusing_buffer_clears_previous_results() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
+        let idx = GridIndex::build(&points, 1.0);
+        let mut buf = Vec::new();
+        idx.query_circle_into(&Circle::new(Point::ORIGIN, 1.0), &mut buf);
+        assert_eq!(buf, vec![0]);
+        idx.query_circle_into(&Circle::new(Point::new(10.0, 10.0), 1.0), &mut buf);
+        assert_eq!(buf, vec![1]);
+    }
+
+    #[test]
+    fn nearest_breaks_ties_to_lower_index() {
+        let points = vec![Point::new(1.0, 0.0), Point::new(-1.0, 0.0)];
+        let idx = GridIndex::build(&points, 1.0);
+        assert_eq!(idx.nearest(&Point::ORIGIN), Some(0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn grid_equals_brute_force(
+            pts in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 0..200),
+            qx in -10.0f64..60.0, qy in -10.0f64..60.0, r in 0.01f64..10.0,
+            cell in 0.1f64..5.0,
+        ) {
+            let points: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            let idx = GridIndex::build(&points, cell);
+            let c = Circle::new(Point::new(qx, qy), r);
+            prop_assert_eq!(idx.query_circle(&c), brute_force(&points, &c));
+        }
+    }
+}

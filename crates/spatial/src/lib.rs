@@ -1,0 +1,35 @@
+//! Planar geometry and spatial indexing substrate for the DPTA workspace.
+//!
+//! The paper's task-assignment algorithms operate on Euclidean distances
+//! between task and worker locations, and repeatedly ask "which tasks fall
+//! inside worker `w`'s service area?" (a disc of radius `r_j`, Definition 2
+//! of the paper). This crate provides:
+//!
+//! * [`Point`] — a 2-D point in kilometres with the usual vector algebra;
+//! * [`Aabb`] — axis-aligned bounding boxes, used both by the grid index
+//!   and by the workload generators to describe data-set frames;
+//! * [`Circle`] — worker service areas;
+//! * [`GridIndex`] — a uniform-grid point index answering circular range
+//!   queries in expected O(k) for k results, which turns the
+//!   all-pairs-distances step from O(m·n) into O(m + n + matches);
+//! * [`DistanceMatrix`] — a dense task×worker distance table for the small
+//!   per-batch instances the assignment algorithms run on.
+//!
+//! Everything here is deterministic and allocation-conscious: queries can
+//! write into caller-provided buffers so the per-round loops of PUCE/PGT
+//! do not allocate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod circle;
+mod distmat;
+mod grid;
+mod point;
+
+pub use bbox::Aabb;
+pub use circle::Circle;
+pub use distmat::DistanceMatrix;
+pub use grid::GridIndex;
+pub use point::Point;

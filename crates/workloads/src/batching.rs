@@ -1,0 +1,124 @@
+//! Batch splitting per Section VII-B: "We split the orders into batches
+//! by timestamp. Each batch contains at most 1000 orders. We also split
+//! the taxis into ten groups ... We use each worker group circularly
+//! for each batch."
+
+use crate::chengdu::{Order, Taxi};
+
+/// Number of circularly-used taxi groups (paper: ten).
+pub const TAXI_GROUPS: usize = 10;
+
+/// Splits time-sorted orders into batches of at most `batch_size`.
+/// Panics if the orders are not sorted by release time — batches are
+/// time windows, so unsorted input indicates a caller bug.
+pub fn batch_orders(orders: &[Order], batch_size: usize) -> Vec<&[Order]> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    for w in orders.windows(2) {
+        assert!(
+            w[0].release_time <= w[1].release_time,
+            "orders must be sorted by release time"
+        );
+    }
+    orders.chunks(batch_size).collect()
+}
+
+/// The ten circularly-used taxi groups.
+#[derive(Debug, Clone)]
+pub struct TaxiGroups {
+    groups: Vec<Vec<Taxi>>,
+}
+
+impl TaxiGroups {
+    /// Splits the fleet into [`TAXI_GROUPS`] groups of `group_size`
+    /// taxis each, consuming the fleet round-robin so each group draws
+    /// from the whole spatial distribution. Panics when the fleet is
+    /// too small to fill the groups.
+    pub fn new(fleet: &[Taxi], group_size: usize) -> Self {
+        assert!(group_size > 0, "group_size must be positive");
+        let needed = group_size * TAXI_GROUPS;
+        assert!(
+            fleet.len() >= needed,
+            "fleet of {} cannot fill {TAXI_GROUPS} groups of {group_size}",
+            fleet.len()
+        );
+        let mut groups: Vec<Vec<Taxi>> = (0..TAXI_GROUPS)
+            .map(|_| Vec::with_capacity(group_size))
+            .collect();
+        for (k, taxi) in fleet.iter().take(needed).enumerate() {
+            groups[k % TAXI_GROUPS].push(*taxi);
+        }
+        TaxiGroups { groups }
+    }
+
+    /// The group serving batch `batch_index` (circular reuse).
+    pub fn for_batch(&self, batch_index: usize) -> &[Taxi] {
+        &self.groups[batch_index % TAXI_GROUPS]
+    }
+
+    /// Taxis per group.
+    pub fn group_size(&self) -> usize {
+        self.groups[0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chengdu::ChengduSim;
+    use dpta_spatial::Point;
+
+    #[test]
+    fn batches_respect_size_and_cover_everything() {
+        let sim = ChengduSim::new(3);
+        let orders = sim.orders(2500);
+        let batches = batch_orders(&orders, 1000);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 1000);
+        assert_eq!(batches[1].len(), 1000);
+        assert_eq!(batches[2].len(), 500);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 2500);
+        // Time windows: every order in batch k precedes batch k+1.
+        assert!(
+            batches[0].last().unwrap().release_time <= batches[1][0].release_time
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by release time")]
+    fn unsorted_orders_panic() {
+        let mk = |t: f64| Order {
+            release_time: t,
+            pickup: Point::ORIGIN,
+            dropoff: Point::ORIGIN,
+            passengers: 1,
+        };
+        let orders = vec![mk(5.0), mk(1.0)];
+        let _ = batch_orders(&orders, 10);
+    }
+
+    #[test]
+    fn taxi_groups_are_circular_and_disjoint() {
+        let sim = ChengduSim::new(3);
+        let fleet = sim.taxis(1000);
+        let groups = TaxiGroups::new(&fleet, 100);
+        assert_eq!(groups.group_size(), 100);
+        // Circular reuse.
+        assert_eq!(groups.for_batch(0), groups.for_batch(TAXI_GROUPS));
+        assert_eq!(groups.for_batch(3), groups.for_batch(3 + 2 * TAXI_GROUPS));
+        // Disjoint groups: round-robin split never duplicates a taxi.
+        let a = groups.for_batch(0);
+        let b = groups.for_batch(1);
+        for t in a {
+            assert!(!b.contains(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn undersized_fleet_panics() {
+        let sim = ChengduSim::new(3);
+        let fleet = sim.taxis(50);
+        let _ = TaxiGroups::new(&fleet, 100);
+    }
+}

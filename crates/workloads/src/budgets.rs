@@ -1,0 +1,126 @@
+//! Privacy budget vector generation (Table X: privacy budget range
+//! `[0.5, 1.75]` by default, group size `Z = 7`).
+//!
+//! Each feasible (task, worker) pair owns a vector of `Z` budgets drawn
+//! i.i.d. uniformly from the configured range. The draw is a pure
+//! function of `(seed, batch, task, worker, slot)` so that instances
+//! are reproducible regardless of construction order.
+
+use dpta_dp::BudgetVector;
+
+/// SplitMix64 finalizer (same mixing core as the dp crate's noise
+/// derivation; duplicated to keep this crate's hashing self-contained).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform draw in `[lo, hi)` keyed by four indices.
+fn hash_uniform(seed: u64, a: u64, b: u64, c: u64, lo: f64, hi: f64) -> f64 {
+    let mut h = splitmix64(seed ^ 0xB0D6_E7F1_0123_4567);
+    h = splitmix64(h ^ a);
+    h = splitmix64(h ^ (b << 21));
+    h = splitmix64(h ^ (c << 42));
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    lo + u * (hi - lo)
+}
+
+/// Generator for per-pair budget vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetGen {
+    seed: u64,
+    batch: u64,
+    /// Inclusive-exclusive draw range (Table X groups, e.g. `[0.5, 0.75)`).
+    pub range: (f64, f64),
+    /// Slots per pair (`Z`, Table X: 7).
+    pub group_size: usize,
+}
+
+impl BudgetGen {
+    /// Creates a generator for one batch of one scenario.
+    pub fn new(seed: u64, batch: usize, range: (f64, f64), group_size: usize) -> Self {
+        assert!(
+            range.0 > 0.0 && range.1 >= range.0,
+            "budget range must satisfy 0 < lo <= hi, got {range:?}"
+        );
+        assert!(group_size > 0, "budget group size must be positive");
+        BudgetGen { seed, batch: batch as u64, range, group_size }
+    }
+
+    /// The budget vector for pair (task, worker).
+    pub fn vector(&self, task: usize, worker: usize) -> BudgetVector {
+        let (lo, hi) = self.range;
+        BudgetVector::new(
+            (0..self.group_size)
+                .map(|u| {
+                    if hi == lo {
+                        lo
+                    } else {
+                        hash_uniform(
+                            self.seed ^ self.batch.rotate_left(17),
+                            task as u64,
+                            worker as u64,
+                            u as u64,
+                            lo,
+                            hi,
+                        )
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_deterministic_and_in_range() {
+        let g = BudgetGen::new(42, 0, (0.5, 1.75), 7);
+        let a = g.vector(3, 9);
+        let b = g.vector(3, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        for &e in a.slots() {
+            assert!((0.5..1.75).contains(&e), "slot {e} out of range");
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let g = BudgetGen::new(42, 0, (0.5, 1.75), 7);
+        assert_ne!(g.vector(3, 9), g.vector(3, 10));
+        assert_ne!(g.vector(3, 9), g.vector(4, 9));
+        let g2 = BudgetGen::new(42, 1, (0.5, 1.75), 7);
+        assert_ne!(g.vector(3, 9), g2.vector(3, 9));
+        let g3 = BudgetGen::new(43, 0, (0.5, 1.75), 7);
+        assert_ne!(g.vector(3, 9), g3.vector(3, 9));
+    }
+
+    #[test]
+    fn draws_cover_the_range_roughly_uniformly() {
+        let g = BudgetGen::new(1, 0, (0.5, 1.75), 1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|k| g.vector(k, 0).slot(0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.125).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn degenerate_range_gives_constant_budgets() {
+        let g = BudgetGen::new(1, 0, (1.0, 1.0), 3);
+        assert_eq!(g.vector(0, 0).slots(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget range")]
+    fn invalid_range_panics() {
+        let _ = BudgetGen::new(1, 0, (0.0, 1.0), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! The synthetic data sets of Section VII-A: 2-D uniform points in a
+//! 100×100 plane, and 2-D normal points with variance 150.
+
+use dpta_spatial::{Aabb, Point};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Side length of the uniform data set's frame (paper: "a plane with a
+/// range of 100×100").
+pub const UNIFORM_SIDE: f64 = 100.0;
+
+/// Per-axis variance of the normal data set (paper: "the expectation
+/// and variance for all points are 0 and 150").
+pub const NORMAL_VARIANCE: f64 = 150.0;
+
+/// Samples `n` points uniformly from the 100×100 frame.
+pub fn uniform_points(seed: u64, n: usize) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..UNIFORM_SIDE),
+                rng.gen_range(0.0..UNIFORM_SIDE),
+            )
+        })
+        .collect()
+}
+
+/// Samples `n` points from an isotropic 2-D normal with mean 0 and
+/// per-axis variance 150 (Box–Muller; no external distribution crate).
+pub fn normal_points(seed: u64, n: usize) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = NORMAL_VARIANCE.sqrt();
+    (0..n)
+        .map(|_| {
+            let (z0, z1) = box_muller(&mut rng);
+            Point::new(sigma * z0, sigma * z1)
+        })
+        .collect()
+}
+
+/// One pair of independent standard normal deviates.
+pub fn box_muller(rng: &mut impl Rng) -> (f64, f64) {
+    // u1 bounded away from 0 so ln(u1) stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Samples a 2-D normal point with the given centre and per-axis sigma.
+pub fn gaussian_around(rng: &mut impl Rng, center: Point, sigma: f64) -> Point {
+    let (z0, z1) = box_muller(rng);
+    Point::new(center.x + sigma * z0, center.y + sigma * z1)
+}
+
+/// Samples a point uniformly from a frame.
+pub fn uniform_in(rng: &mut impl Rng, frame: &Aabb) -> Point {
+    Point::new(
+        rng.gen_range(frame.min.x..frame.max.x),
+        rng.gen_range(frame.min.y..frame.max.y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_stay_in_frame() {
+        let pts = uniform_points(1, 5000);
+        assert_eq!(pts.len(), 5000);
+        let frame = Aabb::from_extents(0.0, 0.0, UNIFORM_SIDE, UNIFORM_SIDE);
+        assert!(pts.iter().all(|p| frame.contains(p)));
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        // Quadrant counts should each be ~25%.
+        let pts = uniform_points(2, 40_000);
+        let q1 = pts.iter().filter(|p| p.x < 50.0 && p.y < 50.0).count();
+        let frac = q1 as f64 / pts.len() as f64;
+        assert!((frac - 0.25).abs() < 0.01, "quadrant fraction {frac}");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let pts = normal_points(3, 60_000);
+        let n = pts.len() as f64;
+        let mean_x = pts.iter().map(|p| p.x).sum::<f64>() / n;
+        let mean_y = pts.iter().map(|p| p.y).sum::<f64>() / n;
+        let var_x = pts.iter().map(|p| (p.x - mean_x).powi(2)).sum::<f64>() / n;
+        let var_y = pts.iter().map(|p| (p.y - mean_y).powi(2)).sum::<f64>() / n;
+        assert!(mean_x.abs() < 0.3, "mean_x {mean_x}");
+        assert!(mean_y.abs() < 0.3, "mean_y {mean_y}");
+        assert!((var_x - NORMAL_VARIANCE).abs() < 5.0, "var_x {var_x}");
+        assert!((var_y - NORMAL_VARIANCE).abs() < 5.0, "var_y {var_y}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_points(7, 100), uniform_points(7, 100));
+        assert_eq!(normal_points(7, 100), normal_points(7, 100));
+        assert_ne!(uniform_points(7, 100), uniform_points(8, 100));
+    }
+
+    #[test]
+    fn box_muller_produces_finite_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let (a, b) = box_muller(&mut rng);
+            assert!(a.is_finite() && b.is_finite());
+        }
+    }
+}

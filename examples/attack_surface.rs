@@ -1,0 +1,105 @@
+//! Quantifying the paper's closing warning (Section VIII): "if the
+//! service area of a worker is small enough and the quantity of tasks
+//! in this area is large enough, attackers can locate the worker's
+//! position through trilateration".
+//!
+//! This example runs PUCE and the one-shot GEO-I baseline on the same
+//! dense batch, then plays the adversary: task locations are public and
+//! every effective obfuscated distance sits on the untrusted server, so
+//! anyone can fit each worker's location by weighted least squares. We
+//! report the localisation error by number of exposed anchors.
+//!
+//! ```text
+//! cargo run --release --example attack_surface
+//! ```
+
+use dpta::core::attack::{localization_error, worker_observations};
+use dpta::prelude::*;
+
+fn main() {
+    // A dense scenario: large service areas over a concentrated task
+    // cloud maximise the attack surface.
+    let scenario = Scenario {
+        dataset: Dataset::Normal,
+        batch_size: 600,
+        n_batches: 1,
+        worker_range: 3.0,
+        worker_task_ratio: 1.0,
+        ..Scenario::default()
+    };
+    let inst = &scenario.batches()[0];
+    let params = RunParams::default();
+
+    let outcome = Method::Puce.run(inst, &params);
+    println!(
+        "PUCE on {} tasks x {} workers: {} releases published\n",
+        inst.n_tasks(),
+        inst.n_workers(),
+        outcome.publications()
+    );
+
+    // Bucket workers by how many anchors they exposed.
+    let mut buckets: Vec<(usize, Vec<f64>)> =
+        vec![(3, vec![]), (5, vec![]), (8, vec![]), (12, vec![]), (usize::MAX, vec![])];
+    for j in 0..inst.n_workers() {
+        let n_anchors = worker_observations(inst, &outcome.board, j).len();
+        if n_anchors < 3 {
+            continue;
+        }
+        if let Some(err) = localization_error(inst, &outcome.board, j) {
+            let bucket = buckets
+                .iter_mut()
+                .find(|(cap, _)| n_anchors <= *cap)
+                .expect("last bucket is unbounded");
+            bucket.1.push(err);
+        }
+    }
+
+    println!("trilateration against PUCE's board (service radius {} km):", 3.0);
+    println!("{:>12} {:>9} {:>16} {:>16}", "anchors", "workers", "median err (km)", "p10 err (km)");
+    let mut lo = 3;
+    for (cap, mut errs) in buckets {
+        if errs.is_empty() {
+            continue;
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = errs[errs.len() / 2];
+        let p10 = errs[errs.len() / 10];
+        let label = if cap == usize::MAX {
+            format!(">{lo}")
+        } else {
+            format!("{lo}-{cap}")
+        };
+        println!("{label:>12} {:>9} {median:>16.3} {p10:>16.3}", errs.len());
+        lo = cap + 1;
+    }
+
+    // Contrast: the GEO-I baseline publishes the (noisy) location
+    // itself — the "attack" is just reading the board.
+    let geoi = Method::GeoI.run(inst, &params);
+    let mut direct: Vec<f64> = (0..inst.n_workers())
+        .filter(|&j| geoi.board.ledger(j).publications() > 0)
+        .map(|j| {
+            // The adversary's best guess under Geo-I is the reported
+            // location; its error is exactly the planar-Laplace radius,
+            // which we recover by re-deriving the report.
+            let err = localization_error(inst, &geoi.board, j);
+            err.unwrap_or(f64::NAN)
+        })
+        .filter(|e| e.is_finite())
+        .collect();
+    if direct.is_empty() {
+        println!("\nGEO-I exposes no per-task anchors: trilateration has nothing to fit —");
+        println!("its leakage is the reported location itself (one planar-Laplace draw).");
+    } else {
+        direct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!("\nGEO-I trilateration median error: {:.3} km", direct[direct.len() / 2]);
+    }
+
+    println!(
+        "\nReading: each extra release a worker publishes tightens the
+adversary's fix on his true location — the quantitative version of the
+paper's Section VIII warning, and the motivation for its future work on
+correlation privacy across a service area."
+    );
+}

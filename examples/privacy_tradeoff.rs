@@ -1,0 +1,74 @@
+//! The privacy/utility trade-off that motivates the paper: workers
+//! *dynamically* trade location privacy for utility. This example runs
+//! PUCE under increasing privacy budget groups (Figure 17's sweep) and
+//! reports, side by side, the platform utility and the workers'
+//! local-DP levels (Theorem V.2).
+//!
+//! ```text
+//! cargo run --release --example privacy_tradeoff
+//! ```
+
+use dpta::prelude::*;
+
+fn main() {
+    let groups = [
+        (0.5, 0.75),
+        (0.75, 1.0),
+        (1.0, 1.25),
+        (1.25, 1.5),
+        (1.5, 1.75),
+    ];
+
+    println!(
+        "{:>14} | {:>7} {:>11} {:>11} | {:>10} {:>10} {:>9}",
+        "budget group", "matched", "avg utility", "U_RD vs UCE", "eps/worker", "LDP level", "releases"
+    );
+
+    let params = RunParams::default();
+    for (lo, hi) in groups {
+        let scenario = Scenario {
+            dataset: Dataset::Normal,
+            batch_size: 300,
+            n_batches: 3,
+            budget_range: (lo, hi),
+            ..Scenario::default()
+        };
+        let batches = scenario.batches();
+
+        let mut private = Measures::zero();
+        let mut non_private = Measures::zero();
+        let mut ldp_sum = 0.0;
+        let mut ldp_workers = 0usize;
+        for inst in &batches {
+            let outcome = Method::Puce.run(inst, &params);
+            private.merge(&measure(inst, &outcome, params.alpha, params.beta, true));
+            let reference = Method::Uce.run(inst, &params);
+            non_private.merge(&measure(inst, &reference, params.alpha, params.beta, false));
+            for (j, level) in outcome.board.verify_privacy_bounds(inst).iter().enumerate() {
+                if outcome.board.ledger(j).publications() > 0 {
+                    ldp_sum += level;
+                    ldp_workers += 1;
+                }
+            }
+        }
+
+        let rd = relative_deviation_utility(&non_private, &private);
+        println!(
+            "[{lo:>4.2}, {hi:>4.2}] | {:>7} {:>11.3} {:>11.3} | {:>10.3} {:>10.2} {:>9}",
+            private.matched,
+            private.avg_utility(),
+            rd,
+            private.total_epsilon / ldp_workers.max(1) as f64,
+            ldp_sum / ldp_workers.max(1) as f64,
+            private.publications,
+        );
+    }
+
+    println!(
+        "\nReading the table: bigger budgets buy more accurate comparisons, \
+         but each proposal leaks more (higher per-worker LDP level) and its \
+         privacy cost grows faster than the accuracy pays back, so average \
+         utility falls and the gap to the non-private solution (U_RD) \
+         widens — exactly the downward slope of Figure 17."
+    );
+}

@@ -1,0 +1,73 @@
+//! **dpta** — Dynamic Private Task Assignment under Differential
+//! Privacy.
+//!
+//! A from-scratch Rust reproduction of Du et al., *Dynamic Private Task
+//! Assignment under Differential Privacy* (ICDE 2023): the PA-TA
+//! problem, the PPCF comparison function, the PUCE and PGT assignment
+//! algorithms, every baseline they are evaluated against, and the full
+//! experiment harness regenerating the paper's figures.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`spatial`] | points, service areas, grid index, distance matrices |
+//! | [`dp`] | Laplace mechanism, PCF/PPCF, MLE effective pairs, ledgers |
+//! | [`matching`] | Hungarian, greedy, rank matrices, CEA |
+//! | [`core`] | the PA-TA model and the PUCE/PGT/PDCE/… engines |
+//! | [`workloads`] | uniform/normal generators + Chengdu simulator |
+//! | [`experiments`] | figure registry, runner, reports, claims |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpta::prelude::*;
+//!
+//! // Three tasks, four workers, 2 km service radius.
+//! let tasks: Vec<Task> = [(0.0, 0.0), (1.0, 1.0), (3.0, 0.5)]
+//!     .iter()
+//!     .map(|&(x, y)| Task::new(Point::new(x, y), 4.5))
+//!     .collect();
+//! let workers: Vec<Worker> = [(0.2, 0.1), (1.4, 0.8), (2.5, 0.2), (3.3, 1.0)]
+//!     .iter()
+//!     .map(|&(x, y)| Worker::new(Point::new(x, y), 2.0))
+//!     .collect();
+//!
+//! // Each feasible pair owns a Z=3 privacy budget vector.
+//! let inst = Instance::from_locations(tasks, workers, |_task, _worker| {
+//!     BudgetVector::new(vec![0.5, 1.0, 1.5])
+//! });
+//!
+//! // Run the paper's PUCE and inspect the outcome.
+//! let outcome = Method::Puce.run(&inst, &RunParams::default());
+//! assert!(outcome.assignment.len() > 0);
+//! let m = measure(&inst, &outcome, 1.0, 1.0, true);
+//! assert!(m.avg_utility().is_finite());
+//!
+//! // Every worker's local-DP level satisfies Theorem V.2.
+//! outcome.board.verify_privacy_bounds(&inst);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dpta_core as core;
+pub use dpta_dp as dp;
+pub use dpta_experiments as experiments;
+pub use dpta_matching as matching;
+pub use dpta_spatial as spatial;
+pub use dpta_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use dpta_core::metrics::{
+        measure, relative_deviation_distance, relative_deviation_utility,
+    };
+    pub use dpta_core::{
+        Board, Instance, Measures, Method, RunOutcome, RunParams, Task, Worker,
+    };
+    pub use dpta_dp::{pcf, ppcf, BudgetVector, EffectivePair, PrivacyLedger, SeededNoise};
+    pub use dpta_matching::Assignment;
+    pub use dpta_spatial::{Circle, Point};
+    pub use dpta_workloads::{Dataset, Scenario};
+}

@@ -1,0 +1,47 @@
+//! Paper-scale stress run: 1000-task batches with a worker-task ratio
+//! of 2, i.e. the exact per-batch size of Section VII-B. Ignored by
+//! default (several seconds per method); run with
+//!
+//! ```text
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use dpta::prelude::*;
+use std::time::Instant;
+
+#[test]
+#[ignore = "paper-scale run; invoke with -- --ignored"]
+fn paper_scale_batches_run_clean_on_all_datasets() {
+    for dataset in Dataset::all() {
+        let scenario = Scenario {
+            dataset,
+            batch_size: 1000,
+            n_batches: 2,
+            ..Scenario::default()
+        };
+        let params = RunParams::default();
+        for inst in &scenario.batches() {
+            assert_eq!(inst.n_tasks(), 1000);
+            assert_eq!(inst.n_workers(), 2000);
+            for method in [Method::Puce, Method::Pdce, Method::Pgt, Method::Grd] {
+                let started = Instant::now();
+                let outcome = method.run(inst, &params);
+                let elapsed = started.elapsed();
+                outcome.assignment.check_consistent();
+                outcome.board.verify_privacy_bounds(inst);
+                let m = measure(inst, &outcome, 1.0, 1.0, method.is_private());
+                assert!(m.matched > 0, "{dataset}/{method} matched nothing");
+                assert!(
+                    elapsed.as_secs() < 60,
+                    "{dataset}/{method} took {elapsed:?} on one batch"
+                );
+                eprintln!(
+                    "{dataset}/{method}: matched {} in {:?} ({} releases)",
+                    m.matched,
+                    elapsed,
+                    m.publications
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end privacy guarantees: the Theorem V.2 / VI.4 accounting on
+//! real protocol runs, and an empirical local-DP check of the release
+//! mechanism itself.
+
+use dpta::dp::{Laplace, NoiseSource, SeededNoise};
+use dpta::prelude::*;
+
+#[test]
+fn ledgered_ldp_equals_radius_times_published_epsilon() {
+    let scenario = Scenario {
+        dataset: Dataset::Uniform,
+        batch_size: 120,
+        n_batches: 1,
+        ..Scenario::default()
+    };
+    let inst = &scenario.batches()[0];
+    let params = RunParams::default();
+    for method in [Method::Puce, Method::Pdce, Method::Pgt] {
+        let outcome = method.run(inst, &params);
+        let bounds = outcome.board.verify_privacy_bounds(inst);
+        for (j, bound) in bounds.iter().enumerate() {
+            let expected = inst.workers()[j].radius * outcome.board.spent_total(j);
+            assert!(
+                (bound - expected).abs() < 1e-9,
+                "{method}: worker {j} ledger {bound} != r*eps {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn workers_only_release_within_their_service_area() {
+    let scenario = Scenario {
+        dataset: Dataset::Normal,
+        batch_size: 150,
+        n_batches: 1,
+        ..Scenario::default()
+    };
+    let inst = &scenario.batches()[0];
+    let params = RunParams::default();
+    for method in [Method::Puce, Method::Pgt] {
+        let outcome = method.run(inst, &params);
+        for j in 0..inst.n_workers() {
+            for t in outcome.board.ledger(j).tasks() {
+                assert!(
+                    inst.in_reach(t as usize, j),
+                    "{method}: worker {j} leaked toward unreachable task {t}"
+                );
+                assert!(
+                    inst.distance(t as usize, j) <= inst.workers()[j].radius,
+                    "{method}: release outside radius"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exhausted_budgets_are_never_overspent() {
+    // Tiny budgets force exhaustion; the protocol must stop at Z
+    // releases per pair.
+    let scenario = Scenario {
+        dataset: Dataset::Normal,
+        batch_size: 100,
+        n_batches: 1,
+        budget_group_size: 2,
+        worker_task_ratio: 3.0,
+        ..Scenario::default()
+    };
+    let inst = &scenario.batches()[0];
+    let params = RunParams::default();
+    for method in [Method::Puce, Method::Pdce, Method::Pgt] {
+        let outcome = method.run(inst, &params);
+        for j in 0..inst.n_workers() {
+            for &i in inst.reach(j) {
+                assert!(
+                    outcome.board.used_slots(i, j) <= 2,
+                    "{method}: pair ({i},{j}) exceeded Z = 2"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mechanism_noise_distribution_is_correct_laplace() {
+    // The deterministic noise source must be statistically a Laplace
+    // mechanism: empirical CDF at a few quantiles vs the closed form.
+    let source = SeededNoise::new(7);
+    let eps = 1.3;
+    let dist = Laplace::mechanism(eps);
+    let n = 40_000u32;
+    for q in [-1.5f64, -0.5, 0.0, 0.5, 1.5] {
+        let hits = (0..n)
+            .filter(|&k| source.noise(k, k >> 7, k % 5, eps) <= q)
+            .count();
+        let emp = hits as f64 / n as f64;
+        let theory = dist.cdf(q);
+        assert!(
+            (emp - theory).abs() < 0.01,
+            "CDF mismatch at {q}: empirical {emp}, Laplace {theory}"
+        );
+    }
+}
+
+#[test]
+fn unpublished_evaluations_leak_nothing() {
+    // Two runs whose only difference is how often a worker *evaluates*
+    // (not publishes) must produce identical boards. PGT evaluates every
+    // candidate task but publishes only the accepted best response; the
+    // noise for slot u is fixed, so re-evaluation is free. Check that a
+    // replay from the converged board publishes nothing at all.
+    let scenario = Scenario {
+        dataset: Dataset::Chengdu,
+        batch_size: 120,
+        n_batches: 1,
+        ..Scenario::default()
+    };
+    let inst = &scenario.batches()[0];
+    let cfg = Method::Pgt.engine_config(&RunParams::default());
+    let noise = SeededNoise::new(42);
+    let first = dpta::core::engine::game::run(inst, &cfg, &noise);
+    let publications = first.publications();
+    let replay = dpta::core::engine::game::run_from(inst, &cfg, &noise, first.board.clone());
+    assert_eq!(replay.publications(), publications, "replay must not leak");
+    assert!(replay.moves.is_empty());
+}
