@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpta_bench::{bench_instance, print_figures};
 use dpta_core::{Method, RunParams};
+use dpta_dp::SeededNoise;
 use dpta_workloads::Dataset;
 use std::hint::black_box;
 use std::time::Duration;
@@ -21,10 +22,12 @@ fn distance_engines(c: &mut Criterion) {
     for dataset in [Dataset::Chengdu, Dataset::Normal, Dataset::Uniform] {
         let inst = bench_instance(dataset, 11);
         for method in [Method::Pdce, Method::Dce] {
+            let engine = method.engine(&params);
+            let noise = SeededNoise::new(params.seed);
             group.bench_with_input(
                 BenchmarkId::new(method.name(), dataset.name()),
                 &inst,
-                |b, inst| b.iter(|| black_box(method.run(black_box(inst), &params))),
+                |b, inst| b.iter(|| black_box(engine.run(black_box(inst), &noise))),
             );
         }
     }

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpta_bench::{bench_instance, print_figures};
 use dpta_core::config::{CeaFallback, ProposalAccounting};
 use dpta_core::{Method, RunParams};
+use dpta_dp::SeededNoise;
 use dpta_workloads::Dataset;
 use std::hint::black_box;
 use std::time::Duration;
@@ -26,10 +27,12 @@ fn ppcf_ablation(c: &mut Criterion) {
             Method::Pdce,
             Method::PdceNppcf,
         ] {
+            let engine = method.engine(&params);
+            let noise = SeededNoise::new(params.seed);
             group.bench_with_input(
                 BenchmarkId::new(method.name(), dataset.name()),
                 &inst,
-                |b, inst| b.iter(|| black_box(method.run(black_box(inst), &params))),
+                |b, inst| b.iter(|| black_box(engine.run(black_box(inst), &noise))),
             );
         }
     }
@@ -46,14 +49,17 @@ fn knob_ablation(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(1200));
     for accounting in [ProposalAccounting::PerTask, ProposalAccounting::Cumulative] {
         for fallback in [CeaFallback::CrossRound, CeaFallback::WithinRound] {
-            let params = RunParams { accounting, fallback, ..RunParams::default() };
+            let params = RunParams {
+                accounting,
+                fallback,
+                ..RunParams::default()
+            };
+            let engine = Method::Puce.engine(&params);
+            let noise = SeededNoise::new(params.seed);
             group.bench_with_input(
-                BenchmarkId::new(
-                    "PUCE",
-                    format!("{accounting:?}/{fallback:?}"),
-                ),
+                BenchmarkId::new("PUCE", format!("{accounting:?}/{fallback:?}")),
                 &inst,
-                |b, inst| b.iter(|| black_box(Method::Puce.run(black_box(inst), &params))),
+                |b, inst| b.iter(|| black_box(engine.run(black_box(inst), &noise))),
             );
         }
     }

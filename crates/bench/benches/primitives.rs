@@ -72,9 +72,7 @@ fn hungarian(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let w: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..10.0)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                black_box(max_weight_matching(n, n, |i, j| Some(w[i * n + j])))
-            })
+            b.iter(|| black_box(max_weight_matching(n, n, |i, j| Some(w[i * n + j]))))
         });
     }
     group.finish();
@@ -126,5 +124,12 @@ fn cea(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, compare_functions, effective_pair, grid_queries, hungarian, cea);
+criterion_group!(
+    benches,
+    compare_functions,
+    effective_pair,
+    grid_queries,
+    hungarian,
+    cea
+);
 criterion_main!(benches);

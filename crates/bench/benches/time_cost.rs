@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpta_bench::{bench_options, print_figures};
 use dpta_core::{Method, RunParams};
+use dpta_dp::SeededNoise;
 use dpta_workloads::{Dataset, Scenario};
 use std::hint::black_box;
 use std::time::Duration;
@@ -18,8 +19,8 @@ fn time_vs_ratio(c: &mut Criterion) {
     for dataset in [Dataset::Chengdu, Dataset::Normal, Dataset::Uniform] {
         let mut group = c.benchmark_group(format!("fig04_time/{dataset}"));
         group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
+        group.warm_up_time(Duration::from_millis(400));
+        group.measurement_time(Duration::from_millis(1200));
         for ratio in [1.0, 2.0, 3.0] {
             let sc = Scenario {
                 dataset,
@@ -30,10 +31,12 @@ fn time_vs_ratio(c: &mut Criterion) {
             };
             let inst = sc.batches().remove(0);
             for method in [Method::Puce, Method::Pdce, Method::Pgt, Method::Grd] {
+                let engine = method.engine(&params);
+                let noise = SeededNoise::new(params.seed);
                 group.bench_with_input(
                     BenchmarkId::new(method.name(), format!("ratio{ratio}")),
                     &inst,
-                    |b, inst| b.iter(|| black_box(method.run(black_box(inst), &params))),
+                    |b, inst| b.iter(|| black_box(engine.run(black_box(inst), &noise))),
                 );
             }
         }

@@ -83,7 +83,10 @@ pub fn game_quality_bounds(inst: &Instance, cfg: &EngineConfig) -> GameQualityBo
         }
     }
 
-    let num: f64 = u_min.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).sum();
+    let num: f64 = u_min
+        .iter()
+        .map(|&v| if v.is_finite() { v } else { 0.0 })
+        .sum();
     let den: f64 = u_max.iter().map(|&v| if v > 0.0 { v } else { 0.0 }).sum();
     GameQualityBounds {
         epoa_lower: (den > 0.0).then_some(num / den),
@@ -102,7 +105,10 @@ mod tests {
         let dist = DistanceMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
         Instance::from_distance_matrix(
             vec![Task::new(Point::ORIGIN, 5.0), Task::new(Point::ORIGIN, 5.0)],
-            vec![Worker::new(Point::ORIGIN, 3.0), Worker::new(Point::ORIGIN, 3.0)],
+            vec![
+                Worker::new(Point::ORIGIN, 3.0),
+                Worker::new(Point::ORIGIN, 3.0),
+            ],
             dist,
             |_, _| BudgetVector::new(vec![0.5, 1.0]),
         )
@@ -133,7 +139,10 @@ mod tests {
     #[test]
     fn non_private_potential_ignores_spend() {
         let inst = tiny_instance();
-        let cfg = EngineConfig { private: false, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            private: false,
+            ..EngineConfig::default()
+        };
         let mut board = Board::new(2, 2);
         board.publish(0, 0, 1.0, 0.5);
         board.set_winner(0, Some(0));

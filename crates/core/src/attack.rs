@@ -44,7 +44,10 @@ pub fn trilaterate(observations: &[Observation], max_iter: usize) -> Option<Poin
             o.anchor.is_finite() && o.distance.is_finite(),
             "observations must be finite: {o:?}"
         );
-        assert!(o.weight.is_finite() && o.weight > 0.0, "weights must be > 0");
+        assert!(
+            o.weight.is_finite() && o.weight > 0.0,
+            "weights must be > 0"
+        );
     }
 
     // Start at the weighted anchor centroid.
@@ -117,7 +120,11 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn obs(x: f64, y: f64, d: f64) -> Observation {
-        Observation { anchor: Point::new(x, y), distance: d, weight: 1.0 }
+        Observation {
+            anchor: Point::new(x, y),
+            distance: d,
+            weight: 1.0,
+        }
     }
 
     #[test]
@@ -131,7 +138,11 @@ mod tests {
         ];
         let observations: Vec<Observation> = anchors
             .iter()
-            .map(|a| Observation { anchor: *a, distance: truth.distance(a), weight: 1.0 })
+            .map(|a| Observation {
+                anchor: *a,
+                distance: truth.distance(a),
+                weight: 1.0,
+            })
             .collect();
         let got = trilaterate(&observations, 100).unwrap();
         assert!(got.distance(&truth) < 1e-6, "got {got:?}");
@@ -157,10 +168,26 @@ mod tests {
         // Two consistent high-weight anchors + one wildly wrong
         // low-weight anchor: the estimate should stay near the truth.
         let truth = Point::new(1.0, 1.0);
-        let good1 = Observation { anchor: Point::new(0.0, 0.0), distance: truth.norm(), weight: 10.0 };
-        let good2 = Observation { anchor: Point::new(3.0, 0.0), distance: truth.distance(&Point::new(3.0, 0.0)), weight: 10.0 };
-        let good3 = Observation { anchor: Point::new(0.0, 3.0), distance: truth.distance(&Point::new(0.0, 3.0)), weight: 10.0 };
-        let bad = Observation { anchor: Point::new(-5.0, -5.0), distance: 20.0, weight: 0.01 };
+        let good1 = Observation {
+            anchor: Point::new(0.0, 0.0),
+            distance: truth.norm(),
+            weight: 10.0,
+        };
+        let good2 = Observation {
+            anchor: Point::new(3.0, 0.0),
+            distance: truth.distance(&Point::new(3.0, 0.0)),
+            weight: 10.0,
+        };
+        let good3 = Observation {
+            anchor: Point::new(0.0, 3.0),
+            distance: truth.distance(&Point::new(0.0, 3.0)),
+            weight: 10.0,
+        };
+        let bad = Observation {
+            anchor: Point::new(-5.0, -5.0),
+            distance: 20.0,
+            weight: 0.01,
+        };
         let got = trilaterate(&[good1, good2, good3, bad], 200).unwrap();
         assert!(got.distance(&truth) < 0.15, "got {got:?}");
     }
@@ -182,7 +209,11 @@ mod tests {
                                 let u: f64 = rng.gen_range(-0.5..0.5);
                                 -0.5 * u.signum() * (1.0 - 2.0 * u.abs()).ln()
                             };
-                            Observation { anchor: a, distance: truth.distance(&a) + noise, weight: 1.0 }
+                            Observation {
+                                anchor: a,
+                                distance: truth.distance(&a) + noise,
+                                weight: 1.0,
+                            }
                         })
                         .collect();
                     trilaterate(&observations, 100).unwrap().distance(&truth)
@@ -202,7 +233,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "weights must be > 0")]
     fn zero_weight_panics() {
-        let o = Observation { anchor: Point::ORIGIN, distance: 1.0, weight: 0.0 };
+        let o = Observation {
+            anchor: Point::ORIGIN,
+            distance: 1.0,
+            weight: 0.0,
+        };
         let _ = trilaterate(&[o, o, o], 10);
     }
 }

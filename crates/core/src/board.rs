@@ -84,7 +84,9 @@ impl Board {
     /// number of consumed budget slots, since a slot is charged exactly
     /// when published.
     pub fn used_slots(&self, task: usize, worker: usize) -> usize {
-        self.releases.get(&(task, worker)).map_or(0, ReleaseSet::len)
+        self.releases
+            .get(&(task, worker))
+            .map_or(0, ReleaseSet::len)
     }
 
     /// The pair's release history.
@@ -94,7 +96,9 @@ impl Board {
 
     /// The current effective distance-budget pair `(d̃, ε̃)`.
     pub fn effective(&self, task: usize, worker: usize) -> Option<EffectivePair> {
-        self.releases.get(&(task, worker)).and_then(ReleaseSet::effective)
+        self.releases
+            .get(&(task, worker))
+            .and_then(ReleaseSet::effective)
     }
 
     /// Budget published by `worker` toward `task`: `b_{i,j}·ε_{i,j}`.
@@ -176,7 +180,11 @@ impl Board {
                 let worst: f64 = inst
                     .reach(j)
                     .iter()
-                    .map(|&i| inst.budget(i, j).expect("reachable pair has budgets").total())
+                    .map(|&i| {
+                        inst.budget(i, j)
+                            .expect("reachable pair has budgets")
+                            .total()
+                    })
                     .sum::<f64>()
                     * r;
                 assert!(

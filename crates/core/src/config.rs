@@ -124,7 +124,10 @@ impl Default for RunParams {
 impl RunParams {
     /// Convenience: the default parameters with a different seed.
     pub fn with_seed(seed: u64) -> Self {
-        RunParams { seed, ..Self::default() }
+        RunParams {
+            seed,
+            ..Self::default()
+        }
     }
 }
 

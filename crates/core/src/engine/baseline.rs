@@ -5,7 +5,7 @@
 
 use crate::board::Board;
 use crate::config::EngineConfig;
-use crate::engine::Ctx;
+use crate::engine::{require_fresh_board, AssignmentEngine, Ctx, EngineTrace};
 use crate::model::Instance;
 use crate::outcome::RunOutcome;
 use dpta_dp::NoiseSource;
@@ -17,38 +17,92 @@ fn pair_utility(inst: &Instance, cfg: &EngineConfig, task: usize, worker: usize)
     inst.task_value(task) - cfg.alpha * inst.distance(task, worker)
 }
 
-fn outcome_from_assignment(
-    inst: &Instance,
-    assignment: dpta_matching::Assignment,
-) -> RunOutcome {
-    let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+fn apply_assignment(board: &mut Board, assignment: &dpta_matching::Assignment) {
     for (t, w) in assignment.pairs() {
         board.set_winner(t, Some(w));
     }
-    RunOutcome { assignment, board, rounds: 1, moves: Vec::new() }
 }
 
 /// GRD (Table IX): greedily pick the highest-utility feasible pair among
 /// free tasks and workers; pairs with non-positive utility stay
 /// unmatched (matching the PA-TA objective's option of `s_{i,j} = 0`).
-pub fn run_grd(inst: &Instance, cfg: &EngineConfig) -> RunOutcome {
-    let mut edges = Vec::with_capacity(inst.feasible_pairs());
-    for j in 0..inst.n_workers() {
-        for &i in inst.reach(j) {
-            edges.push(Edge { task: i, worker: j, weight: pair_utility(inst, cfg, i, j) });
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyEngine {
+    cfg: EngineConfig,
+}
+
+impl GreedyEngine {
+    /// Builds the engine for a configuration.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        GreedyEngine { cfg }
+    }
+}
+
+impl AssignmentEngine for GreedyEngine {
+    fn name(&self) -> &'static str {
+        "GRD"
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn drive(&self, inst: &Instance, board: &mut Board, _noise: &dyn NoiseSource) -> EngineTrace {
+        require_fresh_board(self.name(), board);
+        let mut edges = Vec::with_capacity(inst.feasible_pairs());
+        for j in 0..inst.n_workers() {
+            for &i in inst.reach(j) {
+                edges.push(Edge {
+                    task: i,
+                    worker: j,
+                    weight: pair_utility(inst, &self.cfg, i, j),
+                });
+            }
+        }
+        let assignment = greedy_max_weight(inst.n_tasks(), inst.n_workers(), &edges, 0.0);
+        apply_assignment(board, &assignment);
+        EngineTrace {
+            rounds: 1,
+            moves: Vec::new(),
         }
     }
-    let assignment = greedy_max_weight(inst.n_tasks(), inst.n_workers(), &edges, 0.0);
-    outcome_from_assignment(inst, assignment)
 }
 
 /// The exact optimum of the non-private assignment problem via the
 /// Hungarian algorithm — the upper baseline the heuristics chase.
-pub fn run_optimal(inst: &Instance, cfg: &EngineConfig) -> RunOutcome {
-    let assignment = max_weight_matching(inst.n_tasks(), inst.n_workers(), |i, j| {
-        inst.in_reach(i, j).then(|| pair_utility(inst, cfg, i, j))
-    });
-    outcome_from_assignment(inst, assignment)
+#[derive(Debug, Clone, Copy)]
+pub struct HungarianEngine {
+    cfg: EngineConfig,
+}
+
+impl HungarianEngine {
+    /// Builds the engine for a configuration.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        HungarianEngine { cfg }
+    }
+}
+
+impl AssignmentEngine for HungarianEngine {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn drive(&self, inst: &Instance, board: &mut Board, _noise: &dyn NoiseSource) -> EngineTrace {
+        require_fresh_board(self.name(), board);
+        let assignment = max_weight_matching(inst.n_tasks(), inst.n_workers(), |i, j| {
+            inst.in_reach(i, j)
+                .then(|| pair_utility(inst, &self.cfg, i, j))
+        });
+        apply_assignment(board, &assignment);
+        EngineTrace {
+            rounds: 1,
+            moves: Vec::new(),
+        }
+    }
 }
 
 /// The "direct method" of Section V: every worker publishes his
@@ -61,28 +115,67 @@ pub fn run_optimal(inst: &Instance, cfg: &EngineConfig) -> RunOutcome {
 /// because every worker leaks a full round of budget up front; this
 /// implementation exists so that the claim is measurable (O((m+n)³),
 /// use on batch-scale instances only).
+#[derive(Debug, Clone, Copy)]
+pub struct ObfuscatedOptimalEngine {
+    cfg: EngineConfig,
+}
+
+impl ObfuscatedOptimalEngine {
+    /// Builds the engine for a configuration.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        ObfuscatedOptimalEngine { cfg }
+    }
+}
+
+impl AssignmentEngine for ObfuscatedOptimalEngine {
+    fn name(&self) -> &'static str {
+        "P-OPT"
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
+        require_fresh_board(self.name(), board);
+        let ctx = Ctx::new(inst, &self.cfg, noise);
+        for j in 0..inst.n_workers() {
+            for &i in inst.reach(j) {
+                let p = ctx
+                    .prospective(board, i, j)
+                    .expect("fresh board: slot 0 must be available");
+                board.publish(i, j, p.d_hat, p.epsilon);
+            }
+        }
+        let assignment = max_weight_matching(inst.n_tasks(), inst.n_workers(), |i, j| {
+            board
+                .effective(i, j)
+                .map(|e| inst.task_value(i) - ctx.fd(e.distance) - ctx.fp(e.epsilon))
+        });
+        apply_assignment(board, &assignment);
+        EngineTrace {
+            rounds: 1,
+            moves: Vec::new(),
+        }
+    }
+}
+
+/// GRD as a direct engine call (equivalent to dispatching through
+/// [`Method::run`](crate::Method::run)).
+pub fn run_grd(inst: &Instance, cfg: &EngineConfig) -> RunOutcome {
+    GreedyEngine::from_config(*cfg).run(inst, &dpta_dp::SeededNoise::new(0))
+}
+
+/// The Hungarian optimum as a direct engine call.
+pub fn run_optimal(inst: &Instance, cfg: &EngineConfig) -> RunOutcome {
+    HungarianEngine::from_config(*cfg).run(inst, &dpta_dp::SeededNoise::new(0))
+}
+
+/// The Section V strawman as a direct engine call.
 pub fn run_obfuscated_optimal(
     inst: &Instance,
     cfg: &EngineConfig,
     noise: &dyn NoiseSource,
 ) -> RunOutcome {
-    let ctx = Ctx::new(inst, cfg, noise);
-    let mut board = Board::new(inst.n_tasks(), inst.n_workers());
-    for j in 0..inst.n_workers() {
-        for &i in inst.reach(j) {
-            let p = ctx
-                .prospective(&board, i, j)
-                .expect("fresh board: slot 0 must be available");
-            board.publish(i, j, p.d_hat, p.epsilon);
-        }
-    }
-    let assignment = max_weight_matching(inst.n_tasks(), inst.n_workers(), |i, j| {
-        board.effective(i, j).map(|e| {
-            inst.task_value(i) - ctx.fd(e.distance) - ctx.fp(e.epsilon)
-        })
-    });
-    for (t, w) in assignment.pairs() {
-        board.set_winner(t, Some(w));
-    }
-    RunOutcome { assignment, board, rounds: 1, moves: Vec::new() }
+    ObfuscatedOptimalEngine::from_config(*cfg).run(inst, noise)
 }

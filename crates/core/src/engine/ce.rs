@@ -36,7 +36,7 @@
 
 use crate::board::Board;
 use crate::config::{CompareMode, EngineConfig, Objective, ProposalAccounting};
-use crate::engine::Ctx;
+use crate::engine::{AssignmentEngine, Ctx, EngineTrace};
 use crate::model::Instance;
 use crate::outcome::RunOutcome;
 use dpta_dp::{pcf, ppcf, EffectivePair, NoiseSource};
@@ -53,9 +53,71 @@ struct CtEntry {
     key: f64,
 }
 
-/// Runs the conflict-elimination protocol from an empty board.
+/// The conflict-elimination engine: PUCE / PDCE / UCE / DCE and the
+/// nppcf ablations, selected by [`EngineConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct CeEngine {
+    cfg: EngineConfig,
+}
+
+impl CeEngine {
+    /// Builds the engine for a configuration.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        CeEngine { cfg }
+    }
+}
+
+impl AssignmentEngine for CeEngine {
+    fn name(&self) -> &'static str {
+        match (self.cfg.private, self.cfg.objective, self.cfg.compare) {
+            (true, Objective::Utility, CompareMode::Ppcf) => "PUCE",
+            (true, Objective::Utility, CompareMode::PcfOnly) => "PUCE-nppcf",
+            (true, Objective::Distance, CompareMode::Ppcf) => "PDCE",
+            (true, Objective::Distance, CompareMode::PcfOnly) => "PDCE-nppcf",
+            (false, Objective::Utility, _) => "UCE",
+            (false, Objective::Distance, _) => "DCE",
+        }
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
+        assert_eq!(board.n_tasks(), inst.n_tasks());
+        assert_eq!(board.n_workers(), inst.n_workers());
+        let cfg = &self.cfg;
+        let ctx = Ctx::new(inst, cfg, noise);
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            assert!(
+                rounds <= cfg.max_rounds,
+                "CE engine exceeded max_rounds = {} — this indicates a \
+                 non-terminating configuration bug",
+                cfg.max_rounds
+            );
+            let cl = worker_proposals(&ctx, board);
+            if !winner_chosen(&ctx, board, cl) {
+                break;
+            }
+        }
+        EngineTrace {
+            rounds,
+            moves: Vec::new(),
+        }
+    }
+}
+
+/// Runs the conflict-elimination protocol from an empty board (direct
+/// engine call — equivalent to dispatching through
+/// [`Method::run`](crate::Method::run)).
 pub fn run(inst: &Instance, cfg: &EngineConfig, noise: &dyn NoiseSource) -> RunOutcome {
-    run_from(inst, cfg, noise, Board::new(inst.n_tasks(), inst.n_workers()))
+    CeEngine::from_config(*cfg).run(inst, noise)
 }
 
 /// Runs the protocol from a pre-populated board (used by warm-start
@@ -64,31 +126,9 @@ pub fn run_from(
     inst: &Instance,
     cfg: &EngineConfig,
     noise: &dyn NoiseSource,
-    mut board: Board,
+    board: Board,
 ) -> RunOutcome {
-    assert_eq!(board.n_tasks(), inst.n_tasks());
-    assert_eq!(board.n_workers(), inst.n_workers());
-    let ctx = Ctx::new(inst, cfg, noise);
-    let mut rounds = 0usize;
-    loop {
-        rounds += 1;
-        assert!(
-            rounds <= cfg.max_rounds,
-            "CE engine exceeded max_rounds = {} — this indicates a \
-             non-terminating configuration bug",
-            cfg.max_rounds
-        );
-        let cl = worker_proposals(&ctx, &mut board);
-        if !winner_chosen(&ctx, &mut board, cl) {
-            break;
-        }
-    }
-    RunOutcome {
-        assignment: board.assignment(),
-        board,
-        rounds,
-        moves: Vec::new(),
-    }
+    CeEngine::from_config(*cfg).resume(inst, board, noise)
 }
 
 /// Algorithm 1 — WorkerProposal. Publishes every passing proposal and
@@ -112,7 +152,8 @@ fn worker_proposals(ctx: &Ctx<'_>, board: &mut Board) -> Vec<Vec<CtEntry>> {
             // gate).
             if cfg.objective == Objective::Utility {
                 let spent = proposal_spend(cfg, board, i, j);
-                let u = inst.task_value(i) - ctx.fd(inst.distance(i, j)) - ctx.fp(spent + p.epsilon);
+                let u =
+                    inst.task_value(i) - ctx.fd(inst.distance(i, j)) - ctx.fp(spent + p.epsilon);
                 if u <= 0.0 {
                     continue;
                 }
@@ -141,15 +182,24 @@ fn worker_proposals(ctx: &Ctx<'_>, board: &mut Board) -> Vec<Vec<CtEntry>> {
                 // replacement in the -nppcf ablation).
                 let gate1 = match cfg.compare {
                     CompareMode::Ppcf => ppcf(inst.distance(i, j), d_prime, we.epsilon),
-                    CompareMode::PcfOnly => {
-                        pcf(p.effective.distance, d_prime, p.effective.epsilon, we.epsilon)
-                    }
+                    CompareMode::PcfOnly => pcf(
+                        p.effective.distance,
+                        d_prime,
+                        p.effective.epsilon,
+                        we.epsilon,
+                    ),
                 };
                 if gate1 <= 0.5 {
                     continue;
                 }
                 // Line 14: PCF gate on the new effective distance.
-                if pcf(p.effective.distance, d_prime, p.effective.epsilon, we.epsilon) <= 0.5 {
+                if pcf(
+                    p.effective.distance,
+                    d_prime,
+                    p.effective.epsilon,
+                    we.epsilon,
+                ) <= 0.5
+                {
                     continue;
                 }
             }
@@ -160,7 +210,11 @@ fn worker_proposals(ctx: &Ctx<'_>, board: &mut Board) -> Vec<Vec<CtEntry>> {
                 .effective(i, j)
                 .expect("just published, effective pair must exist");
             debug_assert_eq!(pair, p.effective);
-            cl[i].push(CtEntry { worker: j, pair, key: f64::NAN });
+            cl[i].push(CtEntry {
+                worker: j,
+                pair,
+                key: f64::NAN,
+            });
         }
     }
     cl
@@ -197,7 +251,11 @@ fn winner_chosen(ctx: &Ctx<'_>, board: &mut Board, mut cl: Vec<Vec<CtEntry>>) ->
             let pair = board
                 .effective(i, w)
                 .expect("incumbent winner must have published releases");
-            row.push(CtEntry { worker: w, pair, key: f64::NAN });
+            row.push(CtEntry {
+                worker: w,
+                pair,
+                key: f64::NAN,
+            });
         }
         for e in &mut row {
             e.key = entry_key(ctx, board, i, e);
@@ -226,9 +284,12 @@ fn winner_chosen(ctx: &Ctx<'_>, board: &mut Board, mut cl: Vec<Vec<CtEntry>>) ->
                 a.pair.epsilon,
                 b.pair.epsilon,
             ),
-            Objective::Distance => {
-                pcf(a.pair.distance, b.pair.distance, a.pair.epsilon, b.pair.epsilon)
-            }
+            Objective::Distance => pcf(
+                a.pair.distance,
+                b.pair.distance,
+                a.pair.epsilon,
+                b.pair.epsilon,
+            ),
         },
         cfg.fallback,
     );

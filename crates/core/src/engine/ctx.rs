@@ -76,7 +76,8 @@ impl<'a> Ctx<'a> {
     #[inline]
     pub fn noise_for(&self, task: usize, worker: usize, slot: usize, epsilon: f64) -> f64 {
         if self.cfg.private {
-            self.noise.noise(task as u32, worker as u32, slot as u32, epsilon)
+            self.noise
+                .noise(task as u32, worker as u32, slot as u32, epsilon)
         } else {
             0.0
         }
@@ -97,16 +98,25 @@ impl<'a> Ctx<'a> {
             return None;
         }
         let epsilon = budgets.slot(slot);
-        let d_hat =
-            self.inst.distance(task, worker) + self.noise_for(task, worker, slot, epsilon);
+        let d_hat = self.inst.distance(task, worker) + self.noise_for(task, worker, slot, epsilon);
         let effective = match board.releases(task, worker) {
             Some(existing) => {
                 let mut set: ReleaseSet = existing.clone();
-                set.push(Release { value: d_hat, epsilon });
+                set.push(Release {
+                    value: d_hat,
+                    epsilon,
+                });
                 set.effective().expect("non-empty release set")
             }
-            None => EffectivePair { distance: d_hat, epsilon },
+            None => EffectivePair {
+                distance: d_hat,
+                epsilon,
+            },
         };
-        Some(Prospective { epsilon, d_hat, effective })
+        Some(Prospective {
+            epsilon,
+            d_hat,
+            effective,
+        })
     }
 }

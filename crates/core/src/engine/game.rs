@@ -27,14 +27,51 @@
 use crate::analysis::potential;
 use crate::board::Board;
 use crate::config::EngineConfig;
-use crate::engine::Ctx;
+use crate::engine::{AssignmentEngine, Ctx, EngineTrace};
 use crate::model::Instance;
 use crate::outcome::{MoveRecord, RunOutcome};
 use dpta_dp::NoiseSource;
 
-/// Runs the game protocol from an empty board.
+/// The best-response potential-game engine: PGT / GT, selected by
+/// [`EngineConfig::private`].
+#[derive(Debug, Clone, Copy)]
+pub struct GameEngine {
+    cfg: EngineConfig,
+}
+
+impl GameEngine {
+    /// Builds the engine for a configuration.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        GameEngine { cfg }
+    }
+}
+
+impl AssignmentEngine for GameEngine {
+    fn name(&self) -> &'static str {
+        if self.cfg.private {
+            "PGT"
+        } else {
+            "GT"
+        }
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
+        drive_game(inst, &self.cfg, noise, board)
+    }
+}
+
+/// Runs the game protocol from an empty board (direct engine call —
+/// equivalent to dispatching through [`Method::run`](crate::Method::run)).
 pub fn run(inst: &Instance, cfg: &EngineConfig, noise: &dyn NoiseSource) -> RunOutcome {
-    run_from(inst, cfg, noise, Board::new(inst.n_tasks(), inst.n_workers()))
+    GameEngine::from_config(*cfg).run(inst, noise)
 }
 
 /// Runs the game protocol from a pre-populated board (warm start).
@@ -42,8 +79,17 @@ pub fn run_from(
     inst: &Instance,
     cfg: &EngineConfig,
     noise: &dyn NoiseSource,
-    mut board: Board,
+    board: Board,
 ) -> RunOutcome {
+    GameEngine::from_config(*cfg).resume(inst, board, noise)
+}
+
+fn drive_game(
+    inst: &Instance,
+    cfg: &EngineConfig,
+    noise: &dyn NoiseSource,
+    board: &mut Board,
+) -> EngineTrace {
     assert_eq!(board.n_tasks(), inst.n_tasks());
     assert_eq!(board.n_workers(), inst.n_workers());
     let ctx = Ctx::new(inst, cfg, noise);
@@ -69,7 +115,7 @@ pub fn run_from(
                 if held == Some(i) {
                     continue;
                 }
-                let Some(p) = ctx.prospective(&board, i, j) else {
+                let Some(p) = ctx.prospective(board, i, j) else {
                     continue; // budget exhausted toward this task
                 };
                 let mut ut = inst.task_value(i) - ctx.fd(p.effective.distance) - ctx.fp(p.epsilon);
@@ -94,14 +140,12 @@ pub fn run_from(
             // response strictly improves.
             if let Some((ut, i, d_hat, eps)) = best {
                 if ut > 0.0 {
-                    let phi_before = cfg
-                        .track_potential
-                        .then(|| potential(inst, &board, cfg));
+                    let phi_before = cfg.track_potential.then(|| potential(inst, board, cfg));
                     board.publish(i, j, d_hat, eps);
                     board.set_winner(i, Some(j)); // frees j's old task & displaces the old winner
                     any_move = true;
                     let phi_after = cfg.track_potential.then(|| {
-                        let phi = potential(inst, &board, cfg);
+                        let phi = potential(inst, board, cfg);
                         let delta = phi - phi_before.expect("tracked");
                         assert!(
                             (delta - ut).abs() < 1e-6,
@@ -125,10 +169,5 @@ pub fn run_from(
         }
     }
 
-    RunOutcome {
-        assignment: board.assignment(),
-        board,
-        rounds,
-        moves,
-    }
+    EngineTrace { rounds, moves }
 }

@@ -25,7 +25,7 @@
 
 use crate::board::Board;
 use crate::config::EngineConfig;
-use crate::engine::Ctx;
+use crate::engine::{require_fresh_board, AssignmentEngine, Ctx, EngineTrace};
 use crate::model::Instance;
 use crate::outcome::RunOutcome;
 use dpta_dp::{NoiseSource, PlanarLaplace};
@@ -37,47 +37,83 @@ const SLOT_RADIUS: u32 = 0;
 /// Slot key for the angular uniform of the location draw.
 const SLOT_ANGLE: u32 = 1;
 
-/// Runs the Geo-I baseline.
+/// The one-shot Geo-Indistinguishability engine (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct GeoIEngine {
+    cfg: EngineConfig,
+}
+
+impl GeoIEngine {
+    /// Builds the engine for a configuration.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        GeoIEngine { cfg }
+    }
+}
+
+impl AssignmentEngine for GeoIEngine {
+    fn name(&self) -> &'static str {
+        "GEO-I"
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
+        require_fresh_board(self.name(), board);
+        let cfg = &self.cfg;
+        let ctx = Ctx::new(inst, cfg, noise);
+        let mut edges: Vec<Edge> = Vec::new();
+
+        for j in 0..inst.n_workers() {
+            let reach = inst.reach(j);
+            if reach.is_empty() {
+                continue;
+            }
+            // One location budget, comparable to a single proposal round.
+            let eps: f64 = reach
+                .iter()
+                .map(|&i| inst.budget(i, j).expect("reachable").slot(0))
+                .sum::<f64>()
+                / reach.len() as f64;
+
+            let reported = if cfg.private {
+                let mech = PlanarLaplace::new(eps);
+                let (dx, dy) = mech.sample_from_uniforms(
+                    noise.uniform(crate::board::LOCATION_RELEASE, j as u32, SLOT_RADIUS),
+                    noise.uniform(crate::board::LOCATION_RELEASE, j as u32, SLOT_ANGLE),
+                );
+                board.charge_location(j, eps);
+                let l = inst.workers()[j].location;
+                Point::new(l.x + dx, l.y + dy)
+            } else {
+                inst.workers()[j].location
+            };
+
+            for &i in reach {
+                let d_hat = inst.tasks()[i].location.distance(&reported);
+                let estimated = inst.task_value(i) - ctx.fd(d_hat) - ctx.fp(eps);
+                edges.push(Edge {
+                    task: i,
+                    worker: j,
+                    weight: estimated,
+                });
+            }
+        }
+
+        let assignment = greedy_max_weight(inst.n_tasks(), inst.n_workers(), &edges, 0.0);
+        for (t, w) in assignment.pairs() {
+            board.set_winner(t, Some(w));
+        }
+        EngineTrace {
+            rounds: 1,
+            moves: Vec::new(),
+        }
+    }
+}
+
+/// Runs the Geo-I baseline (direct engine call — equivalent to
+/// dispatching through [`Method::run`](crate::Method::run)).
 pub fn run_geoi(inst: &Instance, cfg: &EngineConfig, noise: &dyn NoiseSource) -> RunOutcome {
-    let ctx = Ctx::new(inst, cfg, noise);
-    let mut board = Board::new(inst.n_tasks(), inst.n_workers());
-    let mut edges: Vec<Edge> = Vec::new();
-
-    for j in 0..inst.n_workers() {
-        let reach = inst.reach(j);
-        if reach.is_empty() {
-            continue;
-        }
-        // One location budget, comparable to a single proposal round.
-        let eps: f64 = reach
-            .iter()
-            .map(|&i| inst.budget(i, j).expect("reachable").slot(0))
-            .sum::<f64>()
-            / reach.len() as f64;
-
-        let reported = if cfg.private {
-            let mech = PlanarLaplace::new(eps);
-            let (dx, dy) = mech.sample_from_uniforms(
-                noise.uniform(crate::board::LOCATION_RELEASE, j as u32, SLOT_RADIUS),
-                noise.uniform(crate::board::LOCATION_RELEASE, j as u32, SLOT_ANGLE),
-            );
-            board.charge_location(j, eps);
-            let l = inst.workers()[j].location;
-            Point::new(l.x + dx, l.y + dy)
-        } else {
-            inst.workers()[j].location
-        };
-
-        for &i in reach {
-            let d_hat = inst.tasks()[i].location.distance(&reported);
-            let estimated = inst.task_value(i) - ctx.fd(d_hat) - ctx.fp(eps);
-            edges.push(Edge { task: i, worker: j, weight: estimated });
-        }
-    }
-
-    let assignment = greedy_max_weight(inst.n_tasks(), inst.n_workers(), &edges, 0.0);
-    for (t, w) in assignment.pairs() {
-        board.set_winner(t, Some(w));
-    }
-    RunOutcome { assignment, board, rounds: 1, moves: Vec::new() }
+    GeoIEngine::from_config(*cfg).run(inst, noise)
 }

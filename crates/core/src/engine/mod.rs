@@ -1,10 +1,27 @@
-//! The three algorithm engines.
+//! The assignment engines and the [`AssignmentEngine`] trait unifying
+//! them.
 //!
-//! * [`ce`] — the conflict-elimination protocol (Algorithms 1–3),
-//!   parameterised into PUCE / PDCE / UCE / DCE and the nppcf ablations;
-//! * [`game`] — the best-response potential-game protocol (Algorithm 4),
-//!   parameterised into PGT / GT;
-//! * [`baseline`] — the one-shot GRD greedy and the Hungarian optimum.
+//! Every Table IX solver is an [`AssignmentEngine`]: a config-built
+//! object that drives a [`Board`] to completion over an [`Instance`].
+//! Four engine families cover the whole method registry:
+//!
+//! * [`ce::CeEngine`] — the conflict-elimination protocol
+//!   (Algorithms 1–3), parameterised into PUCE / PDCE / UCE / DCE and
+//!   the nppcf ablations;
+//! * [`game::GameEngine`] — the best-response potential-game protocol
+//!   (Algorithm 4), parameterised into PGT / GT;
+//! * [`baseline`] — the one-shot [`baseline::GreedyEngine`] (GRD), the
+//!   [`baseline::HungarianEngine`] optimum, and the
+//!   [`baseline::ObfuscatedOptimalEngine`] strawman of Section V;
+//! * [`location::GeoIEngine`] — the one-shot Geo-Indistinguishability
+//!   baseline.
+//!
+//! [`build`] resolves a [`Method`](crate::Method) to a boxed engine;
+//! [`Method::run`](crate::Method::run) is a thin wrapper over it. New
+//! solvers (and future sharded/async runtimes) implement the trait and
+//! register in [`build`] without touching any dispatch site: the
+//! experiment runner, the benches and the tests all drive engines
+//! through the trait object.
 
 pub mod baseline;
 pub mod ce;
@@ -13,3 +30,160 @@ pub mod game;
 pub mod location;
 
 pub(crate) use ctx::Ctx;
+
+use crate::board::Board;
+use crate::config::EngineConfig;
+use crate::method::Method;
+use crate::model::Instance;
+use crate::outcome::{MoveRecord, RunOutcome};
+use dpta_dp::NoiseSource;
+
+/// The protocol trace an engine produces while driving a board: the
+/// round count and (for the game family) the accepted-move log. The
+/// final matching and privacy state live on the board itself.
+#[derive(Debug, Clone, Default)]
+pub struct EngineTrace {
+    /// Outer-loop protocol rounds executed.
+    pub rounds: usize,
+    /// Accepted best-response moves, in order (game engines only).
+    pub moves: Vec<MoveRecord>,
+}
+
+/// A Table IX solver behind one polymorphic interface.
+///
+/// Engines are cheap, immutable config holders (`Send + Sync`, so one
+/// engine can serve parallel batch runs); all run state lives on the
+/// [`Board`]. The required method is [`drive`](Self::drive); `assign`,
+/// `run` and `resume` are provided conveniences layered on it.
+pub trait AssignmentEngine: Send + Sync {
+    /// Display name under this configuration (paper legend style, e.g.
+    /// `"PUCE"` for a private utility-objective CE engine).
+    fn name(&self) -> &'static str;
+
+    /// The configuration the engine was built from.
+    fn config(&self) -> &EngineConfig;
+
+    /// Drives `board` to completion in place and returns the protocol
+    /// trace. Engines that do not
+    /// [support warm starts](Self::supports_warm_start) require a fresh
+    /// board and panic otherwise.
+    fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace;
+
+    /// Capability hook: whether [`drive`](Self::drive) may start from a
+    /// board carrying earlier releases and winners (warm start / batch
+    /// carry-over). One-shot engines return `false`.
+    fn supports_warm_start(&self) -> bool {
+        false
+    }
+
+    /// Capability hook: whether runs publish obfuscated releases and
+    /// charge privacy budget — the flag the Section VII-C measures need
+    /// to decide if `f_p` enters reported utility.
+    fn accounts_privacy(&self) -> bool {
+        self.config().private
+    }
+
+    /// Drives `board` to completion in place and assembles a full
+    /// [`RunOutcome`] (whose board is a snapshot of the final state).
+    /// Prefer [`run`](Self::run) or [`resume`](Self::resume) when the
+    /// caller does not need to keep ownership of the board.
+    fn assign(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> RunOutcome {
+        let trace = self.drive(inst, board, noise);
+        RunOutcome {
+            assignment: board.assignment(),
+            board: board.clone(),
+            rounds: trace.rounds,
+            moves: trace.moves,
+        }
+    }
+
+    /// Runs from a fresh board.
+    fn run(&self, inst: &Instance, noise: &dyn NoiseSource) -> RunOutcome {
+        let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+        let trace = self.drive(inst, &mut board, noise);
+        RunOutcome {
+            assignment: board.assignment(),
+            board,
+            rounds: trace.rounds,
+            moves: trace.moves,
+        }
+    }
+
+    /// Runs from a pre-populated board (warm start). Panics when the
+    /// engine does not support warm starts.
+    fn resume(&self, inst: &Instance, mut board: Board, noise: &dyn NoiseSource) -> RunOutcome {
+        assert!(
+            self.supports_warm_start(),
+            "{} does not support warm starts",
+            self.name()
+        );
+        let trace = self.drive(inst, &mut board, noise);
+        RunOutcome {
+            assignment: board.assignment(),
+            board,
+            rounds: trace.rounds,
+            moves: trace.moves,
+        }
+    }
+}
+
+/// The engine registry: resolves a [`Method`] to a boxed engine under
+/// `cfg`. This is the single place a new solver family plugs into.
+pub fn build(method: Method, cfg: EngineConfig) -> Box<dyn AssignmentEngine> {
+    match method {
+        Method::Puce
+        | Method::PuceNppcf
+        | Method::Pdce
+        | Method::PdceNppcf
+        | Method::Uce
+        | Method::Dce => Box::new(ce::CeEngine::from_config(cfg)),
+        Method::Pgt | Method::Gt => Box::new(game::GameEngine::from_config(cfg)),
+        Method::Grd => Box::new(baseline::GreedyEngine::from_config(cfg)),
+        Method::Optimal => Box::new(baseline::HungarianEngine::from_config(cfg)),
+        Method::GeoI => Box::new(location::GeoIEngine::from_config(cfg)),
+        Method::ObfuscatedOptimal => Box::new(baseline::ObfuscatedOptimalEngine::from_config(cfg)),
+    }
+}
+
+/// Panics unless `board` is untouched — the guard one-shot engines run
+/// before driving, so a warm-start misuse fails loudly instead of
+/// silently double-charging budgets.
+pub(crate) fn require_fresh_board(name: &str, board: &Board) {
+    assert!(
+        board.publications() == 0 && board.alloc().iter().all(Option::is_none),
+        "{name} is a one-shot engine and requires a fresh board \
+         (found earlier releases or winners)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunParams;
+
+    #[test]
+    fn registry_covers_every_method_with_matching_capabilities() {
+        let params = RunParams::default();
+        for method in Method::all() {
+            let engine = build(method, method.engine_config(&params));
+            assert_eq!(engine.accounts_privacy(), method.is_private(), "{method}");
+            assert_eq!(
+                engine.supports_warm_start(),
+                !matches!(
+                    method,
+                    Method::Grd | Method::Optimal | Method::GeoI | Method::ObfuscatedOptimal
+                ),
+                "{method}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_names_follow_the_paper_legends() {
+        let params = RunParams::default();
+        for method in Method::all() {
+            let engine = build(method, method.engine_config(&params));
+            assert_eq!(engine.name(), method.name(), "{method}");
+        }
+    }
+}

@@ -18,6 +18,9 @@
 //!   machinery of Theorems VI.1–VI.3;
 //! * [`engine::baseline`] — GRD (global greedy) and the Hungarian
 //!   optimum;
+//! * [`engine`] — the [`engine::AssignmentEngine`] trait every solver
+//!   family implements, and the [`engine::build`] registry resolving a
+//!   [`Method`] to a boxed engine;
 //! * [`method`] — the Table IX method registry and a single entry point
 //!   [`method::Method::run`];
 //! * [`metrics`] — the evaluation measures of Section VII-C.
@@ -39,6 +42,7 @@ pub use board::Board;
 pub use config::{
     CeaFallback, CompareMode, EngineConfig, Objective, ProposalAccounting, RunParams,
 };
+pub use engine::{AssignmentEngine, EngineTrace};
 pub use method::Method;
 pub use metrics::Measures;
 pub use model::{Instance, LinearValue, Task, Worker};

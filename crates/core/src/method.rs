@@ -1,9 +1,13 @@
 //! The Table IX method registry: every solution the paper evaluates,
 //! plus the Hungarian optimum, behind a single [`Method::run`] entry
-//! point.
+//! point. Execution is fully delegated to the
+//! [`AssignmentEngine`](crate::engine::AssignmentEngine) trait:
+//! [`Method::engine`] resolves the variant to a boxed engine via
+//! [`engine::build`](crate::engine::build), and [`Method::run`] is a
+//! thin wrapper seeding the noise source and running it.
 
 use crate::config::{CompareMode, EngineConfig, Objective, RunParams};
-use crate::engine::{baseline, ce, game, location};
+use crate::engine::{self, AssignmentEngine};
 use crate::model::Instance;
 use crate::outcome::RunOutcome;
 use dpta_dp::SeededNoise;
@@ -77,7 +81,12 @@ impl Method {
 
     /// The four methods of the PPCF ablation (Figure 17).
     pub fn ppcf_ablation_set() -> [Method; 4] {
-        [Method::Puce, Method::Pdce, Method::PuceNppcf, Method::PdceNppcf]
+        [
+            Method::Puce,
+            Method::Pdce,
+            Method::PuceNppcf,
+            Method::PdceNppcf,
+        ]
     }
 
     /// Display name as used in the paper's legends.
@@ -171,34 +180,29 @@ impl Method {
                 private: false,
                 ..base
             },
-            Method::Pgt | Method::GeoI | Method::ObfuscatedOptimal => {
-                EngineConfig { private: true, ..base }
-            }
-            Method::Gt | Method::Grd | Method::Optimal => {
-                EngineConfig { private: false, ..base }
-            }
+            Method::Pgt | Method::GeoI | Method::ObfuscatedOptimal => EngineConfig {
+                private: true,
+                ..base
+            },
+            Method::Gt | Method::Grd | Method::Optimal => EngineConfig {
+                private: false,
+                ..base
+            },
         }
     }
 
-    /// Runs the method on an instance.
+    /// Resolves this method to a boxed [`AssignmentEngine`] under
+    /// `params` — the single dispatch point; callers that run many
+    /// batches should resolve once and reuse the engine.
+    pub fn engine(&self, params: &RunParams) -> Box<dyn AssignmentEngine> {
+        engine::build(*self, self.engine_config(params))
+    }
+
+    /// Runs the method on an instance: resolves the engine and drives a
+    /// fresh board under the seeded noise source.
     pub fn run(&self, inst: &Instance, params: &RunParams) -> RunOutcome {
-        let cfg = self.engine_config(params);
         let noise = SeededNoise::new(params.seed);
-        match self {
-            Method::Puce
-            | Method::PuceNppcf
-            | Method::Pdce
-            | Method::PdceNppcf
-            | Method::Uce
-            | Method::Dce => ce::run(inst, &cfg, &noise),
-            Method::Pgt | Method::Gt => game::run(inst, &cfg, &noise),
-            Method::Grd => baseline::run_grd(inst, &cfg),
-            Method::Optimal => baseline::run_optimal(inst, &cfg),
-            Method::GeoI => location::run_geoi(inst, &cfg, &noise),
-            Method::ObfuscatedOptimal => {
-                baseline::run_obfuscated_optimal(inst, &cfg, &noise)
-            }
-        }
+        self.engine(params).run(inst, &noise)
     }
 }
 

@@ -145,13 +145,20 @@ mod tests {
         let dist = DistanceMatrix::from_rows(&[&[1.0, 3.0], &[2.0, 1.5]]);
         Instance::from_distance_matrix(
             vec![Task::new(Point::ORIGIN, 5.0), Task::new(Point::ORIGIN, 4.0)],
-            vec![Worker::new(Point::ORIGIN, 10.0), Worker::new(Point::ORIGIN, 10.0)],
+            vec![
+                Worker::new(Point::ORIGIN, 10.0),
+                Worker::new(Point::ORIGIN, 10.0),
+            ],
             dist,
             |_, _| BudgetVector::new(vec![1.0]),
         )
     }
 
-    fn outcome_with(inst: &Instance, pairs: &[(usize, usize)], spends: &[(usize, usize, f64)]) -> RunOutcome {
+    fn outcome_with(
+        inst: &Instance,
+        pairs: &[(usize, usize)],
+        spends: &[(usize, usize, f64)],
+    ) -> RunOutcome {
         let mut board = Board::new(inst.n_tasks(), inst.n_workers());
         for &(i, j, eps) in spends {
             board.publish(i, j, 0.0, eps);
@@ -216,8 +223,18 @@ mod tests {
 
     #[test]
     fn relative_deviations() {
-        let np = Measures { matched: 2, total_utility: 8.0, total_distance: 2.0, ..Measures::zero() };
-        let p = Measures { matched: 2, total_utility: 6.0, total_distance: 3.0, ..Measures::zero() };
+        let np = Measures {
+            matched: 2,
+            total_utility: 8.0,
+            total_distance: 2.0,
+            ..Measures::zero()
+        };
+        let p = Measures {
+            matched: 2,
+            total_utility: 6.0,
+            total_distance: 3.0,
+            ..Measures::zero()
+        };
         assert!((relative_deviation_utility(&np, &p) - 0.25).abs() < 1e-12);
         assert!((relative_deviation_distance(&np, &p) - 0.5).abs() < 1e-12);
         let empty = Measures::zero();
@@ -227,8 +244,22 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Measures { matched: 1, total_utility: 2.0, total_distance: 1.0, total_epsilon: 0.5, publications: 3, rounds: 2 };
-        let b = Measures { matched: 2, total_utility: 4.0, total_distance: 3.0, total_epsilon: 1.5, publications: 5, rounds: 4 };
+        let mut a = Measures {
+            matched: 1,
+            total_utility: 2.0,
+            total_distance: 1.0,
+            total_epsilon: 0.5,
+            publications: 3,
+            rounds: 2,
+        };
+        let b = Measures {
+            matched: 2,
+            total_utility: 4.0,
+            total_distance: 3.0,
+            total_epsilon: 1.5,
+            publications: 5,
+            rounds: 4,
+        };
         a.merge(&b);
         assert_eq!(a.matched, 3);
         assert!((a.total_utility - 6.0).abs() < 1e-12);

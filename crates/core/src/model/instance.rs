@@ -86,7 +86,11 @@ impl Instance {
         mut budget_fn: impl FnMut(usize, usize) -> BudgetVector,
     ) -> Self {
         assert_eq!(dist.tasks(), tasks.len(), "distance matrix rows != tasks");
-        assert_eq!(dist.workers(), workers.len(), "distance matrix cols != workers");
+        assert_eq!(
+            dist.workers(),
+            workers.len(),
+            "distance matrix cols != workers"
+        );
         let mut reach = Vec::with_capacity(workers.len());
         let mut budgets = Vec::with_capacity(workers.len());
         for (j, w) in workers.iter().enumerate() {

@@ -82,7 +82,13 @@ fn different_seeds_change_private_outcomes_only() {
     let a = RunParams::with_seed(1);
     let b = RunParams::with_seed(2);
     // Non-private methods ignore the noise seed entirely.
-    for m in [Method::Uce, Method::Dce, Method::Gt, Method::Grd, Method::Optimal] {
+    for m in [
+        Method::Uce,
+        Method::Dce,
+        Method::Gt,
+        Method::Grd,
+        Method::Optimal,
+    ] {
         assert_eq!(
             m.run(&inst, &a).assignment,
             m.run(&inst, &b).assignment,
@@ -184,9 +190,7 @@ fn publications_never_exceed_total_budget_slots() {
 fn empty_and_degenerate_instances() {
     let params = RunParams::default();
     // Empty.
-    let empty = Instance::from_locations(vec![], vec![], |_, _| {
-        BudgetVector::new(vec![1.0])
-    });
+    let empty = Instance::from_locations(vec![], vec![], |_, _| BudgetVector::new(vec![1.0]));
     for m in Method::all() {
         let out = m.run(&empty, &params);
         assert!(out.assignment.is_empty(), "{m} on empty instance");
@@ -209,7 +213,14 @@ fn empty_and_degenerate_instances() {
         vec![Worker::new(Point::new(1.0, 0.0), 2.0)],
         |_, _| BudgetVector::new(vec![1.0]),
     );
-    for m in [Method::Puce, Method::Uce, Method::Grd, Method::Optimal, Method::Pgt, Method::Gt] {
+    for m in [
+        Method::Puce,
+        Method::Uce,
+        Method::Grd,
+        Method::Optimal,
+        Method::Pgt,
+        Method::Gt,
+    ] {
         let out = m.run(&unprofitable, &params);
         assert!(out.assignment.is_empty(), "{m} must skip unprofitable task");
     }
@@ -238,7 +249,11 @@ fn accounting_and_fallback_knobs_change_behaviour_but_stay_valid() {
     let inst = default_instance(40);
     for accounting in [ProposalAccounting::PerTask, ProposalAccounting::Cumulative] {
         for fallback in [CeaFallback::CrossRound, CeaFallback::WithinRound] {
-            let params = RunParams { accounting, fallback, ..RunParams::default() };
+            let params = RunParams {
+                accounting,
+                fallback,
+                ..RunParams::default()
+            };
             for m in [Method::Puce, Method::Pdce] {
                 let out = m.run(&inst, &params);
                 out.assignment.check_consistent();
@@ -259,8 +274,14 @@ fn cumulative_accounting_publishes_no_more_than_per_task() {
     let mut cumulative = 0usize;
     for seed in 50..55 {
         let inst = default_instance(seed);
-        let a = RunParams { accounting: ProposalAccounting::PerTask, ..RunParams::default() };
-        let b = RunParams { accounting: ProposalAccounting::Cumulative, ..RunParams::default() };
+        let a = RunParams {
+            accounting: ProposalAccounting::PerTask,
+            ..RunParams::default()
+        };
+        let b = RunParams {
+            accounting: ProposalAccounting::Cumulative,
+            ..RunParams::default()
+        };
         per_task += Method::Puce.run(&inst, &a).publications();
         cumulative += Method::Puce.run(&inst, &b).publications();
     }
@@ -299,9 +320,7 @@ fn grd_matches_hungarian_on_conflict_free_instances() {
     let workers: Vec<Worker> = (0..5)
         .map(|k| Worker::new(Point::new(10.0 * k as f64 + 0.3, 0.0), 1.0))
         .collect();
-    let inst = Instance::from_locations(tasks, workers, |_, _| {
-        BudgetVector::new(vec![1.0])
-    });
+    let inst = Instance::from_locations(tasks, workers, |_, _| BudgetVector::new(vec![1.0]));
     let params = RunParams::default();
     let grd = Method::Grd.run(&inst, &params);
     let opt = Method::Optimal.run(&inst, &params);

@@ -188,10 +188,18 @@ fn example_3_pgt_matches_paper_trace() {
     assert_eq!(out.moves.len(), 2, "moves: {:?}", out.moves);
     let m0 = out.moves[0];
     assert_eq!((m0.worker, m0.from, m0.to), (0, Some(0), 1));
-    assert!((m0.utility_change - 0.13).abs() < 1e-9, "UT(k+1) = {}", m0.utility_change);
+    assert!(
+        (m0.utility_change - 0.13).abs() < 1e-9,
+        "UT(k+1) = {}",
+        m0.utility_change
+    );
     let m1 = out.moves[1];
     assert_eq!((m1.worker, m1.from, m1.to), (1, None, 0));
-    assert!((m1.utility_change - 2.45).abs() < 1e-9, "UT(k+2) = {}", m1.utility_change);
+    assert!(
+        (m1.utility_change - 2.45).abs() < 1e-9,
+        "UT(k+2) = {}",
+        m1.utility_change
+    );
 
     // Theorem VI.1: the potential increased by exactly UT each move
     // (asserted inside the engine because track_potential is on), and is
@@ -235,7 +243,10 @@ fn example_3_pgt_cold_start_converges() {
     out.assignment.check_consistent();
     let potentials: Vec<f64> = out.moves.iter().map(|m| m.potential.unwrap()).collect();
     for w in potentials.windows(2) {
-        assert!(w[1] > w[0], "potential must strictly increase: {potentials:?}");
+        assert!(
+            w[1] > w[0],
+            "potential must strictly increase: {potentials:?}"
+        );
     }
     for m in &out.moves {
         assert!(m.utility_change > 0.0);
@@ -254,7 +265,19 @@ fn example_instance_ldp_matches_theorem_v2() {
     let cfg = Method::Puce.engine_config(&RunParams::default());
     let out = ce::run(&inst, &cfg, &noise);
     let bounds = out.board.verify_privacy_bounds(&inst);
-    assert!((bounds[0] - 15.0 * (0.1 + 6.99)).abs() < 1e-9, "w1: {}", bounds[0]);
-    assert!((bounds[1] - 15.0 * (4.6 + 0.1 + 0.1)).abs() < 1e-9, "w2: {}", bounds[1]);
-    assert!((bounds[2] - 10.0 * (0.1 + 5.4)).abs() < 1e-9, "w3: {}", bounds[2]);
+    assert!(
+        (bounds[0] - 15.0 * (0.1 + 6.99)).abs() < 1e-9,
+        "w1: {}",
+        bounds[0]
+    );
+    assert!(
+        (bounds[1] - 15.0 * (4.6 + 0.1 + 0.1)).abs() < 1e-9,
+        "w2: {}",
+        bounds[1]
+    );
+    assert!(
+        (bounds[2] - 10.0 * (0.1 + 5.4)).abs() < 1e-9,
+        "w3: {}",
+        bounds[2]
+    );
 }

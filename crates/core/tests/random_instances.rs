@@ -151,10 +151,20 @@ fn obfuscated_optimal_is_dominated_by_true_optimal() {
             use rand::{rngs::StdRng, Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(rng_seed);
             let tasks: Vec<Task> = (0..25)
-                .map(|_| Task::new(Point::new(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)), 4.5))
+                .map(|_| {
+                    Task::new(
+                        Point::new(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)),
+                        4.5,
+                    )
+                })
                 .collect();
             let workers: Vec<Worker> = (0..50)
-                .map(|_| Worker::new(Point::new(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)), 1.8))
+                .map(|_| {
+                    Worker::new(
+                        Point::new(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)),
+                        1.8,
+                    )
+                })
                 .collect();
             let mut brng = StdRng::seed_from_u64(rng_seed ^ 0xAA);
             Instance::from_locations(tasks, workers, |_, _| {
@@ -162,10 +172,16 @@ fn obfuscated_optimal_is_dominated_by_true_optimal() {
             })
         };
         let params = RunParams::default();
-        popt_total += measure(&inst, &Method::ObfuscatedOptimal.run(&inst, &params), 1.0, 1.0, true)
-            .total_utility;
-        opt_total += measure(&inst, &Method::Optimal.run(&inst, &params), 1.0, 1.0, false)
-            .total_utility;
+        popt_total += measure(
+            &inst,
+            &Method::ObfuscatedOptimal.run(&inst, &params),
+            1.0,
+            1.0,
+            true,
+        )
+        .total_utility;
+        opt_total +=
+            measure(&inst, &Method::Optimal.run(&inst, &params), 1.0, 1.0, false).total_utility;
     }
     assert!(
         popt_total < opt_total,
@@ -178,14 +194,22 @@ fn geoi_charges_exactly_one_location_release_per_active_worker() {
     use rand::{rngs::StdRng, Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(5);
     let tasks: Vec<Task> = (0..20)
-        .map(|_| Task::new(Point::new(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)), 4.5))
+        .map(|_| {
+            Task::new(
+                Point::new(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)),
+                4.5,
+            )
+        })
         .collect();
     let workers: Vec<Worker> = (0..30)
-        .map(|_| Worker::new(Point::new(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)), 2.0))
+        .map(|_| {
+            Worker::new(
+                Point::new(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)),
+                2.0,
+            )
+        })
         .collect();
-    let inst = Instance::from_locations(tasks, workers, |_, _| {
-        BudgetVector::new(vec![0.8, 1.0])
-    });
+    let inst = Instance::from_locations(tasks, workers, |_, _| BudgetVector::new(vec![0.8, 1.0]));
     let out = Method::GeoI.run(&inst, &RunParams::default());
     for j in 0..inst.n_workers() {
         let expected = usize::from(!inst.reach(j).is_empty());

@@ -1,0 +1,193 @@
+//! Golden parity: for a fixed seed, every [`Method`] run through the
+//! [`AssignmentEngine`] trait dispatch (`Method::run` →
+//! `engine::build` → boxed trait object) must produce a bit-identical
+//! outcome to a direct, concretely-typed engine call. This pins the
+//! refactor invariant that the registry layer adds dispatch only — no
+//! behaviour.
+
+use dpta_core::config::RunParams;
+use dpta_core::engine::{baseline, ce, game, location, AssignmentEngine};
+use dpta_core::metrics::measure;
+use dpta_core::{Board, Instance, Method, RunOutcome, Task, Worker};
+use dpta_dp::{BudgetVector, SeededNoise};
+use dpta_spatial::Point;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A mid-sized random instance exercising every engine code path:
+/// conflicts, budget exhaustion, unreachable workers.
+fn golden_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..30)
+        .map(|_| {
+            Task::new(
+                Point::new(rng.gen_range(0.0..9.0), rng.gen_range(0.0..9.0)),
+                rng.gen_range(2.0..6.0),
+            )
+        })
+        .collect();
+    let workers: Vec<Worker> = (0..60)
+        .map(|_| {
+            Worker::new(
+                Point::new(rng.gen_range(0.0..9.0), rng.gen_range(0.0..9.0)),
+                rng.gen_range(0.8..2.2),
+            )
+        })
+        .collect();
+    let mut brng = StdRng::seed_from_u64(seed ^ 0xB00C);
+    Instance::from_locations(tasks, workers, |_, _| {
+        BudgetVector::new((0..7).map(|_| brng.gen_range(0.5..1.75)).collect())
+    })
+}
+
+/// Runs `method` by constructing its engine family concretely — no
+/// `Method::engine` / `engine::build` involved.
+fn direct_run(method: Method, inst: &Instance, params: &RunParams) -> RunOutcome {
+    let cfg = method.engine_config(params);
+    let noise = SeededNoise::new(params.seed);
+    match method {
+        Method::Puce
+        | Method::PuceNppcf
+        | Method::Pdce
+        | Method::PdceNppcf
+        | Method::Uce
+        | Method::Dce => ce::CeEngine::from_config(cfg).run(inst, &noise),
+        Method::Pgt | Method::Gt => game::GameEngine::from_config(cfg).run(inst, &noise),
+        Method::Grd => baseline::GreedyEngine::from_config(cfg).run(inst, &noise),
+        Method::Optimal => baseline::HungarianEngine::from_config(cfg).run(inst, &noise),
+        Method::GeoI => location::GeoIEngine::from_config(cfg).run(inst, &noise),
+        Method::ObfuscatedOptimal => {
+            baseline::ObfuscatedOptimalEngine::from_config(cfg).run(inst, &noise)
+        }
+    }
+}
+
+/// Bit-identical comparison of two outcomes over `inst`, including the
+/// derived Section VII-C measures (exact f64 equality — the runs must
+/// replay the same noise draws in the same order).
+fn assert_outcomes_identical(
+    label: &str,
+    inst: &Instance,
+    a: &RunOutcome,
+    b: &RunOutcome,
+    private: bool,
+) {
+    assert_eq!(a.assignment, b.assignment, "{label}: assignment differs");
+    assert_eq!(a.rounds, b.rounds, "{label}: round count differs");
+    assert_eq!(a.moves, b.moves, "{label}: move trace differs");
+    assert_eq!(
+        a.publications(),
+        b.publications(),
+        "{label}: publication count differs"
+    );
+    for j in 0..inst.n_workers() {
+        assert_eq!(
+            a.board.spent_total(j),
+            b.board.spent_total(j),
+            "{label}: worker {j} budget spend differs"
+        );
+    }
+    for j in 0..inst.n_workers() {
+        for &i in inst.reach(j) {
+            assert_eq!(
+                a.board.effective(i, j),
+                b.board.effective(i, j),
+                "{label}: effective pair ({i},{j}) differs"
+            );
+        }
+    }
+    let ma = measure(inst, a, 1.0, 1.0, private);
+    let mb = measure(inst, b, 1.0, 1.0, private);
+    assert_eq!(ma, mb, "{label}: measures differ");
+}
+
+#[test]
+fn trait_dispatch_matches_direct_engine_calls_for_every_method() {
+    let inst = golden_instance(0xD0_17A);
+    for seed in [7u64, 42, 1234] {
+        let params = RunParams::with_seed(seed);
+        for method in Method::all() {
+            let via_trait = method.run(&inst, &params);
+            let direct = direct_run(method, &inst, &params);
+            assert_outcomes_identical(
+                &format!("{method} (seed {seed})"),
+                &inst,
+                &via_trait,
+                &direct,
+                method.is_private(),
+            );
+        }
+    }
+}
+
+#[test]
+fn boxed_engine_reuse_matches_fresh_dispatch() {
+    // The experiment runner resolves one boxed engine and reuses it
+    // across batches and seeds; reuse must not leak state between runs.
+    let inst = golden_instance(0xBEEF);
+    let params = RunParams::with_seed(9);
+    for method in Method::all() {
+        let engine = method.engine(&params);
+        let noise = SeededNoise::new(params.seed);
+        let first = engine.run(&inst, &noise);
+        let second = engine.run(&inst, &noise);
+        assert_outcomes_identical(
+            &format!("{method} reuse"),
+            &inst,
+            &first,
+            &second,
+            method.is_private(),
+        );
+        let fresh = method.run(&inst, &params);
+        assert_outcomes_identical(
+            &format!("{method} fresh-vs-reused"),
+            &inst,
+            &fresh,
+            &first,
+            method.is_private(),
+        );
+    }
+}
+
+#[test]
+fn assign_snapshot_equals_run_for_warm_startable_engines() {
+    // `assign` drives a caller-owned board in place and snapshots it
+    // into the outcome; both views must agree with `run`.
+    let inst = golden_instance(0xCAFE);
+    let params = RunParams::with_seed(3);
+    for method in [
+        Method::Puce,
+        Method::Pdce,
+        Method::Pgt,
+        Method::Uce,
+        Method::Gt,
+    ] {
+        let engine = method.engine(&params);
+        assert!(engine.supports_warm_start(), "{method}");
+        let noise = SeededNoise::new(params.seed);
+        let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+        let via_assign = engine.assign(&inst, &mut board, &noise);
+        let via_run = engine.run(&inst, &noise);
+        assert_outcomes_identical(
+            &format!("{method} assign-vs-run"),
+            &inst,
+            &via_assign,
+            &via_run,
+            method.is_private(),
+        );
+        // The in-place board and the snapshot agree.
+        assert_eq!(board.assignment(), via_assign.assignment);
+        assert_eq!(board.publications(), via_assign.board.publications());
+    }
+}
+
+#[test]
+#[should_panic(expected = "one-shot engine")]
+fn one_shot_engines_reject_warm_boards() {
+    let inst = golden_instance(0xF00D);
+    let params = RunParams::default();
+    let engine = Method::Grd.engine(&params);
+    let noise = SeededNoise::new(params.seed);
+    let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+    board.publish(0, 0, 1.0, 0.5); // simulate a carried-over release
+    let _ = engine.assign(&inst, &mut board, &noise);
+}

@@ -40,7 +40,11 @@ fn utility_and_distance_objectives_can_disagree() {
     // DCE pairs everyone at their nearest (both tasks matched);
     // UCE also matches both, but must give t0 its nearest worker first —
     // and crucially it must never leave the valuable t0 unmatched.
-    assert_eq!(uce.assignment.worker_of(0), Some(0), "valuable task takes w0");
+    assert_eq!(
+        uce.assignment.worker_of(0),
+        Some(0),
+        "valuable task takes w0"
+    );
     assert_eq!(dce.assignment.worker_of(0), Some(0));
     // The low-value task t1: UCE only matches it if utility stays
     // positive (1.5 − 1.0 > 0: yes).
@@ -104,7 +108,11 @@ fn warm_started_ce_respects_existing_winners() {
     let noise = ScriptedNoise::new();
     let cfg = Method::Puce.engine_config(&RunParams::default());
     let out = ce::run_from(&inst, &cfg, &noise, board);
-    assert_eq!(out.assignment.worker_of(0), Some(0), "incumbent must survive");
+    assert_eq!(
+        out.assignment.worker_of(0),
+        Some(0),
+        "incumbent must survive"
+    );
     // The challenger w1 (distance 3 > 1) may have probed but cannot win.
 }
 
@@ -132,10 +140,7 @@ fn pgt_prefers_the_high_value_task() {
     // valuable one.
     let dist = DistanceMatrix::from_rows(&[&[1.0], &[1.0]]);
     let inst = Instance::from_distance_matrix(
-        vec![
-            Task::new(Point::ORIGIN, 9.0),
-            Task::new(Point::ORIGIN, 2.0),
-        ],
+        vec![Task::new(Point::ORIGIN, 9.0), Task::new(Point::ORIGIN, 2.0)],
         vec![Worker::new(Point::ORIGIN, 5.0)],
         dist,
         |_, _| BudgetVector::new(vec![0.2]),

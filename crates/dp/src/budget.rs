@@ -101,7 +101,9 @@ impl BudgetState {
 
     /// The state as the paper's explicit 0/1 vector (for reports/tests).
     pub fn as_bits(&self, budgets: &BudgetVector) -> Vec<u8> {
-        (0..budgets.len()).map(|u| u8::from(u < self.used)).collect()
+        (0..budgets.len())
+            .map(|u| u8::from(u < self.used))
+            .collect()
     }
 }
 

@@ -51,8 +51,7 @@ impl LaplaceDiff {
             0.25 * e * (1.0 + e * a) * (-e * a).exp()
         } else {
             let (ex, ey) = (self.eps_x, self.eps_y);
-            ex * ey * (ex * (-ey * a).exp() - ey * (-ex * a).exp())
-                / (2.0 * (ex * ex - ey * ey))
+            ex * ey * (ex * (-ey * a).exp() - ey * (-ex * a).exp()) / (2.0 * (ex * ex - ey * ey))
         }
     }
 
@@ -66,8 +65,7 @@ impl LaplaceDiff {
             (-e * z).exp() * (2.0 + e * z) / 4.0
         } else {
             let (ex, ey) = (self.eps_x, self.eps_y);
-            (ex * ex * (-ey * z).exp() - ey * ey * (-ex * z).exp())
-                / (2.0 * (ex * ex - ey * ey))
+            (ex * ex * (-ey * z).exp() - ey * ey * (-ex * z).exp()) / (2.0 * (ex * ex - ey * ey))
         }
     }
 
@@ -162,7 +160,11 @@ mod tests {
                 }
             }
             let mc = hits as f64 / n as f64;
-            assert!((d.sf(z) - mc).abs() < 5e-3, "z={z}: closed={} mc={mc}", d.sf(z));
+            assert!(
+                (d.sf(z) - mc).abs() < 5e-3,
+                "z={z}: closed={} mc={mc}",
+                d.sf(z)
+            );
         }
     }
 

@@ -70,7 +70,9 @@ pub struct PlanarLaplace {
 impl PlanarLaplace {
     /// Creates the mechanism; `ε` must be finite and positive.
     pub fn new(epsilon: f64) -> Self {
-        PlanarLaplace { epsilon: validate_epsilon(epsilon) }
+        PlanarLaplace {
+            epsilon: validate_epsilon(epsilon),
+        }
     }
 
     /// The privacy level.
@@ -90,7 +92,10 @@ impl PlanarLaplace {
     /// Inverse radial CDF via `W_{−1}` (Andrés et al., Eq. for
     /// `C_ε^{-1}`). `p` must lie in `[0, 1)`.
     pub fn radial_quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "probability must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "probability must be in [0,1), got {p}"
+        );
         if p == 0.0 {
             return 0.0;
         }

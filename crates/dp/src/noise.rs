@@ -101,7 +101,10 @@ impl ScriptedNoise {
 
 impl NoiseSource for ScriptedNoise {
     fn noise(&self, task: u32, worker: u32, slot: u32, _epsilon: f64) -> f64 {
-        self.table.get(&(task, worker, slot)).copied().unwrap_or(0.0)
+        self.table
+            .get(&(task, worker, slot))
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 

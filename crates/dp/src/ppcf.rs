@@ -1,6 +1,6 @@
 //! PPCF — the paper's Partial Probability Compare Function (Section V-A).
 
-use crate::{Laplace, validate_epsilon};
+use crate::{validate_epsilon, Laplace};
 
 /// `PPCF(d_i, d̂_j, ε_j) = Pr[d_i < d_j]` where `d_i` is a *real* value
 /// known to the comparer and `d̂_j = d_j + Lap(0, 1/ε_j)` is an

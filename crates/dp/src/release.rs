@@ -100,7 +100,10 @@ impl ReleaseSet {
     fn mle(releases: &[Release]) -> EffectivePair {
         debug_assert!(!releases.is_empty());
         let objective = |d: f64| -> f64 {
-            releases.iter().map(|r| r.epsilon * (r.value - d).abs()).sum()
+            releases
+                .iter()
+                .map(|r| r.epsilon * (r.value - d).abs())
+                .sum()
         };
         let mut best: Option<(f64, usize)> = None; // (objective, index)
         for (idx, cand) in releases.iter().enumerate() {
@@ -151,11 +154,20 @@ mod tests {
         // Releases (12.7,0.1), (12.4,0.3), (12.3,0.4): effective pair after
         // each release per Table IV is (12.7,0.1), (12.4,0.3), (12.3,0.4).
         let mut s = ReleaseSet::new();
-        s.push(Release { value: 12.7, epsilon: 0.1 });
+        s.push(Release {
+            value: 12.7,
+            epsilon: 0.1,
+        });
         assert_eq!(s.effective().unwrap().distance, 12.7);
-        s.push(Release { value: 12.4, epsilon: 0.3 });
+        s.push(Release {
+            value: 12.4,
+            epsilon: 0.3,
+        });
         assert_eq!(s.effective().unwrap().distance, 12.4);
-        s.push(Release { value: 12.3, epsilon: 0.4 });
+        s.push(Release {
+            value: 12.3,
+            epsilon: 0.4,
+        });
         // Objective ties between 12.4 and 12.3 (both 0.07); the larger-ε
         // tie-break selects the paper's (12.3, 0.4).
         let e = s.effective().unwrap();
@@ -194,7 +206,10 @@ mod tests {
     #[should_panic(expected = "privacy budget must be finite")]
     fn zero_budget_release_panics() {
         let mut s = ReleaseSet::new();
-        s.push(Release { value: 1.0, epsilon: 0.0 });
+        s.push(Release {
+            value: 1.0,
+            epsilon: 0.0,
+        });
     }
 
     proptest! {

@@ -39,9 +39,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut next = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--figure" | "-f" => args.figures.push(next("--figure")?),
             "--all" => args.all = true,

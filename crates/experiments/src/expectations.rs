@@ -26,12 +26,20 @@ pub struct Claim {
 
 impl Claim {
     fn new(id: &str, description: &str, holds: bool, detail: String) -> Self {
-        Claim { id: id.to_string(), description: description.to_string(), holds, detail }
+        Claim {
+            id: id.to_string(),
+            description: description.to_string(),
+            holds,
+            detail,
+        }
     }
 }
 
 fn series(points: &[SweepPoint], method: Method, mk: MeasureKind) -> Vec<f64> {
-    points.iter().map(|p| measure_value(p, method, mk)).collect()
+    points
+        .iter()
+        .map(|p| measure_value(p, method, mk))
+        .collect()
 }
 
 fn mean(v: &[f64]) -> f64 {
@@ -49,8 +57,7 @@ pub fn check(spec: &FigureSpec, fig: &FigureOutput) -> Vec<Claim> {
     let mut claims = Vec::new();
     for (dataset, points) in &fig.sweeps {
         let ds = dataset.name();
-        if let (Sweep::WorkerRatio, Some(MeasureKind::TimeMs)) =
-            (spec.sweep, spec.measures.first())
+        if let (Sweep::WorkerRatio, Some(MeasureKind::TimeMs)) = (spec.sweep, spec.measures.first())
         {
             {
                 let pgt = series(points, Method::Pgt, MeasureKind::TimeMs);
@@ -63,7 +70,10 @@ pub fn check(spec: &FigureSpec, fig: &FigureOutput) -> Vec<Claim> {
                     match band {
                         Some((lo, _, hi)) => format!(
                             "PGT {:.0}–{:.0}% cheaper (paper: 50–63%); means {:.2} vs {:.2} ms",
-                            lo * 100.0, hi * 100.0, mean(&pgt), mean(&pdce)
+                            lo * 100.0,
+                            hi * 100.0,
+                            mean(&pgt),
+                            mean(&pdce)
                         ),
                         None => "no positive PDCE timings".to_string(),
                     },
@@ -72,7 +82,11 @@ pub fn check(spec: &FigureSpec, fig: &FigureOutput) -> Vec<Claim> {
                     &format!("{}-{ds}-time-grows-with-ratio", fig.id),
                     "time cost increases with the worker ratio (Sec. VII-D.1)",
                     pdce.last() > pdce.first(),
-                    format!("PDCE time {:.1} ms -> {:.1} ms", pdce[0], pdce[pdce.len() - 1]),
+                    format!(
+                        "PDCE time {:.1} ms -> {:.1} ms",
+                        pdce[0],
+                        pdce[pdce.len() - 1]
+                    ),
                 ));
             }
         }
@@ -88,8 +102,7 @@ pub fn check(spec: &FigureSpec, fig: &FigureOutput) -> Vec<Claim> {
                         // clears the privacy cost and matches almost
                         // nothing, so the trend is asserted from the
                         // second point on, plus overall growth.
-                        let tail_monotone =
-                            s[1..].windows(2).all(|w| w[1] >= w[0] - 0.05);
+                        let tail_monotone = s[1..].windows(2).all(|w| w[1] >= w[0] - 0.05);
                         let grows = s[s.len() - 1] > s[0];
                         claims.push(Claim::new(
                             &format!("{}-{ds}-{}-utility-grows-with-value", fig.id, m.name()),

@@ -118,29 +118,183 @@ const DISTANCE: &[MeasureKind] = &[AvgDistance, RdDistance];
 /// Every experiment of the evaluation section and appendix D.
 pub fn registry() -> Vec<FigureSpec> {
     vec![
-        FigureSpec { id: "fig04", caption: "impact of the worker ratio on the time cost", datasets: &[Chengdu, Normal], sweep: Sweep::WorkerRatio, measures: &[TimeMs], methods: MethodSet::Main },
-        FigureSpec { id: "fig05", caption: "impact of the task value on the utility (chengdu)", datasets: &[Chengdu], sweep: Sweep::TaskValue, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig06", caption: "impact of the task value on the utility (normal)", datasets: &[Normal], sweep: Sweep::TaskValue, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig07", caption: "impact of the worker range on the utility (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRange, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig08", caption: "impact of the worker range on the utility (normal)", datasets: &[Normal], sweep: Sweep::WorkerRange, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig09", caption: "impact of the worker ratio on the utility (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRatio, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig10", caption: "impact of the worker ratio on the utility (normal)", datasets: &[Normal], sweep: Sweep::WorkerRatio, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig11", caption: "impact of the task value on the distance (chengdu)", datasets: &[Chengdu], sweep: Sweep::TaskValue, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig12", caption: "impact of the task value on the distance (normal)", datasets: &[Normal], sweep: Sweep::TaskValue, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig13", caption: "impact of the worker range on the distance (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRange, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig14", caption: "impact of the worker range on the distance (normal)", datasets: &[Normal], sweep: Sweep::WorkerRange, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig15", caption: "impact of the worker ratio on the distance (chengdu)", datasets: &[Chengdu], sweep: Sweep::WorkerRatio, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig16", caption: "impact of the worker ratio on the distance (normal)", datasets: &[Normal], sweep: Sweep::WorkerRatio, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig17", caption: "impact of privacy on the utility (PPCF vs non-PPCF)", datasets: &[Chengdu, Normal], sweep: Sweep::PrivacyBudget, measures: &[AvgUtility], methods: MethodSet::PpcfAblation },
+        FigureSpec {
+            id: "fig04",
+            caption: "impact of the worker ratio on the time cost",
+            datasets: &[Chengdu, Normal],
+            sweep: Sweep::WorkerRatio,
+            measures: &[TimeMs],
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig05",
+            caption: "impact of the task value on the utility (chengdu)",
+            datasets: &[Chengdu],
+            sweep: Sweep::TaskValue,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig06",
+            caption: "impact of the task value on the utility (normal)",
+            datasets: &[Normal],
+            sweep: Sweep::TaskValue,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig07",
+            caption: "impact of the worker range on the utility (chengdu)",
+            datasets: &[Chengdu],
+            sweep: Sweep::WorkerRange,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig08",
+            caption: "impact of the worker range on the utility (normal)",
+            datasets: &[Normal],
+            sweep: Sweep::WorkerRange,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig09",
+            caption: "impact of the worker ratio on the utility (chengdu)",
+            datasets: &[Chengdu],
+            sweep: Sweep::WorkerRatio,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig10",
+            caption: "impact of the worker ratio on the utility (normal)",
+            datasets: &[Normal],
+            sweep: Sweep::WorkerRatio,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig11",
+            caption: "impact of the task value on the distance (chengdu)",
+            datasets: &[Chengdu],
+            sweep: Sweep::TaskValue,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig12",
+            caption: "impact of the task value on the distance (normal)",
+            datasets: &[Normal],
+            sweep: Sweep::TaskValue,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig13",
+            caption: "impact of the worker range on the distance (chengdu)",
+            datasets: &[Chengdu],
+            sweep: Sweep::WorkerRange,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig14",
+            caption: "impact of the worker range on the distance (normal)",
+            datasets: &[Normal],
+            sweep: Sweep::WorkerRange,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig15",
+            caption: "impact of the worker ratio on the distance (chengdu)",
+            datasets: &[Chengdu],
+            sweep: Sweep::WorkerRatio,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig16",
+            caption: "impact of the worker ratio on the distance (normal)",
+            datasets: &[Normal],
+            sweep: Sweep::WorkerRatio,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig17",
+            caption: "impact of privacy on the utility (PPCF vs non-PPCF)",
+            datasets: &[Chengdu, Normal],
+            sweep: Sweep::PrivacyBudget,
+            measures: &[AvgUtility],
+            methods: MethodSet::PpcfAblation,
+        },
         // Appendix D (uniform data set).
-        FigureSpec { id: "fig18", caption: "worker ratio vs time cost (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRatio, measures: &[TimeMs], methods: MethodSet::Main },
-        FigureSpec { id: "fig19", caption: "task value vs utility (uniform)", datasets: &[Uniform], sweep: Sweep::TaskValue, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig20", caption: "worker range vs utility (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRange, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig21", caption: "worker ratio vs utility (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRatio, measures: UTILITY, methods: MethodSet::Main },
-        FigureSpec { id: "fig22", caption: "task value vs distance (uniform)", datasets: &[Uniform], sweep: Sweep::TaskValue, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig23", caption: "worker range vs distance (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRange, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig24", caption: "worker ratio vs distance (uniform)", datasets: &[Uniform], sweep: Sweep::WorkerRatio, measures: DISTANCE, methods: MethodSet::Main },
-        FigureSpec { id: "fig25", caption: "privacy vs utility, PPCF ablation (uniform)", datasets: &[Uniform], sweep: Sweep::PrivacyBudget, measures: &[AvgUtility], methods: MethodSet::PpcfAblation },
+        FigureSpec {
+            id: "fig18",
+            caption: "worker ratio vs time cost (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::WorkerRatio,
+            measures: &[TimeMs],
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig19",
+            caption: "task value vs utility (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::TaskValue,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig20",
+            caption: "worker range vs utility (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::WorkerRange,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig21",
+            caption: "worker ratio vs utility (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::WorkerRatio,
+            measures: UTILITY,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig22",
+            caption: "task value vs distance (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::TaskValue,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig23",
+            caption: "worker range vs distance (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::WorkerRange,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig24",
+            caption: "worker ratio vs distance (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::WorkerRatio,
+            measures: DISTANCE,
+            methods: MethodSet::Main,
+        },
+        FigureSpec {
+            id: "fig25",
+            caption: "privacy vs utility, PPCF ablation (uniform)",
+            datasets: &[Uniform],
+            sweep: Sweep::PrivacyBudget,
+            measures: &[AvgUtility],
+            methods: MethodSet::PpcfAblation,
+        },
     ]
 }
 

@@ -2,10 +2,9 @@
 //! timing each method and aggregating the Section VII-C measures.
 
 use crate::figures::{FigureSpec, MeasureKind, Sweep};
-use dpta_core::metrics::{
-    measure, relative_deviation_distance, relative_deviation_utility,
-};
-use dpta_core::{Instance, Measures, Method, RunParams};
+use dpta_core::metrics::{measure, relative_deviation_distance, relative_deviation_utility};
+use dpta_core::{AssignmentEngine, Instance, Measures, Method, RunParams};
+use dpta_dp::SeededNoise;
 use dpta_workloads::{Dataset, Scenario};
 use serde::Serialize;
 use std::time::{Duration, Instant};
@@ -25,7 +24,7 @@ pub struct RunOptions {
     /// `n_seeds` independent noise draws (the data set stays fixed) and
     /// timings averaged, shrinking DP-noise variance in the series.
     pub n_seeds: usize,
-    /// Run batches on worker threads (crossbeam scoped threads).
+    /// Run batches on worker threads (std scoped threads).
     pub parallel: bool,
 }
 
@@ -49,7 +48,7 @@ impl RunOptions {
 }
 
 /// One method's aggregate over a scenario's batches.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodResult {
     /// The method.
     pub method: Method,
@@ -57,16 +56,23 @@ pub struct MethodResult {
     pub measures: Measures,
     /// Total algorithm wall time across batches (instance generation
     /// excluded) — the Figure 4 measure.
-    #[serde(with = "duration_ms")]
     pub elapsed: Duration,
 }
 
-mod duration_ms {
-    use serde::Serializer;
-    use std::time::Duration;
-
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_f64(d.as_secs_f64() * 1e3)
+/// Manual impl so the export unit for `elapsed` (fractional
+/// milliseconds, under the `elapsed_ms` key) is chosen here at the use
+/// site rather than by whatever a serde implementation does with
+/// `Duration`.
+impl serde::Serialize for MethodResult {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("method".to_string(), self.method.serialize_value()),
+            ("measures".to_string(), self.measures.serialize_value()),
+            (
+                "elapsed_ms".to_string(),
+                serde::Value::Number(self.elapsed.as_secs_f64() * 1e3),
+            ),
+        ])
     }
 }
 
@@ -147,31 +153,41 @@ pub fn run_scenario(
 
 fn run_method(batches: &[Instance], method: Method, opts: &RunOptions) -> MethodResult {
     let n_seeds = opts.n_seeds.max(1);
-    let jobs: Vec<RunParams> = (0..n_seeds as u64)
-        .map(|s| RunParams {
-            seed: opts.params.seed.wrapping_add(s.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            ..opts.params
+    // Resolve the engine once; only the noise seed varies per
+    // replication, and engines are immutable `Send + Sync` config
+    // holders, so one boxed engine serves every parallel batch worker.
+    let engine = method.engine(&opts.params);
+    let engine = engine.as_ref();
+    let seeds: Vec<u64> = (0..n_seeds as u64)
+        .map(|s| {
+            opts.params
+                .seed
+                .wrapping_add(s.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         })
         .collect();
 
     let mut measures = Measures::zero();
     let mut elapsed = Duration::ZERO;
-    for params in &jobs {
+    for &seed in &seeds {
+        let params = RunParams {
+            seed,
+            ..opts.params
+        };
         let per_batch: Vec<(Measures, Duration)> = if opts.parallel && batches.len() > 1 {
             let mut slots: Vec<Option<(Measures, Duration)>> = vec![None; batches.len()];
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (inst, slot) in batches.iter().zip(slots.iter_mut()) {
-                    s.spawn(move |_| {
-                        *slot = Some(run_batch(inst, method, params));
+                    let params = &params;
+                    s.spawn(move || {
+                        *slot = Some(run_batch(inst, engine, params));
                     });
                 }
-            })
-            .expect("batch worker panicked");
+            });
             slots.into_iter().map(|s| s.expect("batch ran")).collect()
         } else {
             batches
                 .iter()
-                .map(|inst| run_batch(inst, method, params))
+                .map(|inst| run_batch(inst, engine, &params))
                 .collect()
         };
         for (m, d) in per_batch {
@@ -181,14 +197,29 @@ fn run_method(batches: &[Instance], method: Method, opts: &RunOptions) -> Method
     }
     // Report the per-replication timing so Figure 4 stays comparable
     // whatever `n_seeds` is.
-    MethodResult { method, measures, elapsed: elapsed / n_seeds as u32 }
+    MethodResult {
+        method,
+        measures,
+        elapsed: elapsed / n_seeds as u32,
+    }
 }
 
-fn run_batch(inst: &Instance, method: Method, params: &RunParams) -> (Measures, Duration) {
+fn run_batch(
+    inst: &Instance,
+    engine: &dyn AssignmentEngine,
+    params: &RunParams,
+) -> (Measures, Duration) {
+    let noise = SeededNoise::new(params.seed);
     let start = Instant::now();
-    let outcome = method.run(inst, params);
+    let outcome = engine.run(inst, &noise);
     let elapsed = start.elapsed();
-    let m = measure(inst, &outcome, params.alpha, params.beta, method.is_private());
+    let m = measure(
+        inst,
+        &outcome,
+        params.alpha,
+        params.beta,
+        engine.accounts_privacy(),
+    );
     (m, elapsed)
 }
 
@@ -203,7 +234,10 @@ pub fn run_figure(spec: &FigureSpec, opts: &RunOptions) -> FigureOutput {
             .iter()
             .map(|&x| {
                 let sc = scenario_for(spec, dataset, x, opts);
-                SweepPoint { x, results: run_scenario(&sc, &methods, opts) }
+                SweepPoint {
+                    x,
+                    results: run_scenario(&sc, &methods, opts),
+                }
             })
             .collect();
         sweeps.push((dataset, points));
@@ -277,9 +311,7 @@ pub fn measure_value(point: &SweepPoint, method: Method, mk: MeasureKind) -> f64
                 .result(np)
                 .unwrap_or_else(|| panic!("counterpart {np} missing from sweep"));
             match mk {
-                MeasureKind::RdUtility => {
-                    relative_deviation_utility(&np_res.measures, &r.measures)
-                }
+                MeasureKind::RdUtility => relative_deviation_utility(&np_res.measures, &r.measures),
                 _ => relative_deviation_distance(&np_res.measures, &r.measures),
             }
         }
@@ -339,7 +371,10 @@ mod tests {
         let three = run_scenario(
             &sc,
             &[Method::Puce],
-            &RunOptions { n_seeds: 3, ..tiny_opts() },
+            &RunOptions {
+                n_seeds: 3,
+                ..tiny_opts()
+            },
         );
         // Three replications merge roughly three times the matches; the
         // averaged measures stay on the same scale.
@@ -354,8 +389,22 @@ mod tests {
         let spec = find("fig05").unwrap();
         let sc = scenario_for(&spec, Dataset::Chengdu, 4.5, &tiny_opts());
         let methods = [Method::Puce, Method::Pgt];
-        let par = run_scenario(&sc, &methods, &RunOptions { parallel: true, ..tiny_opts() });
-        let seq = run_scenario(&sc, &methods, &RunOptions { parallel: false, ..tiny_opts() });
+        let par = run_scenario(
+            &sc,
+            &methods,
+            &RunOptions {
+                parallel: true,
+                ..tiny_opts()
+            },
+        );
+        let seq = run_scenario(
+            &sc,
+            &methods,
+            &RunOptions {
+                parallel: false,
+                ..tiny_opts()
+            },
+        );
         for (a, b) in par.iter().zip(&seq) {
             assert_eq!(a.method, b.method);
             assert_eq!(a.measures, b.measures);

@@ -97,7 +97,11 @@ fn fig07_output(pgt_flat: bool) -> FigureOutput {
         .map(|(k, &x)| {
             let k = k as f64;
             let puce = 3.0 - 0.5 * k;
-            let pgt = if pgt_flat { 2.9 - 0.1 * k } else { 3.5 - 0.8 * k };
+            let pgt = if pgt_flat {
+                2.9 - 0.1 * k
+            } else {
+                3.5 - 0.8 * k
+            };
             point(
                 x,
                 &[

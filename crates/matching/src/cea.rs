@@ -66,7 +66,10 @@ where
         let mut seen = vec![false; n_workers];
         for c in row {
             let w = worker_of(c);
-            assert!(w < n_workers, "row {i} references worker {w} >= {n_workers}");
+            assert!(
+                w < n_workers,
+                "row {i} references worker {w} >= {n_workers}"
+            );
             assert!(!seen[w], "row {i} lists worker {w} twice");
             seen[w] = true;
         }
@@ -142,7 +145,10 @@ where
         let mut demand: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for t in 0..m {
             if !done[t] {
-                demand.entry(worker_of(&rows[t][ptr[t]])).or_default().push(t);
+                demand
+                    .entry(worker_of(&rows[t][ptr[t]]))
+                    .or_default()
+                    .push(t);
             }
         }
         if demand.is_empty() {
@@ -167,7 +173,11 @@ where
         }
 
         for (w, ts) in conflicts {
-            let keep = tournament(&ts, |t| next_free(t, ptr[t] + 1, &taken).map(|p| &rows[t][p]), &prob_better);
+            let keep = tournament(
+                &ts,
+                |t| next_free(t, ptr[t] + 1, &taken).map(|p| &rows[t][p]),
+                &prob_better,
+            );
             resolved[keep] = Some(ptr[keep]);
             taken[w] = true;
             done[keep] = true;
@@ -235,7 +245,7 @@ mod tests {
 
     fn table_ii_rows() -> Vec<Vec<C>> {
         vec![
-            vec![C(0, 9.06), C(1, 9.85), C(2, 12.04)], // t1: w1 w2 w3
+            vec![C(0, 9.06), C(1, 9.85), C(2, 12.04)],  // t1: w1 w2 w3
             vec![C(2, 2.09), C(0, 10.44), C(1, 12.59)], // t2: w3 w1 w2
             vec![C(2, 2.00), C(1, 11.28), C(0, 18.87)], // t3: w3 w2 w1
         ]

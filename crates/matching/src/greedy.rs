@@ -48,7 +48,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn e(task: usize, worker: usize, weight: f64) -> Edge {
-        Edge { task, worker, weight }
+        Edge {
+            task,
+            worker,
+            weight,
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl Aabb {
     /// Creates a box from two corners; panics if the box is inverted or
     /// non-finite, which would silently corrupt grid-cell arithmetic.
     pub fn new(min: Point, max: Point) -> Self {
-        assert!(min.is_finite() && max.is_finite(), "Aabb corners must be finite");
+        assert!(
+            min.is_finite() && max.is_finite(),
+            "Aabb corners must be finite"
+        );
         assert!(
             min.x <= max.x && min.y <= max.y,
             "Aabb min must be <= max (got min={min:?}, max={max:?})"

@@ -27,7 +27,11 @@ impl DistanceMatrix {
                 data.push(t.distance(w));
             }
         }
-        DistanceMatrix { tasks, workers, data }
+        DistanceMatrix {
+            tasks,
+            workers,
+            data,
+        }
     }
 
     /// Builds a matrix from raw row-major values (used by tests that
@@ -44,11 +48,18 @@ impl DistanceMatrix {
                 row.len()
             );
             for &d in *row {
-                assert!(d.is_finite() && d >= 0.0, "distances must be finite and >= 0");
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "distances must be finite and >= 0"
+                );
                 data.push(d);
             }
         }
-        DistanceMatrix { tasks, workers, data }
+        DistanceMatrix {
+            tasks,
+            workers,
+            data,
+        }
     }
 
     /// Number of tasks (rows).
@@ -84,7 +95,11 @@ mod tests {
     #[test]
     fn compute_matches_pointwise() {
         let tasks = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
-        let workers = vec![Point::new(0.0, 3.0), Point::new(4.0, 0.0), Point::new(1.0, 0.0)];
+        let workers = vec![
+            Point::new(0.0, 3.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 0.0),
+        ];
         let m = DistanceMatrix::compute(&tasks, &workers);
         assert_eq!(m.tasks(), 2);
         assert_eq!(m.workers(), 3);

@@ -40,8 +40,8 @@ impl GridIndex {
         for (i, p) in points.iter().enumerate() {
             assert!(p.is_finite(), "point #{i} is not finite: {p:?}");
         }
-        let bounds = Aabb::bounding(points)
-            .unwrap_or_else(|| Aabb::new(Point::ORIGIN, Point::ORIGIN));
+        let bounds =
+            Aabb::bounding(points).unwrap_or_else(|| Aabb::new(Point::ORIGIN, Point::ORIGIN));
         // Grid dimensions, capped to keep memory proportional to the data.
         let max_cells_per_axis = ((points.len().max(1) as f64).sqrt() as usize * 4).max(1);
         let cols = ((bounds.width() / cell_size).ceil() as usize + 1).clamp(1, max_cells_per_axis);
@@ -194,15 +194,22 @@ mod tests {
     fn empty_index_returns_nothing() {
         let idx = GridIndex::build(&[], 1.0);
         assert!(idx.is_empty());
-        assert!(idx.query_circle(&Circle::new(Point::ORIGIN, 10.0)).is_empty());
+        assert!(idx
+            .query_circle(&Circle::new(Point::ORIGIN, 10.0))
+            .is_empty());
         assert_eq!(idx.nearest(&Point::ORIGIN), None);
     }
 
     #[test]
     fn single_point() {
         let idx = GridIndex::build(&[Point::new(5.0, 5.0)], 1.0);
-        assert_eq!(idx.query_circle(&Circle::new(Point::new(5.2, 5.0), 0.5)), vec![0]);
-        assert!(idx.query_circle(&Circle::new(Point::new(9.0, 9.0), 0.5)).is_empty());
+        assert_eq!(
+            idx.query_circle(&Circle::new(Point::new(5.2, 5.0), 0.5)),
+            vec![0]
+        );
+        assert!(idx
+            .query_circle(&Circle::new(Point::new(9.0, 9.0), 0.5))
+            .is_empty());
         assert_eq!(idx.nearest(&Point::ORIGIN), Some(0));
     }
 

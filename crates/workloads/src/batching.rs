@@ -79,9 +79,7 @@ mod tests {
         let total: usize = batches.iter().map(|b| b.len()).sum();
         assert_eq!(total, 2500);
         // Time windows: every order in batch k precedes batch k+1.
-        assert!(
-            batches[0].last().unwrap().release_time <= batches[1][0].release_time
-        );
+        assert!(batches[0].last().unwrap().release_time <= batches[1][0].release_time);
     }
 
     #[test]

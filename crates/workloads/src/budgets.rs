@@ -47,7 +47,12 @@ impl BudgetGen {
             "budget range must satisfy 0 < lo <= hi, got {range:?}"
         );
         assert!(group_size > 0, "budget group size must be positive");
-        BudgetGen { seed, batch: batch as u64, range, group_size }
+        BudgetGen {
+            seed,
+            batch: batch as u64,
+            range,
+            group_size,
+        }
     }
 
     /// The budget vector for pair (task, worker).
@@ -105,10 +110,7 @@ mod tests {
     fn draws_cover_the_range_roughly_uniformly() {
         let g = BudgetGen::new(1, 0, (0.5, 1.75), 1);
         let n = 20_000;
-        let mean: f64 = (0..n)
-            .map(|k| g.vector(k, 0).slot(0))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|k| g.vector(k, 0).slot(0)).sum::<f64>() / n as f64;
         assert!((mean - 1.125).abs() < 0.01, "mean {mean}");
     }
 

@@ -85,7 +85,12 @@ impl ChengduSim {
                 (c, sigma)
             })
             .collect();
-        ChengduSim { seed, hotspots, street_spacing: 2.5, street_share: 0.45 }
+        ChengduSim {
+            seed,
+            hotspots,
+            street_spacing: 2.5,
+            street_share: 0.45,
+        }
     }
 
     /// Generates `n` orders over a 24 h day, sorted by release time.
@@ -103,7 +108,12 @@ impl ChengduSim {
                     pickup.y + trip_km * theta.sin(),
                 ));
                 let passengers = 1 + (rng.gen_range(0.0f64..1.0).powi(3) * 3.0).round() as u8;
-                Order { release_time, pickup, dropoff, passengers }
+                Order {
+                    release_time,
+                    pickup,
+                    dropoff,
+                    passengers,
+                }
             })
             .collect();
         orders.sort_by(|a, b| a.release_time.partial_cmp(&b.release_time).unwrap());
@@ -122,7 +132,10 @@ impl ChengduSim {
                 } else {
                     uniform_in(&mut rng, &taxi_frame())
                 };
-                Taxi { location, capacity: 4 }
+                Taxi {
+                    location,
+                    capacity: 4,
+                }
             })
             .collect()
     }
@@ -153,12 +166,12 @@ impl ChengduSim {
             let raw = uniform_in(rng, &frame);
             let jitter = rng.gen_range(-0.06..0.06);
             if rng.gen_bool(0.5) {
-                let snapped =
-                    frame.min.x + ((raw.x - frame.min.x) / self.street_spacing).round() * self.street_spacing;
+                let snapped = frame.min.x
+                    + ((raw.x - frame.min.x) / self.street_spacing).round() * self.street_spacing;
                 Point::new(snapped + jitter, raw.y)
             } else {
-                let snapped =
-                    frame.min.y + ((raw.y - frame.min.y) / self.street_spacing).round() * self.street_spacing;
+                let snapped = frame.min.y
+                    + ((raw.y - frame.min.y) / self.street_spacing).round() * self.street_spacing;
                 Point::new(raw.x, snapped + jitter)
             }
         } else {
@@ -214,8 +227,14 @@ mod tests {
         let morning = in_window(7.0, 10.0);
         let evening = in_window(17.0, 20.0);
         let small_hours = in_window(1.0, 4.0);
-        assert!(morning > 2.0 * small_hours, "morning {morning} vs night {small_hours}");
-        assert!(evening > 2.0 * small_hours, "evening {evening} vs night {small_hours}");
+        assert!(
+            morning > 2.0 * small_hours,
+            "morning {morning} vs night {small_hours}"
+        );
+        assert!(
+            evening > 2.0 * small_hours,
+            "evening {evening} vs night {small_hours}"
+        );
     }
 
     #[test]

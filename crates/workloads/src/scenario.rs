@@ -109,12 +109,17 @@ impl Scenario {
     /// A scenario for `dataset` with every other knob at its Table X
     /// default.
     pub fn for_dataset(dataset: Dataset) -> Self {
-        Scenario { dataset, ..Scenario::default() }
+        Scenario {
+            dataset,
+            ..Scenario::default()
+        }
     }
 
     /// Workers per batch.
     pub fn workers_per_batch(&self) -> usize {
-        ((self.batch_size as f64) * self.worker_task_ratio).round().max(1.0) as usize
+        ((self.batch_size as f64) * self.worker_task_ratio)
+            .round()
+            .max(1.0) as usize
     }
 
     /// Generates the batches as ready-to-run instances.
@@ -179,10 +184,9 @@ impl Scenario {
                         uniform_points(seed, n_t),
                         uniform_points(seed ^ 0xFACE, n_w),
                     ),
-                    Dataset::Normal => (
-                        normal_points(seed, n_t),
-                        normal_points(seed ^ 0xFACE, n_w),
-                    ),
+                    Dataset::Normal => {
+                        (normal_points(seed, n_t), normal_points(seed ^ 0xFACE, n_w))
+                    }
                     Dataset::Chengdu => unreachable!(),
                 };
                 let base_value = match self.value_model {
@@ -204,12 +208,7 @@ impl Scenario {
     }
 
     fn instance(&self, batch: usize, tasks: Vec<Task>, workers: Vec<Worker>) -> Instance {
-        let gen = BudgetGen::new(
-            self.seed,
-            batch,
-            self.budget_range,
-            self.budget_group_size,
-        );
+        let gen = BudgetGen::new(self.seed, batch, self.budget_range, self.budget_group_size);
         Instance::from_locations(tasks, workers, |i, j| gen.vector(i, j))
     }
 }
@@ -257,7 +256,10 @@ mod tests {
 
     #[test]
     fn feasible_pairs_have_budget_vectors_of_group_size() {
-        let sc = Scenario { budget_group_size: 7, ..small(Dataset::Uniform) };
+        let sc = Scenario {
+            budget_group_size: 7,
+            ..small(Dataset::Uniform)
+        };
         let inst = &sc.batches()[0];
         let mut checked = 0;
         for j in 0..inst.n_workers() {
@@ -294,7 +296,10 @@ mod tests {
 
     #[test]
     fn worker_ratio_scales_worker_count() {
-        let sc = Scenario { worker_task_ratio: 1.5, ..small(Dataset::Uniform) };
+        let sc = Scenario {
+            worker_task_ratio: 1.5,
+            ..small(Dataset::Uniform)
+        };
         assert_eq!(sc.workers_per_batch(), 300);
         let inst = &sc.batches()[0];
         assert_eq!(inst.n_workers(), 300);
@@ -303,7 +308,10 @@ mod tests {
     #[test]
     fn per_trip_value_model_scales_with_trip_length() {
         let sc = Scenario {
-            value_model: ValueModel::PerTripKm { base: 2.0, per_km: 0.8 },
+            value_model: ValueModel::PerTripKm {
+                base: 2.0,
+                per_km: 0.8,
+            },
             ..small(Dataset::Chengdu)
         };
         let inst = &sc.batches()[0];
@@ -312,10 +320,16 @@ mod tests {
         assert!(values.iter().all(|&v| v >= 2.0));
         let spread = values.iter().cloned().fold(f64::MIN, f64::max)
             - values.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread > 0.5, "trip pricing must spread values, got {spread}");
+        assert!(
+            spread > 0.5,
+            "trip pricing must spread values, got {spread}"
+        );
         // Synthetic fallback: every value equals the flag-fall.
         let sc = Scenario {
-            value_model: ValueModel::PerTripKm { base: 2.0, per_km: 0.8 },
+            value_model: ValueModel::PerTripKm {
+                base: 2.0,
+                per_km: 0.8,
+            },
             ..small(Dataset::Uniform)
         };
         assert!(sc.batches()[0].tasks().iter().all(|t| t.value == 2.0));
@@ -323,8 +337,14 @@ mod tests {
 
     #[test]
     fn worker_range_controls_reach() {
-        let narrow = Scenario { worker_range: 0.8, ..small(Dataset::Normal) };
-        let wide = Scenario { worker_range: 2.0, ..small(Dataset::Normal) };
+        let narrow = Scenario {
+            worker_range: 0.8,
+            ..small(Dataset::Normal)
+        };
+        let wide = Scenario {
+            worker_range: 2.0,
+            ..small(Dataset::Normal)
+        };
         let dn = narrow.batches()[0].mean_tasks_in_range();
         let dw = wide.batches()[0].mean_tasks_in_range();
         assert!(dw > dn, "wider range must reach more tasks ({dn} vs {dw})");

@@ -39,8 +39,13 @@ fn main() {
     );
 
     // Bucket workers by how many anchors they exposed.
-    let mut buckets: Vec<(usize, Vec<f64>)> =
-        vec![(3, vec![]), (5, vec![]), (8, vec![]), (12, vec![]), (usize::MAX, vec![])];
+    let mut buckets: Vec<(usize, Vec<f64>)> = vec![
+        (3, vec![]),
+        (5, vec![]),
+        (8, vec![]),
+        (12, vec![]),
+        (usize::MAX, vec![]),
+    ];
     for j in 0..inst.n_workers() {
         let n_anchors = worker_observations(inst, &outcome.board, j).len();
         if n_anchors < 3 {
@@ -55,8 +60,14 @@ fn main() {
         }
     }
 
-    println!("trilateration against PUCE's board (service radius {} km):", 3.0);
-    println!("{:>12} {:>9} {:>16} {:>16}", "anchors", "workers", "median err (km)", "p10 err (km)");
+    println!(
+        "trilateration against PUCE's board (service radius {} km):",
+        3.0
+    );
+    println!(
+        "{:>12} {:>9} {:>16} {:>16}",
+        "anchors", "workers", "median err (km)", "p10 err (km)"
+    );
     let mut lo = 3;
     for (cap, mut errs) in buckets {
         if errs.is_empty() {
@@ -93,7 +104,10 @@ fn main() {
         println!("its leakage is the reported location itself (one planar-Laplace draw).");
     } else {
         direct.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        println!("\nGEO-I trilateration median error: {:.3} km", direct[direct.len() / 2]);
+        println!(
+            "\nGEO-I trilateration median error: {:.3} km",
+            direct[direct.len() / 2]
+        );
     }
 
     println!(

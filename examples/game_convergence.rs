@@ -35,7 +35,10 @@ fn main() {
     let noise = SeededNoise::new(42);
     let outcome = game::run(inst, &cfg, &noise);
 
-    println!("best-response trace (first 15 of {} accepted moves):", outcome.moves.len());
+    println!(
+        "best-response trace (first 15 of {} accepted moves):",
+        outcome.moves.len()
+    );
     println!(
         "{:>4} {:>7} {:>12} {:>10} {:>12}",
         "#", "worker", "move", "UT", "potential"

@@ -21,7 +21,13 @@ fn main() {
 
     println!(
         "{:>14} | {:>7} {:>11} {:>11} | {:>10} {:>10} {:>9}",
-        "budget group", "matched", "avg utility", "U_RD vs UCE", "eps/worker", "LDP level", "releases"
+        "budget group",
+        "matched",
+        "avg utility",
+        "U_RD vs UCE",
+        "eps/worker",
+        "LDP level",
+        "releases"
     );
 
     let params = RunParams::default();

@@ -54,7 +54,13 @@ fn main() {
     );
     for method in Method::all() {
         let outcome = method.run(&inst, &params);
-        let m = measure(&inst, &outcome, params.alpha, params.beta, method.is_private());
+        let m = measure(
+            &inst,
+            &outcome,
+            params.alpha,
+            params.beta,
+            method.is_private(),
+        );
         println!(
             "{:<11} {:>8} {:>12.3} {:>12.3} {:>7} {:>9}",
             method.name(),

@@ -53,7 +53,13 @@ fn main() {
         let mut total = Measures::zero();
         for inst in &batches {
             let outcome = method.run(inst, &params);
-            total.merge(&measure(inst, &outcome, params.alpha, params.beta, method.is_private()));
+            total.merge(&measure(
+                inst,
+                &outcome,
+                params.alpha,
+                params.beta,
+                method.is_private(),
+            ));
         }
         let elapsed = started.elapsed();
         println!(

@@ -47,6 +47,35 @@
 //! // Every worker's local-DP level satisfies Theorem V.2.
 //! outcome.board.verify_privacy_bounds(&inst);
 //! ```
+//!
+//! # The engine API
+//!
+//! Every Table IX method is an [`AssignmentEngine`](core::engine::AssignmentEngine)
+//! behind the [`Method`] registry. Long-running callers resolve the
+//! engine once and reuse it across batches — only the noise source
+//! changes per run:
+//!
+//! ```
+//! use dpta::prelude::*;
+//!
+//! let inst = Instance::from_locations(
+//!     vec![Task::new(Point::new(0.0, 0.0), 4.5)],
+//!     vec![Worker::new(Point::new(0.4, 0.3), 2.0)],
+//!     |_, _| BudgetVector::new(vec![0.5, 1.0]),
+//! );
+//!
+//! let params = RunParams::default();
+//! let engine = Method::Puce.engine(&params); // Box<dyn AssignmentEngine>
+//! assert_eq!(engine.name(), "PUCE");
+//! assert!(engine.accounts_privacy() && engine.supports_warm_start());
+//!
+//! let noise = SeededNoise::new(params.seed);
+//! let outcome = engine.run(&inst, &noise);
+//!
+//! // Trait dispatch and the Method::run convenience are bit-identical.
+//! let direct = Method::Puce.run(&inst, &params);
+//! assert_eq!(outcome.assignment, direct.assignment);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,7 +93,7 @@ pub mod prelude {
         measure, relative_deviation_distance, relative_deviation_utility,
     };
     pub use dpta_core::{
-        Board, Instance, Measures, Method, RunOutcome, RunParams, Task, Worker,
+        AssignmentEngine, Board, Instance, Measures, Method, RunOutcome, RunParams, Task, Worker,
     };
     pub use dpta_dp::{pcf, ppcf, BudgetVector, EffectivePair, PrivacyLedger, SeededNoise};
     pub use dpta_matching::Assignment;

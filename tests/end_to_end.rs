@@ -78,7 +78,12 @@ fn headline_claims_hold_at_test_scale() {
     for (id, opts) in [
         (
             "fig04",
-            RunOptions { scale: 0.2, n_batches: 2, parallel: false, ..tiny_opts() },
+            RunOptions {
+                scale: 0.2,
+                n_batches: 2,
+                parallel: false,
+                ..tiny_opts()
+            },
         ),
         ("fig07", tiny_opts()),
         ("fig17", tiny_opts()),
@@ -109,9 +114,7 @@ fn relative_deviation_wiring_matches_direct_computation() {
     let p = measure(inst, &Method::Puce.run(inst, &params), 1.0, 1.0, true);
     let np = measure(inst, &Method::Uce.run(inst, &params), 1.0, 1.0, false);
     let rd = relative_deviation_utility(&np, &p);
-    assert!(
-        (rd - (np.avg_utility() - p.avg_utility()) / np.avg_utility()).abs() < 1e-12
-    );
+    assert!((rd - (np.avg_utility() - p.avg_utility()) / np.avg_utility()).abs() < 1e-12);
 }
 
 #[test]

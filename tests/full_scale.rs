@@ -37,9 +37,7 @@ fn paper_scale_batches_run_clean_on_all_datasets() {
                 );
                 eprintln!(
                     "{dataset}/{method}: matched {} in {:?} ({} releases)",
-                    m.matched,
-                    elapsed,
-                    m.publications
+                    m.matched, elapsed, m.publications
                 );
             }
         }

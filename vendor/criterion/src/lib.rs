@@ -1,0 +1,326 @@
+//! Offline shim of the `criterion` API subset used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements a small wall-clock benchmark harness behind criterion's
+//! names: [`Criterion`], benchmark groups with `sample_size` /
+//! `warm_up_time` / `measurement_time`, `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark warms up, then collects one
+//! timing sample per batch of iterations and reports min / median /
+//! mean. `cargo bench -- --test` (the flag Cargo passes for
+//! `cargo test --benches`) runs every body once and skips measurement.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to every benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo forwards `--test` when benches run under `cargo test`;
+        // `--bench` is forwarded on `cargo bench`. Anything unknown is
+        // ignored, matching criterion's tolerant CLI.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            test_mode: self.test_mode,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the body before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for measurement samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing buffered).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, label: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: if self.test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure {
+                    warm_up: self.warm_up_time,
+                    measurement: self.measurement_time,
+                    samples: self.sample_size,
+                }
+            },
+            sample_times: Vec::new(),
+            iters_per_sample: 0,
+        };
+        body(&mut bencher);
+        if self.test_mode {
+            eprintln!("bench {label}: ok (test mode)");
+            return;
+        }
+        bencher.report(label);
+    }
+}
+
+enum Mode {
+    TestOnce,
+    Measure {
+        warm_up: Duration,
+        measurement: Duration,
+        samples: usize,
+    },
+}
+
+/// Timing driver handed to each benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    sample_times: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::TestOnce => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure {
+                warm_up,
+                measurement,
+                samples,
+            } => {
+                // Warm-up: discover a per-sample iteration count such
+                // that one sample costs roughly measurement/samples.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < warm_up {
+                    std::hint::black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+                let target = measurement.as_secs_f64() / samples as f64;
+                let iters = ((target / per_iter.max(1e-9)).round() as u64).max(1);
+
+                self.iters_per_sample = iters;
+                self.sample_times.clear();
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    self.sample_times.push(start.elapsed());
+                }
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.sample_times.is_empty() {
+            eprintln!("bench {label}: no samples (body never called iter?)");
+            return;
+        }
+        let iters = self.iters_per_sample.max(1) as f64;
+        let mut per_iter: Vec<f64> = self
+            .sample_times
+            .iter()
+            .map(|d| d.as_secs_f64() / iters)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        eprintln!(
+            "bench {label}: min {} / median {} / mean {}  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            per_iter.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark by function name and parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Labels a benchmark by parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(15));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 3, "body must run during warm-up and samples");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &7u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(
+            BenchmarkId::new("PUCE", "chengdu").to_string(),
+            "PUCE/chengdu"
+        );
+        assert_eq!(BenchmarkId::from_parameter(60).to_string(), "60");
+    }
+}

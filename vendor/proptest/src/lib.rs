@@ -1,0 +1,364 @@
+//! Offline shim of the `proptest` API subset used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides randomized property testing behind proptest's names: the
+//! [`proptest!`] macro over `name in strategy` bindings, range /
+//! tuple / [`collection::vec`] / [`bool`](crate::bool) strategies,
+//! [`ProptestConfig`], and `prop_assert!` / `prop_assert_eq!`. There is
+//! no shrinking: a failing case panics immediately, printing the case
+//! number and seed so the run is reproducible (cases derive
+//! deterministically from the test's configuration, so re-running the
+//! test replays the same inputs).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+pub use rand::Rng as _;
+use std::ops::Range;
+
+/// Per-test configuration (case count only, in this shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Values with a canonical whole-domain strategy (the subset of
+/// proptest's `Arbitrary` this workspace uses).
+pub trait ArbitraryValue {
+    /// One draw covering the type's whole domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen_bool(rng, 0.5)
+    }
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen::<u64>(rng) as u32
+    }
+}
+
+impl ArbitraryValue for usize {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen::<u64>(rng) as usize
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec<S::Value>` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.min >= self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max + 1)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A vec-length specification: an exact count or an inclusive-exclusive
+/// range, mirroring proptest's `SizeRange` conversions.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Uniform `true` / `false`.
+    pub struct Any;
+
+    /// Uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// `true` with the given probability.
+    pub struct Weighted(f64);
+
+    /// Strategy producing `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "weight out of [0, 1]");
+        Weighted(p)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(self.0)
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Seeds the per-test RNG. Deterministic per (test name, case index) so
+/// failures reproduce; the name hash keeps different tests decorrelated.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
+}
+
+/// Property assertion (panics immediately in this shim — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Case precondition: skips the current case when the condition fails
+/// (the case body runs inside a closure, so `return` exits it only).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The property-test entry macro: wraps each `fn name(arg in strategy)`
+/// in a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default())
+            $(#[test] fn $name($($arg in $strategy),+) $body)*);
+    };
+    (@with_config ($config:expr)
+        $(#[test] fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            // The closure-per-case gives `prop_assume!` an early-return
+            // scope; clippy flags it as redundant because it cannot see
+            // that.
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_respect_bounds(
+            x in 1usize..7,
+            f in -3.0f64..5.0,
+            pair in (0usize..8, 0.0f64..1.0),
+        ) {
+            prop_assert!((1..7).contains(&x));
+            prop_assert!((-3.0..5.0).contains(&f));
+            prop_assert!(pair.0 < 8 && (0.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_sizes(
+            exact in crate::collection::vec(0.0f64..10.0, 25),
+            ranged in crate::collection::vec(crate::bool::weighted(0.7), 0..40),
+            any in crate::collection::vec(crate::bool::ANY, 5),
+        ) {
+            prop_assert_eq!(exact.len(), 25);
+            prop_assert!(ranged.len() < 40);
+            prop_assert_eq!(any.len(), 5);
+        }
+    }
+
+    #[test]
+    fn weighted_bias_shows_up() {
+        let mut rng = crate::test_rng("weighted_bias", 0);
+        let w = crate::bool::weighted(0.9);
+        let hits = (0..1000).filter(|_| w.generate(&mut rng)).count();
+        assert!(hits > 800, "got {hits}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let a: Vec<usize> = (0..10)
+            .map(|c| (0usize..100).generate(&mut crate::test_rng("t", c)))
+            .collect();
+        let b: Vec<usize> = (0..10)
+            .map(|c| (0usize..100).generate(&mut crate::test_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline shim of the `serde` API subset used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the two traits the workspace derives — [`Serialize`] and
+//! [`Deserialize`] — over a self-describing [`Value`] tree instead of
+//! upstream serde's visitor machinery. `#[derive(Serialize,
+//! Deserialize)]` comes from the sibling `serde_derive` shim and maps
+//! structs to objects and enums to externally-tagged values, exactly
+//! like upstream's default representation. The sibling `serde_json`
+//! shim renders a [`Value`] as JSON text.
+//!
+//! Only the shapes the workspace actually uses are covered: named-field
+//! structs, unit enum variants, struct enum variants, and the std types
+//! below. Deliberately absent: `std::time::Duration` — a time unit is a
+//! domain decision, so use sites serialize durations explicitly.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree: the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, and where.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {got:?}"))
+    }
+}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// This value as a data tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from a data tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitives ------------------------------------------------------
+
+macro_rules! impl_for_ints {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_for_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_for_floats {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN), // JSON has no NaN literal
+                    other => Err(Error::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_for_floats!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ---- std compounds ---------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! impl_for_tuples {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => Ok(($($t::deserialize_value(
+                        items.get($n).ok_or_else(|| Error::expected("longer tuple", v))?,
+                    )?,)+)),
+                    other => Err(Error::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_for_tuples! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+/// Map keys render as JSON object keys via `Display` and parse back via
+/// `FromStr` — enough for the integer- and string-keyed maps here.
+impl<K: fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse()
+                        .map_err(|_| Error(format!("unparseable map key {k:?}")))?;
+                    Ok((key, V::deserialize_value(v)?))
+                })
+                .collect(),
+            other => Err(Error::expected("map object", other)),
+        }
+    }
+}
+
+impl<K: fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.serialize_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize_value(&7u32.serialize_value()).unwrap(), 7);
+        assert_eq!(
+            f64::deserialize_value(&2.5f64.serialize_value()).unwrap(),
+            2.5
+        );
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+        let s = "hi".to_string();
+        assert_eq!(String::deserialize_value(&s.serialize_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        assert_eq!(
+            Vec::<Option<u32>>::deserialize_value(&v.serialize_value()).unwrap(),
+            v
+        );
+        let t = (1.5f64, 2.5f64);
+        assert_eq!(
+            <(f64, f64)>::deserialize_value(&t.serialize_value()).unwrap(),
+            t
+        );
+        let mut m = BTreeMap::new();
+        m.insert(4u32, vec![0.5f64, 1.0]);
+        assert_eq!(
+            BTreeMap::<u32, Vec<f64>>::deserialize_value(&m.serialize_value()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn object_get() {
+        let v = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        assert_eq!(v.get("a"), Some(&Value::Number(1.0)));
+        assert_eq!(v.get("b"), None);
+    }
+}

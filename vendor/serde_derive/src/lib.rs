@@ -1,0 +1,346 @@
+//! Offline shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! The build environment has no access to crates.io (so no `syn` /
+//! `quote` either); this macro parses the item with a small hand-rolled
+//! token walker and emits impls of the shim traits in `serde`:
+//!
+//! * named-field structs → externally untagged objects;
+//! * enums with unit variants → the variant name as a string;
+//! * enums with struct variants → externally tagged single-key objects;
+//!
+//! which mirrors upstream serde's default representation for every type
+//! this workspace derives. Tuple structs, tuple variants and generic
+//! items are rejected with a compile error naming the offender.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed `name: Type` field.
+struct Field {
+    name: String,
+    ty: String,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+/// The parsed item shape.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), \
+                                     ::serde::Serialize::serialize_value({n})),",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                 \"{v}\".to_string(), \
+                                 ::serde::Value::Object(vec![{pushes}]),\
+                             )]),",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: <{t} as ::serde::Deserialize>::deserialize_value(\
+                             v.get(\"{n}\").ok_or_else(|| ::serde::Error(\
+                                 \"missing field `{n}` in {name}\".to_string()))?,\
+                         )?,",
+                        n = f.name,
+                        t = f.ty
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", v = v.name))
+                .collect();
+            let string_arm = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         _ => Err(::serde::Error::expected(\"{name} variant\", v)),\n\
+                     }},"
+                )
+            };
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{n}: <{t} as ::serde::Deserialize>::deserialize_value(\
+                                     inner.get(\"{n}\").ok_or_else(|| ::serde::Error(\
+                                         \"missing field `{n}` in {name}::{v}\"\
+                                         .to_string()))?,\
+                                 )?,",
+                                n = f.name,
+                                t = f.ty,
+                                v = v.name
+                            )
+                        })
+                        .collect();
+                    format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),", v = v.name)
+                })
+                .collect();
+            let object_arm = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             _ => Err(::serde::Error::expected(\"{name} variant\", v)),\n\
+                         }}\n\
+                     }},"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             {string_arm}\n\
+                             {object_arm}\n\
+                             _ => Err(::serde::Error::expected(\"{name}\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ---- token walking ---------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility up to the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string()
+            }
+            Some(other) => panic!("serde shim derive: unexpected token {other}"),
+            None => panic!("serde shim derive: no struct/enum found"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic item `{name}` is not supported")
+        }
+        other => panic!(
+            "serde shim derive: `{name}` must have a braced body \
+             (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Parses `attr* vis? name: Type,` sequences from a brace group.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!(
+                        "serde shim derive: expected `:` after field `{name}`, \
+                         got {other:?} (tuple structs unsupported)"
+                    ),
+                }
+                // Collect the type: everything up to a comma outside angle
+                // brackets (commas inside parens/brackets are whole groups).
+                let mut depth = 0i32;
+                let mut ty_tokens: Vec<TokenTree> = Vec::new();
+                while let Some(tok) = tokens.get(i) {
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            break;
+                        }
+                        _ => {}
+                    }
+                    ty_tokens.push(tok.clone());
+                    i += 1;
+                }
+                i += 1; // past the comma (or end)
+                let ty = TokenStream::from_iter(ty_tokens).to_string();
+                fields.push(Field { name, ty });
+            }
+            other => panic!("serde shim derive: unexpected field token {other}"),
+        }
+    }
+    fields
+}
+
+/// Parses `attr* Name ({...})?,` variant sequences from a brace group.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Some(parse_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde shim derive: tuple variant `{name}` is not \
+                             supported — use a struct variant"
+                        )
+                    }
+                    _ => None,
+                };
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("serde shim derive: unexpected variant token {other}"),
+        }
+    }
+    variants
+}
