@@ -168,6 +168,66 @@ impl Board {
         a
     }
 
+    /// Transplants the protocol state that survives into the next
+    /// stream window onto a fresh `n_tasks × n_workers` board.
+    ///
+    /// `task_map` / `worker_map` translate *this* board's indices to the
+    /// next window's indices; entities mapped to `None` (completed
+    /// tasks, departed or retired workers) are dropped together with
+    /// every release and winner that references them. Retained pairs
+    /// keep their full release history **in order**, so effective
+    /// pairs, consumed budget slots and noise-slot continuation are
+    /// preserved exactly — the warm-start precondition of
+    /// [`AssignmentEngine::resume`](crate::engine::AssignmentEngine::resume).
+    ///
+    /// Two deliberate semantics, both load-bearing for streaming:
+    ///
+    /// * ledgers and the publication counter restart at the carried
+    ///   subset — *lifetime* spend (including spend toward dropped
+    ///   entities) is the stream accountant's job, not the board's;
+    /// * whole-location releases ([`LOCATION_RELEASE`]) are dropped:
+    ///   only one-shot engines publish them, and one-shot engines never
+    ///   warm-start.
+    ///
+    /// Iteration is index-ascending throughout, so the result is
+    /// deterministic.
+    pub fn carry(
+        &self,
+        n_tasks: usize,
+        n_workers: usize,
+        task_map: impl Fn(usize) -> Option<usize>,
+        worker_map: impl Fn(usize) -> Option<usize>,
+    ) -> Board {
+        let mut next = Board::new(n_tasks, n_workers);
+        for j_old in 0..self.n_workers {
+            let Some(j_new) = worker_map(j_old) else {
+                continue;
+            };
+            for t in self.ledgers[j_old].tasks() {
+                if t == LOCATION_RELEASE {
+                    continue;
+                }
+                let t_old = t as usize;
+                let Some(t_new) = task_map(t_old) else {
+                    continue;
+                };
+                if let Some(set) = self.releases.get(&(t_old, j_old)) {
+                    for r in set.releases() {
+                        next.publish(t_new, j_new, r.value, r.epsilon);
+                    }
+                }
+            }
+        }
+        for (t_old, w_old) in self.alloc.iter().enumerate() {
+            if let Some(w_old) = *w_old {
+                if let (Some(t_new), Some(w_new)) = (task_map(t_old), worker_map(w_old)) {
+                    next.set_winner(t_new, Some(w_new));
+                }
+            }
+        }
+        next
+    }
+
     /// Asserts the Theorem V.2 / VI.4 bound for every worker: the
     /// ledgered LDP level equals `r_j · Σ_{t_i} b_{i,j}·ε_{i,j}` and
     /// never exceeds the worst case `r_j · Σ_{t_i∈R_j} Σ_u ε⁽ᵘ⁾_{i,j}`.
@@ -251,6 +311,54 @@ mod tests {
         b.set_winner(2, Some(0));
         let a = b.assignment();
         assert_eq!(a.pairs().collect::<Vec<_>>(), vec![(0, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn carry_transplants_retained_pairs_in_order() {
+        let mut b = Board::new(3, 3);
+        b.publish(0, 1, 5.0, 0.5); // retained (task 0 -> 0, worker 1 -> 0)
+        b.publish(0, 1, 4.8, 0.7); // second slot of the same pair
+        b.publish(2, 1, 3.0, 0.4); // dropped: task 2 completed
+        b.publish(0, 2, 6.0, 0.9); // dropped: worker 2 departs
+        b.charge_location(1, 1.0); // dropped: location release
+        b.set_winner(0, Some(1));
+        b.set_winner(2, Some(2));
+
+        let task_map = |t: usize| match t {
+            0 => Some(0),
+            1 => Some(1),
+            _ => None,
+        };
+        let worker_map = |w: usize| match w {
+            1 => Some(0),
+            _ => None,
+        };
+        let next = b.carry(2, 1, task_map, worker_map);
+        assert_eq!(next.n_tasks(), 2);
+        assert_eq!(next.n_workers(), 1);
+        // The retained pair keeps both releases, in publish order.
+        assert_eq!(next.used_slots(0, 0), 2);
+        let set = next.releases(0, 0).unwrap();
+        assert_eq!(set.releases()[0].value, 5.0);
+        assert_eq!(set.releases()[1].value, 4.8);
+        assert_eq!(next.effective(0, 0), b.effective(0, 1));
+        // Dropped state is gone; the ledger restarts at the carried subset.
+        assert_eq!(next.publications(), 2);
+        assert!((next.spent_total(0) - 1.2).abs() < 1e-12);
+        // The retained winner survives under the new indices.
+        assert_eq!(next.winner(0), Some(0));
+        assert_eq!(next.task_of(0), Some(0));
+        assert_eq!(next.winner(1), None);
+    }
+
+    #[test]
+    fn carry_to_disjoint_window_is_fresh() {
+        let mut b = Board::new(1, 1);
+        b.publish(0, 0, 1.0, 0.5);
+        b.set_winner(0, Some(0));
+        let next = b.carry(4, 2, |_| None, |_| None);
+        assert_eq!(next.publications(), 0);
+        assert!(next.alloc().iter().all(Option::is_none));
     }
 
     #[test]

@@ -46,6 +46,28 @@ pub enum ProposalAccounting {
 pub use dpta_matching::cea::CeaFallback;
 
 /// Full configuration of one engine run.
+///
+/// Every Table IX method is one point in this configuration space;
+/// [`Method::engine_config`](crate::Method::engine_config) performs the
+/// mapping, and [`engine::build`](crate::engine::build) turns the pair
+/// into a boxed engine. Construct one directly only to explore settings
+/// the registry does not name.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::{CompareMode, EngineConfig, Method, Objective, RunParams};
+///
+/// // The registry's PUCE configuration…
+/// let cfg = Method::Puce.engine_config(&RunParams::default());
+/// assert_eq!(cfg.objective, Objective::Utility);
+/// assert_eq!(cfg.compare, CompareMode::Ppcf);
+/// assert!(cfg.private);
+///
+/// // …and a custom off-registry variant with a steeper privacy slope.
+/// let steep = EngineConfig { beta: 2.5, ..cfg };
+/// assert_eq!(steep.alpha, cfg.alpha);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Optimisation objective.

@@ -16,7 +16,7 @@
 //! * [`location::GeoIEngine`] — the one-shot Geo-Indistinguishability
 //!   baseline.
 //!
-//! [`build`] resolves a [`Method`](crate::Method) to a boxed engine;
+//! [`build`] resolves a [`Method`] to a boxed engine;
 //! [`Method::run`](crate::Method::run) is a thin wrapper over it. New
 //! solvers (and future sharded/async runtimes) implement the trait and
 //! register in [`build`] without touching any dispatch site: the
@@ -55,6 +55,58 @@ pub struct EngineTrace {
 /// engine can serve parallel batch runs); all run state lives on the
 /// [`Board`]. The required method is [`drive`](Self::drive); `assign`,
 /// `run` and `resume` are provided conveniences layered on it.
+///
+/// # Warm-start contract
+///
+/// [`resume`](Self::resume) is the hook batch carry-over and the
+/// streaming pipeline (`dpta-stream`) build on, so its semantics are
+/// explicit:
+///
+/// 1. **Gate.** Callers may pass a non-fresh board only to engines
+///    whose [`supports_warm_start`](Self::supports_warm_start) returns
+///    `true`; `resume` panics otherwise, and one-shot engines guard
+///    `drive` with a fresh-board check that fails loudly.
+/// 2. **Board shape.** The board's dimensions must match the instance
+///    (`drive` asserts this). When entities enter or leave between
+///    windows, translate the surviving state with
+///    [`Board::carry`](crate::Board::carry) first — it preserves
+///    release order, effective pairs and consumed budget slots, which
+///    is exactly the state the continuation below depends on.
+/// 3. **Continuation, not replay.** A warm-start engine treats carried
+///    releases as history: consumed budget slots stay consumed (the
+///    next release of a pair draws the *next* slot of its budget
+///    vector), carried winners are incumbents that must be beaten per
+///    the protocol's comparison gates, and no carried release is ever
+///    re-published or re-charged.
+/// 4. **Quiescence.** Resuming a board the same engine just drove to
+///    completion, with the instance unchanged, publishes nothing and
+///    leaves the allocation as is — a completed run is a fixed point
+///    (asserted by `warm_start_and_eq4` and the stream driver tests).
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::{AssignmentEngine, Instance, Method, RunParams, Task, Worker};
+/// use dpta_dp::{BudgetVector, SeededNoise};
+/// use dpta_spatial::Point;
+///
+/// let inst = Instance::from_locations(
+///     vec![Task::new(Point::new(0.0, 0.0), 4.5)],
+///     vec![Worker::new(Point::new(0.3, 0.4), 2.0)],
+///     |_, _| BudgetVector::new(vec![0.5, 1.0]),
+/// );
+/// let params = RunParams::default();
+/// let engine = Method::Puce.engine(&params); // Box<dyn AssignmentEngine>
+/// let noise = SeededNoise::new(params.seed);
+///
+/// let outcome = engine.run(&inst, &noise);
+/// assert_eq!(outcome.assignment.worker_of(0), Some(0));
+///
+/// // Quiescence: resuming the completed board changes nothing.
+/// let resumed = engine.resume(&inst, outcome.board.clone(), &noise);
+/// assert_eq!(resumed.board.publications(), outcome.board.publications());
+/// assert_eq!(resumed.assignment, outcome.assignment);
+/// ```
 pub trait AssignmentEngine: Send + Sync {
     /// Display name under this configuration (paper legend style, e.g.
     /// `"PUCE"` for a private utility-objective CE engine).
@@ -109,8 +161,12 @@ pub trait AssignmentEngine: Send + Sync {
         }
     }
 
-    /// Runs from a pre-populated board (warm start). Panics when the
-    /// engine does not support warm starts.
+    /// Runs from a pre-populated board (warm start) under the
+    /// [warm-start contract](AssignmentEngine#warm-start-contract):
+    /// carried releases are history (slots stay consumed, nothing is
+    /// re-published), carried winners are incumbents, and resuming a
+    /// completed board is a no-op. Panics when the engine does not
+    /// support warm starts.
     fn resume(&self, inst: &Instance, mut board: Board, noise: &dyn NoiseSource) -> RunOutcome {
         assert!(
             self.supports_warm_start(),

@@ -26,7 +26,8 @@
 //! * [`metrics`] — the evaluation measures of Section VII-C.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod analysis;
 pub mod attack;

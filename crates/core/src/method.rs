@@ -1,9 +1,9 @@
 //! The Table IX method registry: every solution the paper evaluates,
 //! plus the Hungarian optimum, behind a single [`Method::run`] entry
 //! point. Execution is fully delegated to the
-//! [`AssignmentEngine`](crate::engine::AssignmentEngine) trait:
+//! [`AssignmentEngine`] trait:
 //! [`Method::engine`] resolves the variant to a boxed engine via
-//! [`engine::build`](crate::engine::build), and [`Method::run`] is a
+//! [`engine::build`], and [`Method::run`] is a
 //! thin wrapper seeding the noise source and running it.
 
 use crate::config::{CompareMode, EngineConfig, Objective, RunParams};
@@ -15,6 +15,25 @@ use serde::{Deserialize, Serialize};
 
 /// The methods of Table IX (private, non-private, and non-PPCF
 /// versions), plus the exact Hungarian baseline.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::{Instance, Method, RunParams, Task, Worker};
+/// use dpta_dp::BudgetVector;
+/// use dpta_spatial::Point;
+///
+/// let inst = Instance::from_locations(
+///     vec![Task::new(Point::new(0.0, 0.0), 4.5)],
+///     vec![Worker::new(Point::new(0.5, 0.0), 2.0)],
+///     |_, _| BudgetVector::new(vec![0.5, 1.0]),
+/// );
+/// // One entry point runs any registry method end-to-end.
+/// let outcome = Method::Pgt.run(&inst, &RunParams::default());
+/// assert!(outcome.assignment.len() <= 1);
+/// // Private methods know their non-private reference point.
+/// assert_eq!(Method::Pgt.non_private_counterpart(), Some(Method::Gt));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Method {
     /// Private Utility Conflict-Elimination (this paper, Section V).

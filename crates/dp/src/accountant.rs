@@ -61,6 +61,136 @@ impl PrivacyLedger {
     }
 }
 
+/// Cumulative per-entity budget accounting across a stream of windows.
+///
+/// A [`PrivacyLedger`] audits one worker inside one protocol run; a
+/// `CumulativeAccountant` tracks *lifetime* budget depletion of many
+/// entities across successive runs — the streaming setting, where the
+/// same worker participates in window after window until the budget his
+/// lifetime capacity grants is gone and the pipeline retires him.
+/// Entities are keyed by caller-chosen `u64` ids (the stream's logical
+/// worker ids), not per-instance indices, so accounting survives the
+/// re-indexing every new window performs.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_dp::CumulativeAccountant;
+///
+/// let mut acc = CumulativeAccountant::new();
+/// acc.register(7, 2.0); // worker 7 may spend ε = 2.0 over his lifetime
+/// acc.charge(7, 1.5);
+/// assert!(!acc.is_exhausted(7));
+/// assert!((acc.remaining(7) - 0.5).abs() < 1e-12);
+/// acc.charge(7, 0.5);
+/// assert!(acc.is_exhausted(7));
+/// assert_eq!(acc.drain_exhausted(), vec![7]);
+/// assert!(acc.tracked().next().is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CumulativeAccountant {
+    entries: BTreeMap<u64, Account>,
+}
+
+/// One tracked entity: lifetime capacity and cumulative spend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Account {
+    capacity: f64,
+    spent: f64,
+}
+
+impl CumulativeAccountant {
+    /// Creates an accountant tracking no entities.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts tracking `id` with the given lifetime budget capacity.
+    /// Re-registering an id keeps its spend and raises/lowers only the
+    /// capacity, so late capacity adjustments cannot reset history.
+    /// `capacity` may be `f64::INFINITY` for never-retiring entities.
+    pub fn register(&mut self, id: u64, capacity: f64) {
+        assert!(
+            capacity > 0.0 && !capacity.is_nan(),
+            "capacity must be positive, got {capacity}"
+        );
+        self.entries
+            .entry(id)
+            .and_modify(|a| a.capacity = capacity)
+            .or_insert(Account {
+                capacity,
+                spent: 0.0,
+            });
+    }
+
+    /// Charges `epsilon` (≥ 0) against `id`'s lifetime budget. Panics if
+    /// the id was never registered — silent accounting gaps are exactly
+    /// what this type exists to prevent.
+    pub fn charge(&mut self, id: u64, epsilon: f64) {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "charge must be finite and >= 0, got {epsilon}"
+        );
+        self.entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("entity {id} was never registered"))
+            .spent += epsilon;
+    }
+
+    /// Cumulative spend of `id` (zero for unknown ids).
+    pub fn spent(&self, id: u64) -> f64 {
+        self.entries.get(&id).map_or(0.0, |a| a.spent)
+    }
+
+    /// Remaining lifetime budget of `id` (zero for unknown ids), clamped
+    /// at zero.
+    pub fn remaining(&self, id: u64) -> f64 {
+        self.entries
+            .get(&id)
+            .map_or(0.0, |a| (a.capacity - a.spent).max(0.0))
+    }
+
+    /// Whether `id` has spent its whole capacity (unknown ids count as
+    /// exhausted — they have nothing left to spend).
+    pub fn is_exhausted(&self, id: u64) -> bool {
+        self.entries.get(&id).is_none_or(|a| {
+            // Tolerance mirrors the ledger-vs-board float comparisons.
+            a.spent >= a.capacity - 1e-12
+        })
+    }
+
+    /// Removes and returns every exhausted entity, ascending by id —
+    /// the retirement step the stream driver runs after each window.
+    pub fn drain_exhausted(&mut self) -> Vec<u64> {
+        let gone: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, a)| a.spent >= a.capacity - 1e-12)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &gone {
+            self.entries.remove(id);
+        }
+        gone
+    }
+
+    /// Stops tracking `id` regardless of its state (e.g. a worker who
+    /// departed by being matched). Returns whether it was tracked.
+    pub fn forget(&mut self, id: u64) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    /// Ids still tracked, ascending.
+    pub fn tracked(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Total spend across all tracked entities.
+    pub fn total_spent(&self) -> f64 {
+        self.entries.values().map(|a| a.spent).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,7 +232,72 @@ mod tests {
         let _ = l.ldp_bound(-0.1);
     }
 
+    #[test]
+    fn accountant_tracks_charges_and_retires() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(1, 2.0);
+        acc.register(2, 1.0);
+        acc.register(3, f64::INFINITY);
+        acc.charge(1, 0.75);
+        acc.charge(1, 0.75);
+        acc.charge(2, 1.0);
+        acc.charge(3, 1000.0);
+        assert!((acc.spent(1) - 1.5).abs() < 1e-12);
+        assert!((acc.remaining(1) - 0.5).abs() < 1e-12);
+        assert!(!acc.is_exhausted(1));
+        assert!(acc.is_exhausted(2));
+        assert!(!acc.is_exhausted(3));
+        assert_eq!(acc.drain_exhausted(), vec![2]);
+        assert_eq!(acc.tracked().collect::<Vec<_>>(), vec![1, 3]);
+        assert!((acc.total_spent() - 1001.5).abs() < 1e-9);
+        assert!(acc.forget(3));
+        assert!(!acc.forget(3));
+        // Unknown ids: nothing left to spend.
+        assert!(acc.is_exhausted(99));
+        assert_eq!(acc.remaining(99), 0.0);
+        assert_eq!(acc.spent(99), 0.0);
+    }
+
+    #[test]
+    fn re_registering_keeps_spend() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(5, 1.0);
+        acc.charge(5, 0.9);
+        acc.register(5, 10.0); // capacity raise must not reset history
+        assert!((acc.spent(5) - 0.9).abs() < 1e-12);
+        assert!((acc.remaining(5) - 9.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "never registered")]
+    fn charging_unknown_id_panics() {
+        CumulativeAccountant::new().charge(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        CumulativeAccountant::new().register(0, 0.0);
+    }
+
     proptest! {
+        #[test]
+        fn accountant_total_matches_per_entity(
+            charges in proptest::collection::vec((0u64..6, 0.0f64..2.0), 0..40)
+        ) {
+            let mut acc = CumulativeAccountant::new();
+            for id in 0..6 {
+                acc.register(id, f64::INFINITY);
+            }
+            for &(id, e) in &charges {
+                acc.charge(id, e);
+            }
+            let direct: f64 = charges.iter().map(|&(_, e)| e).sum();
+            prop_assert!((acc.total_spent() - direct).abs() < 1e-9);
+            let by_id: f64 = (0..6).map(|id| acc.spent(id)).sum();
+            prop_assert!((by_id - direct).abs() < 1e-9);
+        }
+
         #[test]
         fn total_is_sum_of_per_task(
             records in proptest::collection::vec((0u32..8, 0.05f64..3.0), 0..40)

@@ -19,11 +19,15 @@
 //! * [`PrivacyLedger`] — per-worker accounting of published budgets,
 //!   reproducing the `Σ_{t_i∈R_j} b_{i,j}·ε_{i,j}·r_j` local-DP bound of
 //!   Theorems V.2 / VI.4;
+//! * [`CumulativeAccountant`] — lifetime budget depletion across a
+//!   stream of windows, keyed by stable entity ids (the retirement
+//!   authority of the `dpta-stream` pipeline);
 //! * [`NoiseSource`] — deterministic noise derivation so that a proposal
 //!   evaluated locally and published later reveals exactly one draw.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod accountant;
 mod budget;
@@ -35,7 +39,7 @@ mod pcf;
 mod ppcf;
 mod release;
 
-pub use accountant::PrivacyLedger;
+pub use accountant::{CumulativeAccountant, PrivacyLedger};
 pub use budget::{BudgetState, BudgetVector};
 pub use diff::LaplaceDiff;
 pub use geo::{lambert_w_m1, PlanarLaplace};

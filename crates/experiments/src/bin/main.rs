@@ -1,13 +1,17 @@
-//! CLI for regenerating the paper's tables and figures.
+//! CLI for regenerating the paper's tables and figures, plus the
+//! online `stream` mode.
 //!
 //! ```text
 //! dpta-experiments --list
 //! dpta-experiments --figure fig07 --scale 0.3
 //! dpta-experiments --all --scale 0.1 --out results/ --verify
+//! dpta-experiments stream --methods PUCE,PGT,GRD --window-secs 600
 //! ```
 
-use dpta_core::RunParams;
-use dpta_experiments::{expectations, figures, report, runner};
+use dpta_core::{Method, RunParams};
+use dpta_experiments::{expectations, figures, report, runner, stream_cmd};
+use dpta_stream::WindowPolicy;
+use dpta_workloads::Dataset;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -83,6 +87,7 @@ fn print_help() {
 
 USAGE:
   dpta-experiments [--figure figNN]... [--all] [options]
+  dpta-experiments stream [stream options]
 
 OPTIONS:
   -f, --figure <id>   run one experiment (repeatable); see --list
@@ -96,11 +101,156 @@ OPTIONS:
   -o, --out <dir>     write <id>.json and <id>.txt under <dir>
       --sequential    disable batch-level parallelism
       --verify        check the paper's qualitative claims and exit
-                      non-zero if any fails"
+                      non-zero if any fails
+
+STREAM OPTIONS (dpta-experiments stream ...):
+      --methods <a,b>      comma-separated method names
+                           (default PUCE,PGT,GRD)
+      --dataset <name>     chengdu | normal | uniform (default normal)
+      --scale <f>          batch-size scale (default 0.1)
+      --batches <n>        scenario batches streamed (default 2)
+      --window-secs <f>    time-window width (default 600)
+      --window-tasks <n>   count-threshold windows instead of time
+      --ttl <n>            task time-to-live in windows (default 3)
+      --capacity <f>       lifetime worker budget epsilon
+                           (default infinite)
+      --shards <CxR>       shard grid for the equivalence check
+                           (default 2x2)
+      --seed <n>           master seed (default 42)
+  Exits non-zero if the sharded run does not match the unsharded run
+  exactly on the shard-disjoint witness stream."
     );
 }
 
+fn parse_stream_args(mut it: std::env::Args) -> Result<stream_cmd::StreamArgs, String> {
+    let mut args = stream_cmd::StreamArgs::default();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--methods" => {
+                let list = next("--methods")?;
+                args.methods = list
+                    .split(',')
+                    .map(|name| {
+                        Method::all()
+                            .into_iter()
+                            .find(|m| m.name().eq_ignore_ascii_case(name.trim()))
+                            .ok_or_else(|| format!("unknown method: {name}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.methods.is_empty() {
+                    return Err("--methods needs at least one name".into());
+                }
+            }
+            "--dataset" => {
+                let name = next("--dataset")?;
+                args.dataset = Dataset::all()
+                    .into_iter()
+                    .find(|d| d.name().eq_ignore_ascii_case(name.trim()))
+                    .ok_or_else(|| format!("unknown dataset: {name}"))?;
+            }
+            "--scale" => {
+                args.scale = next("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(args.scale > 0.0 && args.scale.is_finite()) {
+                    return Err(format!("--scale must be positive, got {}", args.scale));
+                }
+            }
+            "--batches" => {
+                args.batches = next("--batches")?
+                    .parse()
+                    .map_err(|e| format!("bad --batches: {e}"))?;
+                if args.batches == 0 {
+                    return Err("--batches must be at least 1".into());
+                }
+            }
+            "--window-secs" => {
+                let width: f64 = next("--window-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --window-secs: {e}"))?;
+                if !(width > 0.0 && width.is_finite()) {
+                    return Err(format!("--window-secs must be positive, got {width}"));
+                }
+                args.policy = WindowPolicy::ByTime { width };
+            }
+            "--window-tasks" => {
+                let tasks = next("--window-tasks")?
+                    .parse()
+                    .map_err(|e| format!("bad --window-tasks: {e}"))?;
+                if tasks == 0 {
+                    return Err("--window-tasks must be at least 1".into());
+                }
+                args.policy = WindowPolicy::ByCount { tasks };
+            }
+            "--ttl" => {
+                args.ttl = next("--ttl")?
+                    .parse()
+                    .map_err(|e| format!("bad --ttl: {e}"))?;
+                if args.ttl == 0 {
+                    return Err("--ttl must be at least 1".into());
+                }
+            }
+            "--capacity" => {
+                args.capacity = next("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --capacity: {e}"))?;
+                if args.capacity <= 0.0 || args.capacity.is_nan() {
+                    return Err(format!(
+                        "--capacity must be positive, got {}",
+                        args.capacity
+                    ));
+                }
+            }
+            "--shards" => {
+                let spec = next("--shards")?;
+                let (c, r) = spec
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| format!("--shards wants CxR, got {spec}"))?;
+                args.shards = (
+                    c.parse().map_err(|e| format!("bad --shards: {e}"))?,
+                    r.parse().map_err(|e| format!("bad --shards: {e}"))?,
+                );
+                if args.shards.0 == 0 || args.shards.1 == 0 {
+                    return Err("--shards dimensions must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown stream argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
 fn main() -> ExitCode {
+    let mut raw = std::env::args();
+    raw.next(); // program name
+    if raw.next().as_deref() == Some("stream") {
+        return match parse_stream_args(raw) {
+            Ok(args) => {
+                if stream_cmd::run(&args) {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("sharded run diverged from unsharded run");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                print_help();
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -10,7 +10,10 @@
 //!   export;
 //! * [`expectations`] — the qualitative "shape" claims the paper makes
 //!   about each figure, as checkable predicates (used by integration
-//!   tests and EXPERIMENTS.md).
+//!   tests and EXPERIMENTS.md);
+//! * [`stream_cmd`] — the `stream` subcommand driving the online
+//!   (`dpta-stream`) pipeline end-to-end, including the sharded-vs-
+//!   unsharded equivalence witness.
 //!
 //! Run `cargo run -p dpta-experiments --release -- --list` to see every
 //! experiment id.
@@ -23,6 +26,7 @@ pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod stream_cmd;
 
 pub use figures::{registry, FigureSpec, MeasureKind, MethodSet, Sweep};
 pub use runner::{run_figure, FigureOutput, MethodResult, RunOptions, SweepPoint, Table};

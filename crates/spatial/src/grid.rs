@@ -175,6 +175,107 @@ impl GridIndex {
     }
 }
 
+/// A fixed rectangular grid over a frame, mapping points to shard ids.
+///
+/// Where [`GridIndex`] answers range queries over one point set, a
+/// `GridPartition` is a pure *function* from locations to cells — the
+/// spatial sharding key of the streaming pipeline: every arrival is
+/// routed to the shard owning its cell, and one assignment engine runs
+/// per shard. Points outside the frame are clamped to the border cells
+/// so the partition is total.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_spatial::{Aabb, GridPartition, Point};
+///
+/// let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 100.0, 100.0), 4, 4);
+/// assert_eq!(part.n_shards(), 16);
+/// assert_eq!(part.shard_of(&Point::new(10.0, 10.0)), 0);
+/// assert_eq!(part.shard_of(&Point::new(99.0, 99.0)), 15);
+/// // Out-of-frame points clamp to the nearest border cell.
+/// assert_eq!(part.shard_of(&Point::new(-5.0, 1.0)), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPartition {
+    frame: Aabb,
+    cols: usize,
+    rows: usize,
+}
+
+impl GridPartition {
+    /// Builds a `cols × rows` partition of `frame`. Panics unless both
+    /// dimensions are positive and the frame has positive extent.
+    pub fn new(frame: Aabb, cols: usize, rows: usize) -> Self {
+        assert!(
+            cols > 0 && rows > 0,
+            "partition needs cols > 0 and rows > 0"
+        );
+        assert!(
+            frame.width() > 0.0 && frame.height() > 0.0,
+            "partition frame must have positive extent"
+        );
+        GridPartition { frame, cols, rows }
+    }
+
+    /// Number of shards (`cols × rows`).
+    pub fn n_shards(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Columns of the partition.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows of the partition.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The partitioned frame.
+    pub fn frame(&self) -> &Aabb {
+        &self.frame
+    }
+
+    /// The shard owning `p`: row-major cell index, clamped to the frame.
+    pub fn shard_of(&self, p: &Point) -> usize {
+        assert!(p.is_finite(), "cannot shard a non-finite point: {p:?}");
+        let fx = (p.x - self.frame.min.x) / self.frame.width();
+        let fy = (p.y - self.frame.min.y) / self.frame.height();
+        let cx = ((fx * self.cols as f64) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let cy = ((fy * self.rows as f64) as isize).clamp(0, self.rows as isize - 1) as usize;
+        cy * self.cols + cx
+    }
+
+    /// Whether a disc of radius `r` around `p` can only contain points
+    /// mapping to `p`'s own cell — i.e. whether an entity at `p` with
+    /// service radius `r` can never interact across a shard boundary.
+    /// Sharded and unsharded runs agree exactly on inputs where this
+    /// holds for every worker (the shard-disjointness precondition of
+    /// the streaming pipeline).
+    ///
+    /// The bounds mirror [`shard_of`](Self::shard_of) and the closed
+    /// service areas of the assignment model: a cell's upper edge
+    /// belongs to the *next* cell (so the disc must stay strictly
+    /// below it), its lower edge belongs to the cell itself, and
+    /// frame-edge cells absorb everything beyond the frame through
+    /// clamping (so their outward side is unconstrained).
+    pub fn is_interior(&self, p: &Point, r: f64) -> bool {
+        assert!(r.is_finite() && r >= 0.0, "radius must be finite and >= 0");
+        let cell_w = self.frame.width() / self.cols as f64;
+        let cell_h = self.frame.height() / self.rows as f64;
+        let shard = self.shard_of(p);
+        let (cx, cy) = (shard % self.cols, shard / self.cols);
+        let x0 = self.frame.min.x + cx as f64 * cell_w;
+        let y0 = self.frame.min.y + cy as f64 * cell_h;
+        (cx == 0 || p.x - r >= x0)
+            && (cx + 1 == self.cols || p.x + r < x0 + cell_w)
+            && (cy == 0 || p.y - r >= y0)
+            && (cy + 1 == self.rows || p.y + r < y0 + cell_h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,8 +365,59 @@ mod tests {
         assert_eq!(idx.nearest(&Point::ORIGIN), Some(0));
     }
 
+    #[test]
+    fn partition_is_total_and_row_major() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 3);
+        assert_eq!(part.n_shards(), 6);
+        assert_eq!(part.cols(), 2);
+        assert_eq!(part.rows(), 3);
+        assert_eq!(part.shard_of(&Point::new(1.0, 1.0)), 0);
+        assert_eq!(part.shard_of(&Point::new(6.0, 1.0)), 1);
+        assert_eq!(part.shard_of(&Point::new(1.0, 4.0)), 2);
+        assert_eq!(part.shard_of(&Point::new(9.9, 9.9)), 5);
+        // Boundary and out-of-frame points clamp.
+        assert_eq!(part.shard_of(&Point::new(10.0, 10.0)), 5);
+        assert_eq!(part.shard_of(&Point::new(-3.0, 50.0)), 4);
+    }
+
+    #[test]
+    fn partition_interior_test_respects_radius() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 2);
+        // Cell (0,0) spans [0,5)×[0,5); its centre is interior for r < 2.5.
+        assert!(part.is_interior(&Point::new(2.5, 2.5), 2.0));
+        assert!(!part.is_interior(&Point::new(2.5, 2.5), 3.0));
+        assert!(!part.is_interior(&Point::new(4.9, 2.5), 0.5));
+        // A disc *touching* the upper edge reaches the boundary point,
+        // which maps to the neighbouring cell (shard_of's half-open
+        // cells) and is inside the closed service area — not interior.
+        assert!(!part.is_interior(&Point::new(2.5, 2.5), 2.5));
+        // Frame-edge cells absorb everything beyond the frame by
+        // clamping, so their outward side is unconstrained…
+        assert!(part.is_interior(&Point::new(9.0, 9.0), 3.0));
+        // …but their inward side still is.
+        assert!(!part.is_interior(&Point::new(9.0, 2.5), 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cols > 0")]
+    fn degenerate_partition_panics() {
+        let _ = GridPartition::new(Aabb::from_extents(0.0, 0.0, 1.0, 1.0), 0, 1);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn partition_shard_is_stable_and_in_range(
+            x in -20.0f64..120.0, y in -20.0f64..120.0,
+            cols in 1usize..8, rows in 1usize..8,
+        ) {
+            let part = GridPartition::new(
+                Aabb::from_extents(0.0, 0.0, 100.0, 100.0), cols, rows);
+            let s = part.shard_of(&Point::new(x, y));
+            prop_assert!(s < part.n_shards());
+            prop_assert_eq!(s, part.shard_of(&Point::new(x, y)));
+        }
+
         #[test]
         fn grid_equals_brute_force(
             pts in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 0..200),

@@ -12,6 +12,8 @@
 //! * [`GridIndex`] — a uniform-grid point index answering circular range
 //!   queries in expected O(k) for k results, which turns the
 //!   all-pairs-distances step from O(m·n) into O(m + n + matches);
+//! * [`GridPartition`] — a fixed rectangular grid mapping locations to
+//!   shard ids, the spatial sharding key of the streaming pipeline;
 //! * [`DistanceMatrix`] — a dense task×worker distance table for the small
 //!   per-batch instances the assignment algorithms run on.
 //!
@@ -31,5 +33,5 @@ mod point;
 pub use bbox::Aabb;
 pub use circle::Circle;
 pub use distmat::DistanceMatrix;
-pub use grid::GridIndex;
+pub use grid::{GridIndex, GridPartition};
 pub use point::Point;

@@ -1,0 +1,301 @@
+//! Arrival-time models and scenario-backed stream generation.
+//!
+//! [`ArrivalModel`] turns a count of entities into a deterministic,
+//! seeded sequence of arrival timestamps; [`StreamScenario`] marries a
+//! Table X [`Scenario`] (which decides *where* tasks and workers are
+//! and what they are worth) with arrival models (which decide *when*
+//! they appear), producing the [`ArrivalStream`] the pipeline runs on.
+
+use crate::event::{ArrivalEvent, ArrivalStream, TaskArrival, WorkerArrival};
+use dpta_workloads::Scenario;
+
+/// SplitMix64 finalizer (same mixing core as the dp noise derivation
+/// and the workloads budget generator, which keep private copies for
+/// the same reason: arrival times must not silently change if another
+/// crate tunes its internal mixer).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform in (0, 1) keyed by `(seed, index)`.
+fn hash_uniform(seed: u64, k: u64) -> f64 {
+    let mut h = splitmix64(seed ^ 0xA217_55C5_93D1_E0B7);
+    h = splitmix64(h ^ k);
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u.clamp(1e-15, 1.0 - 1e-15)
+}
+
+/// How arrival timestamps are laid out over time.
+///
+/// Every model is a pure function of `(seed, n)`, so streams are
+/// reproducible and sharded/unsharded runs see identical timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_stream::ArrivalModel;
+///
+/// let times = ArrivalModel::Poisson { rate: 0.5 }.times(42, 100);
+/// assert_eq!(times.len(), 100);
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]));
+/// // Mean inter-arrival ≈ 1/rate = 2 s.
+/// let mean = times.last().unwrap() / 100.0;
+/// assert!((mean - 2.0).abs() < 0.8, "mean inter-arrival {mean}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Deterministic spacing: arrival `k` at `(k + 1) / rate`.
+    Paced {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// Homogeneous Poisson process: i.i.d. exponential inter-arrivals.
+    Poisson {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// Rush-hour traffic: a Poisson process whose rate alternates
+    /// between a base phase and a burst phase (`burst_fraction` of each
+    /// `period` runs at `burst_rate`, the rest at `base_rate`).
+    Bursty {
+        /// Off-peak arrivals per second.
+        base_rate: f64,
+        /// Peak arrivals per second.
+        burst_rate: f64,
+        /// Length of one base+burst cycle, seconds.
+        period: f64,
+        /// Fraction of each period spent in the burst phase, in (0, 1).
+        burst_fraction: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// The first `n` arrival timestamps, ascending from `t = 0`.
+    pub fn times(&self, seed: u64, n: usize) -> Vec<f64> {
+        match *self {
+            ArrivalModel::Paced { rate } => {
+                assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+                (0..n).map(|k| (k as f64 + 1.0) / rate).collect()
+            }
+            ArrivalModel::Poisson { rate } => {
+                assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+                let mut t = 0.0;
+                (0..n)
+                    .map(|k| {
+                        t += -hash_uniform(seed, k as u64).ln() / rate;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalModel::Bursty {
+                base_rate,
+                burst_rate,
+                period,
+                burst_fraction,
+            } => {
+                assert!(
+                    base_rate > 0.0 && burst_rate > 0.0 && period > 0.0,
+                    "rates and period must be positive"
+                );
+                assert!(
+                    (0.0..1.0).contains(&burst_fraction) && burst_fraction > 0.0,
+                    "burst_fraction must be in (0, 1), got {burst_fraction}"
+                );
+                let mut t = 0.0;
+                (0..n)
+                    .map(|k| {
+                        // Rate of the phase containing the current time;
+                        // a draw that crosses a phase boundary keeps its
+                        // departure phase's rate (a deliberate, simple
+                        // approximation of the inhomogeneous process).
+                        let phase = (t / period).fract();
+                        let rate = if phase < burst_fraction {
+                            burst_rate
+                        } else {
+                            base_rate
+                        };
+                        t += -hash_uniform(seed, k as u64).ln() / rate;
+                        t
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// A Table X scenario lifted into the streaming setting.
+///
+/// Locations, values and service radii come from the wrapped
+/// [`Scenario`] (all of its batches, flattened in batch order); this
+/// type adds the missing dimension — time. A `initial_worker_fraction`
+/// share of the fleet is on duty at `t = 0` (the paper's
+/// always-available taxi groups); the rest trickle in per
+/// `worker_model`. The scenario's *budget* settings do not ride along:
+/// the driver draws budget vectors itself, so pass them through
+/// [`StreamConfig::for_scenario`](crate::StreamConfig::for_scenario)
+/// when the scenario sweeps them.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_stream::{ArrivalModel, StreamScenario};
+/// use dpta_workloads::{Dataset, Scenario};
+///
+/// let stream = StreamScenario {
+///     scenario: Scenario {
+///         batch_size: 40,
+///         n_batches: 2,
+///         ..Scenario::for_dataset(Dataset::Uniform)
+///     },
+///     task_model: ArrivalModel::Poisson { rate: 0.05 },
+///     worker_model: ArrivalModel::Paced { rate: 0.1 },
+///     initial_worker_fraction: 0.5,
+/// }
+/// .stream();
+/// assert_eq!(stream.n_tasks(), 80);
+/// assert!(stream.n_workers() >= 80);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamScenario {
+    /// Spatial/value/budget configuration (Table X).
+    pub scenario: Scenario,
+    /// Arrival process of the tasks.
+    pub task_model: ArrivalModel,
+    /// Arrival process of the late-joining workers.
+    pub worker_model: ArrivalModel,
+    /// Share of the fleet on duty at `t = 0`, in `[0, 1]`.
+    pub initial_worker_fraction: f64,
+}
+
+impl StreamScenario {
+    /// A streaming view of `scenario` with defaults sized to it: tasks
+    /// arrive Poisson at one task per 4 s, 80 % of the fleet starts on
+    /// duty and the rest joins at a matching trickle.
+    pub fn new(scenario: Scenario) -> Self {
+        StreamScenario {
+            scenario,
+            task_model: ArrivalModel::Poisson { rate: 0.25 },
+            worker_model: ArrivalModel::Poisson { rate: 0.05 },
+            initial_worker_fraction: 0.8,
+        }
+    }
+
+    /// Generates the arrival stream: every task and worker of every
+    /// scenario batch, stamped with model-drawn times. Deterministic in
+    /// the scenario seed.
+    pub fn stream(&self) -> ArrivalStream {
+        assert!(
+            (0.0..=1.0).contains(&self.initial_worker_fraction),
+            "initial_worker_fraction must be in [0, 1]"
+        );
+        let batches = self.scenario.batches();
+        let seed = self.scenario.seed;
+
+        let mut events = Vec::new();
+        let tasks: Vec<_> = batches
+            .iter()
+            .flat_map(|b| b.tasks().iter().copied())
+            .collect();
+        let task_times = self.task_model.times(seed ^ 0x7A5C, tasks.len());
+        for (k, (task, time)) in tasks.into_iter().zip(task_times).enumerate() {
+            events.push(ArrivalEvent::Task(TaskArrival {
+                id: k as u32,
+                time,
+                task,
+            }));
+        }
+
+        let workers: Vec<_> = batches
+            .iter()
+            .flat_map(|b| b.workers().iter().copied())
+            .collect();
+        let n_initial = ((workers.len() as f64) * self.initial_worker_fraction).round() as usize;
+        let late_times = self
+            .worker_model
+            .times(seed ^ 0x3D1F, workers.len().saturating_sub(n_initial));
+        for (k, worker) in workers.into_iter().enumerate() {
+            let time = if k < n_initial {
+                0.0
+            } else {
+                late_times[k - n_initial]
+            };
+            events.push(ArrivalEvent::Worker(WorkerArrival {
+                id: k as u32,
+                time,
+                worker,
+            }));
+        }
+        ArrivalStream::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpta_workloads::Dataset;
+
+    #[test]
+    fn paced_times_are_evenly_spaced() {
+        let t = ArrivalModel::Paced { rate: 2.0 }.times(0, 4);
+        assert_eq!(t, vec![0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn poisson_times_are_deterministic_and_seed_sensitive() {
+        let m = ArrivalModel::Poisson { rate: 1.0 };
+        assert_eq!(m.times(1, 50), m.times(1, 50));
+        assert_ne!(m.times(1, 50), m.times(2, 50));
+    }
+
+    #[test]
+    fn bursty_bursts_are_denser_than_base() {
+        let m = ArrivalModel::Bursty {
+            base_rate: 0.1,
+            burst_rate: 10.0,
+            period: 100.0,
+            burst_fraction: 0.3,
+        };
+        let times = m.times(7, 2000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Count arrivals falling in burst vs base phases.
+        let burst = times.iter().filter(|t| (*t / 100.0).fract() < 0.3).count();
+        let base = times.len() - burst;
+        // Burst phases cover 30 % of the time at 100× the rate.
+        assert!(
+            burst > 5 * base,
+            "burst arrivals {burst} not dominating base {base}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = ArrivalModel::Poisson { rate: 0.0 }.times(0, 1);
+    }
+
+    #[test]
+    fn scenario_stream_covers_all_entities() {
+        let sc = Scenario {
+            batch_size: 30,
+            n_batches: 3,
+            ..Scenario::for_dataset(Dataset::Normal)
+        };
+        let ss = StreamScenario::new(sc);
+        let stream = ss.stream();
+        assert_eq!(stream.n_tasks(), 90);
+        assert_eq!(stream.n_workers(), 180);
+        // 80 % of the fleet is on duty at t = 0.
+        let at_zero = stream
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ArrivalEvent::Worker(w) if w.time == 0.0))
+            .count();
+        assert_eq!(at_zero, 144);
+        // Determinism.
+        assert_eq!(stream, ss.stream());
+    }
+}

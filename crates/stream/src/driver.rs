@@ -1,0 +1,663 @@
+//! The online driver: replays an arrival stream window by window
+//! through any [`AssignmentEngine`].
+//!
+//! Each window becomes a PA-TA [`Instance`] of the tasks waiting and
+//! the workers on duty; the engine drives it; matched tasks complete,
+//! unmatched tasks carry over until their time-to-live runs out, and a
+//! [`CumulativeAccountant`] charges every worker's *lifetime* privacy
+//! budget, retiring workers the moment it is exhausted. Engines that
+//! support warm starts resume from the carried protocol state
+//! (releases, consumed budget slots) per the
+//! [warm-start contract](AssignmentEngine#warm-start-contract);
+//! one-shot engines get a fresh board every window.
+//!
+//! Determinism: budgets and noise are keyed by the stream's *logical*
+//! ids, not per-window indices, so the same seed reproduces the same
+//! run bit for bit — and a spatially disjoint shard sees exactly the
+//! draws it would see inside the unsharded run.
+
+use crate::event::{ArrivalStream, TaskArrival, WorkerArrival};
+use crate::metrics::{StreamReport, TaskFate, WindowReport};
+use crate::window::{Window, WindowPolicy};
+use dpta_core::board::LOCATION_RELEASE;
+use dpta_core::metrics::measure;
+use dpta_core::{AssignmentEngine, Board, Instance, RunParams};
+use dpta_dp::{CumulativeAccountant, NoiseSource, SeededNoise};
+use dpta_workloads::budgets::BudgetGen;
+use dpta_workloads::Scenario;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// A release already charged to the lifetime accountant:
+/// `(worker id, task id, slot, epsilon bits)`. Fresh-board engines
+/// re-publish bit-identical releases for pairs still pending from
+/// earlier windows (noise and budgets are id-keyed), which reveals
+/// nothing new and therefore must not be charged twice.
+type ChargeKey = (u32, u32, u32, u64);
+
+/// Configuration of one stream run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// How arrivals are grouped into batches.
+    pub policy: WindowPolicy,
+    /// Algorithm parameters (seed, α, β, accounting, fallback).
+    pub params: RunParams,
+    /// Privacy budget draw range for per-pair budget vectors (Table X).
+    /// A wrapped scenario's budget settings do not propagate through
+    /// [`StreamScenario`](crate::StreamScenario); use
+    /// [`StreamConfig::for_scenario`] to inherit them.
+    pub budget_range: (f64, f64),
+    /// Budget vector group size `Z` (Table X); see
+    /// [`StreamConfig::for_scenario`] for scenario inheritance.
+    pub budget_group_size: usize,
+    /// Lifetime privacy budget per worker; once cumulative published
+    /// spend reaches it the worker is retired. `f64::INFINITY` never
+    /// retires anyone.
+    ///
+    /// This is a *retirement threshold checked at window close*, not a
+    /// hard mid-window cap: the engines gate publications by per-pair
+    /// budget vectors, not by this lifetime figure, so a worker may
+    /// overshoot the capacity inside the window that exhausts him (the
+    /// ledger records the full spend, and he never enters another
+    /// window). A hard cap needs an engine-level budget hook — tracked
+    /// in the roadmap.
+    pub worker_capacity: f64,
+    /// Windows a task participates in before it expires (≥ 1).
+    pub task_ttl: usize,
+    /// Carry release history across windows for warm-start engines.
+    /// One-shot engines always start fresh regardless.
+    pub carry_releases: bool,
+    /// Extend the windowed span to this horizon (used by the sharded
+    /// runner so every shard forms the same window sequence).
+    pub horizon: Option<f64>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            policy: WindowPolicy::ByTime { width: 600.0 },
+            params: RunParams::default(),
+            budget_range: (0.5, 1.75),
+            budget_group_size: 7,
+            worker_capacity: f64::INFINITY,
+            task_ttl: 3,
+            carry_releases: true,
+            horizon: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A configuration inheriting `scenario`'s seed and privacy-budget
+    /// settings (draw range, group size `Z`), every other knob at its
+    /// default.
+    ///
+    /// The driver draws budget vectors itself, keyed by logical pair —
+    /// a [`StreamScenario`](crate::StreamScenario) contributes only
+    /// locations, values and radii, so the wrapped scenario's budget
+    /// fields do **not** ride along on the stream. Build the config
+    /// with this constructor when a scenario sweeps them.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpta_stream::StreamConfig;
+    /// use dpta_workloads::Scenario;
+    ///
+    /// let scenario = Scenario {
+    ///     budget_range: (1.0, 3.0),
+    ///     budget_group_size: 5,
+    ///     seed: 7,
+    ///     ..Scenario::default()
+    /// };
+    /// let cfg = StreamConfig::for_scenario(&scenario);
+    /// assert_eq!(cfg.budget_range, (1.0, 3.0));
+    /// assert_eq!(cfg.budget_group_size, 5);
+    /// assert_eq!(cfg.params.seed, 7);
+    /// ```
+    pub fn for_scenario(scenario: &Scenario) -> StreamConfig {
+        StreamConfig {
+            params: RunParams::with_seed(scenario.seed),
+            budget_range: scenario.budget_range,
+            budget_group_size: scenario.budget_group_size,
+            ..StreamConfig::default()
+        }
+    }
+}
+
+/// Noise keyed by logical ids: per-window instance indices are
+/// translated to the stream's stable ids before hashing, so a pair's
+/// draws do not depend on which window (or shard) it is evaluated in.
+struct IdStableNoise<'a> {
+    base: SeededNoise,
+    task_ids: &'a [u32],
+    worker_ids: &'a [u32],
+}
+
+impl NoiseSource for IdStableNoise<'_> {
+    fn noise(&self, task: u32, worker: u32, slot: u32, epsilon: f64) -> f64 {
+        // Sentinel keys outside the instance (e.g. the Geo-I engine's
+        // whole-location releases keyed by `LOCATION_RELEASE`) pass
+        // through untranslated.
+        let t = self.task_ids.get(task as usize).copied().unwrap_or(task);
+        let w = self
+            .worker_ids
+            .get(worker as usize)
+            .copied()
+            .unwrap_or(worker);
+        self.base.noise(t, w, slot, epsilon)
+    }
+}
+
+/// A task waiting to be served.
+#[derive(Debug, Clone, Copy)]
+struct PendingTask {
+    arrival: TaskArrival,
+    /// Windows of participation left before expiry.
+    ttl: usize,
+}
+
+/// The protocol state carried between windows for warm-start engines.
+struct CarriedBoard {
+    board: Board,
+    task_ids: Vec<u32>,
+    worker_ids: Vec<u32>,
+}
+
+/// Drives an arrival stream through one assignment engine.
+///
+/// The driver borrows the engine — engines are immutable `Send + Sync`
+/// config holders, so the sharded runner can point many drivers at one
+/// boxed engine concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::Method;
+/// use dpta_stream::{StreamConfig, StreamDriver, StreamScenario, WindowPolicy};
+/// use dpta_workloads::{Dataset, Scenario};
+///
+/// let stream = StreamScenario::new(Scenario {
+///     batch_size: 30,
+///     n_batches: 2,
+///     ..Scenario::for_dataset(Dataset::Uniform)
+/// })
+/// .stream();
+/// let cfg = StreamConfig {
+///     policy: WindowPolicy::ByTime { width: 60.0 },
+///     ..StreamConfig::default()
+/// };
+/// let engine = Method::Puce.engine(&cfg.params);
+/// let report = StreamDriver::new(engine.as_ref(), cfg).run(&stream);
+/// report.assert_conservation();
+/// assert!(report.windows.len() > 1);
+/// assert!(report.matched() > 0);
+/// ```
+pub struct StreamDriver<'e> {
+    engine: &'e dyn AssignmentEngine,
+    cfg: StreamConfig,
+}
+
+impl<'e> StreamDriver<'e> {
+    /// Creates a driver for `engine` under `cfg`. Panics on degenerate
+    /// configuration (zero TTL or an empty budget group).
+    pub fn new(engine: &'e dyn AssignmentEngine, cfg: StreamConfig) -> Self {
+        assert!(cfg.task_ttl >= 1, "task_ttl must be at least 1");
+        assert!(cfg.budget_group_size >= 1, "budget group must be non-empty");
+        assert!(
+            cfg.worker_capacity > 0.0,
+            "worker_capacity must be positive"
+        );
+        StreamDriver { engine, cfg }
+    }
+
+    /// The configuration this driver runs under.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Replays the whole stream and returns the aggregate report.
+    pub fn run(&self, stream: &ArrivalStream) -> StreamReport {
+        let windows = self.cfg.policy.windows(stream, self.cfg.horizon);
+        let warm = self.cfg.carry_releases && self.engine.supports_warm_start();
+        let budget_gen = BudgetGen::new(
+            self.cfg.params.seed ^ 0x5712_EA11,
+            0,
+            self.cfg.budget_range,
+            self.cfg.budget_group_size,
+        );
+
+        let mut pool: Vec<WorkerArrival> = Vec::new();
+        let mut pending: Vec<PendingTask> = Vec::new();
+        let mut accountant = CumulativeAccountant::new();
+        let mut carried: Option<CarriedBoard> = None;
+        let mut charged: BTreeSet<ChargeKey> = BTreeSet::new();
+        let mut fates: BTreeMap<u32, TaskFate> = BTreeMap::new();
+        let mut reports = Vec::with_capacity(windows.len());
+
+        for window in &windows {
+            reports.push(self.run_window(
+                window,
+                &mut pool,
+                &mut pending,
+                &mut accountant,
+                &mut carried,
+                &mut charged,
+                &mut fates,
+                &budget_gen,
+                warm,
+            ));
+        }
+        for p in &pending {
+            fates.insert(p.arrival.id, TaskFate::Pending);
+        }
+        StreamReport {
+            engine: self.engine.name().to_string(),
+            windows: reports,
+            fates,
+            task_arrivals: stream.n_tasks(),
+            worker_arrivals: stream.n_workers(),
+        }
+    }
+
+    /// One window: admit arrivals, drive the engine, settle fates.
+    #[allow(clippy::too_many_arguments)]
+    fn run_window(
+        &self,
+        window: &Window,
+        pool: &mut Vec<WorkerArrival>,
+        pending: &mut Vec<PendingTask>,
+        accountant: &mut CumulativeAccountant,
+        carried: &mut Option<CarriedBoard>,
+        charged: &mut BTreeSet<ChargeKey>,
+        fates: &mut BTreeMap<u32, TaskFate>,
+        budget_gen: &BudgetGen,
+        warm: bool,
+    ) -> WindowReport {
+        for w in &window.workers {
+            accountant.register(u64::from(w.id), self.cfg.worker_capacity);
+            pool.push(*w);
+        }
+        pending.extend(window.tasks.iter().map(|&arrival| PendingTask {
+            arrival,
+            ttl: self.cfg.task_ttl,
+        }));
+
+        let mut report = WindowReport {
+            index: window.index,
+            start: window.start,
+            end: window.end,
+            tasks_arrived: window.tasks.len(),
+            carried_in: pending.len() - window.tasks.len(),
+            workers_available: pool.len(),
+            matched: 0,
+            expired: 0,
+            carried_out: 0,
+            utility: 0.0,
+            distance: 0.0,
+            epsilon_spent: 0.0,
+            publications: 0,
+            rounds: 0,
+            drive_time: std::time::Duration::ZERO,
+            workers_retired: 0,
+            workers_departed: 0,
+        };
+
+        let mut matched_tasks: Vec<(usize, u32)> = Vec::new(); // (pending idx, worker id)
+        if !pending.is_empty() && !pool.is_empty() {
+            let task_ids: Vec<u32> = pending.iter().map(|p| p.arrival.id).collect();
+            let worker_ids: Vec<u32> = pool.iter().map(|w| w.id).collect();
+            let inst = Instance::from_locations(
+                pending.iter().map(|p| p.arrival.task).collect(),
+                pool.iter().map(|w| w.worker).collect(),
+                |i, j| budget_gen.vector(task_ids[i] as usize, worker_ids[j] as usize),
+            );
+            let noise = IdStableNoise {
+                base: SeededNoise::new(self.cfg.params.seed),
+                task_ids: &task_ids,
+                worker_ids: &worker_ids,
+            };
+
+            let board = match carried.take() {
+                Some(prev) if warm => {
+                    let task_to_new: BTreeMap<u32, usize> = task_ids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &id)| (id, i))
+                        .collect();
+                    let worker_to_new: BTreeMap<u32, usize> = worker_ids
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &id)| (id, j))
+                        .collect();
+                    prev.board.carry(
+                        inst.n_tasks(),
+                        inst.n_workers(),
+                        |t_old| task_to_new.get(&prev.task_ids[t_old]).copied(),
+                        |j_old| worker_to_new.get(&prev.worker_ids[j_old]).copied(),
+                    )
+                }
+                _ => Board::new(inst.n_tasks(), inst.n_workers()),
+            };
+            let pre_spend: Vec<f64> = (0..inst.n_workers())
+                .map(|j| board.spent_total(j))
+                .collect();
+            let pre_pubs = board.publications();
+
+            let start = Instant::now();
+            let outcome = if self.engine.supports_warm_start() {
+                self.engine.resume(&inst, board, &noise)
+            } else {
+                // One-shot engines require (and here always get) a
+                // fresh board.
+                let mut board = board;
+                self.engine.assign(&inst, &mut board, &noise)
+            };
+            report.drive_time = start.elapsed();
+
+            if warm {
+                // A carried board never re-publishes (slots only
+                // advance), so the spend delta is exactly the novel
+                // information released this window.
+                for (j, w) in pool.iter().enumerate() {
+                    let delta = (outcome.board.spent_total(j) - pre_spend[j]).max(0.0);
+                    accountant.charge(u64::from(w.id), delta);
+                    report.epsilon_spent += delta;
+                }
+            } else {
+                // Fresh boards re-publish for pairs still pending from
+                // earlier windows. Under id-keyed noise and budgets the
+                // repeat is bit-identical to the original release —
+                // zero new information — so each distinct release is
+                // charged exactly once over the stream's lifetime.
+                for (j, &wid) in worker_ids.iter().enumerate() {
+                    let mut novel = 0.0;
+                    for &i in inst.reach(j) {
+                        if let Some(set) = outcome.board.releases(i, j) {
+                            for (u, rel) in set.releases().iter().enumerate() {
+                                if charged.insert((
+                                    wid,
+                                    task_ids[i],
+                                    u as u32,
+                                    rel.epsilon.to_bits(),
+                                )) {
+                                    novel += rel.epsilon;
+                                }
+                            }
+                        }
+                    }
+                    // Whole-location releases (Geo-I) appear only on
+                    // the ledger, one per drive.
+                    let loc = outcome.board.ledger(j).spent_on(LOCATION_RELEASE);
+                    if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits()))
+                    {
+                        novel += loc;
+                    }
+                    accountant.charge(u64::from(wid), novel);
+                    report.epsilon_spent += novel;
+                }
+            }
+            let m = measure(
+                &inst,
+                &outcome,
+                self.cfg.params.alpha,
+                self.cfg.params.beta,
+                self.engine.accounts_privacy(),
+            );
+            report.matched = m.matched;
+            report.utility = m.total_utility;
+            report.distance = m.total_distance;
+            report.rounds = outcome.rounds;
+            report.publications = outcome.board.publications() - pre_pubs;
+
+            for (i, j) in outcome.assignment.pairs() {
+                let worker_id = worker_ids[j];
+                fates.insert(
+                    task_ids[i],
+                    TaskFate::Assigned {
+                        window: window.index,
+                        worker: worker_id,
+                        latency: window.end - pending[i].arrival.time,
+                    },
+                );
+                matched_tasks.push((i, worker_id));
+            }
+
+            if warm {
+                *carried = Some(CarriedBoard {
+                    board: outcome.board,
+                    task_ids,
+                    worker_ids,
+                });
+            }
+        }
+
+        // Settle the pool: matched workers depart to serve, exhausted
+        // workers retire.
+        let departed: BTreeSet<u32> = matched_tasks.iter().map(|&(_, w)| w).collect();
+        for &id in &departed {
+            accountant.forget(u64::from(id));
+        }
+        report.workers_departed = departed.len();
+        let retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
+        report.workers_retired = retired.len();
+        pool.retain(|w| !departed.contains(&w.id) && !retired.contains(&u64::from(w.id)));
+
+        // Settle the tasks: matched leave, survivors age, the too-old
+        // expire.
+        let mut matched_mask = vec![false; pending.len()];
+        for &(i, _) in &matched_tasks {
+            matched_mask[i] = true;
+        }
+        let mut next_pending = Vec::with_capacity(pending.len());
+        for (i, mut p) in pending.drain(..).enumerate() {
+            if matched_mask[i] {
+                continue;
+            }
+            p.ttl -= 1;
+            if p.ttl == 0 {
+                fates.insert(
+                    p.arrival.id,
+                    TaskFate::Expired {
+                        window: window.index,
+                    },
+                );
+                report.expired += 1;
+            } else {
+                next_pending.push(p);
+            }
+        }
+        *pending = next_pending;
+        report.carried_out = pending.len();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ArrivalEvent;
+    use dpta_core::{Method, Task, Worker};
+    use dpta_spatial::Point;
+
+    fn tiny_stream() -> ArrivalStream {
+        let mut events = Vec::new();
+        for k in 0..4u32 {
+            events.push(ArrivalEvent::Worker(WorkerArrival {
+                id: k,
+                time: 0.0,
+                worker: Worker::new(Point::new(k as f64, 0.0), 2.0),
+            }));
+        }
+        for k in 0..6u32 {
+            events.push(ArrivalEvent::Task(TaskArrival {
+                id: k,
+                time: 10.0 + 20.0 * k as f64,
+                task: Task::new(Point::new((k % 4) as f64, 0.5), 4.5),
+            }));
+        }
+        ArrivalStream::new(events)
+    }
+
+    fn tiny_cfg() -> StreamConfig {
+        StreamConfig {
+            policy: WindowPolicy::ByTime { width: 50.0 },
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn drives_multiple_windows_and_conserves_tasks() {
+        let cfg = tiny_cfg();
+        let engine = Method::Puce.engine(&cfg.params);
+        let report = StreamDriver::new(engine.as_ref(), cfg).run(&tiny_stream());
+        assert_eq!(report.windows.len(), 3); // horizon 110 s / 50 s
+        report.assert_conservation();
+        assert!(report.matched() > 0, "PUCE should match something");
+        assert_eq!(report.task_arrivals, 6);
+        assert_eq!(report.worker_arrivals, 4);
+    }
+
+    #[test]
+    fn one_shot_engines_run_fresh_each_window() {
+        let cfg = tiny_cfg();
+        let engine = Method::Grd.engine(&cfg.params);
+        let report = StreamDriver::new(engine.as_ref(), cfg).run(&tiny_stream());
+        report.assert_conservation();
+        assert!(report.matched() > 0);
+    }
+
+    #[test]
+    fn ttl_expires_unserveable_tasks() {
+        // One worker far away from every task: nothing can match, so
+        // every task must expire after exactly `task_ttl` windows.
+        let events = vec![
+            ArrivalEvent::Worker(WorkerArrival {
+                id: 0,
+                time: 0.0,
+                worker: Worker::new(Point::new(500.0, 500.0), 1.0),
+            }),
+            ArrivalEvent::Task(TaskArrival {
+                id: 0,
+                time: 5.0,
+                task: Task::new(Point::new(0.0, 0.0), 4.5),
+            }),
+        ];
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 10.0 },
+            task_ttl: 2,
+            horizon: Some(100.0),
+            ..StreamConfig::default()
+        };
+        let engine = Method::Puce.engine(&cfg.params);
+        let report = StreamDriver::new(engine.as_ref(), cfg).run(&ArrivalStream::new(events));
+        report.assert_conservation();
+        assert_eq!(report.matched(), 0);
+        assert_eq!(report.expired(), 1);
+        // Arrived in window 0, participates in windows 0 and 1, expires
+        // at the close of window 1.
+        assert_eq!(report.fates[&0], TaskFate::Expired { window: 1 });
+    }
+
+    #[test]
+    fn capacity_retires_workers() {
+        // A worker with a tiny lifetime budget must retire after his
+        // first window of publishing.
+        let mut events = vec![ArrivalEvent::Worker(WorkerArrival {
+            id: 0,
+            time: 0.0,
+            worker: Worker::new(Point::new(0.0, 0.0), 5.0),
+        })];
+        for k in 0..6u32 {
+            events.push(ArrivalEvent::Task(TaskArrival {
+                id: k,
+                time: 1.0 + k as f64 * 30.0,
+                task: Task::new(Point::new(4.9, 0.0), 0.1), // low value: proposals fail
+            }));
+        }
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 30.0 },
+            worker_capacity: 0.25, // below one minimum-budget release
+            task_ttl: 1,
+            ..StreamConfig::default()
+        };
+        // PDCE publishes regardless of value (distance objective).
+        let engine = Method::Pdce.engine(&cfg.params);
+        let report = StreamDriver::new(engine.as_ref(), cfg).run(&ArrivalStream::new(events));
+        report.assert_conservation();
+        let retired: usize = report.windows.iter().map(|w| w.workers_retired).sum();
+        let departed: usize = report.windows.iter().map(|w| w.workers_departed).sum();
+        assert_eq!(
+            retired + departed,
+            1,
+            "the worker must leave by retirement or by serving a match"
+        );
+        if departed == 0 {
+            // Once retired, later windows see an empty pool.
+            let last = report.windows.last().unwrap();
+            assert_eq!(last.workers_available, 0);
+        }
+    }
+
+    #[test]
+    fn identical_republication_is_charged_once() {
+        // A Geo-I worker re-publishes the *same* location release every
+        // window while a worthless task keeps him unmatched. The repeat
+        // is bit-identical (id-keyed noise), reveals nothing new, and
+        // must be charged to the lifetime accountant exactly once.
+        let events = vec![
+            ArrivalEvent::Worker(WorkerArrival {
+                id: 0,
+                time: 0.0,
+                worker: Worker::new(Point::new(0.0, 0.0), 2.0),
+            }),
+            ArrivalEvent::Task(TaskArrival {
+                id: 0,
+                time: 5.0,
+                // Zero value: the greedy stage never takes the edge, so
+                // the task stays pending and the worker stays unmatched.
+                task: Task::new(Point::new(1.0, 0.0), 0.0),
+            }),
+        ];
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 10.0 },
+            task_ttl: 10,
+            horizon: Some(49.0),
+            ..StreamConfig::default()
+        };
+        let engine = Method::GeoI.engine(&cfg.params);
+        let report = StreamDriver::new(engine.as_ref(), cfg).run(&ArrivalStream::new(events));
+        report.assert_conservation();
+        assert_eq!(report.matched(), 0);
+        assert!(report.windows.len() >= 5);
+        let first = report.windows[0].epsilon_spent;
+        assert!(first > 0.0, "the location release must be charged");
+        // Every later window re-publishes the identical release: the
+        // publication shows up, the charge does not.
+        for w in &report.windows[1..] {
+            assert_eq!(w.epsilon_spent, 0.0, "window {} re-charged", w.index);
+            assert!(w.publications > 0, "window {} did not republish", w.index);
+        }
+        assert!((report.total_epsilon() - first).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_run() {
+        let cfg = tiny_cfg();
+        let engine = Method::Pgt.engine(&cfg.params);
+        let a = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&tiny_stream());
+        let b = StreamDriver::new(engine.as_ref(), cfg).run(&tiny_stream());
+        assert_eq!(a.without_timing(), b.without_timing());
+    }
+
+    #[test]
+    fn carry_can_be_disabled() {
+        let cfg = StreamConfig {
+            carry_releases: false,
+            ..tiny_cfg()
+        };
+        let engine = Method::Puce.engine(&cfg.params);
+        let report = StreamDriver::new(engine.as_ref(), cfg).run(&tiny_stream());
+        report.assert_conservation();
+    }
+}

@@ -1,0 +1,410 @@
+//! Stream-level reporting: per-window measures, task fates, and the
+//! aggregate throughput/latency/utility view of a whole run.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// What ultimately happened to one task arrival.
+///
+/// The conservation law of the pipeline: every arrival ends in exactly
+/// one of these states, checked by
+/// [`StreamReport::assert_conservation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskFate {
+    /// Matched to a worker in the given window.
+    Assigned {
+        /// Window in which the match happened.
+        window: usize,
+        /// Logical id of the winning worker.
+        worker: u32,
+        /// Seconds from arrival to the close of the matching window.
+        latency: f64,
+    },
+    /// Dropped unserved after exhausting its time-to-live.
+    Expired {
+        /// Window after which the task was dropped.
+        window: usize,
+    },
+    /// Still waiting when the stream ended.
+    Pending,
+}
+
+/// Measures of one driven window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window sequence number.
+    pub index: usize,
+    /// Nominal window start, seconds.
+    pub start: f64,
+    /// Nominal window end, seconds.
+    pub end: f64,
+    /// Task arrivals admitted this window.
+    pub tasks_arrived: usize,
+    /// Unserved tasks carried in from earlier windows.
+    pub carried_in: usize,
+    /// Workers on duty when the window was driven.
+    pub workers_available: usize,
+    /// Matches made.
+    pub matched: usize,
+    /// Tasks dropped at window close (time-to-live exhausted).
+    pub expired: usize,
+    /// Unserved tasks carried to the next window.
+    pub carried_out: usize,
+    /// Sum of matched-pair utilities (Section VII-C accounting).
+    pub utility: f64,
+    /// Sum of matched-pair real travel distances.
+    pub distance: f64,
+    /// Privacy budget published during this window.
+    pub epsilon_spent: f64,
+    /// Obfuscated-distance publications during this window.
+    pub publications: usize,
+    /// Protocol rounds the engine ran.
+    pub rounds: usize,
+    /// Wall time of the engine drive (windowing excluded).
+    pub drive_time: Duration,
+    /// Workers retired at window close (lifetime budget exhausted).
+    pub workers_retired: usize,
+    /// Workers departed at window close (matched, now serving).
+    pub workers_departed: usize,
+}
+
+/// The aggregate outcome of one stream run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamReport {
+    /// Engine display name (paper legend style).
+    pub engine: String,
+    /// Per-window measures, in window order.
+    pub windows: Vec<WindowReport>,
+    /// Final fate of every task arrival, keyed by logical task id.
+    pub fates: BTreeMap<u32, TaskFate>,
+    /// Task arrivals observed.
+    pub task_arrivals: usize,
+    /// Worker arrivals observed.
+    pub worker_arrivals: usize,
+}
+
+impl StreamReport {
+    /// Tasks matched across all windows.
+    pub fn matched(&self) -> usize {
+        self.windows.iter().map(|w| w.matched).sum()
+    }
+
+    /// Tasks dropped unserved.
+    pub fn expired(&self) -> usize {
+        self.windows.iter().map(|w| w.expired).sum()
+    }
+
+    /// Tasks still waiting at stream end.
+    pub fn pending(&self) -> usize {
+        self.fates
+            .values()
+            .filter(|f| matches!(f, TaskFate::Pending))
+            .count()
+    }
+
+    /// Total utility over all matches.
+    pub fn total_utility(&self) -> f64 {
+        self.windows.iter().map(|w| w.utility).sum()
+    }
+
+    /// Total real travel distance over all matches.
+    pub fn total_distance(&self) -> f64 {
+        self.windows.iter().map(|w| w.distance).sum()
+    }
+
+    /// Total privacy budget published.
+    pub fn total_epsilon(&self) -> f64 {
+        self.windows.iter().map(|w| w.epsilon_spent).sum()
+    }
+
+    /// Total engine wall time (the drain time of the stream).
+    pub fn drive_time(&self) -> Duration {
+        self.windows.iter().map(|w| w.drive_time).sum()
+    }
+
+    /// Matches per second of engine time; zero when nothing ran.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.drive_time().as_secs_f64();
+        if secs > 0.0 {
+            self.matched() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean utility per match; zero when nothing matched.
+    pub fn avg_utility(&self) -> f64 {
+        let m = self.matched();
+        if m > 0 {
+            self.total_utility() / m as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean seconds from task arrival to the close of its matching
+    /// window; zero when nothing matched.
+    pub fn mean_latency(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for f in self.fates.values() {
+            if let TaskFate::Assigned { latency, .. } = f {
+                sum += latency;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            sum / n as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Asserts the pipeline's conservation law: every task arrival has
+    /// exactly one fate, and the per-window counters agree with the
+    /// fate map. Returns `(matched, expired, pending)`.
+    pub fn assert_conservation(&self) -> (usize, usize, usize) {
+        assert_eq!(
+            self.fates.len(),
+            self.task_arrivals,
+            "every task arrival must have exactly one fate"
+        );
+        let mut by_fate = (0usize, 0usize, 0usize);
+        for f in self.fates.values() {
+            match f {
+                TaskFate::Assigned { .. } => by_fate.0 += 1,
+                TaskFate::Expired { .. } => by_fate.1 += 1,
+                TaskFate::Pending => by_fate.2 += 1,
+            }
+        }
+        assert_eq!(by_fate.0, self.matched(), "fate map vs window matches");
+        assert_eq!(by_fate.1, self.expired(), "fate map vs window expiries");
+        assert_eq!(
+            by_fate.0 + by_fate.1 + by_fate.2,
+            self.task_arrivals,
+            "assigned + expired + pending must cover every arrival"
+        );
+        by_fate
+    }
+
+    /// A copy with every wall-clock timing zeroed — the semantic view
+    /// of the run. Two runs with the same seed must agree on this view
+    /// exactly (engine wall time is the only thing allowed to vary).
+    pub fn without_timing(&self) -> StreamReport {
+        let mut r = self.clone();
+        for w in &mut r.windows {
+            w.drive_time = Duration::ZERO;
+        }
+        r
+    }
+
+    /// Renders the per-window table and the aggregate line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} — {} windows, {} tasks, {} workers\n",
+            self.engine,
+            self.windows.len(),
+            self.task_arrivals,
+            self.worker_arrivals
+        ));
+        out.push_str(
+            "  win      span(s)  arr  carry  pool  match  exp  util/match   eps  drive(ms)\n",
+        );
+        for w in &self.windows {
+            let per_match = if w.matched > 0 {
+                w.utility / w.matched as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:>3} {:>6.0}-{:<6.0} {:>4} {:>6} {:>5} {:>6} {:>4} {:>11.3} {:>5.1} {:>10.2}\n",
+                w.index,
+                w.start,
+                w.end,
+                w.tasks_arrived,
+                w.carried_in,
+                w.workers_available,
+                w.matched,
+                w.expired,
+                per_match,
+                w.epsilon_spent,
+                w.drive_time.as_secs_f64() * 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "  total: {} matched / {} expired / {} pending · utility {:.2} \
+             (avg {:.3}) · mean latency {:.0} s · {:.0} matches/s\n",
+            self.matched(),
+            self.expired(),
+            self.pending(),
+            self.total_utility(),
+            self.avg_utility(),
+            self.mean_latency(),
+            self.throughput(),
+        ));
+        out
+    }
+}
+
+/// The outcome of a sharded run: per-shard reports plus merged totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardedReport {
+    /// One report per shard, in shard-id order (empty shards included).
+    pub shards: Vec<StreamReport>,
+}
+
+impl ShardedReport {
+    /// Tasks matched across all shards.
+    pub fn matched(&self) -> usize {
+        self.shards.iter().map(StreamReport::matched).sum()
+    }
+
+    /// Total utility across all shards.
+    pub fn total_utility(&self) -> f64 {
+        self.shards.iter().map(StreamReport::total_utility).sum()
+    }
+
+    /// Total travel distance across all shards.
+    pub fn total_distance(&self) -> f64 {
+        self.shards.iter().map(StreamReport::total_distance).sum()
+    }
+
+    /// Total privacy budget published across all shards.
+    pub fn total_epsilon(&self) -> f64 {
+        self.shards.iter().map(StreamReport::total_epsilon).sum()
+    }
+
+    /// Wall time of the slowest shard — the parallel drain time.
+    pub fn critical_path(&self) -> Duration {
+        self.shards
+            .iter()
+            .map(StreamReport::drive_time)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Summed engine time across shards (the sequential-equivalent cost).
+    pub fn total_drive_time(&self) -> Duration {
+        self.shards.iter().map(StreamReport::drive_time).sum()
+    }
+
+    /// Renders the shard summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sharded × {}: {} matched · utility {:.2} · critical path {:.2} ms \
+             (sum {:.2} ms)\n",
+            self.shards.len(),
+            self.matched(),
+            self.total_utility(),
+            self.critical_path().as_secs_f64() * 1e3,
+            self.total_drive_time().as_secs_f64() * 1e3,
+        ));
+        for (k, s) in self.shards.iter().enumerate() {
+            if s.task_arrivals == 0 && s.worker_arrivals == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  shard {:>2}: {} tasks, {} workers → {} matched, utility {:.2}\n",
+                k,
+                s.task_arrivals,
+                s.worker_arrivals,
+                s.matched(),
+                s.total_utility(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(matched: usize, expired: usize, utility: f64) -> WindowReport {
+        WindowReport {
+            index: 0,
+            start: 0.0,
+            end: 1.0,
+            tasks_arrived: matched + expired,
+            carried_in: 0,
+            workers_available: 3,
+            matched,
+            expired,
+            carried_out: 0,
+            utility,
+            distance: 1.0,
+            epsilon_spent: 0.5,
+            publications: 2,
+            rounds: 1,
+            drive_time: Duration::from_millis(2),
+            workers_retired: 0,
+            workers_departed: matched,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_windows_and_checks_conservation() {
+        let mut fates = BTreeMap::new();
+        fates.insert(
+            0,
+            TaskFate::Assigned {
+                window: 0,
+                worker: 9,
+                latency: 30.0,
+            },
+        );
+        fates.insert(1, TaskFate::Expired { window: 1 });
+        fates.insert(2, TaskFate::Pending);
+        let r = StreamReport {
+            engine: "PUCE".into(),
+            windows: vec![window(1, 0, 2.5), window(0, 1, 0.0)],
+            fates,
+            task_arrivals: 3,
+            worker_arrivals: 2,
+        };
+        assert_eq!(r.assert_conservation(), (1, 1, 1));
+        assert_eq!(r.matched(), 1);
+        assert_eq!(r.expired(), 1);
+        assert_eq!(r.pending(), 1);
+        assert!((r.total_utility() - 2.5).abs() < 1e-12);
+        assert!((r.avg_utility() - 2.5).abs() < 1e-12);
+        assert!((r.mean_latency() - 30.0).abs() < 1e-12);
+        assert!(r.throughput() > 0.0);
+        let text = r.render();
+        assert!(text.contains("PUCE"));
+        assert!(text.contains("1 matched / 1 expired / 1 pending"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one fate")]
+    fn missing_fate_fails_conservation() {
+        let r = StreamReport {
+            engine: "GRD".into(),
+            windows: Vec::new(),
+            fates: BTreeMap::new(),
+            task_arrivals: 1,
+            worker_arrivals: 0,
+        };
+        r.assert_conservation();
+    }
+
+    #[test]
+    fn sharded_report_merges_totals() {
+        let one = StreamReport {
+            engine: "GRD".into(),
+            windows: vec![window(2, 0, 4.0)],
+            fates: BTreeMap::new(),
+            task_arrivals: 2,
+            worker_arrivals: 2,
+        };
+        let merged = ShardedReport {
+            shards: vec![one.clone(), StreamReport::default(), one],
+        };
+        assert_eq!(merged.matched(), 4);
+        assert!((merged.total_utility() - 8.0).abs() < 1e-12);
+        assert!(merged.critical_path() >= Duration::from_millis(2));
+        assert!(merged.total_drive_time() >= merged.critical_path());
+        assert!(merged.render().contains("sharded × 3"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Windowing: turning the arrival log into a sequence of batches.
+//!
+//! The paper batches "at most 1000 orders ... by timestamp"
+//! (Section VII-B); a [`WindowPolicy`] generalises that into the two
+//! standard streaming triggers — a fixed time width or a task-count
+//! threshold — and produces the [`Window`]s the
+//! [`StreamDriver`](crate::StreamDriver) replays.
+
+use crate::event::{ArrivalEvent, ArrivalStream, TaskArrival, WorkerArrival};
+
+/// When a window closes.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::Task;
+/// use dpta_spatial::Point;
+/// use dpta_stream::{ArrivalEvent, ArrivalStream, TaskArrival, WindowPolicy};
+///
+/// let stream = ArrivalStream::new(
+///     (0..6)
+///         .map(|k| {
+///             ArrivalEvent::Task(TaskArrival {
+///                 id: k,
+///                 time: k as f64 * 10.0,
+///                 task: Task::new(Point::new(0.0, 0.0), 1.0),
+///             })
+///         })
+///         .collect(),
+/// );
+/// // Time windows of 25 s: [0,25) holds 3 arrivals, [25,50) two, [50,75) one.
+/// let windows = WindowPolicy::ByTime { width: 25.0 }.windows(&stream, None);
+/// assert_eq!(
+///     windows.iter().map(|w| w.tasks.len()).collect::<Vec<_>>(),
+///     vec![3, 2, 1]
+/// );
+/// // Count windows of 4 tasks close as soon as the threshold fills.
+/// let windows = WindowPolicy::ByCount { tasks: 4 }.windows(&stream, None);
+/// assert_eq!(
+///     windows.iter().map(|w| w.tasks.len()).collect::<Vec<_>>(),
+///     vec![4, 2]
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowPolicy {
+    /// Fixed-width time windows `[k·width, (k+1)·width)` anchored at
+    /// `t = 0`. Boundaries are global, so every shard of a partitioned
+    /// stream forms the *same* windows — the property the sharded mode
+    /// relies on for exact agreement with unsharded execution.
+    ByTime {
+        /// Window width in seconds.
+        width: f64,
+    },
+    /// A window closes as soon as it holds `tasks` task arrivals (the
+    /// paper's "at most 1000 orders" trigger). Boundaries depend on the
+    /// events, so sharded runs form different windows than unsharded
+    /// ones; use [`WindowPolicy::ByTime`] when the two must agree.
+    ByCount {
+        /// Task arrivals per window.
+        tasks: usize,
+    },
+}
+
+/// One closed window: its nominal time span and the arrivals in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Window sequence number, from zero.
+    pub index: usize,
+    /// Nominal start time (inclusive).
+    pub start: f64,
+    /// Nominal end time (exclusive for [`WindowPolicy::ByTime`],
+    /// the closing arrival's timestamp for [`WindowPolicy::ByCount`]).
+    pub end: f64,
+    /// Task arrivals of this window, in stream order.
+    pub tasks: Vec<TaskArrival>,
+    /// Worker arrivals of this window, in stream order.
+    pub workers: Vec<WorkerArrival>,
+}
+
+/// Hard ceiling on generated windows: a width far below the stream's
+/// time scale would otherwise materialise millions of empty windows
+/// (and drive each of them) before anyone notices the mistake.
+pub const MAX_WINDOWS: usize = 1 << 20;
+
+impl WindowPolicy {
+    /// Splits `stream` into consecutive windows covering every event.
+    ///
+    /// `horizon` extends the windowed span beyond the stream's last
+    /// event (time policies emit trailing empty windows up to it) — the
+    /// sharded runner passes the *global* horizon so every shard forms
+    /// the same window sequence even when its local events end early.
+    /// Interior empty windows are always emitted: a window in which
+    /// nothing arrives still advances waiting-task lifetimes. Panics
+    /// when the span/width ratio would exceed [`MAX_WINDOWS`].
+    pub fn windows(&self, stream: &ArrivalStream, horizon: Option<f64>) -> Vec<Window> {
+        if stream.events().is_empty() && horizon.is_none() {
+            return Vec::new();
+        }
+        match *self {
+            WindowPolicy::ByTime { width } => {
+                assert!(
+                    width > 0.0 && width.is_finite(),
+                    "window width must be positive, got {width}"
+                );
+                let span = stream.horizon().max(horizon.unwrap_or(0.0));
+                assert!(
+                    span / width < MAX_WINDOWS as f64,
+                    "width {width} s over a {span} s span would generate more than \
+                     {MAX_WINDOWS} windows — widen the window"
+                );
+                let k_max = (span / width) as usize;
+                let mut windows: Vec<Window> = (0..=k_max)
+                    .map(|k| Window {
+                        index: k,
+                        start: k as f64 * width,
+                        end: (k + 1) as f64 * width,
+                        tasks: Vec::new(),
+                        workers: Vec::new(),
+                    })
+                    .collect();
+                for e in stream.events() {
+                    let k = ((e.time() / width) as usize).min(k_max);
+                    match e {
+                        ArrivalEvent::Task(t) => windows[k].tasks.push(*t),
+                        ArrivalEvent::Worker(w) => windows[k].workers.push(*w),
+                    }
+                }
+                windows
+            }
+            WindowPolicy::ByCount { tasks } => {
+                assert!(tasks > 0, "count threshold must be positive");
+                let mut windows = Vec::new();
+                let mut cur = Window {
+                    index: 0,
+                    start: 0.0,
+                    end: 0.0,
+                    tasks: Vec::new(),
+                    workers: Vec::new(),
+                };
+                for e in stream.events() {
+                    match e {
+                        ArrivalEvent::Worker(w) => cur.workers.push(*w),
+                        ArrivalEvent::Task(t) => {
+                            cur.tasks.push(*t);
+                            if cur.tasks.len() == tasks {
+                                cur.end = t.time;
+                                let start_next = t.time;
+                                let index_next = cur.index + 1;
+                                windows.push(std::mem::replace(
+                                    &mut cur,
+                                    Window {
+                                        index: index_next,
+                                        start: start_next,
+                                        end: start_next,
+                                        tasks: Vec::new(),
+                                        workers: Vec::new(),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+                if !cur.tasks.is_empty() || !cur.workers.is_empty() {
+                    cur.end = stream.horizon().max(horizon.unwrap_or(0.0));
+                    windows.push(cur);
+                }
+                windows
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpta_core::{Task, Worker};
+    use dpta_spatial::Point;
+
+    fn task(id: u32, time: f64) -> ArrivalEvent {
+        ArrivalEvent::Task(TaskArrival {
+            id,
+            time,
+            task: Task::new(Point::new(0.0, 0.0), 1.0),
+        })
+    }
+
+    fn worker(id: u32, time: f64) -> ArrivalEvent {
+        ArrivalEvent::Worker(WorkerArrival {
+            id,
+            time,
+            worker: Worker::new(Point::new(0.0, 0.0), 1.0),
+        })
+    }
+
+    #[test]
+    fn time_windows_include_interior_empties() {
+        let s = ArrivalStream::new(vec![task(0, 5.0), task(1, 35.0)]);
+        let w = WindowPolicy::ByTime { width: 10.0 }.windows(&s, None);
+        assert_eq!(w.len(), 4); // [0,10) [10,20) [20,30) [30,40)
+        assert_eq!(w[0].tasks.len(), 1);
+        assert!(w[1].tasks.is_empty() && w[2].tasks.is_empty());
+        assert_eq!(w[3].tasks.len(), 1);
+        assert_eq!(w[3].start, 30.0);
+        assert_eq!(w[3].end, 40.0);
+    }
+
+    #[test]
+    fn time_windows_extend_to_the_passed_horizon() {
+        let s = ArrivalStream::new(vec![task(0, 5.0)]);
+        let w = WindowPolicy::ByTime { width: 10.0 }.windows(&s, Some(45.0));
+        assert_eq!(w.len(), 5);
+        assert!(w[4].tasks.is_empty());
+    }
+
+    #[test]
+    fn count_windows_keep_same_instant_workers_with_their_task() {
+        // Worker 1 arrives at the same instant as the closing task and
+        // sorts before it, so it lands in the first window.
+        let s = ArrivalStream::new(vec![
+            worker(0, 0.0),
+            task(0, 1.0),
+            worker(1, 2.0),
+            task(1, 2.0),
+            task(2, 3.0),
+        ]);
+        let w = WindowPolicy::ByCount { tasks: 2 }.windows(&s, None);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].tasks.len(), 2);
+        assert_eq!(w[0].workers.len(), 2);
+        assert_eq!(w[0].end, 2.0);
+        assert_eq!(w[1].tasks.len(), 1);
+        assert_eq!(w[1].index, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "widen the window")]
+    fn absurdly_narrow_windows_panic() {
+        let s = ArrivalStream::new(vec![task(0, 100_000.0)]);
+        let _ = WindowPolicy::ByTime { width: 1e-6 }.windows(&s, None);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_windows() {
+        let s = ArrivalStream::new(Vec::new());
+        assert!(WindowPolicy::ByTime { width: 5.0 }
+            .windows(&s, None)
+            .is_empty());
+        assert!(WindowPolicy::ByCount { tasks: 3 }
+            .windows(&s, None)
+            .is_empty());
+    }
+}

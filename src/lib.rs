@@ -16,6 +16,7 @@
 //! | [`matching`] | Hungarian, greedy, rank matrices, CEA |
 //! | [`core`] | the PA-TA model and the PUCE/PGT/PDCE/… engines |
 //! | [`workloads`] | uniform/normal generators + Chengdu simulator |
+//! | [`stream`] | arrival streams, windowing, online + sharded driving |
 //! | [`experiments`] | figure registry, runner, reports, claims |
 //!
 //! # Quickstart
@@ -51,9 +52,9 @@
 //! # The engine API
 //!
 //! Every Table IX method is an [`AssignmentEngine`](core::engine::AssignmentEngine)
-//! behind the [`Method`] registry. Long-running callers resolve the
-//! engine once and reuse it across batches — only the noise source
-//! changes per run:
+//! behind the [`Method`](core::Method) registry. Long-running callers
+//! resolve the engine once and reuse it across batches — only the
+//! noise source changes per run:
 //!
 //! ```
 //! use dpta::prelude::*;
@@ -76,6 +77,29 @@
 //! let direct = Method::Puce.run(&inst, &params);
 //! assert_eq!(outcome.assignment, direct.assignment);
 //! ```
+//!
+//! # The streaming pipeline
+//!
+//! The dynamic setting — arrivals over time, windowed batching, budget
+//! depletion, sharded execution — lives in [`stream`]:
+//!
+//! ```
+//! use dpta::prelude::*;
+//!
+//! let arrivals = StreamScenario::new(Scenario {
+//!     batch_size: 30,
+//!     n_batches: 2,
+//!     ..Scenario::for_dataset(Dataset::Uniform)
+//! })
+//! .stream();
+//! let cfg = StreamConfig::default();
+//! let engine = Method::Puce.engine(&cfg.params);
+//! let report = StreamDriver::new(engine.as_ref(), cfg).run(&arrivals);
+//! report.assert_conservation(); // assigned + expired + pending = arrivals
+//! ```
+//!
+//! See `examples/streaming.rs` for the full tour (windows, retirement,
+//! sharding).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -85,6 +109,7 @@ pub use dpta_dp as dp;
 pub use dpta_experiments as experiments;
 pub use dpta_matching as matching;
 pub use dpta_spatial as spatial;
+pub use dpta_stream as stream;
 pub use dpta_workloads as workloads;
 
 /// The names most programs need.
@@ -95,8 +120,14 @@ pub mod prelude {
     pub use dpta_core::{
         AssignmentEngine, Board, Instance, Measures, Method, RunOutcome, RunParams, Task, Worker,
     };
-    pub use dpta_dp::{pcf, ppcf, BudgetVector, EffectivePair, PrivacyLedger, SeededNoise};
+    pub use dpta_dp::{
+        pcf, ppcf, BudgetVector, CumulativeAccountant, EffectivePair, PrivacyLedger, SeededNoise,
+    };
     pub use dpta_matching::Assignment;
-    pub use dpta_spatial::{Circle, Point};
+    pub use dpta_spatial::{Circle, GridPartition, Point};
+    pub use dpta_stream::{
+        run_sharded, ArrivalModel, ArrivalStream, StreamConfig, StreamDriver, StreamReport,
+        StreamScenario, WindowPolicy,
+    };
     pub use dpta_workloads::{Dataset, Scenario};
 }

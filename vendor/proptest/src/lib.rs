@@ -3,7 +3,7 @@
 //! The build environment has no access to crates.io, so this crate
 //! provides randomized property testing behind proptest's names: the
 //! [`proptest!`] macro over `name in strategy` bindings, range /
-//! tuple / [`collection::vec`] / [`bool`](crate::bool) strategies,
+//! tuple / [`collection::vec`] / [`mod@bool`] strategies,
 //! [`ProptestConfig`], and `prop_assert!` / `prop_assert_eq!`. There is
 //! no shrinking: a failing case panics immediately, printing the case
 //! number and seed so the run is reproducible (cases derive
