@@ -5,7 +5,9 @@
 
 use crate::board::Board;
 use crate::config::EngineConfig;
-use crate::engine::{require_fresh_board, AssignmentEngine, Ctx, EngineTrace};
+use crate::engine::{
+    require_fresh_board, AssignmentEngine, BudgetRemaining, Ctx, EngineTrace, Uncapped,
+};
 use crate::model::Instance;
 use crate::outcome::RunOutcome;
 use dpta_dp::NoiseSource;
@@ -136,14 +138,31 @@ impl AssignmentEngine for ObfuscatedOptimalEngine {
         &self.cfg
     }
 
+    fn enforces_budget_cap(&self) -> bool {
+        true
+    }
+
     fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
+        self.drive_capped(inst, board, noise, &Uncapped)
+    }
+
+    fn drive_capped(
+        &self,
+        inst: &Instance,
+        board: &mut Board,
+        noise: &dyn NoiseSource,
+        remaining: &dyn BudgetRemaining,
+    ) -> EngineTrace {
         require_fresh_board(self.name(), board);
-        let ctx = Ctx::new(inst, &self.cfg, noise);
+        let ctx = Ctx::new(inst, &self.cfg, noise, board, remaining);
         for j in 0..inst.n_workers() {
             for &i in inst.reach(j) {
                 let p = ctx
                     .prospective(board, i, j)
                     .expect("fresh board: slot 0 must be available");
+                if !ctx.affordable(board, j, p.epsilon) {
+                    continue; // hard cap: the pair stays unestimated
+                }
                 board.publish(i, j, p.d_hat, p.epsilon);
             }
         }

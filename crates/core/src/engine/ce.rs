@@ -36,7 +36,7 @@
 
 use crate::board::Board;
 use crate::config::{CompareMode, EngineConfig, Objective, ProposalAccounting};
-use crate::engine::{AssignmentEngine, Ctx, EngineTrace};
+use crate::engine::{AssignmentEngine, BudgetRemaining, Ctx, EngineTrace, Uncapped};
 use crate::model::Instance;
 use crate::outcome::RunOutcome;
 use dpta_dp::{pcf, ppcf, EffectivePair, NoiseSource};
@@ -87,11 +87,25 @@ impl AssignmentEngine for CeEngine {
         true
     }
 
+    fn enforces_budget_cap(&self) -> bool {
+        true
+    }
+
     fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
+        self.drive_capped(inst, board, noise, &Uncapped)
+    }
+
+    fn drive_capped(
+        &self,
+        inst: &Instance,
+        board: &mut Board,
+        noise: &dyn NoiseSource,
+        remaining: &dyn BudgetRemaining,
+    ) -> EngineTrace {
         assert_eq!(board.n_tasks(), inst.n_tasks());
         assert_eq!(board.n_workers(), inst.n_workers());
         let cfg = &self.cfg;
-        let ctx = Ctx::new(inst, cfg, noise);
+        let ctx = Ctx::new(inst, cfg, noise, board, remaining);
         let mut rounds = 0usize;
         loop {
             rounds += 1;
@@ -146,6 +160,9 @@ fn worker_proposals(ctx: &Ctx<'_>, board: &mut Board) -> Vec<Vec<CtEntry>> {
             let Some(p) = ctx.prospective(board, i, j) else {
                 continue; // line 4: privacy budget exhausted
             };
+            if !ctx.affordable(board, j, p.epsilon) {
+                continue; // hard lifetime cap: the release would overshoot
+            }
 
             // Line 6–8: prospective utility must be positive (utility
             // objective only — PDCE optimises distance and has no such

@@ -3,6 +3,7 @@
 
 use crate::board::Board;
 use crate::config::EngineConfig;
+use crate::engine::BudgetRemaining;
 use crate::model::{DistanceValue, Instance, LinearValue, PrivacyValue};
 use dpta_dp::{EffectivePair, NoiseSource, Release, ReleaseSet};
 
@@ -25,10 +26,23 @@ pub(crate) struct Ctx<'a> {
     noise: &'a dyn NoiseSource,
     fd: LinearValue,
     fp: LinearValue,
+    /// Remaining lifetime budget per worker at drive start (the hard
+    /// lifetime cap hook; `Uncapped` when the caller sets no cap).
+    remaining: &'a dyn BudgetRemaining,
+    /// Each worker's board spend when the drive started: the capped
+    /// gate compares *novel* spend, not carried history, against the
+    /// remaining budget.
+    base_spend: Vec<f64>,
 }
 
 impl<'a> Ctx<'a> {
-    pub fn new(inst: &'a Instance, cfg: &'a EngineConfig, noise: &'a dyn NoiseSource) -> Self {
+    pub fn new(
+        inst: &'a Instance,
+        cfg: &'a EngineConfig,
+        noise: &'a dyn NoiseSource,
+        board: &Board,
+        remaining: &'a dyn BudgetRemaining,
+    ) -> Self {
         assert!(
             cfg.alpha.is_finite() && cfg.alpha > 0.0,
             "f_d slope must be finite and > 0 (Eq. 4 needs its inverse), got {}",
@@ -45,7 +59,20 @@ impl<'a> Ctx<'a> {
             noise,
             fd: LinearValue::new(cfg.alpha),
             fp: LinearValue::new(cfg.beta),
+            remaining,
+            base_spend: (0..inst.n_workers())
+                .map(|j| board.spent_total(j))
+                .collect(),
         }
+    }
+
+    /// Whether `worker` can afford another `epsilon` of novel spend:
+    /// his board-spend delta since drive start plus `epsilon` must fit
+    /// the remaining lifetime budget the cap hook grants. Always true
+    /// under [`Uncapped`](crate::engine::Uncapped).
+    pub fn affordable(&self, board: &Board, worker: usize, epsilon: f64) -> bool {
+        board.spent_total(worker) - self.base_spend[worker] + epsilon
+            <= self.remaining.remaining(worker) + 1e-12
     }
 
     /// `f_d(d)`.

@@ -27,7 +27,7 @@
 use crate::analysis::potential;
 use crate::board::Board;
 use crate::config::EngineConfig;
-use crate::engine::{AssignmentEngine, Ctx, EngineTrace};
+use crate::engine::{AssignmentEngine, BudgetRemaining, Ctx, EngineTrace, Uncapped};
 use crate::model::Instance;
 use crate::outcome::{MoveRecord, RunOutcome};
 use dpta_dp::NoiseSource;
@@ -63,8 +63,22 @@ impl AssignmentEngine for GameEngine {
         true
     }
 
+    fn enforces_budget_cap(&self) -> bool {
+        true
+    }
+
     fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
-        drive_game(inst, &self.cfg, noise, board)
+        drive_game(inst, &self.cfg, noise, board, &Uncapped)
+    }
+
+    fn drive_capped(
+        &self,
+        inst: &Instance,
+        board: &mut Board,
+        noise: &dyn NoiseSource,
+        remaining: &dyn BudgetRemaining,
+    ) -> EngineTrace {
+        drive_game(inst, &self.cfg, noise, board, remaining)
     }
 }
 
@@ -89,10 +103,11 @@ fn drive_game(
     cfg: &EngineConfig,
     noise: &dyn NoiseSource,
     board: &mut Board,
+    remaining: &dyn BudgetRemaining,
 ) -> EngineTrace {
     assert_eq!(board.n_tasks(), inst.n_tasks());
     assert_eq!(board.n_workers(), inst.n_workers());
-    let ctx = Ctx::new(inst, cfg, noise);
+    let ctx = Ctx::new(inst, cfg, noise, board, remaining);
     let mut moves: Vec<MoveRecord> = Vec::new();
     let mut rounds = 0usize;
 
@@ -118,6 +133,9 @@ fn drive_game(
                 let Some(p) = ctx.prospective(board, i, j) else {
                     continue; // budget exhausted toward this task
                 };
+                if !ctx.affordable(board, j, p.epsilon) {
+                    continue; // hard lifetime cap: the move would overshoot
+                }
                 let mut ut = inst.task_value(i) - ctx.fd(p.effective.distance) - ctx.fp(p.epsilon);
                 if let Some(w) = board.winner(i) {
                     let we = board

@@ -25,7 +25,9 @@
 
 use crate::board::Board;
 use crate::config::EngineConfig;
-use crate::engine::{require_fresh_board, AssignmentEngine, Ctx, EngineTrace};
+use crate::engine::{
+    require_fresh_board, AssignmentEngine, BudgetRemaining, Ctx, EngineTrace, Uncapped,
+};
 use crate::model::Instance;
 use crate::outcome::RunOutcome;
 use dpta_dp::{NoiseSource, PlanarLaplace};
@@ -59,10 +61,24 @@ impl AssignmentEngine for GeoIEngine {
         &self.cfg
     }
 
+    fn enforces_budget_cap(&self) -> bool {
+        true
+    }
+
     fn drive(&self, inst: &Instance, board: &mut Board, noise: &dyn NoiseSource) -> EngineTrace {
+        self.drive_capped(inst, board, noise, &Uncapped)
+    }
+
+    fn drive_capped(
+        &self,
+        inst: &Instance,
+        board: &mut Board,
+        noise: &dyn NoiseSource,
+        remaining: &dyn BudgetRemaining,
+    ) -> EngineTrace {
         require_fresh_board(self.name(), board);
         let cfg = &self.cfg;
-        let ctx = Ctx::new(inst, cfg, noise);
+        let ctx = Ctx::new(inst, cfg, noise, board, remaining);
         let mut edges: Vec<Edge> = Vec::new();
 
         for j in 0..inst.n_workers() {
@@ -76,6 +92,11 @@ impl AssignmentEngine for GeoIEngine {
                 .map(|&i| inst.budget(i, j).expect("reachable").slot(0))
                 .sum::<f64>()
                 / reach.len() as f64;
+            if cfg.private && !ctx.affordable(board, j, eps) {
+                // Hard lifetime cap: without the location release the
+                // worker cannot participate in this round at all.
+                continue;
+            }
 
             let reported = if cfg.private {
                 let mech = PlanarLaplace::new(eps);

@@ -49,6 +49,47 @@ pub struct EngineTrace {
     pub moves: Vec<MoveRecord>,
 }
 
+/// Per-worker remaining lifetime privacy budget, consulted by capped
+/// drives ([`AssignmentEngine::drive_capped`]) before every
+/// publication.
+///
+/// The streaming layer's `worker_capacity` is a *lifetime* figure; the
+/// engines gate publications by per-pair budget vectors, so without
+/// this hook a worker can overshoot the capacity inside the window that
+/// exhausts him. A capped drive skips any proposal whose ε would push
+/// the worker's novel spend (since drive start) past
+/// [`remaining`](BudgetRemaining::remaining), which makes the cap exact
+/// rather than retire-at-window-close.
+///
+/// Implementations must be pure over a drive: the same worker index
+/// returns the same figure for the whole drive, so capped runs stay
+/// deterministic.
+pub trait BudgetRemaining: Sync {
+    /// Remaining lifetime budget of worker `j` (instance index) at
+    /// drive start. `f64::INFINITY` disables the cap for that worker.
+    fn remaining(&self, worker: usize) -> f64;
+}
+
+/// The no-cap guard: infinite remaining budget for every worker.
+/// [`AssignmentEngine::drive`] is exactly `drive_capped` under this
+/// guard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uncapped;
+
+impl BudgetRemaining for Uncapped {
+    fn remaining(&self, _worker: usize) -> f64 {
+        f64::INFINITY
+    }
+}
+
+/// A snapshot vector indexed by instance worker: the natural guard for
+/// drivers that pre-compute each worker's remaining lifetime budget.
+impl BudgetRemaining for Vec<f64> {
+    fn remaining(&self, worker: usize) -> f64 {
+        self[worker]
+    }
+}
+
 /// A Table IX solver behind one polymorphic interface.
 ///
 /// Engines are cheap, immutable config holders (`Send + Sync`, so one
@@ -126,6 +167,104 @@ pub trait AssignmentEngine: Send + Sync {
     /// carry-over). One-shot engines return `false`.
     fn supports_warm_start(&self) -> bool {
         false
+    }
+
+    /// Capability hook: whether [`drive_capped`](Self::drive_capped)
+    /// actually enforces the remaining-budget guard. Engines that never
+    /// publish (GRD, OPT) satisfy any cap vacuously and return `false`.
+    fn enforces_budget_cap(&self) -> bool {
+        false
+    }
+
+    /// Drives `board` to completion like [`drive`](Self::drive), but
+    /// skips every proposal whose ε would push the worker's novel spend
+    /// (since drive start) past `remaining` — the hook the streaming
+    /// pipeline uses to make lifetime budget caps exact. Under
+    /// [`Uncapped`] this is bit-identical to `drive`; the default
+    /// implementation ignores the guard, which is correct only for
+    /// engines that publish nothing (see
+    /// [`enforces_budget_cap`](Self::enforces_budget_cap)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpta_core::engine::{BudgetRemaining, Uncapped};
+    /// use dpta_core::{Board, Instance, Method, RunParams, Task, Worker};
+    /// use dpta_dp::{BudgetVector, SeededNoise};
+    /// use dpta_spatial::Point;
+    ///
+    /// let inst = Instance::from_locations(
+    ///     vec![Task::new(Point::new(0.0, 0.0), 4.5)],
+    ///     vec![Worker::new(Point::new(0.3, 0.4), 2.0)],
+    ///     |_, _| BudgetVector::new(vec![0.5, 1.0]),
+    /// );
+    /// let params = RunParams::default();
+    /// let engine = Method::Puce.engine(&params);
+    /// let noise = SeededNoise::new(params.seed);
+    ///
+    /// // A worker with no budget left publishes nothing and wins nothing.
+    /// let mut board = Board::new(1, 1);
+    /// engine.drive_capped(&inst, &mut board, &noise, &vec![0.0]);
+    /// assert_eq!(board.publications(), 0);
+    /// assert_eq!(board.winner(0), None);
+    ///
+    /// // Uncapped, the capped drive is the plain drive.
+    /// let mut capped = Board::new(1, 1);
+    /// engine.drive_capped(&inst, &mut capped, &noise, &Uncapped);
+    /// let plain = engine.run(&inst, &noise);
+    /// assert_eq!(capped.publications(), plain.board.publications());
+    /// ```
+    fn drive_capped(
+        &self,
+        inst: &Instance,
+        board: &mut Board,
+        noise: &dyn NoiseSource,
+        remaining: &dyn BudgetRemaining,
+    ) -> EngineTrace {
+        let _ = remaining;
+        self.drive(inst, board, noise)
+    }
+
+    /// [`assign`](Self::assign) under a remaining-budget guard.
+    fn assign_capped(
+        &self,
+        inst: &Instance,
+        board: &mut Board,
+        noise: &dyn NoiseSource,
+        remaining: &dyn BudgetRemaining,
+    ) -> RunOutcome {
+        let trace = self.drive_capped(inst, board, noise, remaining);
+        RunOutcome {
+            assignment: board.assignment(),
+            board: board.clone(),
+            rounds: trace.rounds,
+            moves: trace.moves,
+        }
+    }
+
+    /// [`resume`](Self::resume) under a remaining-budget guard: the
+    /// warm-start contract plus the hard lifetime cap of
+    /// [`drive_capped`](Self::drive_capped). Panics when the engine
+    /// does not support warm starts.
+    fn resume_capped(
+        &self,
+        inst: &Instance,
+        mut board: Board,
+        noise: &dyn NoiseSource,
+        remaining: &dyn BudgetRemaining,
+    ) -> RunOutcome {
+        assert!(
+            self.supports_warm_start(),
+            "{} does not support warm starts",
+            self.name()
+        );
+        let trace = self.drive_capped(inst, &mut board, noise, remaining);
+        RunOutcome {
+            assignment: board.assignment(),
+            board,
+            rounds: trace.rounds,
+            moves: trace.moves,
+        }
     }
 
     /// Capability hook: whether runs publish obfuscated releases and
@@ -216,6 +355,109 @@ pub(crate) fn require_fresh_board(name: &str, board: &Board) {
 mod tests {
     use super::*;
     use crate::config::RunParams;
+    use crate::model::{Task, Worker};
+    use dpta_dp::{BudgetVector, SeededNoise};
+    use dpta_spatial::Point;
+
+    /// Three tasks, two workers, everything mutually reachable.
+    fn cap_instance() -> Instance {
+        Instance::from_locations(
+            (0..3)
+                .map(|i| Task::new(Point::new(i as f64, 0.0), 4.5))
+                .collect(),
+            vec![
+                Worker::new(Point::new(0.5, 0.5), 5.0),
+                Worker::new(Point::new(1.5, 0.5), 5.0),
+            ],
+            |_, _| BudgetVector::new(vec![0.5, 0.75, 1.0]),
+        )
+    }
+
+    #[test]
+    fn uncapped_drive_matches_plain_drive_for_every_method() {
+        let params = RunParams::default();
+        let inst = cap_instance();
+        let noise = SeededNoise::new(params.seed);
+        for method in Method::all() {
+            let engine = build(method, method.engine_config(&params));
+            let plain = engine.run(&inst, &noise);
+            let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+            let capped = engine.assign_capped(&inst, &mut board, &noise, &Uncapped);
+            assert_eq!(plain.assignment, capped.assignment, "{method}");
+            assert_eq!(
+                plain.board.publications(),
+                capped.board.publications(),
+                "{method}"
+            );
+            for j in 0..inst.n_workers() {
+                assert_eq!(
+                    plain.board.spent_total(j).to_bits(),
+                    capped.board.spent_total(j).to_bits(),
+                    "{method} worker {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_drives_never_overshoot_the_remaining_budget() {
+        let params = RunParams::default();
+        let inst = cap_instance();
+        let noise = SeededNoise::new(params.seed);
+        let caps = vec![1.1, 0.6];
+        for method in Method::all() {
+            let engine = build(method, method.engine_config(&params));
+            if !engine.enforces_budget_cap() {
+                continue;
+            }
+            let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+            engine.assign_capped(&inst, &mut board, &noise, &caps);
+            for (j, &cap) in caps.iter().enumerate() {
+                assert!(
+                    board.spent_total(j) <= cap + 1e-9,
+                    "{method}: worker {j} spent {} over cap {cap}",
+                    board.spent_total(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_remaining_budget_silences_private_engines() {
+        let params = RunParams::default();
+        let inst = cap_instance();
+        let noise = SeededNoise::new(params.seed);
+        for method in [Method::Puce, Method::Pdce, Method::Pgt, Method::GeoI] {
+            let engine = build(method, method.engine_config(&params));
+            let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+            engine.assign_capped(&inst, &mut board, &noise, &vec![0.0, 0.0]);
+            assert_eq!(board.publications(), 0, "{method}");
+            assert!(board.alloc().iter().all(Option::is_none), "{method}");
+        }
+    }
+
+    #[test]
+    fn capped_resume_continues_from_carried_state_under_the_cap() {
+        // Drive PUCE capped; resume with a tighter remaining budget:
+        // the carried spend must not be re-counted against the new cap
+        // (only novel spend is gated), and the cap still binds.
+        let params = RunParams::default();
+        let inst = cap_instance();
+        let noise = SeededNoise::new(params.seed);
+        let engine = build(Method::Puce, Method::Puce.engine_config(&params));
+        let mut board = Board::new(inst.n_tasks(), inst.n_workers());
+        engine.assign_capped(&inst, &mut board, &noise, &vec![0.6, 0.6]);
+        let spent_before: Vec<f64> = (0..2).map(|j| board.spent_total(j)).collect();
+        let resumed = engine.resume_capped(&inst, board, &noise, &vec![0.5, 0.5]);
+        for (j, &before) in spent_before.iter().enumerate() {
+            let novel = resumed.board.spent_total(j) - before;
+            assert!(novel >= 0.0);
+            assert!(
+                novel <= 0.5 + 1e-9,
+                "worker {j} published {novel} of novel spend over the resumed cap"
+            );
+        }
+    }
 
     #[test]
     fn registry_covers_every_method_with_matching_capabilities() {

@@ -43,7 +43,7 @@ pub use board::Board;
 pub use config::{
     CeaFallback, CompareMode, EngineConfig, Objective, ProposalAccounting, RunParams,
 };
-pub use engine::{AssignmentEngine, EngineTrace};
+pub use engine::{AssignmentEngine, BudgetRemaining, EngineTrace, Uncapped};
 pub use method::Method;
 pub use metrics::Measures;
 pub use model::{Instance, LinearValue, Task, Worker};

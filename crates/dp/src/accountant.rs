@@ -72,6 +72,21 @@ impl PrivacyLedger {
 /// worker ids), not per-instance indices, so accounting survives the
 /// re-indexing every new window performs.
 ///
+/// # Two-phase charging
+///
+/// [`charge`](Self::charge) records spend immediately. Coordinated
+/// runs — the streaming pipeline's cross-shard halo mode, where several
+/// shards publish on behalf of one worker inside one window — instead
+/// use the reserve/commit pair: every shard [`reserve`](Self::reserve)s
+/// the budget its publications would cost, reservations count against
+/// [`remaining`](Self::remaining) so later proposals see a depleted
+/// budget, and after cross-shard reconciliation the coordinator
+/// [`commit`](Self::commit)s (or [`rollback`](Self::rollback)s) each
+/// entity's pending total exactly once. Retirement
+/// ([`is_exhausted`](Self::is_exhausted) /
+/// [`drain_exhausted`](Self::drain_exhausted)) looks at *committed*
+/// spend only — a reservation can never retire anyone.
+///
 /// # Examples
 ///
 /// ```
@@ -82,7 +97,13 @@ impl PrivacyLedger {
 /// acc.charge(7, 1.5);
 /// assert!(!acc.is_exhausted(7));
 /// assert!((acc.remaining(7) - 0.5).abs() < 1e-12);
-/// acc.charge(7, 0.5);
+///
+/// // Two-phase: a reservation depletes `remaining` but not `spent`
+/// // until committed.
+/// acc.reserve(7, 0.5);
+/// assert_eq!(acc.remaining(7), 0.0);
+/// assert!((acc.spent(7) - 1.5).abs() < 1e-12);
+/// assert!((acc.commit(7) - 0.5).abs() < 1e-12);
 /// assert!(acc.is_exhausted(7));
 /// assert_eq!(acc.drain_exhausted(), vec![7]);
 /// assert!(acc.tracked().next().is_none());
@@ -92,11 +113,13 @@ pub struct CumulativeAccountant {
     entries: BTreeMap<u64, Account>,
 }
 
-/// One tracked entity: lifetime capacity and cumulative spend.
+/// One tracked entity: lifetime capacity, committed spend, and budget
+/// reserved by an in-flight window awaiting commit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Account {
     capacity: f64,
     spent: f64,
+    reserved: f64,
 }
 
 impl CumulativeAccountant {
@@ -120,6 +143,7 @@ impl CumulativeAccountant {
             .or_insert(Account {
                 capacity,
                 spent: 0.0,
+                reserved: 0.0,
             });
     }
 
@@ -137,17 +161,62 @@ impl CumulativeAccountant {
             .spent += epsilon;
     }
 
-    /// Cumulative spend of `id` (zero for unknown ids).
+    /// Reserves `epsilon` (≥ 0) against `id`'s lifetime budget without
+    /// committing it: [`remaining`](Self::remaining) shrinks at once,
+    /// [`spent`](Self::spent) moves only on [`commit`](Self::commit).
+    /// Panics if the id was never registered.
+    pub fn reserve(&mut self, id: u64, epsilon: f64) {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "reservation must be finite and >= 0, got {epsilon}"
+        );
+        self.entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("entity {id} was never registered"))
+            .reserved += epsilon;
+    }
+
+    /// Budget currently reserved against `id` and awaiting commit (zero
+    /// for unknown ids).
+    pub fn reserved(&self, id: u64) -> f64 {
+        self.entries.get(&id).map_or(0.0, |a| a.reserved)
+    }
+
+    /// Converts `id`'s whole pending reservation into committed spend
+    /// and returns the amount. A no-op returning zero when nothing is
+    /// reserved; panics if the id was never registered.
+    pub fn commit(&mut self, id: u64) -> f64 {
+        let a = self
+            .entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("entity {id} was never registered"));
+        let amount = a.reserved;
+        a.spent += amount;
+        a.reserved = 0.0;
+        amount
+    }
+
+    /// Discards `id`'s pending reservation (the publications never
+    /// happened) and returns the released amount. Zero for unknown ids.
+    pub fn rollback(&mut self, id: u64) -> f64 {
+        self.entries.get_mut(&id).map_or(0.0, |a| {
+            let amount = a.reserved;
+            a.reserved = 0.0;
+            amount
+        })
+    }
+
+    /// Cumulative committed spend of `id` (zero for unknown ids).
     pub fn spent(&self, id: u64) -> f64 {
         self.entries.get(&id).map_or(0.0, |a| a.spent)
     }
 
-    /// Remaining lifetime budget of `id` (zero for unknown ids), clamped
-    /// at zero.
+    /// Remaining lifetime budget of `id` (zero for unknown ids), net of
+    /// both committed spend and pending reservations, clamped at zero.
     pub fn remaining(&self, id: u64) -> f64 {
         self.entries
             .get(&id)
-            .map_or(0.0, |a| (a.capacity - a.spent).max(0.0))
+            .map_or(0.0, |a| (a.capacity - a.spent - a.reserved).max(0.0))
     }
 
     /// Whether `id` has spent its whole capacity (unknown ids count as
@@ -266,6 +335,51 @@ mod tests {
         acc.register(5, 10.0); // capacity raise must not reset history
         assert!((acc.spent(5) - 0.9).abs() < 1e-12);
         assert!((acc.remaining(5) - 9.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserve_commit_rollback_round_trip() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(4, 3.0);
+        acc.charge(4, 1.0);
+        acc.reserve(4, 0.5);
+        acc.reserve(4, 0.25);
+        assert!((acc.reserved(4) - 0.75).abs() < 1e-12);
+        // Reservations deplete `remaining` but not `spent`.
+        assert!((acc.remaining(4) - 1.25).abs() < 1e-12);
+        assert!((acc.spent(4) - 1.0).abs() < 1e-12);
+        assert!(!acc.is_exhausted(4));
+        // Rollback releases the budget untouched.
+        assert!((acc.rollback(4) - 0.75).abs() < 1e-12);
+        assert_eq!(acc.reserved(4), 0.0);
+        assert!((acc.remaining(4) - 2.0).abs() < 1e-12);
+        // Commit converts a reservation into spend exactly once.
+        acc.reserve(4, 2.0);
+        assert!((acc.commit(4) - 2.0).abs() < 1e-12);
+        assert_eq!(acc.commit(4), 0.0); // nothing pending: no-op
+        assert!((acc.spent(4) - 3.0).abs() < 1e-12);
+        assert!(acc.is_exhausted(4));
+        // Unknown ids: rollback is a zero no-op.
+        assert_eq!(acc.rollback(99), 0.0);
+        assert_eq!(acc.reserved(99), 0.0);
+    }
+
+    #[test]
+    fn reservations_never_retire() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(1, 1.0);
+        acc.reserve(1, 5.0);
+        assert_eq!(acc.remaining(1), 0.0);
+        assert!(!acc.is_exhausted(1), "only committed spend retires");
+        assert!(acc.drain_exhausted().is_empty());
+        acc.commit(1);
+        assert!(acc.is_exhausted(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never registered")]
+    fn reserving_unknown_id_panics() {
+        CumulativeAccountant::new().reserve(0, 0.5);
     }
 
     #[test]

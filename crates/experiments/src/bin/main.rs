@@ -117,8 +117,15 @@ STREAM OPTIONS (dpta-experiments stream ...):
       --shards <CxR>       shard grid for the equivalence check
                            (default 2x2)
       --seed <n>           master seed (default 42)
+      --halo               also run the boundary-halo analysis: a
+                           bit-for-bit determinism gate against the
+                           unsharded run on the disjoint witness, and
+                           a recovered-utility report (halo vs
+                           drop-pairs sharding) on a boundary-crossing
+                           stream
   Exits non-zero if the sharded run does not match the unsharded run
-  exactly on the shard-disjoint witness stream."
+  exactly on the shard-disjoint witness stream, or (with --halo) if
+  the halo run diverges or fails to beat drop-pairs sharding."
     );
 }
 
@@ -220,6 +227,7 @@ fn parse_stream_args(mut it: std::env::Args) -> Result<stream_cmd::StreamArgs, S
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
+            "--halo" => args.halo = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);

@@ -5,13 +5,16 @@
 //! utility/latency reporting), then replays a shard-disjoint clustered
 //! stream both unsharded and sharded by a spatial grid, checking that
 //! the two agree exactly — the correctness witness of the sharded
-//! execution mode.
+//! execution mode. With `--halo` it additionally gates the halo
+//! protocol's determinism (bit-for-bit fates against the unsharded run
+//! on the disjoint witness) and reports the utility it recovers over
+//! drop-pairs sharding on a boundary-heavy crossing stream.
 
 use dpta_core::{Method, Task, Worker};
 use dpta_spatial::{Aabb, GridPartition, Point};
 use dpta_stream::{
-    run_sharded, ArrivalEvent, ArrivalModel, ArrivalStream, StreamConfig, StreamDriver,
-    StreamScenario, TaskArrival, WindowPolicy, WorkerArrival,
+    run_sharded, run_sharded_halo, ArrivalEvent, ArrivalModel, ArrivalStream, StreamConfig,
+    StreamDriver, StreamScenario, TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
 };
 use dpta_workloads::{Dataset, Scenario};
 
@@ -36,6 +39,10 @@ pub struct StreamArgs {
     pub capacity: f64,
     /// Shard grid (cols, rows) for the equivalence check.
     pub shards: (usize, usize),
+    /// Run the boundary-halo analysis: determinism gate on the
+    /// disjoint witness plus recovered-utility reporting on a
+    /// crossing stream.
+    pub halo: bool,
 }
 
 impl Default for StreamArgs {
@@ -50,6 +57,7 @@ impl Default for StreamArgs {
             ttl: 3,
             capacity: f64::INFINITY,
             shards: (2, 2),
+            halo: false,
         }
     }
 }
@@ -126,6 +134,164 @@ fn disjoint_stream(part: &GridPartition, per_cell: usize, seed: u64) -> ArrivalS
         }
     }
     ArrivalStream::new(events)
+}
+
+/// A stream whose utility lives on the cell boundaries: every interior
+/// boundary of `part` hosts lines of worker/task pairs straddling it
+/// (the worker left/below, his only reachable task on the far side),
+/// plus one interior pair per cell. Drop-pairs sharding can match only
+/// the interior pairs; the halo protocol can recover the rest.
+fn crossing_stream(part: &GridPartition) -> ArrivalStream {
+    let frame = *part.frame();
+    let cell_w = frame.width() / part.cols() as f64;
+    let cell_h = frame.height() / part.rows() as f64;
+    let mut events = Vec::new();
+    let (mut task_id, mut worker_id) = (0u32, 0u32);
+    let mut pair = |wloc: Point, tloc: Point, radius: f64| {
+        events.push(ArrivalEvent::Worker(WorkerArrival {
+            id: worker_id,
+            time: 0.0,
+            worker: Worker::new(wloc, radius),
+        }));
+        events.push(ArrivalEvent::Task(TaskArrival {
+            id: task_id,
+            time: 30.0 + 45.0 * task_id as f64,
+            task: Task::new(tloc, 4.5),
+        }));
+        task_id += 1;
+        worker_id += 1;
+    };
+    // One interior pair per cell: the baseline drop-pairs can match.
+    // Distances stay well under a unit so utilities are comfortably
+    // positive even after privacy costs and noise.
+    for cy in 0..part.rows() {
+        for cx in 0..part.cols() {
+            let centre = Point::new(
+                frame.min.x + (cx as f64 + 0.5) * cell_w,
+                frame.min.y + (cy as f64 + 0.5) * cell_h,
+            );
+            let r = 0.1 * cell_w.min(cell_h);
+            pair(
+                centre,
+                Point::new(centre.x + (0.5 * r).min(0.8), centre.y),
+                r,
+            );
+        }
+    }
+    // Cross-only pairs straddling every interior boundary, spaced far
+    // enough apart that each task is reachable by its worker alone.
+    let margin = (0.01 * cell_w.min(cell_h)).min(0.5);
+    let radius = 4.0 * margin;
+    for c in 1..part.cols() {
+        let x_b = frame.min.x + c as f64 * cell_w;
+        for row in 0..4 {
+            let y = frame.min.y + (row as f64 + 0.5) * frame.height() / 4.0;
+            pair(
+                Point::new(x_b - margin, y),
+                Point::new(x_b + margin, y),
+                radius,
+            );
+        }
+    }
+    for r in 1..part.rows() {
+        let y_b = frame.min.y + r as f64 * cell_h;
+        for col in 0..4 {
+            let x = frame.min.x + (col as f64 + 0.5) * frame.width() / 4.0;
+            pair(
+                Point::new(x, y_b - margin),
+                Point::new(x, y_b + margin),
+                radius,
+            );
+        }
+    }
+    ArrivalStream::new(events)
+}
+
+/// Merged `(task id, fate)` view of a sharded run, for exact
+/// comparison against the unsharded fate map.
+fn merged_fates(report: &dpta_stream::ShardedReport) -> Vec<(u32, TaskFate)> {
+    let mut fates: Vec<(u32, TaskFate)> = report
+        .shards
+        .iter()
+        .flat_map(|s| s.fates.iter().map(|(&id, &f)| (id, f)))
+        .collect();
+    fates.sort_by_key(|&(id, _)| id);
+    fates
+}
+
+/// The `--halo` analysis: (1) determinism gate — on the shard-disjoint
+/// witness the halo run must reproduce the unsharded run fate for
+/// fate; (2) recovered utility — on a boundary-crossing stream the
+/// halo must strictly beat drop-pairs sharding. Returns `false` when
+/// either gate fails.
+fn run_halo_section(
+    methods: &[Method],
+    cfg: &StreamConfig,
+    part: &GridPartition,
+    disjoint: &ArrivalStream,
+) -> bool {
+    let mut ok = true;
+
+    println!("\nhalo determinism gate (disjoint witness):");
+    for &method in methods {
+        let engine = method.engine(&cfg.params);
+        let flat = StreamDriver::new(engine.as_ref(), cfg.clone()).run(disjoint);
+        let halo = run_sharded_halo(engine.as_ref(), disjoint, cfg, part);
+        let flat_fates: Vec<(u32, TaskFate)> = flat.fates.iter().map(|(&id, &f)| (id, f)).collect();
+        let agree = merged_fates(&halo) == flat_fates
+            && (halo.total_utility() - flat.total_utility()).abs() < 1e-9;
+        ok &= agree;
+        println!(
+            "  {:<10} {} matched, utility {:>10.2} | {}",
+            method.name(),
+            halo.matched(),
+            halo.total_utility(),
+            if agree {
+                "EXACT (fates bit-for-bit)"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+
+    let crossing = crossing_stream(part);
+    println!(
+        "\nhalo recovery on a crossing stream ({} tasks, {} workers, \
+         pairs straddling every interior boundary):",
+        crossing.n_tasks(),
+        crossing.n_workers()
+    );
+    println!("  method     unsharded-u     drop-u       halo-u   recovered");
+    for &method in methods {
+        let engine = method.engine(&cfg.params);
+        let flat = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&crossing);
+        let dropped = run_sharded(engine.as_ref(), &crossing, cfg, part);
+        let halo = run_sharded_halo(engine.as_ref(), &crossing, cfg, part);
+        let lost = flat.total_utility() - dropped.total_utility();
+        let recovered = if lost > 1e-12 {
+            (halo.total_utility() - dropped.total_utility()) / lost
+        } else {
+            1.0
+        };
+        // Strict improvement is only demanded when drop-pairs actually
+        // lost utility; when nothing was lost, matching it is enough.
+        let improves = if lost > 1e-12 {
+            halo.total_utility() > dropped.total_utility()
+        } else {
+            halo.total_utility() >= dropped.total_utility() - 1e-9
+        };
+        ok &= improves;
+        println!(
+            "  {:<10} {:>11.2} {:>10.2} {:>12.2}   {:>6.1}% {}",
+            method.name(),
+            flat.total_utility(),
+            dropped.total_utility(),
+            halo.total_utility(),
+            100.0 * recovered,
+            if improves { "" } else { "— NO IMPROVEMENT" },
+        );
+    }
+    ok
 }
 
 /// Runs the subcommand. Returns `false` if the sharded/unsharded
@@ -207,6 +373,10 @@ pub fn run(args: &StreamArgs) -> bool {
             flat.drive_time().as_secs_f64() * 1e3,
         );
     }
+
+    if args.halo {
+        all_match &= run_halo_section(&args.methods, &cfg, &part, &disjoint);
+    }
     all_match
 }
 
@@ -232,6 +402,33 @@ mod tests {
         };
         assert!(args.methods.len() >= 3);
         assert!(run(&args), "sharded run must match unsharded exactly");
+    }
+
+    #[test]
+    fn halo_gates_pass_and_recovery_is_strict() {
+        // --halo adds two gates: bit-for-bit determinism on the
+        // disjoint witness, and strictly-higher utility than drop-pairs
+        // on the crossing stream. Both must hold for all three default
+        // methods (two private, one plain).
+        let args = StreamArgs {
+            scale: 0.03,
+            policy: WindowPolicy::ByTime { width: 120.0 },
+            halo: true,
+            ..StreamArgs::default()
+        };
+        assert!(run(&args), "halo determinism or recovery gate failed");
+    }
+
+    #[test]
+    fn crossing_stream_is_cross_only_beyond_interior_pairs() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 100.0, 100.0), 3, 2);
+        let s = crossing_stream(&part);
+        assert!(!s.is_shard_disjoint(&part));
+        // One interior pair per cell + 4 pairs per interior boundary.
+        let boundaries = (part.cols() - 1) + (part.rows() - 1);
+        assert_eq!(s.n_tasks(), part.n_shards() + 4 * boundaries);
+        assert_eq!(s.n_workers(), s.n_tasks());
+        assert_eq!(s, crossing_stream(&part));
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! [`DistanceRankMatrix`](rank::DistanceRankMatrix) of Section IV.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod assignment;
 pub mod cea;

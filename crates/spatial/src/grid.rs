@@ -255,24 +255,176 @@ impl GridPartition {
     /// holds for every worker (the shard-disjointness precondition of
     /// the streaming pipeline).
     ///
-    /// The bounds mirror [`shard_of`](Self::shard_of) and the closed
-    /// service areas of the assignment model: a cell's upper edge
-    /// belongs to the *next* cell (so the disc must stay strictly
-    /// below it), its lower edge belongs to the cell itself, and
-    /// frame-edge cells absorb everything beyond the frame through
-    /// clamping (so their outward side is unconstrained).
+    /// Equivalent to [`halo_shards`](Self::halo_shards) returning an
+    /// empty set (and implemented as exactly that, so the two can never
+    /// disagree): a cell's upper edge belongs to the *next* cell (so an
+    /// interior disc must stay strictly below it), its lower edge
+    /// belongs to the cell itself, and frame-edge cells absorb
+    /// everything beyond the frame through clamping (so their outward
+    /// side is unconstrained).
     pub fn is_interior(&self, p: &Point, r: f64) -> bool {
-        assert!(r.is_finite() && r >= 0.0, "radius must be finite and >= 0");
+        self.halo_shards(p, r).is_empty()
+    }
+
+    /// Column index of coordinate `x`, clamped like
+    /// [`shard_of`](Self::shard_of).
+    fn col_of(&self, x: f64) -> usize {
+        let fx = (x - self.frame.min.x) / self.frame.width();
+        ((fx * self.cols as f64) as isize).clamp(0, self.cols as isize - 1) as usize
+    }
+
+    /// Row index of coordinate `y`, clamped like
+    /// [`shard_of`](Self::shard_of).
+    fn row_of(&self, y: f64) -> usize {
+        let fy = (y - self.frame.min.y) / self.frame.height();
+        ((fy * self.rows as f64) as isize).clamp(0, self.rows as isize - 1) as usize
+    }
+
+    /// Whether the closed disc `(p, r)` contains at least one point the
+    /// partition maps to cell `(ncx, ncy)` — respecting the half-open
+    /// cell semantics of [`shard_of`](Self::shard_of): a cell owns its
+    /// lower edges, its upper edges belong to the next cell, and
+    /// frame-edge cells own everything beyond the frame (clamping).
+    fn disc_reaches_cell(&self, p: &Point, r: f64, ncx: usize, ncy: usize) -> bool {
         let cell_w = self.frame.width() / self.cols as f64;
         let cell_h = self.frame.height() / self.rows as f64;
-        let shard = self.shard_of(p);
-        let (cx, cy) = (shard % self.cols, shard / self.cols);
-        let x0 = self.frame.min.x + cx as f64 * cell_w;
-        let y0 = self.frame.min.y + cy as f64 * cell_h;
-        (cx == 0 || p.x - r >= x0)
-            && (cx + 1 == self.cols || p.x + r < x0 + cell_w)
-            && (cy == 0 || p.y - r >= y0)
-            && (cy + 1 == self.rows || p.y + r < y0 + cell_h)
+        let lo_x = if ncx == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.frame.min.x + ncx as f64 * cell_w
+        };
+        let hi_x = if ncx + 1 == self.cols {
+            f64::INFINITY
+        } else {
+            self.frame.min.x + (ncx + 1) as f64 * cell_w
+        };
+        let lo_y = if ncy == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.frame.min.y + ncy as f64 * cell_h
+        };
+        let hi_y = if ncy + 1 == self.rows {
+            f64::INFINITY
+        } else {
+            self.frame.min.y + (ncy + 1) as f64 * cell_h
+        };
+        // Gap from p to the cell's owned region along each axis, and
+        // whether the nearest point sits on an *excluded* upper edge
+        // (which the next cell owns).
+        let (dx, x_open) = if p.x < lo_x {
+            (lo_x - p.x, false)
+        } else if p.x >= hi_x {
+            (p.x - hi_x, true)
+        } else {
+            (0.0, false)
+        };
+        let (dy, y_open) = if p.y < lo_y {
+            (lo_y - p.y, false)
+        } else if p.y >= hi_y {
+            (p.y - hi_y, true)
+        } else {
+            (0.0, false)
+        };
+        let d2 = dx * dx + dy * dy;
+        let r2 = r * r;
+        // Strictly closer than r: the disc contains interior points of
+        // the owned region. Exactly r away: only the single nearest
+        // point touches, which counts only if the region owns it.
+        d2 < r2 || (d2 == r2 && !x_open && !y_open)
+    }
+
+    /// The shards *other than `p`'s own* whose territory the closed
+    /// disc of radius `r` around `p` reaches — the shards that must
+    /// receive `p` as a halo member for cross-shard pairs to be seen.
+    /// Ascending; empty exactly when [`is_interior`](Self::is_interior)
+    /// holds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpta_spatial::{Aabb, GridPartition, Point};
+    ///
+    /// let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 2);
+    /// // A worker near the centre of cell 0 stays inside it…
+    /// assert!(part.halo_shards(&Point::new(2.5, 2.5), 1.0).is_empty());
+    /// // …but with a disc crossing x = 5 he reaches shard 1 too,
+    /// let halo = part.halo_shards(&Point::new(4.5, 2.5), 1.0);
+    /// assert_eq!(halo, vec![1]);
+    /// // and at a cell corner one disc can reach three foreign shards.
+    /// assert_eq!(part.halo_shards(&Point::new(4.9, 4.9), 1.0), vec![1, 2, 3]);
+    /// ```
+    pub fn halo_shards(&self, p: &Point, r: f64) -> Vec<usize> {
+        assert!(r.is_finite() && r >= 0.0, "radius must be finite and >= 0");
+        let home = self.shard_of(p);
+        // One cell of slack around the disc's span: `disc_reaches_cell`
+        // is the exact authority, the range only has to cover it.
+        let cx0 = self.col_of(p.x - r).saturating_sub(1);
+        let cx1 = (self.col_of(p.x + r) + 1).min(self.cols - 1);
+        let cy0 = self.row_of(p.y - r).saturating_sub(1);
+        let cy1 = (self.row_of(p.y + r) + 1).min(self.rows - 1);
+        let mut out = Vec::new();
+        for ncy in cy0..=cy1 {
+            for ncx in cx0..=cx1 {
+                let s = ncy * self.cols + ncx;
+                if s != home && self.disc_reaches_cell(p, r, ncx, ncy) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// The full set of shards the closed disc `(p, r)` reaches — `p`'s
+    /// own shard plus [`halo_shards`](Self::halo_shards), ascending.
+    /// This is the shard membership of a worker in the streaming
+    /// pipeline's halo mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpta_spatial::{Aabb, GridPartition, Point};
+    ///
+    /// let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 1);
+    /// assert_eq!(part.reach_shards(&Point::new(2.5, 5.0), 1.0), vec![0]);
+    /// assert_eq!(part.reach_shards(&Point::new(4.5, 5.0), 1.0), vec![0, 1]);
+    /// ```
+    pub fn reach_shards(&self, p: &Point, r: f64) -> Vec<usize> {
+        let mut out = self.halo_shards(p, r);
+        let home = self.shard_of(p);
+        let pos = out.partition_point(|&s| s < home);
+        out.insert(pos, home);
+        out
+    }
+
+    /// Classifies a set of discs (worker service areas) against every
+    /// shard: for each shard, the indices of the *foreign* discs whose
+    /// reach crosses into it — the halo members that shard must import
+    /// so no feasible cross-boundary pair is dropped. Indices ascend
+    /// within each shard.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpta_spatial::{Aabb, Circle, GridPartition, Point};
+    ///
+    /// let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 1);
+    /// let discs = [
+    ///     Circle::new(Point::new(2.0, 5.0), 1.0), // interior to shard 0
+    ///     Circle::new(Point::new(4.8, 5.0), 1.0), // shard 0, crosses into 1
+    ///     Circle::new(Point::new(5.2, 5.0), 1.0), // shard 1, crosses into 0
+    /// ];
+    /// let halo = part.halo_members(&discs);
+    /// assert_eq!(halo[0], vec![2]); // shard 0 imports disc 2
+    /// assert_eq!(halo[1], vec![1]); // shard 1 imports disc 1
+    /// ```
+    pub fn halo_members(&self, discs: &[Circle]) -> Vec<Vec<usize>> {
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.n_shards()];
+        for (i, d) in discs.iter().enumerate() {
+            for s in self.halo_shards(&d.center, d.radius) {
+                members[s].push(i);
+            }
+        }
+        members
     }
 }
 
@@ -404,6 +556,66 @@ mod tests {
         let _ = GridPartition::new(Aabb::from_extents(0.0, 0.0, 1.0, 1.0), 0, 1);
     }
 
+    #[test]
+    fn halo_shards_cover_boundary_crossings() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 2);
+        // Interior disc: no halo.
+        assert!(part.halo_shards(&Point::new(2.5, 2.5), 1.0).is_empty());
+        // Crossing x = 5 only.
+        assert_eq!(part.halo_shards(&Point::new(4.5, 2.5), 1.0), vec![1]);
+        // Crossing y = 5 only, from above.
+        assert_eq!(part.halo_shards(&Point::new(2.5, 5.4), 1.0), vec![0]);
+        // Near the centre corner: reaches all three foreign cells.
+        assert_eq!(part.halo_shards(&Point::new(4.8, 4.8), 1.0), vec![1, 2, 3]);
+        // Near the corner but too far from the diagonal cell: the
+        // axis-aligned neighbours only (corner (5,5) is √2·0.4 ≈ 0.57
+        // away, beyond r = 0.5; the edges are 0.4 away).
+        assert_eq!(part.halo_shards(&Point::new(4.6, 4.6), 0.5), vec![1, 2]);
+        // Out-of-frame points clamp to border cells and can still halo.
+        assert_eq!(part.halo_shards(&Point::new(-3.0, 2.0), 1.0), vec![]);
+        assert_eq!(part.halo_shards(&Point::new(-0.5, 4.9), 1.0), vec![2]);
+    }
+
+    #[test]
+    fn halo_edge_ownership_matches_shard_of() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 1);
+        // Touching the upper edge exactly: the boundary point x = 5
+        // belongs to shard 1, so the disc reaches it.
+        assert_eq!(part.halo_shards(&Point::new(4.0, 5.0), 1.0), vec![1]);
+        // Touching the lower edge exactly from the right cell: x = 5
+        // belongs to the right cell itself, so nothing is crossed.
+        assert!(part.halo_shards(&Point::new(6.0, 5.0), 1.0).is_empty());
+        // A zero-radius disc on the boundary stays in its own shard.
+        assert!(part.halo_shards(&Point::new(5.0, 5.0), 0.0).is_empty());
+    }
+
+    #[test]
+    fn reach_shards_is_home_plus_halo_ascending() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 3, 1);
+        let p = Point::new(3.4, 5.0); // shard 1 owns [10/3, 20/3)
+        assert_eq!(part.shard_of(&p), 1);
+        let reach = part.reach_shards(&p, 0.2);
+        assert_eq!(reach, vec![0, 1]);
+        assert!(reach.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(part.reach_shards(&Point::new(5.0, 5.0), 0.1), vec![1]);
+    }
+
+    #[test]
+    fn halo_members_classifies_foreign_discs_per_shard() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 2);
+        let discs = [
+            Circle::new(Point::new(2.5, 2.5), 1.0), // interior, shard 0
+            Circle::new(Point::new(4.8, 2.5), 1.0), // shard 0 → halo of 1
+            Circle::new(Point::new(4.8, 4.8), 1.0), // shard 0 → halo of 1, 2, 3
+            Circle::new(Point::new(7.5, 7.5), 8.0), // shard 3 → halo of all
+        ];
+        let halo = part.halo_members(&discs);
+        assert_eq!(halo[0], vec![3]);
+        assert_eq!(halo[1], vec![1, 2, 3]);
+        assert_eq!(halo[2], vec![2, 3]);
+        assert_eq!(halo[3], vec![2]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
@@ -416,6 +628,37 @@ mod tests {
             let s = part.shard_of(&Point::new(x, y));
             prop_assert!(s < part.n_shards());
             prop_assert_eq!(s, part.shard_of(&Point::new(x, y)));
+        }
+
+        #[test]
+        fn reach_shards_cover_every_disc_point(
+            x in -20.0f64..120.0, y in -20.0f64..120.0, r in 0.0f64..30.0,
+            cols in 1usize..6, rows in 1usize..6,
+        ) {
+            let part = GridPartition::new(
+                Aabb::from_extents(0.0, 0.0, 100.0, 100.0), cols, rows);
+            let p = Point::new(x, y);
+            let reach = part.reach_shards(&p, r);
+            prop_assert!(reach.contains(&part.shard_of(&p)));
+            prop_assert!(reach.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(part.is_interior(&p, r), reach.len() == 1);
+            // Soundness: every point of the closed disc (sampled on
+            // rings out to just inside the boundary — the exact-touch
+            // cases are pinned by the deterministic unit tests, and a
+            // float-rounded sample must not poke past the disc) maps
+            // to a reported shard.
+            for ring in 0..4 {
+                let rr = r * (ring as f64 + 1.0) / 4.0 * (1.0 - 1e-9);
+                for k in 0..16 {
+                    let a = k as f64 * std::f64::consts::TAU / 16.0;
+                    let q = Point::new(p.x + rr * a.cos(), p.y + rr * a.sin());
+                    prop_assert!(
+                        reach.contains(&part.shard_of(&q)),
+                        "disc point {:?} maps to shard {} outside {:?}",
+                        q, part.shard_of(&q), reach
+                    );
+                }
+            }
         }
 
         #[test]

@@ -13,7 +13,10 @@
 //!   queries in expected O(k) for k results, which turns the
 //!   all-pairs-distances step from O(m·n) into O(m + n + matches);
 //! * [`GridPartition`] — a fixed rectangular grid mapping locations to
-//!   shard ids, the spatial sharding key of the streaming pipeline;
+//!   shard ids, the spatial sharding key of the streaming pipeline,
+//!   with interior-vs-halo classification
+//!   ([`GridPartition::halo_shards`], [`GridPartition::halo_members`])
+//!   for the cross-shard halo protocol;
 //! * [`DistanceMatrix`] — a dense task×worker distance table for the small
 //!   per-batch instances the assignment algorithms run on.
 //!
@@ -22,7 +25,8 @@
 //! do not allocate.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod bbox;
 mod circle;

@@ -32,8 +32,11 @@ use std::time::Instant;
 /// `(worker id, task id, slot, epsilon bits)`. Fresh-board engines
 /// re-publish bit-identical releases for pairs still pending from
 /// earlier windows (noise and budgets are id-keyed), which reveals
-/// nothing new and therefore must not be charged twice.
-type ChargeKey = (u32, u32, u32, u64);
+/// nothing new and therefore must not be charged twice. The halo
+/// coordinator keys the same dedup across shards and reconciliation
+/// passes, so a release is charged once no matter how many shard runs
+/// re-derive it.
+pub(crate) type ChargeKey = (u32, u32, u32, u64);
 
 /// Configuration of one stream run.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,13 +57,23 @@ pub struct StreamConfig {
     /// spend reaches it the worker is retired. `f64::INFINITY` never
     /// retires anyone.
     ///
-    /// This is a *retirement threshold checked at window close*, not a
-    /// hard mid-window cap: the engines gate publications by per-pair
-    /// budget vectors, not by this lifetime figure, so a worker may
-    /// overshoot the capacity inside the window that exhausts him (the
-    /// ledger records the full spend, and he never enters another
-    /// window). A hard cap needs an engine-level budget hook — tracked
-    /// in the roadmap.
+    /// For warm-start engines with [`carry_releases`] on (the default),
+    /// a finite capacity is a *hard* cap: the driver hands the engine a
+    /// remaining-budget guard
+    /// ([`AssignmentEngine::resume_capped`](dpta_core::AssignmentEngine::resume_capped)),
+    /// so proposals whose ε would overshoot the worker's remaining
+    /// lifetime budget are skipped mid-window and the recorded spend
+    /// never exceeds the capacity. Because a capped worker stops just
+    /// short rather than overshooting, retirement fires once his
+    /// remaining budget drops below the cheapest possible release
+    /// ([`budget_range`](StreamConfig::budget_range)`.0`) — he could
+    /// never publish again. Fresh-board drives (one-shot engines, or
+    /// `carry_releases = false`) re-publish already-charged releases
+    /// the guard cannot tell apart from novel spend, so there the
+    /// capacity stays a retirement threshold checked at window close
+    /// and the final window may overshoot.
+    ///
+    /// [`carry_releases`]: StreamConfig::carry_releases
     pub worker_capacity: f64,
     /// Windows a task participates in before it expires (≥ 1).
     pub task_ttl: usize,
@@ -128,10 +141,10 @@ impl StreamConfig {
 /// Noise keyed by logical ids: per-window instance indices are
 /// translated to the stream's stable ids before hashing, so a pair's
 /// draws do not depend on which window (or shard) it is evaluated in.
-struct IdStableNoise<'a> {
-    base: SeededNoise,
-    task_ids: &'a [u32],
-    worker_ids: &'a [u32],
+pub(crate) struct IdStableNoise<'a> {
+    pub(crate) base: SeededNoise,
+    pub(crate) task_ids: &'a [u32],
+    pub(crate) worker_ids: &'a [u32],
 }
 
 impl NoiseSource for IdStableNoise<'_> {
@@ -151,10 +164,10 @@ impl NoiseSource for IdStableNoise<'_> {
 
 /// A task waiting to be served.
 #[derive(Debug, Clone, Copy)]
-struct PendingTask {
-    arrival: TaskArrival,
+pub(crate) struct PendingTask {
+    pub(crate) arrival: TaskArrival,
     /// Windows of participation left before expiry.
-    ttl: usize,
+    pub(crate) ttl: usize,
 }
 
 /// The protocol state carried between windows for warm-start engines.
@@ -233,6 +246,7 @@ impl<'e> StreamDriver<'e> {
         let mut carried: Option<CarriedBoard> = None;
         let mut charged: BTreeSet<ChargeKey> = BTreeSet::new();
         let mut fates: BTreeMap<u32, TaskFate> = BTreeMap::new();
+        let mut spend_by_worker: BTreeMap<u32, f64> = BTreeMap::new();
         let mut reports = Vec::with_capacity(windows.len());
 
         for window in &windows {
@@ -244,6 +258,7 @@ impl<'e> StreamDriver<'e> {
                 &mut carried,
                 &mut charged,
                 &mut fates,
+                &mut spend_by_worker,
                 &budget_gen,
                 warm,
             ));
@@ -257,6 +272,7 @@ impl<'e> StreamDriver<'e> {
             fates,
             task_arrivals: stream.n_tasks(),
             worker_arrivals: stream.n_workers(),
+            spend_by_worker,
         }
     }
 
@@ -271,6 +287,7 @@ impl<'e> StreamDriver<'e> {
         carried: &mut Option<CarriedBoard>,
         charged: &mut BTreeSet<ChargeKey>,
         fates: &mut BTreeMap<u32, TaskFate>,
+        spend_by_worker: &mut BTreeMap<u32, f64>,
         budget_gen: &BudgetGen,
         warm: bool,
     ) -> WindowReport {
@@ -344,9 +361,26 @@ impl<'e> StreamDriver<'e> {
                 .collect();
             let pre_pubs = board.publications();
 
+            // With a finite lifetime capacity, warm drives run under
+            // the engine-level remaining-budget hook: every proposal
+            // whose ε would overshoot the worker's remaining lifetime
+            // budget is skipped, so the cap is exact rather than
+            // retire-at-window-close. (Fresh-board drives re-publish
+            // already-charged releases the hook cannot distinguish from
+            // novel spend, so they keep the window-close semantics.)
+            let guard: Option<Vec<f64>> =
+                (warm && self.cfg.worker_capacity.is_finite()).then(|| {
+                    pool.iter()
+                        .map(|w| accountant.remaining(u64::from(w.id)))
+                        .collect()
+                });
+
             let start = Instant::now();
             let outcome = if self.engine.supports_warm_start() {
-                self.engine.resume(&inst, board, &noise)
+                match &guard {
+                    Some(g) => self.engine.resume_capped(&inst, board, &noise, g),
+                    None => self.engine.resume(&inst, board, &noise),
+                }
             } else {
                 // One-shot engines require (and here always get) a
                 // fresh board.
@@ -363,6 +397,9 @@ impl<'e> StreamDriver<'e> {
                     let delta = (outcome.board.spent_total(j) - pre_spend[j]).max(0.0);
                     accountant.charge(u64::from(w.id), delta);
                     report.epsilon_spent += delta;
+                    if delta > 0.0 {
+                        *spend_by_worker.entry(w.id).or_insert(0.0) += delta;
+                    }
                 }
             } else {
                 // Fresh boards re-publish for pairs still pending from
@@ -395,6 +432,9 @@ impl<'e> StreamDriver<'e> {
                     }
                     accountant.charge(u64::from(wid), novel);
                     report.epsilon_spent += novel;
+                    if novel > 0.0 {
+                        *spend_by_worker.entry(wid).or_insert(0.0) += novel;
+                    }
                 }
             }
             let m = measure(
@@ -439,7 +479,23 @@ impl<'e> StreamDriver<'e> {
             accountant.forget(u64::from(id));
         }
         report.workers_departed = departed.len();
-        let retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
+        let mut retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
+        if warm && self.cfg.worker_capacity.is_finite() {
+            // Hard-cap mode never overshoots, so spend rarely reaches
+            // the capacity exactly; instead a worker is effectively
+            // exhausted once his remaining budget cannot cover even the
+            // cheapest possible release (the draw range's lower bound).
+            for w in pool.iter() {
+                let id = u64::from(w.id);
+                if !departed.contains(&w.id)
+                    && !retired.contains(&id)
+                    && accountant.remaining(id) + 1e-12 < self.cfg.budget_range.0
+                {
+                    accountant.forget(id);
+                    retired.insert(id);
+                }
+            }
+        }
         report.workers_retired = retired.len();
         pool.retain(|w| !departed.contains(&w.id) && !retired.contains(&u64::from(w.id)));
 
@@ -561,8 +617,9 @@ mod tests {
 
     #[test]
     fn capacity_retires_workers() {
-        // A worker with a tiny lifetime budget must retire after his
-        // first window of publishing.
+        // A worker whose lifetime budget cannot cover even the cheapest
+        // release (hard cap: no publication ever) must retire at his
+        // first window close — and, being capped, must never publish.
         let mut events = vec![ArrivalEvent::Worker(WorkerArrival {
             id: 0,
             time: 0.0,
@@ -585,6 +642,11 @@ mod tests {
         let engine = Method::Pdce.engine(&cfg.params);
         let report = StreamDriver::new(engine.as_ref(), cfg).run(&ArrivalStream::new(events));
         report.assert_conservation();
+        assert_eq!(
+            report.total_epsilon(),
+            0.0,
+            "the hard cap must block every release"
+        );
         let retired: usize = report.windows.iter().map(|w| w.workers_retired).sum();
         let departed: usize = report.windows.iter().map(|w| w.workers_departed).sum();
         assert_eq!(

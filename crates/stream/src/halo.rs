@@ -1,0 +1,715 @@
+//! The boundary-halo protocol: cross-shard routing for sharded
+//! streaming without dropped pairs.
+//!
+//! Drop-pairs sharding ([`ShardStrategy::DropPairs`]) is exact only
+//! when every worker's service disc stays inside its grid cell. Real
+//! spatial workloads are not like that — demand concentrates exactly
+//! where cells meet — so this module implements the recovery protocol:
+//!
+//! 1. **Halo membership.** Each window, every shard's instance holds
+//!    its own tasks plus every worker — interior *or foreign* — whose
+//!    service disc reaches into its cell
+//!    ([`GridPartition::reach_shards`]). Tasks are never replicated
+//!    (each lives in exactly the cell owning its location), so every
+//!    feasible pair, cross-boundary or not, is seen by exactly one
+//!    shard: the task's.
+//! 2. **Propose.** Shards drive the engine over interior ∪ halo and
+//!    *propose* their matches. A worker reaching `k` cells can be
+//!    claimed by up to `k` shards.
+//! 3. **Reconcile.** Competing claims on a worker are resolved by a
+//!    deterministic, id-keyed priority rule: the worker's *home* shard
+//!    (the cell owning his location) wins; a foreign-only worker goes
+//!    to the lowest claiming shard id. A winning claim is *committed*
+//!    only when it is clean — neither the winning shard nor the
+//!    worker's home shard lost a conflict in the same pass (a losing
+//!    shard reruns, and its rerun may claim differently); when every
+//!    candidate is entangled in mutual-loss cycles, the smallest
+//!    worker id is forced through. Committed claims are final; shards
+//!    that lost a committed worker rerun over their remaining
+//!    entities, and the loop repeats until no claim is rejected. Every
+//!    pass commits at least one worker, so the loop terminates within
+//!    `|pool|` passes.
+//! 4. **Charge once.** Per-pair releases are deterministic functions
+//!    of `(worker id, task id, slot)`, so a rerun re-derives
+//!    bit-identical publications. A global
+//!    `(worker, task, slot, ε-bits)` dedup set keys a
+//!    [`CumulativeAccountant::reserve`] for each *novel* release;
+//!    after reconciliation the window's reservations are committed
+//!    exactly once per worker ([`CumulativeAccountant::commit`]).
+//!    Whole-location releases (the Geo-I baseline) are the one
+//!    exception: their ε is the mean over the shard instance's reach
+//!    set, so a rerun over fewer tasks publishes a *genuinely new*
+//!    noisy location — real additional leakage, reserved and charged
+//!    as such. One-shot location engines therefore pay per
+//!    reconciliation rerun; that is the honest price, not a dedup
+//!    miss.
+//!
+//! On shard-disjoint input no worker has a halo, no claim ever
+//! conflicts, and the run settles in one pass per window — matching the
+//! unsharded run assignment for assignment, fate for fate. On general
+//! input the protocol is near-exact: the only utility left unrecovered
+//! is what reconciliation rejects in the final pass of a window.
+//! `ARCHITECTURE.md` ("Sharding & the halo protocol") documents the
+//! guarantees and their limits.
+//!
+//! [`ShardStrategy::DropPairs`]: crate::ShardStrategy::DropPairs
+
+use crate::driver::{ChargeKey, IdStableNoise, PendingTask, StreamConfig};
+use crate::event::{ArrivalStream, WorkerArrival};
+use crate::metrics::{ShardedReport, StreamReport, TaskFate, WindowReport};
+use dpta_core::board::LOCATION_RELEASE;
+use dpta_core::{AssignmentEngine, Board, Instance, RunOutcome};
+use dpta_dp::{CumulativeAccountant, SeededNoise};
+use dpta_spatial::GridPartition;
+use dpta_workloads::budgets::BudgetGen;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// Protocol state a shard carries across windows (warm-start engines):
+/// the final board of its last actual run, keyed by the logical ids it
+/// was built over.
+struct Carried {
+    board: Board,
+    task_ids: Vec<u32>,
+    worker_ids: Vec<u32>,
+}
+
+/// One shard's engine run inside one reconciliation pass.
+struct ShardRun {
+    task_ids: Vec<u32>,
+    worker_ids: Vec<u32>,
+    outcome: RunOutcome,
+    /// Publications already on the board before the drive (carried
+    /// history), subtracted from the reported publication count.
+    pre_pubs: usize,
+}
+
+/// A shard's proposed match, by logical id.
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    task: u32,
+    worker: u32,
+}
+
+/// The inputs of one shard run, assembled before the (possibly
+/// parallel) drive.
+struct PreparedRun {
+    shard: usize,
+    task_ids: Vec<u32>,
+    worker_ids: Vec<u32>,
+    inst: Instance,
+    board: Board,
+    pre_pubs: usize,
+    /// Remaining lifetime budget per worker (finite caps only).
+    guard: Option<Vec<f64>>,
+}
+
+/// Drives `stream` under the halo protocol (see the module docs) and
+/// returns one [`StreamReport`] per shard. Fates, arrivals and spend
+/// are attributed to the entity's *home* shard, so per-shard
+/// conservation holds and the merged totals are globally correct;
+/// matches (and their utility) land on the shard owning the task, which
+/// is always the shard that claimed it.
+pub(crate) fn run_halo(
+    engine: &dyn AssignmentEngine,
+    stream: &ArrivalStream,
+    cfg: &StreamConfig,
+    partition: &GridPartition,
+) -> ShardedReport {
+    let windows = cfg.policy.windows(stream, cfg.horizon);
+    let n_shards = partition.n_shards();
+    let warm = cfg.carry_releases && engine.supports_warm_start();
+    let capped = warm && cfg.worker_capacity.is_finite();
+    let budget_gen = BudgetGen::new(
+        cfg.params.seed ^ 0x5712_EA11,
+        0,
+        cfg.budget_range,
+        cfg.budget_group_size,
+    );
+
+    // Per-shard report state.
+    let mut shard_windows: Vec<Vec<WindowReport>> = vec![Vec::new(); n_shards];
+    let mut shard_fates: Vec<BTreeMap<u32, TaskFate>> = vec![BTreeMap::new(); n_shards];
+    let mut shard_tasks = vec![0usize; n_shards];
+    let mut shard_workers = vec![0usize; n_shards];
+    let mut shard_spend: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); n_shards];
+
+    // Global pipeline state — one pool, one pending list, one
+    // accountant, exactly like the unsharded driver.
+    let mut pool: Vec<WorkerArrival> = Vec::new();
+    let mut pending: Vec<PendingTask> = Vec::new();
+    let mut accountant = CumulativeAccountant::new();
+    let mut charged: BTreeSet<ChargeKey> = BTreeSet::new();
+    let mut carried: Vec<Option<Carried>> = (0..n_shards).map(|_| None).collect();
+
+    for window in &windows {
+        // ── Admit arrivals ────────────────────────────────────────────
+        for w in &window.workers {
+            accountant.register(u64::from(w.id), cfg.worker_capacity);
+            shard_workers[partition.shard_of(&w.worker.location)] += 1;
+            pool.push(*w);
+        }
+        for &arrival in &window.tasks {
+            shard_tasks[partition.shard_of(&arrival.task.location)] += 1;
+            pending.push(PendingTask {
+                arrival,
+                ttl: cfg.task_ttl,
+            });
+        }
+
+        // ── Membership ────────────────────────────────────────────────
+        let task_home: Vec<usize> = pending
+            .iter()
+            .map(|p| partition.shard_of(&p.arrival.task.location))
+            .collect();
+        let worker_reach: Vec<Vec<usize>> = pool
+            .iter()
+            .map(|w| partition.reach_shards(&w.worker.location, w.worker.radius))
+            .collect();
+        let worker_home: BTreeMap<u32, usize> = pool
+            .iter()
+            .map(|w| (w.id, partition.shard_of(&w.worker.location)))
+            .collect();
+
+        let mut reports: Vec<WindowReport> = (0..n_shards)
+            .map(|k| {
+                let owned = task_home.iter().filter(|&&h| h == k).count();
+                let arrived = window
+                    .tasks
+                    .iter()
+                    .filter(|t| partition.shard_of(&t.task.location) == k)
+                    .count();
+                WindowReport {
+                    index: window.index,
+                    start: window.start,
+                    end: window.end,
+                    tasks_arrived: arrived,
+                    carried_in: owned - arrived,
+                    workers_available: worker_reach.iter().filter(|r| r.contains(&k)).count(),
+                    matched: 0,
+                    expired: 0,
+                    carried_out: 0,
+                    utility: 0.0,
+                    distance: 0.0,
+                    epsilon_spent: 0.0,
+                    publications: 0,
+                    rounds: 0,
+                    drive_time: Duration::ZERO,
+                    workers_retired: 0,
+                    workers_departed: 0,
+                }
+            })
+            .collect();
+
+        // ── Propose / reconcile loop ──────────────────────────────────
+        let mut committed_tasks: BTreeSet<u32> = BTreeSet::new();
+        let mut committed_workers: BTreeSet<u32> = BTreeSet::new();
+        let mut window_spend: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut needs_run = vec![true; n_shards];
+        let mut claims: Vec<Vec<Claim>> = vec![Vec::new(); n_shards];
+        let mut runs: Vec<Option<ShardRun>> = (0..n_shards).map(|_| None).collect();
+        let pool_size = pool.len();
+        let mut passes = 0usize;
+
+        loop {
+            passes += 1;
+            assert!(
+                passes <= pool_size + 2,
+                "halo reconciliation failed to converge in {passes} passes"
+            );
+
+            // (a) Run every flagged shard over its remaining entities.
+            let flagged_now: Vec<usize> = (0..n_shards).filter(|&k| needs_run[k]).collect();
+            let mut prepared: Vec<PreparedRun> = Vec::new();
+            for &k in &flagged_now {
+                needs_run[k] = false;
+                claims[k].clear();
+                let built = prepare_run(
+                    &budget_gen,
+                    k,
+                    &pending,
+                    &task_home,
+                    &pool,
+                    &worker_reach,
+                    &committed_tasks,
+                    &committed_workers,
+                    &carried[k],
+                    warm,
+                    capped.then_some(&accountant),
+                );
+                if let Some(p) = built {
+                    if capped {
+                        // Finite caps gate on the live accountant
+                        // (reservations included), so capped shard runs
+                        // execute sequentially in ascending shard id.
+                        let (run, dt) = drive_prepared(engine, cfg, p);
+                        account_run(
+                            &run,
+                            &mut charged,
+                            &mut accountant,
+                            &mut window_spend,
+                            &mut reports[k],
+                        );
+                        finish_run(k, run, dt, &mut reports, &mut claims, &mut runs);
+                    } else {
+                        prepared.push(p);
+                    }
+                }
+            }
+            if !prepared.is_empty() {
+                // Uncapped: inputs were fixed above, so the drives can
+                // fan out over a bounded thread pool without changing
+                // the result. Charge accounting stays sequential in
+                // shard order so the dedup set is deterministic.
+                let mut driven = drive_parallel(engine, cfg, prepared);
+                driven.sort_by_key(|&(k, _, _)| k);
+                for (k, run, dt) in driven {
+                    account_run(
+                        &run,
+                        &mut charged,
+                        &mut accountant,
+                        &mut window_spend,
+                        &mut reports[k],
+                    );
+                    finish_run(k, run, dt, &mut reports, &mut claims, &mut runs);
+                }
+            }
+
+            // (b) Resolve claims: group by worker, pick winners.
+            let mut by_worker: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for (k, shard_claims) in claims.iter().enumerate() {
+                for c in shard_claims {
+                    by_worker.entry(c.worker).or_default().push(k);
+                }
+            }
+            if by_worker.is_empty() {
+                break;
+            }
+
+            // Candidate winner per claimed worker: the home shard when
+            // it claims him (id-keyed priority), else the lowest
+            // claiming shard id. Losers of any conflict must rerun, and
+            // a rerunning shard's claims are provisional — so a commit
+            // is *clean* only when neither the winning shard nor the
+            // worker's home shard lost a conflict this pass. Committing
+            // only clean candidates protects the drop-pairs baseline:
+            // a shard never loses a worker to a claim that a rerun
+            // would have withdrawn. When every candidate is entangled
+            // (mutual-loss cycles), the smallest worker id is forced
+            // through so each pass still commits at least one worker
+            // and the loop terminates.
+            let cands: Vec<(u32, usize, Vec<usize>)> = by_worker
+                .iter()
+                .map(|(&w, ks)| {
+                    let home = worker_home[&w];
+                    let winner = if ks.contains(&home) { home } else { ks[0] };
+                    let losers = ks.iter().copied().filter(|&k| k != winner).collect();
+                    (w, winner, losers)
+                })
+                .collect();
+            let contested: BTreeSet<usize> = cands
+                .iter()
+                .flat_map(|(_, _, losers)| losers.iter().copied())
+                .collect();
+            let clean: Vec<&(u32, usize, Vec<usize>)> = cands
+                .iter()
+                .filter(|(w, winner, _)| {
+                    !contested.contains(winner) && !contested.contains(&worker_home[w])
+                })
+                .collect();
+            let to_commit: Vec<&(u32, usize, Vec<usize>)> = if clean.is_empty() {
+                vec![&cands[0]] // forced progress: smallest worker id
+            } else {
+                clean
+            };
+            let mut winners: Vec<(u32, usize)> = Vec::new();
+            let mut flagged: BTreeSet<usize> = BTreeSet::new();
+            for (w, winner, losers) in to_commit {
+                winners.push((*w, *winner));
+                flagged.extend(losers.iter().copied());
+            }
+
+            // (c) Apply commits: the pair is final, the task completes,
+            // the worker departs to serve.
+            for &(w, k) in &winners {
+                let claim = claims[k]
+                    .iter()
+                    .find(|c| c.worker == w)
+                    .copied()
+                    .expect("winner shard holds a claim on the worker");
+                let run = runs[k].as_ref().expect("claiming shard has run");
+                let j = run
+                    .worker_ids
+                    .iter()
+                    .position(|&id| id == w)
+                    .expect("claimed worker indexed by the run");
+                let task = pending
+                    .iter()
+                    .find(|p| p.arrival.id == claim.task)
+                    .expect("claimed task is pending");
+                let worker = pool.iter().find(|wa| wa.id == w).expect("worker pooled");
+                let d = task.arrival.task.location.distance(&worker.worker.location);
+                let privacy_cost = if engine.accounts_privacy() {
+                    cfg.params.beta * run.outcome.board.spent_total(j)
+                } else {
+                    0.0
+                };
+                reports[k].matched += 1;
+                reports[k].utility += task.arrival.task.value - cfg.params.alpha * d - privacy_cost;
+                reports[k].distance += d;
+                shard_fates[k].insert(
+                    claim.task,
+                    TaskFate::Assigned {
+                        window: window.index,
+                        worker: w,
+                        latency: window.end - task.arrival.time,
+                    },
+                );
+                committed_tasks.insert(claim.task);
+                committed_workers.insert(w);
+                claims[k].retain(|c| c.worker != w);
+            }
+            // The window is reconciled only when no claim is left
+            // pending: a pass can commit clean candidates and flag
+            // nobody while a mutual-loss cycle is still outstanding —
+            // those claims persist, and the next pass (with the clean
+            // candidates gone) resolves them via the forced-progress
+            // path. Breaking on "nothing flagged" here would silently
+            // abandon them.
+            if flagged.is_empty() && claims.iter().all(Vec::is_empty) {
+                break;
+            }
+            for &k in &flagged {
+                needs_run[k] = true;
+            }
+        }
+
+        // ── Settle the window ─────────────────────────────────────────
+        // Commit this window's reservations — exactly once per worker —
+        // then depart matched workers and retire exhausted ones.
+        for (&wid, &eps) in &window_spend {
+            accountant.commit(u64::from(wid));
+            *shard_spend[worker_home[&wid]].entry(wid).or_insert(0.0) += eps;
+        }
+        for &w in &committed_workers {
+            accountant.forget(u64::from(w));
+            reports[worker_home[&w]].workers_departed += 1;
+        }
+        let mut retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
+        if capped {
+            // Mirror the unsharded driver: under a hard cap a worker is
+            // effectively exhausted once his remaining budget cannot
+            // cover even the cheapest possible release.
+            for w in pool.iter() {
+                let id = u64::from(w.id);
+                if !committed_workers.contains(&w.id)
+                    && !retired.contains(&id)
+                    && accountant.remaining(id) + 1e-12 < cfg.budget_range.0
+                {
+                    accountant.forget(id);
+                    retired.insert(id);
+                }
+            }
+        }
+        for &id in &retired {
+            reports[worker_home[&(id as u32)]].workers_retired += 1;
+        }
+        pool.retain(|w| !committed_workers.contains(&w.id) && !retired.contains(&u64::from(w.id)));
+
+        // Carry each shard's last actual run into the next window.
+        if warm {
+            for (k, run) in runs.into_iter().enumerate() {
+                if let Some(r) = run {
+                    carried[k] = Some(Carried {
+                        board: r.outcome.board,
+                        task_ids: r.task_ids,
+                        worker_ids: r.worker_ids,
+                    });
+                }
+            }
+        }
+
+        // Matched tasks leave, survivors age, the too-old expire.
+        let mut next_pending = Vec::with_capacity(pending.len());
+        for mut p in pending.drain(..) {
+            if committed_tasks.contains(&p.arrival.id) {
+                continue;
+            }
+            p.ttl -= 1;
+            if p.ttl == 0 {
+                let home = task_home_of(partition, &p);
+                shard_fates[home].insert(
+                    p.arrival.id,
+                    TaskFate::Expired {
+                        window: window.index,
+                    },
+                );
+                reports[home].expired += 1;
+            } else {
+                next_pending.push(p);
+            }
+        }
+        pending = next_pending;
+        for p in &pending {
+            reports[task_home_of(partition, p)].carried_out += 1;
+        }
+        for (k, report) in reports.into_iter().enumerate() {
+            shard_windows[k].push(report);
+        }
+    }
+
+    for p in &pending {
+        shard_fates[task_home_of(partition, p)].insert(p.arrival.id, TaskFate::Pending);
+    }
+
+    ShardedReport {
+        shards: (0..n_shards)
+            .map(|k| StreamReport {
+                engine: engine.name().to_string(),
+                windows: std::mem::take(&mut shard_windows[k]),
+                fates: std::mem::take(&mut shard_fates[k]),
+                task_arrivals: shard_tasks[k],
+                worker_arrivals: shard_workers[k],
+                spend_by_worker: std::mem::take(&mut shard_spend[k]),
+            })
+            .collect(),
+    }
+}
+
+/// Home shard of a pending task.
+fn task_home_of(partition: &GridPartition, p: &PendingTask) -> usize {
+    partition.shard_of(&p.arrival.task.location)
+}
+
+/// Builds shard `k`'s instance over its remaining tasks and interior ∪
+/// halo workers, carrying protocol state from the pre-window board.
+/// Returns `None` when the shard has nothing to drive.
+#[allow(clippy::too_many_arguments)]
+fn prepare_run(
+    budget_gen: &BudgetGen,
+    k: usize,
+    pending: &[PendingTask],
+    task_home: &[usize],
+    pool: &[WorkerArrival],
+    worker_reach: &[Vec<usize>],
+    committed_tasks: &BTreeSet<u32>,
+    committed_workers: &BTreeSet<u32>,
+    carried: &Option<Carried>,
+    warm: bool,
+    guard_from: Option<&CumulativeAccountant>,
+) -> Option<PreparedRun> {
+    let task_idx: Vec<usize> = (0..pending.len())
+        .filter(|&i| task_home[i] == k && !committed_tasks.contains(&pending[i].arrival.id))
+        .collect();
+    let worker_idx: Vec<usize> = (0..pool.len())
+        .filter(|&j| worker_reach[j].contains(&k) && !committed_workers.contains(&pool[j].id))
+        .collect();
+    if task_idx.is_empty() || worker_idx.is_empty() {
+        return None;
+    }
+    let task_ids: Vec<u32> = task_idx.iter().map(|&i| pending[i].arrival.id).collect();
+    let worker_ids: Vec<u32> = worker_idx.iter().map(|&j| pool[j].id).collect();
+    let inst = Instance::from_locations(
+        task_idx.iter().map(|&i| pending[i].arrival.task).collect(),
+        worker_idx.iter().map(|&j| pool[j].worker).collect(),
+        |i, j| budget_gen.vector(task_ids[i] as usize, worker_ids[j] as usize),
+    );
+    let board = match carried {
+        Some(prev) if warm => {
+            let task_to_new: BTreeMap<u32, usize> = task_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, i))
+                .collect();
+            let worker_to_new: BTreeMap<u32, usize> = worker_ids
+                .iter()
+                .enumerate()
+                .map(|(j, &id)| (id, j))
+                .collect();
+            prev.board.carry(
+                inst.n_tasks(),
+                inst.n_workers(),
+                |t_old| task_to_new.get(&prev.task_ids[t_old]).copied(),
+                |j_old| worker_to_new.get(&prev.worker_ids[j_old]).copied(),
+            )
+        }
+        _ => Board::new(inst.n_tasks(), inst.n_workers()),
+    };
+    let pre_pubs = board.publications();
+    // The cap guard reads the live accountant, reservations included.
+    // On a *rerun* this is deliberately conservative: the shard's own
+    // earlier pass already reserved the releases it published, and the
+    // engine counts their bit-identical re-derivations as novel board
+    // spend again, so a worker near his cap may publish less than the
+    // ideal continuation would. The alternative — refunding the
+    // shard's own reservations — could let a rerun that takes a
+    // different proposal path overshoot the lifetime cap, which is the
+    // one thing the hard cap must never do. Conservative, deterministic
+    // under-publishing in the (rare) rerun case is the chosen trade.
+    let guard = guard_from.map(|acc| {
+        worker_ids
+            .iter()
+            .map(|&id| acc.remaining(u64::from(id)))
+            .collect()
+    });
+    Some(PreparedRun {
+        shard: k,
+        task_ids,
+        worker_ids,
+        inst,
+        board,
+        pre_pubs,
+        guard,
+    })
+}
+
+/// Drives one prepared shard run. Mirrors the unsharded driver: warm
+/// engines resume (capped when a guard is set), one-shot engines assign
+/// from their fresh board.
+fn drive_prepared(
+    engine: &dyn AssignmentEngine,
+    cfg: &StreamConfig,
+    p: PreparedRun,
+) -> (ShardRun, Duration) {
+    let noise = IdStableNoise {
+        base: SeededNoise::new(cfg.params.seed),
+        task_ids: &p.task_ids,
+        worker_ids: &p.worker_ids,
+    };
+    let start = Instant::now();
+    let outcome = if engine.supports_warm_start() {
+        match &p.guard {
+            Some(g) => engine.resume_capped(&p.inst, p.board, &noise, g),
+            None => engine.resume(&p.inst, p.board, &noise),
+        }
+    } else {
+        let mut board = p.board;
+        engine.assign(&p.inst, &mut board, &noise)
+    };
+    let dt = start.elapsed();
+    (
+        ShardRun {
+            task_ids: p.task_ids,
+            worker_ids: p.worker_ids,
+            outcome,
+            pre_pubs: p.pre_pubs,
+        },
+        dt,
+    )
+}
+
+/// Fans a pass's prepared runs over a bounded scoped-thread pool and
+/// returns `(shard, run, wall time)` tuples in completion order.
+fn drive_parallel(
+    engine: &dyn AssignmentEngine,
+    cfg: &StreamConfig,
+    prepared: Vec<PreparedRun>,
+) -> Vec<(usize, ShardRun, Duration)> {
+    let threads = prepared.len().min(
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(8),
+    );
+    if threads <= 1 {
+        return prepared
+            .into_iter()
+            .map(|p| {
+                let k = p.shard;
+                let (run, dt) = drive_prepared(engine, cfg, p);
+                (k, run, dt)
+            })
+            .collect();
+    }
+    let mut buckets: Vec<Vec<PreparedRun>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, p) in prepared.into_iter().enumerate() {
+        buckets[i % threads].push(p);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|p| {
+                            let k = p.shard;
+                            let (run, dt) = drive_prepared(engine, cfg, p);
+                            (k, run, dt)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("halo shard thread panicked"))
+            .collect()
+    })
+}
+
+/// Reserves the run's *novel* releases against the lifetime accountant.
+/// Reruns and carried history re-derive bit-identical releases, which
+/// the global dedup set filters out, so each release is charged at most
+/// once over the stream's lifetime.
+fn account_run(
+    run: &ShardRun,
+    charged: &mut BTreeSet<ChargeKey>,
+    accountant: &mut CumulativeAccountant,
+    window_spend: &mut BTreeMap<u32, f64>,
+    report: &mut WindowReport,
+) {
+    let board = &run.outcome.board;
+    for (j, &wid) in run.worker_ids.iter().enumerate() {
+        let mut novel = 0.0;
+        for t in board.ledger(j).tasks() {
+            if t == LOCATION_RELEASE {
+                continue;
+            }
+            if let Some(set) = board.releases(t as usize, j) {
+                for (u, rel) in set.releases().iter().enumerate() {
+                    if charged.insert((
+                        wid,
+                        run.task_ids[t as usize],
+                        u as u32,
+                        rel.epsilon.to_bits(),
+                    )) {
+                        novel += rel.epsilon;
+                    }
+                }
+            }
+        }
+        let loc = board.ledger(j).spent_on(LOCATION_RELEASE);
+        if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits())) {
+            novel += loc;
+        }
+        if novel > 0.0 {
+            accountant.reserve(u64::from(wid), novel);
+            report.epsilon_spent += novel;
+            *window_spend.entry(wid).or_insert(0.0) += novel;
+        }
+    }
+}
+
+/// Records a finished run: claims, rounds, publications, wall time.
+fn finish_run(
+    k: usize,
+    run: ShardRun,
+    dt: Duration,
+    reports: &mut [WindowReport],
+    claims: &mut [Vec<Claim>],
+    runs: &mut [Option<ShardRun>],
+) {
+    reports[k].rounds += run.outcome.rounds;
+    reports[k].drive_time += dt;
+    reports[k].publications += run.outcome.board.publications() - run.pre_pubs;
+    claims[k] = run
+        .outcome
+        .assignment
+        .pairs()
+        .map(|(i, j)| Claim {
+            task: run.task_ids[i],
+            worker: run.worker_ids[j],
+        })
+        .collect();
+    runs[k] = Some(run);
+}

@@ -21,10 +21,14 @@
 //!   [`CumulativeAccountant`](dpta_dp::CumulativeAccountant) tracks
 //!   lifetime budget depletion, exhausted workers retire, unserved
 //!   tasks carry over until a time-to-live expires;
-//! * [`run_sharded`] — partitions the stream by spatial grid cell
-//!   ([`GridPartition`](dpta_spatial::GridPartition)) and runs one
-//!   driver per shard on scoped threads; on shard-disjoint input the
-//!   merged totals equal the unsharded run's exactly.
+//! * [`run_sharded`] / [`run_sharded_halo`] — partition the stream by
+//!   spatial grid cell
+//!   ([`GridPartition`](dpta_spatial::GridPartition)) and run one
+//!   engine per shard on scoped threads. Drop-pairs mode is exact on
+//!   shard-disjoint input; the boundary-halo protocol
+//!   ([`ShardStrategy::Halo`]) additionally recovers cross-boundary
+//!   pairs via halo membership and a deterministic reconciliation
+//!   pass, staying near-exact on general input.
 //!
 //! Everything is deterministic in the seed: budget vectors and noise
 //! draws are keyed by *logical* entity ids rather than per-window
@@ -68,6 +72,7 @@
 mod arrival;
 mod driver;
 mod event;
+mod halo;
 mod metrics;
 mod shard;
 mod window;
@@ -76,5 +81,5 @@ pub use arrival::{ArrivalModel, StreamScenario};
 pub use driver::{StreamConfig, StreamDriver};
 pub use event::{ArrivalEvent, ArrivalStream, TaskArrival, WorkerArrival};
 pub use metrics::{ShardedReport, StreamReport, TaskFate, WindowReport};
-pub use shard::run_sharded;
+pub use shard::{run_sharded, run_sharded_halo, run_sharded_with, ShardStrategy};
 pub use window::{Window, WindowPolicy, MAX_WINDOWS};

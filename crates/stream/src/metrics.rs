@@ -81,6 +81,11 @@ pub struct StreamReport {
     pub task_arrivals: usize,
     /// Worker arrivals observed.
     pub worker_arrivals: usize,
+    /// Lifetime privacy budget charged per worker id (entries only for
+    /// workers with non-zero committed spend). Under a finite
+    /// `worker_capacity` with warm-start carry this never exceeds the
+    /// capacity — the hard-cap guarantee the property tests pin.
+    pub spend_by_worker: BTreeMap<u32, f64>,
 }
 
 impl StreamReport {
@@ -362,6 +367,7 @@ mod tests {
             fates,
             task_arrivals: 3,
             worker_arrivals: 2,
+            spend_by_worker: BTreeMap::new(),
         };
         assert_eq!(r.assert_conservation(), (1, 1, 1));
         assert_eq!(r.matched(), 1);
@@ -385,6 +391,7 @@ mod tests {
             fates: BTreeMap::new(),
             task_arrivals: 1,
             worker_arrivals: 0,
+            spend_by_worker: BTreeMap::new(),
         };
         r.assert_conservation();
     }
@@ -397,6 +404,7 @@ mod tests {
             fates: BTreeMap::new(),
             task_arrivals: 2,
             worker_arrivals: 2,
+            spend_by_worker: BTreeMap::new(),
         };
         let merged = ShardedReport {
             shards: vec![one.clone(), StreamReport::default(), one],

@@ -7,18 +7,53 @@
 //! for pair, the run the single-threaded driver would have produced,
 //! at a wall-clock cost of the slowest shard instead of the sum.
 //!
-//! When discs do cross boundaries the decomposition is an
-//! approximation (cross-cell pairs are never considered); the reports
-//! make the loss visible rather than hiding it.
+//! When discs do cross boundaries, the [`ShardStrategy`] decides what
+//! happens: [`DropPairs`](ShardStrategy::DropPairs) never considers
+//! cross-cell pairs (exact only on shard-disjoint input), while
+//! [`Halo`](ShardStrategy::Halo) extends each shard with the foreign
+//! workers whose service discs reach into its cell and reconciles the
+//! shards' competing claims deterministically — near-exact on general
+//! input, bit-for-bit equal to the unsharded run on disjoint input.
+//! The protocol is documented in `ARCHITECTURE.md` ("Sharding & the
+//! halo protocol").
 
 use crate::driver::{StreamConfig, StreamDriver};
 use crate::event::ArrivalStream;
+use crate::halo;
 use crate::metrics::{ShardedReport, StreamReport};
 use dpta_core::AssignmentEngine;
 use dpta_spatial::GridPartition;
 
-/// Runs `stream` sharded by `partition`, one driver per cell, each on
-/// its own scoped thread sharing the one `engine`.
+/// How sharded execution treats feasible pairs that cross cell
+/// boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Route every entity to the cell owning its location and run the
+    /// shards fully independently: cross-boundary pairs are silently
+    /// dropped. Exact only on
+    /// [shard-disjoint](ArrivalStream::is_shard_disjoint) input; the
+    /// cheapest mode, and the baseline the halo protocol's recovered
+    /// utility is measured against.
+    #[default]
+    DropPairs,
+    /// The boundary-halo protocol: each shard's windows additionally
+    /// include the foreign workers whose service discs reach into its
+    /// cell ([`GridPartition::halo_shards`]), shards propose matches
+    /// over interior ∪ halo, and a deterministic reconciliation pass
+    /// resolves competing claims on shared workers (id-keyed,
+    /// home-shard priority) so no worker is ever assigned twice and
+    /// every release is charged exactly once. Bit-for-bit equal to the
+    /// unsharded run on shard-disjoint input, near-exact in general.
+    Halo,
+}
+
+/// Runs `stream` sharded by `partition` under the
+/// [`DropPairs`](ShardStrategy::DropPairs) strategy: one independent
+/// driver per cell, each on its own scoped thread sharing the one
+/// `engine`. Cross-boundary pairs are never formed — use
+/// [`run_sharded_halo`] (or [`run_sharded_with`]) when the workload is
+/// not shard-disjoint; the halo protocol and its guarantees are
+/// documented in `ARCHITECTURE.md` ("Sharding & the halo protocol").
 ///
 /// Every shard is forced onto the same window sequence: the global
 /// stream horizon is injected into each shard's configuration, so
@@ -56,6 +91,83 @@ use dpta_spatial::GridPartition;
 /// assert_eq!(direct, stream.n_tasks());
 /// ```
 pub fn run_sharded(
+    engine: &dyn AssignmentEngine,
+    stream: &ArrivalStream,
+    cfg: &StreamConfig,
+    partition: &GridPartition,
+) -> ShardedReport {
+    run_sharded_with(engine, stream, cfg, partition, ShardStrategy::DropPairs)
+}
+
+/// Runs `stream` sharded by `partition` under the boundary-halo
+/// protocol ([`ShardStrategy::Halo`]): cross-boundary pairs are
+/// recovered by replicating boundary workers into every cell their
+/// service disc reaches and reconciling the shards' claims
+/// deterministically. See [`run_sharded_with`] and the "Sharding & the
+/// halo protocol" section of `ARCHITECTURE.md`.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::{Method, Task, Worker};
+/// use dpta_spatial::{Aabb, GridPartition, Point};
+/// use dpta_stream::{
+///     run_sharded, run_sharded_halo, ArrivalEvent, ArrivalStream, StreamConfig, TaskArrival,
+///     WindowPolicy, WorkerArrival,
+/// };
+///
+/// // One worker left of x = 5, one task right of it: the only feasible
+/// // pair crosses the shard boundary.
+/// let stream = ArrivalStream::new(vec![
+///     ArrivalEvent::Worker(WorkerArrival {
+///         id: 0,
+///         time: 0.0,
+///         worker: Worker::new(Point::new(4.5, 5.0), 2.0),
+///     }),
+///     ArrivalEvent::Task(TaskArrival {
+///         id: 0,
+///         time: 1.0,
+///         task: Task::new(Point::new(5.5, 5.0), 4.5),
+///     }),
+/// ]);
+/// let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 1);
+/// let cfg = StreamConfig {
+///     policy: WindowPolicy::ByTime { width: 10.0 },
+///     ..StreamConfig::default()
+/// };
+/// let engine = Method::Grd.engine(&cfg.params);
+/// // Drop-pairs sharding loses the pair; the halo recovers it.
+/// assert_eq!(run_sharded(engine.as_ref(), &stream, &cfg, &part).matched(), 0);
+/// assert_eq!(run_sharded_halo(engine.as_ref(), &stream, &cfg, &part).matched(), 1);
+/// ```
+pub fn run_sharded_halo(
+    engine: &dyn AssignmentEngine,
+    stream: &ArrivalStream,
+    cfg: &StreamConfig,
+    partition: &GridPartition,
+) -> ShardedReport {
+    run_sharded_with(engine, stream, cfg, partition, ShardStrategy::Halo)
+}
+
+/// Runs `stream` sharded by `partition` under an explicit
+/// [`ShardStrategy`]. [`run_sharded`] and [`run_sharded_halo`] are the
+/// two named conveniences.
+pub fn run_sharded_with(
+    engine: &dyn AssignmentEngine,
+    stream: &ArrivalStream,
+    cfg: &StreamConfig,
+    partition: &GridPartition,
+    strategy: ShardStrategy,
+) -> ShardedReport {
+    match strategy {
+        ShardStrategy::DropPairs => run_drop_pairs(engine, stream, cfg, partition),
+        ShardStrategy::Halo => halo::run_halo(engine, stream, cfg, partition),
+    }
+}
+
+/// The independent-drivers implementation behind
+/// [`ShardStrategy::DropPairs`].
+fn run_drop_pairs(
     engine: &dyn AssignmentEngine,
     stream: &ArrivalStream,
     cfg: &StreamConfig,
@@ -176,6 +288,221 @@ mod tests {
                 "{method}"
             );
         }
+    }
+
+    #[test]
+    fn halo_matches_flat_exactly_on_disjoint_input() {
+        // On shard-disjoint input no worker has a halo, so the halo
+        // coordinator must reproduce the unsharded run fate for fate —
+        // private engines included.
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 1);
+        let stream = disjoint_stream();
+        assert!(stream.is_shard_disjoint(&part));
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 5.0 },
+            ..StreamConfig::default()
+        };
+        for method in [Method::Puce, Method::Pgt, Method::Grd] {
+            let engine = method.engine(&cfg.params);
+            let flat = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
+            let halo = run_sharded_halo(engine.as_ref(), &stream, &cfg, &part);
+            assert_eq!(halo.matched(), flat.matched(), "{method}");
+            assert!(
+                (halo.total_utility() - flat.total_utility()).abs() < 1e-9,
+                "{method}"
+            );
+            assert!(
+                (halo.total_epsilon() - flat.total_epsilon()).abs() < 1e-9,
+                "{method}"
+            );
+            let mut halo_fates: Vec<(u32, crate::TaskFate)> = halo
+                .shards
+                .iter()
+                .flat_map(|s| s.fates.iter().map(|(&id, &f)| (id, f)))
+                .collect();
+            halo_fates.sort_by_key(|&(id, _)| id);
+            let flat_fates: Vec<(u32, crate::TaskFate)> =
+                flat.fates.iter().map(|(&id, &f)| (id, f)).collect();
+            assert_eq!(halo_fates, flat_fates, "{method}: fates must be identical");
+        }
+    }
+
+    #[test]
+    fn halo_recovers_cross_boundary_pairs_dropped_by_default_sharding() {
+        // Workers sit left of x = 5, their only reachable tasks right
+        // of it: drop-pairs sharding matches nothing, the halo protocol
+        // matches everything.
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 1);
+        let mut events = Vec::new();
+        for k in 0..3u32 {
+            let y = 2.0 + 2.0 * k as f64;
+            events.push(ArrivalEvent::Worker(WorkerArrival {
+                id: k,
+                time: 0.0,
+                worker: Worker::new(Point::new(4.6, y), 1.0),
+            }));
+            events.push(ArrivalEvent::Task(TaskArrival {
+                id: k,
+                time: 1.0 + k as f64,
+                task: Task::new(Point::new(5.2, y), 4.5),
+            }));
+        }
+        let stream = ArrivalStream::new(events);
+        assert!(!stream.is_shard_disjoint(&part));
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 10.0 },
+            ..StreamConfig::default()
+        };
+        for method in [Method::Puce, Method::Pgt, Method::Grd] {
+            let engine = method.engine(&cfg.params);
+            let flat = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
+            let dropped = run_sharded(engine.as_ref(), &stream, &cfg, &part);
+            let halo = run_sharded_halo(engine.as_ref(), &stream, &cfg, &part);
+            assert_eq!(
+                dropped.matched(),
+                0,
+                "{method}: drop-pairs loses everything"
+            );
+            // Here every feasible pair crosses the boundary, so the
+            // halo recovers exactly what the unsharded run matches —
+            // which is everything the (noisy) engine accepts.
+            assert_eq!(
+                halo.matched(),
+                flat.matched(),
+                "{method}: the halo must recover the unsharded matching"
+            );
+            assert!(flat.matched() > 0, "{method}: nothing matched at all");
+            assert!(
+                (halo.total_utility() - flat.total_utility()).abs() < 1e-9,
+                "{method}"
+            );
+            assert!(halo.total_utility() > dropped.total_utility(), "{method}");
+            // Every shard's report still conserves its own tasks.
+            for s in &halo.shards {
+                s.assert_conservation();
+            }
+        }
+    }
+
+    #[test]
+    fn halo_reconciliation_gives_contested_workers_to_their_home_shard() {
+        // One worker on the boundary reachable-by both cells' tasks;
+        // both shards propose him. Home-shard priority must win, the
+        // loser's task must carry over (and expire under its TTL), and
+        // the worker must be assigned exactly once.
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 10.0, 10.0), 2, 1);
+        let events = vec![
+            ArrivalEvent::Worker(WorkerArrival {
+                id: 0,
+                time: 0.0,
+                worker: Worker::new(Point::new(4.8, 5.0), 1.0),
+            }),
+            // Home-cell task (left of x = 5).
+            ArrivalEvent::Task(TaskArrival {
+                id: 0,
+                time: 1.0,
+                task: Task::new(Point::new(4.2, 5.0), 4.5),
+            }),
+            // Foreign-cell task (right of x = 5), same distance class.
+            ArrivalEvent::Task(TaskArrival {
+                id: 1,
+                time: 1.0,
+                task: Task::new(Point::new(5.4, 5.0), 4.5),
+            }),
+        ];
+        let stream = ArrivalStream::new(events);
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 10.0 },
+            task_ttl: 1,
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&cfg.params);
+        let halo = run_sharded_halo(engine.as_ref(), &stream, &cfg, &part);
+        assert_eq!(halo.matched(), 1, "one worker serves exactly one task");
+        // The home shard (0) won the contested worker.
+        assert_eq!(halo.shards[0].matched(), 1);
+        assert_eq!(halo.shards[1].matched(), 0);
+        assert!(matches!(
+            halo.shards[0].fates[&0],
+            crate::TaskFate::Assigned { worker: 0, .. }
+        ));
+        assert!(matches!(
+            halo.shards[1].fates[&1],
+            crate::TaskFate::Expired { .. }
+        ));
+    }
+
+    #[test]
+    fn halo_resolves_mutual_loss_cycles_even_beside_clean_commits() {
+        // Shards 0 and 1 each claim both boundary workers: worker 0
+        // (home 1) and worker 1 (home 0) go to their home shards and
+        // each shard loses one claim — a mutual-loss cycle with no
+        // clean candidate. Shard 2 holds an unrelated interior pair
+        // that commits cleanly with no losers in the same pass.
+        // Regression: reconciliation must not treat that loser-free
+        // clean pass as "window done" and abandon the cycle — both
+        // boundary workers must still end up matched.
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 30.0, 10.0), 3, 1);
+        let mut events = vec![
+            ArrivalEvent::Worker(WorkerArrival {
+                id: 0,
+                time: 0.0,
+                worker: Worker::new(Point::new(10.5, 5.0), 3.0), // home shard 1
+            }),
+            ArrivalEvent::Worker(WorkerArrival {
+                id: 1,
+                time: 0.0,
+                worker: Worker::new(Point::new(9.5, 5.0), 3.0), // home shard 0
+            }),
+            ArrivalEvent::Worker(WorkerArrival {
+                id: 2,
+                time: 0.0,
+                worker: Worker::new(Point::new(25.0, 5.0), 1.0), // interior, shard 2
+            }),
+            ArrivalEvent::Task(TaskArrival {
+                id: 4,
+                time: 1.0,
+                task: Task::new(Point::new(25.5, 5.0), 4.5), // shard 2
+            }),
+        ];
+        // Two tasks per boundary shard, all reachable by both boundary
+        // workers, so each shard's engine claims both workers.
+        for (id, x) in [(0u32, 9.0), (1, 9.8), (2, 10.2), (3, 11.0)] {
+            events.push(ArrivalEvent::Task(TaskArrival {
+                id,
+                time: 1.0,
+                task: Task::new(Point::new(x, 5.0), 4.5),
+            }));
+        }
+        let stream = ArrivalStream::new(events);
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 10.0 },
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&cfg.params);
+        let dropped = run_sharded(engine.as_ref(), &stream, &cfg, &part);
+        let halo = run_sharded_halo(engine.as_ref(), &stream, &cfg, &part);
+        // Drop-pairs: one worker per boundary shard plus the interior
+        // pair. The halo must do no worse.
+        assert_eq!(dropped.matched(), 3);
+        assert_eq!(
+            halo.matched(),
+            3,
+            "the mutual-loss cycle was abandoned mid-reconciliation"
+        );
+        assert!(halo.total_utility() + 1e-9 >= dropped.total_utility());
+        // Every worker served exactly one task.
+        let mut served: Vec<u32> = halo
+            .shards
+            .iter()
+            .flat_map(|s| s.fates.values())
+            .filter_map(|f| match f {
+                crate::TaskFate::Assigned { worker, .. } => Some(*worker),
+                _ => None,
+            })
+            .collect();
+        served.sort_unstable();
+        assert_eq!(served, vec![0, 1, 2]);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use dpta_core::{Method, Task, Worker};
 use dpta_spatial::{Aabb, GridPartition, Point};
 use dpta_stream::{
-    run_sharded, ArrivalEvent, ArrivalModel, ArrivalStream, StreamConfig, StreamDriver,
-    StreamScenario, TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
+    run_sharded, run_sharded_halo, ArrivalEvent, ArrivalModel, ArrivalStream, StreamConfig,
+    StreamDriver, StreamScenario, TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
 };
 use dpta_workloads::{Dataset, Scenario};
 
@@ -189,6 +189,43 @@ fn sharded_equals_unsharded_for_private_and_plain_engines() {
         shard_fates.sort_by_key(|&(id, _)| id);
         let flat_fates: Vec<(u32, TaskFate)> = flat.fates.iter().map(|(&id, &f)| (id, f)).collect();
         assert_eq!(shard_fates, flat_fates, "{method}");
+
+        // The halo protocol degrades to drop-pairs on disjoint input:
+        // same fates, same totals, same per-worker lifetime spend.
+        let halo = run_sharded_halo(engine.as_ref(), &stream, &cfg, &part);
+        assert_eq!(halo.matched(), flat.matched(), "halo {method}");
+        assert!(
+            (halo.total_utility() - flat.total_utility()).abs() < 1e-9,
+            "halo {method}"
+        );
+        assert!(
+            (halo.total_epsilon() - flat.total_epsilon()).abs() < 1e-9,
+            "halo {method}"
+        );
+        let mut halo_fates: Vec<(u32, TaskFate)> = halo
+            .shards
+            .iter()
+            .flat_map(|s| s.fates.iter().map(|(&id, &f)| (id, f)))
+            .collect();
+        halo_fates.sort_by_key(|&(id, _)| id);
+        assert_eq!(halo_fates, flat_fates, "halo {method}");
+        let halo_spend: std::collections::BTreeMap<u32, f64> = halo
+            .shards
+            .iter()
+            .flat_map(|s| s.spend_by_worker.iter().map(|(&w, &e)| (w, e)))
+            .collect();
+        assert_eq!(
+            halo_spend.keys().collect::<Vec<_>>(),
+            flat.spend_by_worker.keys().collect::<Vec<_>>(),
+            "halo {method}: charged workers"
+        );
+        for (w, eps) in &halo_spend {
+            assert!(
+                (eps - flat.spend_by_worker[w]).abs() < 1e-9,
+                "halo {method}: worker {w} spend {eps} vs {}",
+                flat.spend_by_worker[w]
+            );
+        }
     }
 }
 
@@ -232,9 +269,11 @@ fn budget_depletion_eventually_retires_the_fleet() {
     let stream = ArrivalStream::new(events);
     let cfg = StreamConfig {
         policy: WindowPolicy::ByTime { width: 80.0 },
-        // One publication (ε ≥ 0.5 under Table X budgets) exhausts a
-        // worker: every proposer who fails to win retires immediately.
-        worker_capacity: 0.5,
+        // Room for exactly one publication (ε ∈ [0.5, 1.75) under
+        // Table X budgets): after it, the remaining budget is below the
+        // cheapest possible release and the hard cap retires the
+        // worker. Losers publish without winning, so they burn out.
+        worker_capacity: 1.0,
         ..StreamConfig::default()
     };
     let engine = Method::Pdce.engine(&cfg.params);
@@ -242,6 +281,14 @@ fn budget_depletion_eventually_retires_the_fleet() {
     report.assert_conservation();
     let retired: usize = report.windows.iter().map(|w| w.workers_retired).sum();
     assert!(retired > 0, "tight capacity must retire someone");
+    // The hard-cap guarantee: no worker's lifetime spend exceeds the
+    // capacity, ever — not even inside his final window.
+    for (&w, &spent) in &report.spend_by_worker {
+        assert!(
+            spent <= cfg.worker_capacity + 1e-9,
+            "worker {w} spent {spent} over the hard cap"
+        );
+    }
     // Against an unconstrained fleet, depletion can only cost matches.
     let loose_cfg = StreamConfig {
         worker_capacity: f64::INFINITY,

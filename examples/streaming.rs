@@ -1,7 +1,9 @@
 //! The streaming pipeline, end to end: a day of bursty arrivals,
 //! time-windowed batching, three engines racing the same stream, budget
-//! depletion retiring the fleet, and the sharded mode agreeing exactly
-//! with the unsharded run on shard-disjoint input.
+//! depletion retiring the fleet, the sharded mode agreeing exactly
+//! with the unsharded run on shard-disjoint input, and the
+//! boundary-halo protocol recovering the cross-shard pairs drop-pairs
+//! sharding loses.
 //!
 //! ```sh
 //! cargo run -p dpta --example streaming
@@ -96,8 +98,42 @@ fn main() {
     assert_eq!(sharded.matched(), flat.matched());
     assert!((sharded.total_utility() - flat.total_utility()).abs() < 1e-9);
     println!(
-        "sharded == unsharded: {} matched, utility {:.2} — exact ✓",
+        "sharded == unsharded: {} matched, utility {:.2} — exact ✓\n",
         flat.matched(),
         flat.total_utility()
     );
+
+    // ── 5. The boundary halo: cross-shard pairs recovered ─────────────
+    // Move every cluster onto the x = 50 boundary: workers left of it,
+    // their only reachable tasks right of it. Drop-pairs sharding loses
+    // every pair; the halo protocol routes the boundary workers into
+    // the neighbouring shard's windows and a deterministic
+    // reconciliation keeps each worker assigned at most once.
+    let mut events = Vec::new();
+    for k in 0..8u32 {
+        let y = 10.0 + 10.0 * k as f64;
+        events.push(ArrivalEvent::Worker(WorkerArrival {
+            id: k,
+            time: 0.0,
+            worker: Worker::new(Point::new(49.0, y), 3.0),
+        }));
+        events.push(ArrivalEvent::Task(TaskArrival {
+            id: k,
+            time: 20.0 + 40.0 * k as f64,
+            task: Task::new(Point::new(51.0, y), 4.5),
+        }));
+    }
+    let crossing = ArrivalStream::new(events);
+    assert!(!crossing.is_shard_disjoint(&part));
+    let dropped = run_sharded(engine.as_ref(), &crossing, &cfg, &part);
+    let halo = run_sharded_halo(engine.as_ref(), &crossing, &cfg, &part);
+    println!(
+        "crossing stream: drop-pairs matched {} (utility {:.2}) | halo matched {} \
+         (utility {:.2}) — cross-shard pairs recovered ✓",
+        dropped.matched(),
+        dropped.total_utility(),
+        halo.matched(),
+        halo.total_utility()
+    );
+    assert!(halo.matched() > dropped.matched());
 }
