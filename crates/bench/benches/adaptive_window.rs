@@ -1,0 +1,85 @@
+//! Adaptive windowing cost — what the latency-targeting controller
+//! costs (and saves) against a static width as burst intensity grows.
+//!
+//! Sweeps the bursty arrival model's peak rate: at low intensity the
+//! adaptive run degenerates to near-static behaviour; at high
+//! intensity burst cuts multiply the window count (more, smaller
+//! engine drives) while the static policy piles the whole burst into
+//! one instance. The interesting number is how the *drain time* moves
+//! with that trade, per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpta_core::Method;
+use dpta_stream::{
+    AdaptivePolicy, ArrivalModel, ArrivalStream, StreamConfig, StreamDriver, StreamScenario,
+    WindowPolicy,
+};
+use dpta_workloads::{Dataset, Scenario};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The comparison stream at one burst intensity (peak arrivals/s).
+fn bursty_stream(burst_rate: f64) -> ArrivalStream {
+    StreamScenario {
+        scenario: Scenario {
+            dataset: Dataset::Normal,
+            batch_size: 100,
+            n_batches: 2,
+            ..Scenario::default()
+        },
+        task_model: ArrivalModel::Bursty {
+            base_rate: 0.05,
+            burst_rate,
+            period: 600.0,
+            burst_fraction: 0.25,
+        },
+        worker_model: ArrivalModel::Poisson { rate: 0.02 },
+        initial_worker_fraction: 0.8,
+    }
+    .stream()
+}
+
+fn adaptive_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_window");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for burst_rate in [0.2, 0.5, 1.0] {
+        let stream = bursty_stream(burst_rate);
+        for (policy_name, policy) in [
+            (
+                "adaptive",
+                WindowPolicy::Adaptive(AdaptivePolicy::default()),
+            ),
+            ("time300s", WindowPolicy::ByTime { width: 300.0 }),
+        ] {
+            let cfg = StreamConfig {
+                policy,
+                ..StreamConfig::default()
+            };
+            for method in [Method::Puce, Method::Grd] {
+                let engine = method.engine(&cfg.params);
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}_{policy_name}", method.name()),
+                        format!("burst{burst_rate}"),
+                    ),
+                    &stream,
+                    |b, stream| {
+                        b.iter(|| {
+                            black_box(
+                                StreamDriver::new(engine.as_ref(), cfg.clone())
+                                    .run(black_box(stream)),
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptive_window);
+criterion_main!(benches);

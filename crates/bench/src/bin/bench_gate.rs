@@ -1,0 +1,176 @@
+//! The CI bench-trajectory gate.
+//!
+//! Runs the three streaming benches (`time_to_drain`, `halo_sharding`,
+//! `adaptive_window`) with the criterion shim's machine-readable JSON
+//! output, assembles `BENCH_stream.json` (median ns per bench id), and
+//! compares the fresh medians against the committed baseline at the
+//! repo root: any benchmark more than `--max-ratio` (default 3×)
+//! slower fails the gate. On the first run — no committed baseline —
+//! the fresh trajectory is written to the baseline path so CI can
+//! commit it.
+//!
+//! ```text
+//! cargo run --release -p dpta-bench --bin bench_gate -- \
+//!     --quick --baseline BENCH_stream.json --fresh-out BENCH_stream.fresh.json
+//! ```
+
+use dpta_bench::{
+    compare_trajectories, parse_bench_lines, parse_trajectory, render_trajectory, BenchTrajectory,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+/// The bench binaries the trajectory tracks, in run order.
+const BENCHES: [&str; 3] = ["time_to_drain", "halo_sharding", "adaptive_window"];
+
+struct Args {
+    quick: bool,
+    baseline: PathBuf,
+    fresh_out: Option<PathBuf>,
+    max_ratio: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        baseline: PathBuf::from("BENCH_stream.json"),
+        fresh_out: None,
+        max_ratio: 3.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--baseline" => args.baseline = PathBuf::from(next("--baseline")?),
+            "--fresh-out" => args.fresh_out = Some(PathBuf::from(next("--fresh-out")?)),
+            "--max-ratio" => {
+                args.max_ratio = next("--max-ratio")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-ratio: {e}"))?;
+                if !(args.max_ratio > 1.0 && args.max_ratio.is_finite()) {
+                    return Err("--max-ratio must be a finite ratio above 1".into());
+                }
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs one bench binary with the shim's JSON output redirected to
+/// `jsonl`, returning its parsed `(id, median_ns)` rows.
+fn run_bench(name: &str, jsonl: &PathBuf, quick: bool) -> Result<Vec<(String, f64)>, String> {
+    let _ = std::fs::remove_file(jsonl);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = Command::new(cargo);
+    cmd.args(["bench", "-p", "dpta-bench", "--bench", name])
+        .env("CRITERION_JSON", jsonl);
+    if quick {
+        cmd.env("CRITERION_QUICK", "1");
+    }
+    let status = cmd
+        .status()
+        .map_err(|e| format!("could not spawn cargo bench --bench {name}: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench --bench {name} failed: {status}"));
+    }
+    let text = std::fs::read_to_string(jsonl)
+        .map_err(|e| format!("bench {name} wrote no JSON at {}: {e}", jsonl.display()))?;
+    let rows = parse_bench_lines(&text).map_err(|e| format!("bench {name}: {e}"))?;
+    if rows.is_empty() {
+        return Err(format!("bench {name} produced no measurements"));
+    }
+    Ok(rows)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let jsonl = std::env::temp_dir().join(format!("bench_gate_{}.jsonl", std::process::id()));
+    let mut fresh: BenchTrajectory = BTreeMap::new();
+    for name in BENCHES {
+        eprintln!(
+            "bench_gate: running {name} ({})",
+            if args.quick { "quick" } else { "full" }
+        );
+        match run_bench(name, &jsonl, args.quick) {
+            Ok(rows) => {
+                fresh.insert(name.to_string(), rows.into_iter().collect());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                let _ = std::fs::remove_file(&jsonl);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&jsonl);
+
+    let rendered = render_trajectory(&fresh);
+    if let Some(out) = &args.fresh_out {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("error: could not write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_gate: fresh trajectory written to {}", out.display());
+    }
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(t) => t,
+        Err(_) => {
+            // First run: seed the baseline so CI can commit it.
+            if let Err(e) = std::fs::write(&args.baseline, &rendered) {
+                eprintln!(
+                    "error: could not seed baseline {}: {e}",
+                    args.baseline.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "bench_gate: no baseline at {} — seeded it from this run (commit it)",
+                args.baseline.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+    let baseline = match parse_trajectory(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "error: baseline {} is unreadable: {e}",
+                args.baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (regressions, notes) = compare_trajectories(&baseline, &fresh, args.max_ratio);
+    for n in &notes {
+        eprintln!("bench_gate: note: {n}");
+    }
+    if regressions.is_empty() {
+        eprintln!(
+            "bench_gate: OK — no bench slower than {:.1}× its committed baseline",
+            args.max_ratio
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAILED — {} bench(es) regressed past {:.1}×:",
+            regressions.len(),
+            args.max_ratio
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

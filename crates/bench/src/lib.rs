@@ -1,5 +1,8 @@
 //! Shared helpers for the Criterion benches (the benches themselves
-//! live under `benches/`, one per paper figure group).
+//! live under `benches/`, one per paper figure group), plus the pure
+//! half of the `bench_gate` binary: parsing the criterion shim's
+//! JSON-lines output, assembling the `BENCH_stream.json` trajectory
+//! file, and comparing a fresh run against the committed baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -8,6 +11,93 @@ use dpta_core::RunParams;
 use dpta_experiments::report::render_figure;
 use dpta_experiments::{figures, runner, RunOptions};
 use dpta_workloads::{Dataset, Scenario};
+use serde::Deserialize as _;
+use std::collections::BTreeMap;
+
+/// Median nanoseconds per benchmark id, grouped by bench binary — the
+/// shape of `BENCH_stream.json`.
+pub type BenchTrajectory = BTreeMap<String, BTreeMap<String, f64>>;
+
+/// Parses the criterion shim's `CRITERION_JSON` lines (one object per
+/// benchmark) into `(id, median_ns)` pairs, skipping blank lines.
+/// Returns an error message naming the first malformed line.
+pub fn parse_bench_lines(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (k, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", k + 1))?;
+        let id = match v.get("id") {
+            Some(serde::Value::String(s)) => s.clone(),
+            _ => return Err(format!("line {}: missing string \"id\"", k + 1)),
+        };
+        let median = match v.get("median_ns") {
+            Some(serde::Value::Number(n)) => *n,
+            _ => return Err(format!("line {}: missing numeric \"median_ns\"", k + 1)),
+        };
+        out.push((id, median));
+    }
+    Ok(out)
+}
+
+/// Renders a trajectory as the pretty JSON committed at the repo root.
+pub fn render_trajectory(t: &BenchTrajectory) -> String {
+    let mut text = serde_json::to_string_pretty(t).expect("trajectory serializes");
+    text.push('\n');
+    text
+}
+
+/// Parses a committed trajectory file.
+pub fn parse_trajectory(text: &str) -> Result<BenchTrajectory, String> {
+    let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    BenchTrajectory::deserialize_value(&v).map_err(|e| e.to_string())
+}
+
+/// Compares a fresh trajectory against the baseline: any shared bench
+/// id whose fresh median exceeds `max_ratio ×` the baseline median is
+/// a regression. Ids present on only one side are reported as notes,
+/// never failures (benches come and go across PRs).
+pub fn compare_trajectories(
+    baseline: &BenchTrajectory,
+    fresh: &BenchTrajectory,
+    max_ratio: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut regressions = Vec::new();
+    let mut notes = Vec::new();
+    for (bench, base_ids) in baseline {
+        let Some(fresh_ids) = fresh.get(bench) else {
+            notes.push(format!("bench {bench} missing from the fresh run"));
+            continue;
+        };
+        for (id, &base) in base_ids {
+            match fresh_ids.get(id) {
+                Some(&now) if base > 0.0 && now > max_ratio * base => {
+                    regressions.push(format!(
+                        "{bench}: {id} regressed {:.1}× ({:.0} ns -> {:.0} ns)",
+                        now / base,
+                        base,
+                        now
+                    ));
+                }
+                Some(_) => {}
+                None => notes.push(format!("{bench}: {id} missing from the fresh run")),
+            }
+        }
+        for id in fresh_ids.keys() {
+            if !base_ids.contains_key(id) {
+                notes.push(format!("{bench}: {id} is new (no baseline)"));
+            }
+        }
+    }
+    for bench in fresh.keys() {
+        if !baseline.contains_key(bench) {
+            notes.push(format!("bench {bench} is new (no baseline)"));
+        }
+    }
+    (regressions, notes)
+}
 
 /// The small-but-meaningful scale used inside timed benchmark bodies.
 pub fn bench_options() -> RunOptions {
@@ -49,5 +139,62 @@ pub fn print_figures(ids: &[&str]) {
         let spec = figures::find(id).expect("figure id in registry");
         let out = runner::run_figure(&spec, &opts);
         eprintln!("{}", render_figure(&out));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(entries: &[(&str, &[(&str, f64)])]) -> BenchTrajectory {
+        entries
+            .iter()
+            .map(|(bench, ids)| {
+                (
+                    bench.to_string(),
+                    ids.iter().map(|(id, ns)| (id.to_string(), *ns)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bench_lines_parse_and_reject_garbage() {
+        let text = "{\"id\":\"g/a\",\"median_ns\":1200.5,\"min_ns\":1000.0}\n\n\
+                    {\"id\":\"g/b\",\"median_ns\":7}\n";
+        let rows = parse_bench_lines(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "g/a");
+        assert!((rows[0].1 - 1200.5).abs() < 1e-9);
+        assert!(parse_bench_lines("{\"median_ns\":1}").is_err());
+        assert!(parse_bench_lines("not json").is_err());
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_json() {
+        let t = traj(&[
+            (
+                "time_to_drain",
+                &[("stream/PUCE", 1500.0), ("stream/GRD", 900.0)],
+            ),
+            ("adaptive_window", &[("adaptive/burst0.5", 2e6)]),
+        ]);
+        let text = render_trajectory(&t);
+        assert!(text.contains("time_to_drain"));
+        let back = parse_trajectory(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comparison_flags_only_threshold_breaches() {
+        let base = traj(&[("drain", &[("a", 100.0), ("b", 100.0), ("gone", 50.0)])]);
+        let fresh = traj(&[
+            ("drain", &[("a", 250.0), ("b", 350.0), ("new", 10.0)]),
+            ("extra", &[("c", 1.0)]),
+        ]);
+        let (regressions, notes) = compare_trajectories(&base, &fresh, 3.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("drain: b regressed 3.5×"));
+        assert_eq!(notes.len(), 3, "{notes:?}"); // gone, new, extra
     }
 }

@@ -123,9 +123,20 @@ STREAM OPTIONS (dpta-experiments stream ...):
                            a recovered-utility report (halo vs
                            drop-pairs sharding) on a boundary-crossing
                            stream
+      --adaptive           also run the adaptive-windowing comparison:
+                           the latency-targeting controller vs a
+                           3-point static width sweep on a bursty
+                           arrival stream, reporting p95/mean latency,
+                           utility and early/widened/narrowed window
+                           counts; gated on adaptive strictly beating
+                           the best static p95 at utility within 5 %
+      --strict             escalate pipeline warnings to hard errors
+                           (e.g. the count-window shard coercion)
   Exits non-zero if the sharded run does not match the unsharded run
   exactly on the shard-disjoint witness stream, or (with --halo) if
-  the halo run diverges or fails to beat drop-pairs sharding."
+  the halo run diverges or fails to beat drop-pairs sharding, or
+  (with --adaptive) if the adaptive gate fails, or (with --strict) if
+  any warning fired."
     );
 }
 
@@ -228,6 +239,8 @@ fn parse_stream_args(mut it: std::env::Args) -> Result<stream_cmd::StreamArgs, S
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--halo" => args.halo = true,
+            "--adaptive" => args.adaptive = true,
+            "--strict" => args.strict = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);

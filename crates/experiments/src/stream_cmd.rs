@@ -13,8 +13,9 @@
 use dpta_core::{Method, Task, Worker};
 use dpta_spatial::{Aabb, GridPartition, Point};
 use dpta_stream::{
-    run_sharded, run_sharded_halo, ArrivalEvent, ArrivalModel, ArrivalStream, StreamConfig,
-    StreamDriver, StreamScenario, TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
+    run_sharded, run_sharded_halo, AdaptivePolicy, ArrivalEvent, ArrivalModel, ArrivalStream,
+    StreamConfig, StreamDriver, StreamReport, StreamScenario, TaskArrival, TaskFate, WindowPolicy,
+    WorkerArrival,
 };
 use dpta_workloads::{Dataset, Scenario};
 
@@ -43,6 +44,15 @@ pub struct StreamArgs {
     /// disjoint witness plus recovered-utility reporting on a
     /// crossing stream.
     pub halo: bool,
+    /// Run the adaptive-windowing comparison: adaptive policy vs a
+    /// 3-point static width sweep on the bursty arrival model,
+    /// reporting p95 latency, utility and early/widened/narrowed
+    /// window counts — gated on adaptive strictly beating the best
+    /// static p95 at utility within 5 %.
+    pub adaptive: bool,
+    /// Escalate pipeline warnings (e.g. the count-window shard
+    /// coercion) to hard errors — `--verify`-style gating.
+    pub strict: bool,
 }
 
 impl Default for StreamArgs {
@@ -58,6 +68,8 @@ impl Default for StreamArgs {
             capacity: f64::INFINITY,
             shards: (2, 2),
             halo: false,
+            adaptive: false,
+            strict: false,
         }
     }
 }
@@ -207,6 +219,122 @@ fn crossing_stream(part: &GridPartition) -> ArrivalStream {
     ArrivalStream::new(events)
 }
 
+/// The bursty rush-hour stream of the `--adaptive` comparison — the
+/// same arrival process the drain benches run, at the subcommand's
+/// scale: long off-peak lulls at 0.05 tasks/s punctuated by 0.5 tasks/s
+/// bursts every 600 s, workers trickling in Poisson behind an 80 %
+/// on-duty fleet.
+fn bursty_stream(scenario: &Scenario) -> ArrivalStream {
+    StreamScenario {
+        scenario: *scenario,
+        task_model: ArrivalModel::Bursty {
+            base_rate: 0.05,
+            burst_rate: 0.5,
+            period: 600.0,
+            burst_fraction: 0.25,
+        },
+        worker_model: ArrivalModel::Poisson { rate: 0.02 },
+        initial_worker_fraction: 0.8,
+    }
+    .stream()
+}
+
+/// One row of the adaptive comparison table.
+fn adaptive_row(label: &str, report: &StreamReport) {
+    println!(
+        "  {:<12} {:>8.0} {:>8.0} {:>10.2} {:>6} {:>4} {:>6} {:>5} {:>7}",
+        label,
+        report.p95_latency(),
+        report.mean_latency(),
+        report.total_utility(),
+        report.matched(),
+        report.expired(),
+        report.windows_cut_early(),
+        report.windows_widened(),
+        report.windows_narrowed(),
+    );
+}
+
+/// The `--adaptive` analysis: for each method, a 3-point static
+/// `ByTime` width sweep vs the adaptive controller on the bursty
+/// stream. The gate demands the paper-style dominance the controller
+/// exists for: strictly lower p95 matching latency than the *best*
+/// static width (lowest sweep p95), at total utility within 5 % of
+/// that same run. Returns `false` when any method misses it.
+fn run_adaptive_section(methods: &[Method], base: &StreamConfig, stream: &ArrivalStream) -> bool {
+    let widths = [150.0, 300.0, 600.0];
+    let policy = AdaptivePolicy::default();
+    println!(
+        "\nadaptive windowing vs static widths (bursty arrivals: {} tasks, {} workers \
+         over {:.0} s; adaptive base {:.0} s in [{:.0}, {:.0}], burst cut {} tasks, \
+         target p95 {:.0} s):",
+        stream.n_tasks(),
+        stream.n_workers(),
+        stream.horizon(),
+        policy.base_width,
+        policy.min_width,
+        policy.max_width,
+        policy.burst_tasks,
+        policy.target_p95,
+    );
+    let mut ok = true;
+    for &method in methods {
+        let engine = method.engine(&base.params);
+        println!(
+            "  {:<12} {:>8} {:>8} {:>10} {:>6} {:>4} {:>6} {:>5} {:>7}",
+            method.name(),
+            "p95(s)",
+            "mean(s)",
+            "utility",
+            "match",
+            "exp",
+            "early",
+            "wide",
+            "narrow"
+        );
+        let mut static_runs: Vec<(f64, StreamReport)> = Vec::new();
+        for &w in &widths {
+            let cfg = StreamConfig {
+                policy: WindowPolicy::ByTime { width: w },
+                ..base.clone()
+            };
+            let report = StreamDriver::new(engine.as_ref(), cfg).run(stream);
+            report.assert_conservation();
+            adaptive_row(&format!("time{w:.0}s"), &report);
+            static_runs.push((w, report));
+        }
+        let cfg = StreamConfig {
+            policy: WindowPolicy::Adaptive(policy),
+            ..base.clone()
+        };
+        let adaptive = StreamDriver::new(engine.as_ref(), cfg).run(stream);
+        adaptive.assert_conservation();
+        adaptive_row("adaptive", &adaptive);
+        let (best_width, best) = static_runs
+            .iter()
+            .min_by(|a, b| a.1.p95_latency().total_cmp(&b.1.p95_latency()))
+            .map(|(w, r)| (*w, r))
+            .expect("non-empty sweep");
+        let latency_wins = adaptive.p95_latency() < best.p95_latency();
+        let utility_holds = adaptive.total_utility() >= 0.95 * best.total_utility();
+        ok &= latency_wins && utility_holds;
+        println!(
+            "  -> best static: {best_width:.0} s (p95 {:.0} s, utility {:.2}); adaptive {} \
+             p95 and {} utility within 5 %{}",
+            best.p95_latency(),
+            best.total_utility(),
+            if latency_wins { "beats" } else { "MISSES" },
+            if utility_holds { "holds" } else { "LOSES" },
+            if latency_wins && utility_holds {
+                ""
+            } else {
+                " — GATE FAILED"
+            },
+        );
+    }
+    ok
+}
+
 /// Merged `(task id, fate)` view of a sharded run, for exact
 /// comparison against the unsharded fate map.
 fn merged_fates(report: &dpta_stream::ShardedReport) -> Vec<(u32, TaskFate)> {
@@ -316,6 +444,7 @@ pub fn run(args: &StreamArgs) -> bool {
         args.scale,
     );
 
+    let mut all_match = true;
     for &method in &args.methods {
         let engine = method.engine(&cfg.params);
         let report = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
@@ -323,16 +452,24 @@ pub fn run(args: &StreamArgs) -> bool {
         println!("{}", report.render());
     }
 
+    if args.adaptive {
+        all_match &= run_adaptive_section(&args.methods, &cfg, &bursty_stream(&scenario));
+    }
+
     // Sharded-vs-unsharded witness on shard-disjoint input. Exactness
-    // needs aligned window boundaries, so the witness always runs under
-    // a time policy (count windows close on shard-local arrivals and
-    // cannot line up across shards).
+    // needs aligned window boundaries: time windows align by anchoring,
+    // adaptive windows align because every mode shares one controller
+    // over the merged global stream; count windows close on shard-local
+    // arrivals and cannot line up, so the witness coerces them to time
+    // windows — an explicit warning, and a hard error under --strict.
+    let mut coerced = false;
     let cfg = match cfg.policy {
-        WindowPolicy::ByTime { .. } => cfg,
+        WindowPolicy::ByTime { .. } | WindowPolicy::Adaptive(_) => cfg,
         WindowPolicy::ByCount { .. } => {
+            coerced = true;
             println!(
-                "(shard check uses 600 s time windows: count windows cannot \
-                 align across shards)"
+                "warning: {} — shard check coerced to 600 s time windows",
+                dpta_stream::COUNT_WINDOW_SHARD_WARNING
             );
             StreamConfig {
                 policy: WindowPolicy::ByTime { width: 600.0 },
@@ -352,7 +489,6 @@ pub fn run(args: &StreamArgs) -> bool {
         cols,
         rows
     );
-    let mut all_match = true;
     for &method in &args.methods {
         let engine = method.engine(&cfg.params);
         let flat = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&disjoint);
@@ -376,6 +512,13 @@ pub fn run(args: &StreamArgs) -> bool {
 
     if args.halo {
         all_match &= run_halo_section(&args.methods, &cfg, &part, &disjoint);
+    }
+    if coerced && args.strict {
+        println!(
+            "error (--strict): the count-window coercion above is a hard error; \
+             rerun with --window-secs (time windows) or an adaptive policy"
+        );
+        all_match = false;
     }
     all_match
 }
@@ -442,5 +585,89 @@ mod tests {
             ..StreamArgs::default()
         };
         assert!(run(&args));
+    }
+
+    #[test]
+    fn strict_escalates_the_count_window_coercion() {
+        // Regression (ROADMAP leftover): the silent ByCount→ByTime
+        // coercion in the witness gate is a warning by default and a
+        // hard error under --strict.
+        let args = StreamArgs {
+            scale: 0.03,
+            policy: WindowPolicy::ByCount { tasks: 20 },
+            methods: vec![Method::Grd],
+            strict: true,
+            ..StreamArgs::default()
+        };
+        assert!(!run(&args), "--strict must fail the coerced gate");
+        // Strict mode with an alignable policy stays green.
+        let args = StreamArgs {
+            scale: 0.03,
+            policy: WindowPolicy::ByTime { width: 120.0 },
+            methods: vec![Method::Grd],
+            strict: true,
+            ..StreamArgs::default()
+        };
+        assert!(run(&args));
+    }
+
+    #[test]
+    fn count_windows_under_drop_pairs_carry_the_misalignment_warning() {
+        let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 100.0, 100.0), 2, 1);
+        let stream = disjoint_stream(&part, 10, 7);
+        let count_cfg = StreamConfig {
+            policy: WindowPolicy::ByCount { tasks: 5 },
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&count_cfg.params);
+        let sharded = run_sharded(engine.as_ref(), &stream, &count_cfg, &part);
+        assert!(
+            sharded.warnings().iter().any(|w| w.contains("shard-local")),
+            "count windows under drop-pairs must warn about misalignment"
+        );
+        // Time windows align and carry no warning.
+        let time_cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 300.0 },
+            ..StreamConfig::default()
+        };
+        let sharded = run_sharded(engine.as_ref(), &stream, &time_cfg, &part);
+        assert!(sharded.warnings().is_empty());
+    }
+
+    #[test]
+    fn adaptive_policy_passes_the_shard_gate_directly() {
+        // Adaptive windows are formed off the merged global stream, so
+        // the witness gate runs them without coercion and sharded
+        // execution must agree with unsharded bit for bit.
+        let args = StreamArgs {
+            scale: 0.03,
+            policy: WindowPolicy::Adaptive(AdaptivePolicy::default()),
+            methods: vec![Method::Puce, Method::Grd],
+            strict: true,
+            ..StreamArgs::default()
+        };
+        assert!(run(&args));
+    }
+
+    #[test]
+    fn adaptive_gate_beats_best_static_p95_at_comparable_utility() {
+        // Pins the ISSUE 4 acceptance claim at the CI smoke scale: on
+        // the bursty arrival model the adaptive controller reports
+        // strictly lower p95 matching latency than the best static
+        // width of the 3-point sweep, at utility within 5 %, for all
+        // three default methods.
+        let scenario = Scenario {
+            dataset: Dataset::Normal,
+            batch_size: 50,
+            n_batches: 2,
+            seed: 42,
+            ..Scenario::default()
+        };
+        let cfg = StreamArgs::default().config(&scenario);
+        let stream = bursty_stream(&scenario);
+        assert!(
+            run_adaptive_section(&[Method::Puce, Method::Pgt, Method::Grd], &cfg, &stream),
+            "the adaptive windowing gate must hold at the default scenario"
+        );
     }
 }

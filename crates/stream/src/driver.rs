@@ -17,8 +17,10 @@
 //! draws it would see inside the unsharded run.
 
 use crate::event::{ArrivalStream, TaskArrival, WorkerArrival};
-use crate::metrics::{StreamReport, TaskFate, WindowReport};
-use crate::window::{Window, WindowPolicy};
+use crate::metrics::{
+    percentile, StreamReport, TaskFate, WindowCutDecision, WindowFeedback, WindowReport,
+};
+use crate::window::{Window, WindowPolicy, Windower};
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::metrics::measure;
 use dpta_core::{AssignmentEngine, Board, Instance, RunParams};
@@ -230,75 +232,155 @@ impl<'e> StreamDriver<'e> {
     }
 
     /// Replays the whole stream and returns the aggregate report.
+    ///
+    /// This is the feedback loop the adaptive window policy rides on:
+    /// the [`Windower`] forms the next window, the session drives it,
+    /// and the realized stream state (task waiting ages, backlog, pool
+    /// size) is observed back into the controller before the next cut.
+    /// Static policies ignore the feedback, so one loop drives all
+    /// three policies.
     pub fn run(&self, stream: &ArrivalStream) -> StreamReport {
-        let windows = self.cfg.policy.windows(stream, self.cfg.horizon);
-        let warm = self.cfg.carry_releases && self.engine.supports_warm_start();
-        let budget_gen = BudgetGen::new(
-            self.cfg.params.seed ^ 0x5712_EA11,
-            0,
-            self.cfg.budget_range,
-            self.cfg.budget_group_size,
-        );
-
-        let mut pool: Vec<WorkerArrival> = Vec::new();
-        let mut pending: Vec<PendingTask> = Vec::new();
-        let mut accountant = CumulativeAccountant::new();
-        let mut carried: Option<CarriedBoard> = None;
-        let mut charged: BTreeSet<ChargeKey> = BTreeSet::new();
-        let mut fates: BTreeMap<u32, TaskFate> = BTreeMap::new();
-        let mut spend_by_worker: BTreeMap<u32, f64> = BTreeMap::new();
-        let mut reports = Vec::with_capacity(windows.len());
-
-        for window in &windows {
-            reports.push(self.run_window(
-                window,
-                &mut pool,
-                &mut pending,
-                &mut accountant,
-                &mut carried,
-                &mut charged,
-                &mut fates,
-                &mut spend_by_worker,
-                &budget_gen,
-                warm,
-            ));
+        let mut former = Windower::new(self.cfg.policy, stream, self.cfg.horizon);
+        let mut session = Session::new(self.engine, self.cfg.clone());
+        while let Some(window) = former.next_window() {
+            let signals = session.step(&window, former.last_decision());
+            if former.needs_feedback() {
+                former.observe(&StepSignals::merge(std::slice::from_ref(&signals)));
+            }
         }
-        for p in &pending {
-            fates.insert(p.arrival.id, TaskFate::Pending);
+        session.finish(stream.n_tasks(), stream.n_workers())
+    }
+}
+
+/// One window's stream-observable signals, handed back to the adaptive
+/// window controller after the window settles. The sharded runners
+/// merge one per shard into a single global [`WindowFeedback`], which
+/// is what keeps adaptive cuts identical across flat, drop-pairs and
+/// halo execution.
+pub(crate) struct StepSignals {
+    /// Seconds from arrival to window close of every task present in
+    /// the window (matched, expired and carried alike).
+    pub(crate) ages: Vec<f64>,
+    /// Unserved tasks carried out of the window.
+    pub(crate) backlog: usize,
+    /// Workers on duty after the window settled.
+    pub(crate) pool: usize,
+}
+
+impl StepSignals {
+    /// Merges per-shard signals into the global controller feedback.
+    /// The percentile sorts, so shard order never affects the merge —
+    /// concatenating shard age vectors reproduces the flat run's
+    /// feedback exactly on shard-disjoint input.
+    pub(crate) fn merge(signals: &[StepSignals]) -> WindowFeedback {
+        let ages: Vec<f64> = signals
+            .iter()
+            .flat_map(|s| s.ages.iter().copied())
+            .collect();
+        WindowFeedback {
+            p95_age: percentile(&ages, 0.95),
+            backlog: signals.iter().map(|s| s.backlog).sum(),
+            pool: signals.iter().map(|s| s.pool).sum(),
+        }
+    }
+}
+
+/// The mutable state of one driven stream: pool, pending tasks,
+/// lifetime accounting and carried protocol state, stepped one window
+/// at a time. [`StreamDriver::run`] wraps it for whole-stream replay;
+/// the sharded runner steps one session per shard in lockstep so a
+/// single adaptive controller can window every shard identically.
+pub(crate) struct Session<'e> {
+    engine: &'e dyn AssignmentEngine,
+    cfg: StreamConfig,
+    warm: bool,
+    budget_gen: BudgetGen,
+    pool: Vec<WorkerArrival>,
+    pending: Vec<PendingTask>,
+    accountant: CumulativeAccountant,
+    carried: Option<CarriedBoard>,
+    charged: BTreeSet<ChargeKey>,
+    fates: BTreeMap<u32, TaskFate>,
+    spend_by_worker: BTreeMap<u32, f64>,
+    reports: Vec<WindowReport>,
+}
+
+impl<'e> Session<'e> {
+    /// A fresh session for `engine` under `cfg`.
+    pub(crate) fn new(engine: &'e dyn AssignmentEngine, cfg: StreamConfig) -> Self {
+        let warm = cfg.carry_releases && engine.supports_warm_start();
+        let budget_gen = BudgetGen::new(
+            cfg.params.seed ^ 0x5712_EA11,
+            0,
+            cfg.budget_range,
+            cfg.budget_group_size,
+        );
+        Session {
+            engine,
+            cfg,
+            warm,
+            budget_gen,
+            pool: Vec::new(),
+            pending: Vec::new(),
+            accountant: CumulativeAccountant::new(),
+            carried: None,
+            charged: BTreeSet::new(),
+            fates: BTreeMap::new(),
+            spend_by_worker: BTreeMap::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Settles remaining fates and assembles the aggregate report.
+    pub(crate) fn finish(mut self, task_arrivals: usize, worker_arrivals: usize) -> StreamReport {
+        for p in &self.pending {
+            self.fates.insert(p.arrival.id, TaskFate::Pending);
         }
         StreamReport {
             engine: self.engine.name().to_string(),
-            windows: reports,
-            fates,
-            task_arrivals: stream.n_tasks(),
-            worker_arrivals: stream.n_workers(),
-            spend_by_worker,
+            windows: self.reports,
+            fates: self.fates,
+            task_arrivals,
+            worker_arrivals,
+            spend_by_worker: self.spend_by_worker,
+            warnings: Vec::new(),
         }
     }
 
     /// One window: admit arrivals, drive the engine, settle fates.
-    #[allow(clippy::too_many_arguments)]
-    fn run_window(
-        &self,
-        window: &Window,
-        pool: &mut Vec<WorkerArrival>,
-        pending: &mut Vec<PendingTask>,
-        accountant: &mut CumulativeAccountant,
-        carried: &mut Option<CarriedBoard>,
-        charged: &mut BTreeSet<ChargeKey>,
-        fates: &mut BTreeMap<u32, TaskFate>,
-        spend_by_worker: &mut BTreeMap<u32, f64>,
-        budget_gen: &BudgetGen,
-        warm: bool,
-    ) -> WindowReport {
+    /// Returns the window's stream-observable signals for the adaptive
+    /// controller.
+    pub(crate) fn step(&mut self, window: &Window, cut: WindowCutDecision) -> StepSignals {
+        let warm = self.warm;
         for w in &window.workers {
-            accountant.register(u64::from(w.id), self.cfg.worker_capacity);
-            pool.push(*w);
+            self.accountant
+                .register(u64::from(w.id), self.cfg.worker_capacity);
+            self.pool.push(*w);
         }
-        pending.extend(window.tasks.iter().map(|&arrival| PendingTask {
-            arrival,
-            ttl: self.cfg.task_ttl,
-        }));
+        self.pending
+            .extend(window.tasks.iter().map(|&arrival| PendingTask {
+                arrival,
+                ttl: self.cfg.task_ttl,
+            }));
+        let (pool, pending) = (&mut self.pool, &mut self.pending);
+        let (accountant, carried) = (&mut self.accountant, &mut self.carried);
+        let (charged, fates) = (&mut self.charged, &mut self.fates);
+        let spend_by_worker = &mut self.spend_by_worker;
+        let budget_gen = &self.budget_gen;
+
+        // Observed stream state at window close: how long every task
+        // present has been waiting. Matched or not, the formula is the
+        // same — it is the age the window width controls. Only the
+        // adaptive controller consumes it, so static-policy runs skip
+        // the per-window allocation entirely.
+        let ages: Vec<f64> = if matches!(self.cfg.policy, WindowPolicy::Adaptive(_)) {
+            pending
+                .iter()
+                .map(|p| window.end - p.arrival.time)
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let mut report = WindowReport {
             index: window.index,
@@ -318,6 +400,7 @@ impl<'e> StreamDriver<'e> {
             drive_time: std::time::Duration::ZERO,
             workers_retired: 0,
             workers_departed: 0,
+            cut,
         };
 
         let mut matched_tasks: Vec<(usize, u32)> = Vec::new(); // (pending idx, worker id)
@@ -525,7 +608,13 @@ impl<'e> StreamDriver<'e> {
         }
         *pending = next_pending;
         report.carried_out = pending.len();
-        report
+        let signals = StepSignals {
+            ages,
+            backlog: pending.len(),
+            pool: pool.len(),
+        };
+        self.reports.push(report);
+        signals
     }
 }
 

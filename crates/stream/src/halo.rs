@@ -56,7 +56,10 @@
 
 use crate::driver::{ChargeKey, IdStableNoise, PendingTask, StreamConfig};
 use crate::event::{ArrivalStream, WorkerArrival};
-use crate::metrics::{ShardedReport, StreamReport, TaskFate, WindowReport};
+use crate::metrics::{
+    percentile, ShardedReport, StreamReport, TaskFate, WindowFeedback, WindowReport,
+};
+use crate::window::Windower;
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::{AssignmentEngine, Board, Instance, RunOutcome};
 use dpta_dp::{CumulativeAccountant, SeededNoise};
@@ -116,7 +119,11 @@ pub(crate) fn run_halo(
     cfg: &StreamConfig,
     partition: &GridPartition,
 ) -> ShardedReport {
-    let windows = cfg.policy.windows(stream, cfg.horizon);
+    // The halo coordinator always windows the *merged global* stream,
+    // so the adaptive controller (like count windows) aligns across
+    // shards by construction; its feedback is computed from the global
+    // pool/pending state below, mirroring the unsharded driver.
+    let mut former = Windower::new(cfg.policy, stream, cfg.horizon);
     let n_shards = partition.n_shards();
     let warm = cfg.carry_releases && engine.supports_warm_start();
     let capped = warm && cfg.worker_capacity.is_finite();
@@ -142,7 +149,9 @@ pub(crate) fn run_halo(
     let mut charged: BTreeSet<ChargeKey> = BTreeSet::new();
     let mut carried: Vec<Option<Carried>> = (0..n_shards).map(|_| None).collect();
 
-    for window in &windows {
+    while let Some(window) = former.next_window() {
+        let window = &window;
+        let cut = former.last_decision();
         // ── Admit arrivals ────────────────────────────────────────────
         for w in &window.workers {
             accountant.register(u64::from(w.id), cfg.worker_capacity);
@@ -156,6 +165,17 @@ pub(crate) fn run_halo(
                 ttl: cfg.task_ttl,
             });
         }
+        // Observed stream state at window close (identical to the
+        // unsharded driver's: one global pending list, same formula).
+        // Static policies never read it, so skip the allocation there.
+        let ages: Vec<f64> = if former.needs_feedback() {
+            pending
+                .iter()
+                .map(|p| window.end - p.arrival.time)
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // ── Membership ────────────────────────────────────────────────
         let task_home: Vec<usize> = pending
@@ -197,6 +217,7 @@ pub(crate) fn run_halo(
                     drive_time: Duration::ZERO,
                     workers_retired: 0,
                     workers_departed: 0,
+                    cut,
                 }
             })
             .collect();
@@ -456,6 +477,13 @@ pub(crate) fn run_halo(
         for (k, report) in reports.into_iter().enumerate() {
             shard_windows[k].push(report);
         }
+        if former.needs_feedback() {
+            former.observe(&WindowFeedback {
+                p95_age: percentile(&ages, 0.95),
+                backlog: pending.len(),
+                pool: pool.len(),
+            });
+        }
     }
 
     for p in &pending {
@@ -471,6 +499,7 @@ pub(crate) fn run_halo(
                 task_arrivals: shard_tasks[k],
                 worker_arrivals: shard_workers[k],
                 spend_by_worker: std::mem::take(&mut shard_spend[k]),
+                warnings: Vec::new(),
             })
             .collect(),
     }

@@ -12,8 +12,11 @@
 //!   time-ordered log of [`TaskArrival`]/[`WorkerArrival`] events,
 //!   generated from the Table X workload scenarios plus Poisson and
 //!   bursty (rush-hour) arrival processes;
-//! * [`WindowPolicy`] — batch formation by time window or task-count
-//!   threshold (the paper's "at most 1000 orders by timestamp");
+//! * [`WindowPolicy`] — batch formation by time window, task-count
+//!   threshold (the paper's "at most 1000 orders by timestamp"), or an
+//!   adaptive latency-targeting controller
+//!   ([`WindowPolicy::Adaptive`]) fed realized backlog/latency by the
+//!   driver after every window;
 //! * [`StreamDriver`] — replays the windows through any boxed
 //!   [`AssignmentEngine`](dpta_core::AssignmentEngine): warm-start
 //!   engines resume from carried protocol state per the engine trait's
@@ -80,6 +83,11 @@ mod window;
 pub use arrival::{ArrivalModel, StreamScenario};
 pub use driver::{StreamConfig, StreamDriver};
 pub use event::{ArrivalEvent, ArrivalStream, TaskArrival, WorkerArrival};
-pub use metrics::{ShardedReport, StreamReport, TaskFate, WindowReport};
-pub use shard::{run_sharded, run_sharded_halo, run_sharded_with, ShardStrategy};
-pub use window::{Window, WindowPolicy, MAX_WINDOWS};
+pub use metrics::{
+    percentile, ShardedReport, StreamReport, TaskFate, WindowCutDecision, WindowFeedback,
+    WindowReport,
+};
+pub use shard::{
+    run_sharded, run_sharded_halo, run_sharded_with, ShardStrategy, COUNT_WINDOW_SHARD_WARNING,
+};
+pub use window::{AdaptivePolicy, Window, WindowPolicy, Windower, MAX_WINDOWS};

@@ -4,6 +4,84 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+/// Why a window closed when it did — the visible half of the adaptive
+/// feedback loop ([`WindowPolicy::Adaptive`](crate::WindowPolicy)).
+///
+/// Static policies always report [`Scheduled`](WindowCutDecision);
+/// adaptive windows record the controller's decision so a run's report
+/// shows where windows were cut early (burst backlog) or ran at a
+/// widened/narrowed width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowCutDecision {
+    /// The window ran at its policy's nominal width (static policies
+    /// always; adaptive windows whose width sat at the base width).
+    #[default]
+    Scheduled,
+    /// Adaptive: the window closed early because within-window task
+    /// arrivals hit the burst threshold while the pool could absorb
+    /// them.
+    Burst,
+    /// Adaptive: the window ran at a narrowed width (observed task
+    /// waiting ages above the latency target).
+    Narrowed,
+    /// Adaptive: the window ran at a widened width (starved worker
+    /// pool — backlog exceeded the on-duty pool).
+    Widened,
+}
+
+impl WindowCutDecision {
+    /// One-letter marker for the per-window table (`S`/`B`/`N`/`W`).
+    pub fn marker(&self) -> char {
+        match self {
+            WindowCutDecision::Scheduled => 'S',
+            WindowCutDecision::Burst => 'B',
+            WindowCutDecision::Narrowed => 'N',
+            WindowCutDecision::Widened => 'W',
+        }
+    }
+}
+
+/// What the driver feeds back to the adaptive window controller after
+/// each window — observed stream state only (task waiting ages,
+/// backlog, pool size), all deterministic functions of the seeded run,
+/// never wall-clock time. That is what keeps adaptive cuts replayable
+/// bit for bit across flat, sharded and halo execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowFeedback {
+    /// p95 of seconds-from-arrival-to-window-close over every task
+    /// present in the window (matched, expired or carried alike).
+    pub p95_age: f64,
+    /// Unserved tasks carried out of the window.
+    pub backlog: usize,
+    /// Workers still on duty after the window settled.
+    pub pool: usize,
+}
+
+/// Nearest-rank percentile of `values` (q in `[0, 1]`); zero when
+/// empty. Sorts a copy, so input order never matters — the property
+/// the sharded feedback merge relies on.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_stream::percentile;
+///
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.5), 2.0);
+/// assert_eq!(percentile(&xs, 0.95), 4.0);
+/// assert_eq!(percentile(&[], 0.95), 0.0);
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "percentile wants q in [0,1]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// What ultimately happened to one task arrival.
 ///
 /// The conservation law of the pipeline: every arrival ends in exactly
@@ -66,6 +144,8 @@ pub struct WindowReport {
     pub workers_retired: usize,
     /// Workers departed at window close (matched, now serving).
     pub workers_departed: usize,
+    /// Why the window closed when it did (adaptive windowing).
+    pub cut: WindowCutDecision,
 }
 
 /// The aggregate outcome of one stream run.
@@ -86,6 +166,14 @@ pub struct StreamReport {
     /// `worker_capacity` with warm-start carry this never exceeds the
     /// capacity — the hard-cap guarantee the property tests pin.
     pub spend_by_worker: BTreeMap<u32, f64>,
+    /// Semantic warnings attached by the pipeline (e.g. count windows
+    /// under drop-pairs sharding close on shard-local arrivals and
+    /// cannot align with an unsharded run). Surfaced by [`render`]
+    /// and escalated to a hard error by `--strict` gating in the
+    /// `stream` subcommand.
+    ///
+    /// [`render`]: StreamReport::render
+    pub warnings: Vec<String>,
 }
 
 impl StreamReport {
@@ -164,6 +252,45 @@ impl StreamReport {
         }
     }
 
+    /// p95 of seconds from task arrival to the close of the matching
+    /// window, over matched tasks; zero when nothing matched. The
+    /// headline number the adaptive windowing controller targets.
+    pub fn p95_latency(&self) -> f64 {
+        let latencies: Vec<f64> = self
+            .fates
+            .values()
+            .filter_map(|f| match f {
+                TaskFate::Assigned { latency, .. } => Some(*latency),
+                _ => None,
+            })
+            .collect();
+        percentile(&latencies, 0.95)
+    }
+
+    /// Windows closed early by the adaptive burst trigger.
+    pub fn windows_cut_early(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.cut == WindowCutDecision::Burst)
+            .count()
+    }
+
+    /// Windows run at a widened width (starved-pool adaptation).
+    pub fn windows_widened(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.cut == WindowCutDecision::Widened)
+            .count()
+    }
+
+    /// Windows run at a narrowed width (latency-target adaptation).
+    pub fn windows_narrowed(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.cut == WindowCutDecision::Narrowed)
+            .count()
+    }
+
     /// Asserts the pipeline's conservation law: every task arrival has
     /// exactly one fate, and the per-window counters agree with the
     /// fate map. Returns `(matched, expired, pending)`.
@@ -213,7 +340,7 @@ impl StreamReport {
             self.worker_arrivals
         ));
         out.push_str(
-            "  win      span(s)  arr  carry  pool  match  exp  util/match   eps  drive(ms)\n",
+            "  win cut      span(s)  arr  carry  pool  match  exp  util/match   eps  drive(ms)\n",
         );
         for w in &self.windows {
             let per_match = if w.matched > 0 {
@@ -222,8 +349,9 @@ impl StreamReport {
                 0.0
             };
             out.push_str(&format!(
-                "  {:>3} {:>6.0}-{:<6.0} {:>4} {:>6} {:>5} {:>6} {:>4} {:>11.3} {:>5.1} {:>10.2}\n",
+                "  {:>3}  {}  {:>6.0}-{:<6.0} {:>4} {:>6} {:>5} {:>6} {:>4} {:>11.3} {:>5.1} {:>10.2}\n",
                 w.index,
+                w.cut.marker(),
                 w.start,
                 w.end,
                 w.tasks_arrived,
@@ -238,15 +366,19 @@ impl StreamReport {
         }
         out.push_str(&format!(
             "  total: {} matched / {} expired / {} pending · utility {:.2} \
-             (avg {:.3}) · mean latency {:.0} s · {:.0} matches/s\n",
+             (avg {:.3}) · latency mean {:.0} s / p95 {:.0} s · {:.0} matches/s\n",
             self.matched(),
             self.expired(),
             self.pending(),
             self.total_utility(),
             self.avg_utility(),
             self.mean_latency(),
+            self.p95_latency(),
             self.throughput(),
         ));
+        for w in &self.warnings {
+            out.push_str(&format!("  warning: {w}\n"));
+        }
         out
     }
 }
@@ -291,6 +423,19 @@ impl ShardedReport {
     /// Summed engine time across shards (the sequential-equivalent cost).
     pub fn total_drive_time(&self) -> Duration {
         self.shards.iter().map(StreamReport::drive_time).sum()
+    }
+
+    /// Distinct warnings across all shard reports, in first-seen order.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for s in &self.shards {
+            for w in &s.warnings {
+                if !seen.contains(w) {
+                    seen.push(w.clone());
+                }
+            }
+        }
+        seen
     }
 
     /// Renders the shard summary table.
@@ -345,6 +490,7 @@ mod tests {
             drive_time: Duration::from_millis(2),
             workers_retired: 0,
             workers_departed: matched,
+            cut: WindowCutDecision::Scheduled,
         }
     }
 
@@ -368,6 +514,7 @@ mod tests {
             task_arrivals: 3,
             worker_arrivals: 2,
             spend_by_worker: BTreeMap::new(),
+            warnings: Vec::new(),
         };
         assert_eq!(r.assert_conservation(), (1, 1, 1));
         assert_eq!(r.matched(), 1);
@@ -392,6 +539,7 @@ mod tests {
             task_arrivals: 1,
             worker_arrivals: 0,
             spend_by_worker: BTreeMap::new(),
+            warnings: Vec::new(),
         };
         r.assert_conservation();
     }
@@ -405,6 +553,7 @@ mod tests {
             task_arrivals: 2,
             worker_arrivals: 2,
             spend_by_worker: BTreeMap::new(),
+            warnings: Vec::new(),
         };
         let merged = ShardedReport {
             shards: vec![one.clone(), StreamReport::default(), one],

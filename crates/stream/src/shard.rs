@@ -17,12 +17,23 @@
 //! The protocol is documented in `ARCHITECTURE.md` ("Sharding & the
 //! halo protocol").
 
-use crate::driver::{StreamConfig, StreamDriver};
+use crate::driver::{Session, StepSignals, StreamConfig, StreamDriver};
 use crate::event::ArrivalStream;
 use crate::halo;
 use crate::metrics::{ShardedReport, StreamReport};
+use crate::window::{Window, WindowPolicy, Windower};
 use dpta_core::AssignmentEngine;
 use dpta_spatial::GridPartition;
+
+/// The warning drop-pairs sharding attaches to every shard report when
+/// it runs under a count policy: count windows close on shard-local
+/// arrivals, so the sharded windows cannot align with an unsharded run
+/// (or across shards). The `stream` subcommand's witness gate coerces
+/// such runs to time windows and, under `--strict`, turns the coercion
+/// into a hard error.
+pub const COUNT_WINDOW_SHARD_WARNING: &str =
+    "count windows close on shard-local arrivals: sharded windows do not align \
+     with an unsharded run (use a time or adaptive policy for exact agreement)";
 
 /// How sharded execution treats feasible pairs that cross cell
 /// boundaries.
@@ -173,6 +184,12 @@ fn run_drop_pairs(
     cfg: &StreamConfig,
     partition: &GridPartition,
 ) -> ShardedReport {
+    if matches!(cfg.policy, WindowPolicy::Adaptive(_)) {
+        // Adaptive cuts depend on run feedback, so shards cannot window
+        // their sub-streams independently: one controller windows the
+        // merged global stream and every shard steps in lockstep.
+        return run_drop_pairs_adaptive(engine, stream, cfg, partition);
+    }
     let horizon = cfg.horizon.unwrap_or_else(|| stream.horizon());
     let shard_cfg = StreamConfig {
         horizon: Some(horizon),
@@ -232,8 +249,87 @@ fn run_drop_pairs(
             slots[k] = Some(report);
         }
     }
+    let mut shards: Vec<StreamReport> = slots.into_iter().map(|s| s.expect("shard ran")).collect();
+    // ROADMAP leftover, now explicit: count windows close on shard-local
+    // arrivals and silently misalign across shards — say so on every
+    // populated shard's report instead of leaving it to folklore.
+    if matches!(cfg.policy, WindowPolicy::ByCount { .. }) && partition.n_shards() > 1 {
+        for s in shards
+            .iter_mut()
+            .filter(|s| s.task_arrivals > 0 || s.worker_arrivals > 0)
+        {
+            s.warnings.push(COUNT_WINDOW_SHARD_WARNING.to_string());
+        }
+    }
+    ShardedReport { shards }
+}
+
+/// Lockstep drop-pairs execution for [`WindowPolicy::Adaptive`]: one
+/// [`Windower`] forms windows off the merged global stream, each window
+/// is projected onto every shard (tasks and workers filtered by owning
+/// cell), all shard sessions step it, and the *merged* shard signals
+/// feed the controller — so the cut sequence equals the unsharded
+/// run's on shard-disjoint input bit for bit. Shards step sequentially
+/// inside a window (the controller needs every shard's signals before
+/// the next cut); the engine drives stay the dominant cost, exactly as
+/// in the halo coordinator.
+fn run_drop_pairs_adaptive(
+    engine: &dyn AssignmentEngine,
+    stream: &ArrivalStream,
+    cfg: &StreamConfig,
+    partition: &GridPartition,
+) -> ShardedReport {
+    let horizon = cfg.horizon.unwrap_or_else(|| stream.horizon());
+    let mut former = Windower::new(cfg.policy, stream, Some(horizon));
+    let n_shards = partition.n_shards();
+    let mut sessions: Vec<Session> = (0..n_shards)
+        .map(|_| Session::new(engine, cfg.clone()))
+        .collect();
+    let mut shard_tasks = vec![0usize; n_shards];
+    let mut shard_workers = vec![0usize; n_shards];
+    while let Some(window) = former.next_window() {
+        let cut = former.last_decision();
+        let signals: Vec<StepSignals> = sessions
+            .iter_mut()
+            .enumerate()
+            .map(|(k, session)| {
+                let projected = project_window(&window, partition, k);
+                shard_tasks[k] += projected.tasks.len();
+                shard_workers[k] += projected.workers.len();
+                session.step(&projected, cut)
+            })
+            .collect();
+        former.observe(&StepSignals::merge(&signals));
+    }
     ShardedReport {
-        shards: slots.into_iter().map(|s| s.expect("shard ran")).collect(),
+        shards: sessions
+            .into_iter()
+            .enumerate()
+            .map(|(k, session)| session.finish(shard_tasks[k], shard_workers[k]))
+            .collect(),
+    }
+}
+
+/// Shard `k`'s view of a globally-formed window: the same span, holding
+/// only the tasks and workers whose locations the cell owns. Relative
+/// event order is preserved.
+fn project_window(window: &Window, partition: &GridPartition, k: usize) -> Window {
+    Window {
+        index: window.index,
+        start: window.start,
+        end: window.end,
+        tasks: window
+            .tasks
+            .iter()
+            .filter(|t| partition.shard_of(&t.task.location) == k)
+            .copied()
+            .collect(),
+        workers: window
+            .workers
+            .iter()
+            .filter(|w| partition.shard_of(&w.worker.location) == k)
+            .copied()
+            .collect(),
     }
 }
 

@@ -3,10 +3,21 @@
 //! The paper batches "at most 1000 orders ... by timestamp"
 //! (Section VII-B); a [`WindowPolicy`] generalises that into the two
 //! standard streaming triggers — a fixed time width or a task-count
-//! threshold — and produces the [`Window`]s the
+//! threshold — plus an *adaptive* latency-targeting controller
+//! ([`WindowPolicy::Adaptive`]), and produces the [`Window`]s the
 //! [`StreamDriver`](crate::StreamDriver) replays.
+//!
+//! Static policies are pure functions of the stream
+//! ([`WindowPolicy::windows`]); the adaptive policy is a *feedback
+//! loop* — the driver hands realized backlog/latency back to the
+//! controller after every window via [`Windower::observe`], and the
+//! controller decides where the next cut lands. Everything it consumes
+//! is deterministic replay state (never wall-clock time), so adaptive
+//! runs stay bit-for-bit reproducible and the sharded/halo equivalence
+//! gates keep holding.
 
 use crate::event::{ArrivalEvent, ArrivalStream, TaskArrival, WorkerArrival};
+use crate::metrics::{WindowCutDecision, WindowFeedback};
 
 /// When a window closes.
 ///
@@ -59,6 +70,79 @@ pub enum WindowPolicy {
         /// Task arrivals per window.
         tasks: usize,
     },
+    /// Latency-targeting adaptive windows: a controller starts from
+    /// [`AdaptivePolicy::base_width`], closes a window early when
+    /// within-window task arrivals hit the burst threshold (and the
+    /// pool can absorb them), halves the width when observed task
+    /// waiting ages overshoot the p95 target, and doubles it (up to
+    /// the max) when the pool is starved. Driven by the
+    /// [`StreamDriver`](crate::StreamDriver)'s per-window feedback —
+    /// use [`Windower`]; [`WindowPolicy::windows`] panics for this
+    /// variant. Sharded and halo execution window the *merged global*
+    /// stream with one shared controller, so all three driving modes
+    /// form identical windows.
+    Adaptive(AdaptivePolicy),
+}
+
+/// Tuning knobs of [`WindowPolicy::Adaptive`].
+///
+/// The controller trades assignment utility against matching latency:
+/// wide windows batch more options per assignment round (better
+/// matchings, longer task lifetimes under a window-counted TTL), short
+/// windows bound how long an arrival waits for its first matching
+/// attempt. Widths always stay inside `[min_width, max_width]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Width the controller starts from (and reports as
+    /// [`WindowCutDecision::Scheduled`] when running at it).
+    pub base_width: f64,
+    /// Floor when narrowing under a latency overshoot.
+    pub min_width: f64,
+    /// Ceiling when widening under pool starvation.
+    pub max_width: f64,
+    /// Close the forming window early once it holds this many task
+    /// arrivals — unless the last feedback said the pool was starved
+    /// (cutting early with nobody to match just burns task TTL).
+    pub burst_tasks: usize,
+    /// Target p95 of task waiting age at window close, seconds. The
+    /// controller halves the width while observations overshoot it.
+    pub target_p95: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            base_width: 600.0,
+            min_width: 75.0,
+            max_width: 2400.0,
+            burst_tasks: 20,
+            target_p95: 240.0,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    fn validate(&self) {
+        assert!(
+            self.min_width > 0.0 && self.min_width.is_finite(),
+            "min_width must be positive and finite, got {}",
+            self.min_width
+        );
+        assert!(
+            self.min_width <= self.base_width && self.base_width <= self.max_width,
+            "widths must satisfy min <= base <= max, got {} / {} / {}",
+            self.min_width,
+            self.base_width,
+            self.max_width
+        );
+        assert!(self.max_width.is_finite(), "max_width must be finite");
+        assert!(self.burst_tasks >= 1, "burst_tasks must be at least 1");
+        assert!(
+            self.target_p95 > 0.0 && self.target_p95.is_finite(),
+            "target_p95 must be positive and finite, got {}",
+            self.target_p95
+        );
+    }
 }
 
 /// One closed window: its nominal time span and the arrivals in it.
@@ -92,11 +176,23 @@ impl WindowPolicy {
     /// Interior empty windows are always emitted: a window in which
     /// nothing arrives still advances waiting-task lifetimes. Panics
     /// when the span/width ratio would exceed [`MAX_WINDOWS`].
+    ///
+    /// # Panics
+    ///
+    /// [`WindowPolicy::Adaptive`] windows depend on the driver's
+    /// per-window feedback and cannot be precomputed; calling this on
+    /// the adaptive variant panics — drive through
+    /// [`StreamDriver`](crate::StreamDriver) (which runs the
+    /// [`Windower`] feedback loop) instead.
     pub fn windows(&self, stream: &ArrivalStream, horizon: Option<f64>) -> Vec<Window> {
         if stream.events().is_empty() && horizon.is_none() {
             return Vec::new();
         }
         match *self {
+            WindowPolicy::Adaptive(_) => panic!(
+                "adaptive windows are formed by the driver's feedback loop; \
+                 use Windower (via StreamDriver) instead of WindowPolicy::windows"
+            ),
             WindowPolicy::ByTime { width } => {
                 assert!(
                     width > 0.0 && width.is_finite(),
@@ -165,6 +261,263 @@ impl WindowPolicy {
                     windows.push(cur);
                 }
                 windows
+            }
+        }
+    }
+}
+
+/// The adaptive controller's mutable half: current width plus the
+/// last feedback's starvation flag (which gates the burst cut).
+#[derive(Debug, Clone)]
+struct AdaptiveController {
+    policy: AdaptivePolicy,
+    width: f64,
+    starved: bool,
+}
+
+impl AdaptiveController {
+    fn new(policy: AdaptivePolicy) -> Self {
+        policy.validate();
+        AdaptiveController {
+            policy,
+            width: policy.base_width,
+            starved: false,
+        }
+    }
+
+    /// Applies one round of feedback. Starvation wins over the latency
+    /// target: with no workers to match, narrow windows cannot reduce
+    /// matched latency — they only burn task TTL — so the controller
+    /// widens to accumulate arriving workers; otherwise a waiting-age
+    /// overshoot halves the width down to the floor. Calm feedback
+    /// leaves the width alone (a calm narrow width keeps latency low
+    /// for free; the next starvation signal widens it again).
+    fn observe(&mut self, fb: &WindowFeedback) {
+        self.starved = fb.backlog > fb.pool && fb.backlog > 0;
+        if self.starved {
+            self.width = (self.width * 2.0).min(self.policy.max_width);
+        } else if fb.p95_age > self.policy.target_p95 {
+            self.width = (self.width * 0.5).max(self.policy.min_width);
+        }
+    }
+
+    /// The decision label for a window of the current width.
+    fn width_decision(&self) -> WindowCutDecision {
+        if self.width < self.policy.base_width {
+            WindowCutDecision::Narrowed
+        } else if self.width > self.policy.base_width {
+            WindowCutDecision::Widened
+        } else {
+            WindowCutDecision::Scheduled
+        }
+    }
+}
+
+/// Incremental window former — the stream-side half of the adaptive
+/// feedback loop.
+///
+/// [`next_window`](Windower::next_window) yields consecutive windows
+/// covering every event (and trailing empty windows up to the
+/// horizon); for [`WindowPolicy::Adaptive`] the caller feeds realized
+/// backlog/latency back through [`observe`](Windower::observe) after
+/// driving each window, and the controller adjusts the next cut.
+/// Static policies precompute their windows and ignore feedback, so
+/// one loop shape drives all three policies.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::Task;
+/// use dpta_spatial::Point;
+/// use dpta_stream::{
+///     AdaptivePolicy, ArrivalEvent, ArrivalStream, TaskArrival, WindowFeedback, WindowPolicy,
+///     Windower,
+/// };
+///
+/// let stream = ArrivalStream::new(
+///     (0..8)
+///         .map(|k| {
+///             ArrivalEvent::Task(TaskArrival {
+///                 id: k,
+///                 time: k as f64,
+///                 task: Task::new(Point::new(0.0, 0.0), 1.0),
+///             })
+///         })
+///         .collect(),
+/// );
+/// let policy = WindowPolicy::Adaptive(AdaptivePolicy {
+///     base_width: 10.0,
+///     min_width: 2.5,
+///     max_width: 20.0,
+///     burst_tasks: 4,
+///     target_p95: 100.0,
+/// });
+/// let mut former = Windower::new(policy, &stream, None);
+/// // Four tasks arrive within the first nominal window: burst cut.
+/// let w = former.next_window().unwrap();
+/// assert_eq!((w.start, w.end), (0.0, 3.0));
+/// assert_eq!(w.tasks.len(), 4);
+/// former.observe(&WindowFeedback { p95_age: 0.0, backlog: 0, pool: 4 });
+/// let w = former.next_window().unwrap();
+/// assert_eq!(w.start, 3.0);
+/// ```
+pub struct Windower<'a> {
+    events: &'a [ArrivalEvent],
+    /// Last instant the window sequence must cover.
+    span: f64,
+    state: FormerState,
+    last_decision: WindowCutDecision,
+}
+
+enum FormerState {
+    /// Static policies: precomputed, feedback ignored.
+    Static(std::vec::IntoIter<Window>),
+    Adaptive {
+        controller: AdaptiveController,
+        /// Next unconsumed event (cursor-based membership: an event
+        /// belongs to the window that consumed it, exactly like the
+        /// count policy's stream-order cut).
+        cursor: usize,
+        next_start: f64,
+        index: usize,
+        /// Set once the stream and span are exhausted.
+        done: bool,
+    },
+}
+
+impl<'a> Windower<'a> {
+    /// Creates a former for `policy` over `stream`, extending the
+    /// covered span to `horizon` when given (the sharded runner passes
+    /// the global horizon). Panics when an adaptive `min_width` over
+    /// the span would exceed [`MAX_WINDOWS`].
+    pub fn new(policy: WindowPolicy, stream: &'a ArrivalStream, horizon: Option<f64>) -> Self {
+        let span = stream.horizon().max(horizon.unwrap_or(0.0));
+        let state = match policy {
+            WindowPolicy::Adaptive(p) => {
+                let controller = AdaptiveController::new(p);
+                assert!(
+                    span / p.min_width < MAX_WINDOWS as f64,
+                    "min_width {} s over a {span} s span would generate more than \
+                     {MAX_WINDOWS} windows — raise the floor",
+                    p.min_width
+                );
+                FormerState::Adaptive {
+                    controller,
+                    cursor: 0,
+                    next_start: 0.0,
+                    index: 0,
+                    done: stream.events().is_empty() && horizon.is_none(),
+                }
+            }
+            _ => FormerState::Static(policy.windows(stream, horizon).into_iter()),
+        };
+        Windower {
+            events: stream.events(),
+            span,
+            state,
+            last_decision: WindowCutDecision::Scheduled,
+        }
+    }
+
+    /// Why the window most recently returned by
+    /// [`next_window`](Windower::next_window) closed where it did.
+    pub fn last_decision(&self) -> WindowCutDecision {
+        self.last_decision
+    }
+
+    /// Whether this former consumes feedback at all — true only for
+    /// [`WindowPolicy::Adaptive`]. Callers use it to skip assembling
+    /// the per-window [`WindowFeedback`] (age vectors, percentile
+    /// sorts) on static-policy runs, where it would be discarded.
+    pub fn needs_feedback(&self) -> bool {
+        matches!(self.state, FormerState::Adaptive { .. })
+    }
+
+    /// Feeds one window's realized feedback to the controller. No-op
+    /// for static policies.
+    pub fn observe(&mut self, fb: &WindowFeedback) {
+        if let FormerState::Adaptive { controller, .. } = &mut self.state {
+            controller.observe(fb);
+        }
+    }
+
+    /// The next window, or `None` once every event is consumed and the
+    /// span is covered. Every returned window either consumes at least
+    /// one event or advances time by at least the policy's minimum
+    /// width, so the sequence always terminates (no zero-width
+    /// livelock).
+    pub fn next_window(&mut self) -> Option<Window> {
+        let span = self.span;
+        let events = self.events;
+        match &mut self.state {
+            FormerState::Static(iter) => {
+                self.last_decision = WindowCutDecision::Scheduled;
+                iter.next()
+            }
+            FormerState::Adaptive {
+                controller,
+                cursor,
+                next_start,
+                index,
+                done,
+            } => {
+                if *done {
+                    return None;
+                }
+                let start = *next_start;
+                let width = controller.width;
+                let sched_end = start + width;
+                let mut window = Window {
+                    index: *index,
+                    start,
+                    end: sched_end,
+                    tasks: Vec::new(),
+                    workers: Vec::new(),
+                };
+                let mut decision = controller.width_decision();
+                // Consume events in stream order up to the scheduled
+                // end, cutting early at the burst threshold (unless the
+                // pool is starved — then cutting early only burns TTL).
+                while *cursor < events.len() && events[*cursor].time() < sched_end {
+                    match &events[*cursor] {
+                        ArrivalEvent::Worker(w) => window.workers.push(*w),
+                        ArrivalEvent::Task(t) => window.tasks.push(*t),
+                    }
+                    let burst =
+                        !controller.starved && window.tasks.len() >= controller.policy.burst_tasks;
+                    *cursor += 1;
+                    if burst {
+                        // ByCount-style cut: the closing task's time is
+                        // the boundary; later events (ties included)
+                        // fall to the next window via the cursor. The
+                        // count trigger firing before the time trigger
+                        // is direct evidence the width is too wide for
+                        // the current arrival rate, so the cut also
+                        // halves the width — without this, every
+                        // burst's tail waits out one more full-width
+                        // window before the latency feedback lands.
+                        window.end = window.tasks.last().expect("burst saw a task").time;
+                        decision = WindowCutDecision::Burst;
+                        controller.width =
+                            (controller.width * 0.5).max(controller.policy.min_width);
+                        break;
+                    }
+                }
+                *next_start = window.end;
+                *index += 1;
+                assert!(
+                    *index <= MAX_WINDOWS,
+                    "adaptive windowing generated more than {MAX_WINDOWS} windows"
+                );
+                // Mirror the time policy's trailing rule: windows are
+                // emitted while their start lies inside the span, so a
+                // constant-width adaptive run forms exactly the
+                // `ByTime` sequence.
+                if *cursor >= events.len() && *next_start > span {
+                    *done = true;
+                }
+                self.last_decision = decision;
+                Some(window)
             }
         }
     }
@@ -248,5 +601,153 @@ mod tests {
         assert!(WindowPolicy::ByCount { tasks: 3 }
             .windows(&s, None)
             .is_empty());
+        let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, None);
+        assert!(former.next_window().is_none());
+    }
+
+    fn tiny_adaptive() -> AdaptivePolicy {
+        AdaptivePolicy {
+            base_width: 10.0,
+            min_width: 2.5,
+            max_width: 40.0,
+            burst_tasks: 3,
+            target_p95: 8.0,
+        }
+    }
+
+    fn drain(former: &mut Windower) -> Vec<(f64, f64, WindowCutDecision)> {
+        let mut out = Vec::new();
+        while let Some(w) = former.next_window() {
+            out.push((w.start, w.end, former.last_decision()));
+        }
+        out
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback loop")]
+    fn adaptive_windows_cannot_be_precomputed() {
+        let s = ArrivalStream::new(vec![task(0, 1.0)]);
+        let _ = WindowPolicy::Adaptive(tiny_adaptive()).windows(&s, None);
+    }
+
+    #[test]
+    fn adaptive_without_feedback_matches_by_time_at_base_width() {
+        let s = ArrivalStream::new(vec![task(0, 5.0), task(1, 35.0), worker(0, 12.0)]);
+        let fixed = WindowPolicy::ByTime { width: 10.0 }.windows(&s, Some(45.0));
+        let mut former = Windower::new(
+            WindowPolicy::Adaptive(AdaptivePolicy {
+                burst_tasks: 100,
+                target_p95: 1e6,
+                ..tiny_adaptive()
+            }),
+            &s,
+            Some(45.0),
+        );
+        let mut got = Vec::new();
+        while let Some(w) = former.next_window() {
+            assert_eq!(former.last_decision(), WindowCutDecision::Scheduled);
+            former.observe(&WindowFeedback {
+                p95_age: 3.0,
+                backlog: 0,
+                pool: 5,
+            });
+            got.push(w);
+        }
+        assert_eq!(got, fixed);
+    }
+
+    #[test]
+    fn adaptive_burst_cut_closes_on_the_threshold_task() {
+        // Four tasks inside the first nominal window; threshold 3 cuts
+        // at the third task's timestamp, ByCount style.
+        let s = ArrivalStream::new(vec![task(0, 1.0), task(1, 2.0), task(2, 3.0), task(3, 4.0)]);
+        let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, None);
+        let w = former.next_window().unwrap();
+        assert_eq!(former.last_decision(), WindowCutDecision::Burst);
+        assert_eq!((w.start, w.end), (0.0, 3.0));
+        assert_eq!(w.tasks.len(), 3);
+        former.observe(&WindowFeedback {
+            p95_age: 1.0,
+            backlog: 0,
+            pool: 5,
+        });
+        let w = former.next_window().unwrap();
+        assert_eq!(w.start, 3.0);
+        assert_eq!(w.tasks.len(), 1, "the fourth task falls to the next window");
+    }
+
+    #[test]
+    fn starvation_widens_and_suppresses_the_burst_cut() {
+        let s = ArrivalStream::new(vec![
+            task(0, 1.0),
+            task(1, 12.0),
+            task(2, 13.0),
+            task(3, 14.0),
+            task(4, 15.0),
+        ]);
+        let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, None);
+        let w = former.next_window().unwrap();
+        assert_eq!((w.start, w.end), (0.0, 10.0));
+        // Starved: backlog outnumbers the pool → width doubles and the
+        // next window must NOT burst-cut despite holding 4 tasks.
+        former.observe(&WindowFeedback {
+            p95_age: 9.0,
+            backlog: 1,
+            pool: 0,
+        });
+        let w = former.next_window().unwrap();
+        assert_eq!(former.last_decision(), WindowCutDecision::Widened);
+        assert_eq!((w.start, w.end), (10.0, 30.0));
+        assert_eq!(w.tasks.len(), 4);
+    }
+
+    #[test]
+    fn latency_overshoot_narrows_down_to_the_floor() {
+        let s = ArrivalStream::new(vec![task(0, 1.0)]);
+        let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, Some(100.0));
+        let overshoot = WindowFeedback {
+            p95_age: 9.5,
+            backlog: 0,
+            pool: 5,
+        };
+        let w = former.next_window().unwrap();
+        assert_eq!((w.start, w.end), (0.0, 10.0));
+        former.observe(&overshoot);
+        let w = former.next_window().unwrap();
+        assert_eq!(former.last_decision(), WindowCutDecision::Narrowed);
+        assert_eq!((w.start, w.end), (10.0, 15.0));
+        former.observe(&overshoot);
+        let w = former.next_window().unwrap();
+        assert_eq!((w.start, w.end), (15.0, 17.5));
+        former.observe(&overshoot);
+        // Floor reached: 2.5 s is the minimum width.
+        let w = former.next_window().unwrap();
+        assert_eq!((w.start, w.end), (17.5, 20.0));
+    }
+
+    #[test]
+    fn adaptive_covers_the_span_and_terminates() {
+        let s = ArrivalStream::new(vec![task(0, 0.0), task(1, 0.0), task(2, 0.0)]);
+        let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, Some(25.0));
+        let seq = drain(&mut former);
+        // A zero-width burst window at t = 0 still consumes its events
+        // and the sequence still reaches the horizon.
+        assert_eq!(seq[0], (0.0, 0.0, WindowCutDecision::Burst));
+        assert!(seq.last().unwrap().1 >= 25.0);
+        assert!(seq.len() < 10, "must not livelock at the zero-width cut");
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= base <= max")]
+    fn inverted_adaptive_widths_panic() {
+        let s = ArrivalStream::new(vec![task(0, 1.0)]);
+        let _ = Windower::new(
+            WindowPolicy::Adaptive(AdaptivePolicy {
+                base_width: 1.0,
+                ..tiny_adaptive()
+            }),
+            &s,
+            None,
+        );
     }
 }

@@ -9,14 +9,29 @@
 //! timing sample per batch of iterations and reports min / median /
 //! mean. `cargo bench -- --test` (the flag Cargo passes for
 //! `cargo test --benches`) runs every body once and skips measurement.
+//!
+//! Two environment variables extend the upstream API for CI use:
+//!
+//! * `CRITERION_QUICK=1` — quick mode: warm-up and measurement windows
+//!   are clamped to 50 ms / 200 ms and sample counts capped at 5, so a
+//!   whole bench binary finishes in seconds. Timings are noisier; the
+//!   bench-trajectory gate compensates with a generous (3×) regression
+//!   threshold.
+//! * `CRITERION_JSON=<path>` — appends one JSON object per benchmark to
+//!   `<path>` (`{"id": ..., "median_ns": ..., "min_ns": ...,
+//!   "mean_ns": ..., "samples": ..., "iters": ...}`), the
+//!   machine-readable feed of the `bench_gate` binary.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle, passed to every benchmark function.
 pub struct Criterion {
     test_mode: bool,
+    quick: bool,
+    json_path: Option<String>,
 }
 
 impl Default for Criterion {
@@ -25,7 +40,15 @@ impl Default for Criterion {
         // `--bench` is forwarded on `cargo bench`. Anything unknown is
         // ignored, matching criterion's tolerant CLI.
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode }
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+        let json_path = std::env::var("CRITERION_JSON")
+            .ok()
+            .filter(|p| !p.is_empty());
+        Criterion {
+            test_mode,
+            quick,
+            json_path,
+        }
     }
 }
 
@@ -38,6 +61,8 @@ impl Criterion {
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_millis(1000),
             test_mode: self.test_mode,
+            quick: self.quick,
+            json_path: self.json_path.clone(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -50,6 +75,8 @@ pub struct BenchmarkGroup<'a> {
     warm_up_time: Duration,
     measurement_time: Duration,
     test_mode: bool,
+    quick: bool,
+    json_path: Option<String>,
     _marker: std::marker::PhantomData<&'a ()>,
 }
 
@@ -101,14 +128,23 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn run(&self, label: &str, mut body: impl FnMut(&mut Bencher)) {
+        let (warm_up, measurement, samples) = if self.quick {
+            (
+                self.warm_up_time.min(Duration::from_millis(50)),
+                self.measurement_time.min(Duration::from_millis(200)),
+                self.sample_size.min(5),
+            )
+        } else {
+            (self.warm_up_time, self.measurement_time, self.sample_size)
+        };
         let mut bencher = Bencher {
             mode: if self.test_mode {
                 Mode::TestOnce
             } else {
                 Mode::Measure {
-                    warm_up: self.warm_up_time,
-                    measurement: self.measurement_time,
-                    samples: self.sample_size,
+                    warm_up,
+                    measurement,
+                    samples,
                 }
             },
             sample_times: Vec::new(),
@@ -119,7 +155,7 @@ impl BenchmarkGroup<'_> {
             eprintln!("bench {label}: ok (test mode)");
             return;
         }
-        bencher.report(label);
+        bencher.report(label, self.json_path.as_deref());
     }
 }
 
@@ -176,7 +212,7 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str) {
+    fn report(&self, label: &str, json_path: Option<&str>) {
         if self.sample_times.is_empty() {
             eprintln!("bench {label}: no samples (body never called iter?)");
             return;
@@ -199,7 +235,36 @@ impl Bencher {
             per_iter.len(),
             self.iters_per_sample,
         );
+        if let Some(path) = json_path {
+            // One self-contained object per line; labels never contain
+            // quotes or backslashes (function/parameter names), so no
+            // escaping is needed beyond what `fmt_json_label` rejects.
+            let line = format!(
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\
+                 \"samples\":{},\"iters\":{}}}\n",
+                fmt_json_label(label),
+                median * 1e9,
+                min * 1e9,
+                mean * 1e9,
+                per_iter.len(),
+                self.iters_per_sample,
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("bench {label}: could not append to {path}: {e}");
+            }
+        }
     }
+}
+
+/// Escapes the two JSON-significant characters a pathological label
+/// could contain; everything else passes through.
+fn fmt_json_label(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -285,7 +350,11 @@ mod tests {
 
     #[test]
     fn measure_reports_samples() {
-        let mut c = Criterion { test_mode: false };
+        let mut c = Criterion {
+            test_mode: false,
+            quick: false,
+            json_path: None,
+        };
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
         group.warm_up_time(Duration::from_millis(5));
@@ -303,7 +372,11 @@ mod tests {
 
     #[test]
     fn test_mode_runs_once() {
-        let mut c = Criterion { test_mode: true };
+        let mut c = Criterion {
+            test_mode: true,
+            quick: false,
+            json_path: None,
+        };
         let mut group = c.benchmark_group("shim");
         let mut calls = 0u64;
         group.bench_with_input(BenchmarkId::new("f", 1), &7u64, |b, &x| {
@@ -313,6 +386,29 @@ mod tests {
             })
         });
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn quick_mode_emits_json_lines() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion {
+            test_mode: false,
+            quick: true,
+            json_path: Some(path.to_string_lossy().into_owned()),
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("json", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        assert!(text.contains("\"id\":\"shim/json\""), "got: {text}");
+        assert!(text.contains("\"median_ns\":"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
