@@ -1,0 +1,76 @@
+//! Session-API drain cost — wall time for the push-based
+//! `StreamSession` to drain a bursty arrival stream (push every event,
+//! close), serve-and-leave vs worker re-entry, per method.
+//!
+//! Tracked by `bench_gate` in `BENCH_stream.json` from the session
+//! redesign onward: regressions in the push/advance/close path or in
+//! the in-service bookkeeping show up here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpta_core::Method;
+use dpta_stream::{
+    ArrivalModel, ArrivalStream, ServiceModel, StreamConfig, StreamScenario, StreamSession,
+    WindowPolicy,
+};
+use dpta_workloads::{Dataset, Scenario};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_stream(scale: f64) -> ArrivalStream {
+    StreamScenario {
+        scenario: Scenario {
+            dataset: Dataset::Normal,
+            batch_size: ((1000.0 * scale).round() as usize).max(20),
+            n_batches: 2,
+            ..Scenario::default()
+        },
+        task_model: ArrivalModel::Bursty {
+            base_rate: 0.05,
+            burst_rate: 0.5,
+            period: 600.0,
+            burst_fraction: 0.25,
+        },
+        worker_model: ArrivalModel::Poisson { rate: 0.02 },
+        initial_worker_fraction: 0.8,
+    }
+    .stream()
+}
+
+fn drain(engine: &dyn dpta_core::AssignmentEngine, cfg: &StreamConfig, stream: &ArrivalStream) {
+    let mut session = StreamSession::new(engine, cfg.clone());
+    for e in stream.events() {
+        session.push(*e);
+    }
+    black_box(session.close());
+}
+
+fn reentry_drain(c: &mut Criterion) {
+    let stream = bench_stream(0.1);
+    let mut group = c.benchmark_group("reentry_drain");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for (service_name, service) in [
+        ("never", ServiceModel::Never),
+        ("fixed240s", ServiceModel::Fixed { secs: 240.0 }),
+    ] {
+        for method in [Method::Puce, Method::Grd] {
+            let cfg = StreamConfig {
+                policy: WindowPolicy::ByTime { width: 300.0 },
+                service,
+                ..StreamConfig::default()
+            };
+            let engine = method.engine(&cfg.params);
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), service_name),
+                &stream,
+                |b, stream| b.iter(|| drain(engine.as_ref(), &cfg, black_box(stream))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reentry_drain);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! The CI bench-trajectory gate.
 //!
-//! Runs the three streaming benches (`time_to_drain`, `halo_sharding`,
-//! `adaptive_window`) with the criterion shim's machine-readable JSON
+//! Runs the four streaming benches (`time_to_drain`, `halo_sharding`,
+//! `adaptive_window`, `reentry_drain`) with the criterion shim's
+//! machine-readable JSON
 //! output, assembles `BENCH_stream.json` (median ns per bench id), and
 //! compares the fresh medians against the committed baseline at the
 //! repo root: any benchmark more than `--max-ratio` (default 3×)
@@ -22,7 +23,12 @@ use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
 /// The bench binaries the trajectory tracks, in run order.
-const BENCHES: [&str; 3] = ["time_to_drain", "halo_sharding", "adaptive_window"];
+const BENCHES: [&str; 4] = [
+    "time_to_drain",
+    "halo_sharding",
+    "adaptive_window",
+    "reentry_drain",
+];
 
 struct Args {
     quick: bool,

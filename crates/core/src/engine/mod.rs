@@ -123,6 +123,18 @@ impl BudgetRemaining for Vec<f64> {
 ///    completion, with the instance unchanged, publishes nothing and
 ///    leaves the allocation as is — a completed run is a fixed point
 ///    (asserted by `warm_start_and_eq4` and the stream driver tests).
+/// 5. **Re-entering workers.** A worker column dropped by a carry
+///    (departed to serve) and re-introduced in a later window is a
+///    *new* column with empty history — engines need no notion of
+///    identity, and none is added. Two driver-side facts make this
+///    sound: noise and budget vectors are keyed by stable logical ids,
+///    so the returned worker's re-publications to still-pending tasks
+///    are bit-identical to the originals (zero new information), and
+///    the streaming layer's id-keyed dedup charges each distinct
+///    release to the lifetime accountant at most once across service
+///    cycles. Under a capped resume the guard still counts those
+///    re-derivations as novel spend — deterministic, conservative
+///    under-publishing near the cap, never an overshoot.
 ///
 /// # Examples
 ///

@@ -130,13 +130,20 @@ STREAM OPTIONS (dpta-experiments stream ...):
                            utility and early/widened/narrowed window
                            counts; gated on adaptive strictly beating
                            the best static p95 at utility within 5 %
+      --reentry            also run the worker re-entry comparison:
+                           serve-and-leave (ServiceModel::Never) vs a
+                           fixed service duration on a worker-scarce
+                           stream, with per-cycle utilization columns;
+                           gated on re-entry strictly raising fleet
+                           utilization (matches per worker arrival)
       --strict             escalate pipeline warnings to hard errors
                            (e.g. the count-window shard coercion)
   Exits non-zero if the sharded run does not match the unsharded run
   exactly on the shard-disjoint witness stream, or (with --halo) if
   the halo run diverges or fails to beat drop-pairs sharding, or
-  (with --adaptive) if the adaptive gate fails, or (with --strict) if
-  any warning fired."
+  (with --adaptive) if the adaptive gate fails, or (with --reentry)
+  if the utilization gate fails, or (with --strict) if any warning
+  fired."
     );
 }
 
@@ -240,6 +247,7 @@ fn parse_stream_args(mut it: std::env::Args) -> Result<stream_cmd::StreamArgs, S
             }
             "--halo" => args.halo = true,
             "--adaptive" => args.adaptive = true,
+            "--reentry" => args.reentry = true,
             "--strict" => args.strict = true,
             "--help" | "-h" => {
                 print_help();

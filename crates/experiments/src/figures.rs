@@ -15,6 +15,10 @@ pub enum Sweep {
     WorkerRange,
     /// Privacy budget groups [0.5,0.75] → [1.5,1.75] (Figure 17/25).
     PrivacyBudget,
+    /// Streaming window width 150 → 2400 s (the `figs1` streaming
+    /// sweep): the batching knob of the online pipeline, traded
+    /// between matched latency and per-match utility.
+    WindowWidth,
 }
 
 impl Sweep {
@@ -25,6 +29,7 @@ impl Sweep {
             Sweep::TaskValue => "task value",
             Sweep::WorkerRange => "worker range",
             Sweep::PrivacyBudget => "privacy budget",
+            Sweep::WindowWidth => "window width (s)",
         }
     }
 
@@ -36,6 +41,7 @@ impl Sweep {
             Sweep::TaskValue => vec![1.5, 3.0, 4.5, 6.0, 7.5],
             Sweep::WorkerRange => vec![0.8, 1.1, 1.4, 1.7, 2.0],
             Sweep::PrivacyBudget => vec![0.625, 0.875, 1.125, 1.375, 1.625],
+            Sweep::WindowWidth => vec![150.0, 300.0, 600.0, 1200.0, 2400.0],
         }
     }
 
@@ -58,6 +64,9 @@ pub enum MeasureKind {
     AvgDistance,
     /// Relative deviation of distance `D_RD` (private methods only).
     RdDistance,
+    /// p95 seconds from task arrival to the close of its matching
+    /// window (streaming sweeps only).
+    P95LatencyS,
 }
 
 impl MeasureKind {
@@ -69,6 +78,7 @@ impl MeasureKind {
             MeasureKind::RdUtility => "relative deviation of utility",
             MeasureKind::AvgDistance => "average distance (km)",
             MeasureKind::RdDistance => "relative deviation of distance",
+            MeasureKind::P95LatencyS => "p95 matched latency (s)",
         }
     }
 }
@@ -80,6 +90,9 @@ pub enum MethodSet {
     Main,
     /// PUCE, PDCE, PUCE-nppcf, PDCE-nppcf (Figures 17/25).
     PpcfAblation,
+    /// PUCE, PGT, GRD — the streaming-sweep set (one engine per
+    /// family: conflict-elimination, game, one-shot baseline).
+    Streaming,
 }
 
 impl MethodSet {
@@ -88,6 +101,7 @@ impl MethodSet {
         match self {
             MethodSet::Main => Method::paper_main_set().to_vec(),
             MethodSet::PpcfAblation => Method::ppcf_ablation_set().to_vec(),
+            MethodSet::Streaming => vec![Method::Puce, Method::Pgt, Method::Grd],
         }
     }
 }
@@ -295,6 +309,17 @@ pub fn registry() -> Vec<FigureSpec> {
             measures: &[AvgUtility],
             methods: MethodSet::PpcfAblation,
         },
+        // Streaming sweep (not a paper figure): the online pipeline's
+        // window-width trade-off, runnable and `--verify`-gated like
+        // the batch figures so streaming behaviour is pinned too.
+        FigureSpec {
+            id: "figs1",
+            caption: "streaming: window width vs utility and matched latency (bursty arrivals)",
+            datasets: &[Normal],
+            sweep: Sweep::WindowWidth,
+            measures: &[AvgUtility, MeasureKind::P95LatencyS],
+            methods: MethodSet::Streaming,
+        },
     ]
 }
 
@@ -311,11 +336,16 @@ mod tests {
     #[test]
     fn registry_covers_every_evaluation_figure() {
         let reg = registry();
-        assert_eq!(reg.len(), 22);
+        assert_eq!(reg.len(), 23);
         for k in 4..=25 {
             let id = format!("fig{k:02}");
             assert!(reg.iter().any(|f| f.id == id), "missing {id}");
         }
+        // Plus the streaming sweep.
+        let figs1 = reg.iter().find(|f| f.id == "figs1").expect("figs1");
+        assert_eq!(figs1.sweep, Sweep::WindowWidth);
+        assert!(figs1.measures.contains(&MeasureKind::P95LatencyS));
+        assert_eq!(figs1.methods.methods().len(), 3);
     }
 
     #[test]

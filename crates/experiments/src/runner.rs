@@ -47,7 +47,8 @@ impl RunOptions {
     }
 }
 
-/// One method's aggregate over a scenario's batches.
+/// One method's aggregate over a scenario's batches (or, for the
+/// streaming sweep, over one drained arrival stream).
 #[derive(Debug, Clone)]
 pub struct MethodResult {
     /// The method.
@@ -57,6 +58,10 @@ pub struct MethodResult {
     /// Total algorithm wall time across batches (instance generation
     /// excluded) — the Figure 4 measure.
     pub elapsed: Duration,
+    /// p95 seconds from task arrival to the close of its matching
+    /// window. Only streaming sweeps ([`Sweep::WindowWidth`]) produce
+    /// it; batch figures leave it `None`.
+    pub p95_latency_s: Option<f64>,
 }
 
 /// Manual impl so the export unit for `elapsed` (fractional
@@ -65,14 +70,18 @@ pub struct MethodResult {
 /// `Duration`.
 impl serde::Serialize for MethodResult {
     fn serialize_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             ("method".to_string(), self.method.serialize_value()),
             ("measures".to_string(), self.measures.serialize_value()),
             (
                 "elapsed_ms".to_string(),
                 serde::Value::Number(self.elapsed.as_secs_f64() * 1e3),
             ),
-        ])
+        ];
+        if let Some(p95) = self.p95_latency_s {
+            fields.push(("p95_latency_s".to_string(), serde::Value::Number(p95)));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -133,6 +142,9 @@ pub fn scenario_for(spec: &FigureSpec, dataset: Dataset, x: f64, opts: &RunOptio
         Sweep::TaskValue => sc.task_value = x,
         Sweep::WorkerRange => sc.worker_range = x,
         Sweep::PrivacyBudget => sc.budget_range = Sweep::budget_group(x),
+        // The window width is a stream-driver knob, not a scenario one:
+        // the streaming runner applies it to the StreamConfig instead.
+        Sweep::WindowWidth => {}
     }
     sc
 }
@@ -201,6 +213,7 @@ fn run_method(batches: &[Instance], method: Method, opts: &RunOptions) -> Method
         method,
         measures,
         elapsed: elapsed / n_seeds as u32,
+        p95_latency_s: None,
     }
 }
 
@@ -224,8 +237,13 @@ fn run_batch(
 }
 
 /// Executes a full figure: every dataset panel, every sweep point,
-/// every method; renders one table per (dataset, measure).
+/// every method; renders one table per (dataset, measure). Streaming
+/// sweeps ([`Sweep::WindowWidth`]) run the online pipeline instead of
+/// the batch runner, producing the same table/claim-checkable shape.
 pub fn run_figure(spec: &FigureSpec, opts: &RunOptions) -> FigureOutput {
+    if spec.sweep == Sweep::WindowWidth {
+        return run_stream_figure(spec, opts);
+    }
     let methods = spec.methods.methods();
     let xs = spec.sweep.values();
     let mut sweeps = Vec::new();
@@ -250,6 +268,77 @@ pub fn run_figure(spec: &FigureSpec, opts: &RunOptions) -> FigureOutput {
         }
     }
 
+    FigureOutput {
+        id: spec.id.to_string(),
+        caption: spec.caption.to_string(),
+        sweeps,
+        tables,
+    }
+}
+
+/// The streaming sweep: each x value is a `ByTime` window width, each
+/// method drains the same bursty arrival stream through the online
+/// pipeline, and the Section VII-C measures are read off the aggregate
+/// [`dpta_stream::StreamReport`] (plus the p95 matched latency the
+/// batch runner has no notion of). One stream per dataset, shared
+/// across widths and methods, so the sweep isolates the windowing
+/// knob.
+fn run_stream_figure(spec: &FigureSpec, opts: &RunOptions) -> FigureOutput {
+    use dpta_stream::{StreamConfig, StreamDriver, WindowPolicy};
+
+    let methods = spec.methods.methods();
+    let xs = spec.sweep.values();
+    let mut sweeps = Vec::new();
+    for &dataset in spec.datasets {
+        let scenario = Scenario {
+            dataset,
+            batch_size: opts.batch_size(),
+            n_batches: opts.n_batches,
+            seed: opts.params.seed,
+            ..Scenario::default()
+        };
+        let stream = crate::stream_cmd::bursty_stream(&scenario);
+        let points: Vec<SweepPoint> = xs
+            .iter()
+            .map(|&width| {
+                let cfg = StreamConfig {
+                    policy: WindowPolicy::ByTime { width },
+                    params: opts.params,
+                    ..StreamConfig::for_scenario(&scenario)
+                };
+                let results = methods
+                    .iter()
+                    .map(|&method| {
+                        let engine = method.engine(&cfg.params);
+                        let report = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
+                        report.assert_conservation();
+                        MethodResult {
+                            method,
+                            measures: Measures {
+                                matched: report.matched(),
+                                total_utility: report.total_utility(),
+                                total_distance: report.total_distance(),
+                                total_epsilon: report.total_epsilon(),
+                                publications: report.windows.iter().map(|w| w.publications).sum(),
+                                rounds: report.windows.iter().map(|w| w.rounds).sum(),
+                            },
+                            elapsed: report.drive_time(),
+                            p95_latency_s: Some(report.p95_latency()),
+                        }
+                    })
+                    .collect();
+                SweepPoint { x: width, results }
+            })
+            .collect();
+        sweeps.push((dataset, points));
+    }
+
+    let mut tables = Vec::new();
+    for (dataset, points) in &sweeps {
+        for &mk in spec.measures {
+            tables.push(render_panel(spec, *dataset, mk, points));
+        }
+    }
     FigureOutput {
         id: spec.id.to_string(),
         caption: spec.caption.to_string(),
@@ -303,6 +392,9 @@ pub fn measure_value(point: &SweepPoint, method: Method, mk: MeasureKind) -> f64
         MeasureKind::TimeMs => r.elapsed.as_secs_f64() * 1e3,
         MeasureKind::AvgUtility => r.measures.avg_utility(),
         MeasureKind::AvgDistance => r.measures.avg_distance(),
+        MeasureKind::P95LatencyS => r
+            .p95_latency_s
+            .expect("p95 latency is only produced by streaming sweeps"),
         MeasureKind::RdUtility | MeasureKind::RdDistance => {
             let np = method
                 .non_private_counterpart()
@@ -360,6 +452,33 @@ mod tests {
         for (_, series) in &avg.rows {
             assert_eq!(series.len(), 5);
             assert!(series.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn streaming_figure_runs_and_its_claims_hold_at_smoke_scale() {
+        // The figs1 streaming sweep goes through the same registry /
+        // runner / expectations path as the batch figures, so
+        // `--verify` pins streaming behaviour too.
+        let spec = find("figs1").unwrap();
+        let opts = RunOptions {
+            scale: 0.05,
+            ..tiny_opts()
+        };
+        let out = run_figure(&spec, &opts);
+        assert_eq!(out.id, "figs1");
+        assert_eq!(out.tables.len(), 2); // avg utility + p95 latency
+        for table in &out.tables {
+            assert_eq!(table.rows.len(), 3, "PUCE, PGT, GRD");
+            for (_, series) in &table.rows {
+                assert_eq!(series.len(), 5);
+                assert!(series.iter().all(|v| v.is_finite()));
+            }
+        }
+        let claims = crate::expectations::check(&spec, &out);
+        assert!(!claims.is_empty(), "the streaming sweep must be gated");
+        for c in &claims {
+            assert!(c.holds, "claim {} failed: {}", c.id, c.detail);
         }
     }
 

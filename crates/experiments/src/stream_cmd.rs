@@ -10,12 +10,12 @@
 //! on the disjoint witness) and reports the utility it recovers over
 //! drop-pairs sharding on a boundary-heavy crossing stream.
 
-use dpta_core::{Method, Task, Worker};
+use dpta_core::{AssignmentEngine, Method, Task, Worker};
 use dpta_spatial::{Aabb, GridPartition, Point};
 use dpta_stream::{
     run_sharded, run_sharded_halo, AdaptivePolicy, ArrivalEvent, ArrivalModel, ArrivalStream,
-    StreamConfig, StreamDriver, StreamReport, StreamScenario, TaskArrival, TaskFate, WindowPolicy,
-    WorkerArrival,
+    Outcome, ServiceModel, StreamConfig, StreamDriver, StreamReport, StreamScenario, StreamSession,
+    TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
 };
 use dpta_workloads::{Dataset, Scenario};
 
@@ -50,6 +50,12 @@ pub struct StreamArgs {
     /// window counts — gated on adaptive strictly beating the best
     /// static p95 at utility within 5 %.
     pub adaptive: bool,
+    /// Run the worker re-entry comparison: serve-and-leave
+    /// (`ServiceModel::Never`) vs a fixed service duration on a
+    /// worker-scarce stream, with per-cycle utilization columns —
+    /// gated on re-entry strictly raising fleet utilization
+    /// (matches per worker arrival).
+    pub reentry: bool,
     /// Escalate pipeline warnings (e.g. the count-window shard
     /// coercion) to hard errors — `--verify`-style gating.
     pub strict: bool,
@@ -69,6 +75,7 @@ impl Default for StreamArgs {
             shards: (2, 2),
             halo: false,
             adaptive: false,
+            reentry: false,
             strict: false,
         }
     }
@@ -219,12 +226,12 @@ fn crossing_stream(part: &GridPartition) -> ArrivalStream {
     ArrivalStream::new(events)
 }
 
-/// The bursty rush-hour stream of the `--adaptive` comparison — the
-/// same arrival process the drain benches run, at the subcommand's
-/// scale: long off-peak lulls at 0.05 tasks/s punctuated by 0.5 tasks/s
-/// bursts every 600 s, workers trickling in Poisson behind an 80 %
-/// on-duty fleet.
-fn bursty_stream(scenario: &Scenario) -> ArrivalStream {
+/// The bursty rush-hour stream of the `--adaptive` comparison and the
+/// `figs1` streaming sweep — the same arrival process the drain
+/// benches run, at the subcommand's scale: long off-peak lulls at
+/// 0.05 tasks/s punctuated by 0.5 tasks/s bursts every 600 s, workers
+/// trickling in Poisson behind an 80 % on-duty fleet.
+pub(crate) fn bursty_stream(scenario: &Scenario) -> ArrivalStream {
     StreamScenario {
         scenario: *scenario,
         task_model: ArrivalModel::Bursty {
@@ -237,6 +244,120 @@ fn bursty_stream(scenario: &Scenario) -> ArrivalStream {
         initial_worker_fraction: 0.8,
     }
     .stream()
+}
+
+/// A worker-scarce stream for the `--reentry` comparison: the full
+/// fleet is on duty at `t = 0` but covers only 40 % of the paced task
+/// load, so serve-and-leave runs out of workers and re-entry's
+/// recycled cycles are what carries the tail of the stream.
+fn scarce_stream(scenario: &Scenario) -> ArrivalStream {
+    StreamScenario {
+        scenario: Scenario {
+            worker_task_ratio: 0.4,
+            // Double the service radius: the re-entry comparison is
+            // about fleet *availability*, so reachability must not be
+            // the binding constraint.
+            worker_range: 2.0 * scenario.worker_range,
+            ..*scenario
+        },
+        task_model: ArrivalModel::Paced { rate: 0.05 },
+        worker_model: ArrivalModel::Poisson { rate: 0.02 },
+        initial_worker_fraction: 1.0,
+    }
+    .stream()
+}
+
+/// Drains `stream` through the push-based session API, returning the
+/// aggregate report plus the full typed outcome log (the per-cycle
+/// columns of the re-entry table are counted off the `Returned`
+/// outcomes).
+fn drive_session(
+    engine: &dyn AssignmentEngine,
+    cfg: &StreamConfig,
+    stream: &ArrivalStream,
+) -> (StreamReport, Vec<Outcome>) {
+    let mut session = StreamSession::new(engine, cfg.clone());
+    for e in stream.events() {
+        session.push(*e);
+    }
+    let report = session.close();
+    let outcomes = session.poll_outcomes();
+    (report, outcomes)
+}
+
+/// The `--reentry` analysis: serve-and-leave vs a fixed service
+/// duration on the worker-scarce stream, per method. The gate demands
+/// what re-entry exists for: strictly higher fleet utilization
+/// (matches per worker arrival) than `ServiceModel::Never` on the same
+/// arrivals. Returns `false` when any method misses it.
+fn run_reentry_section(methods: &[Method], base: &StreamConfig, scenario: &Scenario) -> bool {
+    let stream = scarce_stream(scenario);
+    let service = ServiceModel::Fixed { secs: 240.0 };
+    println!(
+        "\nworker re-entry vs serve-and-leave (scarce fleet: {} tasks, {} workers \
+         over {:.0} s; fixed 240 s service):",
+        stream.n_tasks(),
+        stream.n_workers(),
+        stream.horizon(),
+    );
+    println!(
+        "  {:<10} {:<14} {:>6} {:>5} {:>8} {:>8} {:>12}",
+        "method", "service", "match", "exp", "util/W", "returns", "cycles 1/2/3+"
+    );
+    let mut ok = true;
+    for &method in methods {
+        let engine = method.engine(&base.params);
+        let never_cfg = StreamConfig {
+            service: ServiceModel::Never,
+            ..base.clone()
+        };
+        let (never, _) = drive_session(engine.as_ref(), &never_cfg, &stream);
+        never.assert_conservation();
+        let reentry_cfg = StreamConfig {
+            service,
+            ..base.clone()
+        };
+        let (reentry, outcomes) = drive_session(engine.as_ref(), &reentry_cfg, &stream);
+        reentry.assert_conservation();
+        let (mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize);
+        for o in &outcomes {
+            if let Outcome::Returned { cycle, .. } = o {
+                match cycle {
+                    1 => c1 += 1,
+                    2 => c2 += 1,
+                    _ => c3 += 1,
+                }
+            }
+        }
+        println!(
+            "  {:<10} {:<14} {:>6} {:>5} {:>8.3} {:>8} {:>12}",
+            method.name(),
+            "never",
+            never.matched(),
+            never.expired(),
+            never.utilization(),
+            never.returns(),
+            "-",
+        );
+        let improves = reentry.utilization() > never.utilization();
+        ok &= improves;
+        println!(
+            "  {:<10} {:<14} {:>6} {:>5} {:>8.3} {:>8} {:>12}{}",
+            "",
+            "fixed 240 s",
+            reentry.matched(),
+            reentry.expired(),
+            reentry.utilization(),
+            reentry.returns(),
+            format!("{c1}/{c2}/{c3}"),
+            if improves {
+                ""
+            } else {
+                "  — UTILIZATION GATE FAILED"
+            },
+        );
+    }
+    ok
 }
 
 /// One row of the adaptive comparison table.
@@ -456,6 +577,10 @@ pub fn run(args: &StreamArgs) -> bool {
         all_match &= run_adaptive_section(&args.methods, &cfg, &bursty_stream(&scenario));
     }
 
+    if args.reentry {
+        all_match &= run_reentry_section(&args.methods, &cfg, &scenario);
+    }
+
     // Sharded-vs-unsharded witness on shard-disjoint input. Exactness
     // needs aligned window boundaries: time windows align by anchoring,
     // adaptive windows align because every mode shares one controller
@@ -572,6 +697,26 @@ mod tests {
         assert_eq!(s.n_tasks(), part.n_shards() + 4 * boundaries);
         assert_eq!(s.n_workers(), s.n_tasks());
         assert_eq!(s, crossing_stream(&part));
+    }
+
+    #[test]
+    fn reentry_gate_beats_serve_and_leave() {
+        // Pins the ISSUE 5 acceptance claim at the CI smoke scale: with
+        // a fixed service duration enabled, fleet utilization strictly
+        // exceeds serve-and-leave for all three default methods on the
+        // scarce stream.
+        let scenario = Scenario {
+            dataset: Dataset::Normal,
+            batch_size: 30,
+            n_batches: 2,
+            seed: 42,
+            ..Scenario::default()
+        };
+        let cfg = StreamArgs::default().config(&scenario);
+        assert!(
+            run_reentry_section(&[Method::Puce, Method::Pgt, Method::Grd], &cfg, &scenario),
+            "the re-entry utilization gate must hold at the default scenario"
+        );
     }
 
     #[test]

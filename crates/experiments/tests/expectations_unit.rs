@@ -28,6 +28,7 @@ fn point(x: f64, rows: &[(Method, f64, f64, f64)]) -> SweepPoint {
                     rounds: 1,
                 },
                 elapsed: Duration::from_secs_f64(ms / 1e3),
+                p95_latency_s: None,
             })
             .collect(),
     }

@@ -1,34 +1,41 @@
 //! The online driver: replays an arrival stream window by window
 //! through any [`AssignmentEngine`].
 //!
-//! Each window becomes a PA-TA [`Instance`] of the tasks waiting and
-//! the workers on duty; the engine drives it; matched tasks complete,
-//! unmatched tasks carry over until their time-to-live runs out, and a
-//! [`CumulativeAccountant`] charges every worker's *lifetime* privacy
-//! budget, retiring workers the moment it is exhausted. Engines that
-//! support warm starts resume from the carried protocol state
-//! (releases, consumed budget slots) per the
+//! Since the session redesign this module is a *drain loop*:
+//! [`StreamDriver::run`] opens a push-based
+//! [`StreamSession`](crate::StreamSession), feeds it the pre-built
+//! stream and closes it. All pipeline semantics — windowing, warm
+//! starts, lifetime accounting, task TTL, worker re-entry — live in
+//! the session stepper (`crate::session`); this module keeps the
+//! configuration type and the id-stable noise/budget plumbing the
+//! stepper and the halo coordinator share.
+//!
+//! Each window becomes a PA-TA [`Instance`](dpta_core::Instance) of
+//! the tasks waiting and the workers on duty; the engine drives it;
+//! matched tasks complete, unmatched tasks carry over until their
+//! time-to-live runs out, and a
+//! [`CumulativeAccountant`](dpta_dp::CumulativeAccountant) charges every
+//! worker's *lifetime* privacy budget, retiring workers the moment it
+//! is exhausted. Engines that support warm starts resume from the
+//! carried protocol state (releases, consumed budget slots) per the
 //! [warm-start contract](AssignmentEngine#warm-start-contract);
-//! one-shot engines get a fresh board every window.
+//! one-shot engines get a fresh board every window. Matched workers
+//! serve for a [`ServiceModel`](crate::ServiceModel) duration and
+//! re-enter the pool — or depart for good under the default
+//! `ServiceModel::Never`.
 //!
 //! Determinism: budgets and noise are keyed by the stream's *logical*
 //! ids, not per-window indices, so the same seed reproduces the same
 //! run bit for bit — and a spatially disjoint shard sees exactly the
 //! draws it would see inside the unsharded run.
 
-use crate::event::{ArrivalStream, TaskArrival, WorkerArrival};
-use crate::metrics::{
-    percentile, StreamReport, TaskFate, WindowCutDecision, WindowFeedback, WindowReport,
-};
-use crate::window::{Window, WindowPolicy, Windower};
-use dpta_core::board::LOCATION_RELEASE;
-use dpta_core::metrics::measure;
-use dpta_core::{AssignmentEngine, Board, Instance, RunParams};
-use dpta_dp::{CumulativeAccountant, NoiseSource, SeededNoise};
-use dpta_workloads::budgets::BudgetGen;
+use crate::event::{ArrivalStream, TaskArrival};
+use crate::metrics::StreamReport;
+use crate::session::{ServiceModel, StreamSession};
+use crate::window::WindowPolicy;
+use dpta_core::{AssignmentEngine, RunParams};
+use dpta_dp::{NoiseSource, SeededNoise};
 use dpta_workloads::Scenario;
-use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 /// A release already charged to the lifetime accountant:
 /// `(worker id, task id, slot, epsilon bits)`. Fresh-board engines
@@ -36,8 +43,9 @@ use std::time::Instant;
 /// earlier windows (noise and budgets are id-keyed), which reveals
 /// nothing new and therefore must not be charged twice. The halo
 /// coordinator keys the same dedup across shards and reconciliation
-/// passes, so a release is charged once no matter how many shard runs
-/// re-derive it.
+/// passes, and the session stepper keys it across *service cycles*
+/// (a returned worker's re-publications are bit-identical too), so a
+/// release is charged once no matter how many runs re-derive it.
 pub(crate) type ChargeKey = (u32, u32, u32, u64);
 
 /// Configuration of one stream run.
@@ -75,6 +83,10 @@ pub struct StreamConfig {
     /// capacity stays a retirement threshold checked at window close
     /// and the final window may overshoot.
     ///
+    /// The cap follows the worker's logical id across
+    /// [`ServiceModel`](crate::ServiceModel) re-entry: a returned
+    /// worker resumes with exactly the remaining budget he left with.
+    ///
     /// [`carry_releases`]: StreamConfig::carry_releases
     pub worker_capacity: f64,
     /// Windows a task participates in before it expires (≥ 1).
@@ -82,6 +94,11 @@ pub struct StreamConfig {
     /// Carry release history across windows for warm-start engines.
     /// One-shot engines always start fresh regardless.
     pub carry_releases: bool,
+    /// How long matched workers serve before re-entering the pool.
+    /// [`ServiceModel::Never`](crate::ServiceModel::Never) (the
+    /// default) is serve-and-leave: the pre-session pipeline, bit for
+    /// bit.
+    pub service: ServiceModel,
     /// Extend the windowed span to this horizon (used by the sharded
     /// runner so every shard forms the same window sequence).
     pub horizon: Option<f64>,
@@ -97,6 +114,7 @@ impl Default for StreamConfig {
             worker_capacity: f64::INFINITY,
             task_ttl: 3,
             carry_releases: true,
+            service: ServiceModel::Never,
             horizon: None,
         }
     }
@@ -140,6 +158,42 @@ impl StreamConfig {
     }
 }
 
+/// Sums worker `j`'s *novel* releases off his board ledger — the
+/// charge both the session stepper (warm boards under re-entry) and
+/// the halo coordinator apply, in the same ledger order, so flat and
+/// sharded runs accumulate per-worker spend identically. Novel means
+/// the `(worker, task, slot, ε-bits)` key was not yet in `charged`;
+/// re-derivations of already-charged releases (reruns, carried
+/// history, returned workers) sum to zero. Whole-location releases
+/// (Geo-I) are keyed once per distinct ε under [`LOCATION_RELEASE`].
+pub(crate) fn novel_ledger_spend(
+    board: &dpta_core::Board,
+    j: usize,
+    wid: u32,
+    task_ids: &[u32],
+    charged: &mut std::collections::BTreeSet<ChargeKey>,
+) -> f64 {
+    use dpta_core::board::LOCATION_RELEASE;
+    let mut novel = 0.0;
+    for t in board.ledger(j).tasks() {
+        if t == LOCATION_RELEASE {
+            continue;
+        }
+        if let Some(set) = board.releases(t as usize, j) {
+            for (u, rel) in set.releases().iter().enumerate() {
+                if charged.insert((wid, task_ids[t as usize], u as u32, rel.epsilon.to_bits())) {
+                    novel += rel.epsilon;
+                }
+            }
+        }
+    }
+    let loc = board.ledger(j).spent_on(LOCATION_RELEASE);
+    if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits())) {
+        novel += loc;
+    }
+    novel
+}
+
 /// Noise keyed by logical ids: per-window instance indices are
 /// translated to the stream's stable ids before hashing, so a pair's
 /// draws do not depend on which window (or shard) it is evaluated in.
@@ -172,18 +226,17 @@ pub(crate) struct PendingTask {
     pub(crate) ttl: usize,
 }
 
-/// The protocol state carried between windows for warm-start engines.
-struct CarriedBoard {
-    board: Board,
-    task_ids: Vec<u32>,
-    worker_ids: Vec<u32>,
-}
-
 /// Drives an arrival stream through one assignment engine.
 ///
 /// The driver borrows the engine — engines are immutable `Send + Sync`
 /// config holders, so the sharded runner can point many drivers at one
 /// boxed engine concurrently.
+///
+/// This is the batch-shaped convenience over the push-based
+/// [`StreamSession`](crate::StreamSession): [`run`](StreamDriver::run)
+/// is exactly "push every event, close". Programs that need the
+/// event-at-a-time interface (or the typed
+/// [`Outcome`](crate::Outcome) log) open the session directly.
 ///
 /// # Examples
 ///
@@ -223,6 +276,7 @@ impl<'e> StreamDriver<'e> {
             cfg.worker_capacity > 0.0,
             "worker_capacity must be positive"
         );
+        cfg.service.validate();
         StreamDriver { engine, cfg }
     }
 
@@ -231,397 +285,25 @@ impl<'e> StreamDriver<'e> {
         &self.cfg
     }
 
-    /// Replays the whole stream and returns the aggregate report.
-    ///
-    /// This is the feedback loop the adaptive window policy rides on:
-    /// the [`Windower`] forms the next window, the session drives it,
-    /// and the realized stream state (task waiting ages, backlog, pool
-    /// size) is observed back into the controller before the next cut.
-    /// Static policies ignore the feedback, so one loop drives all
-    /// three policies.
+    /// Replays the whole stream and returns the aggregate report — a
+    /// thin drain loop over [`StreamSession`](crate::StreamSession):
+    /// push every event, close. The session runs the adaptive-window
+    /// feedback loop internally, so one shape drives all three
+    /// policies.
     pub fn run(&self, stream: &ArrivalStream) -> StreamReport {
-        let mut former = Windower::new(self.cfg.policy, stream, self.cfg.horizon);
-        let mut session = Session::new(self.engine, self.cfg.clone());
-        while let Some(window) = former.next_window() {
-            let signals = session.step(&window, former.last_decision());
-            if former.needs_feedback() {
-                former.observe(&StepSignals::merge(std::slice::from_ref(&signals)));
-            }
+        let mut session = StreamSession::new(self.engine, self.cfg.clone());
+        for e in stream.events() {
+            session.push(*e);
         }
-        session.finish(stream.n_tasks(), stream.n_workers())
-    }
-}
-
-/// One window's stream-observable signals, handed back to the adaptive
-/// window controller after the window settles. The sharded runners
-/// merge one per shard into a single global [`WindowFeedback`], which
-/// is what keeps adaptive cuts identical across flat, drop-pairs and
-/// halo execution.
-pub(crate) struct StepSignals {
-    /// Seconds from arrival to window close of every task present in
-    /// the window (matched, expired and carried alike).
-    pub(crate) ages: Vec<f64>,
-    /// Unserved tasks carried out of the window.
-    pub(crate) backlog: usize,
-    /// Workers on duty after the window settled.
-    pub(crate) pool: usize,
-}
-
-impl StepSignals {
-    /// Merges per-shard signals into the global controller feedback.
-    /// The percentile sorts, so shard order never affects the merge —
-    /// concatenating shard age vectors reproduces the flat run's
-    /// feedback exactly on shard-disjoint input.
-    pub(crate) fn merge(signals: &[StepSignals]) -> WindowFeedback {
-        let ages: Vec<f64> = signals
-            .iter()
-            .flat_map(|s| s.ages.iter().copied())
-            .collect();
-        WindowFeedback {
-            p95_age: percentile(&ages, 0.95),
-            backlog: signals.iter().map(|s| s.backlog).sum(),
-            pool: signals.iter().map(|s| s.pool).sum(),
-        }
-    }
-}
-
-/// The mutable state of one driven stream: pool, pending tasks,
-/// lifetime accounting and carried protocol state, stepped one window
-/// at a time. [`StreamDriver::run`] wraps it for whole-stream replay;
-/// the sharded runner steps one session per shard in lockstep so a
-/// single adaptive controller can window every shard identically.
-pub(crate) struct Session<'e> {
-    engine: &'e dyn AssignmentEngine,
-    cfg: StreamConfig,
-    warm: bool,
-    budget_gen: BudgetGen,
-    pool: Vec<WorkerArrival>,
-    pending: Vec<PendingTask>,
-    accountant: CumulativeAccountant,
-    carried: Option<CarriedBoard>,
-    charged: BTreeSet<ChargeKey>,
-    fates: BTreeMap<u32, TaskFate>,
-    spend_by_worker: BTreeMap<u32, f64>,
-    reports: Vec<WindowReport>,
-}
-
-impl<'e> Session<'e> {
-    /// A fresh session for `engine` under `cfg`.
-    pub(crate) fn new(engine: &'e dyn AssignmentEngine, cfg: StreamConfig) -> Self {
-        let warm = cfg.carry_releases && engine.supports_warm_start();
-        let budget_gen = BudgetGen::new(
-            cfg.params.seed ^ 0x5712_EA11,
-            0,
-            cfg.budget_range,
-            cfg.budget_group_size,
-        );
-        Session {
-            engine,
-            cfg,
-            warm,
-            budget_gen,
-            pool: Vec::new(),
-            pending: Vec::new(),
-            accountant: CumulativeAccountant::new(),
-            carried: None,
-            charged: BTreeSet::new(),
-            fates: BTreeMap::new(),
-            spend_by_worker: BTreeMap::new(),
-            reports: Vec::new(),
-        }
-    }
-
-    /// Settles remaining fates and assembles the aggregate report.
-    pub(crate) fn finish(mut self, task_arrivals: usize, worker_arrivals: usize) -> StreamReport {
-        for p in &self.pending {
-            self.fates.insert(p.arrival.id, TaskFate::Pending);
-        }
-        StreamReport {
-            engine: self.engine.name().to_string(),
-            windows: self.reports,
-            fates: self.fates,
-            task_arrivals,
-            worker_arrivals,
-            spend_by_worker: self.spend_by_worker,
-            warnings: Vec::new(),
-        }
-    }
-
-    /// One window: admit arrivals, drive the engine, settle fates.
-    /// Returns the window's stream-observable signals for the adaptive
-    /// controller.
-    pub(crate) fn step(&mut self, window: &Window, cut: WindowCutDecision) -> StepSignals {
-        let warm = self.warm;
-        for w in &window.workers {
-            self.accountant
-                .register(u64::from(w.id), self.cfg.worker_capacity);
-            self.pool.push(*w);
-        }
-        self.pending
-            .extend(window.tasks.iter().map(|&arrival| PendingTask {
-                arrival,
-                ttl: self.cfg.task_ttl,
-            }));
-        let (pool, pending) = (&mut self.pool, &mut self.pending);
-        let (accountant, carried) = (&mut self.accountant, &mut self.carried);
-        let (charged, fates) = (&mut self.charged, &mut self.fates);
-        let spend_by_worker = &mut self.spend_by_worker;
-        let budget_gen = &self.budget_gen;
-
-        // Observed stream state at window close: how long every task
-        // present has been waiting. Matched or not, the formula is the
-        // same — it is the age the window width controls. Only the
-        // adaptive controller consumes it, so static-policy runs skip
-        // the per-window allocation entirely.
-        let ages: Vec<f64> = if matches!(self.cfg.policy, WindowPolicy::Adaptive(_)) {
-            pending
-                .iter()
-                .map(|p| window.end - p.arrival.time)
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        let mut report = WindowReport {
-            index: window.index,
-            start: window.start,
-            end: window.end,
-            tasks_arrived: window.tasks.len(),
-            carried_in: pending.len() - window.tasks.len(),
-            workers_available: pool.len(),
-            matched: 0,
-            expired: 0,
-            carried_out: 0,
-            utility: 0.0,
-            distance: 0.0,
-            epsilon_spent: 0.0,
-            publications: 0,
-            rounds: 0,
-            drive_time: std::time::Duration::ZERO,
-            workers_retired: 0,
-            workers_departed: 0,
-            cut,
-        };
-
-        let mut matched_tasks: Vec<(usize, u32)> = Vec::new(); // (pending idx, worker id)
-        if !pending.is_empty() && !pool.is_empty() {
-            let task_ids: Vec<u32> = pending.iter().map(|p| p.arrival.id).collect();
-            let worker_ids: Vec<u32> = pool.iter().map(|w| w.id).collect();
-            let inst = Instance::from_locations(
-                pending.iter().map(|p| p.arrival.task).collect(),
-                pool.iter().map(|w| w.worker).collect(),
-                |i, j| budget_gen.vector(task_ids[i] as usize, worker_ids[j] as usize),
-            );
-            let noise = IdStableNoise {
-                base: SeededNoise::new(self.cfg.params.seed),
-                task_ids: &task_ids,
-                worker_ids: &worker_ids,
-            };
-
-            let board = match carried.take() {
-                Some(prev) if warm => {
-                    let task_to_new: BTreeMap<u32, usize> = task_ids
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &id)| (id, i))
-                        .collect();
-                    let worker_to_new: BTreeMap<u32, usize> = worker_ids
-                        .iter()
-                        .enumerate()
-                        .map(|(j, &id)| (id, j))
-                        .collect();
-                    prev.board.carry(
-                        inst.n_tasks(),
-                        inst.n_workers(),
-                        |t_old| task_to_new.get(&prev.task_ids[t_old]).copied(),
-                        |j_old| worker_to_new.get(&prev.worker_ids[j_old]).copied(),
-                    )
-                }
-                _ => Board::new(inst.n_tasks(), inst.n_workers()),
-            };
-            let pre_spend: Vec<f64> = (0..inst.n_workers())
-                .map(|j| board.spent_total(j))
-                .collect();
-            let pre_pubs = board.publications();
-
-            // With a finite lifetime capacity, warm drives run under
-            // the engine-level remaining-budget hook: every proposal
-            // whose ε would overshoot the worker's remaining lifetime
-            // budget is skipped, so the cap is exact rather than
-            // retire-at-window-close. (Fresh-board drives re-publish
-            // already-charged releases the hook cannot distinguish from
-            // novel spend, so they keep the window-close semantics.)
-            let guard: Option<Vec<f64>> =
-                (warm && self.cfg.worker_capacity.is_finite()).then(|| {
-                    pool.iter()
-                        .map(|w| accountant.remaining(u64::from(w.id)))
-                        .collect()
-                });
-
-            let start = Instant::now();
-            let outcome = if self.engine.supports_warm_start() {
-                match &guard {
-                    Some(g) => self.engine.resume_capped(&inst, board, &noise, g),
-                    None => self.engine.resume(&inst, board, &noise),
-                }
-            } else {
-                // One-shot engines require (and here always get) a
-                // fresh board.
-                let mut board = board;
-                self.engine.assign(&inst, &mut board, &noise)
-            };
-            report.drive_time = start.elapsed();
-
-            if warm {
-                // A carried board never re-publishes (slots only
-                // advance), so the spend delta is exactly the novel
-                // information released this window.
-                for (j, w) in pool.iter().enumerate() {
-                    let delta = (outcome.board.spent_total(j) - pre_spend[j]).max(0.0);
-                    accountant.charge(u64::from(w.id), delta);
-                    report.epsilon_spent += delta;
-                    if delta > 0.0 {
-                        *spend_by_worker.entry(w.id).or_insert(0.0) += delta;
-                    }
-                }
-            } else {
-                // Fresh boards re-publish for pairs still pending from
-                // earlier windows. Under id-keyed noise and budgets the
-                // repeat is bit-identical to the original release —
-                // zero new information — so each distinct release is
-                // charged exactly once over the stream's lifetime.
-                for (j, &wid) in worker_ids.iter().enumerate() {
-                    let mut novel = 0.0;
-                    for &i in inst.reach(j) {
-                        if let Some(set) = outcome.board.releases(i, j) {
-                            for (u, rel) in set.releases().iter().enumerate() {
-                                if charged.insert((
-                                    wid,
-                                    task_ids[i],
-                                    u as u32,
-                                    rel.epsilon.to_bits(),
-                                )) {
-                                    novel += rel.epsilon;
-                                }
-                            }
-                        }
-                    }
-                    // Whole-location releases (Geo-I) appear only on
-                    // the ledger, one per drive.
-                    let loc = outcome.board.ledger(j).spent_on(LOCATION_RELEASE);
-                    if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits()))
-                    {
-                        novel += loc;
-                    }
-                    accountant.charge(u64::from(wid), novel);
-                    report.epsilon_spent += novel;
-                    if novel > 0.0 {
-                        *spend_by_worker.entry(wid).or_insert(0.0) += novel;
-                    }
-                }
-            }
-            let m = measure(
-                &inst,
-                &outcome,
-                self.cfg.params.alpha,
-                self.cfg.params.beta,
-                self.engine.accounts_privacy(),
-            );
-            report.matched = m.matched;
-            report.utility = m.total_utility;
-            report.distance = m.total_distance;
-            report.rounds = outcome.rounds;
-            report.publications = outcome.board.publications() - pre_pubs;
-
-            for (i, j) in outcome.assignment.pairs() {
-                let worker_id = worker_ids[j];
-                fates.insert(
-                    task_ids[i],
-                    TaskFate::Assigned {
-                        window: window.index,
-                        worker: worker_id,
-                        latency: window.end - pending[i].arrival.time,
-                    },
-                );
-                matched_tasks.push((i, worker_id));
-            }
-
-            if warm {
-                *carried = Some(CarriedBoard {
-                    board: outcome.board,
-                    task_ids,
-                    worker_ids,
-                });
-            }
-        }
-
-        // Settle the pool: matched workers depart to serve, exhausted
-        // workers retire.
-        let departed: BTreeSet<u32> = matched_tasks.iter().map(|&(_, w)| w).collect();
-        for &id in &departed {
-            accountant.forget(u64::from(id));
-        }
-        report.workers_departed = departed.len();
-        let mut retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
-        if warm && self.cfg.worker_capacity.is_finite() {
-            // Hard-cap mode never overshoots, so spend rarely reaches
-            // the capacity exactly; instead a worker is effectively
-            // exhausted once his remaining budget cannot cover even the
-            // cheapest possible release (the draw range's lower bound).
-            for w in pool.iter() {
-                let id = u64::from(w.id);
-                if !departed.contains(&w.id)
-                    && !retired.contains(&id)
-                    && accountant.remaining(id) + 1e-12 < self.cfg.budget_range.0
-                {
-                    accountant.forget(id);
-                    retired.insert(id);
-                }
-            }
-        }
-        report.workers_retired = retired.len();
-        pool.retain(|w| !departed.contains(&w.id) && !retired.contains(&u64::from(w.id)));
-
-        // Settle the tasks: matched leave, survivors age, the too-old
-        // expire.
-        let mut matched_mask = vec![false; pending.len()];
-        for &(i, _) in &matched_tasks {
-            matched_mask[i] = true;
-        }
-        let mut next_pending = Vec::with_capacity(pending.len());
-        for (i, mut p) in pending.drain(..).enumerate() {
-            if matched_mask[i] {
-                continue;
-            }
-            p.ttl -= 1;
-            if p.ttl == 0 {
-                fates.insert(
-                    p.arrival.id,
-                    TaskFate::Expired {
-                        window: window.index,
-                    },
-                );
-                report.expired += 1;
-            } else {
-                next_pending.push(p);
-            }
-        }
-        *pending = next_pending;
-        report.carried_out = pending.len();
-        let signals = StepSignals {
-            ages,
-            backlog: pending.len(),
-            pool: pool.len(),
-        };
-        self.reports.push(report);
-        signals
+        session.close()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::ArrivalEvent;
+    use crate::event::{ArrivalEvent, WorkerArrival};
+    use crate::metrics::TaskFate;
     use dpta_core::{Method, Task, Worker};
     use dpta_spatial::Point;
 

@@ -56,14 +56,14 @@ impl ArrivalEvent {
 
     /// Sort rank at equal timestamps: workers before tasks, so a worker
     /// arriving at the same instant as a task can serve it.
-    fn kind_rank(&self) -> u8 {
+    pub(crate) fn kind_rank(&self) -> u8 {
         match self {
             ArrivalEvent::Worker(_) => 0,
             ArrivalEvent::Task(_) => 1,
         }
     }
 
-    fn id(&self) -> u32 {
+    pub(crate) fn id(&self) -> u32 {
         match self {
             ArrivalEvent::Worker(w) => w.id,
             ArrivalEvent::Task(t) => t.id,

@@ -54,18 +54,17 @@
 //!
 //! [`ShardStrategy::DropPairs`]: crate::ShardStrategy::DropPairs
 
-use crate::driver::{ChargeKey, IdStableNoise, PendingTask, StreamConfig};
+use crate::driver::{novel_ledger_spend, ChargeKey, IdStableNoise, PendingTask, StreamConfig};
 use crate::event::{ArrivalStream, WorkerArrival};
 use crate::metrics::{
     percentile, ShardedReport, StreamReport, TaskFate, WindowFeedback, WindowReport,
 };
 use crate::window::Windower;
-use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::{AssignmentEngine, Board, Instance, RunOutcome};
 use dpta_dp::{CumulativeAccountant, SeededNoise};
 use dpta_spatial::GridPartition;
 use dpta_workloads::budgets::BudgetGen;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Protocol state a shard carries across windows (warm-start engines):
@@ -75,6 +74,16 @@ struct Carried {
     board: Board,
     task_ids: Vec<u32>,
     worker_ids: Vec<u32>,
+}
+
+/// One worker held out of the pool while serving a committed match —
+/// the halo coordinator's half of [`ServiceModel`] re-entry, mirroring
+/// the session stepper's rules exactly (same completion-time ordering,
+/// same re-admission boundary) so flat and halo runs stay bit-for-bit
+/// on shard-disjoint input.
+struct Serving {
+    return_time: f64,
+    worker: WorkerArrival,
 }
 
 /// One shard's engine run inside one reconciliation pass.
@@ -142,9 +151,12 @@ pub(crate) fn run_halo(
     let mut shard_spend: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); n_shards];
 
     // Global pipeline state — one pool, one pending list, one
-    // accountant, exactly like the unsharded driver.
+    // accountant, one in-service set, exactly like the unsharded
+    // driver.
+    let reentry = cfg.service.reenters();
     let mut pool: Vec<WorkerArrival> = Vec::new();
     let mut pending: Vec<PendingTask> = Vec::new();
+    let mut in_service: VecDeque<Serving> = VecDeque::new();
     let mut accountant = CumulativeAccountant::new();
     let mut charged: BTreeSet<ChargeKey> = BTreeSet::new();
     let mut carried: Vec<Option<Carried>> = (0..n_shards).map(|_| None).collect();
@@ -152,6 +164,20 @@ pub(crate) fn run_halo(
     while let Some(window) = former.next_window() {
         let window = &window;
         let cut = former.last_decision();
+        // ── Re-admit returned workers ─────────────────────────────────
+        // Completed service cycles re-enter the pool ahead of the
+        // window's fresh arrivals, in (completion time, id) order — the
+        // session stepper's rule, so pool order matches the flat run's
+        // on shard-disjoint input.
+        let mut returned_by_home = vec![0usize; n_shards];
+        while in_service
+            .front()
+            .is_some_and(|s| s.return_time < window.end)
+        {
+            let s = in_service.pop_front().expect("front exists");
+            returned_by_home[partition.shard_of(&s.worker.worker.location)] += 1;
+            pool.push(s.worker);
+        }
         // ── Admit arrivals ────────────────────────────────────────────
         for w in &window.workers {
             accountant.register(u64::from(w.id), cfg.worker_capacity);
@@ -217,6 +243,7 @@ pub(crate) fn run_halo(
                     drive_time: Duration::ZERO,
                     workers_retired: 0,
                     workers_departed: 0,
+                    workers_returned: returned_by_home[k],
                     cut,
                 }
             })
@@ -225,6 +252,9 @@ pub(crate) fn run_halo(
         // ── Propose / reconcile loop ──────────────────────────────────
         let mut committed_tasks: BTreeSet<u32> = BTreeSet::new();
         let mut committed_workers: BTreeSet<u32> = BTreeSet::new();
+        // Per committed worker: the service duration of his match (the
+        // settle step turns it into a return time or a departure).
+        let mut service_of: BTreeMap<u32, Option<f64>> = BTreeMap::new();
         let mut window_spend: BTreeMap<u32, f64> = BTreeMap::new();
         let mut needs_run = vec![true; n_shards];
         let mut claims: Vec<Vec<Claim>> = vec![Vec::new(); n_shards];
@@ -257,6 +287,7 @@ pub(crate) fn run_halo(
                     &carried[k],
                     warm,
                     capped.then_some(&accountant),
+                    passes > 1,
                 );
                 if let Some(p) = built {
                     if capped {
@@ -388,6 +419,7 @@ pub(crate) fn run_halo(
                 );
                 committed_tasks.insert(claim.task);
                 committed_workers.insert(w);
+                service_of.insert(w, cfg.service.duration(d, task.arrival.task.value));
                 claims[k].retain(|c| c.worker != w);
             }
             // The window is reconciled only when no claim is left
@@ -413,8 +445,31 @@ pub(crate) fn run_halo(
             *shard_spend[worker_home[&wid]].entry(wid).or_insert(0.0) += eps;
         }
         for &w in &committed_workers {
-            accountant.forget(u64::from(w));
             reports[worker_home[&w]].workers_departed += 1;
+            match service_of.get(&w).copied().flatten() {
+                Some(d) => {
+                    // Re-entry: the worker keeps his accountant entry
+                    // (lifetime budgets span service cycles) and waits
+                    // out his service duration.
+                    let return_time = window.end + d;
+                    let arrival = *pool
+                        .iter()
+                        .find(|wa| wa.id == w)
+                        .expect("committed worker pooled");
+                    let pos = in_service
+                        .partition_point(|s| (s.return_time, s.worker.id) < (return_time, w));
+                    in_service.insert(
+                        pos,
+                        Serving {
+                            return_time,
+                            worker: arrival,
+                        },
+                    );
+                }
+                None => {
+                    accountant.forget(u64::from(w));
+                }
+            }
         }
         let mut retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
         if capped {
@@ -432,8 +487,28 @@ pub(crate) fn run_halo(
                 }
             }
         }
+        // An in-service worker can exhaust his budget at the very match
+        // that sent him out: he finishes the trip but retires instead
+        // of returning (the session stepper's rule). His home shard is
+        // read off his own location — he may not be in this window's
+        // pool-derived `worker_home` map.
+        let mut retired_home: BTreeMap<u64, usize> = retired
+            .iter()
+            .filter_map(|&id| worker_home.get(&(id as u32)).map(|&h| (id, h)))
+            .collect();
+        if reentry && !retired.is_empty() {
+            in_service.retain(|s| {
+                let id = u64::from(s.worker.id);
+                if retired.contains(&id) {
+                    retired_home.insert(id, partition.shard_of(&s.worker.worker.location));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         for &id in &retired {
-            reports[worker_home[&(id as u32)]].workers_retired += 1;
+            reports[retired_home[&id]].workers_retired += 1;
         }
         pool.retain(|w| !committed_workers.contains(&w.id) && !retired.contains(&u64::from(w.id)));
 
@@ -526,6 +601,7 @@ fn prepare_run(
     carried: &Option<Carried>,
     warm: bool,
     guard_from: Option<&CumulativeAccountant>,
+    rerun: bool,
 ) -> Option<PreparedRun> {
     let task_idx: Vec<usize> = (0..pending.len())
         .filter(|&i| task_home[i] == k && !committed_tasks.contains(&pending[i].arrival.id))
@@ -535,6 +611,27 @@ fn prepare_run(
         .collect();
     if task_idx.is_empty() || worker_idx.is_empty() {
         return None;
+    }
+    // Cheap early-out on reconciliation reruns: losing a boundary
+    // worker often leaves a shard whose remaining tasks no remaining
+    // member can reach. Driving that instance is a guaranteed no-op —
+    // every engine publishes and claims only over feasible pairs — so
+    // skip the carry + drive and let the shard's previous run keep its
+    // claims (none left here) and its carried board. First-pass runs
+    // are never skipped: on shard-disjoint input they are what mirrors
+    // the unsharded drive bit for bit, and location engines (Geo-I)
+    // may legitimately publish for any reachable pair there.
+    if rerun {
+        let feasible = task_idx.iter().any(|&i| {
+            let t = &pending[i].arrival.task;
+            worker_idx.iter().any(|&j| {
+                let w = &pool[j].worker;
+                t.location.distance(&w.location) <= w.radius
+            })
+        });
+        if !feasible {
+            return None;
+        }
     }
     let task_ids: Vec<u32> = task_idx.iter().map(|&i| pending[i].arrival.id).collect();
     let worker_ids: Vec<u32> = worker_idx.iter().map(|&j| pool[j].id).collect();
@@ -689,28 +786,7 @@ fn account_run(
 ) {
     let board = &run.outcome.board;
     for (j, &wid) in run.worker_ids.iter().enumerate() {
-        let mut novel = 0.0;
-        for t in board.ledger(j).tasks() {
-            if t == LOCATION_RELEASE {
-                continue;
-            }
-            if let Some(set) = board.releases(t as usize, j) {
-                for (u, rel) in set.releases().iter().enumerate() {
-                    if charged.insert((
-                        wid,
-                        run.task_ids[t as usize],
-                        u as u32,
-                        rel.epsilon.to_bits(),
-                    )) {
-                        novel += rel.epsilon;
-                    }
-                }
-            }
-        }
-        let loc = board.ledger(j).spent_on(LOCATION_RELEASE);
-        if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits())) {
-            novel += loc;
-        }
+        let novel = novel_ledger_spend(board, j, wid, &run.task_ids, charged);
         if novel > 0.0 {
             accountant.reserve(u64::from(wid), novel);
             report.epsilon_spent += novel;

@@ -17,13 +17,18 @@
 //!   adaptive latency-targeting controller
 //!   ([`WindowPolicy::Adaptive`]) fed realized backlog/latency by the
 //!   driver after every window;
-//! * [`StreamDriver`] — replays the windows through any boxed
-//!   [`AssignmentEngine`](dpta_core::AssignmentEngine): warm-start
-//!   engines resume from carried protocol state per the engine trait's
-//!   warm-start contract, a
+//! * [`StreamSession`] — the primary, push-based interface:
+//!   `push(event)` / `advance_to(t)` / `poll_outcomes()` / `close()`,
+//!   emitting assignments, expiries, retirements and worker returns as
+//!   a typed [`Outcome`] log. Warm-start engines resume from carried
+//!   protocol state per the engine trait's warm-start contract, a
 //!   [`CumulativeAccountant`](dpta_dp::CumulativeAccountant) tracks
 //!   lifetime budget depletion, exhausted workers retire, unserved
-//!   tasks carry over until a time-to-live expires;
+//!   tasks carry over until a time-to-live expires, and a
+//!   [`ServiceModel`] returns matched workers to the pool after their
+//!   service duration (serve-and-leave is `ServiceModel::Never`);
+//! * [`StreamDriver`] — the batch-shaped drain loop over the session:
+//!   replays a pre-built stream to completion;
 //! * [`run_sharded`] / [`run_sharded_halo`] — partition the stream by
 //!   spatial grid cell
 //!   ([`GridPartition`](dpta_spatial::GridPartition)) and run one
@@ -77,6 +82,7 @@ mod driver;
 mod event;
 mod halo;
 mod metrics;
+mod session;
 mod shard;
 mod window;
 
@@ -87,6 +93,7 @@ pub use metrics::{
     percentile, ShardedReport, StreamReport, TaskFate, WindowCutDecision, WindowFeedback,
     WindowReport,
 };
+pub use session::{Outcome, ServiceModel, StreamSession};
 pub use shard::{
     run_sharded, run_sharded_halo, run_sharded_with, ShardStrategy, COUNT_WINDOW_SHARD_WARNING,
 };

@@ -144,6 +144,10 @@ pub struct WindowReport {
     pub workers_retired: usize,
     /// Workers departed at window close (matched, now serving).
     pub workers_departed: usize,
+    /// Workers who completed a service cycle and re-entered the pool
+    /// during this window ([`ServiceModel`](crate::ServiceModel) re-entry;
+    /// always zero under `ServiceModel::Never`).
+    pub workers_returned: usize,
     /// Why the window closed when it did (adaptive windowing).
     pub cut: WindowCutDecision,
 }
@@ -291,6 +295,26 @@ impl StreamReport {
             .count()
     }
 
+    /// Completed service cycles: workers who returned to the pool after
+    /// serving a match. Zero under `ServiceModel::Never`
+    /// (serve-and-leave).
+    pub fn returns(&self) -> usize {
+        self.windows.iter().map(|w| w.workers_returned).sum()
+    }
+
+    /// Matches per worker arrival — the fleet-utilization measure the
+    /// `stream --reentry` gate compares across service models (worker
+    /// re-entry recycles the fleet, so utilization can exceed what
+    /// serve-and-leave reaches with the same arrivals). Zero when no
+    /// workers arrived.
+    pub fn utilization(&self) -> f64 {
+        if self.worker_arrivals > 0 {
+            self.matched() as f64 / self.worker_arrivals as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Asserts the pipeline's conservation law: every task arrival has
     /// exactly one fate, and the per-window counters agree with the
     /// fate map. Returns `(matched, expired, pending)`.
@@ -340,7 +364,7 @@ impl StreamReport {
             self.worker_arrivals
         ));
         out.push_str(
-            "  win cut      span(s)  arr  carry  pool  match  exp  util/match   eps  drive(ms)\n",
+            "  win cut      span(s)  arr  carry  pool  match  exp  ret  util/match   eps  drive(ms)\n",
         );
         for w in &self.windows {
             let per_match = if w.matched > 0 {
@@ -349,7 +373,7 @@ impl StreamReport {
                 0.0
             };
             out.push_str(&format!(
-                "  {:>3}  {}  {:>6.0}-{:<6.0} {:>4} {:>6} {:>5} {:>6} {:>4} {:>11.3} {:>5.1} {:>10.2}\n",
+                "  {:>3}  {}  {:>6.0}-{:<6.0} {:>4} {:>6} {:>5} {:>6} {:>4} {:>4} {:>11.3} {:>5.1} {:>10.2}\n",
                 w.index,
                 w.cut.marker(),
                 w.start,
@@ -359,6 +383,7 @@ impl StreamReport {
                 w.workers_available,
                 w.matched,
                 w.expired,
+                w.workers_returned,
                 per_match,
                 w.epsilon_spent,
                 w.drive_time.as_secs_f64() * 1e3,
@@ -490,6 +515,7 @@ mod tests {
             drive_time: Duration::from_millis(2),
             workers_retired: 0,
             workers_departed: matched,
+            workers_returned: 0,
             cut: WindowCutDecision::Scheduled,
         }
     }

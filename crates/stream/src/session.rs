@@ -1,0 +1,1440 @@
+//! The push-based session API — the primary interface of the online
+//! pipeline — plus worker re-entry.
+//!
+//! [`StreamDriver::run`](crate::StreamDriver::run) is batch-shaped: it
+//! consumes a pre-built [`ArrivalStream`](crate::ArrivalStream) and
+//! drains it to completion. A production dispatch loop is not like
+//! that — events arrive one at a time, time advances, and the caller
+//! wants to *see* what the pipeline decided. [`StreamSession`] is that
+//! interface:
+//!
+//! * [`push`](StreamSession::push) — feed one arrival event;
+//! * [`advance_to`](StreamSession::advance_to) — declare the event-time
+//!   watermark; every window that closes before it is formed and
+//!   driven;
+//! * [`poll_outcomes`](StreamSession::poll_outcomes) — drain the typed
+//!   [`Outcome`] log (assignments, expiries, retirements, service
+//!   departures, **worker returns**);
+//! * [`close`](StreamSession::close) — drive the remaining windows and
+//!   settle the aggregate [`StreamReport`](crate::StreamReport).
+//!
+//! `StreamDriver::run`, `run_sharded` and `run_sharded_halo` are thin
+//! drain loops over the same stepper ([`SessionCore`]), so every
+//! driving mode shares one set of window/budget/fate semantics.
+//!
+//! # Worker re-entry
+//!
+//! A [`ServiceModel`] gives matched workers a *service duration*:
+//! instead of departing for good (`ServiceModel::Never`, the
+//! serve-and-leave default), a matched worker is held in an in-service
+//! set and re-enters the pool at his completion time — with the same
+//! logical id, so lifetime budgets
+//! ([`CumulativeAccountant`](dpta_dp::CumulativeAccountant)), hard
+//! caps and replay determinism all carry across service cycles.
+//! Durations are pure functions of the match (pickup distance, task
+//! value), never wall-clock time, so re-entry preserves bit-for-bit
+//! replay and the flat/drop-pairs/halo equivalence gates.
+
+use crate::driver::{novel_ledger_spend, ChargeKey, IdStableNoise, PendingTask, StreamConfig};
+use crate::event::{ArrivalEvent, WorkerArrival};
+use crate::metrics::{
+    percentile, StreamReport, TaskFate, WindowCutDecision, WindowFeedback, WindowReport,
+};
+use crate::window::{AdaptiveController, Window, WindowPolicy, MAX_WINDOWS};
+use dpta_core::board::LOCATION_RELEASE;
+use dpta_core::metrics::measure;
+use dpta_core::{AssignmentEngine, Board, Instance};
+use dpta_dp::{CumulativeAccountant, SeededNoise};
+use dpta_workloads::budgets::BudgetGen;
+use dpta_workloads::ValueModel;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Instant;
+
+/// How long a matched worker is held in service before re-entering the
+/// pool.
+///
+/// Durations are deterministic functions of the match — pickup distance
+/// and task value — never wall-clock time, so enabling re-entry keeps
+/// every replay and sharding gate bit-for-bit. `Never` reproduces the
+/// pre-session serve-and-leave pipeline exactly.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_stream::ServiceModel;
+/// use dpta_workloads::ValueModel;
+///
+/// assert_eq!(ServiceModel::Never.duration(2.0, 4.5), None);
+/// assert_eq!(ServiceModel::Fixed { secs: 300.0 }.duration(2.0, 4.5), Some(300.0));
+/// // Trip-length service: pickup leg + the trip the task value encodes
+/// // (value = base + per_km · trip ⇒ trip = 5 km here), at 90 s/km.
+/// let model = ServiceModel::PerTripKm {
+///     value_model: ValueModel::PerTripKm { base: 2.0, per_km: 0.8 },
+///     secs_per_km: 90.0,
+/// };
+/// assert_eq!(model.duration(1.0, 6.0), Some(90.0 * 6.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ServiceModel {
+    /// Serve-and-leave: a matched worker departs for good. This is the
+    /// pre-re-entry pipeline, bit for bit.
+    #[default]
+    Never,
+    /// Every service takes the same fixed duration (seconds).
+    Fixed {
+        /// Service duration in seconds (positive, finite).
+        secs: f64,
+    },
+    /// Travel-time service: `secs_per_km × (pickup distance + trip
+    /// length)`, where the trip length is decoded from the task's value
+    /// via [`ValueModel::trip_km`] — the Chengdu simulator's trips ride
+    /// along on `ValueModel::PerTripKm` pricing, and constant-value
+    /// tasks contribute only the pickup leg.
+    PerTripKm {
+        /// The pricing model the task values were generated under.
+        value_model: ValueModel,
+        /// Travel seconds per kilometre (positive, finite).
+        secs_per_km: f64,
+    },
+}
+
+impl ServiceModel {
+    /// The service duration of one match, or `None` when matched
+    /// workers depart for good. `pickup_km` is the worker→task
+    /// distance, `task_value` the matched task's value.
+    pub fn duration(&self, pickup_km: f64, task_value: f64) -> Option<f64> {
+        match *self {
+            ServiceModel::Never => None,
+            ServiceModel::Fixed { secs } => Some(secs),
+            ServiceModel::PerTripKm {
+                value_model,
+                secs_per_km,
+            } => Some(secs_per_km * (pickup_km + value_model.trip_km(task_value))),
+        }
+    }
+
+    /// Whether matched workers re-enter the pool at all.
+    pub fn reenters(&self) -> bool {
+        !matches!(self, ServiceModel::Never)
+    }
+
+    pub(crate) fn validate(&self) {
+        match *self {
+            ServiceModel::Never => {}
+            ServiceModel::Fixed { secs } => assert!(
+                secs > 0.0 && secs.is_finite(),
+                "service duration must be positive and finite, got {secs}"
+            ),
+            ServiceModel::PerTripKm { secs_per_km, .. } => assert!(
+                secs_per_km > 0.0 && secs_per_km.is_finite(),
+                "secs_per_km must be positive and finite, got {secs_per_km}"
+            ),
+        }
+    }
+}
+
+/// One typed event of the session's outcome log, drained via
+/// [`StreamSession::poll_outcomes`]. Everything the per-window reports
+/// aggregate is emitted here first, as it happens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// A task was matched to a worker.
+    Assigned {
+        /// Logical task id.
+        task: u32,
+        /// Logical worker id.
+        worker: u32,
+        /// Window in which the match happened.
+        window: usize,
+        /// Seconds from task arrival to the matching window's close.
+        latency: f64,
+    },
+    /// A task was dropped unserved (time-to-live exhausted).
+    Expired {
+        /// Logical task id.
+        task: u32,
+        /// Window after which the task was dropped.
+        window: usize,
+    },
+    /// A worker's lifetime privacy budget ran out; he left the system.
+    Retired {
+        /// Logical worker id.
+        worker: u32,
+        /// Window at whose close the retirement fired.
+        window: usize,
+    },
+    /// A matched worker left the pool to serve.
+    EnteredService {
+        /// Logical worker id.
+        worker: u32,
+        /// Window in which the match happened.
+        window: usize,
+        /// When the worker re-enters the pool, or `None` under
+        /// [`ServiceModel::Never`] (departs for good).
+        returns_at: Option<f64>,
+    },
+    /// A worker completed a service cycle and re-entered the pool.
+    Returned {
+        /// Logical worker id.
+        worker: u32,
+        /// Window that re-admitted the worker.
+        window: usize,
+        /// Completion time (seconds) at which the worker came free.
+        at: f64,
+        /// Completed service cycles so far (1 on the first return).
+        cycle: usize,
+    },
+}
+
+/// One worker held out of the pool while serving a match.
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    return_time: f64,
+    cycle: usize,
+    worker: WorkerArrival,
+}
+
+/// The protocol state carried between windows for warm-start engines.
+struct CarriedBoard {
+    board: Board,
+    task_ids: Vec<u32>,
+    worker_ids: Vec<u32>,
+}
+
+/// One window's stream-observable signals, handed back to the adaptive
+/// window controller after the window settles. The sharded runners
+/// merge one per shard into a single global [`WindowFeedback`], which
+/// is what keeps adaptive cuts identical across flat, drop-pairs and
+/// halo execution.
+pub(crate) struct StepSignals {
+    /// Seconds from arrival to window close of every task present in
+    /// the window (matched, expired and carried alike).
+    pub(crate) ages: Vec<f64>,
+    /// Unserved tasks carried out of the window.
+    pub(crate) backlog: usize,
+    /// Workers on duty after the window settled.
+    pub(crate) pool: usize,
+}
+
+impl StepSignals {
+    /// Merges per-shard signals into the global controller feedback.
+    /// The percentile sorts, so shard order never affects the merge —
+    /// concatenating shard age vectors reproduces the flat run's
+    /// feedback exactly on shard-disjoint input.
+    pub(crate) fn merge(signals: &[StepSignals]) -> WindowFeedback {
+        let ages: Vec<f64> = signals
+            .iter()
+            .flat_map(|s| s.ages.iter().copied())
+            .collect();
+        WindowFeedback {
+            p95_age: percentile(&ages, 0.95),
+            backlog: signals.iter().map(|s| s.backlog).sum(),
+            pool: signals.iter().map(|s| s.pool).sum(),
+        }
+    }
+}
+
+/// The mutable state of one driven stream: pool, pending tasks,
+/// in-service set, lifetime accounting and carried protocol state,
+/// stepped one window at a time. [`StreamSession`] wraps it behind the
+/// push API; [`StreamDriver::run`](crate::StreamDriver::run) drains it
+/// over a whole stream; the sharded runners step one core per shard in
+/// lockstep so a single adaptive controller can window every shard
+/// identically.
+pub(crate) struct SessionCore<'e> {
+    engine: &'e dyn AssignmentEngine,
+    cfg: StreamConfig,
+    warm: bool,
+    /// Worker re-entry on: matched workers keep their accountant entry
+    /// and the lifetime charge goes through the id-keyed dedup set even
+    /// on warm boards (a returned worker's carried history was dropped
+    /// with his column, so his bit-identical re-publications must be
+    /// filtered by the dedup, not the board spend delta).
+    reentry: bool,
+    budget_gen: BudgetGen,
+    pool: Vec<WorkerArrival>,
+    pending: Vec<PendingTask>,
+    in_service: VecDeque<InService>,
+    cycles: BTreeMap<u32, usize>,
+    accountant: CumulativeAccountant,
+    carried: Option<CarriedBoard>,
+    charged: BTreeSet<ChargeKey>,
+    fates: BTreeMap<u32, TaskFate>,
+    spend_by_worker: BTreeMap<u32, f64>,
+    reports: Vec<WindowReport>,
+    outcomes: VecDeque<Outcome>,
+}
+
+impl<'e> SessionCore<'e> {
+    /// A fresh session core for `engine` under `cfg`.
+    pub(crate) fn new(engine: &'e dyn AssignmentEngine, cfg: StreamConfig) -> Self {
+        cfg.service.validate();
+        let warm = cfg.carry_releases && engine.supports_warm_start();
+        let reentry = cfg.service.reenters();
+        let budget_gen = BudgetGen::new(
+            cfg.params.seed ^ 0x5712_EA11,
+            0,
+            cfg.budget_range,
+            cfg.budget_group_size,
+        );
+        SessionCore {
+            engine,
+            cfg,
+            warm,
+            reentry,
+            budget_gen,
+            pool: Vec::new(),
+            pending: Vec::new(),
+            in_service: VecDeque::new(),
+            cycles: BTreeMap::new(),
+            accountant: CumulativeAccountant::new(),
+            carried: None,
+            charged: BTreeSet::new(),
+            fates: BTreeMap::new(),
+            spend_by_worker: BTreeMap::new(),
+            reports: Vec::new(),
+            outcomes: VecDeque::new(),
+        }
+    }
+
+    /// Drains the outcome log accumulated since the last drain.
+    pub(crate) fn drain_outcomes(&mut self) -> Vec<Outcome> {
+        self.outcomes.drain(..).collect()
+    }
+
+    /// Settles remaining fates and assembles the aggregate report.
+    pub(crate) fn finish(mut self, task_arrivals: usize, worker_arrivals: usize) -> StreamReport {
+        for p in &self.pending {
+            self.fates.insert(p.arrival.id, TaskFate::Pending);
+        }
+        StreamReport {
+            engine: self.engine.name().to_string(),
+            windows: self.reports,
+            fates: self.fates,
+            task_arrivals,
+            worker_arrivals,
+            spend_by_worker: self.spend_by_worker,
+            warnings: Vec::new(),
+        }
+    }
+
+    /// One window: re-admit returned workers, admit arrivals, drive the
+    /// engine, settle fates. Returns the window's stream-observable
+    /// signals for the adaptive controller.
+    pub(crate) fn step(&mut self, window: &Window, cut: WindowCutDecision) -> StepSignals {
+        let warm = self.warm;
+        let mut returned_now = 0usize;
+        // Returned workers re-enter the pool ahead of the window's fresh
+        // arrivals, in (completion time, id) order — the same rule every
+        // driving mode (flat, drop-pairs, halo) applies, so pool order
+        // (and hence instance shape) stays identical across them.
+        while self
+            .in_service
+            .front()
+            .is_some_and(|s| s.return_time < window.end)
+        {
+            let s = self.in_service.pop_front().expect("front exists");
+            self.outcomes.push_back(Outcome::Returned {
+                worker: s.worker.id,
+                window: window.index,
+                at: s.return_time,
+                cycle: s.cycle,
+            });
+            returned_now += 1;
+            self.pool.push(s.worker);
+        }
+        for w in &window.workers {
+            self.accountant
+                .register(u64::from(w.id), self.cfg.worker_capacity);
+            self.pool.push(*w);
+        }
+        self.pending
+            .extend(window.tasks.iter().map(|&arrival| PendingTask {
+                arrival,
+                ttl: self.cfg.task_ttl,
+            }));
+        let (pool, pending) = (&mut self.pool, &mut self.pending);
+        let (accountant, carried) = (&mut self.accountant, &mut self.carried);
+        let (charged, fates) = (&mut self.charged, &mut self.fates);
+        let spend_by_worker = &mut self.spend_by_worker;
+        let budget_gen = &self.budget_gen;
+
+        // Observed stream state at window close: how long every task
+        // present has been waiting. Matched or not, the formula is the
+        // same — it is the age the window width controls. Only the
+        // adaptive controller consumes it, so static-policy runs skip
+        // the per-window allocation entirely.
+        let ages: Vec<f64> = if matches!(self.cfg.policy, WindowPolicy::Adaptive(_)) {
+            pending
+                .iter()
+                .map(|p| window.end - p.arrival.time)
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut report = WindowReport {
+            index: window.index,
+            start: window.start,
+            end: window.end,
+            tasks_arrived: window.tasks.len(),
+            carried_in: pending.len() - window.tasks.len(),
+            workers_available: pool.len(),
+            matched: 0,
+            expired: 0,
+            carried_out: 0,
+            utility: 0.0,
+            distance: 0.0,
+            epsilon_spent: 0.0,
+            publications: 0,
+            rounds: 0,
+            drive_time: std::time::Duration::ZERO,
+            workers_retired: 0,
+            workers_departed: 0,
+            workers_returned: returned_now,
+            cut,
+        };
+
+        // (pending index, pool index, worker id) of every match.
+        let mut matched_tasks: Vec<(usize, usize, u32)> = Vec::new();
+        if !pending.is_empty() && !pool.is_empty() {
+            let task_ids: Vec<u32> = pending.iter().map(|p| p.arrival.id).collect();
+            let worker_ids: Vec<u32> = pool.iter().map(|w| w.id).collect();
+            let inst = Instance::from_locations(
+                pending.iter().map(|p| p.arrival.task).collect(),
+                pool.iter().map(|w| w.worker).collect(),
+                |i, j| budget_gen.vector(task_ids[i] as usize, worker_ids[j] as usize),
+            );
+            let noise = IdStableNoise {
+                base: SeededNoise::new(self.cfg.params.seed),
+                task_ids: &task_ids,
+                worker_ids: &worker_ids,
+            };
+
+            let board = match carried.take() {
+                Some(prev) if warm => {
+                    let task_to_new: BTreeMap<u32, usize> = task_ids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &id)| (id, i))
+                        .collect();
+                    let worker_to_new: BTreeMap<u32, usize> = worker_ids
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &id)| (id, j))
+                        .collect();
+                    prev.board.carry(
+                        inst.n_tasks(),
+                        inst.n_workers(),
+                        |t_old| task_to_new.get(&prev.task_ids[t_old]).copied(),
+                        |j_old| worker_to_new.get(&prev.worker_ids[j_old]).copied(),
+                    )
+                }
+                _ => Board::new(inst.n_tasks(), inst.n_workers()),
+            };
+            // Only the delta-charging path below reads the pre-drive
+            // spend snapshot; skip the scan everywhere else.
+            let pre_spend: Option<Vec<f64>> = (warm && !self.reentry).then(|| {
+                (0..inst.n_workers())
+                    .map(|j| board.spent_total(j))
+                    .collect()
+            });
+            let pre_pubs = board.publications();
+
+            // With a finite lifetime capacity, warm drives run under
+            // the engine-level remaining-budget hook: every proposal
+            // whose ε would overshoot the worker's remaining lifetime
+            // budget is skipped, so the cap is exact rather than
+            // retire-at-window-close. (Fresh-board drives re-publish
+            // already-charged releases the hook cannot distinguish from
+            // novel spend, so they keep the window-close semantics.)
+            let guard: Option<Vec<f64>> =
+                (warm && self.cfg.worker_capacity.is_finite()).then(|| {
+                    pool.iter()
+                        .map(|w| accountant.remaining(u64::from(w.id)))
+                        .collect()
+                });
+
+            let start = Instant::now();
+            let outcome = if self.engine.supports_warm_start() {
+                match &guard {
+                    Some(g) => self.engine.resume_capped(&inst, board, &noise, g),
+                    None => self.engine.resume(&inst, board, &noise),
+                }
+            } else {
+                // One-shot engines require (and here always get) a
+                // fresh board.
+                let mut board = board;
+                self.engine.assign(&inst, &mut board, &noise)
+            };
+            report.drive_time = start.elapsed();
+
+            if let Some(pre_spend) = &pre_spend {
+                // Warm board, serve-and-leave: a carried board never
+                // re-publishes (slots only advance), so the spend delta
+                // is exactly the novel information released this
+                // window.
+                for (j, w) in pool.iter().enumerate() {
+                    let delta = (outcome.board.spent_total(j) - pre_spend[j]).max(0.0);
+                    accountant.charge(u64::from(w.id), delta);
+                    report.epsilon_spent += delta;
+                    if delta > 0.0 {
+                        *spend_by_worker.entry(w.id).or_insert(0.0) += delta;
+                    }
+                }
+            } else if warm {
+                // Warm board under re-entry: a returned worker's column
+                // is fresh (his history left the board with his old
+                // column), so bit-identical re-publications to
+                // still-pending tasks show up as board spend again. The
+                // shared ledger-ordered dedup — the same helper the
+                // halo coordinator charges through — filters them, so
+                // each release is charged once per lifetime, service
+                // cycles included, and flat and sharded runs sum spend
+                // in the same order.
+                for (j, &wid) in worker_ids.iter().enumerate() {
+                    let novel = novel_ledger_spend(&outcome.board, j, wid, &task_ids, charged);
+                    accountant.charge(u64::from(wid), novel);
+                    report.epsilon_spent += novel;
+                    if novel > 0.0 {
+                        *spend_by_worker.entry(wid).or_insert(0.0) += novel;
+                    }
+                }
+            } else {
+                // Fresh boards re-publish for pairs still pending from
+                // earlier windows. Under id-keyed noise and budgets the
+                // repeat is bit-identical to the original release —
+                // zero new information — so each distinct release is
+                // charged exactly once over the stream's lifetime.
+                // Deliberately NOT `novel_ledger_spend`: this path
+                // predates re-entry and iterates `inst.reach(j)` —
+                // switching to ledger order would reorder the float
+                // sums and move serve-and-leave spend off its
+                // historical bit pattern.
+                for (j, &wid) in worker_ids.iter().enumerate() {
+                    let mut novel = 0.0;
+                    for &i in inst.reach(j) {
+                        if let Some(set) = outcome.board.releases(i, j) {
+                            for (u, rel) in set.releases().iter().enumerate() {
+                                if charged.insert((
+                                    wid,
+                                    task_ids[i],
+                                    u as u32,
+                                    rel.epsilon.to_bits(),
+                                )) {
+                                    novel += rel.epsilon;
+                                }
+                            }
+                        }
+                    }
+                    // Whole-location releases (Geo-I) appear only on
+                    // the ledger, one per drive.
+                    let loc = outcome.board.ledger(j).spent_on(LOCATION_RELEASE);
+                    if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits()))
+                    {
+                        novel += loc;
+                    }
+                    accountant.charge(u64::from(wid), novel);
+                    report.epsilon_spent += novel;
+                    if novel > 0.0 {
+                        *spend_by_worker.entry(wid).or_insert(0.0) += novel;
+                    }
+                }
+            }
+            let m = measure(
+                &inst,
+                &outcome,
+                self.cfg.params.alpha,
+                self.cfg.params.beta,
+                self.engine.accounts_privacy(),
+            );
+            report.matched = m.matched;
+            report.utility = m.total_utility;
+            report.distance = m.total_distance;
+            report.rounds = outcome.rounds;
+            report.publications = outcome.board.publications() - pre_pubs;
+
+            for (i, j) in outcome.assignment.pairs() {
+                let worker_id = worker_ids[j];
+                let latency = window.end - pending[i].arrival.time;
+                fates.insert(
+                    task_ids[i],
+                    TaskFate::Assigned {
+                        window: window.index,
+                        worker: worker_id,
+                        latency,
+                    },
+                );
+                self.outcomes.push_back(Outcome::Assigned {
+                    task: task_ids[i],
+                    worker: worker_id,
+                    window: window.index,
+                    latency,
+                });
+                matched_tasks.push((i, j, worker_id));
+            }
+
+            if warm {
+                *carried = Some(CarriedBoard {
+                    board: outcome.board,
+                    task_ids,
+                    worker_ids,
+                });
+            }
+        }
+
+        // Settle the pool: matched workers depart to serve — for good
+        // under `ServiceModel::Never`, into the in-service set
+        // otherwise — and exhausted workers retire.
+        let departed: BTreeSet<u32> = matched_tasks.iter().map(|&(_, _, w)| w).collect();
+        for &(i, j, wid) in &matched_tasks {
+            let pickup = pending[i]
+                .arrival
+                .task
+                .location
+                .distance(&pool[j].worker.location);
+            match self
+                .cfg
+                .service
+                .duration(pickup, pending[i].arrival.task.value)
+            {
+                Some(d) => {
+                    let return_time = window.end + d;
+                    let cycle = {
+                        let c = self.cycles.entry(wid).or_insert(0);
+                        *c += 1;
+                        *c
+                    };
+                    let entry = InService {
+                        return_time,
+                        cycle,
+                        worker: pool[j],
+                    };
+                    // Kept sorted by (completion time, id) so re-entry
+                    // order is a pure function of the run.
+                    let pos = self
+                        .in_service
+                        .partition_point(|s| (s.return_time, s.worker.id) < (return_time, wid));
+                    self.in_service.insert(pos, entry);
+                    self.outcomes.push_back(Outcome::EnteredService {
+                        worker: wid,
+                        window: window.index,
+                        returns_at: Some(return_time),
+                    });
+                }
+                None => {
+                    accountant.forget(u64::from(wid));
+                    self.outcomes.push_back(Outcome::EnteredService {
+                        worker: wid,
+                        window: window.index,
+                        returns_at: None,
+                    });
+                }
+            }
+        }
+        report.workers_departed = departed.len();
+        let mut retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
+        if warm && self.cfg.worker_capacity.is_finite() {
+            // Hard-cap mode never overshoots, so spend rarely reaches
+            // the capacity exactly; instead a worker is effectively
+            // exhausted once his remaining budget cannot cover even the
+            // cheapest possible release (the draw range's lower bound).
+            for w in pool.iter() {
+                let id = u64::from(w.id);
+                if !departed.contains(&w.id)
+                    && !retired.contains(&id)
+                    && accountant.remaining(id) + 1e-12 < self.cfg.budget_range.0
+                {
+                    accountant.forget(id);
+                    retired.insert(id);
+                }
+            }
+        }
+        // An in-service worker can exhaust his budget at the very match
+        // that sent him out (re-entry keeps him tracked): he finishes
+        // the trip he is on but retires instead of returning.
+        if self.reentry && !retired.is_empty() {
+            self.in_service
+                .retain(|s| !retired.contains(&u64::from(s.worker.id)));
+        }
+        report.workers_retired = retired.len();
+        for &id in &retired {
+            self.outcomes.push_back(Outcome::Retired {
+                worker: id as u32,
+                window: window.index,
+            });
+        }
+        pool.retain(|w| !departed.contains(&w.id) && !retired.contains(&u64::from(w.id)));
+
+        // Settle the tasks: matched leave, survivors age, the too-old
+        // expire.
+        let mut matched_mask = vec![false; pending.len()];
+        for &(i, _, _) in &matched_tasks {
+            matched_mask[i] = true;
+        }
+        let mut next_pending = Vec::with_capacity(pending.len());
+        for (i, mut p) in pending.drain(..).enumerate() {
+            if matched_mask[i] {
+                continue;
+            }
+            p.ttl -= 1;
+            if p.ttl == 0 {
+                fates.insert(
+                    p.arrival.id,
+                    TaskFate::Expired {
+                        window: window.index,
+                    },
+                );
+                self.outcomes.push_back(Outcome::Expired {
+                    task: p.arrival.id,
+                    window: window.index,
+                });
+                report.expired += 1;
+            } else {
+                next_pending.push(p);
+            }
+        }
+        *pending = next_pending;
+        report.carried_out = pending.len();
+        let signals = StepSignals {
+            ages,
+            backlog: pending.len(),
+            pool: pool.len(),
+        };
+        self.reports.push(report);
+        signals
+    }
+}
+
+/// The push-based streaming interface: feed arrival events, advance
+/// the event-time watermark, poll typed [`Outcome`]s, close for the
+/// aggregate report. [`StreamDriver::run`](crate::StreamDriver::run)
+/// is exactly `push* → close` over a pre-built stream.
+///
+/// # Watermark contract
+///
+/// [`advance_to(t)`](StreamSession::advance_to) declares that every
+/// event strictly before `t` has been pushed; pushing an event whose
+/// timestamp lies below the watermark afterwards panics (the window it
+/// belonged to may already be driven). This is the standard
+/// out-of-orderness bound of streaming systems: events may be pushed
+/// in any order ahead of the watermark, and the session sorts them
+/// into windows exactly as [`ArrivalStream`](crate::ArrivalStream)
+/// construction would.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::{Method, Task, Worker};
+/// use dpta_spatial::Point;
+/// use dpta_stream::{
+///     ArrivalEvent, Outcome, StreamConfig, StreamSession, TaskArrival, WindowPolicy,
+///     WorkerArrival,
+/// };
+///
+/// let cfg = StreamConfig {
+///     policy: WindowPolicy::ByTime { width: 60.0 },
+///     ..StreamConfig::default()
+/// };
+/// let engine = Method::Grd.engine(&cfg.params);
+/// let mut session = StreamSession::new(engine.as_ref(), cfg);
+/// session.push(ArrivalEvent::Worker(WorkerArrival {
+///     id: 0,
+///     time: 0.0,
+///     worker: Worker::new(Point::new(0.0, 0.0), 2.0),
+/// }));
+/// session.push(ArrivalEvent::Task(TaskArrival {
+///     id: 0,
+///     time: 10.0,
+///     task: Task::new(Point::new(0.5, 0.0), 4.5),
+/// }));
+/// // Nothing is driven until the watermark passes a window boundary.
+/// session.advance_to(59.0);
+/// assert!(session.poll_outcomes().is_empty());
+/// session.advance_to(61.0);
+/// let outcomes = session.poll_outcomes();
+/// assert!(matches!(outcomes[0], Outcome::Assigned { task: 0, worker: 0, .. }));
+/// let report = session.close();
+/// assert_eq!(report.matched(), 1);
+/// ```
+pub struct StreamSession<'e> {
+    core: Option<SessionCore<'e>>,
+    former: PushWindower,
+    residual: VecDeque<Outcome>,
+    n_tasks: usize,
+    n_workers: usize,
+    task_ids: BTreeSet<u32>,
+    worker_ids: BTreeSet<u32>,
+}
+
+impl<'e> StreamSession<'e> {
+    /// Opens a session for `engine` under `cfg`. Panics on degenerate
+    /// configuration (zero TTL, empty budget group, non-positive
+    /// capacity or window knobs).
+    pub fn new(engine: &'e dyn AssignmentEngine, cfg: StreamConfig) -> Self {
+        assert!(cfg.task_ttl >= 1, "task_ttl must be at least 1");
+        assert!(cfg.budget_group_size >= 1, "budget group must be non-empty");
+        assert!(
+            cfg.worker_capacity > 0.0,
+            "worker_capacity must be positive"
+        );
+        let former = PushWindower::new(cfg.policy, cfg.horizon);
+        StreamSession {
+            core: Some(SessionCore::new(engine, cfg)),
+            former,
+            residual: VecDeque::new(),
+            n_tasks: 0,
+            n_workers: 0,
+            task_ids: BTreeSet::new(),
+            worker_ids: BTreeSet::new(),
+        }
+    }
+
+    /// The configuration this session runs under. Panics once closed.
+    pub fn config(&self) -> &StreamConfig {
+        &self.core.as_ref().expect("session closed").cfg
+    }
+
+    /// The current event-time watermark.
+    pub fn now(&self) -> f64 {
+        self.former.watermark
+    }
+
+    /// Feeds one arrival event. Panics on a non-finite or negative
+    /// timestamp, a timestamp below the watermark (its window may
+    /// already be closed), a duplicate id within an entity kind, or a
+    /// closed session — the same invariants
+    /// [`ArrivalStream::new`](crate::ArrivalStream::new) enforces,
+    /// checked incrementally.
+    pub fn push(&mut self, event: ArrivalEvent) {
+        assert!(self.core.is_some(), "push on a closed session");
+        let t = event.time();
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "arrival time must be finite and >= 0, got {t}"
+        );
+        assert!(
+            t >= self.former.watermark,
+            "late arrival: event at t = {t} is below the watermark {} \
+             (its window may already be driven)",
+            self.former.watermark
+        );
+        let fresh = match &event {
+            ArrivalEvent::Task(a) => {
+                self.n_tasks += 1;
+                self.task_ids.insert(a.id)
+            }
+            ArrivalEvent::Worker(a) => {
+                self.n_workers += 1;
+                self.worker_ids.insert(a.id)
+            }
+        };
+        assert!(fresh, "arrival ids must be unique per entity kind");
+        self.former.push(event);
+    }
+
+    /// Advances the watermark to `t` (monotone; lower values are
+    /// no-ops) and drives every window that closes before it. Outcomes
+    /// accumulate for [`poll_outcomes`](Self::poll_outcomes).
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(self.core.is_some(), "advance_to on a closed session");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "watermark must be finite, got {t}"
+        );
+        if t <= self.former.watermark {
+            return;
+        }
+        self.former.watermark = t;
+        self.former.any_input = true;
+        self.drive_ready(false);
+    }
+
+    /// Drains the typed outcome log accumulated since the last poll.
+    pub fn poll_outcomes(&mut self) -> Vec<Outcome> {
+        let mut out: Vec<Outcome> = self.residual.drain(..).collect();
+        if let Some(core) = self.core.as_mut() {
+            out.extend(core.drain_outcomes());
+        }
+        out
+    }
+
+    /// Drives every remaining window (trailing empties included, up to
+    /// the configured horizon), settles the final fates and returns the
+    /// aggregate report. Outcomes emitted while closing stay pollable.
+    /// Panics if called twice.
+    pub fn close(&mut self) -> StreamReport {
+        assert!(self.core.is_some(), "close on a closed session");
+        self.drive_ready(true);
+        let mut core = self.core.take().expect("core present");
+        self.residual.extend(core.drain_outcomes());
+        core.finish(self.n_tasks, self.n_workers)
+    }
+
+    fn drive_ready(&mut self, drain: bool) {
+        let core = self.core.as_mut().expect("core present");
+        while let Some(window) = self.former.next_ready(drain) {
+            let signals = core.step(&window, self.former.last_decision);
+            if self.former.needs_feedback() {
+                self.former
+                    .observe(&StepSignals::merge(std::slice::from_ref(&signals)));
+            }
+        }
+    }
+}
+
+/// Incremental window former over pushed events — the push-mode
+/// counterpart of [`Windower`](crate::Windower), forming *identical*
+/// window sequences (same spans, same memberships, same adaptive cuts)
+/// once the same events have gone past it.
+struct PushWindower {
+    policy: WindowPolicy,
+    /// Buffered events, sorted by `(time, workers-before-tasks, id)` —
+    /// the [`ArrivalStream`](crate::ArrivalStream) order.
+    buffer: VecDeque<ArrivalEvent>,
+    watermark: f64,
+    next_start: f64,
+    index: usize,
+    controller: Option<AdaptiveController>,
+    last_decision: WindowCutDecision,
+    /// Highest event timestamp seen.
+    max_event_time: f64,
+    /// Explicit horizon from the configuration.
+    horizon: Option<f64>,
+    /// Anything observed at all (events, an advanced watermark, or an
+    /// explicit horizon): an untouched session closes to zero windows,
+    /// like the batch former on an empty stream.
+    any_input: bool,
+}
+
+impl PushWindower {
+    fn new(policy: WindowPolicy, horizon: Option<f64>) -> Self {
+        let controller = match policy {
+            WindowPolicy::Adaptive(p) => Some(AdaptiveController::new(p)),
+            WindowPolicy::ByTime { width } => {
+                assert!(
+                    width > 0.0 && width.is_finite(),
+                    "window width must be positive, got {width}"
+                );
+                None
+            }
+            WindowPolicy::ByCount { tasks } => {
+                assert!(tasks > 0, "count threshold must be positive");
+                None
+            }
+        };
+        PushWindower {
+            policy,
+            buffer: VecDeque::new(),
+            watermark: 0.0,
+            next_start: 0.0,
+            index: 0,
+            controller,
+            last_decision: WindowCutDecision::Scheduled,
+            max_event_time: 0.0,
+            horizon,
+            any_input: horizon.is_some(),
+        }
+    }
+
+    fn needs_feedback(&self) -> bool {
+        self.controller.is_some()
+    }
+
+    fn observe(&mut self, fb: &WindowFeedback) {
+        if let Some(c) = self.controller.as_mut() {
+            c.observe(fb);
+        }
+    }
+
+    fn push(&mut self, event: ArrivalEvent) {
+        self.any_input = true;
+        self.max_event_time = self.max_event_time.max(event.time());
+        // Insertion keeps the stream sort order; pushes are usually
+        // near the tail, so walk back from the end.
+        let key = |e: &ArrivalEvent| (e.time(), e.kind_rank(), e.id());
+        let k = key(&event);
+        let mut pos = self.buffer.len();
+        while pos > 0 && key(&self.buffer[pos - 1]) > k {
+            pos -= 1;
+        }
+        self.buffer.insert(pos, event);
+    }
+
+    /// Last instant the window sequence must cover once closing.
+    fn span(&self) -> f64 {
+        self.max_event_time
+            .max(self.horizon.unwrap_or(0.0))
+            .max(self.watermark)
+    }
+
+    /// The next window that is certainly complete: bounded by the
+    /// watermark in streaming mode, by the span in drain mode.
+    fn next_ready(&mut self, drain: bool) -> Option<Window> {
+        if !self.any_input {
+            return None;
+        }
+        assert!(
+            self.index <= MAX_WINDOWS,
+            "windowing generated more than {MAX_WINDOWS} windows — widen the window"
+        );
+        match self.policy {
+            WindowPolicy::ByTime { width } => self.next_by_time(width, drain),
+            WindowPolicy::ByCount { tasks } => self.next_by_count(tasks, drain),
+            WindowPolicy::Adaptive(_) => self.next_adaptive(drain),
+        }
+    }
+
+    fn take_window(&mut self, start: f64, end: f64, upto: usize) -> Window {
+        let mut window = Window {
+            index: self.index,
+            start,
+            end,
+            tasks: Vec::new(),
+            workers: Vec::new(),
+        };
+        for e in self.buffer.drain(..upto) {
+            match e {
+                ArrivalEvent::Task(t) => window.tasks.push(t),
+                ArrivalEvent::Worker(w) => window.workers.push(w),
+            }
+        }
+        self.index += 1;
+        self.next_start = end;
+        window
+    }
+
+    fn next_by_time(&mut self, width: f64, drain: bool) -> Option<Window> {
+        // Boundaries are `k·width`, never accumulated addition: the
+        // batch former anchors windows the same way, and for widths
+        // with no exact binary representation an accumulated
+        // `end + width` would drift off the `k·width` grid after a few
+        // windows — enough to put boundary-timed events in different
+        // windows than the sharded runners (which window through the
+        // batch former) and break the bit-for-bit equivalence gates.
+        let start = self.index as f64 * width;
+        let end = (self.index + 1) as f64 * width;
+        // Fail fast on degenerate widths, like the batch former's
+        // span/width guard, instead of grinding through 2^20 driven
+        // windows before the index backstop fires.
+        let covered = if drain { self.span() } else { self.watermark };
+        assert!(
+            covered / width < MAX_WINDOWS as f64,
+            "width {width} s over a {covered} s span would generate more than \
+             {MAX_WINDOWS} windows — widen the window"
+        );
+        if drain {
+            if self.buffer.is_empty() && start > self.span() {
+                return None;
+            }
+        } else if end > self.watermark {
+            return None;
+        }
+        let upto = self.buffer.partition_point(|e| e.time() < end);
+        self.last_decision = WindowCutDecision::Scheduled;
+        Some(self.take_window(start, end, upto))
+    }
+
+    fn next_by_count(&mut self, tasks: usize, drain: bool) -> Option<Window> {
+        // The n-th buffered task closes the window at its timestamp;
+        // everything after it (ties included) falls to the next window,
+        // exactly like the batch former's stream-order cut.
+        let mut seen = 0usize;
+        let mut cut: Option<(usize, f64)> = None;
+        for (k, e) in self.buffer.iter().enumerate() {
+            if let ArrivalEvent::Task(t) = e {
+                seen += 1;
+                if seen == tasks {
+                    cut = Some((k, t.time));
+                    break;
+                }
+            }
+        }
+        self.last_decision = WindowCutDecision::Scheduled;
+        match cut {
+            // Streaming mode can only cut strictly below the watermark:
+            // a still-unpushed event could tie with the closing task.
+            Some((k, t)) if drain || t < self.watermark => {
+                Some(self.take_window(self.next_start, t, k + 1))
+            }
+            _ if drain && !self.buffer.is_empty() => {
+                // Final partial window: everything left, closed at the
+                // covered span (the batch former's trailing rule).
+                let end = self.span().max(self.next_start);
+                let upto = self.buffer.len();
+                Some(self.take_window(self.next_start, end, upto))
+            }
+            _ => None,
+        }
+    }
+
+    fn next_adaptive(&mut self, drain: bool) -> Option<Window> {
+        let controller = self.controller.as_ref().expect("adaptive former");
+        let start = self.next_start;
+        let sched_end = start + controller.width;
+        let complete = drain || sched_end <= self.watermark;
+        if drain && self.buffer.is_empty() && start > self.span() {
+            return None;
+        }
+        // Scan for a burst cut among events that are certainly final:
+        // all of them when the scheduled end is covered, only those
+        // strictly below the watermark otherwise.
+        let limit = if complete {
+            sched_end
+        } else {
+            self.watermark.min(sched_end)
+        };
+        let mut cut: Option<(usize, f64)> = None;
+        if !controller.starved {
+            let mut seen = 0usize;
+            for (k, e) in self.buffer.iter().enumerate() {
+                if e.time() >= limit {
+                    break;
+                }
+                if let ArrivalEvent::Task(t) = e {
+                    seen += 1;
+                    if seen == controller.policy.burst_tasks {
+                        cut = Some((k, t.time));
+                        break;
+                    }
+                }
+            }
+        }
+        match cut {
+            Some((k, t)) => {
+                // ByCount-style cut: the closing task's time is the
+                // boundary, and the cut also halves the width — the
+                // count trigger firing first is direct evidence the
+                // width is too wide for the current arrival rate.
+                let c = self.controller.as_mut().expect("adaptive former");
+                c.width = (c.width * 0.5).max(c.policy.min_width);
+                self.last_decision = WindowCutDecision::Burst;
+                Some(self.take_window(start, t, k + 1))
+            }
+            None if complete => {
+                let decision = controller.width_decision();
+                let upto = self.buffer.partition_point(|e| e.time() < sched_end);
+                self.last_decision = decision;
+                Some(self.take_window(start, sched_end, upto))
+            }
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::StreamDriver;
+    use crate::event::{ArrivalStream, TaskArrival};
+    use crate::window::AdaptivePolicy;
+    use dpta_core::{Method, Task, Worker};
+    use dpta_spatial::Point;
+
+    fn task(id: u32, time: f64, x: f64) -> ArrivalEvent {
+        ArrivalEvent::Task(TaskArrival {
+            id,
+            time,
+            task: Task::new(Point::new(x, 0.5), 4.5),
+        })
+    }
+
+    fn worker(id: u32, time: f64, x: f64, r: f64) -> ArrivalEvent {
+        ArrivalEvent::Worker(WorkerArrival {
+            id,
+            time,
+            worker: Worker::new(Point::new(x, 0.0), r),
+        })
+    }
+
+    fn busy_stream() -> ArrivalStream {
+        let mut events = Vec::new();
+        for k in 0..5u32 {
+            events.push(worker(k, 7.0 * k as f64, k as f64, 2.5));
+        }
+        for k in 0..12u32 {
+            events.push(task(k, 5.0 + 23.0 * k as f64, (k % 5) as f64));
+        }
+        ArrivalStream::new(events)
+    }
+
+    /// Pushing a stream's events and closing must reproduce
+    /// `StreamDriver::run` exactly, for every policy family.
+    #[test]
+    fn session_drain_equals_driver_run_across_policies() {
+        let stream = busy_stream();
+        for policy in [
+            WindowPolicy::ByTime { width: 60.0 },
+            WindowPolicy::ByCount { tasks: 4 },
+            WindowPolicy::Adaptive(AdaptivePolicy {
+                base_width: 60.0,
+                min_width: 10.0,
+                max_width: 240.0,
+                burst_tasks: 3,
+                target_p95: 45.0,
+            }),
+        ] {
+            let cfg = StreamConfig {
+                policy,
+                ..StreamConfig::default()
+            };
+            for method in [Method::Puce, Method::Grd] {
+                let engine = method.engine(&cfg.params);
+                let direct = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
+                let mut session = StreamSession::new(engine.as_ref(), cfg.clone());
+                for e in stream.events() {
+                    session.push(*e);
+                }
+                let pushed = session.close();
+                assert_eq!(
+                    direct.without_timing(),
+                    pushed.without_timing(),
+                    "{method} under {policy:?}"
+                );
+            }
+        }
+    }
+
+    /// Interleaving pushes with watermark advances must not change the
+    /// run: windows close identically whether events are drained in one
+    /// go or as time passes.
+    #[test]
+    fn incremental_advance_matches_one_shot_close() {
+        let stream = busy_stream();
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 45.0 },
+            ..StreamConfig::default()
+        };
+        let engine = Method::Puce.engine(&cfg.params);
+        let direct = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
+
+        let mut session = StreamSession::new(engine.as_ref(), cfg);
+        let mut outcomes = Vec::new();
+        for e in stream.events() {
+            // Watermark trails the event times: everything before this
+            // arrival is final.
+            session.advance_to(e.time());
+            session.push(*e);
+            outcomes.extend(session.poll_outcomes());
+        }
+        let report = session.close();
+        outcomes.extend(session.poll_outcomes());
+        assert_eq!(direct.without_timing(), report.without_timing());
+        let assigned = outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Assigned { .. }))
+            .count();
+        assert_eq!(assigned, report.matched());
+        let expired = outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Expired { .. }))
+            .count();
+        assert_eq!(expired, report.expired());
+    }
+
+    #[test]
+    fn by_time_boundaries_stay_on_the_k_width_grid() {
+        // Regression: a width with no exact binary representation must
+        // not drift off the `k·width` grid the batch former (and hence
+        // the sharded runners) anchors to — accumulated addition did.
+        let stream = busy_stream();
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 0.7 },
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&cfg.params);
+        let report = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
+        let batch = crate::window::WindowPolicy::windows(&cfg.policy, &stream, None);
+        assert_eq!(report.windows.len(), batch.len());
+        for (w, b) in report.windows.iter().zip(&batch) {
+            assert_eq!((w.start, w.end), (b.start, b.end), "window {}", w.index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "widen the window")]
+    fn degenerate_widths_fail_fast() {
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 1e-6 },
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&cfg.params);
+        let mut session = StreamSession::new(engine.as_ref(), cfg);
+        session.push(task(0, 100_000.0, 0.0));
+        let _ = session.close();
+    }
+
+    #[test]
+    #[should_panic(expected = "late arrival")]
+    fn late_pushes_panic() {
+        let cfg = StreamConfig::default();
+        let engine = Method::Grd.engine(&cfg.params);
+        let mut session = StreamSession::new(engine.as_ref(), cfg);
+        session.advance_to(100.0);
+        session.push(task(0, 50.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unique per entity kind")]
+    fn duplicate_ids_panic() {
+        let cfg = StreamConfig::default();
+        let engine = Method::Grd.engine(&cfg.params);
+        let mut session = StreamSession::new(engine.as_ref(), cfg);
+        session.push(task(3, 1.0, 0.0));
+        session.push(task(3, 2.0, 0.0));
+    }
+
+    #[test]
+    fn untouched_session_closes_to_an_empty_report() {
+        let cfg = StreamConfig::default();
+        let engine = Method::Grd.engine(&cfg.params);
+        let mut session = StreamSession::new(engine.as_ref(), cfg);
+        let report = session.close();
+        assert!(report.windows.is_empty());
+        assert_eq!(report.task_arrivals, 0);
+    }
+
+    #[test]
+    fn out_of_order_pushes_ahead_of_the_watermark_are_sorted() {
+        let cfg = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 50.0 },
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&cfg.params);
+        let mut session = StreamSession::new(engine.as_ref(), cfg.clone());
+        // Pushed out of order; the stream constructor would sort them.
+        session.push(task(1, 80.0, 1.0));
+        session.push(worker(0, 0.0, 1.0, 2.0));
+        session.push(task(0, 10.0, 1.0));
+        let pushed = session.close();
+        let stream = ArrivalStream::new(vec![
+            worker(0, 0.0, 1.0, 2.0),
+            task(0, 10.0, 1.0),
+            task(1, 80.0, 1.0),
+        ]);
+        let direct = StreamDriver::new(engine.as_ref(), cfg).run(&stream);
+        assert_eq!(direct.without_timing(), pushed.without_timing());
+    }
+
+    #[test]
+    fn reentry_recycles_the_worker_with_the_same_id() {
+        // One worker, three reachable tasks spread over time: under
+        // serve-and-leave only the first is served; with a short fixed
+        // service the same worker (same id) returns and serves all.
+        let events: Vec<ArrivalEvent> = vec![
+            worker(7, 0.0, 0.0, 3.0),
+            task(0, 10.0, 0.5),
+            task(1, 130.0, 0.6),
+            task(2, 250.0, 0.4),
+        ];
+        let stream = ArrivalStream::new(events);
+        let base = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 60.0 },
+            task_ttl: 10,
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&base.params);
+
+        let never = StreamDriver::new(engine.as_ref(), base.clone()).run(&stream);
+        assert_eq!(never.matched(), 1, "serve-and-leave serves once");
+        assert_eq!(never.returns(), 0);
+
+        let cfg = StreamConfig {
+            service: ServiceModel::Fixed { secs: 30.0 },
+            ..base
+        };
+        let reentry = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&stream);
+        reentry.assert_conservation();
+        assert_eq!(reentry.matched(), 3, "the recycled worker serves all");
+        assert_eq!(reentry.returns(), 2, "two completed cycles re-admitted");
+        for fate in reentry.fates.values() {
+            assert!(
+                matches!(fate, TaskFate::Assigned { worker: 7, .. }),
+                "every match must carry the same logical worker id"
+            );
+        }
+        // The outcome log narrates the cycles.
+        let mut session = StreamSession::new(engine.as_ref(), cfg);
+        for e in stream.events() {
+            session.push(*e);
+        }
+        let _ = session.close();
+        let outcomes = session.poll_outcomes();
+        let cycles: Vec<usize> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Returned {
+                    worker: 7, cycle, ..
+                } => Some(*cycle),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cycles, vec![1, 2]);
+    }
+
+    #[test]
+    fn huge_service_durations_degenerate_to_serve_and_leave() {
+        // A duration beyond the stream horizon means nobody ever
+        // returns: fates, spend and window cuts must equal the
+        // serve-and-leave run's exactly.
+        let stream = busy_stream();
+        let base = StreamConfig {
+            policy: WindowPolicy::ByTime { width: 60.0 },
+            ..StreamConfig::default()
+        };
+        for method in [Method::Puce, Method::Pgt, Method::Grd] {
+            let engine = method.engine(&base.params);
+            let never = StreamDriver::new(engine.as_ref(), base.clone()).run(&stream);
+            let parked = StreamDriver::new(
+                engine.as_ref(),
+                StreamConfig {
+                    service: ServiceModel::Fixed { secs: 1e9 },
+                    ..base.clone()
+                },
+            )
+            .run(&stream);
+            assert_eq!(never.fates, parked.fates, "{method}");
+            assert_eq!(never.spend_by_worker, parked.spend_by_worker, "{method}");
+            let cuts = |r: &StreamReport| {
+                r.windows
+                    .iter()
+                    .map(|w| (w.start, w.end, w.cut))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(cuts(&never), cuts(&parked), "{method}");
+            assert_eq!(parked.returns(), 0, "{method}");
+        }
+    }
+
+    #[test]
+    fn per_trip_service_durations_scale_with_the_task_value() {
+        let value_model = ValueModel::PerTripKm {
+            base: 2.0,
+            per_km: 0.8,
+        };
+        let service = ServiceModel::PerTripKm {
+            value_model,
+            secs_per_km: 60.0,
+        };
+        // A 6-value task encodes a 5 km trip; with a 1 km pickup leg the
+        // service runs 6 km at 60 s/km.
+        assert_eq!(service.duration(1.0, 6.0), Some(360.0));
+        // Constant-value tasks carry no trip: pickup leg only.
+        let service = ServiceModel::PerTripKm {
+            value_model: ValueModel::Constant,
+            secs_per_km: 60.0,
+        };
+        assert_eq!(service.duration(2.0, 4.5), Some(120.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "service duration must be positive")]
+    fn degenerate_service_durations_panic() {
+        let cfg = StreamConfig {
+            service: ServiceModel::Fixed { secs: 0.0 },
+            ..StreamConfig::default()
+        };
+        let engine = Method::Grd.engine(&cfg.params);
+        let _ = StreamSession::new(engine.as_ref(), cfg);
+    }
+}

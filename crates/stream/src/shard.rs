@@ -17,10 +17,11 @@
 //! The protocol is documented in `ARCHITECTURE.md` ("Sharding & the
 //! halo protocol").
 
-use crate::driver::{Session, StepSignals, StreamConfig, StreamDriver};
+use crate::driver::{StreamConfig, StreamDriver};
 use crate::event::ArrivalStream;
 use crate::halo;
 use crate::metrics::{ShardedReport, StreamReport};
+use crate::session::{SessionCore, StepSignals};
 use crate::window::{Window, WindowPolicy, Windower};
 use dpta_core::AssignmentEngine;
 use dpta_spatial::GridPartition;
@@ -282,8 +283,8 @@ fn run_drop_pairs_adaptive(
     let horizon = cfg.horizon.unwrap_or_else(|| stream.horizon());
     let mut former = Windower::new(cfg.policy, stream, Some(horizon));
     let n_shards = partition.n_shards();
-    let mut sessions: Vec<Session> = (0..n_shards)
-        .map(|_| Session::new(engine, cfg.clone()))
+    let mut sessions: Vec<SessionCore> = (0..n_shards)
+        .map(|_| SessionCore::new(engine, cfg.clone()))
         .collect();
     let mut shard_tasks = vec![0usize; n_shards];
     let mut shard_workers = vec![0usize; n_shards];

@@ -268,15 +268,17 @@ impl WindowPolicy {
 
 /// The adaptive controller's mutable half: current width plus the
 /// last feedback's starvation flag (which gates the burst cut).
+/// Shared with the push-based [`StreamSession`](crate::StreamSession)
+/// windower, which replays exactly this state machine incrementally.
 #[derive(Debug, Clone)]
-struct AdaptiveController {
-    policy: AdaptivePolicy,
-    width: f64,
-    starved: bool,
+pub(crate) struct AdaptiveController {
+    pub(crate) policy: AdaptivePolicy,
+    pub(crate) width: f64,
+    pub(crate) starved: bool,
 }
 
 impl AdaptiveController {
-    fn new(policy: AdaptivePolicy) -> Self {
+    pub(crate) fn new(policy: AdaptivePolicy) -> Self {
         policy.validate();
         AdaptiveController {
             policy,
@@ -292,7 +294,7 @@ impl AdaptiveController {
     /// overshoot halves the width down to the floor. Calm feedback
     /// leaves the width alone (a calm narrow width keeps latency low
     /// for free; the next starvation signal widens it again).
-    fn observe(&mut self, fb: &WindowFeedback) {
+    pub(crate) fn observe(&mut self, fb: &WindowFeedback) {
         self.starved = fb.backlog > fb.pool && fb.backlog > 0;
         if self.starved {
             self.width = (self.width * 2.0).min(self.policy.max_width);
@@ -302,7 +304,7 @@ impl AdaptiveController {
     }
 
     /// The decision label for a window of the current width.
-    fn width_decision(&self) -> WindowCutDecision {
+    pub(crate) fn width_decision(&self) -> WindowCutDecision {
         if self.width < self.policy.base_width {
             WindowCutDecision::Narrowed
         } else if self.width > self.policy.base_width {

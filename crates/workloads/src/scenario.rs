@@ -61,6 +61,41 @@ pub enum ValueModel {
     },
 }
 
+impl ValueModel {
+    /// Decodes the trip length (km) back out of a task value priced by
+    /// this model — the inverse of the `PerTripKm` pricing formula,
+    /// clamped at zero. [`Constant`](ValueModel::Constant) values carry
+    /// no trip, so the decode is zero.
+    ///
+    /// The streaming layer's service-duration model rides on this: a
+    /// matched worker's time-in-service is derived from the trip length
+    /// its task's value encodes, without the stream having to carry
+    /// drop-off locations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpta_workloads::ValueModel;
+    ///
+    /// let pricing = ValueModel::PerTripKm { base: 2.0, per_km: 0.8 };
+    /// assert!((pricing.trip_km(6.0) - 5.0).abs() < 1e-12);
+    /// assert_eq!(pricing.trip_km(1.0), 0.0); // below flag-fall: clamped
+    /// assert_eq!(ValueModel::Constant.trip_km(4.5), 0.0);
+    /// ```
+    pub fn trip_km(&self, value: f64) -> f64 {
+        match *self {
+            ValueModel::Constant => 0.0,
+            ValueModel::PerTripKm { base, per_km } => {
+                if per_km > 0.0 {
+                    ((value - base) / per_km).max(0.0)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
 /// One experimental configuration (Table X). Defaults are the bold
 /// values: worker-task ratio 2, task value 4.5, worker range 1.4,
 /// privacy budget range [0.5, 1.75], budget group size 7.

@@ -1,9 +1,10 @@
-//! The streaming pipeline, end to end: a day of bursty arrivals,
-//! time-windowed batching, three engines racing the same stream, budget
-//! depletion retiring the fleet, the sharded mode agreeing exactly
-//! with the unsharded run on shard-disjoint input, and the
-//! boundary-halo protocol recovering the cross-shard pairs drop-pairs
-//! sharding loses.
+//! The streaming pipeline, end to end: a day of bursty arrivals pushed
+//! through the event-driven `StreamSession` API, three engines racing
+//! the same stream, worker re-entry recycling the fleet, budget
+//! depletion retiring it, the sharded mode agreeing exactly with the
+//! unsharded run on shard-disjoint input, and the boundary-halo
+//! protocol recovering the cross-shard pairs drop-pairs sharding
+//! loses.
 //!
 //! ```sh
 //! cargo run -p dpta --example streaming
@@ -40,20 +41,62 @@ fn main() {
         arrivals.horizon()
     );
 
-    // ── 2. Three engines, same stream, five-minute windows ────────────
+    // ── 2. The session API: push events, advance time, poll outcomes ──
+    // This is the production-dispatch shape: events are fed one at a
+    // time, `advance_to` declares the event-time watermark, and every
+    // decision (assignment, expiry, retirement, worker return) is
+    // emitted as a typed outcome as soon as its window settles.
     let cfg = StreamConfig {
         policy: WindowPolicy::ByTime { width: 300.0 },
         ..StreamConfig::default()
     };
     for method in [Method::Puce, Method::Pgt, Method::Grd] {
         let engine = method.engine(&cfg.params);
-        let report = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&arrivals);
+        let mut session = StreamSession::new(engine.as_ref(), cfg.clone());
+        let mut live_assignments = 0usize;
+        for e in arrivals.events() {
+            session.advance_to(e.time()); // everything before `e` is final
+            session.push(*e);
+            live_assignments += session
+                .poll_outcomes()
+                .iter()
+                .filter(|o| matches!(o, Outcome::Assigned { .. }))
+                .count();
+        }
+        let report = session.close(); // drains the trailing windows
+        live_assignments += session
+            .poll_outcomes()
+            .iter()
+            .filter(|o| matches!(o, Outcome::Assigned { .. }))
+            .count();
         let (matched, expired, pending) = report.assert_conservation();
         println!("{}", report.render());
         assert_eq!(matched + expired + pending, arrivals.n_tasks());
+        assert_eq!(live_assignments, matched, "the outcome log saw every match");
     }
 
-    // ── 3. Budget depletion: a fleet that burns out ───────────────────
+    // ── 3. Worker re-entry: the fleet recycles ────────────────────────
+    // A ServiceModel holds matched workers out for a service duration
+    // and returns them — same logical id, continuous lifetime budget —
+    // so a scarce fleet serves more of the stream than serve-and-leave
+    // (ServiceModel::Never, the default) can.
+    let engine = Method::Puce.engine(&cfg.params);
+    let never = StreamDriver::new(engine.as_ref(), cfg.clone()).run(&arrivals);
+    let recycled_cfg = StreamConfig {
+        service: ServiceModel::Fixed { secs: 240.0 },
+        ..cfg.clone()
+    };
+    let recycled = StreamDriver::new(engine.as_ref(), recycled_cfg).run(&arrivals);
+    println!(
+        "PUCE with 240 s services: {} matched over {} completed cycles \
+         (serve-and-leave matched {})\n",
+        recycled.matched(),
+        recycled.returns(),
+        never.matched(),
+    );
+    assert!(recycled.matched() >= never.matched());
+
+    // ── 4. Budget depletion: a fleet that burns out ───────────────────
     let tight = StreamConfig {
         worker_capacity: 1.0, // one-ish release per worker lifetime
         ..cfg.clone()
@@ -66,7 +109,7 @@ fn main() {
         retired
     );
 
-    // ── 4. Sharded execution: exact on shard-disjoint input ───────────
+    // ── 5. Sharded execution: exact on shard-disjoint input ───────────
     // Four clusters, one per cell of a 2×2 grid; service discs interior
     // to their cells, so no pair ever crosses a boundary.
     let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 100.0, 100.0), 2, 2);
@@ -103,7 +146,7 @@ fn main() {
         flat.total_utility()
     );
 
-    // ── 5. The boundary halo: cross-shard pairs recovered ─────────────
+    // ── 6. The boundary halo: cross-shard pairs recovered ─────────────
     // Move every cluster onto the x = 50 boundary: workers left of it,
     // their only reachable tasks right of it. Drop-pairs sharding loses
     // every pair; the halo protocol routes the boundary workers into

@@ -126,8 +126,9 @@ pub mod prelude {
     pub use dpta_matching::Assignment;
     pub use dpta_spatial::{Circle, GridPartition, Point};
     pub use dpta_stream::{
-        run_sharded, run_sharded_halo, run_sharded_with, ArrivalModel, ArrivalStream,
-        ShardStrategy, StreamConfig, StreamDriver, StreamReport, StreamScenario, WindowPolicy,
+        run_sharded, run_sharded_halo, run_sharded_with, ArrivalModel, ArrivalStream, Outcome,
+        ServiceModel, ShardStrategy, StreamConfig, StreamDriver, StreamReport, StreamScenario,
+        StreamSession, WindowPolicy,
     };
     pub use dpta_workloads::{Dataset, Scenario};
 }
