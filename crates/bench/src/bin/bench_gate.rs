@@ -1,14 +1,15 @@
 //! The CI bench-trajectory gate.
 //!
-//! Runs the four streaming benches (`time_to_drain`, `halo_sharding`,
-//! `adaptive_window`, `reentry_drain`) with the criterion shim's
-//! machine-readable JSON
-//! output, assembles `BENCH_stream.json` (median ns per bench id), and
-//! compares the fresh medians against the committed baseline at the
-//! repo root: any benchmark more than `--max-ratio` (default 3×)
-//! slower fails the gate. On the first run — no committed baseline —
-//! the fresh trajectory is written to the baseline path so CI can
-//! commit it.
+//! Runs the five streaming benches (`time_to_drain`, `halo_sharding`,
+//! `adaptive_window`, `reentry_drain`, `incremental_window`) with the
+//! criterion shim's machine-readable JSON output, assembles
+//! `BENCH_stream.json` (median ns per bench id), prints the derived
+//! cost-ratio columns (halo/drop-pairs, adaptive/static,
+//! delta/scratch), and compares the fresh medians against the
+//! committed baseline at the repo root: any benchmark more than
+//! `--max-ratio` (default 3×) slower fails the gate. On the first run
+//! — no committed baseline — the fresh trajectory is written to the
+//! baseline path so CI can commit it.
 //!
 //! ```text
 //! cargo run --release -p dpta-bench --bin bench_gate -- \
@@ -16,18 +17,20 @@
 //! ```
 
 use dpta_bench::{
-    compare_trajectories, parse_bench_lines, parse_trajectory, render_trajectory, BenchTrajectory,
+    compare_trajectories, parse_bench_lines, parse_trajectory, ratio_columns, render_trajectory,
+    BenchTrajectory,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
 /// The bench binaries the trajectory tracks, in run order.
-const BENCHES: [&str; 4] = [
+const BENCHES: [&str; 5] = [
     "time_to_drain",
     "halo_sharding",
     "adaptive_window",
     "reentry_drain",
+    "incremental_window",
 ];
 
 struct Args {
@@ -119,6 +122,10 @@ fn main() -> ExitCode {
         }
     }
     let _ = std::fs::remove_file(&jsonl);
+
+    for col in ratio_columns(&fresh) {
+        eprintln!("bench_gate: ratio: {col}");
+    }
 
     let rendered = render_trajectory(&fresh);
     if let Some(out) = &args.fresh_out {

@@ -99,6 +99,69 @@ pub fn compare_trajectories(
     (regressions, notes)
 }
 
+/// Derived cost-ratio columns for a trajectory: what the halo protocol
+/// costs over lossy drop-pairs sharding, what the adaptive controller
+/// costs over a static width, and what delta maintenance saves over
+/// from-scratch instance rebuilds — one line per comparable id pair.
+/// `bench_gate` prints these after every run so the ratios the PR
+/// acceptance gates track are visible without opening the JSON.
+pub fn ratio_columns(t: &BenchTrajectory) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut push_pairs = |bench: &str, num_tag: &str, den_tag: &str, label: &str| {
+        let Some(ids) = t.get(bench) else { return };
+        for (id, &num) in ids {
+            let Some(stem) = id.strip_suffix(num_tag) else {
+                continue;
+            };
+            let Some(&den) = ids.get(&format!("{stem}{den_tag}")) else {
+                continue;
+            };
+            if den > 0.0 {
+                out.push(format!("{stem}{label} = {:.2}x", num / den));
+            }
+        }
+    };
+    push_pairs(
+        "halo_sharding",
+        "/halo2x2",
+        "/drop_pairs2x2",
+        " halo/drop_pairs",
+    );
+    if let Some(ids) = t.get("adaptive_window") {
+        for (id, &adaptive) in ids {
+            let Some((stem, burst)) = id.split_once("_adaptive/") else {
+                continue;
+            };
+            let Some(&fixed) = ids.get(&format!("{stem}_time300s/{burst}")) else {
+                continue;
+            };
+            if fixed > 0.0 {
+                out.push(format!(
+                    "{stem}/{burst} adaptive/static = {:.2}x",
+                    adaptive / fixed
+                ));
+            }
+        }
+    }
+    if let Some(ids) = t.get("incremental_window") {
+        for (id, &delta) in ids {
+            let Some(w) = id.strip_prefix("incremental_window/delta/") else {
+                continue;
+            };
+            let Some(&scratch) = ids.get(&format!("incremental_window/scratch/{w}")) else {
+                continue;
+            };
+            if scratch > 0.0 {
+                out.push(format!(
+                    "incremental_window/{w} delta/scratch = {:.2}x",
+                    delta / scratch
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// The small-but-meaningful scale used inside timed benchmark bodies.
 pub fn bench_options() -> RunOptions {
     RunOptions {
@@ -183,6 +246,45 @@ mod tests {
         assert!(text.contains("time_to_drain"));
         let back = parse_trajectory(&text).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn ratio_columns_pair_comparable_ids() {
+        let t = traj(&[
+            (
+                "halo_sharding",
+                &[
+                    ("halo_sharding/GRD/halo2x2", 300.0),
+                    ("halo_sharding/GRD/drop_pairs2x2", 200.0),
+                    ("halo_sharding/GRD/unsharded", 100.0),
+                ],
+            ),
+            (
+                "adaptive_window",
+                &[
+                    ("adaptive_window/GRD_adaptive/burst0.2", 130.0),
+                    ("adaptive_window/GRD_time300s/burst0.2", 100.0),
+                ],
+            ),
+            (
+                "incremental_window",
+                &[
+                    ("incremental_window/delta/w16", 25.0),
+                    ("incremental_window/scratch/w16", 100.0),
+                ],
+            ),
+        ]);
+        let cols = ratio_columns(&t);
+        assert_eq!(cols.len(), 3, "{cols:?}");
+        assert!(cols
+            .iter()
+            .any(|c| c.contains("GRD halo/drop_pairs = 1.50x")), "{cols:?}");
+        assert!(cols
+            .iter()
+            .any(|c| c.contains("GRD/burst0.2 adaptive/static = 1.30x")), "{cols:?}");
+        assert!(cols
+            .iter()
+            .any(|c| c.contains("w16 delta/scratch = 0.25x")), "{cols:?}");
     }
 
     #[test]

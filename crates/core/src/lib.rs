@@ -46,5 +46,5 @@ pub use config::{
 pub use engine::{AssignmentEngine, BudgetRemaining, EngineTrace, Uncapped};
 pub use method::Method;
 pub use metrics::Measures;
-pub use model::{Instance, LinearValue, Task, Worker};
+pub use model::{DeltaInstance, Instance, LinearValue, Task, Worker};
 pub use outcome::{MoveRecord, RunOutcome};

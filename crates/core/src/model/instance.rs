@@ -4,6 +4,7 @@
 use crate::model::{Task, Worker};
 use dpta_dp::BudgetVector;
 use dpta_spatial::{DistanceMatrix, GridIndex};
+use std::sync::Arc;
 
 /// How pair distances are stored.
 ///
@@ -33,7 +34,10 @@ pub struct Instance {
     /// worker `j`, ascending.
     reach: Vec<Vec<usize>>,
     /// `budgets[j][k]` is the budget vector for task `reach[j][k]`.
-    budgets: Vec<Vec<BudgetVector>>,
+    /// Each worker's row sits behind an `Arc` so an incrementally
+    /// maintained instance can share unchanged rows across emissions
+    /// instead of re-cloning one heap vector per feasible pair.
+    budgets: Vec<Arc<Vec<BudgetVector>>>,
 }
 
 impl Instance {
@@ -65,7 +69,38 @@ impl Instance {
                 b.push(budget_fn(i, j));
             }
             reach.push(buf.clone());
-            budgets.push(b);
+            budgets.push(Arc::new(b));
+        }
+        Instance {
+            tasks,
+            workers,
+            store: DistanceStore::Geometric,
+            reach,
+            budgets,
+        }
+    }
+
+    /// Assembles an instance from pre-resolved parts — the emission
+    /// path of [`DeltaInstance`](crate::model::DeltaInstance), which
+    /// maintains reach sets and budget vectors incrementally and hands
+    /// them over here instead of re-deriving them from locations.
+    ///
+    /// Invariants (checked in debug builds): `reach[j]` ascending and
+    /// in range, `budgets[j]` positionally aligned with `reach[j]`.
+    /// Distances are geometric, exactly as in
+    /// [`from_locations`](Instance::from_locations).
+    pub(crate) fn from_parts(
+        tasks: Vec<Task>,
+        workers: Vec<Worker>,
+        reach: Vec<Vec<usize>>,
+        budgets: Vec<Arc<Vec<BudgetVector>>>,
+    ) -> Self {
+        debug_assert_eq!(reach.len(), workers.len());
+        debug_assert_eq!(budgets.len(), workers.len());
+        for (j, r) in reach.iter().enumerate() {
+            debug_assert_eq!(r.len(), budgets[j].len());
+            debug_assert!(r.windows(2).all(|w| w[0] < w[1]), "reach not ascending");
+            debug_assert!(r.iter().all(|&i| i < tasks.len()), "reach out of range");
         }
         Instance {
             tasks,
@@ -103,7 +138,7 @@ impl Instance {
                 }
             }
             reach.push(r);
-            budgets.push(b);
+            budgets.push(Arc::new(b));
         }
         Instance {
             tasks,

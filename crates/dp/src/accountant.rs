@@ -108,9 +108,17 @@ impl PrivacyLedger {
 /// assert_eq!(acc.drain_exhausted(), vec![7]);
 /// assert!(acc.tracked().next().is_none());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct CumulativeAccountant {
-    entries: BTreeMap<u64, Account>,
+    /// Logical id → slot in `slots`, ascending by id. Every public
+    /// iteration (`tracked`, `drain_exhausted`, `total_spent`) walks
+    /// this index, so observable ordering — including float summation
+    /// order — is identical to the old id-keyed map storage.
+    index: BTreeMap<u64, u32>,
+    /// Dense account storage; slots are never reused, a forgotten or
+    /// drained entity leaves a `None` tombstone so outstanding
+    /// [`AccountId`]s can never alias a different entity.
+    slots: Vec<Option<Account>>,
 }
 
 /// One tracked entity: lifetime capacity, committed spend, and budget
@@ -122,10 +130,34 @@ struct Account {
     reserved: f64,
 }
 
+/// A dense handle to one tracked entity, obtained from
+/// [`CumulativeAccountant::resolve`].
+///
+/// Hot per-proposal paths (budget guards, release charging) resolve a
+/// worker's logical id once per window and then use the `*_at` methods,
+/// which are plain vector lookups — no id hashing or tree descent per
+/// proposal. A handle stays valid until its entity is removed
+/// ([`forget`](CumulativeAccountant::forget) /
+/// [`drain_exhausted`](CumulativeAccountant::drain_exhausted)); after
+/// that, read accessors return zero (like unknown ids) and mutating
+/// accessors panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccountId(u32);
+
 impl CumulativeAccountant {
     /// Creates an accountant tracking no entities.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn get(&self, id: u64) -> Option<&Account> {
+        let slot = *self.index.get(&id)?;
+        self.slots[slot as usize].as_ref()
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut Account> {
+        let slot = *self.index.get(&id)?;
+        self.slots[slot as usize].as_mut()
     }
 
     /// Starts tracking `id` with the given lifetime budget capacity.
@@ -137,14 +169,27 @@ impl CumulativeAccountant {
             capacity > 0.0 && !capacity.is_nan(),
             "capacity must be positive, got {capacity}"
         );
-        self.entries
-            .entry(id)
-            .and_modify(|a| a.capacity = capacity)
-            .or_insert(Account {
-                capacity,
-                spent: 0.0,
-                reserved: 0.0,
-            });
+        match self.get_mut(id) {
+            Some(a) => a.capacity = capacity,
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(Account {
+                    capacity,
+                    spent: 0.0,
+                    reserved: 0.0,
+                }));
+                self.index.insert(id, slot);
+            }
+        }
+    }
+
+    /// The dense handle for `id`, if it is currently tracked. Resolve
+    /// once per window, then use [`charge_at`](Self::charge_at) /
+    /// [`remaining_at`](Self::remaining_at) and friends in per-proposal
+    /// loops.
+    pub fn resolve(&self, id: u64) -> Option<AccountId> {
+        let slot = *self.index.get(&id)?;
+        self.slots[slot as usize].as_ref().map(|_| AccountId(slot))
     }
 
     /// Charges `epsilon` (≥ 0) against `id`'s lifetime budget. Panics if
@@ -155,9 +200,21 @@ impl CumulativeAccountant {
             epsilon.is_finite() && epsilon >= 0.0,
             "charge must be finite and >= 0, got {epsilon}"
         );
-        self.entries
-            .get_mut(&id)
+        self.get_mut(id)
             .unwrap_or_else(|| panic!("entity {id} was never registered"))
+            .spent += epsilon;
+    }
+
+    /// Handle counterpart of [`charge`](Self::charge); panics on a
+    /// stale handle.
+    pub fn charge_at(&mut self, at: AccountId, epsilon: f64) {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "charge must be finite and >= 0, got {epsilon}"
+        );
+        self.slots[at.0 as usize]
+            .as_mut()
+            .expect("stale account handle")
             .spent += epsilon;
     }
 
@@ -170,16 +227,28 @@ impl CumulativeAccountant {
             epsilon.is_finite() && epsilon >= 0.0,
             "reservation must be finite and >= 0, got {epsilon}"
         );
-        self.entries
-            .get_mut(&id)
+        self.get_mut(id)
             .unwrap_or_else(|| panic!("entity {id} was never registered"))
+            .reserved += epsilon;
+    }
+
+    /// Handle counterpart of [`reserve`](Self::reserve); panics on a
+    /// stale handle.
+    pub fn reserve_at(&mut self, at: AccountId, epsilon: f64) {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "reservation must be finite and >= 0, got {epsilon}"
+        );
+        self.slots[at.0 as usize]
+            .as_mut()
+            .expect("stale account handle")
             .reserved += epsilon;
     }
 
     /// Budget currently reserved against `id` and awaiting commit (zero
     /// for unknown ids).
     pub fn reserved(&self, id: u64) -> f64 {
-        self.entries.get(&id).map_or(0.0, |a| a.reserved)
+        self.get(id).map_or(0.0, |a| a.reserved)
     }
 
     /// Converts `id`'s whole pending reservation into committed spend
@@ -187,8 +256,7 @@ impl CumulativeAccountant {
     /// reserved; panics if the id was never registered.
     pub fn commit(&mut self, id: u64) -> f64 {
         let a = self
-            .entries
-            .get_mut(&id)
+            .get_mut(id)
             .unwrap_or_else(|| panic!("entity {id} was never registered"));
         let amount = a.reserved;
         a.spent += amount;
@@ -199,7 +267,7 @@ impl CumulativeAccountant {
     /// Discards `id`'s pending reservation (the publications never
     /// happened) and returns the released amount. Zero for unknown ids.
     pub fn rollback(&mut self, id: u64) -> f64 {
-        self.entries.get_mut(&id).map_or(0.0, |a| {
+        self.get_mut(id).map_or(0.0, |a| {
             let amount = a.reserved;
             a.reserved = 0.0;
             amount
@@ -208,21 +276,33 @@ impl CumulativeAccountant {
 
     /// Cumulative committed spend of `id` (zero for unknown ids).
     pub fn spent(&self, id: u64) -> f64 {
-        self.entries.get(&id).map_or(0.0, |a| a.spent)
+        self.get(id).map_or(0.0, |a| a.spent)
+    }
+
+    /// Handle counterpart of [`spent`](Self::spent); zero for stale
+    /// handles.
+    pub fn spent_at(&self, at: AccountId) -> f64 {
+        self.slots[at.0 as usize].map_or(0.0, |a| a.spent)
     }
 
     /// Remaining lifetime budget of `id` (zero for unknown ids), net of
     /// both committed spend and pending reservations, clamped at zero.
     pub fn remaining(&self, id: u64) -> f64 {
-        self.entries
-            .get(&id)
+        self.get(id)
+            .map_or(0.0, |a| (a.capacity - a.spent - a.reserved).max(0.0))
+    }
+
+    /// Handle counterpart of [`remaining`](Self::remaining); zero for
+    /// stale handles.
+    pub fn remaining_at(&self, at: AccountId) -> f64 {
+        self.slots[at.0 as usize]
             .map_or(0.0, |a| (a.capacity - a.spent - a.reserved).max(0.0))
     }
 
     /// Whether `id` has spent its whole capacity (unknown ids count as
     /// exhausted — they have nothing left to spend).
     pub fn is_exhausted(&self, id: u64) -> bool {
-        self.entries.get(&id).is_none_or(|a| {
+        self.get(id).is_none_or(|a| {
             // Tolerance mirrors the ledger-vs-board float comparisons.
             a.spent >= a.capacity - 1e-12
         })
@@ -232,13 +312,16 @@ impl CumulativeAccountant {
     /// the retirement step the stream driver runs after each window.
     pub fn drain_exhausted(&mut self) -> Vec<u64> {
         let gone: Vec<u64> = self
-            .entries
+            .index
             .iter()
-            .filter(|(_, a)| a.spent >= a.capacity - 1e-12)
+            .filter(|(_, &slot)| {
+                self.slots[slot as usize].is_some_and(|a| a.spent >= a.capacity - 1e-12)
+            })
             .map(|(&id, _)| id)
             .collect();
         for id in &gone {
-            self.entries.remove(id);
+            let slot = self.index.remove(id).expect("drained id was indexed");
+            self.slots[slot as usize] = None;
         }
         gone
     }
@@ -246,17 +329,27 @@ impl CumulativeAccountant {
     /// Stops tracking `id` regardless of its state (e.g. a worker who
     /// departed by being matched). Returns whether it was tracked.
     pub fn forget(&mut self, id: u64) -> bool {
-        self.entries.remove(&id).is_some()
+        match self.index.remove(&id) {
+            Some(slot) => {
+                self.slots[slot as usize] = None;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Ids still tracked, ascending.
     pub fn tracked(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.keys().copied()
+        self.index.keys().copied()
     }
 
     /// Total spend across all tracked entities.
     pub fn total_spent(&self) -> f64 {
-        self.entries.values().map(|a| a.spent).sum()
+        self.index
+            .values()
+            .filter_map(|&slot| self.slots[slot as usize])
+            .map(|a| a.spent)
+            .sum()
     }
 }
 
@@ -374,6 +467,58 @@ mod tests {
         assert!(acc.drain_exhausted().is_empty());
         acc.commit(1);
         assert!(acc.is_exhausted(1));
+    }
+
+    #[test]
+    fn handles_are_dense_aliases_of_ids() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(40, 2.0);
+        acc.register(41, 3.0);
+        let h40 = acc.resolve(40).unwrap();
+        let h41 = acc.resolve(41).unwrap();
+        assert_ne!(h40, h41);
+        assert!(acc.resolve(99).is_none());
+        acc.charge_at(h40, 0.5);
+        acc.reserve_at(h41, 1.0);
+        assert!((acc.spent(40) - 0.5).abs() < 1e-12);
+        assert!((acc.spent_at(h40) - 0.5).abs() < 1e-12);
+        assert!((acc.remaining_at(h40) - 1.5).abs() < 1e-12);
+        assert!((acc.reserved(41) - 1.0).abs() < 1e-12);
+        assert!((acc.remaining_at(h41) - 2.0).abs() < 1e-12);
+        // Removal tombstones the slot: a later registration can never
+        // alias the old handle, and reads degrade to the unknown-id
+        // behaviour.
+        acc.forget(40);
+        assert!(acc.resolve(40).is_none());
+        assert_eq!(acc.spent_at(h40), 0.0);
+        assert_eq!(acc.remaining_at(h40), 0.0);
+        acc.register(40, 5.0); // fresh slot
+        let h40b = acc.resolve(40).unwrap();
+        assert_ne!(h40, h40b);
+        assert_eq!(acc.spent_at(h40), 0.0, "old handle stays dead");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale account handle")]
+    fn charging_a_stale_handle_panics() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(1, 1.0);
+        let h = acc.resolve(1).unwrap();
+        acc.forget(1);
+        acc.charge_at(h, 0.1);
+    }
+
+    #[test]
+    fn drained_entities_release_their_handles() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(8, 1.0);
+        acc.register(9, 1.0);
+        let h8 = acc.resolve(8).unwrap();
+        acc.charge_at(h8, 1.0);
+        assert_eq!(acc.drain_exhausted(), vec![8]);
+        assert!(acc.resolve(8).is_none());
+        assert_eq!(acc.remaining_at(h8), 0.0);
+        assert_eq!(acc.tracked().collect::<Vec<_>>(), vec![9]);
     }
 
     #[test]

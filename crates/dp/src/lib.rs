@@ -39,7 +39,7 @@ mod pcf;
 mod ppcf;
 mod release;
 
-pub use accountant::{CumulativeAccountant, PrivacyLedger};
+pub use accountant::{AccountId, CumulativeAccountant, PrivacyLedger};
 pub use budget::{BudgetState, BudgetVector};
 pub use diff::LaplaceDiff;
 pub use geo::{lambert_w_m1, PlanarLaplace};

@@ -37,16 +37,90 @@ use dpta_core::{AssignmentEngine, RunParams};
 use dpta_dp::{NoiseSource, SeededNoise};
 use dpta_workloads::Scenario;
 
-/// A release already charged to the lifetime accountant:
-/// `(worker id, task id, slot, epsilon bits)`. Fresh-board engines
-/// re-publish bit-identical releases for pairs still pending from
-/// earlier windows (noise and budgets are id-keyed), which reveals
-/// nothing new and therefore must not be charged twice. The halo
-/// coordinator keys the same dedup across shards and reconciliation
-/// passes, and the session stepper keys it across *service cycles*
-/// (a returned worker's re-publications are bit-identical too), so a
-/// release is charged once no matter how many runs re-derive it.
-pub(crate) type ChargeKey = (u32, u32, u32, u64);
+/// Dedup of releases already charged to the lifetime accountant.
+/// Fresh-board engines re-publish bit-identical releases for pairs
+/// still pending from earlier windows (noise and budgets are
+/// id-keyed), which reveals nothing new and therefore must not be
+/// charged twice. The halo coordinator keys the same dedup across
+/// shards and reconciliation passes, and the session stepper keys it
+/// across *service cycles* (a returned worker's re-publications are
+/// bit-identical too), so a release is charged once no matter how
+/// many runs re-derive it.
+///
+/// Logically this is the set of charged
+/// `(worker id, task id, slot, ε-bits)` keys, but the representation
+/// exploits two structural invariants of the pipeline instead of
+/// storing (and tree-searching) full keys:
+///
+/// * release sets only append, and every charging sweep enumerates a
+///   pair's releases `0..len` — so the charged slots of a pair are
+///   always a contiguous prefix, and a per-pair *count* is the whole
+///   set;
+/// * the ε published at `(worker, task, slot)` is a pure function of
+///   those ids (id-keyed noise and budget vectors), so the ε-bits
+///   component of the logical key is redundant for pair releases and
+///   only whole-location (Geo-I) releases need their bits deduped.
+///
+/// Workers are interned to dense indices on first charge, making the
+/// per-release hot-path cost two small hash probes (worker id, task
+/// id) instead of a `BTreeSet` descent over wide tuple keys.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReleaseDedup {
+    /// Worker id → dense index into `workers`.
+    index: std::collections::HashMap<u32, u32>,
+    workers: Vec<WorkerCharges>,
+}
+
+/// One worker's charged releases: a contiguous-slot count per task and
+/// the distinct whole-location ε bit patterns.
+#[derive(Debug, Clone, Default)]
+struct WorkerCharges {
+    /// Task id → number of slots already charged (slots `0..count`).
+    pairs: std::collections::HashMap<u32, u32>,
+    /// Whole-location release spends already charged, by exact bits.
+    /// Practically 0 or 1 entries (Geo-I publishes one location per
+    /// worker lifetime), so a linear scan beats any keyed structure.
+    locations: Vec<u64>,
+}
+
+impl ReleaseDedup {
+    fn worker_mut(&mut self, wid: u32) -> &mut WorkerCharges {
+        let next = self.workers.len() as u32;
+        let idx = *self.index.entry(wid).or_insert(next);
+        if idx == next {
+            self.workers.push(WorkerCharges::default());
+        }
+        &mut self.workers[idx as usize]
+    }
+
+    /// Charges slot `slot` of pair `(wid, tid)`; returns whether it was
+    /// novel. Slots of one pair must arrive in contiguous ascending
+    /// sweeps starting at 0 (the release-set enumeration order), which
+    /// the count representation asserts.
+    pub(crate) fn charge_pair(&mut self, wid: u32, tid: u32, slot: u32) -> bool {
+        let count = self.worker_mut(wid).pairs.entry(tid).or_insert(0);
+        if slot < *count {
+            return false;
+        }
+        assert_eq!(
+            slot, *count,
+            "release slots of a pair must be charged contiguously"
+        );
+        *count += 1;
+        true
+    }
+
+    /// Charges a whole-location (Geo-I) release of `spend_bits` total ε
+    /// for `wid`; returns whether that exact spend was novel.
+    pub(crate) fn charge_location(&mut self, wid: u32, spend_bits: u64) -> bool {
+        let locs = &mut self.worker_mut(wid).locations;
+        if locs.contains(&spend_bits) {
+            return false;
+        }
+        locs.push(spend_bits);
+        true
+    }
+}
 
 /// Configuration of one stream run.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +176,16 @@ pub struct StreamConfig {
     /// Extend the windowed span to this horizon (used by the sharded
     /// runner so every shard forms the same window sequence).
     pub horizon: Option<f64>,
+    /// Force the halo coordinator to re-drive every flagged shard from
+    /// scratch on reconciliation passes, even when component analysis
+    /// proves the rerun's outcome unchanged. `false` (the default)
+    /// enables the incremental skip: a shard whose lost claims touch no
+    /// feasibility component of its remaining entities keeps its
+    /// previous run and only drops the departed workers' claims.
+    /// Equivalence of the two modes is pinned by the incremental
+    /// property suite; the knob exists to express that test and to
+    /// debug suspected skip misfires.
+    pub halo_full_rerun: bool,
 }
 
 impl Default for StreamConfig {
@@ -116,6 +200,7 @@ impl Default for StreamConfig {
             carry_releases: true,
             service: ServiceModel::Never,
             horizon: None,
+            halo_full_rerun: false,
         }
     }
 }
@@ -162,16 +247,16 @@ impl StreamConfig {
 /// charge both the session stepper (warm boards under re-entry) and
 /// the halo coordinator apply, in the same ledger order, so flat and
 /// sharded runs accumulate per-worker spend identically. Novel means
-/// the `(worker, task, slot, ε-bits)` key was not yet in `charged`;
-/// re-derivations of already-charged releases (reruns, carried
-/// history, returned workers) sum to zero. Whole-location releases
-/// (Geo-I) are keyed once per distinct ε under [`LOCATION_RELEASE`].
+/// the release was not yet in `charged`; re-derivations of
+/// already-charged releases (reruns, carried history, returned
+/// workers) sum to zero. Whole-location releases (Geo-I) are charged
+/// once per distinct total spend.
 pub(crate) fn novel_ledger_spend(
     board: &dpta_core::Board,
     j: usize,
     wid: u32,
     task_ids: &[u32],
-    charged: &mut std::collections::BTreeSet<ChargeKey>,
+    charged: &mut ReleaseDedup,
 ) -> f64 {
     use dpta_core::board::LOCATION_RELEASE;
     let mut novel = 0.0;
@@ -181,14 +266,14 @@ pub(crate) fn novel_ledger_spend(
         }
         if let Some(set) = board.releases(t as usize, j) {
             for (u, rel) in set.releases().iter().enumerate() {
-                if charged.insert((wid, task_ids[t as usize], u as u32, rel.epsilon.to_bits())) {
+                if charged.charge_pair(wid, task_ids[t as usize], u as u32) {
                     novel += rel.epsilon;
                 }
             }
         }
     }
     let loc = board.ledger(j).spent_on(LOCATION_RELEASE);
-    if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits())) {
+    if loc > 0.0 && charged.charge_location(wid, loc.to_bits()) {
         novel += loc;
     }
     novel

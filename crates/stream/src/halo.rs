@@ -12,7 +12,11 @@
 //!    ([`GridPartition::reach_shards`]). Tasks are never replicated
 //!    (each lives in exactly the cell owning its location), so every
 //!    feasible pair, cross-boundary or not, is seen by exactly one
-//!    shard: the task's.
+//!    shard: the task's. Membership is resolved once per worker —
+//!    locations are immutable — and each shard's instance is
+//!    *maintained* as a [`DeltaInstance`] across windows and
+//!    reconciliation passes, so building a shard's window costs
+//!    O(arrivals + departures), not a from-scratch rebuild.
 //! 2. **Propose.** Shards drive the engine over interior ∪ halo and
 //!    *propose* their matches. A worker reaching `k` cells can be
 //!    claimed by up to `k` shards.
@@ -29,16 +33,37 @@
 //!    entities, and the loop repeats until no claim is rejected. Every
 //!    pass commits at least one worker, so the loop terminates within
 //!    `|pool|` passes.
-//! 4. **Charge once.** Per-pair releases are deterministic functions
+//! 4. **Incremental reruns.** Engine interactions flow only along
+//!    feasibility-graph edges, and noise/budgets are keyed by logical
+//!    ids — so a rerun over the remaining entities can differ from the
+//!    previous pass only inside the connected components that lost an
+//!    entity. The coordinator therefore tracks the components of each
+//!    shard's last full drive ([`PairComponents`]) and, on a
+//!    reconciliation pass, re-drives *only the dirty components*: the
+//!    undisturbed components keep their previous claims, spend and
+//!    board columns, which are bit-identical to what a full rerun
+//!    would re-derive. A shard none of whose remaining entities sit in
+//!    a dirty component skips the drive entirely — the PR-5
+//!    zero-feasible early-out is the trivial case, now an O(1) check
+//!    off the maintained instance. The next window's carried board is
+//!    stitched per entity from the last drive that covered it; the
+//!    stitch is exact because a worker's whole release history lives
+//!    inside his own component. Full reruns are kept in two cases:
+//!    under a finite hard cap (the budget guard reads the live
+//!    accountant, whose reservations move between passes, so a rerun
+//!    is guard-sensitive beyond its own components) and under
+//!    [`StreamConfig::halo_full_rerun`] (the reference semantics the
+//!    incremental property suite compares against).
+//! 5. **Charge once.** Per-pair releases are deterministic functions
 //!    of `(worker id, task id, slot)`, so a rerun re-derives
-//!    bit-identical publications. A global
-//!    `(worker, task, slot, ε-bits)` dedup set keys a
+//!    bit-identical publications. A global release dedup
+//!    ([`ReleaseDedup`]) keys a
 //!    [`CumulativeAccountant::reserve`] for each *novel* release;
 //!    after reconciliation the window's reservations are committed
 //!    exactly once per worker ([`CumulativeAccountant::commit`]).
 //!    Whole-location releases (the Geo-I baseline) are the one
-//!    exception: their ε is the mean over the shard instance's reach
-//!    set, so a rerun over fewer tasks publishes a *genuinely new*
+//!    exception: their ε is the mean over the worker's reach set, so a
+//!    rerun over fewer reachable tasks publishes a *genuinely new*
 //!    noisy location — real additional leakage, reserved and charged
 //!    as such. One-shot location engines therefore pay per
 //!    reconciliation rerun; that is the honest price, not a dedup
@@ -49,28 +74,42 @@
 //! unsharded run assignment for assignment, fate for fate. On general
 //! input the protocol is near-exact: the only utility left unrecovered
 //! is what reconciliation rejects in the final pass of a window.
-//! `ARCHITECTURE.md` ("Sharding & the halo protocol") documents the
-//! guarantees and their limits.
+//! `ARCHITECTURE.md` ("Sharding & the halo protocol", "Incremental
+//! instance maintenance") documents the guarantees and their limits.
 //!
 //! [`ShardStrategy::DropPairs`]: crate::ShardStrategy::DropPairs
+//! [`ReleaseDedup`]: crate::driver::ReleaseDedup
 
-use crate::driver::{novel_ledger_spend, ChargeKey, IdStableNoise, PendingTask, StreamConfig};
+use crate::driver::{novel_ledger_spend, IdStableNoise, PendingTask, ReleaseDedup, StreamConfig};
 use crate::event::{ArrivalStream, WorkerArrival};
 use crate::metrics::{
     percentile, ShardedReport, StreamReport, TaskFate, WindowFeedback, WindowReport,
 };
 use crate::window::Windower;
-use dpta_core::{AssignmentEngine, Board, Instance, RunOutcome};
+use dpta_core::board::LOCATION_RELEASE;
+use dpta_core::{AssignmentEngine, Board, DeltaInstance, Instance, RunOutcome};
 use dpta_dp::{CumulativeAccountant, SeededNoise};
+use dpta_matching::repair::PairComponents;
 use dpta_spatial::GridPartition;
 use dpta_workloads::budgets::BudgetGen;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
-/// Protocol state a shard carries across windows (warm-start engines):
-/// the final board of its last actual run, keyed by the logical ids it
-/// was built over.
+/// Protocol state a shard carries across windows (warm-start engines).
+///
+/// After an incremental window this is a *stitched* view: the base
+/// full drive plus every component-restricted re-drive, later sources
+/// overriding earlier ones per entity. [`carry_board`] flattens the
+/// stack onto the next window's board; the result is bit-identical to
+/// carrying a monolithic full-rerun board because an entity's release
+/// history never leaves its own feasibility component.
 struct Carried {
+    sources: Vec<CarrySource>,
+}
+
+/// One board in the carried stack, keyed by the logical ids it was
+/// built over.
+struct CarrySource {
     board: Board,
     task_ids: Vec<u32>,
     worker_ids: Vec<u32>,
@@ -81,6 +120,8 @@ struct Carried {
 /// the session stepper's rules exactly (same completion-time ordering,
 /// same re-admission boundary) so flat and halo runs stay bit-for-bit
 /// on shard-disjoint input.
+///
+/// [`ServiceModel`]: crate::ServiceModel
 struct Serving {
     return_time: f64,
     worker: WorkerArrival,
@@ -94,6 +135,34 @@ struct ShardRun {
     /// Publications already on the board before the drive (carried
     /// history), subtracted from the reported publication count.
     pre_pubs: usize,
+    /// Feasibility components of the driven instance, resolved to a
+    /// root per entity id. Computed for full drives on the incremental
+    /// path; `None` for sub-drives (which inherit the base's roots)
+    /// and for full-rerun / capped runs (which never consult them).
+    roots: Option<RunRoots>,
+}
+
+/// Component roots of one driven instance, by logical id.
+struct RunRoots {
+    task_root: HashMap<u32, u32>,
+    worker_root: HashMap<u32, u32>,
+}
+
+/// A shard's reconciliation state for the current window.
+#[derive(Default)]
+struct ShardPassState {
+    /// The last *full* drive of this window.
+    base: Option<ShardRun>,
+    /// Component-restricted re-drives since `base`, in pass order.
+    subs: Vec<ShardRun>,
+    /// Roots (of `base`'s components) that lost an entity since the
+    /// shard last drove. Cleared whenever the shard drives or proves a
+    /// skip.
+    dirty: BTreeSet<u32>,
+    /// Latest board spend per driven worker id — what the commit step
+    /// prices privacy cost from, regardless of which (full or sub) run
+    /// last covered the worker.
+    spent: HashMap<u32, f64>,
 }
 
 /// A shard's proposed match, by logical id.
@@ -114,6 +183,31 @@ struct PreparedRun {
     pre_pubs: usize,
     /// Remaining lifetime budget per worker (finite caps only).
     guard: Option<Vec<f64>>,
+    /// Component roots of `inst` (incremental full drives only).
+    roots: Option<RunRoots>,
+}
+
+/// What component analysis concludes about a flagged shard's rerun.
+enum IncrementalPlan {
+    /// No remaining entity shares a component with a removed one (or
+    /// the dirty side has only tasks / only workers, which cannot form
+    /// a pair): the rerun is a proven no-op. Keep the previous run —
+    /// claims, spend, board — minus the departed workers' claims.
+    Keep,
+    /// Re-drive exactly the listed entities — the remaining members of
+    /// every dirty component, in instance order.
+    Redrive {
+        task_ids: Vec<u32>,
+        worker_ids: Vec<u32>,
+    },
+}
+
+/// A worker's shard membership, resolved once on arrival (locations
+/// are immutable): the cell owning his location and every cell his
+/// service disc reaches.
+struct Membership {
+    home: usize,
+    reach: Vec<usize>,
 }
 
 /// Drives `stream` under the halo protocol (see the module docs) and
@@ -136,6 +230,12 @@ pub(crate) fn run_halo(
     let n_shards = partition.n_shards();
     let warm = cfg.carry_releases && engine.supports_warm_start();
     let capped = warm && cfg.worker_capacity.is_finite();
+    // Component-restricted reruns are sound only when a rerun's inputs
+    // beyond the instance itself are pass-invariant: a finite hard cap
+    // reads the live accountant (reservations move between passes), so
+    // capped reruns stay full. `halo_full_rerun` is the debugging /
+    // reference override.
+    let incremental = !capped && !cfg.halo_full_rerun;
     let budget_gen = BudgetGen::new(
         cfg.params.seed ^ 0x5712_EA11,
         0,
@@ -158,8 +258,15 @@ pub(crate) fn run_halo(
     let mut pending: Vec<PendingTask> = Vec::new();
     let mut in_service: VecDeque<Serving> = VecDeque::new();
     let mut accountant = CumulativeAccountant::new();
-    let mut charged: BTreeSet<ChargeKey> = BTreeSet::new();
+    let mut charged = ReleaseDedup::default();
     let mut carried: Vec<Option<Carried>> = (0..n_shards).map(|_| None).collect();
+    // The maintained per-shard instances: shard `k`'s delta holds its
+    // uncommitted owned tasks and every uncommitted worker whose disc
+    // reaches cell `k`, in pool/pending order. All pool and pending
+    // mutations below are mirrored into them, so preparing a shard run
+    // is an O(live + pairs) emission instead of a from-scratch rebuild.
+    let mut deltas: Vec<DeltaInstance> = (0..n_shards).map(|_| DeltaInstance::new()).collect();
+    let mut member: HashMap<u32, Membership> = HashMap::new();
 
     while let Some(window) = former.next_window() {
         let window = &window;
@@ -175,17 +282,39 @@ pub(crate) fn run_halo(
             .is_some_and(|s| s.return_time < window.end)
         {
             let s = in_service.pop_front().expect("front exists");
-            returned_by_home[partition.shard_of(&s.worker.worker.location)] += 1;
+            let m = &member[&s.worker.id];
+            returned_by_home[m.home] += 1;
+            for &k in &m.reach {
+                deltas[k].insert_worker(u64::from(s.worker.id), s.worker.worker, |t, w| {
+                    budget_gen.vector(t as usize, w as usize)
+                });
+            }
             pool.push(s.worker);
         }
         // ── Admit arrivals ────────────────────────────────────────────
         for w in &window.workers {
             accountant.register(u64::from(w.id), cfg.worker_capacity);
-            shard_workers[partition.shard_of(&w.worker.location)] += 1;
+            let m = Membership {
+                home: partition.shard_of(&w.worker.location),
+                reach: partition.reach_shards(&w.worker.location, w.worker.radius),
+            };
+            shard_workers[m.home] += 1;
+            for &k in &m.reach {
+                deltas[k].insert_worker(u64::from(w.id), w.worker, |t, wk| {
+                    budget_gen.vector(t as usize, wk as usize)
+                });
+            }
+            member.insert(w.id, m);
             pool.push(*w);
         }
+        let mut arrived_by_shard = vec![0usize; n_shards];
         for &arrival in &window.tasks {
-            shard_tasks[partition.shard_of(&arrival.task.location)] += 1;
+            let home = partition.shard_of(&arrival.task.location);
+            shard_tasks[home] += 1;
+            arrived_by_shard[home] += 1;
+            deltas[home].insert_task(u64::from(arrival.id), arrival.task, |t, w| {
+                budget_gen.vector(t as usize, w as usize)
+            });
             pending.push(PendingTask {
                 arrival,
                 ttl: cfg.task_ttl,
@@ -203,49 +332,46 @@ pub(crate) fn run_halo(
             Vec::new()
         };
 
-        // ── Membership ────────────────────────────────────────────────
-        let task_home: Vec<usize> = pending
+        // Per-window id → index maps (pool and pending are frozen for
+        // the duration of the reconciliation loop).
+        let pend_at: HashMap<u32, usize> = pending
             .iter()
-            .map(|p| partition.shard_of(&p.arrival.task.location))
+            .enumerate()
+            .map(|(i, p)| (p.arrival.id, i))
             .collect();
-        let worker_reach: Vec<Vec<usize>> = pool
+        let pool_at: HashMap<u32, usize> = pool
             .iter()
-            .map(|w| partition.reach_shards(&w.worker.location, w.worker.radius))
+            .enumerate()
+            .map(|(j, w)| (w.id, j))
             .collect();
-        let worker_home: BTreeMap<u32, usize> = pool
-            .iter()
-            .map(|w| (w.id, partition.shard_of(&w.worker.location)))
-            .collect();
+        let mut avail = vec![0usize; n_shards];
+        for w in &pool {
+            for &k in &member[&w.id].reach {
+                avail[k] += 1;
+            }
+        }
 
         let mut reports: Vec<WindowReport> = (0..n_shards)
-            .map(|k| {
-                let owned = task_home.iter().filter(|&&h| h == k).count();
-                let arrived = window
-                    .tasks
-                    .iter()
-                    .filter(|t| partition.shard_of(&t.task.location) == k)
-                    .count();
-                WindowReport {
-                    index: window.index,
-                    start: window.start,
-                    end: window.end,
-                    tasks_arrived: arrived,
-                    carried_in: owned - arrived,
-                    workers_available: worker_reach.iter().filter(|r| r.contains(&k)).count(),
-                    matched: 0,
-                    expired: 0,
-                    carried_out: 0,
-                    utility: 0.0,
-                    distance: 0.0,
-                    epsilon_spent: 0.0,
-                    publications: 0,
-                    rounds: 0,
-                    drive_time: Duration::ZERO,
-                    workers_retired: 0,
-                    workers_departed: 0,
-                    workers_returned: returned_by_home[k],
-                    cut,
-                }
+            .map(|k| WindowReport {
+                index: window.index,
+                start: window.start,
+                end: window.end,
+                tasks_arrived: arrived_by_shard[k],
+                carried_in: deltas[k].n_tasks() - arrived_by_shard[k],
+                workers_available: avail[k],
+                matched: 0,
+                expired: 0,
+                carried_out: 0,
+                utility: 0.0,
+                distance: 0.0,
+                epsilon_spent: 0.0,
+                publications: 0,
+                rounds: 0,
+                drive_time: Duration::ZERO,
+                workers_retired: 0,
+                workers_departed: 0,
+                workers_returned: returned_by_home[k],
+                cut,
             })
             .collect();
 
@@ -258,7 +384,8 @@ pub(crate) fn run_halo(
         let mut window_spend: BTreeMap<u32, f64> = BTreeMap::new();
         let mut needs_run = vec![true; n_shards];
         let mut claims: Vec<Vec<Claim>> = vec![Vec::new(); n_shards];
-        let mut runs: Vec<Option<ShardRun>> = (0..n_shards).map(|_| None).collect();
+        let mut states: Vec<ShardPassState> =
+            (0..n_shards).map(|_| ShardPassState::default()).collect();
         let pool_size = pool.len();
         let mut passes = 0usize;
 
@@ -268,26 +395,67 @@ pub(crate) fn run_halo(
                 passes <= pool_size + 2,
                 "halo reconciliation failed to converge in {passes} passes"
             );
+            let rerun = passes > 1;
 
             // (a) Run every flagged shard over its remaining entities.
             let flagged_now: Vec<usize> = (0..n_shards).filter(|&k| needs_run[k]).collect();
             let mut prepared: Vec<PreparedRun> = Vec::new();
+            let mut sub_driven: Vec<(usize, ShardRun, Duration)> = Vec::new();
             for &k in &flagged_now {
                 needs_run[k] = false;
+                if deltas[k].n_tasks() == 0 || deltas[k].n_workers() == 0 {
+                    claims[k].clear();
+                    continue;
+                }
+                if rerun && deltas[k].feasible_pairs() == 0 {
+                    // Losing a boundary worker often leaves a shard
+                    // whose remaining tasks nobody can reach. Driving
+                    // that instance is a guaranteed no-op — engines
+                    // publish and claim only over feasible pairs — so
+                    // skip it. O(1) off the maintained pair count; the
+                    // trivial case of the component skip below. Never
+                    // taken on first-pass runs: those mirror the
+                    // unsharded drive bit for bit, and location engines
+                    // (Geo-I) may legitimately publish there.
+                    claims[k].clear();
+                    continue;
+                }
+                if rerun && incremental {
+                    match plan_incremental(&states[k], &deltas[k]) {
+                        Some(IncrementalPlan::Keep) => {
+                            // Proven no-op: every remaining entity sits
+                            // in an undisturbed component, so a full
+                            // rerun would reproduce the previous run
+                            // exactly. Keep it; only the departed
+                            // workers' claims are withdrawn.
+                            claims[k].retain(|c| !committed_workers.contains(&c.worker));
+                            states[k].dirty.clear();
+                            continue;
+                        }
+                        Some(IncrementalPlan::Redrive {
+                            task_ids,
+                            worker_ids,
+                        }) => {
+                            let p = prepare_sub_run(
+                                k, task_ids, worker_ids, &pend_at, &pool_at, &pending, &pool,
+                                &budget_gen, &carried[k], warm,
+                            );
+                            let (run, dt) = drive_prepared(engine, cfg, p);
+                            sub_driven.push((k, run, dt));
+                            continue;
+                        }
+                        None => {}
+                    }
+                }
                 claims[k].clear();
                 let built = prepare_run(
                     &budget_gen,
                     k,
-                    &pending,
-                    &task_home,
-                    &pool,
-                    &worker_reach,
-                    &committed_tasks,
-                    &committed_workers,
+                    &deltas[k],
                     &carried[k],
                     warm,
                     capped.then_some(&accountant),
-                    passes > 1,
+                    incremental,
                 );
                 if let Some(p) = built {
                     if capped {
@@ -302,20 +470,30 @@ pub(crate) fn run_halo(
                             &mut window_spend,
                             &mut reports[k],
                         );
-                        finish_run(k, run, dt, &mut reports, &mut claims, &mut runs);
+                        finish_run(k, run, dt, &mut reports, &mut claims, &mut states);
                     } else {
                         prepared.push(p);
                     }
                 }
             }
-            if !prepared.is_empty() {
-                // Uncapped: inputs were fixed above, so the drives can
-                // fan out over a bounded thread pool without changing
-                // the result. Charge accounting stays sequential in
-                // shard order so the dedup set is deterministic.
-                let mut driven = drive_parallel(engine, cfg, prepared);
-                driven.sort_by_key(|&(k, _, _)| k);
-                for (k, run, dt) in driven {
+            if !prepared.is_empty() || !sub_driven.is_empty() {
+                // Uncapped: inputs were fixed above, so the full drives
+                // can fan out over a bounded thread pool without
+                // changing the result; sub-drives already ran inline.
+                // Charge accounting stays sequential in ascending shard
+                // order so the dedup set is deterministic.
+                let mut driven: Vec<(usize, ShardRun, Duration, bool)> =
+                    drive_parallel(engine, cfg, prepared)
+                        .into_iter()
+                        .map(|(k, run, dt)| (k, run, dt, false))
+                        .collect();
+                driven.extend(
+                    sub_driven
+                        .into_iter()
+                        .map(|(k, run, dt)| (k, run, dt, true)),
+                );
+                driven.sort_by_key(|&(k, _, _, _)| k);
+                for (k, run, dt, is_sub) in driven {
                     account_run(
                         &run,
                         &mut charged,
@@ -323,7 +501,19 @@ pub(crate) fn run_halo(
                         &mut window_spend,
                         &mut reports[k],
                     );
-                    finish_run(k, run, dt, &mut reports, &mut claims, &mut runs);
+                    if is_sub {
+                        finish_sub_run(
+                            k,
+                            run,
+                            dt,
+                            &mut reports,
+                            &mut claims,
+                            &mut states,
+                            &committed_workers,
+                        );
+                    } else {
+                        finish_run(k, run, dt, &mut reports, &mut claims, &mut states);
+                    }
                 }
             }
 
@@ -353,7 +543,7 @@ pub(crate) fn run_halo(
             let cands: Vec<(u32, usize, Vec<usize>)> = by_worker
                 .iter()
                 .map(|(&w, ks)| {
-                    let home = worker_home[&w];
+                    let home = member[&w].home;
                     let winner = if ks.contains(&home) { home } else { ks[0] };
                     let losers = ks.iter().copied().filter(|&k| k != winner).collect();
                     (w, winner, losers)
@@ -366,7 +556,7 @@ pub(crate) fn run_halo(
             let clean: Vec<&(u32, usize, Vec<usize>)> = cands
                 .iter()
                 .filter(|(w, winner, _)| {
-                    !contested.contains(winner) && !contested.contains(&worker_home[w])
+                    !contested.contains(winner) && !contested.contains(&member[w].home)
                 })
                 .collect();
             let to_commit: Vec<&(u32, usize, Vec<usize>)> = if clean.is_empty() {
@@ -389,20 +579,16 @@ pub(crate) fn run_halo(
                     .find(|c| c.worker == w)
                     .copied()
                     .expect("winner shard holds a claim on the worker");
-                let run = runs[k].as_ref().expect("claiming shard has run");
-                let j = run
-                    .worker_ids
-                    .iter()
-                    .position(|&id| id == w)
-                    .expect("claimed worker indexed by the run");
-                let task = pending
-                    .iter()
-                    .find(|p| p.arrival.id == claim.task)
-                    .expect("claimed task is pending");
-                let worker = pool.iter().find(|wa| wa.id == w).expect("worker pooled");
+                let task = &pending[pend_at[&claim.task]];
+                let worker = &pool[pool_at[&w]];
                 let d = task.arrival.task.location.distance(&worker.worker.location);
                 let privacy_cost = if engine.accounts_privacy() {
-                    cfg.params.beta * run.outcome.board.spent_total(j)
+                    cfg.params.beta
+                        * states[k]
+                            .spent
+                            .get(&w)
+                            .copied()
+                            .expect("claimed worker was driven")
                 } else {
                     0.0
                 };
@@ -421,6 +607,29 @@ pub(crate) fn run_halo(
                 committed_workers.insert(w);
                 service_of.insert(w, cfg.service.duration(d, task.arrival.task.value));
                 claims[k].retain(|c| c.worker != w);
+                // The committed pair leaves every maintained instance
+                // that sees it, and its components become dirty: any
+                // shard later flagged re-drives exactly the components
+                // that lost an entity.
+                deltas[k].remove_task(u64::from(claim.task));
+                if incremental {
+                    if let Some(roots) = states[k].base.as_ref().and_then(|b| b.roots.as_ref()) {
+                        if let Some(&r) = roots.task_root.get(&claim.task) {
+                            states[k].dirty.insert(r);
+                        }
+                    }
+                }
+                for &k2 in &member[&w].reach {
+                    deltas[k2].remove_worker(u64::from(w));
+                    if incremental {
+                        if let Some(roots) = states[k2].base.as_ref().and_then(|b| b.roots.as_ref())
+                        {
+                            if let Some(&r) = roots.worker_root.get(&w) {
+                                states[k2].dirty.insert(r);
+                            }
+                        }
+                    }
+                }
             }
             // The window is reconciled only when no claim is left
             // pending: a pass can commit clean candidates and flag
@@ -442,20 +651,17 @@ pub(crate) fn run_halo(
         // then depart matched workers and retire exhausted ones.
         for (&wid, &eps) in &window_spend {
             accountant.commit(u64::from(wid));
-            *shard_spend[worker_home[&wid]].entry(wid).or_insert(0.0) += eps;
+            *shard_spend[member[&wid].home].entry(wid).or_insert(0.0) += eps;
         }
         for &w in &committed_workers {
-            reports[worker_home[&w]].workers_departed += 1;
+            reports[member[&w].home].workers_departed += 1;
             match service_of.get(&w).copied().flatten() {
                 Some(d) => {
                     // Re-entry: the worker keeps his accountant entry
                     // (lifetime budgets span service cycles) and waits
                     // out his service duration.
                     let return_time = window.end + d;
-                    let arrival = *pool
-                        .iter()
-                        .find(|wa| wa.id == w)
-                        .expect("committed worker pooled");
+                    let arrival = pool[pool_at[&w]];
                     let pos = in_service
                         .partition_point(|s| (s.return_time, s.worker.id) < (return_time, w));
                     in_service.insert(
@@ -489,38 +695,39 @@ pub(crate) fn run_halo(
         }
         // An in-service worker can exhaust his budget at the very match
         // that sent him out: he finishes the trip but retires instead
-        // of returning (the session stepper's rule). His home shard is
-        // read off his own location — he may not be in this window's
-        // pool-derived `worker_home` map.
-        let mut retired_home: BTreeMap<u64, usize> = retired
-            .iter()
-            .filter_map(|&id| worker_home.get(&(id as u32)).map(|&h| (id, h)))
-            .collect();
-        if reentry && !retired.is_empty() {
-            in_service.retain(|s| {
-                let id = u64::from(s.worker.id);
-                if retired.contains(&id) {
-                    retired_home.insert(id, partition.shard_of(&s.worker.worker.location));
-                    false
-                } else {
-                    true
-                }
-            });
-        }
+        // of returning (the session stepper's rule). Home shards come
+        // off the membership cache — every tracked worker was admitted
+        // through it, pooled or serving alike.
         for &id in &retired {
-            reports[retired_home[&id]].workers_retired += 1;
+            let m = &member[&(id as u32)];
+            for &k2 in &m.reach {
+                deltas[k2].remove_worker(id);
+            }
+            reports[m.home].workers_retired += 1;
+        }
+        if reentry && !retired.is_empty() {
+            in_service.retain(|s| !retired.contains(&u64::from(s.worker.id)));
         }
         pool.retain(|w| !committed_workers.contains(&w.id) && !retired.contains(&u64::from(w.id)));
 
-        // Carry each shard's last actual run into the next window.
+        // Carry each shard's last drives into the next window: the base
+        // full run plus its component re-drives, later sources owning
+        // the entities they cover.
         if warm {
-            for (k, run) in runs.into_iter().enumerate() {
-                if let Some(r) = run {
-                    carried[k] = Some(Carried {
-                        board: r.outcome.board,
-                        task_ids: r.task_ids,
-                        worker_ids: r.worker_ids,
+            for (k, st) in states.iter_mut().enumerate() {
+                if let Some(base) = st.base.take() {
+                    let mut sources = Vec::with_capacity(1 + st.subs.len());
+                    sources.push(CarrySource {
+                        board: base.outcome.board,
+                        task_ids: base.task_ids,
+                        worker_ids: base.worker_ids,
                     });
+                    sources.extend(st.subs.drain(..).map(|sub| CarrySource {
+                        board: sub.outcome.board,
+                        task_ids: sub.task_ids,
+                        worker_ids: sub.worker_ids,
+                    }));
+                    carried[k] = Some(Carried { sources });
                 }
             }
         }
@@ -534,6 +741,7 @@ pub(crate) fn run_halo(
             p.ttl -= 1;
             if p.ttl == 0 {
                 let home = task_home_of(partition, &p);
+                deltas[home].remove_task(u64::from(p.arrival.id));
                 shard_fates[home].insert(
                     p.arrival.id,
                     TaskFate::Expired {
@@ -585,82 +793,185 @@ fn task_home_of(partition: &GridPartition, p: &PendingTask) -> usize {
     partition.shard_of(&p.arrival.task.location)
 }
 
-/// Builds shard `k`'s instance over its remaining tasks and interior ∪
-/// halo workers, carrying protocol state from the pre-window board.
-/// Returns `None` when the shard has nothing to drive.
-#[allow(clippy::too_many_arguments)]
+/// Decides how much of a flagged shard's rerun is actually needed.
+///
+/// Every remaining entity of the shard was present in its last full
+/// drive (instances only shrink within a window), so each resolves to
+/// a component root there. Entities in undisturbed components keep
+/// their previous outcome bit for bit — engine interactions flow only
+/// along feasibility edges and noise/budgets are id-keyed — so only
+/// the dirty components need re-driving. Returns `None` when the shard
+/// has no component information (no full drive yet), forcing a full
+/// drive.
+fn plan_incremental(st: &ShardPassState, delta: &DeltaInstance) -> Option<IncrementalPlan> {
+    let roots = st.base.as_ref()?.roots.as_ref()?;
+    let mut task_ids: Vec<u32> = Vec::new();
+    let mut worker_ids: Vec<u32> = Vec::new();
+    for key in delta.task_keys() {
+        let id = key as u32;
+        match roots.task_root.get(&id) {
+            Some(r) if st.dirty.contains(r) => task_ids.push(id),
+            Some(_) => {}
+            None => return None,
+        }
+    }
+    for key in delta.worker_keys() {
+        let id = key as u32;
+        match roots.worker_root.get(&id) {
+            Some(r) if st.dirty.contains(r) => worker_ids.push(id),
+            Some(_) => {}
+            None => return None,
+        }
+    }
+    // A dirty side without a counterpart cannot form a feasible pair
+    // (components are edge-closed), so its re-drive is a no-op too.
+    if task_ids.is_empty() || worker_ids.is_empty() {
+        Some(IncrementalPlan::Keep)
+    } else {
+        Some(IncrementalPlan::Redrive {
+            task_ids,
+            worker_ids,
+        })
+    }
+}
+
+/// Resolves the feasibility components of a driven instance to a root
+/// per entity id.
+fn compute_roots(inst: &Instance, task_ids: &[u32], worker_ids: &[u32]) -> RunRoots {
+    let mut comp = PairComponents::new(inst.n_tasks(), inst.n_workers());
+    for j in 0..inst.n_workers() {
+        for &i in inst.reach(j) {
+            comp.join(i, j);
+        }
+    }
+    RunRoots {
+        task_root: task_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, comp.find_task(i)))
+            .collect(),
+        worker_root: worker_ids
+            .iter()
+            .enumerate()
+            .map(|(j, &id)| (id, comp.find_worker(j)))
+            .collect(),
+    }
+}
+
+/// Transplants the carried protocol state onto a fresh board for the
+/// given id lists, flattening the carried stack: the *last* source
+/// covering an entity owns its columns. With a single source this is
+/// exactly [`Board::carry`]; with re-drive sources the stitch is still
+/// bit-identical to carrying a monolithic full-rerun board, because a
+/// worker's release history never crosses his feasibility component
+/// (geometry is immutable, so a carried pair's edge persists) and
+/// ledger iteration is ascending in task index either way.
+fn carry_board(
+    carried: &Option<Carried>,
+    warm: bool,
+    task_ids: &[u32],
+    worker_ids: &[u32],
+    n_tasks: usize,
+    n_workers: usize,
+) -> Board {
+    let Some(prev) = carried else {
+        return Board::new(n_tasks, n_workers);
+    };
+    if !warm {
+        return Board::new(n_tasks, n_workers);
+    }
+    let task_to_new: HashMap<u32, usize> = task_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let worker_to_new: HashMap<u32, usize> = worker_ids
+        .iter()
+        .enumerate()
+        .map(|(j, &id)| (id, j))
+        .collect();
+    let mut task_owner: HashMap<u32, usize> = HashMap::new();
+    let mut worker_owner: HashMap<u32, usize> = HashMap::new();
+    for (s, src) in prev.sources.iter().enumerate() {
+        for &id in &src.task_ids {
+            task_owner.insert(id, s);
+        }
+        for &id in &src.worker_ids {
+            worker_owner.insert(id, s);
+        }
+    }
+    let mut next = Board::new(n_tasks, n_workers);
+    for (s, src) in prev.sources.iter().enumerate() {
+        for (j_old, &wid) in src.worker_ids.iter().enumerate() {
+            if worker_owner[&wid] != s {
+                continue;
+            }
+            let Some(&j_new) = worker_to_new.get(&wid) else {
+                continue;
+            };
+            for t in src.board.ledger(j_old).tasks() {
+                if t == LOCATION_RELEASE {
+                    continue;
+                }
+                let t_old = t as usize;
+                let Some(&t_new) = task_to_new.get(&src.task_ids[t_old]) else {
+                    continue;
+                };
+                if let Some(set) = src.board.releases(t_old, j_old) {
+                    for r in set.releases() {
+                        next.publish(t_new, j_new, r.value, r.epsilon);
+                    }
+                }
+            }
+        }
+    }
+    for (s, src) in prev.sources.iter().enumerate() {
+        for (t_old, w) in src.board.alloc().iter().enumerate() {
+            let Some(j_old) = *w else {
+                continue;
+            };
+            if task_owner[&src.task_ids[t_old]] != s {
+                continue;
+            }
+            if let (Some(&t_new), Some(&j_new)) = (
+                task_to_new.get(&src.task_ids[t_old]),
+                worker_to_new.get(&src.worker_ids[j_old]),
+            ) {
+                next.set_winner(t_new, Some(j_new));
+            }
+        }
+    }
+    next
+}
+
+/// Builds shard `k`'s full run from its maintained instance, carrying
+/// protocol state from the pre-window board. Returns `None` when the
+/// shard has nothing to drive.
 fn prepare_run(
     budget_gen: &BudgetGen,
     k: usize,
-    pending: &[PendingTask],
-    task_home: &[usize],
-    pool: &[WorkerArrival],
-    worker_reach: &[Vec<usize>],
-    committed_tasks: &BTreeSet<u32>,
-    committed_workers: &BTreeSet<u32>,
+    delta: &DeltaInstance,
     carried: &Option<Carried>,
     warm: bool,
     guard_from: Option<&CumulativeAccountant>,
-    rerun: bool,
+    track_components: bool,
 ) -> Option<PreparedRun> {
-    let task_idx: Vec<usize> = (0..pending.len())
-        .filter(|&i| task_home[i] == k && !committed_tasks.contains(&pending[i].arrival.id))
-        .collect();
-    let worker_idx: Vec<usize> = (0..pool.len())
-        .filter(|&j| worker_reach[j].contains(&k) && !committed_workers.contains(&pool[j].id))
-        .collect();
-    if task_idx.is_empty() || worker_idx.is_empty() {
+    if delta.n_tasks() == 0 || delta.n_workers() == 0 {
         return None;
     }
-    // Cheap early-out on reconciliation reruns: losing a boundary
-    // worker often leaves a shard whose remaining tasks no remaining
-    // member can reach. Driving that instance is a guaranteed no-op —
-    // every engine publishes and claims only over feasible pairs — so
-    // skip the carry + drive and let the shard's previous run keep its
-    // claims (none left here) and its carried board. First-pass runs
-    // are never skipped: on shard-disjoint input they are what mirrors
-    // the unsharded drive bit for bit, and location engines (Geo-I)
-    // may legitimately publish for any reachable pair there.
-    if rerun {
-        let feasible = task_idx.iter().any(|&i| {
-            let t = &pending[i].arrival.task;
-            worker_idx.iter().any(|&j| {
-                let w = &pool[j].worker;
-                t.location.distance(&w.location) <= w.radius
-            })
-        });
-        if !feasible {
-            return None;
-        }
-    }
-    let task_ids: Vec<u32> = task_idx.iter().map(|&i| pending[i].arrival.id).collect();
-    let worker_ids: Vec<u32> = worker_idx.iter().map(|&j| pool[j].id).collect();
-    let inst = Instance::from_locations(
-        task_idx.iter().map(|&i| pending[i].arrival.task).collect(),
-        worker_idx.iter().map(|&j| pool[j].worker).collect(),
-        |i, j| budget_gen.vector(task_ids[i] as usize, worker_ids[j] as usize),
+    let _ = budget_gen; // budgets were cached at insertion time
+    let task_ids: Vec<u32> = delta.task_keys().map(|key| key as u32).collect();
+    let worker_ids: Vec<u32> = delta.worker_keys().map(|key| key as u32).collect();
+    let inst = delta.instance();
+    let roots = track_components.then(|| compute_roots(&inst, &task_ids, &worker_ids));
+    let board = carry_board(
+        carried,
+        warm,
+        &task_ids,
+        &worker_ids,
+        inst.n_tasks(),
+        inst.n_workers(),
     );
-    let board = match carried {
-        Some(prev) if warm => {
-            let task_to_new: BTreeMap<u32, usize> = task_ids
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (id, i))
-                .collect();
-            let worker_to_new: BTreeMap<u32, usize> = worker_ids
-                .iter()
-                .enumerate()
-                .map(|(j, &id)| (id, j))
-                .collect();
-            prev.board.carry(
-                inst.n_tasks(),
-                inst.n_workers(),
-                |t_old| task_to_new.get(&prev.task_ids[t_old]).copied(),
-                |j_old| worker_to_new.get(&prev.worker_ids[j_old]).copied(),
-            )
-        }
-        _ => Board::new(inst.n_tasks(), inst.n_workers()),
-    };
     let pre_pubs = board.publications();
     // The cap guard reads the live accountant, reservations included.
     // On a *rerun* this is deliberately conservative: the shard's own
@@ -686,7 +997,58 @@ fn prepare_run(
         board,
         pre_pubs,
         guard,
+        roots,
     })
+}
+
+/// Builds the component-restricted re-drive of a flagged shard: the
+/// instance over exactly the dirty components' remaining entities, in
+/// instance order, with the carried board restricted to them. Exact by
+/// the component-locality argument in the module docs; only reached on
+/// uncapped runs, so no guard.
+#[allow(clippy::too_many_arguments)]
+fn prepare_sub_run(
+    k: usize,
+    task_ids: Vec<u32>,
+    worker_ids: Vec<u32>,
+    pend_at: &HashMap<u32, usize>,
+    pool_at: &HashMap<u32, usize>,
+    pending: &[PendingTask],
+    pool: &[WorkerArrival],
+    budget_gen: &BudgetGen,
+    carried: &Option<Carried>,
+    warm: bool,
+) -> PreparedRun {
+    let inst = Instance::from_locations(
+        task_ids
+            .iter()
+            .map(|&id| pending[pend_at[&id]].arrival.task)
+            .collect(),
+        worker_ids
+            .iter()
+            .map(|&id| pool[pool_at[&id]].worker)
+            .collect(),
+        |i, j| budget_gen.vector(task_ids[i] as usize, worker_ids[j] as usize),
+    );
+    let board = carry_board(
+        carried,
+        warm,
+        &task_ids,
+        &worker_ids,
+        inst.n_tasks(),
+        inst.n_workers(),
+    );
+    let pre_pubs = board.publications();
+    PreparedRun {
+        shard: k,
+        task_ids,
+        worker_ids,
+        inst,
+        board,
+        pre_pubs,
+        guard: None,
+        roots: None,
+    }
 }
 
 /// Drives one prepared shard run. Mirrors the unsharded driver: warm
@@ -719,6 +1081,7 @@ fn drive_prepared(
             worker_ids: p.worker_ids,
             outcome,
             pre_pubs: p.pre_pubs,
+            roots: p.roots,
         },
         dt,
     )
@@ -775,11 +1138,11 @@ fn drive_parallel(
 
 /// Reserves the run's *novel* releases against the lifetime accountant.
 /// Reruns and carried history re-derive bit-identical releases, which
-/// the global dedup set filters out, so each release is charged at most
+/// the global dedup filters out, so each release is charged at most
 /// once over the stream's lifetime.
 fn account_run(
     run: &ShardRun,
-    charged: &mut BTreeSet<ChargeKey>,
+    charged: &mut ReleaseDedup,
     accountant: &mut CumulativeAccountant,
     window_spend: &mut BTreeMap<u32, f64>,
     report: &mut WindowReport,
@@ -795,14 +1158,16 @@ fn account_run(
     }
 }
 
-/// Records a finished run: claims, rounds, publications, wall time.
+/// Records a finished full run: claims, rounds, publications, wall
+/// time, per-worker spend, and the component baseline for later
+/// incremental passes.
 fn finish_run(
     k: usize,
     run: ShardRun,
     dt: Duration,
     reports: &mut [WindowReport],
     claims: &mut [Vec<Claim>],
-    runs: &mut [Option<ShardRun>],
+    states: &mut [ShardPassState],
 ) {
     reports[k].rounds += run.outcome.rounds;
     reports[k].drive_time += dt;
@@ -816,5 +1181,47 @@ fn finish_run(
             worker: run.worker_ids[j],
         })
         .collect();
-    runs[k] = Some(run);
+    let st = &mut states[k];
+    for (j, &wid) in run.worker_ids.iter().enumerate() {
+        st.spent.insert(wid, run.outcome.board.spent_total(j));
+    }
+    st.subs.clear();
+    st.dirty.clear();
+    st.base = Some(run);
+}
+
+/// Records a finished component re-drive: stats and spend like a full
+/// run, but claims *merge* — the re-driven components' claims replace
+/// only their own tasks' previous claims, everything undisturbed (and
+/// not departed) stays.
+fn finish_sub_run(
+    k: usize,
+    run: ShardRun,
+    dt: Duration,
+    reports: &mut [WindowReport],
+    claims: &mut [Vec<Claim>],
+    states: &mut [ShardPassState],
+    committed_workers: &BTreeSet<u32>,
+) {
+    reports[k].rounds += run.outcome.rounds;
+    reports[k].drive_time += dt;
+    reports[k].publications += run.outcome.board.publications() - run.pre_pubs;
+    let redriven: BTreeSet<u32> = run.task_ids.iter().copied().collect();
+    claims[k].retain(|c| !redriven.contains(&c.task) && !committed_workers.contains(&c.worker));
+    let fresh: Vec<Claim> = run
+        .outcome
+        .assignment
+        .pairs()
+        .map(|(i, j)| Claim {
+            task: run.task_ids[i],
+            worker: run.worker_ids[j],
+        })
+        .collect();
+    claims[k].extend(fresh);
+    let st = &mut states[k];
+    for (j, &wid) in run.worker_ids.iter().enumerate() {
+        st.spent.insert(wid, run.outcome.board.spent_total(j));
+    }
+    st.dirty.clear();
+    st.subs.push(run);
 }

@@ -35,7 +35,7 @@
 //! value), never wall-clock time, so re-entry preserves bit-for-bit
 //! replay and the flat/drop-pairs/halo equivalence gates.
 
-use crate::driver::{novel_ledger_spend, ChargeKey, IdStableNoise, PendingTask, StreamConfig};
+use crate::driver::{novel_ledger_spend, IdStableNoise, PendingTask, ReleaseDedup, StreamConfig};
 use crate::event::{ArrivalEvent, WorkerArrival};
 use crate::metrics::{
     percentile, StreamReport, TaskFate, WindowCutDecision, WindowFeedback, WindowReport,
@@ -43,8 +43,8 @@ use crate::metrics::{
 use crate::window::{AdaptiveController, Window, WindowPolicy, MAX_WINDOWS};
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::metrics::measure;
-use dpta_core::{AssignmentEngine, Board, Instance};
-use dpta_dp::{CumulativeAccountant, SeededNoise};
+use dpta_core::{AssignmentEngine, Board, DeltaInstance};
+use dpta_dp::{AccountId, CumulativeAccountant, SeededNoise};
 use dpta_workloads::budgets::BudgetGen;
 use dpta_workloads::ValueModel;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -258,7 +258,12 @@ pub(crate) struct SessionCore<'e> {
     cycles: BTreeMap<u32, usize>,
     accountant: CumulativeAccountant,
     carried: Option<CarriedBoard>,
-    charged: BTreeSet<ChargeKey>,
+    charged: ReleaseDedup,
+    /// The pool and pending set as a maintained PA-TA instance: every
+    /// admission/settlement below mirrors into it, so forming a
+    /// window's [`Instance`](dpta_core::Instance) is an O(live +
+    /// feasible pairs) emission instead of an all-pairs rebuild.
+    delta: DeltaInstance,
     fates: BTreeMap<u32, TaskFate>,
     spend_by_worker: BTreeMap<u32, f64>,
     reports: Vec<WindowReport>,
@@ -289,7 +294,8 @@ impl<'e> SessionCore<'e> {
             cycles: BTreeMap::new(),
             accountant: CumulativeAccountant::new(),
             carried: None,
-            charged: BTreeSet::new(),
+            charged: ReleaseDedup::default(),
+            delta: DeltaInstance::new(),
             fates: BTreeMap::new(),
             spend_by_worker: BTreeMap::new(),
             reports: Vec::new(),
@@ -341,12 +347,24 @@ impl<'e> SessionCore<'e> {
                 cycle: s.cycle,
             });
             returned_now += 1;
+            self.delta
+                .insert_worker(u64::from(s.worker.id), s.worker.worker, |t, w| {
+                    self.budget_gen.vector(t as usize, w as usize)
+                });
             self.pool.push(s.worker);
         }
         for w in &window.workers {
             self.accountant
                 .register(u64::from(w.id), self.cfg.worker_capacity);
+            self.delta.insert_worker(u64::from(w.id), w.worker, |t, wk| {
+                self.budget_gen.vector(t as usize, wk as usize)
+            });
             self.pool.push(*w);
+        }
+        for t in &window.tasks {
+            self.delta.insert_task(u64::from(t.id), t.task, |tk, wk| {
+                self.budget_gen.vector(tk as usize, wk as usize)
+            });
         }
         self.pending
             .extend(window.tasks.iter().map(|&arrival| PendingTask {
@@ -357,7 +375,7 @@ impl<'e> SessionCore<'e> {
         let (accountant, carried) = (&mut self.accountant, &mut self.carried);
         let (charged, fates) = (&mut self.charged, &mut self.fates);
         let spend_by_worker = &mut self.spend_by_worker;
-        let budget_gen = &self.budget_gen;
+        let delta = &mut self.delta;
 
         // Observed stream state at window close: how long every task
         // present has been waiting. Matched or not, the formula is the
@@ -400,11 +418,25 @@ impl<'e> SessionCore<'e> {
         if !pending.is_empty() && !pool.is_empty() {
             let task_ids: Vec<u32> = pending.iter().map(|p| p.arrival.id).collect();
             let worker_ids: Vec<u32> = pool.iter().map(|w| w.id).collect();
-            let inst = Instance::from_locations(
-                pending.iter().map(|p| p.arrival.task).collect(),
-                pool.iter().map(|w| w.worker).collect(),
-                |i, j| budget_gen.vector(task_ids[i] as usize, worker_ids[j] as usize),
-            );
+            // The maintained delta emits the window's instance — reach
+            // sets and budget rows were resolved incrementally at each
+            // arrival/return, and emission order equals the pool/pending
+            // order `Instance::from_locations` would see, bit for bit
+            // (pinned by the incremental property suite).
+            let inst = delta.instance();
+            debug_assert_eq!(inst.n_tasks(), pending.len());
+            debug_assert_eq!(inst.n_workers(), pool.len());
+            // Lifetime accounts, interned once per window: the guard
+            // and charge loops below do dense-slot lookups instead of
+            // per-worker tree descents.
+            let worker_handles: Vec<AccountId> = pool
+                .iter()
+                .map(|w| {
+                    accountant
+                        .resolve(u64::from(w.id))
+                        .expect("pooled worker is registered")
+                })
+                .collect();
             let noise = IdStableNoise {
                 base: SeededNoise::new(self.cfg.params.seed),
                 task_ids: &task_ids,
@@ -450,8 +482,9 @@ impl<'e> SessionCore<'e> {
             // novel spend, so they keep the window-close semantics.)
             let guard: Option<Vec<f64>> =
                 (warm && self.cfg.worker_capacity.is_finite()).then(|| {
-                    pool.iter()
-                        .map(|w| accountant.remaining(u64::from(w.id)))
+                    worker_handles
+                        .iter()
+                        .map(|&h| accountant.remaining_at(h))
                         .collect()
                 });
 
@@ -475,11 +508,11 @@ impl<'e> SessionCore<'e> {
                 // is exactly the novel information released this
                 // window.
                 for (j, w) in pool.iter().enumerate() {
-                    let delta = (outcome.board.spent_total(j) - pre_spend[j]).max(0.0);
-                    accountant.charge(u64::from(w.id), delta);
-                    report.epsilon_spent += delta;
-                    if delta > 0.0 {
-                        *spend_by_worker.entry(w.id).or_insert(0.0) += delta;
+                    let novel = (outcome.board.spent_total(j) - pre_spend[j]).max(0.0);
+                    accountant.charge_at(worker_handles[j], novel);
+                    report.epsilon_spent += novel;
+                    if novel > 0.0 {
+                        *spend_by_worker.entry(w.id).or_insert(0.0) += novel;
                     }
                 }
             } else if warm {
@@ -494,7 +527,7 @@ impl<'e> SessionCore<'e> {
                 // in the same order.
                 for (j, &wid) in worker_ids.iter().enumerate() {
                     let novel = novel_ledger_spend(&outcome.board, j, wid, &task_ids, charged);
-                    accountant.charge(u64::from(wid), novel);
+                    accountant.charge_at(worker_handles[j], novel);
                     report.epsilon_spent += novel;
                     if novel > 0.0 {
                         *spend_by_worker.entry(wid).or_insert(0.0) += novel;
@@ -516,12 +549,7 @@ impl<'e> SessionCore<'e> {
                     for &i in inst.reach(j) {
                         if let Some(set) = outcome.board.releases(i, j) {
                             for (u, rel) in set.releases().iter().enumerate() {
-                                if charged.insert((
-                                    wid,
-                                    task_ids[i],
-                                    u as u32,
-                                    rel.epsilon.to_bits(),
-                                )) {
+                                if charged.charge_pair(wid, task_ids[i], u as u32) {
                                     novel += rel.epsilon;
                                 }
                             }
@@ -530,11 +558,10 @@ impl<'e> SessionCore<'e> {
                     // Whole-location releases (Geo-I) appear only on
                     // the ledger, one per drive.
                     let loc = outcome.board.ledger(j).spent_on(LOCATION_RELEASE);
-                    if loc > 0.0 && charged.insert((wid, LOCATION_RELEASE, u32::MAX, loc.to_bits()))
-                    {
+                    if loc > 0.0 && charged.charge_location(wid, loc.to_bits()) {
                         novel += loc;
                     }
-                    accountant.charge(u64::from(wid), novel);
+                    accountant.charge_at(worker_handles[j], novel);
                     report.epsilon_spent += novel;
                     if novel > 0.0 {
                         *spend_by_worker.entry(wid).or_insert(0.0) += novel;
@@ -665,6 +692,15 @@ impl<'e> SessionCore<'e> {
             });
         }
         pool.retain(|w| !departed.contains(&w.id) && !retired.contains(&u64::from(w.id)));
+        // Mirror the pool settlement into the maintained instance.
+        // Removal is idempotent, so retired ids that were never pooled
+        // (e.g. workers retiring mid-service) fall through harmlessly.
+        for &wid in &departed {
+            delta.remove_worker(u64::from(wid));
+        }
+        for &id in &retired {
+            delta.remove_worker(id);
+        }
 
         // Settle the tasks: matched leave, survivors age, the too-old
         // expire.
@@ -675,10 +711,12 @@ impl<'e> SessionCore<'e> {
         let mut next_pending = Vec::with_capacity(pending.len());
         for (i, mut p) in pending.drain(..).enumerate() {
             if matched_mask[i] {
+                delta.remove_task(u64::from(p.arrival.id));
                 continue;
             }
             p.ttl -= 1;
             if p.ttl == 0 {
+                delta.remove_task(u64::from(p.arrival.id));
                 fates.insert(
                     p.arrival.id,
                     TaskFate::Expired {
@@ -1103,11 +1141,12 @@ impl PushWindower {
         match cut {
             Some((k, t)) => {
                 // ByCount-style cut: the closing task's time is the
-                // boundary, and the cut also halves the width — the
-                // count trigger firing first is direct evidence the
-                // width is too wide for the current arrival rate.
+                // boundary, and the cut also narrows the width through
+                // the controller — the count trigger firing first is
+                // direct evidence the width is too wide for the
+                // current arrival rate.
                 let c = self.controller.as_mut().expect("adaptive former");
-                c.width = (c.width * 0.5).max(c.policy.min_width);
+                c.burst_narrow();
                 self.last_decision = WindowCutDecision::Burst;
                 Some(self.take_window(start, t, k + 1))
             }

@@ -70,12 +70,13 @@ pub enum WindowPolicy {
         /// Task arrivals per window.
         tasks: usize,
     },
-    /// Latency-targeting adaptive windows: a controller starts from
-    /// [`AdaptivePolicy::base_width`], closes a window early when
-    /// within-window task arrivals hit the burst threshold (and the
-    /// pool can absorb them), halves the width when observed task
-    /// waiting ages overshoot the p95 target, and doubles it (up to
-    /// the max) when the pool is starved. Driven by the
+    /// Latency-targeting adaptive windows: a damped PID controller
+    /// starts from [`AdaptivePolicy::base_width`], closes a window
+    /// early when within-window task arrivals hit the burst threshold
+    /// (and the pool can absorb them), narrows under latency
+    /// overshoots in proportion to how far observed waiting ages
+    /// exceed the p95 target, widens under pool starvation, and steers
+    /// back toward the base width once the backlog clears. Driven by the
     /// [`StreamDriver`](crate::StreamDriver)'s per-window feedback —
     /// use [`Windower`]; [`WindowPolicy::windows`] panics for this
     /// variant. Sharded and halo execution window the *merged global*
@@ -105,7 +106,8 @@ pub struct AdaptivePolicy {
     /// (cutting early with nobody to match just burns task TTL).
     pub burst_tasks: usize,
     /// Target p95 of task waiting age at window close, seconds. The
-    /// controller halves the width while observations overshoot it.
+    /// controller narrows the width while observations overshoot it,
+    /// in proportion to the size of the overshoot.
     pub target_p95: f64,
 }
 
@@ -266,15 +268,41 @@ impl WindowPolicy {
     }
 }
 
-/// The adaptive controller's mutable half: current width plus the
-/// last feedback's starvation flag (which gates the burst cut).
-/// Shared with the push-based [`StreamSession`](crate::StreamSession)
-/// windower, which replays exactly this state machine incrementally.
+/// Proportional gain of the width controller.
+const KP: f64 = 0.5;
+/// Integral gain: accumulated error keeps pushing while a condition
+/// persists, so a sustained overshoot still reaches the floor (and a
+/// sustained starvation the ceiling) even though single steps are
+/// gentler than the old halve/double rule.
+const KI: f64 = 0.25;
+/// Derivative gain: damps the response when the error is already
+/// shrinking, so the width does not slosh between the starvation and
+/// overshoot regimes on bursty streams.
+const KD: f64 = 0.125;
+/// Anti-windup clamp on the accumulated error (in doublings).
+const INTEGRAL_CLAMP: f64 = 2.0;
+
+/// The adaptive controller's mutable half: current width, the last
+/// feedback's starvation flag (which gates the burst cut), and the
+/// damped-PID state driving width updates. Shared with the push-based
+/// [`StreamSession`](crate::StreamSession) windower, which replays
+/// exactly this state machine incrementally.
+///
+/// The control variable is `log2(width)`: each update multiplies the
+/// width by `2^u`, where `u` is the clamped PID response to an error
+/// signal measured in doublings. Calm feedback at the base width
+/// produces an error of exactly `0.0`, so a never-perturbed controller
+/// reproduces the `ByTime` sequence bit for bit — the degeneration
+/// gates depend on that.
 #[derive(Debug, Clone)]
 pub(crate) struct AdaptiveController {
     pub(crate) policy: AdaptivePolicy,
     pub(crate) width: f64,
     pub(crate) starved: bool,
+    /// Accumulated clamped error — the I term's memory.
+    integral: f64,
+    /// Previous error — the D term's memory.
+    prev_error: f64,
 }
 
 impl AdaptiveController {
@@ -284,23 +312,55 @@ impl AdaptiveController {
             policy,
             width: policy.base_width,
             starved: false,
+            integral: 0.0,
+            prev_error: 0.0,
         }
     }
 
     /// Applies one round of feedback. Starvation wins over the latency
     /// target: with no workers to match, narrow windows cannot reduce
     /// matched latency — they only burn task TTL — so the controller
-    /// widens to accumulate arriving workers; otherwise a waiting-age
-    /// overshoot halves the width down to the floor. Calm feedback
-    /// leaves the width alone (a calm narrow width keeps latency low
-    /// for free; the next starvation signal widens it again).
+    /// widens to accumulate arriving workers (error `+1`). Otherwise a
+    /// waiting-age overshoot narrows in proportion to its size (error
+    /// `-log2(p95/target)`, at most one halving per step). Calm
+    /// feedback with tasks still in flight freezes the controller — a
+    /// calm narrow width keeps their latency low for free, so giving
+    /// width back would only re-trade latency for cost. Only once the
+    /// backlog clears does the width steer back toward the base (a
+    /// bit-exact no-op when it already sits there): nobody is waiting,
+    /// so the relaxation is free.
     pub(crate) fn observe(&mut self, fb: &WindowFeedback) {
         self.starved = fb.backlog > fb.pool && fb.backlog > 0;
-        if self.starved {
-            self.width = (self.width * 2.0).min(self.policy.max_width);
+        let error = if self.starved {
+            1.0
         } else if fb.p95_age > self.policy.target_p95 {
-            self.width = (self.width * 0.5).max(self.policy.min_width);
-        }
+            (-(fb.p95_age / self.policy.target_p95).log2()).clamp(-1.0, 0.0)
+        } else if fb.backlog == 0 {
+            (self.policy.base_width / self.width).log2().clamp(-1.0, 1.0)
+        } else {
+            // Calm with work in flight: hold the width and the PID
+            // memory exactly as they are.
+            return;
+        };
+        self.apply(error);
+    }
+
+    /// The burst-cut width adjustment: the count trigger firing before
+    /// the time trigger is direct evidence the width is too wide for
+    /// the current arrival rate, so the cut feeds a full-halving error
+    /// into the controller. Without it, every burst's tail waits out
+    /// one more full-width window before the latency feedback lands.
+    pub(crate) fn burst_narrow(&mut self) {
+        self.apply(-1.0);
+    }
+
+    /// One damped PID step over the log-width control variable.
+    fn apply(&mut self, error: f64) {
+        let derivative = error - self.prev_error;
+        self.prev_error = error;
+        self.integral = (self.integral + error).clamp(-INTEGRAL_CLAMP, INTEGRAL_CLAMP);
+        let u = (KP * error + KI * self.integral + KD * derivative).clamp(-1.0, 1.0);
+        self.width = (self.width * u.exp2()).clamp(self.policy.min_width, self.policy.max_width);
     }
 
     /// The decision label for a window of the current width.
@@ -492,16 +552,11 @@ impl<'a> Windower<'a> {
                         // ByCount-style cut: the closing task's time is
                         // the boundary; later events (ties included)
                         // fall to the next window via the cursor. The
-                        // count trigger firing before the time trigger
-                        // is direct evidence the width is too wide for
-                        // the current arrival rate, so the cut also
-                        // halves the width — without this, every
-                        // burst's tail waits out one more full-width
-                        // window before the latency feedback lands.
+                        // cut also narrows the width through the
+                        // controller (see `burst_narrow`).
                         window.end = window.tasks.last().expect("burst saw a task").time;
                         decision = WindowCutDecision::Burst;
-                        controller.width =
-                            (controller.width * 0.5).max(controller.policy.min_width);
+                        controller.burst_narrow();
                         break;
                     }
                 }
@@ -690,8 +745,9 @@ mod tests {
         let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, None);
         let w = former.next_window().unwrap();
         assert_eq!((w.start, w.end), (0.0, 10.0));
-        // Starved: backlog outnumbers the pool → width doubles and the
-        // next window must NOT burst-cut despite holding 4 tasks.
+        // Starved: backlog outnumbers the pool → the controller widens
+        // past the base and the next window must NOT burst-cut despite
+        // holding 4 tasks (threshold is 3).
         former.observe(&WindowFeedback {
             p95_age: 9.0,
             backlog: 1,
@@ -699,32 +755,43 @@ mod tests {
         });
         let w = former.next_window().unwrap();
         assert_eq!(former.last_decision(), WindowCutDecision::Widened);
-        assert_eq!((w.start, w.end), (10.0, 30.0));
+        assert_eq!(w.start, 10.0);
+        assert!(
+            w.end - w.start > 10.0,
+            "starvation must widen past the base width, got {}",
+            w.end - w.start
+        );
         assert_eq!(w.tasks.len(), 4);
     }
 
     #[test]
     fn latency_overshoot_narrows_down_to_the_floor() {
         let s = ArrivalStream::new(vec![task(0, 1.0)]);
-        let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, Some(100.0));
+        let mut former = Windower::new(WindowPolicy::Adaptive(tiny_adaptive()), &s, Some(400.0));
+        // 4× the target: a full-halving error every round.
         let overshoot = WindowFeedback {
-            p95_age: 9.5,
+            p95_age: 32.0,
             backlog: 0,
             pool: 5,
         };
         let w = former.next_window().unwrap();
         assert_eq!((w.start, w.end), (0.0, 10.0));
-        former.observe(&overshoot);
-        let w = former.next_window().unwrap();
-        assert_eq!(former.last_decision(), WindowCutDecision::Narrowed);
-        assert_eq!((w.start, w.end), (10.0, 15.0));
-        former.observe(&overshoot);
-        let w = former.next_window().unwrap();
-        assert_eq!((w.start, w.end), (15.0, 17.5));
-        former.observe(&overshoot);
+        // Sustained overshoot: widths fall monotonically (the integral
+        // term keeps pushing) until the floor pins them.
+        let mut prev = w.end - w.start;
+        for round in 0..8 {
+            former.observe(&overshoot);
+            let w = former.next_window().unwrap();
+            assert_eq!(former.last_decision(), WindowCutDecision::Narrowed);
+            let width = w.end - w.start;
+            assert!(
+                width <= prev,
+                "round {round}: sustained overshoot widened {prev} -> {width}"
+            );
+            prev = width;
+        }
         // Floor reached: 2.5 s is the minimum width.
-        let w = former.next_window().unwrap();
-        assert_eq!((w.start, w.end), (17.5, 20.0));
+        assert_eq!(prev, 2.5);
     }
 
     #[test]
