@@ -276,15 +276,20 @@ mod tests {
         ]);
         let cols = ratio_columns(&t);
         assert_eq!(cols.len(), 3, "{cols:?}");
-        assert!(cols
-            .iter()
-            .any(|c| c.contains("GRD halo/drop_pairs = 1.50x")), "{cols:?}");
-        assert!(cols
-            .iter()
-            .any(|c| c.contains("GRD/burst0.2 adaptive/static = 1.30x")), "{cols:?}");
-        assert!(cols
-            .iter()
-            .any(|c| c.contains("w16 delta/scratch = 0.25x")), "{cols:?}");
+        assert!(
+            cols.iter()
+                .any(|c| c.contains("GRD halo/drop_pairs = 1.50x")),
+            "{cols:?}"
+        );
+        assert!(
+            cols.iter()
+                .any(|c| c.contains("GRD/burst0.2 adaptive/static = 1.30x")),
+            "{cols:?}"
+        );
+        assert!(
+            cols.iter().any(|c| c.contains("w16 delta/scratch = 0.25x")),
+            "{cols:?}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::model::Instance;
 use dpta_dp::{EffectivePair, PrivacyLedger, Release, ReleaseSet};
 use dpta_matching::Assignment;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Ledger key for a whole-location release (the Geo-I baseline
@@ -265,6 +266,81 @@ impl Board {
     }
 }
 
+/// Verbatim state capture for session snapshots. Releases serialize as
+/// `(task, worker, set)` triples sorted by pair so equal boards always
+/// render identically; the cached `spent_total` floats are stored as-is
+/// (never re-summed on restore) so a restored board is bit-identical to
+/// the original, whatever publish order produced the sums.
+impl Serialize for Board {
+    fn serialize_value(&self) -> serde::Value {
+        let mut releases: Vec<(usize, usize, &ReleaseSet)> = self
+            .releases
+            .iter()
+            .map(|(&(t, w), set)| (t, w, set))
+            .collect();
+        releases.sort_by_key(|&(t, w, _)| (t, w));
+        serde::Value::Object(vec![
+            ("n_tasks".to_string(), self.n_tasks.serialize_value()),
+            ("n_workers".to_string(), self.n_workers.serialize_value()),
+            ("releases".to_string(), releases.serialize_value()),
+            ("alloc".to_string(), self.alloc.serialize_value()),
+            ("held".to_string(), self.held.serialize_value()),
+            ("ledgers".to_string(), self.ledgers.serialize_value()),
+            (
+                "spent_total".to_string(),
+                self.spent_total.serialize_value(),
+            ),
+            (
+                "publications".to_string(),
+                self.publications.serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Board {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error(format!("missing board field `{name}`")))
+        };
+        let n_tasks = usize::deserialize_value(field("n_tasks")?)?;
+        let n_workers = usize::deserialize_value(field("n_workers")?)?;
+        let triples = Vec::<(usize, usize, ReleaseSet)>::deserialize_value(field("releases")?)?;
+        let mut releases = HashMap::with_capacity(triples.len());
+        for (t, w, set) in triples {
+            if t >= n_tasks || w >= n_workers {
+                return Err(serde::Error(format!(
+                    "board release ({t}, {w}) outside {n_tasks} x {n_workers}"
+                )));
+            }
+            if releases.insert((t, w), set).is_some() {
+                return Err(serde::Error(format!("duplicate board release ({t}, {w})")));
+            }
+        }
+        let board = Board {
+            n_tasks,
+            n_workers,
+            releases,
+            alloc: Vec::deserialize_value(field("alloc")?)?,
+            held: Vec::deserialize_value(field("held")?)?,
+            ledgers: Vec::deserialize_value(field("ledgers")?)?,
+            spent_total: Vec::deserialize_value(field("spent_total")?)?,
+            publications: usize::deserialize_value(field("publications")?)?,
+        };
+        if board.alloc.len() != n_tasks
+            || board.held.len() != n_workers
+            || board.ledgers.len() != n_workers
+            || board.spent_total.len() != n_workers
+        {
+            return Err(serde::Error(format!(
+                "board vectors disagree with {n_tasks} x {n_workers}"
+            )));
+        }
+        Ok(board)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +435,40 @@ mod tests {
         let next = b.carry(4, 2, |_| None, |_| None);
         assert_eq!(next.publications(), 0);
         assert!(next.alloc().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn board_serialization_round_trips_verbatim() {
+        let mut b = Board::new(3, 2);
+        b.publish(0, 1, 5.0, 0.5);
+        b.publish(0, 1, 4.8, 0.7);
+        b.publish(2, 0, 3.0, 0.4);
+        b.charge_location(1, 1.0);
+        b.set_winner(0, Some(1));
+        b.set_winner(2, Some(0));
+        let tree = b.serialize_value();
+        let back = Board::deserialize_value(&tree).expect("round trip");
+        assert_eq!(back.n_tasks(), 3);
+        assert_eq!(back.n_workers(), 2);
+        assert_eq!(back.used_slots(0, 1), 2);
+        assert_eq!(back.effective(0, 1), b.effective(0, 1));
+        assert_eq!(back.winner(0), Some(1));
+        assert_eq!(back.task_of(0), Some(2));
+        assert_eq!(back.publications(), b.publications());
+        // Bit-exact floats and a canonical rendering: serializing the
+        // restored board yields the identical tree.
+        assert_eq!(back.spent_total(1).to_bits(), b.spent_total(1).to_bits());
+        assert_eq!(back.serialize_value(), tree);
+        // Out-of-range and duplicate releases are rejected.
+        let mut bad = tree.clone();
+        if let serde::Value::Object(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "n_tasks" {
+                    *v = serde::Value::Number(1.0);
+                }
+            }
+        }
+        assert!(Board::deserialize_value(&bad).is_err());
     }
 
     #[test]

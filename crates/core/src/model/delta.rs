@@ -268,7 +268,9 @@ impl DeltaInstance {
         mut budget_fn: impl FnMut(u64, u64) -> BudgetVector,
     ) {
         assert!(
-            self.task_index.insert(key, self.tasks.len() as u32).is_none(),
+            self.task_index
+                .insert(key, self.tasks.len() as u32)
+                .is_none(),
             "task key {key} is already live"
         );
         let slot = self.tasks.len() as u32;
@@ -494,7 +496,10 @@ mod tests {
             assert_eq!(got.reach(j), reference.reach(j), "worker {j}");
             for &i in reference.reach(j) {
                 assert_eq!(got.budget(i, j), reference.budget(i, j));
-                assert_eq!(got.distance(i, j).to_bits(), reference.distance(i, j).to_bits());
+                assert_eq!(
+                    got.distance(i, j).to_bits(),
+                    reference.distance(i, j).to_bits()
+                );
             }
         }
     }

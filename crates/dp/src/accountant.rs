@@ -295,8 +295,7 @@ impl CumulativeAccountant {
     /// Handle counterpart of [`remaining`](Self::remaining); zero for
     /// stale handles.
     pub fn remaining_at(&self, at: AccountId) -> f64 {
-        self.slots[at.0 as usize]
-            .map_or(0.0, |a| (a.capacity - a.spent - a.reserved).max(0.0))
+        self.slots[at.0 as usize].map_or(0.0, |a| (a.capacity - a.spent - a.reserved).max(0.0))
     }
 
     /// Whether `id` has spent its whole capacity (unknown ids count as
@@ -350,6 +349,66 @@ impl CumulativeAccountant {
             .filter_map(|&slot| self.slots[slot as usize])
             .map(|a| a.spent)
             .sum()
+    }
+}
+
+/// Canonical form: one row per live entity, ascending by id, with the
+/// dense slot layout discarded. Restoring assigns fresh contiguous
+/// slots — safe because every observable behaviour (iteration order,
+/// retirement order, float summation order) goes through the id index,
+/// never the slot vector, and it makes snapshot → restore → snapshot
+/// idempotent regardless of how many tombstones the original
+/// accumulated.
+impl Serialize for CumulativeAccountant {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.index
+                .iter()
+                .filter_map(|(&id, &slot)| {
+                    self.slots[slot as usize].map(|a| {
+                        serde::Value::Object(vec![
+                            ("id".to_string(), id.serialize_value()),
+                            ("capacity".to_string(), a.capacity.serialize_value()),
+                            ("spent".to_string(), a.spent.serialize_value()),
+                            ("reserved".to_string(), a.reserved.serialize_value()),
+                        ])
+                    })
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for CumulativeAccountant {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let rows = match v {
+            serde::Value::Array(rows) => rows,
+            other => return Err(serde::Error::expected("accountant row array", other)),
+        };
+        let mut acc = CumulativeAccountant::new();
+        for row in rows {
+            let field = |name: &str| {
+                row.get(name)
+                    .ok_or_else(|| serde::Error(format!("missing accountant field `{name}`")))
+            };
+            let id = u64::deserialize_value(field("id")?)?;
+            let account = Account {
+                capacity: f64::deserialize_value(field("capacity")?)?,
+                spent: f64::deserialize_value(field("spent")?)?,
+                reserved: f64::deserialize_value(field("reserved")?)?,
+            };
+            if account.capacity <= 0.0 || account.capacity.is_nan() {
+                return Err(serde::Error(format!(
+                    "accountant entity {id} has non-positive capacity"
+                )));
+            }
+            let slot = acc.slots.len() as u32;
+            acc.slots.push(Some(account));
+            if acc.index.insert(id, slot).is_some() {
+                return Err(serde::Error(format!("duplicate accountant entity {id}")));
+            }
+        }
+        Ok(acc)
     }
 }
 
@@ -537,6 +596,52 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         CumulativeAccountant::new().register(0, 0.0);
+    }
+
+    #[test]
+    fn accountant_round_trips_canonically() {
+        let mut acc = CumulativeAccountant::new();
+        acc.register(7, f64::INFINITY);
+        acc.register(2, 1.5);
+        acc.register(9, 4.0);
+        acc.charge(2, 0.5);
+        acc.reserve(9, 1.25); // outstanding reservation must survive
+        acc.forget(7); // leaves a slot tombstone
+        let back =
+            CumulativeAccountant::deserialize_value(&acc.serialize_value()).expect("round trip");
+        assert_eq!(back.tracked().collect::<Vec<_>>(), vec![2, 9]);
+        assert_eq!(back.spent(2), acc.spent(2));
+        assert_eq!(back.reserved(9), acc.reserved(9));
+        assert_eq!(back.remaining(9), acc.remaining(9));
+        // Canonical: a second round trip is value-identical.
+        assert_eq!(back.serialize_value(), acc.serialize_value());
+        // Infinite capacities survive exactly.
+        let mut inf = CumulativeAccountant::new();
+        inf.register(1, f64::INFINITY);
+        let back = CumulativeAccountant::deserialize_value(&inf.serialize_value()).unwrap();
+        assert_eq!(back.remaining(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn accountant_rejects_malformed_rows() {
+        use serde::Value;
+        let dup = Value::Array(vec![
+            Value::Object(vec![
+                ("id".into(), Value::Number(1.0)),
+                ("capacity".into(), Value::Number(1.0)),
+                ("spent".into(), Value::Number(0.0)),
+                ("reserved".into(), Value::Number(0.0)),
+            ]);
+            2
+        ]);
+        assert!(CumulativeAccountant::deserialize_value(&dup).is_err());
+        let bad_cap = Value::Array(vec![Value::Object(vec![
+            ("id".into(), Value::Number(1.0)),
+            ("capacity".into(), Value::Number(0.0)),
+            ("spent".into(), Value::Number(0.0)),
+            ("reserved".into(), Value::Number(0.0)),
+        ])]);
+        assert!(CumulativeAccountant::deserialize_value(&bad_cap).is_err());
     }
 
     proptest! {

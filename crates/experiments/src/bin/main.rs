@@ -136,14 +136,20 @@ STREAM OPTIONS (dpta-experiments stream ...):
                            stream, with per-cycle utilization columns;
                            gated on re-entry strictly raising fleet
                            utilization (matches per worker arrival)
+      --resume             also run the durable-session smoke: snapshot
+                           each method's session mid-stream, serialize
+                           through JSON, restore and drain; gated on
+                           the resumed run matching the uninterrupted
+                           run bit for bit (fates, window cuts, spend
+                           and the typed outcome log)
       --strict             escalate pipeline warnings to hard errors
                            (e.g. the count-window shard coercion)
   Exits non-zero if the sharded run does not match the unsharded run
   exactly on the shard-disjoint witness stream, or (with --halo) if
   the halo run diverges or fails to beat drop-pairs sharding, or
   (with --adaptive) if the adaptive gate fails, or (with --reentry)
-  if the utilization gate fails, or (with --strict) if any warning
-  fired."
+  if the utilization gate fails, or (with --resume) if the restored
+  session diverges, or (with --strict) if any warning fired."
     );
 }
 
@@ -248,6 +254,7 @@ fn parse_stream_args(mut it: std::env::Args) -> Result<stream_cmd::StreamArgs, S
             "--halo" => args.halo = true,
             "--adaptive" => args.adaptive = true,
             "--reentry" => args.reentry = true,
+            "--resume" => args.resume = true,
             "--strict" => args.strict = true,
             "--help" | "-h" => {
                 print_help();

@@ -14,8 +14,8 @@ use dpta_core::{AssignmentEngine, Method, Task, Worker};
 use dpta_spatial::{Aabb, GridPartition, Point};
 use dpta_stream::{
     run_sharded, run_sharded_halo, AdaptivePolicy, ArrivalEvent, ArrivalModel, ArrivalStream,
-    Outcome, ServiceModel, StreamConfig, StreamDriver, StreamReport, StreamScenario, StreamSession,
-    TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
+    Outcome, ServiceModel, SessionSnapshot, StreamConfig, StreamDriver, StreamReport,
+    StreamScenario, StreamSession, TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
 };
 use dpta_workloads::{Dataset, Scenario};
 
@@ -56,6 +56,11 @@ pub struct StreamArgs {
     /// gated on re-entry strictly raising fleet utilization
     /// (matches per worker arrival).
     pub reentry: bool,
+    /// Run the durable-session smoke: snapshot every method's session
+    /// mid-stream, serialize through JSON, restore, drain — gated on
+    /// the resumed run matching the uninterrupted run bit for bit
+    /// (fates, window cuts, spend and outcome log).
+    pub resume: bool,
     /// Escalate pipeline warnings (e.g. the count-window shard
     /// coercion) to hard errors — `--verify`-style gating.
     pub strict: bool,
@@ -76,6 +81,7 @@ impl Default for StreamArgs {
             halo: false,
             adaptive: false,
             reentry: false,
+            resume: false,
             strict: false,
         }
     }
@@ -360,6 +366,74 @@ fn run_reentry_section(methods: &[Method], base: &StreamConfig, scenario: &Scena
     ok
 }
 
+/// The `--resume` smoke: for each method, the stream is cut at its
+/// midpoint, the session snapshotted there, serialized through JSON,
+/// dropped and restored, and the tail drained — the resumed run must
+/// match the uninterrupted run bit for bit (reports with timing zeroed,
+/// plus the full typed outcome log). Returns `false` on any divergence.
+fn run_resume_section(methods: &[Method], cfg: &StreamConfig, stream: &ArrivalStream) -> bool {
+    let events = stream.events();
+    let split = events.len() / 2;
+    println!(
+        "\ndurable-session smoke (snapshot at event {split}/{}, JSON round-trip, restore, drain):",
+        events.len()
+    );
+    let mut ok = true;
+    for &method in methods {
+        let engine = method.engine(&cfg.params);
+        let (baseline, base_outcomes) = drive_session(engine.as_ref(), cfg, stream);
+
+        let mut session = StreamSession::new(engine.as_ref(), cfg.clone());
+        for e in &events[..split] {
+            session.push(*e);
+        }
+        if split > 0 {
+            session.advance_to(events[split - 1].time());
+        }
+        let snapshot = session.snapshot();
+        let json = snapshot.to_json();
+        drop(session);
+        let parsed = match SessionSnapshot::from_json(&json) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("  {:<10} snapshot did not round-trip: {e}", method.name());
+                ok = false;
+                continue;
+            }
+        };
+        let mut session = match StreamSession::restore(engine.as_ref(), cfg.clone(), &parsed) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("  {:<10} restore failed: {e}", method.name());
+                ok = false;
+                continue;
+            }
+        };
+        for e in &events[split..] {
+            session.push(*e);
+        }
+        let resumed = session.close();
+        let resumed_outcomes = session.poll_outcomes();
+
+        let identical = resumed.without_timing() == baseline.without_timing()
+            && resumed_outcomes == base_outcomes;
+        ok &= identical;
+        println!(
+            "  {:<10} {:>5} matched, {} windows, {:.0} B snapshot | {}",
+            method.name(),
+            resumed.matched(),
+            resumed.windows.len(),
+            json.len(),
+            if identical {
+                "BIT-FOR-BIT (fates, cuts, spend, outcomes)"
+            } else {
+                "DIVERGED FROM UNINTERRUPTED RUN"
+            },
+        );
+    }
+    ok
+}
+
 /// One row of the adaptive comparison table.
 fn adaptive_row(label: &str, report: &StreamReport) {
     println!(
@@ -573,6 +647,10 @@ pub fn run(args: &StreamArgs) -> bool {
         println!("{}", report.render());
     }
 
+    if args.resume {
+        all_match &= run_resume_section(&args.methods, &cfg, &stream);
+    }
+
     if args.adaptive {
         all_match &= run_adaptive_section(&args.methods, &cfg, &bursty_stream(&scenario));
     }
@@ -717,6 +795,26 @@ mod tests {
             run_reentry_section(&[Method::Puce, Method::Pgt, Method::Grd], &cfg, &scenario),
             "the re-entry utilization gate must hold at the default scenario"
         );
+    }
+
+    #[test]
+    fn resume_smoke_is_bit_for_bit_across_policies() {
+        // Pins the PR 7 acceptance claim at the CI smoke scale: the
+        // mid-stream snapshot/restore drain matches the uninterrupted
+        // run bit for bit for every default method, under both a static
+        // and the adaptive window policy.
+        for policy in [
+            WindowPolicy::ByTime { width: 120.0 },
+            WindowPolicy::Adaptive(AdaptivePolicy::default()),
+        ] {
+            let args = StreamArgs {
+                scale: 0.03,
+                policy,
+                resume: true,
+                ..StreamArgs::default()
+            };
+            assert!(run(&args), "durable-session smoke failed under {policy:?}");
+        }
     }
 
     #[test]

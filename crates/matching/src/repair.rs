@@ -177,12 +177,12 @@ where
             if gain[t] == NEG {
                 continue;
             }
-            for w in 0..n {
+            for (w, &held) in task_of.iter().enumerate() {
                 let Some(p) = profit(t, w) else { continue };
                 if p < 0.0 {
                     continue; // never match at a loss (unmatched = 0)
                 }
-                match task_of[w] {
+                match held {
                     None => {
                         let total = gain[t] + p;
                         if total > best.0 + 1e-12 {
@@ -274,10 +274,7 @@ mod tests {
         let profit = |i: usize, j: usize| Some(p[i][j]);
         let a = max_weight_matching(2, 2, profit);
         let b = repair_after_worker_removal(2, 3, |i, j| (j < 2).then(|| p[i][j]), &a, 2);
-        assert_eq!(
-            a.pairs().collect::<Vec<_>>(),
-            b.pairs().collect::<Vec<_>>()
-        );
+        assert_eq!(a.pairs().collect::<Vec<_>>(), b.pairs().collect::<Vec<_>>());
     }
 
     #[test]
@@ -309,9 +306,9 @@ mod tests {
                 c.join(t, w);
             }
             let adj = comp_brute(m, n, &edges);
-            for t in 0..m {
+            for (t, row) in adj.iter().enumerate().take(m) {
                 for w in 0..n {
-                    let connected = adj[t][m + w] || edges.contains(&(t, w));
+                    let connected = row[m + w] || edges.contains(&(t, w));
                     prop_assert_eq!(
                         c.find_task(t) == c.find_worker(w),
                         connected,

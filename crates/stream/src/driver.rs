@@ -36,6 +36,7 @@ use crate::window::WindowPolicy;
 use dpta_core::{AssignmentEngine, RunParams};
 use dpta_dp::{NoiseSource, SeededNoise};
 use dpta_workloads::Scenario;
+use serde::{Deserialize, Serialize};
 
 /// Dedup of releases already charged to the lifetime accountant.
 /// Fresh-board engines re-publish bit-identical releases for pairs
@@ -122,8 +123,72 @@ impl ReleaseDedup {
     }
 }
 
+// Canonical snapshot form: workers sorted by id, each with its pair
+// counts sorted by task id and its location bits in charge order. The
+// interning order of `index` is unobservable (lookups go through the
+// map), so re-interning in sorted order on restore is behaviourally
+// identical — and two dedups with the same charges always serialize to
+// the same bytes, which the snapshot byte-identity gate relies on.
+impl Serialize for ReleaseDedup {
+    fn serialize_value(&self) -> serde::Value {
+        let mut ids: Vec<u32> = self.index.keys().copied().collect();
+        ids.sort_unstable();
+        let workers: Vec<serde::Value> = ids
+            .iter()
+            .map(|wid| {
+                let w = &self.workers[self.index[wid] as usize];
+                let mut pairs: Vec<(u32, u32)> =
+                    w.pairs.iter().map(|(tid, count)| (*tid, *count)).collect();
+                pairs.sort_unstable();
+                serde::Value::Object(vec![
+                    ("id".to_string(), wid.serialize_value()),
+                    ("pairs".to_string(), pairs.serialize_value()),
+                    ("locations".to_string(), w.locations.serialize_value()),
+                ])
+            })
+            .collect();
+        serde::Value::Array(workers)
+    }
+}
+
+impl Deserialize for ReleaseDedup {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Array(items) = v else {
+            return Err(serde::Error::expected("ReleaseDedup array", v));
+        };
+        let mut dedup = ReleaseDedup::default();
+        for item in items {
+            let id = item
+                .get("id")
+                .ok_or_else(|| serde::Error("ReleaseDedup entry missing id".to_string()))?;
+            let wid = u32::deserialize_value(id)?;
+            if dedup.index.contains_key(&wid) {
+                return Err(serde::Error(format!(
+                    "ReleaseDedup has duplicate worker id {wid}"
+                )));
+            }
+            let pairs = item
+                .get("pairs")
+                .ok_or_else(|| serde::Error("ReleaseDedup entry missing pairs".to_string()))?;
+            let locations = item
+                .get("locations")
+                .ok_or_else(|| serde::Error("ReleaseDedup entry missing locations".to_string()))?;
+            let charges = dedup.worker_mut(wid);
+            for (tid, count) in Vec::<(u32, u32)>::deserialize_value(pairs)? {
+                if charges.pairs.insert(tid, count).is_some() {
+                    return Err(serde::Error(format!(
+                        "ReleaseDedup worker {wid} has duplicate task id {tid}"
+                    )));
+                }
+            }
+            charges.locations = Vec::<u64>::deserialize_value(locations)?;
+        }
+        Ok(dedup)
+    }
+}
+
 /// Configuration of one stream run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamConfig {
     /// How arrivals are grouped into batches.
     pub policy: WindowPolicy,
@@ -304,7 +369,7 @@ impl NoiseSource for IdStableNoise<'_> {
 }
 
 /// A task waiting to be served.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub(crate) struct PendingTask {
     pub(crate) arrival: TaskArrival,
     /// Windows of participation left before expiry.

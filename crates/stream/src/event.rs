@@ -8,6 +8,7 @@
 
 use dpta_core::{Task, Worker};
 use dpta_spatial::GridPartition;
+use serde::{Deserialize, Serialize};
 
 /// A task arriving at `time` with a stable logical id.
 ///
@@ -15,7 +16,7 @@ use dpta_spatial::GridPartition;
 /// fate accounting are keyed by id, not by per-window instance index,
 /// so a task keeps its privacy state while it is carried across
 /// windows.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaskArrival {
     /// Stable logical task id, unique among the stream's tasks.
     pub id: u32,
@@ -26,7 +27,7 @@ pub struct TaskArrival {
 }
 
 /// A worker coming on duty at `time` with a stable logical id.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkerArrival {
     /// Stable logical worker id, unique among the stream's workers.
     pub id: u32,
@@ -43,6 +44,40 @@ pub enum ArrivalEvent {
     Worker(WorkerArrival),
     /// A task is requested.
     Task(TaskArrival),
+}
+
+// Hand-written externally-tagged representation — `{"Worker": {...}}` /
+// `{"Task": {...}}`, matching what the derive would emit if it
+// supported newtype variants. Session snapshots persist the windower's
+// buffered events through these.
+impl Serialize for ArrivalEvent {
+    fn serialize_value(&self) -> serde::Value {
+        let (tag, body) = match self {
+            ArrivalEvent::Worker(w) => ("Worker", w.serialize_value()),
+            ArrivalEvent::Task(t) => ("Task", t.serialize_value()),
+        };
+        serde::Value::Object(vec![(tag.to_string(), body)])
+    }
+}
+
+impl Deserialize for ArrivalEvent {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Object(fields) if fields.len() == 1 => {
+                let (tag, body) = &fields[0];
+                match tag.as_str() {
+                    "Worker" => Ok(ArrivalEvent::Worker(WorkerArrival::deserialize_value(
+                        body,
+                    )?)),
+                    "Task" => Ok(ArrivalEvent::Task(TaskArrival::deserialize_value(body)?)),
+                    other => Err(serde::Error(format!(
+                        "unknown ArrivalEvent variant {other:?}"
+                    ))),
+                }
+            }
+            other => Err(serde::Error::expected("ArrivalEvent object", other)),
+        }
+    }
 }
 
 impl ArrivalEvent {

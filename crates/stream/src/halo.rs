@@ -82,16 +82,17 @@
 
 use crate::driver::{novel_ledger_spend, IdStableNoise, PendingTask, ReleaseDedup, StreamConfig};
 use crate::event::{ArrivalStream, WorkerArrival};
-use crate::metrics::{
-    percentile, ShardedReport, StreamReport, TaskFate, WindowFeedback, WindowReport,
-};
-use crate::window::Windower;
+use crate::metrics::{ShardedReport, StreamReport, TaskFate, WindowCutDecision, WindowReport};
+use crate::session::StepSignals;
+use crate::snapshot::SnapshotError;
+use crate::window::{Window, WindowPolicy, Windower};
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::{AssignmentEngine, Board, DeltaInstance, Instance, RunOutcome};
 use dpta_dp::{CumulativeAccountant, SeededNoise};
 use dpta_matching::repair::PairComponents;
 use dpta_spatial::GridPartition;
 use dpta_workloads::budgets::BudgetGen;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -103,12 +104,14 @@ use std::time::{Duration, Instant};
 /// stack onto the next window's board; the result is bit-identical to
 /// carrying a monolithic full-rerun board because an entity's release
 /// history never leaves its own feasibility component.
-struct Carried {
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Carried {
     sources: Vec<CarrySource>,
 }
 
 /// One board in the carried stack, keyed by the logical ids it was
 /// built over.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct CarrySource {
     board: Board,
     task_ids: Vec<u32>,
@@ -122,7 +125,8 @@ struct CarrySource {
 /// on shard-disjoint input.
 ///
 /// [`ServiceModel`]: crate::ServiceModel
-struct Serving {
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct Serving {
     return_time: f64,
     worker: WorkerArrival,
 }
@@ -225,52 +229,143 @@ pub(crate) fn run_halo(
     // The halo coordinator always windows the *merged global* stream,
     // so the adaptive controller (like count windows) aligns across
     // shards by construction; its feedback is computed from the global
-    // pool/pending state below, mirroring the unsharded driver.
+    // pool/pending state inside the stepper, mirroring the unsharded
+    // driver.
     let mut former = Windower::new(cfg.policy, stream, cfg.horizon);
-    let n_shards = partition.n_shards();
-    let warm = cfg.carry_releases && engine.supports_warm_start();
-    let capped = warm && cfg.worker_capacity.is_finite();
-    // Component-restricted reruns are sound only when a rerun's inputs
-    // beyond the instance itself are pass-invariant: a finite hard cap
-    // reads the live accountant (reservations move between passes), so
-    // capped reruns stay full. `halo_full_rerun` is the debugging /
-    // reference override.
-    let incremental = !capped && !cfg.halo_full_rerun;
-    let budget_gen = BudgetGen::new(
-        cfg.params.seed ^ 0x5712_EA11,
-        0,
-        cfg.budget_range,
-        cfg.budget_group_size,
-    );
+    let mut core = HaloCore::new(engine, cfg.clone(), partition.n_shards());
+    while let Some(window) = former.next_window() {
+        let cut = former.last_decision();
+        let signals = core.step_window(partition, &window, cut);
+        if former.needs_feedback() {
+            former.observe(&StepSignals::merge(std::slice::from_ref(&signals)));
+        }
+    }
+    core.finish(partition)
+}
 
+/// The halo coordinator's cross-window state, stepped one globally
+/// formed window at a time. [`run_halo`] drains a pre-built stream
+/// through it; the sharded session drives it from a push windower, and
+/// [`HaloCore::snapshot`] / [`HaloCore::from_snapshot`] make a mid-run
+/// coordinator durable — a restored shard re-enters reconciliation
+/// coherently because the whole protocol state (pool, pending,
+/// in-service set, lifetime ledger, release dedup, carried board
+/// stacks) lives here, while the per-shard membership and maintained
+/// instances are deterministically rebuilt from it.
+pub(crate) struct HaloCore<'e> {
+    engine: &'e dyn AssignmentEngine,
+    cfg: StreamConfig,
+    warm: bool,
+    capped: bool,
+    incremental: bool,
+    reentry: bool,
+    budget_gen: BudgetGen,
     // Per-shard report state.
-    let mut shard_windows: Vec<Vec<WindowReport>> = vec![Vec::new(); n_shards];
-    let mut shard_fates: Vec<BTreeMap<u32, TaskFate>> = vec![BTreeMap::new(); n_shards];
-    let mut shard_tasks = vec![0usize; n_shards];
-    let mut shard_workers = vec![0usize; n_shards];
-    let mut shard_spend: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); n_shards];
-
+    shard_windows: Vec<Vec<WindowReport>>,
+    shard_fates: Vec<BTreeMap<u32, TaskFate>>,
+    shard_tasks: Vec<usize>,
+    shard_workers: Vec<usize>,
+    shard_spend: Vec<BTreeMap<u32, f64>>,
     // Global pipeline state — one pool, one pending list, one
     // accountant, one in-service set, exactly like the unsharded
     // driver.
-    let reentry = cfg.service.reenters();
-    let mut pool: Vec<WorkerArrival> = Vec::new();
-    let mut pending: Vec<PendingTask> = Vec::new();
-    let mut in_service: VecDeque<Serving> = VecDeque::new();
-    let mut accountant = CumulativeAccountant::new();
-    let mut charged = ReleaseDedup::default();
-    let mut carried: Vec<Option<Carried>> = (0..n_shards).map(|_| None).collect();
+    pool: Vec<WorkerArrival>,
+    pending: Vec<PendingTask>,
+    in_service: VecDeque<Serving>,
+    accountant: CumulativeAccountant,
+    charged: ReleaseDedup,
+    carried: Vec<Option<Carried>>,
     // The maintained per-shard instances: shard `k`'s delta holds its
     // uncommitted owned tasks and every uncommitted worker whose disc
     // reaches cell `k`, in pool/pending order. All pool and pending
     // mutations below are mirrored into them, so preparing a shard run
     // is an O(live + pairs) emission instead of a from-scratch rebuild.
-    let mut deltas: Vec<DeltaInstance> = (0..n_shards).map(|_| DeltaInstance::new()).collect();
-    let mut member: HashMap<u32, Membership> = HashMap::new();
+    deltas: Vec<DeltaInstance>,
+    member: HashMap<u32, Membership>,
+}
 
-    while let Some(window) = former.next_window() {
-        let window = &window;
-        let cut = former.last_decision();
+impl<'e> HaloCore<'e> {
+    /// A fresh coordinator for `engine` under `cfg` over `n_shards`
+    /// cells.
+    pub(crate) fn new(
+        engine: &'e dyn AssignmentEngine,
+        cfg: StreamConfig,
+        n_shards: usize,
+    ) -> Self {
+        let warm = cfg.carry_releases && engine.supports_warm_start();
+        let capped = warm && cfg.worker_capacity.is_finite();
+        // Component-restricted reruns are sound only when a rerun's
+        // inputs beyond the instance itself are pass-invariant: a
+        // finite hard cap reads the live accountant (reservations move
+        // between passes), so capped reruns stay full.
+        // `halo_full_rerun` is the debugging / reference override.
+        let incremental = !capped && !cfg.halo_full_rerun;
+        let reentry = cfg.service.reenters();
+        let budget_gen = BudgetGen::new(
+            cfg.params.seed ^ 0x5712_EA11,
+            0,
+            cfg.budget_range,
+            cfg.budget_group_size,
+        );
+        HaloCore {
+            engine,
+            cfg,
+            warm,
+            capped,
+            incremental,
+            reentry,
+            budget_gen,
+            shard_windows: vec![Vec::new(); n_shards],
+            shard_fates: vec![BTreeMap::new(); n_shards],
+            shard_tasks: vec![0; n_shards],
+            shard_workers: vec![0; n_shards],
+            shard_spend: vec![BTreeMap::new(); n_shards],
+            pool: Vec::new(),
+            pending: Vec::new(),
+            in_service: VecDeque::new(),
+            accountant: CumulativeAccountant::new(),
+            charged: ReleaseDedup::default(),
+            carried: (0..n_shards).map(|_| None).collect(),
+            deltas: (0..n_shards).map(|_| DeltaInstance::new()).collect(),
+            member: HashMap::new(),
+        }
+    }
+
+    /// One globally-formed window: admit, propose, reconcile, settle.
+    /// Returns the window's stream-observable signals for the adaptive
+    /// controller.
+    pub(crate) fn step_window(
+        &mut self,
+        partition: &GridPartition,
+        window: &Window,
+        cut: WindowCutDecision,
+    ) -> StepSignals {
+        let HaloCore {
+            engine,
+            cfg,
+            warm,
+            capped,
+            incremental,
+            reentry,
+            budget_gen,
+            shard_windows,
+            shard_fates,
+            shard_tasks,
+            shard_workers,
+            shard_spend,
+            pool,
+            pending,
+            in_service,
+            accountant,
+            charged,
+            carried,
+            deltas,
+            member,
+        } = self;
+        let engine: &dyn AssignmentEngine = *engine;
+        let cfg: &StreamConfig = cfg;
+        let (warm, capped, incremental, reentry) = (*warm, *capped, *incremental, *reentry);
+        let n_shards = deltas.len();
         // ── Re-admit returned workers ─────────────────────────────────
         // Completed service cycles re-enter the pool ahead of the
         // window's fresh arrivals, in (completion time, id) order — the
@@ -323,7 +418,7 @@ pub(crate) fn run_halo(
         // Observed stream state at window close (identical to the
         // unsharded driver's: one global pending list, same formula).
         // Static policies never read it, so skip the allocation there.
-        let ages: Vec<f64> = if former.needs_feedback() {
+        let ages: Vec<f64> = if matches!(cfg.policy, WindowPolicy::Adaptive(_)) {
             pending
                 .iter()
                 .map(|p| window.end - p.arrival.time)
@@ -339,13 +434,10 @@ pub(crate) fn run_halo(
             .enumerate()
             .map(|(i, p)| (p.arrival.id, i))
             .collect();
-        let pool_at: HashMap<u32, usize> = pool
-            .iter()
-            .enumerate()
-            .map(|(j, w)| (w.id, j))
-            .collect();
+        let pool_at: HashMap<u32, usize> =
+            pool.iter().enumerate().map(|(j, w)| (w.id, j)).collect();
         let mut avail = vec![0usize; n_shards];
-        for w in &pool {
+        for w in pool.iter() {
             for &k in &member[&w.id].reach {
                 avail[k] += 1;
             }
@@ -437,8 +529,16 @@ pub(crate) fn run_halo(
                             worker_ids,
                         }) => {
                             let p = prepare_sub_run(
-                                k, task_ids, worker_ids, &pend_at, &pool_at, &pending, &pool,
-                                &budget_gen, &carried[k], warm,
+                                k,
+                                task_ids,
+                                worker_ids,
+                                &pend_at,
+                                &pool_at,
+                                pending,
+                                pool,
+                                budget_gen,
+                                &carried[k],
+                                warm,
                             );
                             let (run, dt) = drive_prepared(engine, cfg, p);
                             sub_driven.push((k, run, dt));
@@ -449,12 +549,12 @@ pub(crate) fn run_halo(
                 }
                 claims[k].clear();
                 let built = prepare_run(
-                    &budget_gen,
+                    budget_gen,
                     k,
                     &deltas[k],
                     &carried[k],
                     warm,
-                    capped.then_some(&accountant),
+                    capped.then_some(&*accountant),
                     incremental,
                 );
                 if let Some(p) = built {
@@ -465,8 +565,8 @@ pub(crate) fn run_halo(
                         let (run, dt) = drive_prepared(engine, cfg, p);
                         account_run(
                             &run,
-                            &mut charged,
-                            &mut accountant,
+                            charged,
+                            accountant,
                             &mut window_spend,
                             &mut reports[k],
                         );
@@ -496,8 +596,8 @@ pub(crate) fn run_halo(
                 for (k, run, dt, is_sub) in driven {
                     account_run(
                         &run,
-                        &mut charged,
-                        &mut accountant,
+                        charged,
+                        accountant,
                         &mut window_spend,
                         &mut reports[k],
                     );
@@ -753,39 +853,165 @@ pub(crate) fn run_halo(
                 next_pending.push(p);
             }
         }
-        pending = next_pending;
-        for p in &pending {
+        *pending = next_pending;
+        for p in pending.iter() {
             reports[task_home_of(partition, p)].carried_out += 1;
         }
         for (k, report) in reports.into_iter().enumerate() {
             shard_windows[k].push(report);
         }
-        if former.needs_feedback() {
-            former.observe(&WindowFeedback {
-                p95_age: percentile(&ages, 0.95),
-                backlog: pending.len(),
-                pool: pool.len(),
-            });
+        StepSignals {
+            ages,
+            backlog: pending.len(),
+            pool: pool.len(),
         }
     }
 
-    for p in &pending {
-        shard_fates[task_home_of(partition, p)].insert(p.arrival.id, TaskFate::Pending);
+    /// Settles the remaining pending fates and assembles the per-shard
+    /// reports.
+    pub(crate) fn finish(mut self, partition: &GridPartition) -> ShardedReport {
+        for p in &self.pending {
+            self.shard_fates[task_home_of(partition, p)].insert(p.arrival.id, TaskFate::Pending);
+        }
+        let engine_name = self.engine.name().to_string();
+        ShardedReport {
+            shards: (0..self.shard_windows.len())
+                .map(|k| StreamReport {
+                    engine: engine_name.clone(),
+                    windows: std::mem::take(&mut self.shard_windows[k]),
+                    fates: std::mem::take(&mut self.shard_fates[k]),
+                    task_arrivals: self.shard_tasks[k],
+                    worker_arrivals: self.shard_workers[k],
+                    spend_by_worker: std::mem::take(&mut self.shard_spend[k]),
+                    warnings: Vec::new(),
+                })
+                .collect(),
+        }
     }
 
-    ShardedReport {
-        shards: (0..n_shards)
-            .map(|k| StreamReport {
-                engine: engine.name().to_string(),
-                windows: std::mem::take(&mut shard_windows[k]),
-                fates: std::mem::take(&mut shard_fates[k]),
-                task_arrivals: shard_tasks[k],
-                worker_arrivals: shard_workers[k],
-                spend_by_worker: std::mem::take(&mut shard_spend[k]),
-                warnings: Vec::new(),
-            })
-            .collect(),
+    /// Captures the coordinator's window-boundary state. The per-shard
+    /// maintained instances and the membership cache are *not* here —
+    /// both are pure functions of the partition and the serialized
+    /// pool / pending / in-service sets, rebuilt on restore.
+    pub(crate) fn snapshot(&self) -> HaloSnapshot {
+        HaloSnapshot {
+            shard_windows: self.shard_windows.clone(),
+            shard_fates: self.shard_fates.clone(),
+            shard_tasks: self.shard_tasks.clone(),
+            shard_workers: self.shard_workers.clone(),
+            shard_spend: self.shard_spend.clone(),
+            pool: self.pool.clone(),
+            pending: self.pending.clone(),
+            in_service: self.in_service.clone(),
+            accountant: self.accountant.clone(),
+            charged: self.charged.clone(),
+            carried: self.carried.clone(),
+        }
     }
+
+    /// Rebuilds a coordinator mid-stream from a snapshot. Membership is
+    /// re-resolved from the partition for every tracked worker (pooled
+    /// or serving — locations are immutable, so the result is
+    /// identical), and each shard's maintained instance is re-derived
+    /// by inserting the pool and pending set in their maintained order,
+    /// which equals the live coordinator's insertion order — so the
+    /// rebuilt instances emit bit-identically.
+    pub(crate) fn from_snapshot(
+        engine: &'e dyn AssignmentEngine,
+        cfg: StreamConfig,
+        partition: &GridPartition,
+        snap: &HaloSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let n_shards = partition.n_shards();
+        let per_shard = [
+            snap.shard_windows.len(),
+            snap.shard_fates.len(),
+            snap.shard_tasks.len(),
+            snap.shard_workers.len(),
+            snap.shard_spend.len(),
+            snap.carried.len(),
+        ];
+        if per_shard.iter().any(|&n| n != n_shards) {
+            return Err(SnapshotError::Malformed(format!(
+                "halo snapshot holds per-shard state for {} shards, partition has {n_shards}",
+                per_shard[0]
+            )));
+        }
+        let sorted = snap
+            .in_service
+            .iter()
+            .zip(snap.in_service.iter().skip(1))
+            .all(|(a, b)| (a.return_time, a.worker.id) <= (b.return_time, b.worker.id));
+        if !sorted {
+            return Err(SnapshotError::Malformed(
+                "halo in-service set is not in (completion time, id) order".to_string(),
+            ));
+        }
+        let mut core = HaloCore::new(engine, cfg, n_shards);
+        core.shard_windows = snap.shard_windows.clone();
+        core.shard_fates = snap.shard_fates.clone();
+        core.shard_tasks = snap.shard_tasks.clone();
+        core.shard_workers = snap.shard_workers.clone();
+        core.shard_spend = snap.shard_spend.clone();
+        core.pool = snap.pool.clone();
+        core.pending = snap.pending.clone();
+        core.in_service = snap.in_service.clone();
+        core.accountant = snap.accountant.clone();
+        core.charged = snap.charged.clone();
+        core.carried = snap.carried.clone();
+        for w in &snap.pool {
+            let m = Membership {
+                home: partition.shard_of(&w.worker.location),
+                reach: partition.reach_shards(&w.worker.location, w.worker.radius),
+            };
+            for &k in &m.reach {
+                core.deltas[k].insert_worker(u64::from(w.id), w.worker, |t, wk| {
+                    core.budget_gen.vector(t as usize, wk as usize)
+                });
+            }
+            core.member.insert(w.id, m);
+        }
+        for s in &snap.in_service {
+            // Serving workers left the maintained instances with their
+            // commit, but settle still consults their membership (home
+            // attribution, retirement mid-service).
+            core.member.insert(
+                s.worker.id,
+                Membership {
+                    home: partition.shard_of(&s.worker.worker.location),
+                    reach: partition
+                        .reach_shards(&s.worker.worker.location, s.worker.worker.radius),
+                },
+            );
+        }
+        for p in &snap.pending {
+            let home = partition.shard_of(&p.arrival.task.location);
+            core.deltas[home].insert_task(u64::from(p.arrival.id), p.arrival.task, |t, w| {
+                core.budget_gen.vector(t as usize, w as usize)
+            });
+        }
+        Ok(core)
+    }
+}
+
+/// The serializable window-boundary state of a [`HaloCore`]: per-shard
+/// report accumulators plus the global protocol state. Maintained
+/// instances and worker membership are deliberately absent — they are
+/// rebuild markers, re-derived on restore from the partition and the
+/// pool / pending order (see [`HaloCore::from_snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct HaloSnapshot {
+    pub(crate) shard_windows: Vec<Vec<WindowReport>>,
+    pub(crate) shard_fates: Vec<BTreeMap<u32, TaskFate>>,
+    pub(crate) shard_tasks: Vec<usize>,
+    pub(crate) shard_workers: Vec<usize>,
+    pub(crate) shard_spend: Vec<BTreeMap<u32, f64>>,
+    pub(crate) pool: Vec<WorkerArrival>,
+    pub(crate) pending: Vec<PendingTask>,
+    pub(crate) in_service: VecDeque<Serving>,
+    pub(crate) accountant: CumulativeAccountant,
+    pub(crate) charged: ReleaseDedup,
+    pub(crate) carried: Vec<Option<Carried>>,
 }
 
 /// Home shard of a pending task.

@@ -84,6 +84,7 @@ mod halo;
 mod metrics;
 mod session;
 mod shard;
+mod snapshot;
 mod window;
 
 pub use arrival::{ArrivalModel, StreamScenario};
@@ -95,6 +96,8 @@ pub use metrics::{
 };
 pub use session::{Outcome, ServiceModel, StreamSession};
 pub use shard::{
-    run_sharded, run_sharded_halo, run_sharded_with, ShardStrategy, COUNT_WINDOW_SHARD_WARNING,
+    run_sharded, run_sharded_halo, run_sharded_with, ShardStrategy, ShardedSession,
+    COUNT_WINDOW_SHARD_WARNING,
 };
+pub use snapshot::{SessionSnapshot, ShardedSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use window::{AdaptivePolicy, Window, WindowPolicy, Windower, MAX_WINDOWS};

@@ -1,6 +1,7 @@
 //! Stream-level reporting: per-window measures, task fates, and the
 //! aggregate throughput/latency/utility view of a whole run.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -11,7 +12,7 @@ use std::time::Duration;
 /// adaptive windows record the controller's decision so a run's report
 /// shows where windows were cut early (burst backlog) or ran at a
 /// widened/narrowed width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum WindowCutDecision {
     /// The window ran at its policy's nominal width (static policies
     /// always; adaptive windows whose width sat at the base width).
@@ -87,7 +88,7 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
 /// The conservation law of the pipeline: every arrival ends in exactly
 /// one of these states, checked by
 /// [`StreamReport::assert_conservation`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TaskFate {
     /// Matched to a worker in the given window.
     Assigned {
@@ -150,6 +151,104 @@ pub struct WindowReport {
     pub workers_returned: usize,
     /// Why the window closed when it did (adaptive windowing).
     pub cut: WindowCutDecision,
+}
+
+// Hand-written because `Duration` has no shim serde impl: `drive_time`
+// round-trips as `{"secs": u64, "nanos": u32}`, everything else exactly
+// as the derive would emit it.
+impl Serialize for WindowReport {
+    fn serialize_value(&self) -> serde::Value {
+        let drive_time = serde::Value::Object(vec![
+            (
+                "secs".to_string(),
+                self.drive_time.as_secs().serialize_value(),
+            ),
+            (
+                "nanos".to_string(),
+                self.drive_time.subsec_nanos().serialize_value(),
+            ),
+        ]);
+        serde::Value::Object(vec![
+            ("index".to_string(), self.index.serialize_value()),
+            ("start".to_string(), self.start.serialize_value()),
+            ("end".to_string(), self.end.serialize_value()),
+            (
+                "tasks_arrived".to_string(),
+                self.tasks_arrived.serialize_value(),
+            ),
+            ("carried_in".to_string(), self.carried_in.serialize_value()),
+            (
+                "workers_available".to_string(),
+                self.workers_available.serialize_value(),
+            ),
+            ("matched".to_string(), self.matched.serialize_value()),
+            ("expired".to_string(), self.expired.serialize_value()),
+            (
+                "carried_out".to_string(),
+                self.carried_out.serialize_value(),
+            ),
+            ("utility".to_string(), self.utility.serialize_value()),
+            ("distance".to_string(), self.distance.serialize_value()),
+            (
+                "epsilon_spent".to_string(),
+                self.epsilon_spent.serialize_value(),
+            ),
+            (
+                "publications".to_string(),
+                self.publications.serialize_value(),
+            ),
+            ("rounds".to_string(), self.rounds.serialize_value()),
+            ("drive_time".to_string(), drive_time),
+            (
+                "workers_retired".to_string(),
+                self.workers_retired.serialize_value(),
+            ),
+            (
+                "workers_departed".to_string(),
+                self.workers_departed.serialize_value(),
+            ),
+            (
+                "workers_returned".to_string(),
+                self.workers_returned.serialize_value(),
+            ),
+            ("cut".to_string(), self.cut.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for WindowReport {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<'v>(v: &'v serde::Value, name: &str) -> Result<&'v serde::Value, serde::Error> {
+            v.get(name)
+                .ok_or_else(|| serde::Error(format!("WindowReport missing field {name:?}")))
+        }
+        let dt = field(v, "drive_time")?;
+        let drive_time = Duration::new(
+            u64::deserialize_value(field(dt, "secs")?)?,
+            u32::deserialize_value(field(dt, "nanos")?)?,
+        );
+        Ok(WindowReport {
+            index: usize::deserialize_value(field(v, "index")?)?,
+            start: f64::deserialize_value(field(v, "start")?)?,
+            end: f64::deserialize_value(field(v, "end")?)?,
+            tasks_arrived: usize::deserialize_value(field(v, "tasks_arrived")?)?,
+            carried_in: usize::deserialize_value(field(v, "carried_in")?)?,
+            workers_available: usize::deserialize_value(field(v, "workers_available")?)?,
+            matched: usize::deserialize_value(field(v, "matched")?)?,
+            expired: usize::deserialize_value(field(v, "expired")?)?,
+            carried_out: usize::deserialize_value(field(v, "carried_out")?)?,
+            utility: f64::deserialize_value(field(v, "utility")?)?,
+            distance: f64::deserialize_value(field(v, "distance")?)?,
+            epsilon_spent: f64::deserialize_value(field(v, "epsilon_spent")?)?,
+            publications: usize::deserialize_value(field(v, "publications")?)?,
+            rounds: usize::deserialize_value(field(v, "rounds")?)?,
+            drive_time,
+            workers_retired: usize::deserialize_value(field(v, "workers_retired")?)?,
+            workers_departed: usize::deserialize_value(field(v, "workers_departed")?)?,
+            workers_returned: usize::deserialize_value(field(v, "workers_returned")?)?,
+            cut: WindowCutDecision::deserialize_value(field(v, "cut")?)?,
+        })
+    }
 }
 
 /// The aggregate outcome of one stream run.
@@ -448,6 +547,19 @@ impl ShardedReport {
     /// Summed engine time across shards (the sequential-equivalent cost).
     pub fn total_drive_time(&self) -> Duration {
         self.shards.iter().map(StreamReport::drive_time).sum()
+    }
+
+    /// A copy with every shard's wall-clock timing zeroed — the
+    /// semantic view of the sharded run (see
+    /// [`StreamReport::without_timing`]).
+    pub fn without_timing(&self) -> ShardedReport {
+        ShardedReport {
+            shards: self
+                .shards
+                .iter()
+                .map(StreamReport::without_timing)
+                .collect(),
+        }
     }
 
     /// Distinct warnings across all shard reports, in first-seen order.

@@ -40,13 +40,15 @@ use crate::event::{ArrivalEvent, WorkerArrival};
 use crate::metrics::{
     percentile, StreamReport, TaskFate, WindowCutDecision, WindowFeedback, WindowReport,
 };
-use crate::window::{AdaptiveController, Window, WindowPolicy, MAX_WINDOWS};
+use crate::snapshot::{SessionSnapshot, SnapshotError, SNAPSHOT_VERSION};
+use crate::window::{AdaptiveController, ControllerState, Window, WindowPolicy, MAX_WINDOWS};
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::metrics::measure;
 use dpta_core::{AssignmentEngine, Board, DeltaInstance};
 use dpta_dp::{AccountId, CumulativeAccountant, SeededNoise};
 use dpta_workloads::budgets::BudgetGen;
 use dpta_workloads::ValueModel;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
 
@@ -74,7 +76,7 @@ use std::time::Instant;
 /// };
 /// assert_eq!(model.duration(1.0, 6.0), Some(90.0 * 6.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ServiceModel {
     /// Serve-and-leave: a matched worker departs for good. This is the
     /// pre-re-entry pipeline, bit for bit.
@@ -136,7 +138,7 @@ impl ServiceModel {
 /// One typed event of the session's outcome log, drained via
 /// [`StreamSession::poll_outcomes`]. Everything the per-window reports
 /// aggregate is emitted here first, as it happens.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Outcome {
     /// A task was matched to a worker.
     Assigned {
@@ -187,15 +189,16 @@ pub enum Outcome {
 }
 
 /// One worker held out of the pool while serving a match.
-#[derive(Debug, Clone, Copy)]
-struct InService {
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct InService {
     return_time: f64,
     cycle: usize,
     worker: WorkerArrival,
 }
 
 /// The protocol state carried between windows for warm-start engines.
-struct CarriedBoard {
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CarriedBoard {
     board: Board,
     task_ids: Vec<u32>,
     worker_ids: Vec<u32>,
@@ -270,6 +273,30 @@ pub(crate) struct SessionCore<'e> {
     outcomes: VecDeque<Outcome>,
 }
 
+/// The serializable state of a [`SessionCore`] at a window boundary.
+///
+/// Everything not here is reconstructed on restore: `warm`/`reentry`
+/// are pure functions of the configuration and engine, `budget_gen` is
+/// a pure keyed generator re-derived from the seed, and the
+/// [`DeltaInstance`] caches are rebuilt by re-inserting the live pool
+/// and pending set in their maintained order — which *is* the insertion
+/// order a live session would have reached (pool/pending only append
+/// and retain), so the rebuilt instance emits bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CoreSnapshot {
+    pub(crate) pool: Vec<WorkerArrival>,
+    pub(crate) pending: Vec<PendingTask>,
+    pub(crate) in_service: VecDeque<InService>,
+    pub(crate) cycles: BTreeMap<u32, usize>,
+    pub(crate) accountant: CumulativeAccountant,
+    pub(crate) carried: Option<CarriedBoard>,
+    pub(crate) charged: ReleaseDedup,
+    pub(crate) fates: BTreeMap<u32, TaskFate>,
+    pub(crate) spend_by_worker: BTreeMap<u32, f64>,
+    pub(crate) reports: Vec<WindowReport>,
+    pub(crate) outcomes: VecDeque<Outcome>,
+}
+
 impl<'e> SessionCore<'e> {
     /// A fresh session core for `engine` under `cfg`.
     pub(crate) fn new(engine: &'e dyn AssignmentEngine, cfg: StreamConfig) -> Self {
@@ -306,6 +333,61 @@ impl<'e> SessionCore<'e> {
     /// Drains the outcome log accumulated since the last drain.
     pub(crate) fn drain_outcomes(&mut self) -> Vec<Outcome> {
         self.outcomes.drain(..).collect()
+    }
+
+    /// Captures the core's window-boundary state for a session
+    /// snapshot.
+    pub(crate) fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            pool: self.pool.clone(),
+            pending: self.pending.clone(),
+            in_service: self.in_service.clone(),
+            cycles: self.cycles.clone(),
+            accountant: self.accountant.clone(),
+            carried: self.carried.clone(),
+            charged: self.charged.clone(),
+            fates: self.fates.clone(),
+            spend_by_worker: self.spend_by_worker.clone(),
+            reports: self.reports.clone(),
+            outcomes: self.outcomes.clone(),
+        }
+    }
+
+    /// Rebuilds a core mid-stream from a snapshot. The delta caches are
+    /// re-derived by inserting the pool (workers, in pool order) and
+    /// the pending set (tasks, in pending order) — the maintained order
+    /// equals the live session's insertion order, so the rebuilt
+    /// instance emission is bit-identical to the uninterrupted run's.
+    pub(crate) fn from_snapshot(
+        engine: &'e dyn AssignmentEngine,
+        cfg: StreamConfig,
+        snap: &CoreSnapshot,
+    ) -> Self {
+        let mut core = SessionCore::new(engine, cfg);
+        core.pool = snap.pool.clone();
+        core.pending = snap.pending.clone();
+        core.in_service = snap.in_service.clone();
+        core.cycles = snap.cycles.clone();
+        core.accountant = snap.accountant.clone();
+        core.carried = snap.carried.clone();
+        core.charged = snap.charged.clone();
+        core.fates = snap.fates.clone();
+        core.spend_by_worker = snap.spend_by_worker.clone();
+        core.reports = snap.reports.clone();
+        core.outcomes = snap.outcomes.clone();
+        for w in &snap.pool {
+            core.delta
+                .insert_worker(u64::from(w.id), w.worker, |t, wk| {
+                    core.budget_gen.vector(t as usize, wk as usize)
+                });
+        }
+        for p in &snap.pending {
+            core.delta
+                .insert_task(u64::from(p.arrival.id), p.arrival.task, |tk, wk| {
+                    core.budget_gen.vector(tk as usize, wk as usize)
+                });
+        }
+        core
     }
 
     /// Settles remaining fates and assembles the aggregate report.
@@ -356,9 +438,10 @@ impl<'e> SessionCore<'e> {
         for w in &window.workers {
             self.accountant
                 .register(u64::from(w.id), self.cfg.worker_capacity);
-            self.delta.insert_worker(u64::from(w.id), w.worker, |t, wk| {
-                self.budget_gen.vector(t as usize, wk as usize)
-            });
+            self.delta
+                .insert_worker(u64::from(w.id), w.worker, |t, wk| {
+                    self.budget_gen.vector(t as usize, wk as usize)
+                });
             self.pool.push(*w);
         }
         for t in &window.tasks {
@@ -909,6 +992,68 @@ impl<'e> StreamSession<'e> {
         core.finish(self.n_tasks, self.n_workers)
     }
 
+    /// Captures the session's full state — buffered events, watermark,
+    /// adaptive-controller trajectory, pool/pending/in-service sets,
+    /// the lifetime-budget ledger with its dedup set, carried protocol
+    /// boards, fates and per-window reports — as a versioned, stable
+    /// [`SessionSnapshot`]. Restoring it with
+    /// [`StreamSession::restore`] and draining reproduces the
+    /// uninterrupted run bit for bit. Panics on a closed session.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let core = self.core.as_ref().expect("snapshot on a closed session");
+        SessionSnapshot {
+            version: SNAPSHOT_VERSION,
+            engine: core.engine.name().to_string(),
+            config: core.cfg.clone(),
+            windower: self.former.snapshot(),
+            core: core.snapshot(),
+            residual: self.residual.clone(),
+            n_tasks: self.n_tasks,
+            n_workers: self.n_workers,
+            task_ids: self.task_ids.clone(),
+            worker_ids: self.worker_ids.clone(),
+        }
+    }
+
+    /// Reopens a session from a snapshot taken by
+    /// [`StreamSession::snapshot`]. The caller supplies the engine and
+    /// configuration; both must match what the snapshot was taken
+    /// under — a different snapshot format version is rejected as
+    /// [`SnapshotError::VersionMismatch`], and any differing
+    /// configuration field (engine, policy, capacity, service model,
+    /// ...) as [`SnapshotError::ConfigMismatch`] naming the field.
+    /// Everything derivable is reconstructed: budget generators from
+    /// the seed, delta-instance caches from the live pool/pending
+    /// order.
+    pub fn restore(
+        engine: &'e dyn AssignmentEngine,
+        cfg: StreamConfig,
+        snapshot: &SessionSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.validate(engine.name(), &cfg)?;
+        let former = PushWindower::from_snapshot(cfg.policy, cfg.horizon, &snapshot.windower)?;
+        let core = SessionCore::from_snapshot(engine, cfg, &snapshot.core);
+        Ok(StreamSession {
+            core: Some(core),
+            former,
+            residual: snapshot.residual.clone(),
+            n_tasks: snapshot.n_tasks,
+            n_workers: snapshot.n_workers,
+            task_ids: snapshot.task_ids.clone(),
+            worker_ids: snapshot.worker_ids.clone(),
+        })
+    }
+
+    /// Extends the covered span to at least `t` — the sharded wrapper
+    /// injects the *global* span before closing so every shard forms
+    /// the same trailing windows, exactly like the batch runner's
+    /// horizon injection.
+    pub(crate) fn extend_horizon(&mut self, t: f64) {
+        let h = self.former.horizon.unwrap_or(0.0).max(t);
+        self.former.horizon = Some(h);
+        self.former.any_input = true;
+    }
+
     fn drive_ready(&mut self, drain: bool) {
         let core = self.core.as_mut().expect("core present");
         while let Some(window) = self.former.next_ready(drain) {
@@ -921,20 +1066,37 @@ impl<'e> StreamSession<'e> {
     }
 }
 
+/// The serializable state of a [`PushWindower`]: the buffered events
+/// still waiting for their window, the watermark/grid cursors, and the
+/// adaptive controller's PID state. The policy and configured horizon
+/// are *not* here — they are reconstructed from the restore-time
+/// [`StreamConfig`], which a snapshot validates against field by field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct WindowerSnapshot {
+    pub(crate) buffer: VecDeque<ArrivalEvent>,
+    pub(crate) watermark: f64,
+    pub(crate) next_start: f64,
+    pub(crate) index: usize,
+    pub(crate) controller: Option<ControllerState>,
+    pub(crate) last_decision: WindowCutDecision,
+    pub(crate) max_event_time: f64,
+    pub(crate) any_input: bool,
+}
+
 /// Incremental window former over pushed events — the push-mode
 /// counterpart of [`Windower`](crate::Windower), forming *identical*
 /// window sequences (same spans, same memberships, same adaptive cuts)
 /// once the same events have gone past it.
-struct PushWindower {
+pub(crate) struct PushWindower {
     policy: WindowPolicy,
     /// Buffered events, sorted by `(time, workers-before-tasks, id)` —
     /// the [`ArrivalStream`](crate::ArrivalStream) order.
     buffer: VecDeque<ArrivalEvent>,
-    watermark: f64,
+    pub(crate) watermark: f64,
     next_start: f64,
     index: usize,
     controller: Option<AdaptiveController>,
-    last_decision: WindowCutDecision,
+    pub(crate) last_decision: WindowCutDecision,
     /// Highest event timestamp seen.
     max_event_time: f64,
     /// Explicit horizon from the configuration.
@@ -942,11 +1104,11 @@ struct PushWindower {
     /// Anything observed at all (events, an advanced watermark, or an
     /// explicit horizon): an untouched session closes to zero windows,
     /// like the batch former on an empty stream.
-    any_input: bool,
+    pub(crate) any_input: bool,
 }
 
 impl PushWindower {
-    fn new(policy: WindowPolicy, horizon: Option<f64>) -> Self {
+    pub(crate) fn new(policy: WindowPolicy, horizon: Option<f64>) -> Self {
         let controller = match policy {
             WindowPolicy::Adaptive(p) => Some(AdaptiveController::new(p)),
             WindowPolicy::ByTime { width } => {
@@ -975,17 +1137,76 @@ impl PushWindower {
         }
     }
 
-    fn needs_feedback(&self) -> bool {
+    /// Captures the windower's state for a session snapshot.
+    pub(crate) fn snapshot(&self) -> WindowerSnapshot {
+        WindowerSnapshot {
+            buffer: self.buffer.clone(),
+            watermark: self.watermark,
+            next_start: self.next_start,
+            index: self.index,
+            controller: self.controller.as_ref().map(AdaptiveController::state),
+            last_decision: self.last_decision,
+            max_event_time: self.max_event_time,
+            any_input: self.any_input,
+        }
+    }
+
+    /// Rebuilds a windower mid-stream from a snapshot, under the
+    /// restore-time policy and horizon (already validated to match the
+    /// snapshotted configuration).
+    pub(crate) fn from_snapshot(
+        policy: WindowPolicy,
+        horizon: Option<f64>,
+        snap: &WindowerSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let mut w = PushWindower::new(policy, horizon);
+        w.controller = match (&policy, &snap.controller) {
+            (WindowPolicy::Adaptive(p), Some(state)) => {
+                Some(AdaptiveController::from_state(*p, *state))
+            }
+            (WindowPolicy::Adaptive(_), None) => {
+                return Err(SnapshotError::Malformed(
+                    "adaptive policy but no controller state in snapshot".to_string(),
+                ))
+            }
+            (_, Some(_)) => {
+                return Err(SnapshotError::Malformed(
+                    "controller state in snapshot under a static policy".to_string(),
+                ))
+            }
+            (_, None) => None,
+        };
+        let sorted = snap
+            .buffer
+            .iter()
+            .zip(snap.buffer.iter().skip(1))
+            .all(|(a, b)| (a.time(), a.kind_rank(), a.id()) <= (b.time(), b.kind_rank(), b.id()));
+        if !sorted {
+            return Err(SnapshotError::Malformed(
+                "windower buffer is not in stream order".to_string(),
+            ));
+        }
+        w.buffer = snap.buffer.clone();
+        w.watermark = snap.watermark;
+        w.next_start = snap.next_start;
+        w.index = snap.index;
+        w.last_decision = snap.last_decision;
+        w.max_event_time = snap.max_event_time;
+        w.any_input = snap.any_input || w.any_input;
+        Ok(w)
+    }
+
+    pub(crate) fn needs_feedback(&self) -> bool {
         self.controller.is_some()
     }
 
-    fn observe(&mut self, fb: &WindowFeedback) {
+    pub(crate) fn observe(&mut self, fb: &WindowFeedback) {
         if let Some(c) = self.controller.as_mut() {
             c.observe(fb);
         }
     }
 
-    fn push(&mut self, event: ArrivalEvent) {
+    pub(crate) fn push(&mut self, event: ArrivalEvent) {
         self.any_input = true;
         self.max_event_time = self.max_event_time.max(event.time());
         // Insertion keeps the stream sort order; pushes are usually
@@ -1000,7 +1221,7 @@ impl PushWindower {
     }
 
     /// Last instant the window sequence must cover once closing.
-    fn span(&self) -> f64 {
+    pub(crate) fn span(&self) -> f64 {
         self.max_event_time
             .max(self.horizon.unwrap_or(0.0))
             .max(self.watermark)
@@ -1008,7 +1229,7 @@ impl PushWindower {
 
     /// The next window that is certainly complete: bounded by the
     /// watermark in streaming mode, by the span in drain mode.
-    fn next_ready(&mut self, drain: bool) -> Option<Window> {
+    pub(crate) fn next_ready(&mut self, drain: bool) -> Option<Window> {
         if !self.any_input {
             return None;
         }

@@ -18,13 +18,16 @@
 //! halo protocol").
 
 use crate::driver::{StreamConfig, StreamDriver};
-use crate::event::ArrivalStream;
-use crate::halo;
+use crate::event::{ArrivalEvent, ArrivalStream};
+use crate::halo::{self, HaloCore};
 use crate::metrics::{ShardedReport, StreamReport};
-use crate::session::{SessionCore, StepSignals};
+use crate::session::{PushWindower, SessionCore, StepSignals, StreamSession};
+use crate::snapshot::{ShardedModeSnapshot, ShardedSnapshot, SnapshotError, SNAPSHOT_VERSION};
 use crate::window::{Window, WindowPolicy, Windower};
 use dpta_core::AssignmentEngine;
 use dpta_spatial::GridPartition;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// The warning drop-pairs sharding attaches to every shard report when
 /// it runs under a count policy: count windows close on shard-local
@@ -38,7 +41,7 @@ pub const COUNT_WINDOW_SHARD_WARNING: &str =
 
 /// How sharded execution treats feasible pairs that cross cell
 /// boundaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ShardStrategy {
     /// Route every entity to the cell owning its location and run the
     /// shards fully independently: cross-boundary pairs are silently
@@ -331,6 +334,504 @@ fn project_window(window: &Window, partition: &GridPartition, k: usize) -> Windo
             .filter(|w| partition.shard_of(&w.worker.location) == k)
             .copied()
             .collect(),
+    }
+}
+
+/// The push-based counterpart of [`run_sharded_with`]: one durable
+/// session over a spatial partition, fed events one at a time.
+///
+/// `push(event)` routes by the entity's location, `advance_to(t)`
+/// declares the global event-time watermark, and `close()` settles the
+/// per-shard [`ShardedReport`] — draining a pre-built stream through a
+/// `ShardedSession` reproduces the batch runner of the same strategy
+/// bit for bit (the crash-resume suite pins this). Like
+/// [`StreamSession`](crate::StreamSession), a mid-run session can be
+/// captured with [`snapshot`](Self::snapshot) and reopened with
+/// [`restore`](Self::restore); execution mode follows the batch
+/// runners: independent per-shard sessions for static drop-pairs
+/// policies, one lockstep windower for adaptive drop-pairs, and the
+/// halo coordinator for [`ShardStrategy::Halo`].
+///
+/// The typed per-event outcome log is a flat-session feature; the
+/// sharded session reports through its per-shard window reports and
+/// fates instead.
+///
+/// # Examples
+///
+/// ```
+/// use dpta_core::Method;
+/// use dpta_spatial::{Aabb, GridPartition};
+/// use dpta_stream::{
+///     run_sharded, ShardStrategy, ShardedSession, StreamConfig, StreamScenario, WindowPolicy,
+/// };
+/// use dpta_workloads::{Dataset, Scenario};
+///
+/// let stream = StreamScenario::new(Scenario {
+///     batch_size: 30,
+///     n_batches: 2,
+///     worker_range: 1.0,
+///     ..Scenario::for_dataset(Dataset::Uniform)
+/// })
+/// .stream();
+/// let cfg = StreamConfig {
+///     policy: WindowPolicy::ByTime { width: 60.0 },
+///     ..StreamConfig::default()
+/// };
+/// let part = GridPartition::new(Aabb::from_extents(0.0, 0.0, 100.0, 100.0), 2, 2);
+/// let engine = Method::Grd.engine(&cfg.params);
+///
+/// let mut session = ShardedSession::new(engine.as_ref(), cfg.clone(), &part, ShardStrategy::DropPairs);
+/// for &event in stream.events() {
+///     session.push(event);
+/// }
+/// let pushed = session.close();
+/// let batch = run_sharded(engine.as_ref(), &stream, &cfg, &part);
+/// assert_eq!(pushed.matched(), batch.matched());
+/// ```
+pub struct ShardedSession<'e, 'p> {
+    engine: &'e dyn AssignmentEngine,
+    cfg: StreamConfig,
+    partition: &'p GridPartition,
+    strategy: ShardStrategy,
+    watermark: f64,
+    task_ids: BTreeSet<u32>,
+    worker_ids: BTreeSet<u32>,
+    /// `None` once closed.
+    mode: Option<Mode<'e>>,
+}
+
+/// The three sharded execution modes, mirroring the batch runners.
+// One mode lives per session and is never collected, so the size skew
+// between variants costs nothing — boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum Mode<'e> {
+    /// Static drop-pairs policies: fully independent per-shard
+    /// sessions, the global span injected at close (the batch runner's
+    /// horizon injection).
+    PerShard {
+        shards: Vec<StreamSession<'e>>,
+        /// Events routed to each shard so far — only shards that
+        /// received input are horizon-extended and watermarked (empty
+        /// cells must close to empty reports, exactly like the batch
+        /// runner's undriven slots).
+        received: Vec<usize>,
+        max_event_time: f64,
+    },
+    /// Adaptive drop-pairs: one global windower cuts for every shard,
+    /// fed the merged shard signals.
+    Lockstep {
+        former: PushWindower,
+        cores: Vec<SessionCore<'e>>,
+        shard_tasks: Vec<usize>,
+        shard_workers: Vec<usize>,
+    },
+    /// The boundary-halo protocol behind a push windower.
+    Halo {
+        former: PushWindower,
+        core: HaloCore<'e>,
+    },
+}
+
+/// Per-shard sessions never see the user's horizon directly: the batch
+/// runner injects the *global* span into populated shards only, so the
+/// wrapper strips the horizon at construction and injects it via
+/// [`StreamSession::extend_horizon`] at close.
+fn per_shard_config(cfg: &StreamConfig) -> StreamConfig {
+    StreamConfig {
+        horizon: None,
+        ..cfg.clone()
+    }
+}
+
+impl<'e, 'p> ShardedSession<'e, 'p> {
+    /// Opens a sharded session for `engine` under `cfg`, partitioned by
+    /// `partition` under `strategy`. Panics on degenerate configuration
+    /// (the same invariants as
+    /// [`StreamSession::new`](crate::StreamSession::new)).
+    pub fn new(
+        engine: &'e dyn AssignmentEngine,
+        cfg: StreamConfig,
+        partition: &'p GridPartition,
+        strategy: ShardStrategy,
+    ) -> Self {
+        assert!(cfg.task_ttl >= 1, "task_ttl must be at least 1");
+        assert!(cfg.budget_group_size >= 1, "budget group must be non-empty");
+        assert!(
+            cfg.worker_capacity > 0.0,
+            "worker_capacity must be positive"
+        );
+        cfg.service.validate();
+        let n = partition.n_shards();
+        let mode = match (strategy, cfg.policy) {
+            (ShardStrategy::Halo, _) => Mode::Halo {
+                former: PushWindower::new(cfg.policy, cfg.horizon),
+                core: HaloCore::new(engine, cfg.clone(), n),
+            },
+            (ShardStrategy::DropPairs, WindowPolicy::Adaptive(_)) => Mode::Lockstep {
+                former: PushWindower::new(cfg.policy, cfg.horizon),
+                cores: (0..n)
+                    .map(|_| SessionCore::new(engine, cfg.clone()))
+                    .collect(),
+                shard_tasks: vec![0; n],
+                shard_workers: vec![0; n],
+            },
+            (ShardStrategy::DropPairs, _) => Mode::PerShard {
+                shards: (0..n)
+                    .map(|_| StreamSession::new(engine, per_shard_config(&cfg)))
+                    .collect(),
+                received: vec![0; n],
+                max_event_time: 0.0,
+            },
+        };
+        ShardedSession {
+            engine,
+            cfg,
+            partition,
+            strategy,
+            watermark: 0.0,
+            task_ids: BTreeSet::new(),
+            worker_ids: BTreeSet::new(),
+            mode: Some(mode),
+        }
+    }
+
+    /// The configuration this session runs under.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// The current global event-time watermark.
+    pub fn now(&self) -> f64 {
+        self.watermark
+    }
+
+    /// Feeds one arrival event, routed to the shard owning its
+    /// location. Panics under the same invariants as
+    /// [`StreamSession::push`](crate::StreamSession::push) — ids are
+    /// unique per entity kind *globally*, across shards.
+    pub fn push(&mut self, event: ArrivalEvent) {
+        let t = event.time();
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "arrival time must be finite and >= 0, got {t}"
+        );
+        assert!(
+            t >= self.watermark,
+            "late arrival: event at t = {t} is below the watermark {} \
+             (its window may already be driven)",
+            self.watermark
+        );
+        let fresh = match &event {
+            ArrivalEvent::Task(a) => self.task_ids.insert(a.id),
+            ArrivalEvent::Worker(a) => self.worker_ids.insert(a.id),
+        };
+        assert!(fresh, "arrival ids must be unique per entity kind");
+        let partition = self.partition;
+        match self.mode.as_mut().expect("push on a closed session") {
+            Mode::PerShard {
+                shards,
+                received,
+                max_event_time,
+            } => {
+                *max_event_time = max_event_time.max(t);
+                let loc = match &event {
+                    ArrivalEvent::Task(a) => a.task.location,
+                    ArrivalEvent::Worker(a) => a.worker.location,
+                };
+                let k = partition.shard_of(&loc);
+                shards[k].push(event);
+                received[k] += 1;
+            }
+            Mode::Lockstep { former, .. } | Mode::Halo { former, .. } => former.push(event),
+        }
+    }
+
+    /// Advances the global watermark to `t` (monotone; lower values are
+    /// no-ops) and drives every window that closes before it, in every
+    /// shard.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(self.mode.is_some(), "advance_to on a closed session");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "watermark must be finite, got {t}"
+        );
+        if t <= self.watermark {
+            return;
+        }
+        self.watermark = t;
+        let partition = self.partition;
+        match self.mode.as_mut().expect("mode present") {
+            Mode::PerShard {
+                shards, received, ..
+            } => {
+                for (k, s) in shards.iter_mut().enumerate() {
+                    if received[k] > 0 {
+                        s.advance_to(t);
+                    }
+                }
+            }
+            Mode::Lockstep {
+                former,
+                cores,
+                shard_tasks,
+                shard_workers,
+            } => {
+                former.watermark = t;
+                former.any_input = true;
+                drive_lockstep(former, cores, partition, shard_tasks, shard_workers, false);
+            }
+            Mode::Halo { former, core } => {
+                former.watermark = t;
+                former.any_input = true;
+                drive_halo(former, core, partition, false);
+            }
+        }
+    }
+
+    /// Drives every remaining window in every shard (trailing empties
+    /// included) and settles the per-shard reports. Panics if called
+    /// twice.
+    pub fn close(&mut self) -> ShardedReport {
+        let mode = self.mode.take().expect("close on a closed session");
+        match mode {
+            Mode::PerShard {
+                mut shards,
+                received,
+                max_event_time,
+            } => {
+                // The batch runner's horizon injection: every populated
+                // shard is forced onto the window grid of the *global*
+                // span, so windows line up across shards.
+                let inject = self
+                    .cfg
+                    .horizon
+                    .unwrap_or_else(|| max_event_time.max(self.watermark));
+                let mut reports = Vec::with_capacity(shards.len());
+                for (k, s) in shards.iter_mut().enumerate() {
+                    if received[k] > 0 {
+                        s.extend_horizon(inject);
+                    }
+                    reports.push(s.close());
+                }
+                if matches!(self.cfg.policy, WindowPolicy::ByCount { .. }) && reports.len() > 1 {
+                    for s in reports
+                        .iter_mut()
+                        .filter(|s| s.task_arrivals > 0 || s.worker_arrivals > 0)
+                    {
+                        s.warnings.push(COUNT_WINDOW_SHARD_WARNING.to_string());
+                    }
+                }
+                ShardedReport { shards: reports }
+            }
+            Mode::Lockstep {
+                mut former,
+                cores,
+                mut shard_tasks,
+                mut shard_workers,
+            } => {
+                let mut cores = cores;
+                drive_lockstep(
+                    &mut former,
+                    &mut cores,
+                    self.partition,
+                    &mut shard_tasks,
+                    &mut shard_workers,
+                    true,
+                );
+                ShardedReport {
+                    shards: cores
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, core)| core.finish(shard_tasks[k], shard_workers[k]))
+                        .collect(),
+                }
+            }
+            Mode::Halo {
+                mut former,
+                mut core,
+            } => {
+                drive_halo(&mut former, &mut core, self.partition, true);
+                core.finish(self.partition)
+            }
+        }
+    }
+
+    /// Captures the sharded session's full state — every shard's
+    /// windower and pipeline state, or the halo coordinator's global
+    /// protocol state — as a versioned [`ShardedSnapshot`]. Panics on a
+    /// closed session.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        let mode = self.mode.as_ref().expect("snapshot on a closed session");
+        let mode_snap = match mode {
+            Mode::PerShard {
+                shards,
+                max_event_time,
+                ..
+            } => ShardedModeSnapshot::PerShard {
+                shards: shards.iter().map(StreamSession::snapshot).collect(),
+                max_event_time: *max_event_time,
+            },
+            Mode::Lockstep {
+                former,
+                cores,
+                shard_tasks,
+                shard_workers,
+            } => ShardedModeSnapshot::Lockstep {
+                windower: former.snapshot(),
+                cores: cores.iter().map(SessionCore::snapshot).collect(),
+                shard_tasks: shard_tasks.clone(),
+                shard_workers: shard_workers.clone(),
+            },
+            Mode::Halo { former, core } => ShardedModeSnapshot::Halo {
+                windower: former.snapshot(),
+                core: core.snapshot(),
+            },
+        };
+        ShardedSnapshot {
+            version: SNAPSHOT_VERSION,
+            engine: self.engine.name().to_string(),
+            config: self.cfg.clone(),
+            strategy: self.strategy,
+            n_shards: self.partition.n_shards(),
+            watermark: self.watermark,
+            task_ids: self.task_ids.clone(),
+            worker_ids: self.worker_ids.clone(),
+            mode: mode_snap,
+        }
+    }
+
+    /// Reopens a sharded session from a snapshot taken by
+    /// [`ShardedSession::snapshot`]. Engine, configuration, strategy
+    /// and partition shard count must all match what the snapshot was
+    /// taken under — mismatches are rejected with the same typed errors
+    /// as [`StreamSession::restore`](crate::StreamSession::restore),
+    /// with `"strategy"` and `"partition"` as additional
+    /// [`SnapshotError::ConfigMismatch`] fields.
+    pub fn restore(
+        engine: &'e dyn AssignmentEngine,
+        cfg: StreamConfig,
+        partition: &'p GridPartition,
+        strategy: ShardStrategy,
+        snapshot: &ShardedSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.validate(engine.name(), &cfg, partition.n_shards(), strategy)?;
+        let n = partition.n_shards();
+        let bad_len = |what: &str| {
+            Err(SnapshotError::Malformed(format!(
+                "sharded snapshot's {what} does not cover every shard of the partition"
+            )))
+        };
+        let mode = match (&snapshot.mode, strategy, cfg.policy) {
+            (
+                ShardedModeSnapshot::PerShard {
+                    shards,
+                    max_event_time,
+                },
+                ShardStrategy::DropPairs,
+                policy,
+            ) if !matches!(policy, WindowPolicy::Adaptive(_)) => {
+                if shards.len() != n {
+                    return bad_len("per-shard session list");
+                }
+                let received = shards.iter().map(|s| s.n_tasks + s.n_workers).collect();
+                let sessions = shards
+                    .iter()
+                    .map(|s| StreamSession::restore(engine, per_shard_config(&cfg), s))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Mode::PerShard {
+                    shards: sessions,
+                    received,
+                    max_event_time: *max_event_time,
+                }
+            }
+            (
+                ShardedModeSnapshot::Lockstep {
+                    windower,
+                    cores,
+                    shard_tasks,
+                    shard_workers,
+                },
+                ShardStrategy::DropPairs,
+                WindowPolicy::Adaptive(_),
+            ) => {
+                if cores.len() != n || shard_tasks.len() != n || shard_workers.len() != n {
+                    return bad_len("lockstep core list");
+                }
+                Mode::Lockstep {
+                    former: PushWindower::from_snapshot(cfg.policy, cfg.horizon, windower)?,
+                    cores: cores
+                        .iter()
+                        .map(|c| SessionCore::from_snapshot(engine, cfg.clone(), c))
+                        .collect(),
+                    shard_tasks: shard_tasks.clone(),
+                    shard_workers: shard_workers.clone(),
+                }
+            }
+            (ShardedModeSnapshot::Halo { windower, core }, ShardStrategy::Halo, _) => Mode::Halo {
+                former: PushWindower::from_snapshot(cfg.policy, cfg.horizon, windower)?,
+                core: HaloCore::from_snapshot(engine, cfg.clone(), partition, core)?,
+            },
+            _ => {
+                return Err(SnapshotError::Malformed(
+                    "snapshot execution mode does not match the strategy/policy mode".to_string(),
+                ))
+            }
+        };
+        Ok(ShardedSession {
+            engine,
+            cfg,
+            partition,
+            strategy,
+            watermark: snapshot.watermark,
+            task_ids: snapshot.task_ids.clone(),
+            worker_ids: snapshot.worker_ids.clone(),
+            mode: Some(mode),
+        })
+    }
+}
+
+/// The lockstep drive loop shared by `advance_to` and `close`: project
+/// every ready global window onto every shard, step all cores, feed
+/// the merged signals back — the push-mode mirror of the batch
+/// adaptive runner.
+fn drive_lockstep(
+    former: &mut PushWindower,
+    cores: &mut [SessionCore],
+    partition: &GridPartition,
+    shard_tasks: &mut [usize],
+    shard_workers: &mut [usize],
+    drain: bool,
+) {
+    while let Some(window) = former.next_ready(drain) {
+        let cut = former.last_decision;
+        let signals: Vec<StepSignals> = cores
+            .iter_mut()
+            .enumerate()
+            .map(|(k, core)| {
+                let projected = project_window(&window, partition, k);
+                shard_tasks[k] += projected.tasks.len();
+                shard_workers[k] += projected.workers.len();
+                core.step(&projected, cut)
+            })
+            .collect();
+        former.observe(&StepSignals::merge(&signals));
+    }
+}
+
+/// The halo drive loop shared by `advance_to` and `close`: step the
+/// coordinator over every ready globally-formed window.
+fn drive_halo(
+    former: &mut PushWindower,
+    core: &mut HaloCore,
+    partition: &GridPartition,
+    drain: bool,
+) {
+    while let Some(window) = former.next_ready(drain) {
+        let cut = former.last_decision;
+        let signals = core.step_window(partition, &window, cut);
+        if former.needs_feedback() {
+            former.observe(&StepSignals::merge(std::slice::from_ref(&signals)));
+        }
     }
 }
 

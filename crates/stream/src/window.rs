@@ -18,6 +18,7 @@
 
 use crate::event::{ArrivalEvent, ArrivalStream, TaskArrival, WorkerArrival};
 use crate::metrics::{WindowCutDecision, WindowFeedback};
+use serde::{Deserialize, Serialize};
 
 /// When a window closes.
 ///
@@ -85,6 +86,63 @@ pub enum WindowPolicy {
     Adaptive(AdaptivePolicy),
 }
 
+// Hand-written externally-tagged representation: the `Adaptive` variant
+// is a newtype, which the derive does not cover. Struct variants use
+// the derive's `{"Variant": {fields...}}` shape so the three encodings
+// stay uniform in snapshot files.
+impl Serialize for WindowPolicy {
+    fn serialize_value(&self) -> serde::Value {
+        let (tag, body) = match self {
+            WindowPolicy::ByTime { width } => (
+                "ByTime",
+                serde::Value::Object(vec![("width".to_string(), width.serialize_value())]),
+            ),
+            WindowPolicy::ByCount { tasks } => (
+                "ByCount",
+                serde::Value::Object(vec![("tasks".to_string(), tasks.serialize_value())]),
+            ),
+            WindowPolicy::Adaptive(p) => ("Adaptive", p.serialize_value()),
+        };
+        serde::Value::Object(vec![(tag.to_string(), body)])
+    }
+}
+
+impl Deserialize for WindowPolicy {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(fields) = v else {
+            return Err(serde::Error::expected("WindowPolicy object", v));
+        };
+        if fields.len() != 1 {
+            return Err(serde::Error::expected("single-variant WindowPolicy", v));
+        }
+        let (tag, body) = &fields[0];
+        match tag.as_str() {
+            "ByTime" => {
+                let width = body
+                    .get("width")
+                    .ok_or_else(|| serde::Error("ByTime missing width".to_string()))?;
+                Ok(WindowPolicy::ByTime {
+                    width: f64::deserialize_value(width)?,
+                })
+            }
+            "ByCount" => {
+                let tasks = body
+                    .get("tasks")
+                    .ok_or_else(|| serde::Error("ByCount missing tasks".to_string()))?;
+                Ok(WindowPolicy::ByCount {
+                    tasks: usize::deserialize_value(tasks)?,
+                })
+            }
+            "Adaptive" => Ok(WindowPolicy::Adaptive(AdaptivePolicy::deserialize_value(
+                body,
+            )?)),
+            other => Err(serde::Error(format!(
+                "unknown WindowPolicy variant {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Tuning knobs of [`WindowPolicy::Adaptive`].
 ///
 /// The controller trades assignment utility against matching latency:
@@ -92,7 +150,7 @@ pub enum WindowPolicy {
 /// matchings, longer task lifetimes under a window-counted TTL), short
 /// windows bound how long an arrival waits for its first matching
 /// attempt. Widths always stay inside `[min_width, max_width]`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdaptivePolicy {
     /// Width the controller starts from (and reports as
     /// [`WindowCutDecision::Scheduled`] when running at it).
@@ -305,6 +363,18 @@ pub(crate) struct AdaptiveController {
     prev_error: f64,
 }
 
+/// The serializable mutable state of an [`AdaptiveController`]: every
+/// field that is not a pure function of the policy. Snapshots capture
+/// this so a restored controller resumes the PID trajectory bit for
+/// bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ControllerState {
+    pub(crate) width: f64,
+    pub(crate) starved: bool,
+    pub(crate) integral: f64,
+    pub(crate) prev_error: f64,
+}
+
 impl AdaptiveController {
     pub(crate) fn new(policy: AdaptivePolicy) -> Self {
         policy.validate();
@@ -315,6 +385,26 @@ impl AdaptiveController {
             integral: 0.0,
             prev_error: 0.0,
         }
+    }
+
+    /// The controller's mutable state, for session snapshots.
+    pub(crate) fn state(&self) -> ControllerState {
+        ControllerState {
+            width: self.width,
+            starved: self.starved,
+            integral: self.integral,
+            prev_error: self.prev_error,
+        }
+    }
+
+    /// Rebuilds a controller mid-trajectory from a snapshotted state.
+    pub(crate) fn from_state(policy: AdaptivePolicy, state: ControllerState) -> Self {
+        let mut c = AdaptiveController::new(policy);
+        c.width = state.width.clamp(policy.min_width, policy.max_width);
+        c.starved = state.starved;
+        c.integral = state.integral;
+        c.prev_error = state.prev_error;
+        c
     }
 
     /// Applies one round of feedback. Starvation wins over the latency
@@ -336,7 +426,9 @@ impl AdaptiveController {
         } else if fb.p95_age > self.policy.target_p95 {
             (-(fb.p95_age / self.policy.target_p95).log2()).clamp(-1.0, 0.0)
         } else if fb.backlog == 0 {
-            (self.policy.base_width / self.width).log2().clamp(-1.0, 1.0)
+            (self.policy.base_width / self.width)
+                .log2()
+                .clamp(-1.0, 1.0)
         } else {
             // Calm with work in flight: hold the width and the PID
             // memory exactly as they are.

@@ -40,7 +40,10 @@ use proptest::prelude::*;
 type RawOp = ((usize, u64), (f64, f64, f64));
 
 fn op_strategy() -> impl Strategy<Value = RawOp> {
-    ((0usize..4, 0u64..8), (0.0f64..50.0, 0.0f64..50.0, 2.0f64..20.0))
+    (
+        (0usize..4, 0u64..8),
+        (0.0f64..50.0, 0.0f64..50.0, 2.0f64..20.0),
+    )
 }
 
 /// Asserts `delta.instance()` is structurally identical to a
@@ -236,10 +239,23 @@ fn incremental_mode_rederives_strictly_less() {
     // Contended cluster around the 2x2 junction: every worker's disc
     // covers all four cells, so every claim is contested.
     let tasks: Vec<(f64, f64, f64)> = (0..40)
-        .map(|i| (40.0 + (i % 8) as f64 * 2.6, 41.0 + (i / 8) as f64 * 4.4, 20.0 * i as f64))
+        .map(|i| {
+            (
+                40.0 + (i % 8) as f64 * 2.6,
+                41.0 + (i / 8) as f64 * 4.4,
+                20.0 * i as f64,
+            )
+        })
         .collect();
     let workers: Vec<(f64, f64, f64, f64)> = (0..16)
-        .map(|j| (46.0 + (j % 4) as f64 * 2.5, 46.5 + (j / 4) as f64 * 2.4, 15.0, 40.0 * j as f64))
+        .map(|j| {
+            (
+                46.0 + (j % 4) as f64 * 2.5,
+                46.5 + (j / 4) as f64 * 2.4,
+                15.0,
+                40.0 * j as f64,
+            )
+        })
         .collect();
     // Plus an interior cluster per cell: its discs stay inside the
     // cell, forming components untouched by junction contention.
@@ -261,7 +277,10 @@ fn incremental_mode_rederives_strictly_less() {
         policy: WindowPolicy::ByTime { width: 300.0 },
         ..StreamConfig::default()
     };
-    let full_cfg = StreamConfig { halo_full_rerun: true, ..base.clone() };
+    let full_cfg = StreamConfig {
+        halo_full_rerun: true,
+        ..base.clone()
+    };
     for method in [Method::Grd, Method::Puce] {
         let engine = method.engine(&base.params);
         let inc = run_sharded_halo(engine.as_ref(), &stream, &base, &part);

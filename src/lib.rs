@@ -127,8 +127,9 @@ pub mod prelude {
     pub use dpta_spatial::{Circle, GridPartition, Point};
     pub use dpta_stream::{
         run_sharded, run_sharded_halo, run_sharded_with, ArrivalModel, ArrivalStream, Outcome,
-        ServiceModel, ShardStrategy, StreamConfig, StreamDriver, StreamReport, StreamScenario,
-        StreamSession, WindowPolicy,
+        ServiceModel, SessionSnapshot, ShardStrategy, ShardedSession, ShardedSnapshot,
+        SnapshotError, StreamConfig, StreamDriver, StreamReport, StreamScenario, StreamSession,
+        WindowPolicy,
     };
     pub use dpta_workloads::{Dataset, Scenario};
 }

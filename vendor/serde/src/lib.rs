@@ -16,8 +16,9 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::hash::{BuildHasher, Hash};
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -99,20 +100,69 @@ macro_rules! impl_for_ints {
     )*};
 }
 
-impl_for_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_for_ints!(u8, u16, u32, i8, i16, i32);
 
-macro_rules! impl_for_floats {
+/// 64-bit integers may exceed the 2^53 window in which `f64` is exact
+/// (e.g. hashed bit patterns), so they serialize as a decimal string
+/// beyond it and accept either representation back.
+macro_rules! impl_for_wide_ints {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn serialize_value(&self) -> Value {
-                Value::Number(*self as f64)
+                const EXACT: u128 = 1 << 53;
+                if (*self as i128).unsigned_abs() <= EXACT {
+                    Value::Number(*self as f64)
+                } else {
+                    Value::String(self.to_string())
+                }
             }
         }
         impl Deserialize for $t {
             fn deserialize_value(v: &Value) -> Result<Self, Error> {
                 match v {
                     Value::Number(n) => Ok(*n as $t),
-                    Value::Null => Ok(<$t>::NAN), // JSON has no NaN literal
+                    Value::String(s) => s
+                        .parse()
+                        .map_err(|_| Error(format!("unparseable {} {s:?}", stringify!($t)))),
+                    other => Err(Error::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_for_wide_ints!(u64, usize, i64, isize);
+
+macro_rules! impl_for_floats {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                // JSON has no non-finite literals, so infinities and NaN
+                // serialize as tagged strings instead of collapsing to
+                // `null` — session snapshots carry `f64::INFINITY`
+                // capacities that must survive a round-trip exactly.
+                if self.is_finite() {
+                    Value::Number(*self as f64)
+                } else if self.is_nan() {
+                    Value::String("NaN".to_string())
+                } else if *self > 0.0 {
+                    Value::String("inf".to_string())
+                } else {
+                    Value::String("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN), // legacy lossy encoding
+                    Value::String(s) => match s.as_str() {
+                        "NaN" => Ok(<$t>::NAN),
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(Error(format!("unparseable float {s:?}"))),
+                    },
                     other => Err(Error::expected(stringify!($t), other)),
                 }
             }
@@ -211,6 +261,36 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
 macro_rules! impl_for_tuples {
     ($(($($n:tt $t:ident),+),)*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -278,6 +358,28 @@ impl<K: fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
     }
 }
 
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: std::str::FromStr + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse()
+                        .map_err(|_| Error(format!("unparseable map key {k:?}")))?;
+                    Ok((key, V::deserialize_value(v)?))
+                })
+                .collect(),
+            other => Err(Error::expected("map object", other)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +412,50 @@ mod tests {
         m.insert(4u32, vec![0.5f64, 1.0]);
         assert_eq!(
             BTreeMap::<u32, Vec<f64>>::deserialize_value(&m.serialize_value()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn wide_ints_survive_past_2_pow_53() {
+        let big = u64::MAX - 12;
+        assert_eq!(big.serialize_value(), Value::String(big.to_string()));
+        assert_eq!(u64::deserialize_value(&big.serialize_value()).unwrap(), big);
+        // Small values keep the plain-number representation.
+        assert_eq!(7u64.serialize_value(), Value::Number(7.0));
+        let neg = i64::MIN + 3;
+        assert_eq!(i64::deserialize_value(&neg.serialize_value()).unwrap(), neg);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_strings() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(f64::deserialize_value(&v.serialize_value()).unwrap(), v);
+        }
+        assert!(f64::deserialize_value(&f64::NAN.serialize_value())
+            .unwrap()
+            .is_nan());
+        // Legacy `null` still reads back as NaN.
+        assert!(f64::deserialize_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn deque_set_and_hashmap_round_trip() {
+        let q: VecDeque<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(
+            VecDeque::<u32>::deserialize_value(&q.serialize_value()).unwrap(),
+            q
+        );
+        let s: BTreeSet<u32> = [5, 1, 9].into_iter().collect();
+        assert_eq!(
+            BTreeSet::<u32>::deserialize_value(&s.serialize_value()).unwrap(),
+            s
+        );
+        let mut m: HashMap<u32, f64> = HashMap::new();
+        m.insert(4, 0.5);
+        m.insert(11, 2.0);
+        assert_eq!(
+            HashMap::<u32, f64>::deserialize_value(&m.serialize_value()).unwrap(),
             m
         );
     }

@@ -1,8 +1,11 @@
 //! Offline shim of the `serde_json` API subset used by this workspace:
 //! rendering a [`serde::Value`] tree as (pretty) JSON text, plus a small
 //! parser so round-trips are testable. Numbers that are mathematically
-//! integral print without a decimal point; non-finite floats print as
-//! `null` (matching upstream's lossy behaviour for `f64`).
+//! integral print without a decimal point (except `-0.0`, which keeps
+//! its sign bit); a hand-built non-finite `Value::Number` prints as
+//! `null`, but the float `Serialize` impls tag non-finite values as
+//! strings before they reach this layer, so snapshots round-trip
+//! exactly.
 
 #![forbid(unsafe_code)]
 
@@ -103,6 +106,8 @@ fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null"); // JSON has no NaN/Infinity
+    } else if n == 0.0 && n.is_sign_negative() {
+        out.push_str("-0.0"); // keep the sign bit: snapshots are bit-exact
     } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
         let _ = write!(out, "{}", n as i64);
     } else {
@@ -290,7 +295,12 @@ mod tests {
         assert_eq!(to_string(&3.0f64).unwrap(), "3");
         assert_eq!(to_string(&true).unwrap(), "true");
         assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
-        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        // `Serialize` for floats tags non-finite values as strings.
+        assert_eq!(to_string(&f64::NAN).unwrap(), "\"NaN\"");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "\"inf\"");
+        // Negative zero keeps its sign bit through text.
+        assert_eq!(to_string(&-0.0f64).unwrap(), "-0.0");
+        assert_eq!(from_str("-0.0").unwrap(), serde::Value::Number(-0.0));
     }
 
     #[test]
