@@ -11,20 +11,30 @@
 //! — no committed baseline — the fresh trajectory is written to the
 //! baseline path so CI can commit it.
 //!
+//! `--scale-sweep` additionally runs the `scale_sweep` bench (drain
+//! wall time at 10³ → 10⁵ entities, 10⁶ behind `SCALE_SWEEP_FULL=1`),
+//! records each scaled id's entity count in the trajectory's `_scales`
+//! metadata group so future runs compare like-for-like, and fits the
+//! growth exponent between consecutive scales: any curve steeper than
+//! `--max-scale-exponent` (default n^1.7 — super-linear drift well
+//! before quadratic) fails the gate, baseline or not.
+//!
 //! ```text
 //! cargo run --release -p dpta-bench --bin bench_gate -- \
-//!     --quick --baseline BENCH_stream.json --fresh-out BENCH_stream.fresh.json
+//!     --quick --scale-sweep \
+//!     --baseline BENCH_stream.json --fresh-out BENCH_stream.fresh.json
 //! ```
 
 use dpta_bench::{
-    compare_trajectories, parse_bench_lines, parse_trajectory, ratio_columns, render_trajectory,
-    BenchTrajectory,
+    compare_trajectories, entity_scale, parse_bench_lines, parse_trajectory, ratio_columns,
+    render_trajectory, scale_exponents, scale_regressions, BenchTrajectory, SCALES_GROUP,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
-/// The bench binaries the trajectory tracks, in run order.
+/// The bench binaries the trajectory always tracks, in run order
+/// (`--scale-sweep` appends the `scale_sweep` sweep).
 const BENCHES: [&str; 5] = [
     "time_to_drain",
     "halo_sharding",
@@ -38,6 +48,8 @@ struct Args {
     baseline: PathBuf,
     fresh_out: Option<PathBuf>,
     max_ratio: f64,
+    scale_sweep: bool,
+    max_scale_exponent: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: PathBuf::from("BENCH_stream.json"),
         fresh_out: None,
         max_ratio: 3.0,
+        scale_sweep: false,
+        max_scale_exponent: 1.7,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +74,15 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --max-ratio: {e}"))?;
                 if !(args.max_ratio > 1.0 && args.max_ratio.is_finite()) {
                     return Err("--max-ratio must be a finite ratio above 1".into());
+                }
+            }
+            "--scale-sweep" => args.scale_sweep = true,
+            "--max-scale-exponent" => {
+                args.max_scale_exponent = next("--max-scale-exponent")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-scale-exponent: {e}"))?;
+                if !(args.max_scale_exponent > 1.0 && args.max_scale_exponent.is_finite()) {
+                    return Err("--max-scale-exponent must be a finite exponent above 1".into());
                 }
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -104,8 +127,12 @@ fn main() -> ExitCode {
     };
 
     let jsonl = std::env::temp_dir().join(format!("bench_gate_{}.jsonl", std::process::id()));
+    let mut benches: Vec<&str> = BENCHES.to_vec();
+    if args.scale_sweep {
+        benches.push("scale_sweep");
+    }
     let mut fresh: BenchTrajectory = BTreeMap::new();
-    for name in BENCHES {
+    for name in benches {
         eprintln!(
             "bench_gate: running {name} ({})",
             if args.quick { "quick" } else { "full" }
@@ -123,8 +150,33 @@ fn main() -> ExitCode {
     }
     let _ = std::fs::remove_file(&jsonl);
 
+    // Record the entity count behind every scaled benchmark id (the
+    // `_scales` metadata group), so this trajectory — the first-run
+    // auto-seed included — documents what scale each median was taken
+    // at and future sweeps compare like-for-like.
+    let scales: BTreeMap<String, f64> = fresh
+        .values()
+        .flat_map(|ids| ids.keys())
+        .filter_map(|id| entity_scale(id).map(|n| (id.clone(), n)))
+        .collect();
+    if !scales.is_empty() {
+        fresh.insert(SCALES_GROUP.to_string(), scales);
+    }
+
     for col in ratio_columns(&fresh) {
         eprintln!("bench_gate: ratio: {col}");
+    }
+
+    // The scale-sweep drift gate: medians across the sweep's entity
+    // scales must stay sub-quadratic, whether or not a committed
+    // baseline exists yet.
+    let mut drift = Vec::new();
+    if let Some(ids) = fresh.get("scale_sweep") {
+        let fits = scale_exponents(ids);
+        for fit in &fits {
+            eprintln!("bench_gate: scale: {fit}");
+        }
+        drift = scale_regressions(&fits, args.max_scale_exponent);
     }
 
     let rendered = render_trajectory(&fresh);
@@ -151,7 +203,7 @@ fn main() -> ExitCode {
                 "bench_gate: no baseline at {} — seeded it from this run (commit it)",
                 args.baseline.display()
             );
-            return ExitCode::SUCCESS;
+            return finish(Vec::new(), drift, args.max_ratio, args.max_scale_exponent);
         }
     };
     let baseline = match parse_trajectory(&baseline_text) {
@@ -169,21 +221,44 @@ fn main() -> ExitCode {
     for n in &notes {
         eprintln!("bench_gate: note: {n}");
     }
-    if regressions.is_empty() {
-        eprintln!(
-            "bench_gate: OK — no bench slower than {:.1}× its committed baseline",
-            args.max_ratio
-        );
-        ExitCode::SUCCESS
-    } else {
+    finish(regressions, drift, args.max_ratio, args.max_scale_exponent)
+}
+
+/// Prints the verdict and maps the two failure classes — baseline
+/// ratio regressions and scale-sweep drift — onto the exit code.
+fn finish(
+    regressions: Vec<String>,
+    drift: Vec<String>,
+    max_ratio: f64,
+    max_scale_exponent: f64,
+) -> ExitCode {
+    if !regressions.is_empty() {
         eprintln!(
             "bench_gate: FAILED — {} bench(es) regressed past {:.1}×:",
             regressions.len(),
-            args.max_ratio
+            max_ratio
         );
         for r in &regressions {
             eprintln!("  {r}");
         }
+    }
+    if !drift.is_empty() {
+        eprintln!(
+            "bench_gate: FAILED — {} sweep curve(s) drifted past n^{:.2}:",
+            drift.len(),
+            max_scale_exponent
+        );
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+    }
+    if regressions.is_empty() && drift.is_empty() {
+        eprintln!(
+            "bench_gate: OK — no bench slower than {max_ratio:.1}× its committed baseline, \
+             no sweep curve past n^{max_scale_exponent:.2}"
+        );
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

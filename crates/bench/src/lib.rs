@@ -162,6 +162,93 @@ pub fn ratio_columns(t: &BenchTrajectory) -> Vec<String> {
     out
 }
 
+/// The reserved trajectory group holding entity-scale metadata: maps
+/// each sweep benchmark id to the entity count it ran at, so a future
+/// gate run only ever compares medians taken at the same scale (the
+/// values are exact constants, so the ratio gate can never trip on
+/// them). Written whenever the gate runs the scale sweep — including
+/// the first-run auto-seed.
+pub const SCALES_GROUP: &str = "_scales";
+
+/// The entity count encoded in a sweep benchmark id's trailing
+/// `/n<count>` segment (`scale_sweep/drain/n10000` → `10000`).
+pub fn entity_scale(id: &str) -> Option<f64> {
+    let tail = id.rsplit('/').next()?;
+    let digits = tail.strip_prefix('n')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// One fitted growth step of a scale sweep: how the median scaled
+/// between two consecutive entity counts of the same benchmark stem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleFit {
+    /// The benchmark id stem shared by both scales
+    /// (`scale_sweep/drain`).
+    pub stem: String,
+    /// The smaller entity count.
+    pub from_n: f64,
+    /// The larger entity count.
+    pub to_n: f64,
+    /// The fitted growth exponent `α` in `t ∝ n^α` between the two
+    /// scales: `ln(t₂/t₁) / ln(n₂/n₁)`. Linear work gives α ≈ 1,
+    /// quadratic drift α ≈ 2.
+    pub exponent: f64,
+}
+
+impl std::fmt::Display for ScaleFit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: n{} -> n{} grows as n^{:.2}",
+            self.stem, self.from_n, self.to_n, self.exponent
+        )
+    }
+}
+
+/// Fits growth exponents between consecutive scales of every sweep
+/// stem in `ids` (benchmark ids carrying a trailing `/n<count>`
+/// segment). Stems with fewer than two scales produce no fits.
+pub fn scale_exponents(ids: &BTreeMap<String, f64>) -> Vec<ScaleFit> {
+    let mut by_stem: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
+    for (id, &median) in ids {
+        let Some(n) = entity_scale(id) else { continue };
+        let Some(cut) = id.rfind('/') else { continue };
+        by_stem.entry(&id[..cut]).or_default().push((n, median));
+    }
+    let mut out = Vec::new();
+    for (stem, mut points) in by_stem {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in points.windows(2) {
+            let [(n1, t1), (n2, t2)] = [pair[0], pair[1]];
+            if n1 > 0.0 && t1 > 0.0 && n2 > n1 && t2 > 0.0 {
+                out.push(ScaleFit {
+                    stem: stem.to_string(),
+                    from_n: n1,
+                    to_n: n2,
+                    exponent: (t2 / t1).ln() / (n2 / n1).ln(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The fits whose growth exponent exceeds `max_exponent` — the
+/// super-linear-drift failures the scale-sweep gate reports. The
+/// constant-density sweep is engineered to grow ~linearly, so an
+/// exponent near 2 means some per-window cost has started scaling with
+/// the *total* entity count (a full-ledger walk, an unbounded map, a
+/// quadratic drain).
+pub fn scale_regressions(fits: &[ScaleFit], max_exponent: f64) -> Vec<String> {
+    fits.iter()
+        .filter(|f| f.exponent > max_exponent)
+        .map(|f| format!("{f} (limit n^{max_exponent:.2})"))
+        .collect()
+}
+
 /// The small-but-meaningful scale used inside timed benchmark bodies.
 pub fn bench_options() -> RunOptions {
     RunOptions {
@@ -290,6 +377,48 @@ mod tests {
             cols.iter().any(|c| c.contains("w16 delta/scratch = 0.25x")),
             "{cols:?}"
         );
+    }
+
+    #[test]
+    fn entity_scale_reads_only_well_formed_suffixes() {
+        assert_eq!(entity_scale("scale_sweep/drain/n1000"), Some(1000.0));
+        assert_eq!(entity_scale("scale_sweep/sharded4x4/n1000000"), Some(1e6));
+        assert_eq!(entity_scale("scale_sweep/drain/w64"), None);
+        assert_eq!(entity_scale("scale_sweep/drain/n"), None);
+        assert_eq!(entity_scale("scale_sweep/drain/n12x"), None);
+        assert_eq!(entity_scale("stream_time_to_drain/GRD/count50"), None);
+    }
+
+    #[test]
+    fn scale_exponents_fit_consecutive_scales_per_stem() {
+        // drain grows exactly linearly, sharded exactly quadratically.
+        let ids: BTreeMap<String, f64> = [
+            ("scale_sweep/drain/n1000", 1e6),
+            ("scale_sweep/drain/n10000", 1e7),
+            ("scale_sweep/drain/n100000", 1e8),
+            ("scale_sweep/sharded4x4/n1000", 1e6),
+            ("scale_sweep/sharded4x4/n10000", 1e8),
+            ("scale_sweep/other/unscaled", 5.0),
+        ]
+        .into_iter()
+        .map(|(id, ns)| (id.to_string(), ns))
+        .collect();
+        let fits = scale_exponents(&ids);
+        assert_eq!(fits.len(), 3, "{fits:?}");
+        assert!(fits
+            .iter()
+            .filter(|f| f.stem == "scale_sweep/drain")
+            .all(|f| (f.exponent - 1.0).abs() < 1e-9));
+        let sharded: Vec<_> = fits
+            .iter()
+            .filter(|f| f.stem == "scale_sweep/sharded4x4")
+            .collect();
+        assert_eq!(sharded.len(), 1);
+        assert!((sharded[0].exponent - 2.0).abs() < 1e-9);
+        let gate = scale_regressions(&fits, 1.7);
+        assert_eq!(gate.len(), 1, "{gate:?}");
+        assert!(gate[0].contains("sharded4x4"), "{gate:?}");
+        assert!(scale_regressions(&fits, 2.5).is_empty());
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub use board::Board;
 pub use config::{
     CeaFallback, CompareMode, EngineConfig, Objective, ProposalAccounting, RunParams,
 };
+pub use dpta_dp::intern;
+pub use dpta_dp::{FastMap, FastSet, Interner, Sym};
 pub use engine::{AssignmentEngine, BudgetRemaining, EngineTrace, Uncapped};
 pub use method::Method;
 pub use metrics::Measures;

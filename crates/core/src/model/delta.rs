@@ -28,18 +28,26 @@
 
 use crate::model::{Instance, Task, Worker};
 use dpta_dp::BudgetVector;
+use dpta_dp::FastMap;
 use dpta_spatial::Point;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A dynamic spatial hash: points bucketed by fixed-size cell, with
 /// O(1) insert/remove and disc queries visiting only overlapping cells
 /// (clamped to the occupied bounding box, so oversized radii cannot
-/// scan an unbounded range).
+/// scan an unbounded range). Cells are keyed through the deterministic
+/// [`FastMap`] — a disc query probes O(cells-in-box) buckets, and at
+/// streaming rates the SipHash of the default hasher was the single
+/// largest cost of the insert/remove path.
 #[derive(Debug, Clone)]
 struct CellGrid {
     cell: f64,
-    map: HashMap<(i64, i64), Vec<u32>>,
+    map: FastMap<(i64, i64), Vec<u32>>,
+    /// Recycled per-cell vectors from emptied cells; keeps the map
+    /// sized to the *live* set (a long stream otherwise accumulates one
+    /// dead entry per cell ever occupied, and probes stop fitting in
+    /// cache) without paying an allocation each time a cell refills.
+    pool: Vec<Vec<u32>>,
     /// Occupied cell bounds (min_x, min_y, max_x, max_y); `None` while
     /// empty. Never shrinks — only used to clamp query ranges.
     bounds: Option<(i64, i64, i64, i64)>,
@@ -49,7 +57,8 @@ impl CellGrid {
     fn new(cell: f64) -> Self {
         CellGrid {
             cell,
-            map: HashMap::new(),
+            map: FastMap::default(),
+            pool: Vec::new(),
             bounds: None,
         }
     }
@@ -64,7 +73,11 @@ impl CellGrid {
 
     fn insert(&mut self, slot: u32, p: &Point) {
         let c = self.cell_of(p);
-        self.map.entry(c).or_default().push(slot);
+        let pool = &mut self.pool;
+        self.map
+            .entry(c)
+            .or_insert_with(|| pool.pop().unwrap_or_default())
+            .push(slot);
         self.bounds = Some(match self.bounds {
             None => (c.0, c.1, c.0, c.1),
             Some((x0, y0, x1, y1)) => (x0.min(c.0), y0.min(c.1), x1.max(c.0), y1.max(c.1)),
@@ -76,6 +89,11 @@ impl CellGrid {
         if let Some(v) = self.map.get_mut(&c) {
             if let Some(k) = v.iter().position(|&s| s == slot) {
                 v.swap_remove(k);
+                if v.is_empty() {
+                    if let Some(vec) = self.map.remove(&c) {
+                        self.pool.push(vec);
+                    }
+                }
             }
         }
     }
@@ -100,25 +118,29 @@ impl CellGrid {
     }
 }
 
-#[derive(Debug, Clone)]
-struct TaskSlot {
-    key: u64,
-    task: Task,
-    live: bool,
+/// The task arena, struct-of-arrays: one slot index addresses the same
+/// row of every column. Hot loops (grid candidate filtering, emission)
+/// touch only the columns they need — the distance predicate streams
+/// through `rows` without dragging keys along, and the layout is what
+/// lets 10⁵-entity windows stay cache-resident.
+#[derive(Debug, Clone, Default)]
+struct TaskArena {
+    keys: Vec<u64>,
+    rows: Vec<Task>,
 }
 
-#[derive(Debug, Clone)]
-struct WorkerSlot {
-    key: u64,
-    worker: Worker,
-    live: bool,
-    /// Live task slots inside this worker's service area, ascending.
-    reach: Vec<u32>,
-    /// `budgets[k]` belongs to task slot `reach[k]`. Kept behind an
-    /// `Arc` so emission shares the row with the emitted [`Instance`]
-    /// in O(1); a later diff against a shared row clones it first
-    /// (copy-on-write), so only churned workers ever pay a row copy.
-    budgets: Arc<Vec<BudgetVector>>,
+/// The worker arena, struct-of-arrays. `reach[s]` holds the live task
+/// slots inside worker slot `s`'s service area, ascending; `budgets[s]`
+/// is the parallel budget row, behind an `Arc` so emission shares it
+/// with the emitted [`Instance`] in O(1) — a later diff against a
+/// shared row clones it first (copy-on-write), so only churned workers
+/// ever pay a row copy.
+#[derive(Debug, Clone, Default)]
+struct WorkerArena {
+    keys: Vec<u64>,
+    rows: Vec<Worker>,
+    reach: Vec<Vec<u32>>,
+    budgets: Vec<Arc<Vec<BudgetVector>>>,
 }
 
 /// An incrementally maintained PA-TA instance.
@@ -154,15 +176,15 @@ struct WorkerSlot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeltaInstance {
-    tasks: Vec<TaskSlot>,
-    workers: Vec<WorkerSlot>,
+    tasks: TaskArena,
+    workers: WorkerArena,
     /// Live task slots, ascending (slots are monotone, so this is also
     /// insertion order).
     live_tasks: Vec<u32>,
     /// Live worker slots, ascending.
     live_workers: Vec<u32>,
-    task_index: HashMap<u64, u32>,
-    worker_index: HashMap<u64, u32>,
+    task_index: FastMap<u64, u32>,
+    worker_index: FastMap<u64, u32>,
     /// Spatial hash over live task locations; `None` until the first
     /// worker fixes the cell size.
     task_grid: Option<CellGrid>,
@@ -176,6 +198,14 @@ pub struct DeltaInstance {
     pairs: usize,
     /// Scratch buffer for grid candidates.
     scratch: Vec<u32>,
+    /// Recycled reach vectors from removed workers.
+    reach_pool: Vec<Vec<u32>>,
+    /// Recycled budget rows from removed workers — reclaimed only when
+    /// no emitted [`Instance`] still shares the row.
+    budget_pool: Vec<Vec<BudgetVector>>,
+    /// The one empty budget row every removed worker's slot points at,
+    /// so removals bump a refcount instead of allocating.
+    empty_budgets: Arc<Vec<BudgetVector>>,
 }
 
 impl Default for DeltaInstance {
@@ -188,17 +218,20 @@ impl DeltaInstance {
     /// An empty delta instance.
     pub fn new() -> Self {
         DeltaInstance {
-            tasks: Vec::new(),
-            workers: Vec::new(),
+            tasks: TaskArena::default(),
+            workers: WorkerArena::default(),
             live_tasks: Vec::new(),
             live_workers: Vec::new(),
-            task_index: HashMap::new(),
-            worker_index: HashMap::new(),
+            task_index: FastMap::default(),
+            worker_index: FastMap::default(),
             task_grid: None,
             worker_grid: None,
             max_radius: 0.0,
             pairs: 0,
             scratch: Vec::new(),
+            reach_pool: Vec::new(),
+            budget_pool: Vec::new(),
+            empty_budgets: Arc::new(Vec::new()),
         }
     }
 
@@ -231,14 +264,14 @@ impl DeltaInstance {
 
     /// Live task keys in instance (insertion) order.
     pub fn task_keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.live_tasks.iter().map(|&s| self.tasks[s as usize].key)
+        self.live_tasks.iter().map(|&s| self.tasks.keys[s as usize])
     }
 
     /// Live worker keys in instance (insertion) order.
     pub fn worker_keys(&self) -> impl Iterator<Item = u64> + '_ {
         self.live_workers
             .iter()
-            .map(|&s| self.workers[s as usize].key)
+            .map(|&s| self.workers.keys[s as usize])
     }
 
     /// Ensures both grids exist, sizing cells from `radius_hint` when
@@ -248,10 +281,14 @@ impl DeltaInstance {
         if self.task_grid.is_some() {
             return;
         }
-        let cell = radius_hint.max(1e-6);
+        // Cell = one disc diameter: a radius-`r` query box spans at
+        // most 2×2 cells, and candidate lists stay short at constant
+        // density. (Cell size only affects which supersets the exact
+        // distance predicate filters — never the result.)
+        let cell = (2.0 * radius_hint).max(1e-6);
         let mut tg = CellGrid::new(cell);
         for &s in &self.live_tasks {
-            let p = self.tasks[s as usize].task.location;
+            let p = self.tasks.rows[s as usize].location;
             tg.insert(s, &p);
         }
         self.task_grid = Some(tg);
@@ -269,17 +306,14 @@ impl DeltaInstance {
     ) {
         assert!(
             self.task_index
-                .insert(key, self.tasks.len() as u32)
+                .insert(key, self.tasks.keys.len() as u32)
                 .is_none(),
             "task key {key} is already live"
         );
-        let slot = self.tasks.len() as u32;
+        let slot = self.tasks.keys.len() as u32;
         let loc = task.location;
-        self.tasks.push(TaskSlot {
-            key,
-            task,
-            live: true,
-        });
+        self.tasks.keys.push(key);
+        self.tasks.rows.push(task);
         self.live_tasks.push(slot);
         if let Some(tg) = &mut self.task_grid {
             tg.insert(slot, &loc);
@@ -292,13 +326,15 @@ impl DeltaInstance {
         }
         cands.sort_unstable();
         for &ws in &cands {
-            let w = &mut self.workers[ws as usize];
-            let r_sq = w.worker.radius * w.worker.radius;
-            if w.worker.location.distance_sq(&loc) <= r_sq {
+            let w = &self.workers.rows[ws as usize];
+            let r_sq = w.radius * w.radius;
+            if w.location.distance_sq(&loc) <= r_sq {
+                let reach = &mut self.workers.reach[ws as usize];
                 // New slot is the largest: reach stays ascending.
-                debug_assert!(w.reach.last().is_none_or(|&t| t < slot));
-                w.reach.push(slot);
-                Arc::make_mut(&mut w.budgets).push(budget_fn(key, w.key));
+                debug_assert!(reach.last().is_none_or(|&t| t < slot));
+                reach.push(slot);
+                let wkey = self.workers.keys[ws as usize];
+                Arc::make_mut(&mut self.workers.budgets[ws as usize]).push(budget_fn(key, wkey));
                 self.pairs += 1;
             }
         }
@@ -317,12 +353,12 @@ impl DeltaInstance {
     ) {
         assert!(
             self.worker_index
-                .insert(key, self.workers.len() as u32)
+                .insert(key, self.workers.keys.len() as u32)
                 .is_none(),
             "worker key {key} is already live"
         );
         self.ensure_grids(worker.radius);
-        let slot = self.workers.len() as u32;
+        let slot = self.workers.keys.len() as u32;
         let loc = worker.location;
         let r_sq = worker.radius * worker.radius;
 
@@ -333,13 +369,12 @@ impl DeltaInstance {
             .expect("grids ensured")
             .candidates_into(&loc, worker.radius, &mut cands);
         cands.sort_unstable();
-        let mut reach = Vec::new();
-        let mut budgets = Vec::new();
+        let mut reach = self.reach_pool.pop().unwrap_or_default();
+        let mut budgets = self.budget_pool.pop().unwrap_or_default();
         for &ts in &cands {
-            let t = &self.tasks[ts as usize];
-            if loc.distance_sq(&t.task.location) <= r_sq {
+            if loc.distance_sq(&self.tasks.rows[ts as usize].location) <= r_sq {
                 reach.push(ts);
-                budgets.push(budget_fn(t.key, key));
+                budgets.push(budget_fn(self.tasks.keys[ts as usize], key));
             }
         }
         self.scratch = cands;
@@ -349,13 +384,10 @@ impl DeltaInstance {
             .as_mut()
             .expect("grids ensured")
             .insert(slot, &loc);
-        self.workers.push(WorkerSlot {
-            key,
-            worker,
-            live: true,
-            reach,
-            budgets: Arc::new(budgets),
-        });
+        self.workers.keys.push(key);
+        self.workers.rows.push(worker);
+        self.workers.reach.push(reach);
+        self.workers.budgets.push(Arc::new(budgets));
         self.live_workers.push(slot);
     }
 
@@ -367,8 +399,7 @@ impl DeltaInstance {
         let Some(slot) = self.task_index.remove(&key) else {
             return false;
         };
-        let loc = self.tasks[slot as usize].task.location;
-        self.tasks[slot as usize].live = false;
+        let loc = self.tasks.rows[slot as usize].location;
         let k = self
             .live_tasks
             .binary_search(&slot)
@@ -383,10 +414,10 @@ impl DeltaInstance {
             wg.candidates_into(&loc, self.max_radius, &mut cands);
         }
         for &ws in &cands {
-            let w = &mut self.workers[ws as usize];
-            if let Ok(k) = w.reach.binary_search(&slot) {
-                w.reach.remove(k);
-                Arc::make_mut(&mut w.budgets).remove(k);
+            let reach = &mut self.workers.reach[ws as usize];
+            if let Ok(k) = reach.binary_search(&slot) {
+                reach.remove(k);
+                Arc::make_mut(&mut self.workers.budgets[ws as usize]).remove(k);
                 self.pairs -= 1;
             }
         }
@@ -400,12 +431,24 @@ impl DeltaInstance {
         let Some(slot) = self.worker_index.remove(&key) else {
             return false;
         };
-        let w = &mut self.workers[slot as usize];
-        w.live = false;
-        self.pairs -= w.reach.len();
-        w.reach = Vec::new();
-        w.budgets = Arc::new(Vec::new());
-        let loc = w.worker.location;
+        let s = slot as usize;
+        let mut reach = std::mem::take(&mut self.workers.reach[s]);
+        self.pairs -= reach.len();
+        if reach.capacity() > 0 {
+            reach.clear();
+            self.reach_pool.push(reach);
+        }
+        let row = std::mem::replace(
+            &mut self.workers.budgets[s],
+            Arc::clone(&self.empty_budgets),
+        );
+        if let Ok(mut row) = Arc::try_unwrap(row) {
+            if row.capacity() > 0 {
+                row.clear();
+                self.budget_pool.push(row);
+            }
+        }
+        let loc = self.workers.rows[s].location;
         let k = self
             .live_workers
             .binary_search(&slot)
@@ -428,12 +471,12 @@ impl DeltaInstance {
         let tasks: Vec<Task> = self
             .live_tasks
             .iter()
-            .map(|&s| self.tasks[s as usize].task)
+            .map(|&s| self.tasks.rows[s as usize])
             .collect();
         let workers: Vec<Worker> = self
             .live_workers
             .iter()
-            .map(|&s| self.workers[s as usize].worker)
+            .map(|&s| self.workers.rows[s as usize])
             .collect();
         // Slot → compact index over the live span only (slots are
         // monotone, so ranks preserve ascending order inside each reach
@@ -448,14 +491,13 @@ impl DeltaInstance {
         let mut reach = Vec::with_capacity(workers.len());
         let mut budgets = Vec::with_capacity(workers.len());
         for &ws in &self.live_workers {
-            let w = &self.workers[ws as usize];
             reach.push(
-                w.reach
+                self.workers.reach[ws as usize]
                     .iter()
                     .map(|&ts| rank[ts as usize - base] as usize)
                     .collect::<Vec<_>>(),
             );
-            budgets.push(Arc::clone(&w.budgets));
+            budgets.push(Arc::clone(&self.workers.budgets[ws as usize]));
         }
         Instance::from_parts(tasks, workers, reach, budgets)
     }

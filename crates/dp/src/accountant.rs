@@ -9,6 +9,7 @@
 //! bound, so tests and examples can assert the theorem against the
 //! actual protocol trace.
 
+use crate::intern::FastMap;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -110,15 +111,21 @@ impl PrivacyLedger {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CumulativeAccountant {
-    /// Logical id → slot in `slots`, ascending by id. Every public
-    /// iteration (`tracked`, `drain_exhausted`, `total_spent`) walks
-    /// this index, so observable ordering — including float summation
-    /// order — is identical to the old id-keyed map storage.
-    index: BTreeMap<u64, u32>,
+    /// Logical id → slot in `slots`: the ledger's interning table.
+    /// One deterministic [`FastMap`] probe per lookup — no tree descent
+    /// and no SipHash on the hot per-window resolve/charge paths.
+    index: FastMap<u64, u32>,
     /// Dense account storage; slots are never reused, a forgotten or
     /// drained entity leaves a `None` tombstone so outstanding
     /// [`AccountId`]s can never alias a different entity.
     slots: Vec<Option<Account>>,
+    /// Live ids, ascending. Every public iteration (`tracked`,
+    /// `drain_exhausted`, `total_spent`, serialization) walks this
+    /// list, so observable ordering — including float summation order —
+    /// is identical to the historical id-sorted map storage. Kept
+    /// sorted eagerly: streaming registration is near-monotone in id,
+    /// so the common case is an O(1) push.
+    live: Vec<u64>,
 }
 
 /// One tracked entity: lifetime capacity, committed spend, and budget
@@ -179,6 +186,13 @@ impl CumulativeAccountant {
                     reserved: 0.0,
                 }));
                 self.index.insert(id, slot);
+                match self.live.last() {
+                    Some(&last) if last >= id => {
+                        let at = self.live.partition_point(|&x| x < id);
+                        self.live.insert(at, id);
+                    }
+                    _ => self.live.push(id),
+                }
             }
         }
     }
@@ -310,18 +324,18 @@ impl CumulativeAccountant {
     /// Removes and returns every exhausted entity, ascending by id —
     /// the retirement step the stream driver runs after each window.
     pub fn drain_exhausted(&mut self) -> Vec<u64> {
-        let gone: Vec<u64> = self
-            .index
-            .iter()
-            .filter(|(_, &slot)| {
-                self.slots[slot as usize].is_some_and(|a| a.spent >= a.capacity - 1e-12)
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &gone {
-            let slot = self.index.remove(id).expect("drained id was indexed");
-            self.slots[slot as usize] = None;
-        }
+        let mut gone = Vec::new();
+        let (index, slots) = (&mut self.index, &mut self.slots);
+        self.live.retain(|&id| {
+            let slot = *index.get(&id).expect("live id is indexed");
+            let exhausted = slots[slot as usize].is_some_and(|a| a.spent >= a.capacity - 1e-12);
+            if exhausted {
+                index.remove(&id);
+                slots[slot as usize] = None;
+                gone.push(id);
+            }
+            !exhausted
+        });
         gone
     }
 
@@ -331,6 +345,9 @@ impl CumulativeAccountant {
         match self.index.remove(&id) {
             Some(slot) => {
                 self.slots[slot as usize] = None;
+                let at = self.live.partition_point(|&x| x < id);
+                debug_assert_eq!(self.live.get(at), Some(&id));
+                self.live.remove(at);
                 true
             }
             None => false,
@@ -339,14 +356,18 @@ impl CumulativeAccountant {
 
     /// Ids still tracked, ascending.
     pub fn tracked(&self) -> impl Iterator<Item = u64> + '_ {
-        self.index.keys().copied()
+        self.live.iter().copied()
     }
 
-    /// Total spend across all tracked entities.
+    /// Total spend across all tracked entities, summed ascending by id
+    /// (the float order every historical gate pinned).
     pub fn total_spent(&self) -> f64 {
-        self.index
-            .values()
-            .filter_map(|&slot| self.slots[slot as usize])
+        self.live
+            .iter()
+            .filter_map(|id| {
+                let slot = *self.index.get(id)?;
+                self.slots[slot as usize]
+            })
             .map(|a| a.spent)
             .sum()
     }
@@ -362,9 +383,10 @@ impl CumulativeAccountant {
 impl Serialize for CumulativeAccountant {
     fn serialize_value(&self) -> serde::Value {
         serde::Value::Array(
-            self.index
+            self.live
                 .iter()
-                .filter_map(|(&id, &slot)| {
+                .filter_map(|&id| {
+                    let slot = *self.index.get(&id)?;
                     self.slots[slot as usize].map(|a| {
                         serde::Value::Object(vec![
                             ("id".to_string(), id.serialize_value()),
@@ -407,7 +429,11 @@ impl Deserialize for CumulativeAccountant {
             if acc.index.insert(id, slot).is_some() {
                 return Err(serde::Error(format!("duplicate accountant entity {id}")));
             }
+            acc.live.push(id);
         }
+        // Canonical snapshots are already ascending; tolerate (and
+        // normalise) any historical ordering.
+        acc.live.sort_unstable();
         Ok(acc)
     }
 }

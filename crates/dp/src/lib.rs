@@ -33,6 +33,7 @@ mod accountant;
 mod budget;
 mod diff;
 mod geo;
+pub mod intern;
 mod laplace;
 mod noise;
 mod pcf;
@@ -43,6 +44,7 @@ pub use accountant::{AccountId, CumulativeAccountant, PrivacyLedger};
 pub use budget::{BudgetState, BudgetVector};
 pub use diff::LaplaceDiff;
 pub use geo::{lambert_w_m1, PlanarLaplace};
+pub use intern::{EpochTable, FastMap, FastSet, Interner, Sym};
 pub use laplace::Laplace;
 pub use noise::{NoiseSource, ScriptedNoise, SeededNoise};
 pub use pcf::pcf;

@@ -142,6 +142,12 @@ STREAM OPTIONS (dpta-experiments stream ...):
                            the resumed run matching the uninterrupted
                            run bit for bit (fates, window cuts, spend
                            and the typed outcome log)
+      --scale-sweep        also run the entity-scale sweep smoke: drain
+                           the constant-density sweep stream at 10^3
+                           and 10^4 entities and gate the fitted
+                           growth exponent at sub-quadratic (n^1.8) —
+                           the quick CI counterpart of `bench_gate
+                           --scale-sweep`
       --strict             escalate pipeline warnings to hard errors
                            (e.g. the count-window shard coercion)
   Exits non-zero if the sharded run does not match the unsharded run
@@ -149,7 +155,9 @@ STREAM OPTIONS (dpta-experiments stream ...):
   the halo run diverges or fails to beat drop-pairs sharding, or
   (with --adaptive) if the adaptive gate fails, or (with --reentry)
   if the utilization gate fails, or (with --resume) if the restored
-  session diverges, or (with --strict) if any warning fired."
+  session diverges, or (with --scale-sweep) if drain time grows
+  super-linearly in entity count, or (with --strict) if any warning
+  fired."
     );
 }
 
@@ -255,6 +263,7 @@ fn parse_stream_args(mut it: std::env::Args) -> Result<stream_cmd::StreamArgs, S
             "--adaptive" => args.adaptive = true,
             "--reentry" => args.reentry = true,
             "--resume" => args.resume = true,
+            "--scale-sweep" => args.scale_sweep = true,
             "--strict" => args.strict = true,
             "--help" | "-h" => {
                 print_help();

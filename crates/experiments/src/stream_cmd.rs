@@ -61,6 +61,12 @@ pub struct StreamArgs {
     /// the resumed run matching the uninterrupted run bit for bit
     /// (fates, window cuts, spend and outcome log).
     pub resume: bool,
+    /// Run the entity-scale sweep smoke: drain the constant-density
+    /// sweep stream at 10³ and 10⁴ entities and gate the growth
+    /// exponent between the two scales at sub-quadratic — the CLI
+    /// counterpart of `bench_gate --scale-sweep`, cheap enough for a
+    /// CI smoke step.
+    pub scale_sweep: bool,
     /// Escalate pipeline warnings (e.g. the count-window shard
     /// coercion) to hard errors — `--verify`-style gating.
     pub strict: bool,
@@ -82,6 +88,7 @@ impl Default for StreamArgs {
             adaptive: false,
             reentry: false,
             resume: false,
+            scale_sweep: false,
             strict: false,
         }
     }
@@ -617,6 +624,91 @@ fn run_halo_section(
     ok
 }
 
+/// Constant-density stream for the `--scale-sweep` smoke, mirroring
+/// the `scale_sweep` bench's construction: `n` task sites on a √n × √n
+/// grid with 4-unit pitch, a radius-1 worker co-sited with every task
+/// except each fifth site (an orphan that expires), one arrival per
+/// second. Matching structure is exact at every scale — 4n/5 matched,
+/// n/5 expired-or-pending — and the per-window live set is
+/// scale-independent, so drain time should grow ~linearly in `n`.
+fn scale_sweep_stream(n: usize) -> ArrivalStream {
+    const SPACING: f64 = 4.0;
+    const RADIUS: f64 = 1.0;
+    let side = (n as f64).sqrt().ceil() as usize;
+    let mut events = Vec::with_capacity(2 * n);
+    for k in 0..n {
+        let x = (k % side) as f64 * SPACING;
+        let y = (k / side) as f64 * SPACING;
+        let t = k as f64;
+        if k % 5 != 4 {
+            events.push(ArrivalEvent::Worker(WorkerArrival {
+                id: k as u32,
+                time: t,
+                worker: Worker::new(Point::new(x, y), RADIUS),
+            }));
+        }
+        events.push(ArrivalEvent::Task(TaskArrival {
+            id: k as u32,
+            time: t,
+            task: Task::new(Point::new(x + 0.5 * RADIUS, y), 4.5),
+        }));
+    }
+    ArrivalStream::new(events)
+}
+
+/// The `--scale-sweep` smoke: drains the constant-density stream at
+/// 10³ and 10⁴ entities (best of a few repeats at the small scale to
+/// tame timer noise), fits the growth exponent α between the two
+/// scales (`t ∝ n^α`), and gates it at `max_exponent` — any
+/// accidental O(n²) path (full-ledger scans per window, dead-slot
+/// rebuilds, quadratic buffer drains) pushes α toward 2 and fails the
+/// run. The bench-grade version of this gate (`bench_gate
+/// --scale-sweep`, 10³ → 10⁵ with criterion medians) owns the
+/// committed trajectory; this section is its cheap CI smoke.
+fn run_scale_sweep_section(cfg: &StreamConfig, max_exponent: f64) -> bool {
+    let sweep_cfg = StreamConfig {
+        policy: WindowPolicy::ByTime { width: 120.0 },
+        ..cfg.clone()
+    };
+    let engine = Method::Grd.engine(&sweep_cfg.params);
+
+    println!("scale sweep: constant-density drain, 10^3 -> 10^4 entities");
+    let mut timings = Vec::new();
+    for (n, repeats) in [(1_000usize, 3u32), (10_000, 2)] {
+        let stream = scale_sweep_stream(n);
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = std::time::Instant::now();
+            let report = StreamDriver::new(engine.as_ref(), sweep_cfg.clone()).run(&stream);
+            best = best.min(start.elapsed().as_secs_f64());
+            let (matched, expired, pending) = report.assert_conservation();
+            assert_eq!(
+                (matched, expired + pending),
+                (n - n / 5, n / 5),
+                "sweep stream lost its exact matching structure at n={n}"
+            );
+        }
+        println!(
+            "  n={n:<6} drain {:>9.2} ms (best of {repeats})",
+            best * 1e3
+        );
+        timings.push((n as f64, best));
+    }
+    let (n1, t1) = timings[0];
+    let (n2, t2) = timings[1];
+    let alpha = (t2 / t1).ln() / (n2 / n1).ln();
+    let ok = alpha <= max_exponent;
+    println!(
+        "  growth exponent n^{alpha:.2} (gate n^{max_exponent:.2}) {}",
+        if ok {
+            "— OK"
+        } else {
+            "— SUPER-LINEAR DRIFT"
+        },
+    );
+    ok
+}
+
 /// Runs the subcommand. Returns `false` if the sharded/unsharded
 /// equivalence check failed (the caller turns that into a non-zero
 /// exit).
@@ -657,6 +749,11 @@ pub fn run(args: &StreamArgs) -> bool {
 
     if args.reentry {
         all_match &= run_reentry_section(&args.methods, &cfg, &scenario);
+    }
+
+    if args.scale_sweep {
+        all_match &= run_scale_sweep_section(&cfg, 1.8);
+        println!();
     }
 
     // Sharded-vs-unsharded witness on shard-disjoint input. Exactness

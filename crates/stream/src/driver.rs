@@ -67,8 +67,9 @@ use serde::{Deserialize, Serialize};
 /// id) instead of a `BTreeSet` descent over wide tuple keys.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ReleaseDedup {
-    /// Worker id → dense index into `workers`.
-    index: std::collections::HashMap<u32, u32>,
+    /// Worker id → dense index into `workers` (the dedup's interning
+    /// table, one deterministic [`dpta_dp::FastMap`] probe per charge).
+    index: dpta_dp::FastMap<u32, u32>,
     workers: Vec<WorkerCharges>,
 }
 
@@ -77,7 +78,7 @@ pub(crate) struct ReleaseDedup {
 #[derive(Debug, Clone, Default)]
 struct WorkerCharges {
     /// Task id → number of slots already charged (slots `0..count`).
-    pairs: std::collections::HashMap<u32, u32>,
+    pairs: dpta_dp::FastMap<u32, u32>,
     /// Whole-location release spends already charged, by exact bits.
     /// Practically 0 or 1 entries (Geo-I publishes one location per
     /// worker lifetime), so a linear scan beats any keyed structure.
@@ -442,6 +443,7 @@ impl<'e> StreamDriver<'e> {
     /// policies.
     pub fn run(&self, stream: &ArrivalStream) -> StreamReport {
         let mut session = StreamSession::new(self.engine, self.cfg.clone());
+        session.reserve(stream.events().len());
         for e in stream.events() {
             session.push(*e);
         }

@@ -96,8 +96,8 @@ pub use metrics::{
 };
 pub use session::{Outcome, ServiceModel, StreamSession};
 pub use shard::{
-    run_sharded, run_sharded_halo, run_sharded_with, ShardStrategy, ShardedSession,
-    COUNT_WINDOW_SHARD_WARNING,
+    run_sharded, run_sharded_halo, run_sharded_pooled, run_sharded_with, ShardStrategy,
+    ShardedSession, COUNT_WINDOW_SHARD_WARNING,
 };
 pub use snapshot::{SessionSnapshot, ShardedSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use window::{AdaptivePolicy, Window, WindowPolicy, Windower, MAX_WINDOWS};

@@ -45,7 +45,7 @@ use crate::window::{AdaptiveController, ControllerState, Window, WindowPolicy, M
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::metrics::measure;
 use dpta_core::{AssignmentEngine, Board, DeltaInstance};
-use dpta_dp::{AccountId, CumulativeAccountant, SeededNoise};
+use dpta_dp::{AccountId, CumulativeAccountant, FastMap, Interner, SeededNoise};
 use dpta_workloads::budgets::BudgetGen;
 use dpta_workloads::ValueModel;
 use serde::{Deserialize, Serialize};
@@ -267,8 +267,11 @@ pub(crate) struct SessionCore<'e> {
     /// window's [`Instance`](dpta_core::Instance) is an O(live +
     /// feasible pairs) emission instead of an all-pairs rebuild.
     delta: DeltaInstance,
-    fates: BTreeMap<u32, TaskFate>,
-    spend_by_worker: BTreeMap<u32, f64>,
+    /// Task id → fate, hash-interned for O(1) per-settlement updates;
+    /// every observable artefact (report, snapshot) re-sorts by id.
+    fates: FastMap<u32, TaskFate>,
+    /// Worker id → lifetime spend, same interned representation.
+    spend_by_worker: FastMap<u32, f64>,
     reports: Vec<WindowReport>,
     outcomes: VecDeque<Outcome>,
 }
@@ -323,8 +326,8 @@ impl<'e> SessionCore<'e> {
             carried: None,
             charged: ReleaseDedup::default(),
             delta: DeltaInstance::new(),
-            fates: BTreeMap::new(),
-            spend_by_worker: BTreeMap::new(),
+            fates: FastMap::default(),
+            spend_by_worker: FastMap::default(),
             reports: Vec::new(),
             outcomes: VecDeque::new(),
         }
@@ -346,8 +349,12 @@ impl<'e> SessionCore<'e> {
             accountant: self.accountant.clone(),
             carried: self.carried.clone(),
             charged: self.charged.clone(),
-            fates: self.fates.clone(),
-            spend_by_worker: self.spend_by_worker.clone(),
+            fates: self.fates.iter().map(|(&id, f)| (id, *f)).collect(),
+            spend_by_worker: self
+                .spend_by_worker
+                .iter()
+                .map(|(&id, &e)| (id, e))
+                .collect(),
             reports: self.reports.clone(),
             outcomes: self.outcomes.clone(),
         }
@@ -371,8 +378,12 @@ impl<'e> SessionCore<'e> {
         core.accountant = snap.accountant.clone();
         core.carried = snap.carried.clone();
         core.charged = snap.charged.clone();
-        core.fates = snap.fates.clone();
-        core.spend_by_worker = snap.spend_by_worker.clone();
+        core.fates = snap.fates.iter().map(|(&id, f)| (id, *f)).collect();
+        core.spend_by_worker = snap
+            .spend_by_worker
+            .iter()
+            .map(|(&id, &e)| (id, e))
+            .collect();
         core.reports = snap.reports.clone();
         core.outcomes = snap.outcomes.clone();
         for w in &snap.pool {
@@ -398,10 +409,10 @@ impl<'e> SessionCore<'e> {
         StreamReport {
             engine: self.engine.name().to_string(),
             windows: self.reports,
-            fates: self.fates,
+            fates: self.fates.into_iter().collect(),
             task_arrivals,
             worker_arrivals,
-            spend_by_worker: self.spend_by_worker,
+            spend_by_worker: self.spend_by_worker.into_iter().collect(),
             warnings: Vec::new(),
         }
     }
@@ -438,6 +449,8 @@ impl<'e> SessionCore<'e> {
         for w in &window.workers {
             self.accountant
                 .register(u64::from(w.id), self.cfg.worker_capacity);
+        }
+        for w in &window.workers {
             self.delta
                 .insert_worker(u64::from(w.id), w.worker, |t, wk| {
                     self.budget_gen.vector(t as usize, wk as usize)
@@ -528,12 +541,12 @@ impl<'e> SessionCore<'e> {
 
             let board = match carried.take() {
                 Some(prev) if warm => {
-                    let task_to_new: BTreeMap<u32, usize> = task_ids
+                    let task_to_new: FastMap<u32, usize> = task_ids
                         .iter()
                         .enumerate()
                         .map(|(i, &id)| (id, i))
                         .collect();
-                    let worker_to_new: BTreeMap<u32, usize> = worker_ids
+                    let worker_to_new: FastMap<u32, usize> = worker_ids
                         .iter()
                         .enumerate()
                         .map(|(j, &id)| (id, j))
@@ -884,8 +897,11 @@ pub struct StreamSession<'e> {
     residual: VecDeque<Outcome>,
     n_tasks: usize,
     n_workers: usize,
-    task_ids: BTreeSet<u32>,
-    worker_ids: BTreeSet<u32>,
+    /// Arrival ids seen so far, interned to dense symbols — the
+    /// uniqueness check is one hash probe however many entities the
+    /// stream has carried.
+    task_ids: Interner,
+    worker_ids: Interner,
 }
 
 impl<'e> StreamSession<'e> {
@@ -906,8 +922,8 @@ impl<'e> StreamSession<'e> {
             residual: VecDeque::new(),
             n_tasks: 0,
             n_workers: 0,
-            task_ids: BTreeSet::new(),
-            worker_ids: BTreeSet::new(),
+            task_ids: Interner::new(),
+            worker_ids: Interner::new(),
         }
     }
 
@@ -919,6 +935,15 @@ impl<'e> StreamSession<'e> {
     /// The current event-time watermark.
     pub fn now(&self) -> f64 {
         self.former.watermark
+    }
+
+    /// Pre-sizes the windower's event buffer for `additional` more
+    /// pushes. Purely an allocation hint: a drain over a pre-built
+    /// stream knows its length up front, and reserving once spares the
+    /// buffer its ~log n doubling copies on the way to 10⁵⁺ buffered
+    /// events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.former.buffer.reserve(additional);
     }
 
     /// Feeds one arrival event. Panics on a non-finite or negative
@@ -943,11 +968,13 @@ impl<'e> StreamSession<'e> {
         let fresh = match &event {
             ArrivalEvent::Task(a) => {
                 self.n_tasks += 1;
-                self.task_ids.insert(a.id)
+                let seen = self.task_ids.len();
+                self.task_ids.intern(u64::from(a.id)) as usize == seen
             }
             ArrivalEvent::Worker(a) => {
                 self.n_workers += 1;
-                self.worker_ids.insert(a.id)
+                let seen = self.worker_ids.len();
+                self.worker_ids.intern(u64::from(a.id)) as usize == seen
             }
         };
         assert!(fresh, "arrival ids must be unique per entity kind");
@@ -1010,8 +1037,8 @@ impl<'e> StreamSession<'e> {
             residual: self.residual.clone(),
             n_tasks: self.n_tasks,
             n_workers: self.n_workers,
-            task_ids: self.task_ids.clone(),
-            worker_ids: self.worker_ids.clone(),
+            task_ids: self.task_ids.ids().iter().map(|&id| id as u32).collect(),
+            worker_ids: self.worker_ids.ids().iter().map(|&id| id as u32).collect(),
         }
     }
 
@@ -1039,8 +1066,12 @@ impl<'e> StreamSession<'e> {
             residual: snapshot.residual.clone(),
             n_tasks: snapshot.n_tasks,
             n_workers: snapshot.n_workers,
-            task_ids: snapshot.task_ids.clone(),
-            worker_ids: snapshot.worker_ids.clone(),
+            task_ids: snapshot.task_ids.iter().map(|&id| u64::from(id)).collect(),
+            worker_ids: snapshot
+                .worker_ids
+                .iter()
+                .map(|&id| u64::from(id))
+                .collect(),
         })
     }
 
@@ -1245,12 +1276,18 @@ impl PushWindower {
     }
 
     fn take_window(&mut self, start: f64, end: f64, upto: usize) -> Window {
+        let n_tasks = self
+            .buffer
+            .iter()
+            .take(upto)
+            .filter(|e| matches!(e, ArrivalEvent::Task(_)))
+            .count();
         let mut window = Window {
             index: self.index,
             start,
             end,
-            tasks: Vec::new(),
-            workers: Vec::new(),
+            tasks: Vec::with_capacity(n_tasks),
+            workers: Vec::with_capacity(upto - n_tasks),
         };
         for e in self.buffer.drain(..upto) {
             match e {

@@ -174,19 +174,54 @@ pub fn run_sharded_with(
     partition: &GridPartition,
     strategy: ShardStrategy,
 ) -> ShardedReport {
+    run_sharded_pooled(engine, stream, cfg, partition, strategy, None)
+}
+
+/// [`run_sharded_with`] with an explicit worker-pool size.
+///
+/// `pool` bounds the number of OS threads executing shard jobs
+/// (`None` = one per available core). The report is **byte-identical
+/// for every pool size**: each shard's run is a deterministic function
+/// of its sub-stream alone, and results land in a slot fixed by shard
+/// index, so neither the thread that ran a shard nor the order shards
+/// finished is observable — pinned across pool sizes 1/2/8 by the
+/// scale-properties suite. The knob only applies to static-policy
+/// [`DropPairs`](ShardStrategy::DropPairs) runs; adaptive drop-pairs
+/// and the halo protocol window globally and coordinate shards
+/// sequentially, so they ignore it.
+pub fn run_sharded_pooled(
+    engine: &dyn AssignmentEngine,
+    stream: &ArrivalStream,
+    cfg: &StreamConfig,
+    partition: &GridPartition,
+    strategy: ShardStrategy,
+    pool: Option<usize>,
+) -> ShardedReport {
     match strategy {
-        ShardStrategy::DropPairs => run_drop_pairs(engine, stream, cfg, partition),
+        ShardStrategy::DropPairs => run_drop_pairs(engine, stream, cfg, partition, pool),
         ShardStrategy::Halo => halo::run_halo(engine, stream, cfg, partition),
     }
 }
 
 /// The independent-drivers implementation behind
-/// [`ShardStrategy::DropPairs`].
+/// [`ShardStrategy::DropPairs`]: a deterministic work-stealing pool.
+///
+/// Populated shards become jobs in one shared queue, ordered largest
+/// first (longest-processing-time): under static striping one hotspot
+/// cell landing late in a thread's stripe serializes the whole run,
+/// while here every idle thread steals the next-heaviest remaining
+/// shard, so the makespan approaches the max(shard, total/threads)
+/// lower bound on skewed input. Determinism is by construction, not by
+/// scheduling: each shard's report is a pure function of its sub-stream
+/// and the shared configuration, and reports land in `slots[k]` keyed
+/// by shard index — which thread ran a shard, and in which order shards
+/// finished, is unobservable in the merged output.
 fn run_drop_pairs(
     engine: &dyn AssignmentEngine,
     stream: &ArrivalStream,
     cfg: &StreamConfig,
     partition: &GridPartition,
+    pool: Option<usize>,
 ) -> ShardedReport {
     if matches!(cfg.policy, WindowPolicy::Adaptive(_)) {
         // Adaptive cuts depend on run feedback, so shards cannot window
@@ -201,19 +236,23 @@ fn run_drop_pairs(
     };
     let sub_streams = stream.shard(partition);
 
-    // Empty cells cost nothing: no thread, no drive, an empty report.
-    // Populated cells are striped over a bounded pool — a fine-grained
-    // partition must not translate into thousands of OS threads.
-    let jobs: Vec<usize> = sub_streams
+    // Empty cells cost nothing: no job, no drive, an empty report.
+    // Heaviest shards first (ties broken by shard index, so the queue
+    // order itself is deterministic).
+    let mut jobs: Vec<usize> = sub_streams
         .iter()
         .enumerate()
         .filter(|(_, s)| !s.events().is_empty())
         .map(|(k, _)| k)
         .collect();
+    jobs.sort_by_key(|&k| (std::cmp::Reverse(sub_streams[k].events().len()), k));
     let threads = jobs.len().min(
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(8),
+        pool.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(8)
+        })
+        .max(1),
     );
 
     let mut slots: Vec<Option<StreamReport>> = sub_streams
@@ -226,21 +265,23 @@ fn run_drop_pairs(
         })
         .collect();
     if threads > 0 {
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let driven: Vec<(usize, StreamReport)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
-                .map(|t| {
+                .map(|_| {
                     let jobs = &jobs;
+                    let next = &next;
                     let sub_streams = &sub_streams;
                     let shard_cfg = &shard_cfg;
                     s.spawn(move || {
-                        jobs.iter()
-                            .skip(t)
-                            .step_by(threads)
-                            .map(|&k| {
-                                let driver = StreamDriver::new(engine, shard_cfg.clone());
-                                (k, driver.run(&sub_streams[k]))
-                            })
-                            .collect::<Vec<_>>()
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&k) = jobs.get(i) else { break };
+                            let driver = StreamDriver::new(engine, shard_cfg.clone());
+                            out.push((k, driver.run(&sub_streams[k])));
+                        }
+                        out
                     })
                 })
                 .collect();
