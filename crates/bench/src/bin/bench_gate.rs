@@ -35,12 +35,13 @@ use std::process::{Command, ExitCode};
 
 /// The bench binaries the trajectory always tracks, in run order
 /// (`--scale-sweep` appends the `scale_sweep` sweep).
-const BENCHES: [&str; 5] = [
+const BENCHES: [&str; 6] = [
     "time_to_drain",
     "halo_sharding",
     "adaptive_window",
     "reentry_drain",
     "incremental_window",
+    "windowed_ledger",
 ];
 
 struct Args {

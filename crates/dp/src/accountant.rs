@@ -151,8 +151,33 @@ struct Account {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccountId(u32);
 
+impl AccountId {
+    /// Wraps a dense slot index — shared with the sibling
+    /// [`WindowedAccountant`](crate::WindowedAccountant), which uses
+    /// the same tombstoned-slot layout and hands out interchangeable
+    /// handles.
+    pub(crate) fn from_slot(slot: u32) -> Self {
+        AccountId(slot)
+    }
+
+    /// The dense slot index this handle wraps.
+    pub(crate) fn slot(self) -> u32 {
+        self.0
+    }
+}
+
 impl CumulativeAccountant {
     /// Creates an accountant tracking no entities.
+    ///
+    /// **Deprecation note:** pipeline code should no longer construct a
+    /// `CumulativeAccountant` directly. Build a
+    /// [`LedgerState`](crate::LedgerState) (for which lifetime
+    /// accounting is one policy next to the sliding-window
+    /// [`WindowedAccountant`](crate::WindowedAccountant)) and program
+    /// against the [`BudgetLedger`](crate::BudgetLedger) trait instead
+    /// — that is the path the stream session uses, and the only one
+    /// that supports budget renewal. Direct construction remains
+    /// supported for audits and tests of the paper's lifetime model.
     pub fn new() -> Self {
         Self::default()
     }

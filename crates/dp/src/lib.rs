@@ -22,6 +22,11 @@
 //! * [`CumulativeAccountant`] — lifetime budget depletion across a
 //!   stream of windows, keyed by stable entity ids (the retirement
 //!   authority of the `dpta-stream` pipeline);
+//! * [`BudgetLedger`] / [`WindowedAccountant`] / [`LedgerState`] — the
+//!   budget-ledger abstraction: lifetime vs sliding-window accounting
+//!   (spend older than the protection window `W` is reclaimed, making
+//!   workers renewable — the continual-observation model of Qiu & Yi,
+//!   arXiv:2209.01387) behind one object-safe trait;
 //! * [`NoiseSource`] — deterministic noise derivation so that a proposal
 //!   evaluated locally and published later reveals exactly one draw.
 
@@ -35,6 +40,7 @@ mod diff;
 mod geo;
 pub mod intern;
 mod laplace;
+mod ledger;
 mod noise;
 mod pcf;
 mod ppcf;
@@ -46,6 +52,7 @@ pub use diff::LaplaceDiff;
 pub use geo::{lambert_w_m1, PlanarLaplace};
 pub use intern::{EpochTable, FastMap, FastSet, Interner, Sym};
 pub use laplace::Laplace;
+pub use ledger::{BudgetLedger, LedgerState, WindowedAccountant};
 pub use noise::{NoiseSource, ScriptedNoise, SeededNoise};
 pub use pcf::pcf;
 pub use ppcf::ppcf;

@@ -142,6 +142,14 @@ STREAM OPTIONS (dpta-experiments stream ...):
                            the resumed run matching the uninterrupted
                            run bit for bit (fates, window cuts, spend
                            and the typed outcome log)
+      --pacing             also run the budget-economics comparison:
+                           lifetime accounting vs a sliding-window
+                           ledger with the pacing controller on, on a
+                           long-horizon worker-scarce stream under a
+                           tight capacity; gated on the windowed ledger
+                           sustaining strictly higher steady-state
+                           matches per worker for every budget-spending
+                           method
       --scale-sweep        also run the entity-scale sweep smoke: drain
                            the constant-density sweep stream at 10^3
                            and 10^4 entities and gate the fitted
@@ -155,7 +163,8 @@ STREAM OPTIONS (dpta-experiments stream ...):
   the halo run diverges or fails to beat drop-pairs sharding, or
   (with --adaptive) if the adaptive gate fails, or (with --reentry)
   if the utilization gate fails, or (with --resume) if the restored
-  session diverges, or (with --scale-sweep) if drain time grows
+  session diverges, or (with --pacing) if the windowed ledger fails to
+  beat lifetime accounting, or (with --scale-sweep) if drain time grows
   super-linearly in entity count, or (with --strict) if any warning
   fired."
     );
@@ -263,6 +272,7 @@ fn parse_stream_args(mut it: std::env::Args) -> Result<stream_cmd::StreamArgs, S
             "--adaptive" => args.adaptive = true,
             "--reentry" => args.reentry = true,
             "--resume" => args.resume = true,
+            "--pacing" => args.pacing = true,
             "--scale-sweep" => args.scale_sweep = true,
             "--strict" => args.strict = true,
             "--help" | "-h" => {

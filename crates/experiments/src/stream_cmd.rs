@@ -14,8 +14,9 @@ use dpta_core::{AssignmentEngine, Method, Task, Worker};
 use dpta_spatial::{Aabb, GridPartition, Point};
 use dpta_stream::{
     run_sharded, run_sharded_halo, AdaptivePolicy, ArrivalEvent, ArrivalModel, ArrivalStream,
-    Outcome, ServiceModel, SessionSnapshot, StreamConfig, StreamDriver, StreamReport,
-    StreamScenario, StreamSession, TaskArrival, TaskFate, WindowPolicy, WorkerArrival,
+    LedgerMode, Outcome, PacingConfig, ServiceModel, SessionSnapshot, StreamConfig, StreamDriver,
+    StreamReport, StreamScenario, StreamSession, TaskArrival, TaskFate, WindowPolicy,
+    WorkerArrival,
 };
 use dpta_workloads::{Dataset, Scenario};
 
@@ -61,6 +62,13 @@ pub struct StreamArgs {
     /// the resumed run matching the uninterrupted run bit for bit
     /// (fates, window cuts, spend and outcome log).
     pub resume: bool,
+    /// Run the budget-economics comparison: lifetime accounting vs a
+    /// sliding-window ledger (with the pacing controller on) on a
+    /// long-horizon worker-scarce stream — gated on the windowed
+    /// ledger sustaining strictly higher steady-state matches per
+    /// worker than lifetime accounting for every budget-spending
+    /// method.
+    pub pacing: bool,
     /// Run the entity-scale sweep smoke: drain the constant-density
     /// sweep stream at 10³ and 10⁴ entities and gate the growth
     /// exponent between the two scales at sub-quadratic — the CLI
@@ -88,6 +96,7 @@ impl Default for StreamArgs {
             adaptive: false,
             reentry: false,
             resume: false,
+            pacing: false,
             scale_sweep: false,
             strict: false,
         }
@@ -98,12 +107,12 @@ impl StreamArgs {
     /// The driver configuration: CLI knobs layered over the scenario's
     /// seed and budget settings (see [`StreamConfig::for_scenario`]).
     fn config(&self, scenario: &Scenario) -> StreamConfig {
-        StreamConfig {
-            policy: self.policy,
-            task_ttl: self.ttl,
-            worker_capacity: self.capacity,
-            ..StreamConfig::for_scenario(scenario)
-        }
+        StreamConfig::builder_for_scenario(scenario)
+            .policy(self.policy)
+            .task_ttl(self.ttl)
+            .worker_capacity(self.capacity)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid stream configuration: {e}"))
     }
 }
 
@@ -278,6 +287,133 @@ fn scarce_stream(scenario: &Scenario) -> ArrivalStream {
         initial_worker_fraction: 1.0,
     }
     .stream()
+}
+
+/// The long-horizon scarce stream of the `--pacing` comparison: the
+/// fleet is on duty from `t = 0` but covers a fraction of the paced
+/// task load, services recycle workers, and the horizon spans many
+/// windows — long enough that lifetime accounting exhausts and retires
+/// the fleet mid-stream while a sliding-window ledger keeps serving.
+fn pacing_stream(scenario: &Scenario) -> ArrivalStream {
+    StreamScenario {
+        scenario: Scenario {
+            worker_task_ratio: 0.4,
+            worker_range: 2.0 * scenario.worker_range,
+            n_batches: scenario.n_batches.max(4),
+            ..*scenario
+        },
+        task_model: ArrivalModel::Paced { rate: 0.05 },
+        worker_model: ArrivalModel::Poisson { rate: 0.01 },
+        initial_worker_fraction: 1.0,
+    }
+    .stream()
+}
+
+/// Matches per worker arrival over the second half of the run's
+/// windows — the steady-state rate the `--pacing` gate compares, after
+/// lifetime accounting has had time to exhaust the fleet.
+fn steady_state_rate(report: &StreamReport) -> f64 {
+    let tail = &report.windows[report.windows.len() / 2..];
+    let matched: usize = tail.iter().map(|w| w.matched).sum();
+    matched as f64 / report.worker_arrivals.max(1) as f64
+}
+
+/// The `--pacing` analysis: lifetime accounting vs a sliding-window
+/// ledger (protection window = 3 window widths, pacing controller on)
+/// under a tight per-worker capacity on the long-horizon scarce
+/// stream. The gate demands what renewable budgets exist for: strictly
+/// higher steady-state matches per worker than lifetime accounting,
+/// for every method that actually spends privacy budget (non-private
+/// baselines are noted and skipped; at least one method must be
+/// gated). Returns `false` when any gated method misses it.
+fn run_pacing_section(methods: &[Method], base: &StreamConfig, scenario: &Scenario) -> bool {
+    let stream = pacing_stream(scenario);
+    let width = 300.0;
+    let protection = 3.0 * width;
+    let lifetime_cfg = base
+        .to_builder()
+        .policy(WindowPolicy::ByTime { width })
+        .worker_capacity(1.5)
+        .service(ServiceModel::Fixed { secs: 240.0 })
+        .ledger(LedgerMode::Lifetime)
+        .build()
+        .expect("valid lifetime configuration");
+    let windowed_cfg = lifetime_cfg
+        .to_builder()
+        .ledger(LedgerMode::Windowed {
+            window_secs: protection,
+        })
+        .pacing(Some(PacingConfig { horizon_windows: 3 }))
+        .build()
+        .expect("valid windowed configuration");
+    println!(
+        "
+budget economics: lifetime vs sliding-window ledger (scarce fleet: {} tasks,          {} workers over {:.0} s; capacity ε = 1.5, protection window {:.0} s,          pacing horizon 3 windows):",
+        stream.n_tasks(),
+        stream.n_workers(),
+        stream.horizon(),
+        protection,
+    );
+    println!(
+        "  {:<10} {:<10} {:>6} {:>5} {:>8} {:>9} {:>9} {:>12}",
+        "method", "ledger", "match", "exp", "retired", "throttled", "spend ε", "steady m/W"
+    );
+    let mut ok = true;
+    let mut gated = 0usize;
+    for &method in methods {
+        let engine = method.engine(&base.params);
+        let (lifetime, _) = drive_session(engine.as_ref(), &lifetime_cfg, &stream);
+        lifetime.assert_conservation();
+        if lifetime.total_epsilon() == 0.0 {
+            println!(
+                "  {:<10} spends no privacy budget — renewable accounting cannot help; skipped",
+                method.name()
+            );
+            continue;
+        }
+        let (windowed, _) = drive_session(engine.as_ref(), &windowed_cfg, &stream);
+        windowed.assert_conservation();
+        gated += 1;
+        let retired: usize = lifetime.windows.iter().map(|w| w.workers_retired).sum();
+        println!(
+            "  {:<10} {:<10} {:>6} {:>5} {:>8} {:>9} {:>9.2} {:>12.3}",
+            method.name(),
+            "lifetime",
+            lifetime.matched(),
+            lifetime.expired(),
+            retired,
+            lifetime.throttled(),
+            lifetime.total_epsilon(),
+            steady_state_rate(&lifetime),
+        );
+        let improves = steady_state_rate(&windowed) > steady_state_rate(&lifetime);
+        ok &= improves;
+        println!(
+            "  {:<10} {:<10} {:>6} {:>5} {:>8} {:>9} {:>9.2} {:>12.3}{}",
+            "",
+            "windowed",
+            windowed.matched(),
+            windowed.expired(),
+            windowed
+                .windows
+                .iter()
+                .map(|w| w.workers_retired)
+                .sum::<usize>(),
+            windowed.throttled(),
+            windowed.total_epsilon(),
+            steady_state_rate(&windowed),
+            if improves {
+                ""
+            } else {
+                "  — STEADY-STATE GATE FAILED"
+            },
+        );
+    }
+    if gated == 0 {
+        println!("  no budget-spending method selected — the pacing gate is vacuous: FAILED");
+        ok = false;
+    }
+    ok
 }
 
 /// Drains `stream` through the push-based session API, returning the
@@ -751,6 +887,10 @@ pub fn run(args: &StreamArgs) -> bool {
         all_match &= run_reentry_section(&args.methods, &cfg, &scenario);
     }
 
+    if args.pacing {
+        all_match &= run_pacing_section(&args.methods, &cfg, &scenario);
+    }
+
     if args.scale_sweep {
         all_match &= run_scale_sweep_section(&cfg, 1.8);
         println!();
@@ -891,6 +1031,27 @@ mod tests {
         assert!(
             run_reentry_section(&[Method::Puce, Method::Pgt, Method::Grd], &cfg, &scenario),
             "the re-entry utilization gate must hold at the default scenario"
+        );
+    }
+
+    #[test]
+    fn pacing_gate_windowed_beats_lifetime() {
+        // Pins the PR 9 acceptance claim at the CI smoke scale: under a
+        // tight lifetime capacity the sliding-window ledger sustains
+        // strictly higher steady-state matches per worker than lifetime
+        // accounting for every budget-spending method (the non-private
+        // baseline is skipped with a note).
+        let scenario = Scenario {
+            dataset: Dataset::Normal,
+            batch_size: 30,
+            n_batches: 2,
+            seed: 42,
+            ..Scenario::default()
+        };
+        let cfg = StreamArgs::default().config(&scenario);
+        assert!(
+            run_pacing_section(&[Method::Puce, Method::Pgt, Method::Grd], &cfg, &scenario),
+            "the windowed-ledger steady-state gate must hold at the default scenario"
         );
     }
 

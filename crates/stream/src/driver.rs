@@ -252,6 +252,83 @@ pub struct StreamConfig {
     /// property suite; the knob exists to express that test and to
     /// debug suspected skip misfires.
     pub halo_full_rerun: bool,
+    /// How per-worker budget spend is accounted over time.
+    /// [`LedgerMode::Lifetime`] (the default) is the paper's model:
+    /// spend accumulates forever and exhausted workers retire.
+    /// [`LedgerMode::Windowed`] reclaims spend older than the
+    /// protection window, making workers renewable — they idle while
+    /// exhausted instead of retiring, and resume publishing once old
+    /// charges age out.
+    pub ledger: LedgerMode,
+    /// Budget pacing: forecast each worker's per-window burn rate from
+    /// the trailing ledger and throttle expensive releases when the
+    /// rate would exhaust them within the forecast horizon. Only
+    /// active when the engine-level remaining-budget guard is — a
+    /// warm-start engine with [`carry_releases`] on and a finite
+    /// [`worker_capacity`]. `None` (the default) never throttles.
+    ///
+    /// [`carry_releases`]: StreamConfig::carry_releases
+    /// [`worker_capacity`]: StreamConfig::worker_capacity
+    pub pacing: Option<PacingConfig>,
+    /// Admission control: when the pool's aggregate remaining budget
+    /// cannot serve the backlog, defer excess task admissions into
+    /// later windows instead of burning TTL on unmatchable tasks.
+    /// Deferred tasks spend no TTL and surface as
+    /// [`Outcome::Deferred`](crate::Outcome::Deferred). `None` (the
+    /// default) admits everything on arrival.
+    pub admission: Option<AdmissionConfig>,
+}
+
+/// Budget accounting regime for a stream run: the paper's monotone
+/// lifetime depletion, or the sliding-window model of Qiu & Yi
+/// (arXiv:2209.01387) where spend older than the protection window is
+/// reclaimed and workers become renewable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LedgerMode {
+    /// Cumulative lifetime accounting — spend never comes back and
+    /// exhausted workers retire forever (the pre-ledger pipeline, bit
+    /// for bit).
+    Lifetime,
+    /// Sliding-window accounting with protection window `window_secs`:
+    /// a charge stamped at time `t` is reclaimed once the ledger clock
+    /// passes `t + window_secs`. Exhausted workers idle instead of
+    /// retiring. Must be positive; an infinite width is accepted and
+    /// is bit-identical to [`LedgerMode::Lifetime`] (proptest-pinned).
+    Windowed {
+        /// Protection window width in stream seconds.
+        window_secs: f64,
+    },
+}
+
+impl LedgerMode {
+    /// Builds the matching ledger state, ready to account a stream.
+    pub fn state(self) -> dpta_dp::LedgerState {
+        match self {
+            LedgerMode::Lifetime => dpta_dp::LedgerState::lifetime(),
+            LedgerMode::Windowed { window_secs } => dpta_dp::LedgerState::windowed(window_secs),
+        }
+    }
+}
+
+/// Budget-pacing controller settings; see
+/// [`StreamConfig::pacing`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacingConfig {
+    /// Forecast horizon in windows: a worker whose trailing per-window
+    /// burn rate would exhaust their remaining budget within this many
+    /// windows has their per-window guard capped to `remaining /
+    /// horizon_windows`, stretching the budget across the horizon
+    /// (until window-`W` reclamation catches up). Must be ≥ 1.
+    pub horizon_windows: usize,
+}
+
+/// Admission-control settings; see [`StreamConfig::admission`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Estimated budget cost of serving one task — the divisor turning
+    /// the pool's aggregate remaining budget into a serveable-backlog
+    /// estimate. Must be finite and positive.
+    pub epsilon_per_task: f64,
 }
 
 impl Default for StreamConfig {
@@ -267,6 +344,9 @@ impl Default for StreamConfig {
             service: ServiceModel::Never,
             horizon: None,
             halo_full_rerun: false,
+            ledger: LedgerMode::Lifetime,
+            pacing: None,
+            admission: None,
         }
     }
 }
@@ -306,6 +386,319 @@ impl StreamConfig {
             budget_group_size: scenario.budget_group_size,
             ..StreamConfig::default()
         }
+    }
+
+    /// A validating builder starting from the default configuration —
+    /// the construction path that catches degenerate knobs (zero-width
+    /// windows, negative capacities, service/TTL inconsistencies) at
+    /// build time as typed [`ConfigError`]s instead of panicking deep
+    /// inside a run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpta_stream::{StreamConfig, WindowPolicy};
+    ///
+    /// let cfg = StreamConfig::builder()
+    ///     .policy(WindowPolicy::ByTime { width: 300.0 })
+    ///     .worker_capacity(2.5)
+    ///     .task_ttl(4)
+    ///     .build()
+    ///     .expect("valid configuration");
+    /// assert_eq!(cfg.task_ttl, 4);
+    ///
+    /// let err = StreamConfig::builder()
+    ///     .policy(WindowPolicy::ByTime { width: 0.0 })
+    ///     .build()
+    ///     .unwrap_err();
+    /// assert_eq!(err.field, "policy");
+    /// ```
+    pub fn builder() -> StreamConfigBuilder {
+        StreamConfigBuilder {
+            cfg: StreamConfig::default(),
+        }
+    }
+
+    /// Builder seeded from `scenario` like
+    /// [`for_scenario`](StreamConfig::for_scenario): inherits the
+    /// scenario's seed and privacy-budget settings, every other knob at
+    /// its default.
+    pub fn builder_for_scenario(scenario: &Scenario) -> StreamConfigBuilder {
+        StreamConfigBuilder {
+            cfg: StreamConfig::for_scenario(scenario),
+        }
+    }
+
+    /// Builder seeded from this configuration — the validated
+    /// equivalent of struct-update syntax for deriving a variant that
+    /// tweaks a knob or two.
+    pub fn to_builder(&self) -> StreamConfigBuilder {
+        StreamConfigBuilder { cfg: self.clone() }
+    }
+
+    /// Validates every knob, returning the offending field on failure.
+    /// [`StreamConfigBuilder::build`] funnels through this; session and
+    /// driver constructors assert the same invariants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn err(field: &'static str, message: String) -> Result<(), ConfigError> {
+            Err(ConfigError { field, message })
+        }
+        match self.policy {
+            WindowPolicy::ByTime { width } => {
+                if !(width > 0.0 && width.is_finite()) {
+                    return err(
+                        "policy",
+                        format!("window width must be positive and finite, got {width}"),
+                    );
+                }
+            }
+            WindowPolicy::ByCount { tasks } => {
+                if tasks == 0 {
+                    return err("policy", "count threshold must be positive".to_string());
+                }
+            }
+            WindowPolicy::Adaptive(p) => {
+                if !(p.min_width > 0.0 && p.min_width.is_finite()) {
+                    return err(
+                        "policy",
+                        format!("min_width must be positive and finite, got {}", p.min_width),
+                    );
+                }
+                if !(p.min_width <= p.base_width && p.base_width <= p.max_width) {
+                    return err(
+                        "policy",
+                        format!(
+                            "widths must satisfy min <= base <= max, got {} / {} / {}",
+                            p.min_width, p.base_width, p.max_width
+                        ),
+                    );
+                }
+                if !p.max_width.is_finite() {
+                    return err("policy", "max_width must be finite".to_string());
+                }
+                if p.burst_tasks == 0 {
+                    return err("policy", "burst_tasks must be at least 1".to_string());
+                }
+                if !(p.target_p95 > 0.0 && p.target_p95.is_finite()) {
+                    return err(
+                        "policy",
+                        format!(
+                            "target_p95 must be positive and finite, got {}",
+                            p.target_p95
+                        ),
+                    );
+                }
+            }
+        }
+        let (lo, hi) = self.budget_range;
+        if !(lo > 0.0 && lo <= hi && hi.is_finite()) {
+            return err(
+                "budget_range",
+                format!("budget range must satisfy 0 < low <= high < inf, got ({lo}, {hi})"),
+            );
+        }
+        if self.budget_group_size == 0 {
+            return err(
+                "budget_group_size",
+                "budget group must be non-empty".to_string(),
+            );
+        }
+        if self.worker_capacity.is_nan() || self.worker_capacity <= 0.0 {
+            return err(
+                "worker_capacity",
+                format!(
+                    "worker_capacity must be positive, got {}",
+                    self.worker_capacity
+                ),
+            );
+        }
+        if self.task_ttl == 0 {
+            return err("task_ttl", "task_ttl must be at least 1".to_string());
+        }
+        match self.service {
+            ServiceModel::Never => {}
+            ServiceModel::Fixed { secs } => {
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return err(
+                        "service",
+                        format!("service duration must be positive and finite, got {secs}"),
+                    );
+                }
+            }
+            ServiceModel::PerTripKm { secs_per_km, .. } => {
+                if !(secs_per_km > 0.0 && secs_per_km.is_finite()) {
+                    return err(
+                        "service",
+                        format!("secs_per_km must be positive and finite, got {secs_per_km}"),
+                    );
+                }
+            }
+            ServiceModel::Jittered { secs, frac } => {
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return err(
+                        "service",
+                        format!("service duration must be positive and finite, got {secs}"),
+                    );
+                }
+                if !(0.0..1.0).contains(&frac) {
+                    return err(
+                        "service",
+                        format!("jitter fraction must lie in [0, 1), got {frac}"),
+                    );
+                }
+            }
+        }
+        if let Some(h) = self.horizon {
+            if !(h > 0.0 && h.is_finite()) {
+                return err(
+                    "horizon",
+                    format!("horizon must be positive and finite, got {h}"),
+                );
+            }
+        }
+        if let LedgerMode::Windowed { window_secs } = self.ledger {
+            if window_secs.is_nan() || window_secs <= 0.0 {
+                return err(
+                    "ledger",
+                    format!("protection window must be positive, got {window_secs}"),
+                );
+            }
+        }
+        if let Some(p) = self.pacing {
+            if p.horizon_windows == 0 {
+                return err(
+                    "pacing",
+                    "pacing horizon must be at least 1 window".to_string(),
+                );
+            }
+        }
+        if let Some(a) = self.admission {
+            if !(a.epsilon_per_task > 0.0 && a.epsilon_per_task.is_finite()) {
+                return err(
+                    "admission",
+                    format!(
+                        "epsilon_per_task must be positive and finite, got {}",
+                        a.epsilon_per_task
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`StreamConfigBuilder::build`]: the offending
+/// [`StreamConfig`] field (matching the snapshot layer's
+/// `ConfigMismatch { field }` names) and a human-readable reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// The `StreamConfig` field that failed validation.
+    pub field: &'static str,
+    /// Why it was rejected.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid StreamConfig.{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`StreamConfig`]; construct via
+/// [`StreamConfig::builder`]. Every setter overwrites the
+/// corresponding field; [`build`](StreamConfigBuilder::build) checks
+/// all invariants at once and names the offending field on failure.
+#[derive(Debug, Clone)]
+pub struct StreamConfigBuilder {
+    cfg: StreamConfig,
+}
+
+impl StreamConfigBuilder {
+    /// Sets the batching policy.
+    pub fn policy(mut self, policy: WindowPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the algorithm parameters (seed, α, β, accounting, fallback).
+    pub fn params(mut self, params: RunParams) -> Self {
+        self.cfg.params = params;
+        self
+    }
+
+    /// Sets the per-pair budget draw range.
+    pub fn budget_range(mut self, low: f64, high: f64) -> Self {
+        self.cfg.budget_range = (low, high);
+        self
+    }
+
+    /// Sets the budget vector group size `Z`.
+    pub fn budget_group_size(mut self, z: usize) -> Self {
+        self.cfg.budget_group_size = z;
+        self
+    }
+
+    /// Sets the per-worker privacy budget capacity.
+    pub fn worker_capacity(mut self, capacity: f64) -> Self {
+        self.cfg.worker_capacity = capacity;
+        self
+    }
+
+    /// Sets the task time-to-live in windows.
+    pub fn task_ttl(mut self, ttl: usize) -> Self {
+        self.cfg.task_ttl = ttl;
+        self
+    }
+
+    /// Sets whether warm-start engines carry release history.
+    pub fn carry_releases(mut self, carry: bool) -> Self {
+        self.cfg.carry_releases = carry;
+        self
+    }
+
+    /// Sets the service model.
+    pub fn service(mut self, service: ServiceModel) -> Self {
+        self.cfg.service = service;
+        self
+    }
+
+    /// Sets the windowing horizon override.
+    pub fn horizon(mut self, horizon: Option<f64>) -> Self {
+        self.cfg.horizon = horizon;
+        self
+    }
+
+    /// Sets the halo full-rerun debug knob.
+    pub fn halo_full_rerun(mut self, full: bool) -> Self {
+        self.cfg.halo_full_rerun = full;
+        self
+    }
+
+    /// Sets the budget accounting regime.
+    pub fn ledger(mut self, ledger: LedgerMode) -> Self {
+        self.cfg.ledger = ledger;
+        self
+    }
+
+    /// Enables budget pacing with the given forecast horizon.
+    pub fn pacing(mut self, pacing: Option<PacingConfig>) -> Self {
+        self.cfg.pacing = pacing;
+        self
+    }
+
+    /// Enables admission control with the given per-task cost estimate.
+    pub fn admission(mut self, admission: Option<AdmissionConfig>) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Validates every knob and returns the configuration, or the
+    /// first offending field.
+    pub fn build(self) -> Result<StreamConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 

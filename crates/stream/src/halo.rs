@@ -58,9 +58,10 @@
 //!    of `(worker id, task id, slot)`, so a rerun re-derives
 //!    bit-identical publications. A global release dedup
 //!    ([`ReleaseDedup`]) keys a
-//!    [`CumulativeAccountant::reserve`] for each *novel* release;
-//!    after reconciliation the window's reservations are committed
-//!    exactly once per worker ([`CumulativeAccountant::commit`]).
+//!    [`BudgetLedger::reserve`](dpta_dp::BudgetLedger::reserve) for
+//!    each *novel* release; after reconciliation the window's
+//!    reservations are committed exactly once per worker
+//!    ([`BudgetLedger::commit`](dpta_dp::BudgetLedger::commit)).
 //!    Whole-location releases (the Geo-I baseline) are the one
 //!    exception: their ε is the mean over the worker's reach set, so a
 //!    rerun over fewer reachable tasks publishes a *genuinely new*
@@ -83,12 +84,12 @@
 use crate::driver::{novel_ledger_spend, IdStableNoise, PendingTask, ReleaseDedup, StreamConfig};
 use crate::event::{ArrivalStream, WorkerArrival};
 use crate::metrics::{ShardedReport, StreamReport, TaskFate, WindowCutDecision, WindowReport};
-use crate::session::StepSignals;
+use crate::session::{PaceState, StepSignals};
 use crate::snapshot::SnapshotError;
 use crate::window::{Window, WindowPolicy, Windower};
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::{AssignmentEngine, Board, DeltaInstance, Instance, RunOutcome};
-use dpta_dp::{CumulativeAccountant, SeededNoise};
+use dpta_dp::{BudgetLedger, LedgerState, SeededNoise};
 use dpta_matching::repair::PairComponents;
 use dpta_spatial::GridPartition;
 use dpta_workloads::budgets::BudgetGen;
@@ -271,8 +272,14 @@ pub(crate) struct HaloCore<'e> {
     // driver.
     pool: Vec<WorkerArrival>,
     pending: Vec<PendingTask>,
+    /// Tasks held back by admission control (FIFO, no TTL burned) —
+    /// the session stepper's rule, applied to the global backlog.
+    deferred: VecDeque<PendingTask>,
     in_service: VecDeque<Serving>,
-    accountant: CumulativeAccountant,
+    ledger: LedgerState,
+    /// Per-worker pacing state, maintained only under
+    /// [`StreamConfig::pacing`].
+    pace: BTreeMap<u32, PaceState>,
     charged: ReleaseDedup,
     carried: Vec<Option<Carried>>,
     // The maintained per-shard instances: shard `k`'s delta holds its
@@ -307,6 +314,7 @@ impl<'e> HaloCore<'e> {
             cfg.budget_range,
             cfg.budget_group_size,
         );
+        let ledger = cfg.ledger.state();
         HaloCore {
             engine,
             cfg,
@@ -322,8 +330,10 @@ impl<'e> HaloCore<'e> {
             shard_spend: vec![BTreeMap::new(); n_shards],
             pool: Vec::new(),
             pending: Vec::new(),
+            deferred: VecDeque::new(),
             in_service: VecDeque::new(),
-            accountant: CumulativeAccountant::new(),
+            ledger,
+            pace: BTreeMap::new(),
             charged: ReleaseDedup::default(),
             carried: (0..n_shards).map(|_| None).collect(),
             deltas: (0..n_shards).map(|_| DeltaInstance::new()).collect(),
@@ -355,8 +365,10 @@ impl<'e> HaloCore<'e> {
             shard_spend,
             pool,
             pending,
+            deferred,
             in_service,
-            accountant,
+            ledger,
+            pace,
             charged,
             carried,
             deltas,
@@ -366,6 +378,10 @@ impl<'e> HaloCore<'e> {
         let cfg: &StreamConfig = cfg;
         let (warm, capped, incremental, reentry) = (*warm, *capped, *incremental, *reentry);
         let n_shards = deltas.len();
+        // Advance the ledger clock to the (globally formed) window
+        // start: sliding-window reclamation fires at the same instants
+        // the flat stepper's does, keeping the agreement gates exact.
+        ledger.advance_time(window.start);
         // ── Re-admit returned workers ─────────────────────────────────
         // Completed service cycles re-enter the pool ahead of the
         // window's fresh arrivals, in (completion time, id) order — the
@@ -388,7 +404,7 @@ impl<'e> HaloCore<'e> {
         }
         // ── Admit arrivals ────────────────────────────────────────────
         for w in &window.workers {
-            accountant.register(u64::from(w.id), cfg.worker_capacity);
+            ledger.register(u64::from(w.id), cfg.worker_capacity);
             let m = Membership {
                 home: partition.shard_of(&w.worker.location),
                 reach: partition.reach_shards(&w.worker.location, w.worker.radius),
@@ -402,18 +418,85 @@ impl<'e> HaloCore<'e> {
             member.insert(w.id, m);
             pool.push(*w);
         }
+        // Unserved tasks already maintained per shard, before this
+        // window's admissions (the report's carried-in view).
+        let carried_by_shard: Vec<usize> = deltas.iter().map(DeltaInstance::n_tasks).collect();
         let mut arrived_by_shard = vec![0usize; n_shards];
+        let mut deferred_by_shard = vec![0usize; n_shards];
+        let mut readmitted_by_shard = vec![0usize; n_shards];
         for &arrival in &window.tasks {
             let home = partition.shard_of(&arrival.task.location);
             shard_tasks[home] += 1;
             arrived_by_shard[home] += 1;
-            deltas[home].insert_task(u64::from(arrival.id), arrival.task, |t, w| {
+        }
+        // Admission control: the session stepper's rule over the global
+        // pool — admit only what the aggregate remaining budget could
+        // serve, oldest deferral first. (The coordinator keeps no
+        // outcome log; the per-shard `tasks_deferred` counters carry
+        // the observability.)
+        let admitted: Vec<(PendingTask, bool)> = match cfg.admission {
+            Some(ac) => {
+                let mut aggregate = 0.0f64;
+                for w in pool.iter() {
+                    aggregate += ledger.remaining(u64::from(w.id));
+                }
+                let serveable = if aggregate.is_finite() {
+                    (aggregate / ac.epsilon_per_task) as usize
+                } else {
+                    usize::MAX
+                };
+                let mut allowed = serveable.saturating_sub(pending.len());
+                let waiting: Vec<PendingTask> = deferred.drain(..).collect();
+                let mut admitted = Vec::with_capacity(waiting.len() + window.tasks.len());
+                for (p, fresh) in
+                    waiting
+                        .into_iter()
+                        .map(|p| (p, false))
+                        .chain(window.tasks.iter().map(|&arrival| {
+                            (
+                                PendingTask {
+                                    arrival,
+                                    ttl: cfg.task_ttl,
+                                },
+                                true,
+                            )
+                        }))
+                {
+                    if allowed > 0 {
+                        allowed -= 1;
+                        admitted.push((p, fresh));
+                    } else {
+                        if fresh {
+                            deferred_by_shard[task_home_of(partition, &p)] += 1;
+                        }
+                        deferred.push_back(p);
+                    }
+                }
+                admitted
+            }
+            None => window
+                .tasks
+                .iter()
+                .map(|&arrival| {
+                    (
+                        PendingTask {
+                            arrival,
+                            ttl: cfg.task_ttl,
+                        },
+                        true,
+                    )
+                })
+                .collect(),
+        };
+        for &(p, fresh) in &admitted {
+            let home = task_home_of(partition, &p);
+            if !fresh {
+                readmitted_by_shard[home] += 1;
+            }
+            deltas[home].insert_task(u64::from(p.arrival.id), p.arrival.task, |t, w| {
                 budget_gen.vector(t as usize, w as usize)
             });
-            pending.push(PendingTask {
-                arrival,
-                ttl: cfg.task_ttl,
-            });
+            pending.push(p);
         }
         // Observed stream state at window close (identical to the
         // unsharded driver's: one global pending list, same formula).
@@ -449,7 +532,7 @@ impl<'e> HaloCore<'e> {
                 start: window.start,
                 end: window.end,
                 tasks_arrived: arrived_by_shard[k],
-                carried_in: deltas[k].n_tasks() - arrived_by_shard[k],
+                carried_in: carried_by_shard[k] + readmitted_by_shard[k],
                 workers_available: avail[k],
                 matched: 0,
                 expired: 0,
@@ -463,9 +546,34 @@ impl<'e> HaloCore<'e> {
                 workers_retired: 0,
                 workers_departed: 0,
                 workers_returned: returned_by_home[k],
+                workers_throttled: 0,
+                tasks_deferred: deferred_by_shard[k],
                 cut,
             })
             .collect();
+
+        // Budget pacing: cap a worker's remaining-budget guard when his
+        // trailing burn rate would exhaust him within the forecast
+        // horizon. Computed once from the pre-window ledger, so every
+        // reconciliation pass reads the same caps.
+        let pace_caps: Option<BTreeMap<u32, f64>> = cfg.pacing.filter(|_| capped).map(|p| {
+            let horizon = p.horizon_windows as f64;
+            let mut caps = BTreeMap::new();
+            for w in pool.iter() {
+                if let Some(st) = pace.get(&w.id) {
+                    let rem = ledger.remaining(u64::from(w.id));
+                    if st.ema > 0.0 && rem > 0.0 && st.ema * horizon > rem {
+                        caps.insert(w.id, rem / horizon);
+                    }
+                }
+            }
+            caps
+        });
+        if let Some(caps) = &pace_caps {
+            for &wid in caps.keys() {
+                reports[member[&wid].home].workers_throttled += 1;
+            }
+        }
 
         // ── Propose / reconcile loop ──────────────────────────────────
         let mut committed_tasks: BTreeSet<u32> = BTreeSet::new();
@@ -554,7 +662,8 @@ impl<'e> HaloCore<'e> {
                     &deltas[k],
                     &carried[k],
                     warm,
-                    capped.then_some(&*accountant),
+                    capped.then_some(&*ledger),
+                    pace_caps.as_ref(),
                     incremental,
                 );
                 if let Some(p) = built {
@@ -563,13 +672,7 @@ impl<'e> HaloCore<'e> {
                         // (reservations included), so capped shard runs
                         // execute sequentially in ascending shard id.
                         let (run, dt) = drive_prepared(engine, cfg, p);
-                        account_run(
-                            &run,
-                            charged,
-                            accountant,
-                            &mut window_spend,
-                            &mut reports[k],
-                        );
+                        account_run(&run, charged, ledger, &mut window_spend, &mut reports[k]);
                         finish_run(k, run, dt, &mut reports, &mut claims, &mut states);
                     } else {
                         prepared.push(p);
@@ -594,13 +697,7 @@ impl<'e> HaloCore<'e> {
                 );
                 driven.sort_by_key(|&(k, _, _, _)| k);
                 for (k, run, dt, is_sub) in driven {
-                    account_run(
-                        &run,
-                        charged,
-                        accountant,
-                        &mut window_spend,
-                        &mut reports[k],
-                    );
+                    account_run(&run, charged, ledger, &mut window_spend, &mut reports[k]);
                     if is_sub {
                         finish_sub_run(
                             k,
@@ -705,7 +802,16 @@ impl<'e> HaloCore<'e> {
                 );
                 committed_tasks.insert(claim.task);
                 committed_workers.insert(w);
-                service_of.insert(w, cfg.service.duration(d, task.arrival.task.value));
+                service_of.insert(
+                    w,
+                    cfg.service.duration_keyed(
+                        d,
+                        task.arrival.task.value,
+                        w,
+                        claim.task,
+                        cfg.params.seed,
+                    ),
+                );
                 claims[k].retain(|c| c.worker != w);
                 // The committed pair leaves every maintained instance
                 // that sees it, and its components become dirty: any
@@ -750,7 +856,7 @@ impl<'e> HaloCore<'e> {
         // Commit this window's reservations — exactly once per worker —
         // then depart matched workers and retire exhausted ones.
         for (&wid, &eps) in &window_spend {
-            accountant.commit(u64::from(wid));
+            ledger.commit(u64::from(wid));
             *shard_spend[member[&wid].home].entry(wid).or_insert(0.0) += eps;
         }
         for &w in &committed_workers {
@@ -773,12 +879,22 @@ impl<'e> HaloCore<'e> {
                     );
                 }
                 None => {
-                    accountant.forget(u64::from(w));
+                    ledger.forget(u64::from(w));
                 }
             }
         }
-        let mut retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
-        if capped {
+        // Sliding-window (renewable) accounting never retires — an
+        // exhausted worker idles behind the guard until old charges age
+        // out. An infinite protection window is not renewable, so
+        // `Windowed { window_secs: ∞ }` retires exactly like lifetime
+        // accounting.
+        let renewable = ledger.renewable();
+        let mut retired: BTreeSet<u64> = if renewable {
+            BTreeSet::new()
+        } else {
+            ledger.drain_exhausted().into_iter().collect()
+        };
+        if !renewable && capped {
             // Mirror the unsharded driver: under a hard cap a worker is
             // effectively exhausted once his remaining budget cannot
             // cover even the cheapest possible release.
@@ -786,9 +902,9 @@ impl<'e> HaloCore<'e> {
                 let id = u64::from(w.id);
                 if !committed_workers.contains(&w.id)
                     && !retired.contains(&id)
-                    && accountant.remaining(id) + 1e-12 < cfg.budget_range.0
+                    && ledger.remaining(id) + 1e-12 < cfg.budget_range.0
                 {
-                    accountant.forget(id);
+                    ledger.forget(id);
                     retired.insert(id);
                 }
             }
@@ -857,6 +973,23 @@ impl<'e> HaloCore<'e> {
         for p in pending.iter() {
             reports[task_home_of(partition, p)].carried_out += 1;
         }
+        // Refresh the pacing forecast from this window's realized
+        // spend (clamped at zero: window-`W` reclamation shrinking the
+        // recorded spend is not negative burn).
+        if cfg.pacing.is_some() {
+            let tracked = ledger.tracked_ids();
+            for &id in &tracked {
+                let spent = ledger.spent(id);
+                let st = pace.entry(id as u32).or_insert(PaceState {
+                    last_spent: 0.0,
+                    ema: 0.0,
+                });
+                let burned = (spent - st.last_spent).max(0.0);
+                st.ema = 0.5 * st.ema + 0.5 * burned;
+                st.last_spent = spent;
+            }
+            pace.retain(|&id, _| tracked.binary_search(&u64::from(id)).is_ok());
+        }
         for (k, report) in reports.into_iter().enumerate() {
             shard_windows[k].push(report);
         }
@@ -871,6 +1004,9 @@ impl<'e> HaloCore<'e> {
     /// reports.
     pub(crate) fn finish(mut self, partition: &GridPartition) -> ShardedReport {
         for p in &self.pending {
+            self.shard_fates[task_home_of(partition, p)].insert(p.arrival.id, TaskFate::Pending);
+        }
+        for p in &self.deferred {
             self.shard_fates[task_home_of(partition, p)].insert(p.arrival.id, TaskFate::Pending);
         }
         let engine_name = self.engine.name().to_string();
@@ -902,8 +1038,10 @@ impl<'e> HaloCore<'e> {
             shard_spend: self.shard_spend.clone(),
             pool: self.pool.clone(),
             pending: self.pending.clone(),
+            deferred: self.deferred.clone(),
             in_service: self.in_service.clone(),
-            accountant: self.accountant.clone(),
+            ledger: self.ledger.clone(),
+            pace: self.pace.clone(),
             charged: self.charged.clone(),
             carried: self.carried.clone(),
         }
@@ -955,8 +1093,10 @@ impl<'e> HaloCore<'e> {
         core.shard_spend = snap.shard_spend.clone();
         core.pool = snap.pool.clone();
         core.pending = snap.pending.clone();
+        core.deferred = snap.deferred.clone();
         core.in_service = snap.in_service.clone();
-        core.accountant = snap.accountant.clone();
+        core.ledger = snap.ledger.clone();
+        core.pace = snap.pace.clone();
         core.charged = snap.charged.clone();
         core.carried = snap.carried.clone();
         for w in &snap.pool {
@@ -1008,8 +1148,10 @@ pub(crate) struct HaloSnapshot {
     pub(crate) shard_spend: Vec<BTreeMap<u32, f64>>,
     pub(crate) pool: Vec<WorkerArrival>,
     pub(crate) pending: Vec<PendingTask>,
+    pub(crate) deferred: VecDeque<PendingTask>,
     pub(crate) in_service: VecDeque<Serving>,
-    pub(crate) accountant: CumulativeAccountant,
+    pub(crate) ledger: LedgerState,
+    pub(crate) pace: BTreeMap<u32, PaceState>,
     pub(crate) charged: ReleaseDedup,
     pub(crate) carried: Vec<Option<Carried>>,
 }
@@ -1173,13 +1315,15 @@ fn carry_board(
 /// Builds shard `k`'s full run from its maintained instance, carrying
 /// protocol state from the pre-window board. Returns `None` when the
 /// shard has nothing to drive.
+#[allow(clippy::too_many_arguments)]
 fn prepare_run(
     budget_gen: &BudgetGen,
     k: usize,
     delta: &DeltaInstance,
     carried: &Option<Carried>,
     warm: bool,
-    guard_from: Option<&CumulativeAccountant>,
+    guard_from: Option<&LedgerState>,
+    pace_caps: Option<&BTreeMap<u32, f64>>,
     track_components: bool,
 ) -> Option<PreparedRun> {
     if delta.n_tasks() == 0 || delta.n_workers() == 0 {
@@ -1212,7 +1356,17 @@ fn prepare_run(
     let guard = guard_from.map(|acc| {
         worker_ids
             .iter()
-            .map(|&id| acc.remaining(u64::from(id)))
+            .map(|&id| {
+                let mut g = acc.remaining(u64::from(id));
+                // Pacing cap, when the controller flagged the worker
+                // for this window.
+                if let Some(caps) = pace_caps {
+                    if let Some(&c) = caps.get(&id) {
+                        g = g.min(c);
+                    }
+                }
+                g
+            })
             .collect()
     });
     Some(PreparedRun {
@@ -1369,7 +1523,7 @@ fn drive_parallel(
 fn account_run(
     run: &ShardRun,
     charged: &mut ReleaseDedup,
-    accountant: &mut CumulativeAccountant,
+    ledger: &mut LedgerState,
     window_spend: &mut BTreeMap<u32, f64>,
     report: &mut WindowReport,
 ) {
@@ -1377,7 +1531,7 @@ fn account_run(
     for (j, &wid) in run.worker_ids.iter().enumerate() {
         let novel = novel_ledger_spend(board, j, wid, &run.task_ids, charged);
         if novel > 0.0 {
-            accountant.reserve(u64::from(wid), novel);
+            ledger.reserve(u64::from(wid), novel);
             report.epsilon_spent += novel;
             *window_spend.entry(wid).or_insert(0.0) += novel;
         }

@@ -22,8 +22,11 @@
 //!   emitting assignments, expiries, retirements and worker returns as
 //!   a typed [`Outcome`] log. Warm-start engines resume from carried
 //!   protocol state per the engine trait's warm-start contract, a
-//!   [`CumulativeAccountant`](dpta_dp::CumulativeAccountant) tracks
-//!   lifetime budget depletion, exhausted workers retire, unserved
+//!   [`BudgetLedger`](dpta_dp::BudgetLedger) tracks budget depletion —
+//!   lifetime by default, or a sliding protection window
+//!   ([`LedgerMode::Windowed`]) with optional pacing
+//!   ([`PacingConfig`]) and admission control ([`AdmissionConfig`]) —
+//!   exhausted workers retire (or idle until reclamation), unserved
 //!   tasks carry over until a time-to-live expires, and a
 //!   [`ServiceModel`] returns matched workers to the pool after their
 //!   service duration (serve-and-leave is `ServiceModel::Never`);
@@ -88,7 +91,10 @@ mod snapshot;
 mod window;
 
 pub use arrival::{ArrivalModel, StreamScenario};
-pub use driver::{StreamConfig, StreamDriver};
+pub use driver::{
+    AdmissionConfig, ConfigError, LedgerMode, PacingConfig, StreamConfig, StreamConfigBuilder,
+    StreamDriver,
+};
 pub use event::{ArrivalEvent, ArrivalStream, TaskArrival, WorkerArrival};
 pub use metrics::{
     percentile, ShardedReport, StreamReport, TaskFate, WindowCutDecision, WindowFeedback,

@@ -149,6 +149,16 @@ pub struct WindowReport {
     /// during this window ([`ServiceModel`](crate::ServiceModel) re-entry;
     /// always zero under `ServiceModel::Never`).
     pub workers_returned: usize,
+    /// Workers whose remaining-budget guard was capped by the pacing
+    /// controller this window (burn rate would have exhausted them
+    /// within the forecast horizon). Zero unless
+    /// [`StreamConfig::pacing`](crate::StreamConfig::pacing) is set.
+    pub workers_throttled: usize,
+    /// Fresh task arrivals held out of the window by admission control
+    /// (first-time deferrals only). Zero unless
+    /// [`StreamConfig::admission`](crate::StreamConfig::admission) is
+    /// set.
+    pub tasks_deferred: usize,
     /// Why the window closed when it did (adaptive windowing).
     pub cut: WindowCutDecision,
 }
@@ -211,6 +221,14 @@ impl Serialize for WindowReport {
                 "workers_returned".to_string(),
                 self.workers_returned.serialize_value(),
             ),
+            (
+                "workers_throttled".to_string(),
+                self.workers_throttled.serialize_value(),
+            ),
+            (
+                "tasks_deferred".to_string(),
+                self.tasks_deferred.serialize_value(),
+            ),
             ("cut".to_string(), self.cut.serialize_value()),
         ])
     }
@@ -246,6 +264,8 @@ impl Deserialize for WindowReport {
             workers_retired: usize::deserialize_value(field(v, "workers_retired")?)?,
             workers_departed: usize::deserialize_value(field(v, "workers_departed")?)?,
             workers_returned: usize::deserialize_value(field(v, "workers_returned")?)?,
+            workers_throttled: usize::deserialize_value(field(v, "workers_throttled")?)?,
+            tasks_deferred: usize::deserialize_value(field(v, "tasks_deferred")?)?,
             cut: WindowCutDecision::deserialize_value(field(v, "cut")?)?,
         })
     }
@@ -399,6 +419,20 @@ impl StreamReport {
     /// (serve-and-leave).
     pub fn returns(&self) -> usize {
         self.windows.iter().map(|w| w.workers_returned).sum()
+    }
+
+    /// Worker-window throttle events applied by the budget-pacing
+    /// controller. Zero unless
+    /// [`StreamConfig::pacing`](crate::StreamConfig::pacing) is set.
+    pub fn throttled(&self) -> usize {
+        self.windows.iter().map(|w| w.workers_throttled).sum()
+    }
+
+    /// First-time task deferrals applied by admission control. Zero
+    /// unless [`StreamConfig::admission`](crate::StreamConfig::admission)
+    /// is set.
+    pub fn deferred(&self) -> usize {
+        self.windows.iter().map(|w| w.tasks_deferred).sum()
     }
 
     /// Matches per worker arrival — the fleet-utilization measure the
@@ -628,6 +662,8 @@ mod tests {
             workers_retired: 0,
             workers_departed: matched,
             workers_returned: 0,
+            workers_throttled: 0,
+            tasks_deferred: 0,
             cut: WindowCutDecision::Scheduled,
         }
     }

@@ -45,7 +45,7 @@ use crate::window::{AdaptiveController, ControllerState, Window, WindowPolicy, M
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::metrics::measure;
 use dpta_core::{AssignmentEngine, Board, DeltaInstance};
-use dpta_dp::{AccountId, CumulativeAccountant, FastMap, Interner, SeededNoise};
+use dpta_dp::{AccountId, BudgetLedger, FastMap, Interner, LedgerState, SeededNoise};
 use dpta_workloads::budgets::BudgetGen;
 use dpta_workloads::ValueModel;
 use serde::{Deserialize, Serialize};
@@ -98,6 +98,20 @@ pub enum ServiceModel {
         /// Travel seconds per kilometre (positive, finite).
         secs_per_km: f64,
     },
+    /// Fixed mean duration with deterministic multiplicative jitter: a
+    /// match's service time is `secs · m` where the multiplier
+    /// `m ∈ [1 − frac, 1 + frac]` is hashed from the run seed and the
+    /// matched pair's *logical* ids. Same seed, same pair → same draw,
+    /// in every window, shard and replay — stochastic-looking service
+    /// times that keep the bit-for-bit gates intact (pinned by the
+    /// replay-determinism test).
+    Jittered {
+        /// Mean service duration in seconds (positive, finite).
+        secs: f64,
+        /// Jitter half-width as a fraction of `secs`, in `[0, 1)`.
+        /// Zero degenerates to [`ServiceModel::Fixed`].
+        frac: f64,
+    },
 }
 
 impl ServiceModel {
@@ -112,6 +126,35 @@ impl ServiceModel {
                 value_model,
                 secs_per_km,
             } => Some(secs_per_km * (pickup_km + value_model.trip_km(task_value))),
+            // The unkeyed view reports the mean; the pipeline draws via
+            // `duration_keyed`.
+            ServiceModel::Jittered { secs, .. } => Some(secs),
+        }
+    }
+
+    /// The service duration of one *specific* match, keyed by the
+    /// pair's logical ids and the run seed — the call the session
+    /// stepper and halo coordinator make. Deterministic: the same
+    /// (seed, worker, task) always draws the same duration, so replays
+    /// and sharded runs agree bit for bit. Non-jittered variants
+    /// ignore the key and defer to [`duration`](ServiceModel::duration).
+    pub fn duration_keyed(
+        &self,
+        pickup_km: f64,
+        task_value: f64,
+        worker: u32,
+        task: u32,
+        seed: u64,
+    ) -> Option<f64> {
+        match *self {
+            ServiceModel::Jittered { secs, frac } => {
+                if frac == 0.0 {
+                    return Some(secs);
+                }
+                let unit = jitter_unit(seed, worker, task);
+                Some(secs * (1.0 + frac * (2.0 * unit - 1.0)))
+            }
+            _ => self.duration(pickup_km, task_value),
         }
     }
 
@@ -131,8 +174,33 @@ impl ServiceModel {
                 secs_per_km > 0.0 && secs_per_km.is_finite(),
                 "secs_per_km must be positive and finite, got {secs_per_km}"
             ),
+            ServiceModel::Jittered { secs, frac } => {
+                assert!(
+                    secs > 0.0 && secs.is_finite(),
+                    "service duration must be positive and finite, got {secs}"
+                );
+                assert!(
+                    (0.0..1.0).contains(&frac),
+                    "jitter fraction must lie in [0, 1), got {frac}"
+                );
+            }
         }
     }
+}
+
+/// A uniform draw in `[0, 1)` hashed from `(seed, worker, task)` — the
+/// service-jitter analog of the budget/noise derivations: a pure
+/// function of logical ids, never of window indices or wall clocks.
+fn jitter_unit(seed: u64, worker: u32, task: u32) -> f64 {
+    // splitmix64 finalizer over the salted key; the salt keeps the
+    // stream independent of the budget and noise derivations that hash
+    // the same ids.
+    const SALT: u64 = 0x9e2a_57f3_11c8_46d1;
+    let mut x = seed ^ SALT ^ ((worker as u64) << 32) ^ (task as u64).rotate_left(17);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// One typed event of the session's outcome log, drained via
@@ -185,6 +253,17 @@ pub enum Outcome {
         at: f64,
         /// Completed service cycles so far (1 on the first return).
         cycle: usize,
+    },
+    /// Admission control held a task out of the window: the pool's
+    /// aggregate remaining budget could not have served the backlog, so
+    /// the task waits (burning no time-to-live) and is admitted into a
+    /// later window once budget frees up. Emitted once, at the first
+    /// deferral; re-deferrals of an already-waiting task are silent.
+    Deferred {
+        /// Logical task id.
+        task: u32,
+        /// Window that declined the admission.
+        window: usize,
     },
 }
 
@@ -257,9 +336,16 @@ pub(crate) struct SessionCore<'e> {
     budget_gen: BudgetGen,
     pool: Vec<WorkerArrival>,
     pending: Vec<PendingTask>,
+    /// Tasks held back by admission control: arrived, not yet admitted
+    /// into any window, burning no TTL. FIFO — the oldest deferral is
+    /// readmitted first once budget frees up.
+    deferred: VecDeque<PendingTask>,
     in_service: VecDeque<InService>,
     cycles: BTreeMap<u32, usize>,
-    accountant: CumulativeAccountant,
+    ledger: LedgerState,
+    /// Per-worker pacing state (trailing burn-rate estimate), only
+    /// maintained when [`StreamConfig::pacing`] is set.
+    pace: BTreeMap<u32, PaceState>,
     carried: Option<CarriedBoard>,
     charged: ReleaseDedup,
     /// The pool and pending set as a maintained PA-TA instance: every
@@ -289,15 +375,29 @@ pub(crate) struct SessionCore<'e> {
 pub(crate) struct CoreSnapshot {
     pub(crate) pool: Vec<WorkerArrival>,
     pub(crate) pending: Vec<PendingTask>,
+    pub(crate) deferred: VecDeque<PendingTask>,
     pub(crate) in_service: VecDeque<InService>,
     pub(crate) cycles: BTreeMap<u32, usize>,
-    pub(crate) accountant: CumulativeAccountant,
+    pub(crate) ledger: LedgerState,
+    pub(crate) pace: BTreeMap<u32, PaceState>,
     pub(crate) carried: Option<CarriedBoard>,
     pub(crate) charged: ReleaseDedup,
     pub(crate) fates: BTreeMap<u32, TaskFate>,
     pub(crate) spend_by_worker: BTreeMap<u32, f64>,
     pub(crate) reports: Vec<WindowReport>,
     pub(crate) outcomes: VecDeque<Outcome>,
+}
+
+/// Per-worker budget-pacing state: the trailing per-window spend
+/// estimate the throttle compares against the worker's remaining
+/// budget. An exponential moving average (α = ½) keeps the forecast
+/// responsive to bursts while damping one-window spikes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct PaceState {
+    /// Ledger spend at the last window close (the delta baseline).
+    pub(crate) last_spent: f64,
+    /// Trailing per-window spend estimate, ε per window.
+    pub(crate) ema: f64,
 }
 
 impl<'e> SessionCore<'e> {
@@ -312,6 +412,7 @@ impl<'e> SessionCore<'e> {
             cfg.budget_range,
             cfg.budget_group_size,
         );
+        let ledger = cfg.ledger.state();
         SessionCore {
             engine,
             cfg,
@@ -320,9 +421,11 @@ impl<'e> SessionCore<'e> {
             budget_gen,
             pool: Vec::new(),
             pending: Vec::new(),
+            deferred: VecDeque::new(),
             in_service: VecDeque::new(),
             cycles: BTreeMap::new(),
-            accountant: CumulativeAccountant::new(),
+            ledger,
+            pace: BTreeMap::new(),
             carried: None,
             charged: ReleaseDedup::default(),
             delta: DeltaInstance::new(),
@@ -344,9 +447,11 @@ impl<'e> SessionCore<'e> {
         CoreSnapshot {
             pool: self.pool.clone(),
             pending: self.pending.clone(),
+            deferred: self.deferred.clone(),
             in_service: self.in_service.clone(),
             cycles: self.cycles.clone(),
-            accountant: self.accountant.clone(),
+            ledger: self.ledger.clone(),
+            pace: self.pace.clone(),
             carried: self.carried.clone(),
             charged: self.charged.clone(),
             fates: self.fates.iter().map(|(&id, f)| (id, *f)).collect(),
@@ -373,9 +478,11 @@ impl<'e> SessionCore<'e> {
         let mut core = SessionCore::new(engine, cfg);
         core.pool = snap.pool.clone();
         core.pending = snap.pending.clone();
+        core.deferred = snap.deferred.clone();
         core.in_service = snap.in_service.clone();
         core.cycles = snap.cycles.clone();
-        core.accountant = snap.accountant.clone();
+        core.ledger = snap.ledger.clone();
+        core.pace = snap.pace.clone();
         core.carried = snap.carried.clone();
         core.charged = snap.charged.clone();
         core.fates = snap.fates.iter().map(|(&id, f)| (id, *f)).collect();
@@ -406,6 +513,12 @@ impl<'e> SessionCore<'e> {
         for p in &self.pending {
             self.fates.insert(p.arrival.id, TaskFate::Pending);
         }
+        // Tasks still held by admission control never entered a window,
+        // but they arrived — the conservation law covers them as
+        // pending.
+        for p in &self.deferred {
+            self.fates.insert(p.arrival.id, TaskFate::Pending);
+        }
         StreamReport {
             engine: self.engine.name().to_string(),
             windows: self.reports,
@@ -422,6 +535,12 @@ impl<'e> SessionCore<'e> {
     /// signals for the adaptive controller.
     pub(crate) fn step(&mut self, window: &Window, cut: WindowCutDecision) -> StepSignals {
         let warm = self.warm;
+        // Advance the ledger clock to the window start: under sliding-
+        // window accounting this reclaims every charge that has aged
+        // out of the protection window. Window starts are global across
+        // flat, drop-pairs and halo execution, so every driving mode
+        // reclaims at identical instants.
+        self.ledger.advance_time(window.start);
         let mut returned_now = 0usize;
         // Returned workers re-enter the pool ahead of the window's fresh
         // arrivals, in (completion time, id) order — the same rule every
@@ -447,7 +566,7 @@ impl<'e> SessionCore<'e> {
             self.pool.push(s.worker);
         }
         for w in &window.workers {
-            self.accountant
+            self.ledger
                 .register(u64::from(w.id), self.cfg.worker_capacity);
         }
         for w in &window.workers {
@@ -457,18 +576,80 @@ impl<'e> SessionCore<'e> {
                 });
             self.pool.push(*w);
         }
-        for t in &window.tasks {
-            self.delta.insert_task(u64::from(t.id), t.task, |tk, wk| {
-                self.budget_gen.vector(tk as usize, wk as usize)
-            });
+        // Admission control: when configured, the window admits only as
+        // many tasks as the pool's aggregate remaining budget could
+        // plausibly serve; the excess waits outside the window (no TTL
+        // burned), oldest deferral first. Off (the default), every
+        // arrival is admitted on the spot.
+        let carried_in_now = self.pending.len();
+        let mut deferred_now = 0usize;
+        let mut readmitted_now = 0usize;
+        let admitted: Vec<PendingTask> = match self.cfg.admission {
+            Some(ac) => {
+                let mut aggregate = 0.0f64;
+                for w in &self.pool {
+                    aggregate += self.ledger.remaining(u64::from(w.id));
+                }
+                let serveable = if aggregate.is_finite() {
+                    (aggregate / ac.epsilon_per_task) as usize
+                } else {
+                    usize::MAX
+                };
+                let mut allowed = serveable.saturating_sub(carried_in_now);
+                let waiting: Vec<PendingTask> = self.deferred.drain(..).collect();
+                let mut admitted = Vec::with_capacity(waiting.len() + window.tasks.len());
+                for (p, fresh) in
+                    waiting
+                        .into_iter()
+                        .map(|p| (p, false))
+                        .chain(window.tasks.iter().map(|&arrival| {
+                            (
+                                PendingTask {
+                                    arrival,
+                                    ttl: self.cfg.task_ttl,
+                                },
+                                true,
+                            )
+                        }))
+                {
+                    if allowed > 0 {
+                        allowed -= 1;
+                        if !fresh {
+                            readmitted_now += 1;
+                        }
+                        admitted.push(p);
+                    } else {
+                        if fresh {
+                            deferred_now += 1;
+                            self.outcomes.push_back(Outcome::Deferred {
+                                task: p.arrival.id,
+                                window: window.index,
+                            });
+                        }
+                        self.deferred.push_back(p);
+                    }
+                }
+                admitted
+            }
+            None => window
+                .tasks
+                .iter()
+                .map(|&arrival| PendingTask {
+                    arrival,
+                    ttl: self.cfg.task_ttl,
+                })
+                .collect(),
+        };
+        for p in &admitted {
+            self.delta
+                .insert_task(u64::from(p.arrival.id), p.arrival.task, |tk, wk| {
+                    self.budget_gen.vector(tk as usize, wk as usize)
+                });
         }
-        self.pending
-            .extend(window.tasks.iter().map(|&arrival| PendingTask {
-                arrival,
-                ttl: self.cfg.task_ttl,
-            }));
+        self.pending.extend(admitted);
         let (pool, pending) = (&mut self.pool, &mut self.pending);
-        let (accountant, carried) = (&mut self.accountant, &mut self.carried);
+        let (ledger, carried) = (&mut self.ledger, &mut self.carried);
+        let pace = &mut self.pace;
         let (charged, fates) = (&mut self.charged, &mut self.fates);
         let spend_by_worker = &mut self.spend_by_worker;
         let delta = &mut self.delta;
@@ -492,7 +673,7 @@ impl<'e> SessionCore<'e> {
             start: window.start,
             end: window.end,
             tasks_arrived: window.tasks.len(),
-            carried_in: pending.len() - window.tasks.len(),
+            carried_in: carried_in_now + readmitted_now,
             workers_available: pool.len(),
             matched: 0,
             expired: 0,
@@ -506,6 +687,8 @@ impl<'e> SessionCore<'e> {
             workers_retired: 0,
             workers_departed: 0,
             workers_returned: returned_now,
+            workers_throttled: 0,
+            tasks_deferred: deferred_now,
             cut,
         };
 
@@ -528,7 +711,7 @@ impl<'e> SessionCore<'e> {
             let worker_handles: Vec<AccountId> = pool
                 .iter()
                 .map(|w| {
-                    accountant
+                    ledger
                         .resolve(u64::from(w.id))
                         .expect("pooled worker is registered")
                 })
@@ -576,11 +759,32 @@ impl<'e> SessionCore<'e> {
             // retire-at-window-close. (Fresh-board drives re-publish
             // already-charged releases the hook cannot distinguish from
             // novel spend, so they keep the window-close semantics.)
+            let pacing = (warm && self.cfg.worker_capacity.is_finite())
+                .then_some(self.cfg.pacing)
+                .flatten();
             let guard: Option<Vec<f64>> =
                 (warm && self.cfg.worker_capacity.is_finite()).then(|| {
                     worker_handles
                         .iter()
-                        .map(|&h| accountant.remaining_at(h))
+                        .zip(worker_ids.iter())
+                        .map(|(&h, &wid)| {
+                            let mut g = ledger.remaining_at(h);
+                            // Pacing: when the trailing burn rate would
+                            // exhaust the worker within the forecast
+                            // horizon, cap this window's guard to an
+                            // even slice of what remains, stretching
+                            // the budget across the horizon.
+                            if let Some(p) = pacing {
+                                if let Some(st) = pace.get(&wid) {
+                                    let horizon = p.horizon_windows as f64;
+                                    if st.ema > 0.0 && g > 0.0 && st.ema * horizon > g {
+                                        g /= horizon;
+                                        report.workers_throttled += 1;
+                                    }
+                                }
+                            }
+                            g
+                        })
                         .collect()
                 });
 
@@ -605,7 +809,7 @@ impl<'e> SessionCore<'e> {
                 // window.
                 for (j, w) in pool.iter().enumerate() {
                     let novel = (outcome.board.spent_total(j) - pre_spend[j]).max(0.0);
-                    accountant.charge_at(worker_handles[j], novel);
+                    ledger.charge_at(worker_handles[j], novel);
                     report.epsilon_spent += novel;
                     if novel > 0.0 {
                         *spend_by_worker.entry(w.id).or_insert(0.0) += novel;
@@ -623,7 +827,7 @@ impl<'e> SessionCore<'e> {
                 // in the same order.
                 for (j, &wid) in worker_ids.iter().enumerate() {
                     let novel = novel_ledger_spend(&outcome.board, j, wid, &task_ids, charged);
-                    accountant.charge_at(worker_handles[j], novel);
+                    ledger.charge_at(worker_handles[j], novel);
                     report.epsilon_spent += novel;
                     if novel > 0.0 {
                         *spend_by_worker.entry(wid).or_insert(0.0) += novel;
@@ -657,7 +861,7 @@ impl<'e> SessionCore<'e> {
                     if loc > 0.0 && charged.charge_location(wid, loc.to_bits()) {
                         novel += loc;
                     }
-                    accountant.charge_at(worker_handles[j], novel);
+                    ledger.charge_at(worker_handles[j], novel);
                     report.epsilon_spent += novel;
                     if novel > 0.0 {
                         *spend_by_worker.entry(wid).or_insert(0.0) += novel;
@@ -716,11 +920,13 @@ impl<'e> SessionCore<'e> {
                 .task
                 .location
                 .distance(&pool[j].worker.location);
-            match self
-                .cfg
-                .service
-                .duration(pickup, pending[i].arrival.task.value)
-            {
+            match self.cfg.service.duration_keyed(
+                pickup,
+                pending[i].arrival.task.value,
+                wid,
+                pending[i].arrival.id,
+                self.cfg.params.seed,
+            ) {
                 Some(d) => {
                     let return_time = window.end + d;
                     let cycle = {
@@ -746,7 +952,7 @@ impl<'e> SessionCore<'e> {
                     });
                 }
                 None => {
-                    accountant.forget(u64::from(wid));
+                    ledger.forget(u64::from(wid));
                     self.outcomes.push_back(Outcome::EnteredService {
                         worker: wid,
                         window: window.index,
@@ -756,8 +962,20 @@ impl<'e> SessionCore<'e> {
             }
         }
         report.workers_departed = departed.len();
-        let mut retired: BTreeSet<u64> = accountant.drain_exhausted().into_iter().collect();
-        if warm && self.cfg.worker_capacity.is_finite() {
+        // Sliding-window (renewable) accounting never retires: an
+        // exhausted worker idles — the remaining-budget guard stops his
+        // releases — until old charges age out of the protection
+        // window. An infinite protection window is not renewable, so
+        // `Windowed { window_secs: ∞ }` retires exactly like lifetime
+        // accounting (the bit-for-bit equivalence the property suite
+        // pins).
+        let renewable = ledger.renewable();
+        let mut retired: BTreeSet<u64> = if renewable {
+            BTreeSet::new()
+        } else {
+            ledger.drain_exhausted().into_iter().collect()
+        };
+        if !renewable && warm && self.cfg.worker_capacity.is_finite() {
             // Hard-cap mode never overshoots, so spend rarely reaches
             // the capacity exactly; instead a worker is effectively
             // exhausted once his remaining budget cannot cover even the
@@ -766,9 +984,9 @@ impl<'e> SessionCore<'e> {
                 let id = u64::from(w.id);
                 if !departed.contains(&w.id)
                     && !retired.contains(&id)
-                    && accountant.remaining(id) + 1e-12 < self.cfg.budget_range.0
+                    && ledger.remaining(id) + 1e-12 < self.cfg.budget_range.0
                 {
-                    accountant.forget(id);
+                    ledger.forget(id);
                     retired.insert(id);
                 }
             }
@@ -830,6 +1048,24 @@ impl<'e> SessionCore<'e> {
         }
         *pending = next_pending;
         report.carried_out = pending.len();
+        // Refresh the pacing forecast from this window's realized
+        // spend: EMA over the per-window spend delta (clamped at zero —
+        // window-`W` reclamation can shrink recorded spend, which is
+        // not negative burn).
+        if self.cfg.pacing.is_some() {
+            let tracked = ledger.tracked_ids();
+            for &id in &tracked {
+                let spent = ledger.spent(id);
+                let st = pace.entry(id as u32).or_insert(PaceState {
+                    last_spent: 0.0,
+                    ema: 0.0,
+                });
+                let burned = (spent - st.last_spent).max(0.0);
+                st.ema = 0.5 * st.ema + 0.5 * burned;
+                st.last_spent = spent;
+            }
+            pace.retain(|&id, _| tracked.binary_search(&u64::from(id)).is_ok());
+        }
         let signals = StepSignals {
             ages,
             backlog: pending.len(),

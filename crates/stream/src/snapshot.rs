@@ -18,13 +18,17 @@
 //! restoring a snapshot with a different version is rejected with
 //! [`SnapshotError::VersionMismatch`] rather than guessed at. Adding a
 //! *new* field with a restore-time default does not bump the version.
-//! A committed golden fixture pins the v1 wire format.
+//! A committed golden fixture pins the v2 wire format. (v2 replaced
+//! the bare accountant section with a tagged
+//! [`LedgerState`](dpta_dp::LedgerState) — lifetime or sliding-window
+//! — and added the deferred-task queue and pacing state; v1 snapshots
+//! are rejected with [`SnapshotError::VersionMismatch`].)
 //!
 //! # Exactly-once across restart
 //!
 //! Snapshots are taken at window boundaries, where every privacy
 //! charge of the preceding window has already been committed to the
-//! serialized [`CumulativeAccountant`](dpta_dp::CumulativeAccountant)
+//! serialized [`LedgerState`](dpta_dp::LedgerState)
 //! and recorded in the serialized release-dedup set. A restored
 //! session therefore re-charges nothing: re-derived publications of
 //! already-charged releases are filtered by the dedup exactly as they
@@ -40,7 +44,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
 
 /// Current snapshot format version, embedded in every snapshot.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The full serializable state of a [`StreamSession`] at a window
 /// boundary, produced by [`StreamSession::snapshot`] and consumed by
@@ -157,6 +161,15 @@ pub(crate) fn check_config(snap: &StreamConfig, cfg: &StreamConfig) -> Result<()
     }
     if snap.halo_full_rerun != cfg.halo_full_rerun {
         return mismatch("halo_full_rerun");
+    }
+    if snap.ledger != cfg.ledger {
+        return mismatch("ledger");
+    }
+    if snap.pacing != cfg.pacing {
+        return mismatch("pacing");
+    }
+    if snap.admission != cfg.admission {
+        return mismatch("admission");
     }
     Ok(())
 }

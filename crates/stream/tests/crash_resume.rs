@@ -15,7 +15,7 @@
 //!
 //! Alongside the crash harness: snapshot → restore → snapshot is
 //! *byte*-identical in every mode, a committed golden fixture pins the
-//! v1 wire format, and restoring under a changed configuration is
+//! v2 wire format, and restoring under a changed configuration is
 //! rejected with a typed error naming the offending field.
 
 use dpta_core::{Method, Task, Worker};
@@ -445,7 +445,7 @@ fn restore_rejects_foreign_version_and_garbage() {
     let json = snap.to_json();
 
     // A snapshot written under a future format version.
-    let tampered = json.replacen("\"version\": 1", "\"version\": 99", 1);
+    let tampered = json.replacen("\"version\": 2", "\"version\": 99", 1);
     assert_eq!(
         SessionSnapshot::from_json(&tampered).err(),
         Some(SnapshotError::VersionMismatch {
@@ -460,7 +460,7 @@ fn restore_rejects_foreign_version_and_garbage() {
         Err(SnapshotError::Malformed(_))
     ));
     assert!(matches!(
-        SessionSnapshot::from_json("{\"version\": 1}"),
+        SessionSnapshot::from_json("{\"version\": 2}"),
         Err(SnapshotError::Malformed(_))
     ));
 }
@@ -536,15 +536,16 @@ fn sharded_restore_rejects_changed_strategy_and_partition() {
     );
 }
 
-// ── Golden fixture: the committed v1 wire format stays restorable ───
+// ── Golden fixture: the committed v2 wire format stays restorable ───
 
-/// The committed fixture (`tests/fixtures/session_snapshot_v1.json`)
-/// was written by [`fixture_snapshot`] at the v1 format. It must keep
+/// The committed fixture (`tests/fixtures/session_snapshot_v2.json`)
+/// was written by [`fixture_snapshot`] at the v2 format (tagged
+/// ledger section, deferred queue, pacing state). It must keep
 /// parsing, keep matching a freshly-taken snapshot byte for byte (the
 /// format is stable), and keep draining to the pinned outcomes.
 #[test]
 fn golden_fixture_restores_and_drains_to_pinned_outcomes() {
-    let text = include_str!("fixtures/session_snapshot_v1.json");
+    let text = include_str!("fixtures/session_snapshot_v2.json");
     let snap = SessionSnapshot::from_json(text).expect("golden fixture parses");
     assert_eq!(snap.version(), dpta_stream::SNAPSHOT_VERSION);
     assert_eq!(snap.engine(), "PUCE");
@@ -593,7 +594,7 @@ fn regen_fixture() {
     std::fs::write(
         concat!(
             env!("CARGO_MANIFEST_DIR"),
-            "/tests/fixtures/session_snapshot_v1.json"
+            "/tests/fixtures/session_snapshot_v2.json"
         ),
         &json,
     )

@@ -374,13 +374,13 @@ fn work_stealing_reports_are_identical_across_pool_sizes_and_runs() {
 
 // ── Snapshot wire format under interning ────────────────────────────
 
-/// The committed v1 fixture still parses and round-trips byte for
+/// The committed v2 fixture still parses and round-trips byte for
 /// byte: interning changed every id-keyed structure behind the
 /// snapshot, so any symbol leaking into the wire format would show up
 /// here as a re-serialization diff.
 #[test]
 fn committed_fixture_round_trips_byte_identically() {
-    let text = include_str!("fixtures/session_snapshot_v1.json");
+    let text = include_str!("fixtures/session_snapshot_v2.json");
     let snap = SessionSnapshot::from_json(text).expect("committed fixture parses");
     assert_eq!(snap.version(), dpta_stream::SNAPSHOT_VERSION);
     assert_eq!(snap.to_json().trim_end(), text.trim_end());

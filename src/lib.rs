@@ -121,15 +121,17 @@ pub mod prelude {
         AssignmentEngine, Board, Instance, Measures, Method, RunOutcome, RunParams, Task, Worker,
     };
     pub use dpta_dp::{
-        pcf, ppcf, BudgetVector, CumulativeAccountant, EffectivePair, PrivacyLedger, SeededNoise,
+        pcf, ppcf, BudgetLedger, BudgetVector, CumulativeAccountant, EffectivePair, LedgerState,
+        PrivacyLedger, SeededNoise, WindowedAccountant,
     };
     pub use dpta_matching::Assignment;
     pub use dpta_spatial::{Circle, GridPartition, Point};
     pub use dpta_stream::{
-        run_sharded, run_sharded_halo, run_sharded_with, ArrivalModel, ArrivalStream, Outcome,
-        ServiceModel, SessionSnapshot, ShardStrategy, ShardedSession, ShardedSnapshot,
-        SnapshotError, StreamConfig, StreamDriver, StreamReport, StreamScenario, StreamSession,
-        WindowPolicy,
+        run_sharded, run_sharded_halo, run_sharded_with, AdmissionConfig, ArrivalModel,
+        ArrivalStream, ConfigError, LedgerMode, Outcome, PacingConfig, ServiceModel,
+        SessionSnapshot, ShardStrategy, ShardedSession, ShardedSnapshot, SnapshotError,
+        StreamConfig, StreamConfigBuilder, StreamDriver, StreamReport, StreamScenario,
+        StreamSession, WindowPolicy,
     };
     pub use dpta_workloads::{Dataset, Scenario};
 }
