@@ -5,7 +5,8 @@
 //! file, and comparing a fresh run against the committed baseline.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 use dpta_core::RunParams;
 use dpta_experiments::report::render_figure;

@@ -7,10 +7,9 @@
 //! privacy ledgers. Real distances never enter this structure.
 
 use crate::model::Instance;
-use dpta_dp::{EffectivePair, PrivacyLedger, Release, ReleaseSet};
+use dpta_dp::{EffectivePair, FastMap, PrivacyLedger, Release, ReleaseSet};
 use dpta_matching::Assignment;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Ledger key for a whole-location release (the Geo-I baseline
 /// publishes one obfuscated *location* instead of per-task distances).
@@ -21,7 +20,7 @@ pub const LOCATION_RELEASE: u32 = u32::MAX;
 pub struct Board {
     n_tasks: usize,
     n_workers: usize,
-    releases: HashMap<(usize, usize), ReleaseSet>,
+    releases: FastMap<(usize, usize), ReleaseSet>,
     /// `alloc[i]` — current winner of task `i` (the paper's `AL`).
     alloc: Vec<Option<usize>>,
     /// Reverse map: the task currently held by each worker.
@@ -38,7 +37,7 @@ impl Board {
         Board {
             n_tasks,
             n_workers,
-            releases: HashMap::new(),
+            releases: FastMap::default(),
             alloc: vec![None; n_tasks],
             held: vec![None; n_workers],
             ledgers: vec![PrivacyLedger::new(); n_workers],
@@ -307,7 +306,7 @@ impl Deserialize for Board {
         let n_tasks = usize::deserialize_value(field("n_tasks")?)?;
         let n_workers = usize::deserialize_value(field("n_workers")?)?;
         let triples = Vec::<(usize, usize, ReleaseSet)>::deserialize_value(field("releases")?)?;
-        let mut releases = HashMap::with_capacity(triples.len());
+        let mut releases = FastMap::with_capacity_and_hasher(triples.len(), Default::default());
         for (t, w, set) in triples {
             if t >= n_tasks || w >= n_workers {
                 return Err(serde::Error(format!(

@@ -220,6 +220,7 @@ impl Method {
     /// Runs the method on an instance: resolves the engine and drives a
     /// fresh board under the seeded noise source.
     pub fn run(&self, inst: &Instance, params: &RunParams) -> RunOutcome {
+        // dpta-lint: allow(charged-noise-flow) -- the source is only handed to engines, which charge every release via Board::publish/charge_location
         let noise = SeededNoise::new(params.seed);
         self.engine(params).run(inst, &noise)
     }

@@ -28,6 +28,7 @@
 //! nondeterminism. (Canonical artefacts still must not iterate these
 //! maps raw.)
 
+// dpta-lint: allow(deterministic-containers) -- backing store for FastMap/FastSet, pinned to the fixed-key FastHasher below
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -95,8 +96,10 @@ impl Hasher for FastHasher {
 }
 
 /// `HashMap` with the deterministic [`FastHasher`].
+// dpta-lint: allow(deterministic-containers) -- this alias IS the sanctioned deterministic wrapper
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 /// `HashSet` with the deterministic [`FastHasher`].
+// dpta-lint: allow(deterministic-containers) -- this alias IS the sanctioned deterministic wrapper
 pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
 
 /// A dense symbol minted by an [`Interner`]; indexes `Vec`-backed side

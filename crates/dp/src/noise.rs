@@ -9,8 +9,8 @@
 //! function of `(seed, task, worker, slot)` also makes every run of every
 //! algorithm reproducible, which the experiment harness relies on.
 
+use crate::intern::FastMap;
 use crate::Laplace;
-use std::collections::HashMap;
 
 /// A source of the `u`-th Laplace noise draw for worker `w` proposing to
 /// task `t`.
@@ -74,7 +74,7 @@ impl NoiseSource for SeededNoise {
 /// to zero noise (so partially scripted scenarios remain usable).
 #[derive(Debug, Clone, Default)]
 pub struct ScriptedNoise {
-    table: HashMap<(u32, u32, u32), f64>,
+    table: FastMap<(u32, u32, u32), f64>,
 }
 
 impl ScriptedNoise {

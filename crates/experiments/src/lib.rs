@@ -19,7 +19,8 @@
 //! experiment id.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod expectations;
 pub mod figures;

@@ -1,0 +1,505 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The rules in [`crate::rules`] match *token sequences*, never raw
+//! text, so occurrences of banned names inside strings, comments and
+//! doc examples can never fire. The lexer therefore has to get exactly
+//! four things right: comments (line, nested block, doc), string
+//! literals (plain, raw, byte), char-vs-lifetime disambiguation, and
+//! line/column tracking for `file:line:col` reporting.
+//!
+//! Line comments are additionally scanned for the audited suppression
+//! syntax:
+//!
+//! ```text
+//! // dpta-lint: allow(rule-a, rule-b) -- reason the invariant holds
+//! ```
+//!
+//! A parsed annotation is returned alongside the token stream; an
+//! annotation whose syntax is recognisably `dpta-lint:` but malformed
+//! (missing rule list, missing `-- reason`) is surfaced so a typo can
+//! never silently suppress nothing.
+
+/// What a token is; only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct,
+    /// String or byte-string literal; `empty` is true for `""`.
+    Str {
+        /// Whether the literal is the empty string.
+        empty: bool,
+    },
+    /// Numeric literal.
+    Num,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime such as `'a` (including `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text for `Ident`/`Punct` tokens (empty for literals —
+    /// the rules never match on literal contents).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A parsed `// dpta-lint: allow(...) -- reason` suppression.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rule ids listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// The justification after `--`; guaranteed non-empty.
+    pub reason: String,
+}
+
+/// A `dpta-lint:` comment that failed to parse, with its position and
+/// what was wrong — reported as a finding so typos cannot silently
+/// suppress nothing.
+#[derive(Debug, Clone)]
+pub struct MalformedAnnotation {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// 1-based column of the comment start.
+    pub col: u32,
+    /// Human-readable description of the syntax error.
+    pub message: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Well-formed suppression annotations.
+    pub annotations: Vec<Annotation>,
+    /// `dpta-lint:` comments that did not parse.
+    pub malformed: Vec<MalformedAnnotation>,
+}
+
+/// Marker that introduces a suppression comment.
+pub const ANNOTATION_MARKER: &str = "dpta-lint:";
+
+/// Lexes `source` into [`Lexed`]. Never fails: unexpected bytes become
+/// single-character `Punct` tokens, and an unterminated literal simply
+/// ends at EOF (the real compiler rejects the file anyway).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) && self.is_raw_start(1) => {
+                    self.raw_string(1, line, col)
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, col);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_start(2) => {
+                    self.bump();
+                    self.raw_string(1, line, col);
+                }
+                '"' => self.string(line, col),
+                '\'' => self.quote(line, col),
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Does a raw-string head (`"` or `#...#"`) start `ahead` chars in?
+    fn is_raw_start(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Doc comments (`///`, `//!`) are documentation — the
+        // suppression syntax is only honoured (and only validated) in
+        // plain `//` comments, so docs may freely *describe* it.
+        if !(text.starts_with("///") || text.starts_with("//!")) {
+            self.scan_annotation(&text, line, col);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let mut len = 0usize;
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    self.bump();
+                    len += 1;
+                }
+                _ => len += 1,
+            }
+        }
+        self.push(TokKind::Str { empty: len == 0 }, String::new(), line, col);
+    }
+
+    fn raw_string(&mut self, skip: usize, line: u32, col: u32) {
+        for _ in 0..skip {
+            self.bump(); // 'r' (and the caller consumed a 'b' if present)
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut len = 0usize;
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    } else {
+                        len += 1 + seen;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            len += 1;
+        }
+        self.push(TokKind::Str { empty: len == 0 }, String::new(), line, col);
+    }
+
+    /// A `'` is a char literal if it closes within a couple of chars or
+    /// escapes; otherwise it is a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        // 'x' / '\n' / '\'' => char; 'ident (no closing quote) => lifetime.
+        if self.peek(1) == Some('\\') || self.peek(2) == Some('\'') {
+            self.char_lit(line, col);
+        } else {
+            self.bump(); // '\''
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn char_lit(&mut self, line: u32, col: u32) {
+        self.bump(); // '\''
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            let in_number = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if in_number {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, String::new(), line, col);
+    }
+
+    fn scan_annotation(&mut self, comment: &str, line: u32, col: u32) {
+        let Some(at) = comment.find(ANNOTATION_MARKER) else {
+            return;
+        };
+        let rest = comment[at + ANNOTATION_MARKER.len()..].trim();
+        let fail = |message: &str| MalformedAnnotation {
+            line,
+            col,
+            message: message.to_string(),
+        };
+        let Some(body) = rest.strip_prefix("allow") else {
+            self.out.malformed.push(fail(
+                "expected `allow(<rules>) -- <reason>` after `dpta-lint:`",
+            ));
+            return;
+        };
+        let body = body.trim_start();
+        let Some(body) = body.strip_prefix('(') else {
+            self.out.malformed.push(fail("expected `(` after `allow`"));
+            return;
+        };
+        let Some(close) = body.find(')') else {
+            self.out.malformed.push(fail("unclosed `allow(` rule list"));
+            return;
+        };
+        let rules: Vec<String> = body[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            self.out
+                .malformed
+                .push(fail("empty rule list in `allow()`"));
+            return;
+        }
+        let tail = body[close + 1..].trim_start();
+        let Some(reason) = tail.strip_prefix("--") else {
+            self.out
+                .malformed
+                .push(fail("missing `-- <reason>` after the rule list"));
+            return;
+        };
+        let reason = reason.trim().to_string();
+        if reason.is_empty() {
+            self.out
+                .malformed
+                .push(fail("empty suppression reason after `--`"));
+            return;
+        }
+        self.out.annotations.push(Annotation {
+            line,
+            rules,
+            reason,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap<SystemTime>";
+            let r = r#"Instant::now"#;
+            let b = b"HashMap";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "SystemTime"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_leak_tokens() {
+        let src = "/// let x = map.unwrap();\nfn f() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let src = "ab\n  cd";
+        let lexed = lex(src);
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn well_formed_annotation_parses() {
+        let src = "// dpta-lint: allow(no-wall-clock, panic-hygiene) -- timing is display-only\nfn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.annotations.len(), 1);
+        let a = &lexed.annotations[0];
+        assert_eq!(a.line, 1);
+        assert_eq!(a.rules, vec!["no-wall-clock", "panic-hygiene"]);
+        assert_eq!(a.reason, "timing is display-only");
+        assert!(lexed.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_are_surfaced() {
+        for bad in [
+            "// dpta-lint: allow(no-wall-clock)",       // missing reason
+            "// dpta-lint: allow() -- reason",          // empty rules
+            "// dpta-lint: deny(x) -- reason",          // not allow
+            "// dpta-lint: allow(no-wall-clock) -- ",   // empty reason
+            "// dpta-lint: allow(no-wall-clock -- oop", // unclosed
+        ] {
+            let lexed = lex(bad);
+            assert_eq!(lexed.malformed.len(), 1, "{bad}");
+            assert!(lexed.annotations.is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn trailing_annotation_records_its_line() {
+        let src =
+            "let x = 1;\nlet t = Instant::now(); // dpta-lint: allow(no-wall-clock) -- display\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.annotations[0].line, 2);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes_inside() {
+        let src = r####"let s = r##"has "quote" and # inside"##; after();"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"quote".to_string()));
+    }
+
+    #[test]
+    fn numbers_including_floats_are_single_tokens() {
+        let lexed = lex("let x = 0.5e3 + 1_000 - 0xFF;");
+        let nums = lexed.toks.iter().filter(|t| t.kind == TokKind::Num).count();
+        assert_eq!(nums, 3);
+    }
+}

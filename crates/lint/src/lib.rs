@@ -1,0 +1,87 @@
+//! `dpta-lint` — a workspace static analyzer enforcing the determinism
+//! and privacy-flow invariants that the proptests can only sample.
+//!
+//! Every guarantee the repro ships — bit-for-bit flat/sharded
+//! agreement, exactly-once budget charging, byte-identical snapshot
+//! replay — rests on *source-level* invariants: no randomized-hash
+//! containers on deterministic paths, no wall-clock reads on decision
+//! paths, no noise release that bypasses the charging surface. Dynamic
+//! tests sample those invariants; this crate checks them statically on
+//! every push. The rule catalog (see [`rules`]) mirrors
+//! ARCHITECTURE.md's "Static analysis & invariant enforcement" section:
+//!
+//! 1. `deterministic-containers` — `std::collections::HashMap`/`HashSet`
+//!    banned in core/dp/matching/spatial/stream;
+//! 2. `no-wall-clock` — `Instant::now`/`SystemTime` banned outside the
+//!    bench crate and the experiments display paths;
+//! 3. `charged-noise-flow` — noise-sampling calls only in modules with
+//!    a visible charge edge;
+//! 4. `panic-hygiene` — bare `unwrap()` and undocumented `expect`
+//!    banned in core/dp/stream library code;
+//! 5. `unsafe-policy` — `#![forbid(unsafe_code)]` on every crate root,
+//!    no `unsafe` tokens anywhere;
+//! 6. `lint-gate-presence` — the `#![deny(missing_docs)]` /
+//!    `#![deny(rustdoc::broken_intra_doc_links)]` headers present and
+//!    unweakened on every crate root.
+//!
+//! Suppressions are line-scoped, audited, and must carry a reason:
+//!
+//! ```text
+//! // dpta-lint: allow(no-wall-clock) -- drive_time is observability-only
+//! ```
+//!
+//! The binary (`cargo run -p dpta-lint --release -- --workspace`)
+//! exits non-zero on any finding; `--json` emits a machine-readable
+//! report and `--annotations` prints the audit of every suppression
+//! with its recorded reason.
+//!
+//! The analyzer is deliberately dependency-free and self-contained
+//! (hand-rolled lexer, lightweight manifest walker): it must stay
+//! buildable and trustworthy independently of the code it audits.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{AnnotationRecord, FileCtx, Finding, Role, RuleSet, ALL_RULES};
+
+use std::fs;
+use std::path::Path;
+
+/// The result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceOutcome {
+    /// Surviving findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Every suppression annotation in the workspace, sorted by
+    /// (path, line), each flagged used/unused.
+    pub annotations: Vec<AnnotationRecord>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every non-vendored workspace crate under `root`.
+pub fn lint_workspace(root: &Path, ruleset: &RuleSet) -> Result<WorkspaceOutcome, String> {
+    let files = workspace::collect_files(root)?;
+    let mut out = WorkspaceOutcome {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    for file in &files {
+        let source = fs::read_to_string(&file.abs_path)
+            .map_err(|e| format!("cannot read {}: {e}", file.abs_path.display()))?;
+        let mut fo = rules::lint_source(&file.ctx, &source, ruleset);
+        out.findings.append(&mut fo.findings);
+        out.annotations.append(&mut fo.annotations);
+    }
+    out.findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    out.annotations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}

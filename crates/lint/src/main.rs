@@ -1,0 +1,136 @@
+//! CLI for `dpta-lint`: lints the workspace, prints a rustc-style (or
+//! `--json`) report, exits non-zero on any finding.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use dpta_lint::{lint_workspace, report, rules, RuleSet, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dpta-lint — static enforcement of the workspace's determinism & privacy-flow invariants
+
+USAGE:
+    dpta-lint [--workspace] [OPTIONS]
+
+OPTIONS:
+    --workspace              Lint every non-vendored workspace crate (the default)
+    --root <DIR>             Workspace root (default: current directory)
+    --json                   Machine-readable JSON report instead of text
+    --annotations            Print the audit of every `dpta-lint: allow` suppression
+    --annotations-out <FILE> Write the suppression audit to FILE (for CI artifacts)
+    --only <RULE>            Run only RULE (repeatable)
+    --disable <RULE>         Skip RULE (repeatable)
+    --list-rules             Print the rule catalog and exit
+    -h, --help               This help
+
+EXIT STATUS:
+    0 — no findings; 1 — findings reported; 2 — usage or I/O error
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("dpta-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut print_annotations = false;
+    let mut annotations_out: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut ruleset = RuleSet::all();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => json = true,
+            "--annotations" => print_annotations = true,
+            "--annotations-out" => {
+                annotations_out = Some(PathBuf::from(
+                    args.next().ok_or("--annotations-out needs a path")?,
+                ));
+            }
+            "--only" => {
+                let rule = args.next().ok_or("--only needs a rule id")?;
+                if !rules::is_known_rule(&rule) {
+                    return Err(format!("unknown rule `{rule}` (try --list-rules)"));
+                }
+                only.push(rule);
+            }
+            "--disable" => {
+                let rule = args.next().ok_or("--disable needs a rule id")?;
+                if !rules::is_known_rule(&rule) {
+                    return Err(format!("unknown rule `{rule}` (try --list-rules)"));
+                }
+                ruleset.disable(&rule);
+            }
+            "--list-rules" => {
+                for r in ALL_RULES {
+                    println!("{r}");
+                }
+                return Ok(true);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if !only.is_empty() {
+        ruleset.only(only);
+    }
+
+    let outcome = lint_workspace(&root, &ruleset)?;
+    if json {
+        print!(
+            "{}",
+            report::render_json(
+                &outcome.findings,
+                &outcome.annotations,
+                outcome.files_scanned
+            )
+        );
+    } else {
+        print!("{}", report::render_text(&outcome.findings));
+        if outcome.findings.is_empty() {
+            eprintln!(
+                "dpta-lint: clean — {} files, {} suppression(s) on record",
+                outcome.files_scanned,
+                outcome.annotations.len()
+            );
+        } else {
+            eprintln!(
+                "dpta-lint: {} finding(s) across {} files",
+                outcome.findings.len(),
+                outcome.files_scanned
+            );
+        }
+    }
+    if print_annotations && !json {
+        print!("{}", report::render_annotations(&outcome.annotations));
+    }
+    if let Some(path) = annotations_out {
+        std::fs::write(&path, report::render_annotations(&outcome.annotations))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(outcome.findings.is_empty())
+}

@@ -1,0 +1,150 @@
+//! Rendering: rustc-style text, machine-readable JSON, and the
+//! suppression audit.
+//!
+//! JSON is emitted by hand (string escaping plus literal number/bool
+//! formatting) so the lint stays dependency-free; the shape is an
+//! object with `findings`, `annotations` and `summary` keys.
+
+use crate::rules::{AnnotationRecord, Finding};
+
+/// `file:line:col: rule: message`, one finding per line.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {}: {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+    }
+    out
+}
+
+/// The suppression audit: every annotation with its reason and whether
+/// it still suppresses anything.
+pub fn render_annotations(records: &[AnnotationRecord]) -> String {
+    if records.is_empty() {
+        return "no dpta-lint suppressions in the workspace\n".to_string();
+    }
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{}:{}: allow({}) -- {} [{}]\n",
+            r.path,
+            r.line,
+            r.rules.join(", "),
+            r.reason,
+            if r.used { "used" } else { "UNUSED" }
+        ));
+    }
+    out
+}
+
+/// The whole run as one JSON object.
+pub fn render_json(findings: &[Finding], records: &[AnnotationRecord], files: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"annotations\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rules = r
+            .rules
+            .iter()
+            .map(|s| json_str(s))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"line\": {}, \"rules\": [{}], \"reason\": {}, \"used\": {}}}",
+            json_str(&r.path),
+            r.line,
+            rules,
+            json_str(&r.reason),
+            r.used
+        ));
+    }
+    if !records.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"files\": {}, \"findings\": {}, \"annotations\": {}}}\n}}\n",
+        files,
+        findings.len(),
+        records.len()
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_finding() -> Finding {
+        Finding {
+            path: "crates/dp/src/noise.rs".into(),
+            line: 13,
+            col: 5,
+            rule: "deterministic-containers",
+            message: "a \"quoted\" message".into(),
+        }
+    }
+
+    #[test]
+    fn text_is_rustc_style() {
+        let text = render_text(&[sample_finding()]);
+        assert!(text.starts_with("crates/dp/src/noise.rs:13:5: deterministic-containers:"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = render_json(&[sample_finding()], &[], 42);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"files\": 42"));
+        assert!(json.contains("\"findings\": 1"));
+    }
+
+    #[test]
+    fn audit_marks_unused() {
+        let rec = AnnotationRecord {
+            path: "crates/dp/src/intern.rs".into(),
+            line: 31,
+            rules: vec!["deterministic-containers".into()],
+            reason: "FastMap backing store".into(),
+            used: false,
+        };
+        assert!(render_annotations(&[rec]).contains("[UNUSED]"));
+    }
+}

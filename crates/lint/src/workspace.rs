@@ -1,0 +1,222 @@
+//! Workspace discovery: which crates exist, where their sources live.
+//!
+//! Reads the root `Cargo.toml` members list (skipping `vendor/` — the
+//! shims are third-party API surface, not audited code) and each
+//! member's manifest for its package name and `[lib] path` override
+//! (the `dpta` facade keeps its sources at the repository root). No
+//! TOML dependency: the two fields we need are extracted with a
+//! line-based scan, which the manifests' committed style keeps stable.
+
+use crate::rules::{FileCtx, Role};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One workspace member crate.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Cargo package name (`dpta-core`, ...).
+    pub name: String,
+    /// Crate root (`lib.rs`) path, absolute.
+    pub lib_root: PathBuf,
+    /// Directory tree holding the crate's sources, absolute.
+    pub src_dir: PathBuf,
+}
+
+/// A file selected for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Rule context (crate, role, workspace-relative path).
+    pub ctx: FileCtx,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+}
+
+/// Discovers the non-vendored workspace members under `root`.
+pub fn discover_members(root: &Path) -> Result<Vec<Member>, String> {
+    let manifest = root.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest)
+        .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+    let mut members = Vec::new();
+    for dir in parse_members(&text) {
+        if dir.starts_with("vendor/") {
+            continue;
+        }
+        let member_dir = root.join(&dir);
+        let member_manifest = member_dir.join("Cargo.toml");
+        let mtext = fs::read_to_string(&member_manifest)
+            .map_err(|e| format!("cannot read {}: {e}", member_manifest.display()))?;
+        let name = manifest_field(&mtext, "package", "name")
+            .ok_or_else(|| format!("{}: no package name", member_manifest.display()))?;
+        let lib_rel = manifest_field(&mtext, "lib", "path").unwrap_or_else(|| "src/lib.rs".into());
+        let lib_root = normalize(&member_dir.join(lib_rel));
+        if !lib_root.is_file() {
+            return Err(format!(
+                "{name}: crate root {} does not exist",
+                lib_root.display()
+            ));
+        }
+        let src_dir = lib_root
+            .parent()
+            .ok_or_else(|| format!("{name}: crate root has no parent directory"))?
+            .to_path_buf();
+        members.push(Member {
+            name,
+            lib_root,
+            src_dir,
+        });
+    }
+    if members.is_empty() {
+        return Err(format!(
+            "no workspace members found in {}",
+            manifest.display()
+        ));
+    }
+    Ok(members)
+}
+
+/// Collects every `.rs` file of every member, with its rule context.
+pub fn collect_files(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let root = normalize(root);
+    let mut out = Vec::new();
+    for member in discover_members(&root)? {
+        let mut files = Vec::new();
+        walk(&member.src_dir, &mut files)?;
+        files.sort();
+        for abs in files {
+            let rel = abs
+                .strip_prefix(&root)
+                .map_err(|_| format!("{} escapes the workspace root", abs.display()))?;
+            let rel_path = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let in_bin_dir = rel_path.contains("/bin/");
+            let is_main = abs.file_name().is_some_and(|f| f == "main.rs");
+            let ctx = FileCtx {
+                rel_path,
+                crate_name: member.name.clone(),
+                is_crate_root: abs == member.lib_root,
+                role: if in_bin_dir || is_main {
+                    Role::Bin
+                } else {
+                    Role::Lib
+                },
+            };
+            out.push(SourceFile { ctx, abs_path: abs });
+        }
+    }
+    out.sort_by(|a, b| a.ctx.rel_path.cmp(&b.ctx.rel_path));
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Resolves `.` / `..` components lexically (the workspace contains a
+/// `../../src/lib.rs` lib override) without touching the filesystem.
+fn normalize(path: &Path) -> PathBuf {
+    let mut parts: Vec<std::path::Component> = Vec::new();
+    for c in path.components() {
+        match c {
+            std::path::Component::CurDir => {}
+            std::path::Component::ParentDir => {
+                if matches!(parts.last(), Some(std::path::Component::Normal(_))) {
+                    parts.pop();
+                } else {
+                    parts.push(c);
+                }
+            }
+            other => parts.push(other),
+        }
+    }
+    parts.iter().map(|c| c.as_os_str()).collect()
+}
+
+/// The `members = [ ... ]` entries of a workspace manifest.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if !in_members {
+            if line.starts_with("members") && line.contains('[') {
+                in_members = true;
+            }
+            continue;
+        }
+        if line.starts_with(']') {
+            break;
+        }
+        if let Some(entry) = line.split('"').nth(1) {
+            out.push(entry.to_string());
+        }
+    }
+    out
+}
+
+/// The value of `key = "..."` inside `[section]`, if present.
+fn manifest_field(manifest: &str, section: &str, key: &str) -> Option<String> {
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == format!("[{section}]");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(key) {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return rest.trim().split('"').nth(1).map(str::to_string);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_members_skipping_nothing_itself() {
+        let toml = "[workspace]\nmembers = [\n    \"crates/core\",\n    \"vendor/rand\",\n]\n";
+        assert_eq!(parse_members(toml), vec!["crates/core", "vendor/rand"]);
+    }
+
+    #[test]
+    fn extracts_sectioned_fields() {
+        let toml =
+            "[package]\nname = \"dpta\"\n[lib]\nname = \"dpta\"\npath = \"../../src/lib.rs\"\n";
+        assert_eq!(
+            manifest_field(toml, "package", "name").as_deref(),
+            Some("dpta")
+        );
+        assert_eq!(
+            manifest_field(toml, "lib", "path").as_deref(),
+            Some("../../src/lib.rs")
+        );
+        assert_eq!(manifest_field(toml, "package", "path"), None);
+    }
+
+    #[test]
+    fn normalize_resolves_parent_components() {
+        let p = normalize(Path::new("/a/b/crates/facade/../../src/lib.rs"));
+        assert_eq!(p, Path::new("/a/b/src/lib.rs"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Fixture-based coverage for every lint rule: one fixture where the
+//! rule fires (asserting file/line/rule), one where clean code passes,
+//! and one where an `allow` annotation suppresses the finding with a
+//! recorded reason — plus the self-check that `dpta-lint` runs clean
+//! on the live workspace, which is what makes the CI gate honest.
+
+use dpta_lint::rules::{self, lint_source, FileCtx, Role, RuleSet};
+use dpta_lint::{lint_workspace, Finding};
+use std::path::{Path, PathBuf};
+
+fn ctx(rel_path: &str, crate_name: &str) -> FileCtx {
+    FileCtx {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        is_crate_root: false,
+        role: Role::Lib,
+    }
+}
+
+/// Runs one rule (plus the always-on annotation meta-check) over a
+/// fixture under the given context.
+fn run_rule(rule: &str, ctx: &FileCtx, source: &str) -> Vec<Finding> {
+    let mut rs = RuleSet::all();
+    rs.only([rule.to_string()]);
+    lint_source(ctx, source, &rs).findings
+}
+
+fn assert_fires(findings: &[Finding], rule: &str, path: &str, line: u32) {
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rule && f.path == path && f.line == line),
+        "expected {rule} at {path}:{line}, got {findings:?}"
+    );
+}
+
+fn assert_suppressed(rule: &str, ctx: &FileCtx, source: &str) {
+    let mut rs = RuleSet::all();
+    rs.only([rule.to_string()]);
+    let out = lint_source(ctx, source, &rs);
+    assert!(
+        out.findings.is_empty(),
+        "{rule}: annotation failed to suppress: {:?}",
+        out.findings
+    );
+    let used: Vec<_> = out.annotations.iter().filter(|a| a.used).collect();
+    assert_eq!(
+        used.len(),
+        1,
+        "{rule}: exactly one annotation should be used"
+    );
+    assert!(
+        !used[0].reason.is_empty(),
+        "{rule}: suppression must record a reason"
+    );
+}
+
+#[test]
+fn deterministic_containers_fires_clean_suppressed() {
+    let c = ctx("crates/dp/src/fixture.rs", "dpta-dp");
+    let f = run_rule(
+        rules::DETERMINISTIC_CONTAINERS,
+        &c,
+        include_str!("fixtures/containers_fires.rs"),
+    );
+    assert_fires(&f, rules::DETERMINISTIC_CONTAINERS, &c.rel_path, 1);
+    assert_fires(&f, rules::DETERMINISTIC_CONTAINERS, &c.rel_path, 3);
+    assert_fires(&f, rules::DETERMINISTIC_CONTAINERS, &c.rel_path, 4);
+    assert!(run_rule(
+        rules::DETERMINISTIC_CONTAINERS,
+        &c,
+        include_str!("fixtures/containers_clean.rs")
+    )
+    .is_empty());
+    assert_suppressed(
+        rules::DETERMINISTIC_CONTAINERS,
+        &c,
+        include_str!("fixtures/containers_suppressed.rs"),
+    );
+}
+
+#[test]
+fn deterministic_containers_is_scoped_to_determinism_crates() {
+    let outside = ctx("crates/experiments/src/fixture.rs", "dpta-experiments");
+    assert!(run_rule(
+        rules::DETERMINISTIC_CONTAINERS,
+        &outside,
+        include_str!("fixtures/containers_fires.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn no_wall_clock_fires_clean_suppressed() {
+    let c = ctx("crates/stream/src/fixture.rs", "dpta-stream");
+    let f = run_rule(
+        rules::NO_WALL_CLOCK,
+        &c,
+        include_str!("fixtures/wall_clock_fires.rs"),
+    );
+    assert_fires(&f, rules::NO_WALL_CLOCK, &c.rel_path, 2);
+    assert_fires(&f, rules::NO_WALL_CLOCK, &c.rel_path, 5);
+    assert!(run_rule(
+        rules::NO_WALL_CLOCK,
+        &c,
+        include_str!("fixtures/wall_clock_clean.rs")
+    )
+    .is_empty());
+    assert_suppressed(
+        rules::NO_WALL_CLOCK,
+        &c,
+        include_str!("fixtures/wall_clock_suppressed.rs"),
+    );
+}
+
+#[test]
+fn no_wall_clock_allowlists_the_experiment_display_paths() {
+    for allowed in [
+        "crates/experiments/src/runner.rs",
+        "crates/experiments/src/stream_cmd.rs",
+    ] {
+        let c = ctx(allowed, "dpta-experiments");
+        assert!(
+            run_rule(
+                rules::NO_WALL_CLOCK,
+                &c,
+                include_str!("fixtures/wall_clock_fires.rs")
+            )
+            .is_empty(),
+            "{allowed} is on the display allowlist"
+        );
+    }
+    let bench = FileCtx {
+        rel_path: "crates/bench/src/fixture.rs".into(),
+        crate_name: "dpta-bench".into(),
+        is_crate_root: false,
+        role: Role::Lib,
+    };
+    assert!(run_rule(
+        rules::NO_WALL_CLOCK,
+        &bench,
+        include_str!("fixtures/wall_clock_fires.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn charged_noise_flow_fires_clean_suppressed() {
+    let c = ctx("crates/stream/src/fixture.rs", "dpta-stream");
+    let f = run_rule(
+        rules::CHARGED_NOISE_FLOW,
+        &c,
+        include_str!("fixtures/noise_fires.rs"),
+    );
+    assert_fires(&f, rules::CHARGED_NOISE_FLOW, &c.rel_path, 4);
+    assert!(run_rule(
+        rules::CHARGED_NOISE_FLOW,
+        &c,
+        include_str!("fixtures/noise_clean.rs")
+    )
+    .is_empty());
+    assert_suppressed(
+        rules::CHARGED_NOISE_FLOW,
+        &c,
+        include_str!("fixtures/noise_suppressed.rs"),
+    );
+}
+
+#[test]
+fn charged_noise_flow_exempts_the_definition_modules() {
+    let def = ctx("crates/dp/src/noise.rs", "dpta-dp");
+    assert!(run_rule(
+        rules::CHARGED_NOISE_FLOW,
+        &def,
+        include_str!("fixtures/noise_fires.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn panic_hygiene_fires_clean_suppressed() {
+    let c = ctx("crates/core/src/fixture.rs", "dpta-core");
+    let f = run_rule(
+        rules::PANIC_HYGIENE,
+        &c,
+        include_str!("fixtures/panic_fires.rs"),
+    );
+    assert_fires(&f, rules::PANIC_HYGIENE, &c.rel_path, 4); // bare unwrap()
+    assert_fires(&f, rules::PANIC_HYGIENE, &c.rel_path, 8); // expect("")
+    assert_fires(&f, rules::PANIC_HYGIENE, &c.rel_path, 12); // float-keyed map index
+    assert_eq!(f.len(), 3, "{f:?}");
+    assert!(run_rule(
+        rules::PANIC_HYGIENE,
+        &c,
+        include_str!("fixtures/panic_clean.rs")
+    )
+    .is_empty());
+    assert_suppressed(
+        rules::PANIC_HYGIENE,
+        &c,
+        include_str!("fixtures/panic_suppressed.rs"),
+    );
+}
+
+#[test]
+fn unsafe_policy_fires_clean_suppressed() {
+    let mut root = ctx("crates/core/src/lib.rs", "dpta-core");
+    root.is_crate_root = true;
+    let f = run_rule(
+        rules::UNSAFE_POLICY,
+        &root,
+        include_str!("fixtures/unsafe_fires.rs"),
+    );
+    assert_fires(&f, rules::UNSAFE_POLICY, &root.rel_path, 1); // missing forbid header
+    assert_fires(&f, rules::UNSAFE_POLICY, &root.rel_path, 2); // unsafe token
+    assert!(run_rule(
+        rules::UNSAFE_POLICY,
+        &root,
+        include_str!("fixtures/unsafe_clean.rs")
+    )
+    .is_empty());
+    let c = ctx("crates/core/src/fixture.rs", "dpta-core");
+    assert_suppressed(
+        rules::UNSAFE_POLICY,
+        &c,
+        include_str!("fixtures/unsafe_suppressed.rs"),
+    );
+}
+
+#[test]
+fn lint_gate_presence_fires_clean_suppressed() {
+    let mut root = ctx("crates/workloads/src/lib.rs", "dpta-workloads");
+    root.is_crate_root = true;
+    let f = run_rule(
+        rules::LINT_GATE_PRESENCE,
+        &root,
+        include_str!("fixtures/gates_fires.rs"),
+    );
+    // `warn(missing_docs)` counts as weakened: both headers missing.
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert_fires(&f, rules::LINT_GATE_PRESENCE, &root.rel_path, 1);
+    assert!(run_rule(
+        rules::LINT_GATE_PRESENCE,
+        &root,
+        include_str!("fixtures/gates_clean.rs")
+    )
+    .is_empty());
+    assert_suppressed(
+        rules::LINT_GATE_PRESENCE,
+        &root,
+        include_str!("fixtures/gates_suppressed.rs"),
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn self_check_the_live_workspace_is_clean() {
+    let out = lint_workspace(&workspace_root(), &RuleSet::all())
+        .expect("workspace discovery succeeds from the repo checkout");
+    assert!(
+        out.findings.is_empty(),
+        "dpta-lint must run clean on its own workspace:\n{}",
+        dpta_lint::report::render_text(&out.findings)
+    );
+    assert!(out.files_scanned > 50, "suspiciously few files scanned");
+    // Every suppression on record must still be load-bearing and
+    // carry a reason — stale allows get cleaned up, not accumulated.
+    for a in &out.annotations {
+        assert!(a.used, "stale suppression at {}:{}", a.path, a.line);
+        assert!(!a.reason.is_empty());
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_the_live_workspace_and_nonzero_on_a_violation() {
+    let bin = env!("CARGO_BIN_EXE_dpta-lint");
+    let ok = std::process::Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("dpta-lint binary runs");
+    assert!(
+        ok.status.success(),
+        "expected exit 0 on the live workspace:\n{}{}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // A scratch workspace with one firing crate must exit 1.
+    let scratch = std::env::temp_dir().join(format!("dpta-lint-fixture-{}", std::process::id()));
+    let src_dir = scratch.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch dirs");
+    std::fs::write(
+        scratch.join("Cargo.toml"),
+        "[workspace]\nmembers = [\n    \"crates/core\",\n]\n",
+    )
+    .expect("scratch root manifest");
+    std::fs::write(
+        scratch.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"dpta-core\"\n",
+    )
+    .expect("scratch member manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n#![deny(rustdoc::broken_intra_doc_links)]\n//! Scratch.\nuse std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n",
+    )
+    .expect("scratch lib.rs");
+    let bad = std::process::Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&scratch)
+        .output()
+        .expect("dpta-lint binary runs on scratch workspace");
+    std::fs::remove_dir_all(&scratch).ok();
+    assert_eq!(bad.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:5:23: deterministic-containers:"),
+        "report should carry file:line:col and the rule id, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_mode_reports_the_same_findings_machine_readably() {
+    let bin = env!("CARGO_BIN_EXE_dpta-lint");
+    let out = std::process::Command::new(bin)
+        .args(["--workspace", "--json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("dpta-lint --json runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\": []"));
+    assert!(stdout.contains("\"annotations\": ["));
+    assert!(stdout.contains("\"used\": true"));
+}

@@ -1,0 +1,14 @@
+use dpta_dp::intern::{FastMap, FastSet};
+use std::collections::BTreeMap;
+
+pub fn histogram(ids: &[u32]) -> FastMap<u32, usize> {
+    let mut h = FastMap::default();
+    let mut seen = FastSet::default();
+    let mut ordered: BTreeMap<u32, usize> = BTreeMap::new();
+    for &id in ids {
+        seen.insert(id);
+        *h.entry(id).or_insert(0) += 1;
+        *ordered.entry(id).or_insert(0) += 1;
+    }
+    h
+}

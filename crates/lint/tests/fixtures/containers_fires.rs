@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn histogram(ids: &[u32]) -> HashMap<u32, usize> {
+    let mut h = HashMap::new();
+    for &id in ids {
+        *h.entry(id).or_insert(0) += 1;
+    }
+    h
+}

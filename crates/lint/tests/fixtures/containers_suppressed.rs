@@ -1,0 +1,4 @@
+// dpta-lint: allow(deterministic-containers) -- fixture: wrapping the std map behind a deterministic facade
+use std::collections::HashMap as DeterministicBase;
+
+pub struct Wrapped;

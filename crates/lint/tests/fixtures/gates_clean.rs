@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+/// Documented.
+pub fn documented() {}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn undocumented() {}

@@ -1,0 +1,4 @@
+// dpta-lint: allow(lint-gate-presence) -- fixture: generated stub crate, headers injected by the build script
+#![forbid(unsafe_code)]
+
+pub fn stub() {}

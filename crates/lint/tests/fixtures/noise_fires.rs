@@ -1,0 +1,5 @@
+use dpta_dp::SeededNoise;
+
+pub fn uncharged_draw(seed: u64) -> SeededNoise {
+    SeededNoise::new(seed)
+}

@@ -1,0 +1,6 @@
+use dpta_dp::SeededNoise;
+
+pub fn relayed_draw(seed: u64) -> SeededNoise {
+    // dpta-lint: allow(charged-noise-flow) -- fixture: source is handed to an engine that charges via Board::publish
+    SeededNoise::new(seed)
+}

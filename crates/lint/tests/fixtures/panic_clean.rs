@@ -1,0 +1,7 @@
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees a non-empty window")
+}
+
+pub fn second(xs: &[u32]) -> Option<u32> {
+    xs.get(1).copied()
+}

@@ -1,0 +1,13 @@
+use std::collections::BTreeMap;
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("")
+}
+
+pub fn score(table: &BTreeMap<f64, u32>, key: f64) -> u32 {
+    table[&key]
+}

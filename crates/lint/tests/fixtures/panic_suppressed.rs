@@ -1,0 +1,4 @@
+pub fn first(xs: &[u32]) -> u32 {
+    // dpta-lint: allow(panic-hygiene) -- fixture: bound checked by the caller one frame up
+    *xs.first().unwrap()
+}

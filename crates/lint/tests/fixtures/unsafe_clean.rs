@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn peek(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}

@@ -1,0 +1,3 @@
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

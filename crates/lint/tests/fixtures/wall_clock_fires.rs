@@ -1,0 +1,7 @@
+pub fn window_cut_deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn stamp_release() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,5 @@
+pub fn drive_span_for_report() -> std::time::Duration {
+    // dpta-lint: allow(no-wall-clock) -- fixture: display-only timing, never feeds a decision
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

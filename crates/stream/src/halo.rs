@@ -89,12 +89,12 @@ use crate::snapshot::SnapshotError;
 use crate::window::{Window, WindowPolicy, Windower};
 use dpta_core::board::LOCATION_RELEASE;
 use dpta_core::{AssignmentEngine, Board, DeltaInstance, Instance, RunOutcome};
-use dpta_dp::{BudgetLedger, LedgerState, SeededNoise};
+use dpta_dp::{BudgetLedger, FastMap, LedgerState, SeededNoise};
 use dpta_matching::repair::PairComponents;
 use dpta_spatial::GridPartition;
 use dpta_workloads::budgets::BudgetGen;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Protocol state a shard carries across windows (warm-start engines).
@@ -149,8 +149,8 @@ struct ShardRun {
 
 /// Component roots of one driven instance, by logical id.
 struct RunRoots {
-    task_root: HashMap<u32, u32>,
-    worker_root: HashMap<u32, u32>,
+    task_root: FastMap<u32, u32>,
+    worker_root: FastMap<u32, u32>,
 }
 
 /// A shard's reconciliation state for the current window.
@@ -167,7 +167,7 @@ struct ShardPassState {
     /// Latest board spend per driven worker id — what the commit step
     /// prices privacy cost from, regardless of which (full or sub) run
     /// last covered the worker.
-    spent: HashMap<u32, f64>,
+    spent: FastMap<u32, f64>,
 }
 
 /// A shard's proposed match, by logical id.
@@ -288,7 +288,7 @@ pub(crate) struct HaloCore<'e> {
     // mutations below are mirrored into them, so preparing a shard run
     // is an O(live + pairs) emission instead of a from-scratch rebuild.
     deltas: Vec<DeltaInstance>,
-    member: HashMap<u32, Membership>,
+    member: FastMap<u32, Membership>,
 }
 
 impl<'e> HaloCore<'e> {
@@ -337,7 +337,7 @@ impl<'e> HaloCore<'e> {
             charged: ReleaseDedup::default(),
             carried: (0..n_shards).map(|_| None).collect(),
             deltas: (0..n_shards).map(|_| DeltaInstance::new()).collect(),
-            member: HashMap::new(),
+            member: FastMap::default(),
         }
     }
 
@@ -512,12 +512,12 @@ impl<'e> HaloCore<'e> {
 
         // Per-window id → index maps (pool and pending are frozen for
         // the duration of the reconciliation loop).
-        let pend_at: HashMap<u32, usize> = pending
+        let pend_at: FastMap<u32, usize> = pending
             .iter()
             .enumerate()
             .map(|(i, p)| (p.arrival.id, i))
             .collect();
-        let pool_at: HashMap<u32, usize> =
+        let pool_at: FastMap<u32, usize> =
             pool.iter().enumerate().map(|(j, w)| (w.id, j)).collect();
         let mut avail = vec![0usize; n_shards];
         for w in pool.iter() {
@@ -1248,18 +1248,18 @@ fn carry_board(
     if !warm {
         return Board::new(n_tasks, n_workers);
     }
-    let task_to_new: HashMap<u32, usize> = task_ids
+    let task_to_new: FastMap<u32, usize> = task_ids
         .iter()
         .enumerate()
         .map(|(i, &id)| (id, i))
         .collect();
-    let worker_to_new: HashMap<u32, usize> = worker_ids
+    let worker_to_new: FastMap<u32, usize> = worker_ids
         .iter()
         .enumerate()
         .map(|(j, &id)| (id, j))
         .collect();
-    let mut task_owner: HashMap<u32, usize> = HashMap::new();
-    let mut worker_owner: HashMap<u32, usize> = HashMap::new();
+    let mut task_owner: FastMap<u32, usize> = FastMap::default();
+    let mut worker_owner: FastMap<u32, usize> = FastMap::default();
     for (s, src) in prev.sources.iter().enumerate() {
         for &id in &src.task_ids {
             task_owner.insert(id, s);
@@ -1391,8 +1391,8 @@ fn prepare_sub_run(
     k: usize,
     task_ids: Vec<u32>,
     worker_ids: Vec<u32>,
-    pend_at: &HashMap<u32, usize>,
-    pool_at: &HashMap<u32, usize>,
+    pend_at: &FastMap<u32, usize>,
+    pool_at: &FastMap<u32, usize>,
     pending: &[PendingTask],
     pool: &[WorkerArrival],
     budget_gen: &BudgetGen,
@@ -1444,6 +1444,7 @@ fn drive_prepared(
         task_ids: &p.task_ids,
         worker_ids: &p.worker_ids,
     };
+    // dpta-lint: allow(no-wall-clock) -- drive_time is observability-only; no windowing or matching decision reads it
     let start = Instant::now();
     let outcome = if engine.supports_warm_start() {
         match &p.guard {

@@ -788,6 +788,7 @@ impl<'e> SessionCore<'e> {
                         .collect()
                 });
 
+            // dpta-lint: allow(no-wall-clock) -- drive_time is observability-only; no windowing or matching decision reads it
             let start = Instant::now();
             let outcome = if self.engine.supports_warm_start() {
                 match &guard {

@@ -20,7 +20,8 @@
 //! uniformly from the configured range).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod batching;
 pub mod budgets;

@@ -102,7 +102,8 @@
 //! sharding).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use dpta_core as core;
 pub use dpta_dp as dp;
